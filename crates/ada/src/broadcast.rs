@@ -1,0 +1,85 @@
+//! Figure 8: the broadcast script in Ada — a "reverse broadcast".
+//!
+//! Ada's naming conventions invert the data flow: calls to a task must
+//! name that task, but accepts are anonymous, so the *recipients call
+//! the sender's* `receive` entry and the value travels back as an out
+//! parameter:
+//!
+//! ```text
+//! ROLE sender (data : IN item) IS
+//!   ENTRY receive (d : OUT item);
+//!   WHILE completed < 5 LOOP
+//!     ACCEPT receive (d : OUT item) DO d := data; END;
+//!   END LOOP;
+//! ROLE recipient (data : OUT item) IS sender.receive(data);
+//! ```
+
+use std::time::Duration;
+
+use crate::task::{entry_name, AdaError, EntryRef, TaskSet};
+
+/// Name of the sender task.
+pub const SENDER: &str = "sender";
+
+/// Runs the Figure 8 Ada broadcast with `n` recipients; returns each
+/// recipient's received value.
+///
+/// # Errors
+///
+/// Propagates any [`AdaError`] from the underlying tasks.
+pub fn run<M>(n: usize, value: M, timeout: Duration) -> Result<Vec<M>, AdaError>
+where
+    M: Send + Clone + 'static,
+{
+    let v = value.clone();
+    let out = TaskSet::<Option<M>>::new("ada_broadcast")
+        .timeout(timeout)
+        .task(SENDER, move |ctx| {
+            let mut completed = 0;
+            while completed < n {
+                // ACCEPT receive (d : OUT item) DO d := data; END;
+                ctx.accept("receive", |(): ()| {
+                    completed += 1;
+                    v.clone()
+                })?;
+            }
+            Ok(None)
+        })
+        .task_array("recipient", n, move |ctx, _i| {
+            // sender.receive(data);
+            let data = ctx.call(&EntryRef::<(), M>::new(SENDER, "receive"), ())?;
+            Ok(Some(data))
+        })
+        .run()?;
+    Ok((0..n)
+        .map(|i| {
+            out[&entry_name("recipient", i)]
+                .clone()
+                .expect("recipient received")
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_recipients_receive() {
+        let got = run(5, 7u64, Duration::from_secs(5)).unwrap();
+        assert_eq!(got, vec![7; 5]);
+    }
+
+    #[test]
+    fn single_recipient() {
+        let got = run(1, "hello".to_string(), Duration::from_secs(5)).unwrap();
+        assert_eq!(got, vec!["hello".to_string()]);
+    }
+
+    #[test]
+    fn wide_fanout() {
+        let got = run(24, 3u8, Duration::from_secs(10)).unwrap();
+        assert_eq!(got.len(), 24);
+        assert!(got.iter().all(|&x| x == 3));
+    }
+}

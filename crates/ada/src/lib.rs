@@ -1,0 +1,44 @@
+//! An Ada-like host substrate, plus the paper's script-to-Ada translation.
+//!
+//! Section IV of *Script: A Communication Abstraction Mechanism* (Francez
+//! & Hailpern, PODC 1983) extends Ada's server tasks to *server scripts*
+//! with partners-unnamed enrollment, and proves expressibility by a
+//! translation that turns each role into a task and adds a supervisor
+//! task (growing the program from n to n+m+1 tasks — a cost this crate
+//! makes measurable). The pieces:
+//!
+//! * [`TaskSet`] — Ada-like tasking: entries with FIFO queues,
+//!   `accept`, guarded `select`, rendezvous-with-reply entry calls, a
+//!   `terminate` alternative with global quiescence detection;
+//! * [`broadcast`] — Figure 8: the "reverse broadcast" where recipients
+//!   call the sender's `receive` entry (Ada's naming makes the sender a
+//!   server);
+//! * [`translate`] — Figures 9–11: task-per-role plus supervisor
+//!   `start`/`stop` entry families.
+//!
+//! # Example
+//!
+//! ```
+//! use script_ada::{AdaError, EntryRef, TaskSet};
+//!
+//! let out = TaskSet::<u32>::new("demo")
+//!     .task("server", |ctx| {
+//!         ctx.accept("double", |x: u32| x * 2)?;
+//!         Ok(0)
+//!     })
+//!     .task("client", |ctx| {
+//!         ctx.call(&EntryRef::<u32, u32>::new("server", "double"), 21)
+//!     })
+//!     .run()?;
+//! assert_eq!(out["client"], 42);
+//! # Ok::<(), AdaError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod broadcast;
+mod task;
+pub mod translate;
+
+pub use task::{entry_name, AcceptArm, AdaError, EntryRef, TaskCtx, TaskSet};

@@ -1,0 +1,1003 @@
+//! Ada-like tasking: tasks, entries, `accept`, `select`, rendezvous.
+//!
+//! The model follows Ada's: a task *calls* an entry of another task and
+//! blocks until the callee *accepts* the call and finishes the accept
+//! body (rendezvous with reply). Calls queue FIFO per entry — the paper
+//! relies on this: "In Ada, repeated enrollments are serviced in order of
+//! arrival". `select` waits on several entries at once with boolean
+//! guards, and the *terminate alternative* completes a server task once
+//! every other task is finished or likewise waiting to terminate (global
+//! quiescence).
+//!
+//! The whole runtime shares one monitor; this favors obviousness over
+//! scalability, which is the right trade for a host-language substrate
+//! whose purpose is to demonstrate the paper's translation.
+
+use std::any::Any;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::marker::PhantomData;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use script_monitor::Monitor;
+
+/// Error produced by tasking operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AdaError {
+    /// The program terminated (or quiesced) while the call was pending.
+    Closed,
+    /// A task panicked; the whole task set is aborted.
+    Aborted,
+    /// A deadline expired.
+    Timeout,
+    /// The named task does not exist in this task set.
+    UnknownTask(String),
+    /// Entry argument or reply types did not match the entry reference.
+    TypeMismatch {
+        /// The entry involved.
+        entry: String,
+    },
+    /// An application-level task error.
+    App(String),
+}
+
+impl AdaError {
+    /// Convenience constructor for application-level errors.
+    pub fn app(msg: impl Into<String>) -> Self {
+        AdaError::App(msg.into())
+    }
+}
+
+impl fmt::Display for AdaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdaError::Closed => write!(f, "task set terminated while call pending"),
+            AdaError::Aborted => write!(f, "task set aborted"),
+            AdaError::Timeout => write!(f, "operation timed out"),
+            AdaError::UnknownTask(t) => write!(f, "task {t} not in this task set"),
+            AdaError::TypeMismatch { entry } => {
+                write!(f, "type mismatch on entry {entry}")
+            }
+            AdaError::App(m) => write!(f, "task error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AdaError {}
+
+/// The canonical name of member `i` of entry family `base`
+/// (Ada `E(i)`, rendered `E[i]`).
+pub fn entry_name(base: &str, i: usize) -> String {
+    format!("{base}[{i}]")
+}
+
+type ErasedVal = Box<dyn Any + Send>;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CallState {
+    Queued,
+    Taken,
+    Done,
+    /// The target task completed without accepting (Ada TASKING_ERROR).
+    Failed,
+}
+
+struct CallRec {
+    args: Option<ErasedVal>,
+    reply: Option<ErasedVal>,
+    state: CallState,
+}
+
+struct RtState {
+    /// task → entry → queued call ids (FIFO).
+    queues: HashMap<String, HashMap<String, VecDeque<u64>>>,
+    calls: HashMap<u64, CallRec>,
+    next_call: u64,
+    /// Tasks whose bodies have not returned.
+    live: HashSet<String>,
+    /// Live tasks currently blocked in a select-with-terminate.
+    terminate_waiting: HashSet<String>,
+    closed: bool,
+    aborted: bool,
+}
+
+impl RtState {
+    fn no_pending_work(&self) -> bool {
+        self.calls
+            .values()
+            .all(|c| matches!(c.state, CallState::Done | CallState::Failed))
+    }
+
+    /// Ada's terminate rule, approximated globally: close when every live
+    /// task is blocked on a terminate alternative and nothing is queued
+    /// or in flight.
+    fn check_quiescence(&mut self) {
+        if !self.closed
+            && self.live.iter().all(|t| self.terminate_waiting.contains(t))
+            && self.no_pending_work()
+        {
+            self.closed = true;
+        }
+    }
+}
+
+struct Rt {
+    state: Monitor<RtState>,
+}
+
+/// A typed reference to an entry of a named task, used by callers.
+///
+/// `A` is the entry's argument (in-parameter) type; `R` its reply
+/// (out-parameter) type.
+pub struct EntryRef<A, R> {
+    task: String,
+    entry: String,
+    _marker: PhantomData<fn(A) -> R>,
+}
+
+impl<A, R> EntryRef<A, R> {
+    /// A reference to entry `entry` of task `task`.
+    pub fn new(task: impl Into<String>, entry: impl Into<String>) -> Self {
+        Self {
+            task: task.into(),
+            entry: entry.into(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// The owning task's name.
+    pub fn task(&self) -> &str {
+        &self.task
+    }
+
+    /// The entry's name.
+    pub fn entry(&self) -> &str {
+        &self.entry
+    }
+}
+
+impl<A, R> Clone for EntryRef<A, R> {
+    fn clone(&self) -> Self {
+        Self {
+            task: self.task.clone(),
+            entry: self.entry.clone(),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<A, R> fmt::Debug for EntryRef<A, R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "EntryRef({}.{})", self.task, self.entry)
+    }
+}
+
+/// One alternative of a `select` statement: a guarded accept whose
+/// handler consumes the call's arguments and produces the reply.
+pub struct AcceptArm<'a> {
+    entry: String,
+    guard: bool,
+    handler: Box<dyn FnOnce(ErasedVal) -> Result<ErasedVal, AdaError> + 'a>,
+}
+
+impl fmt::Debug for AcceptArm<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AcceptArm")
+            .field("entry", &self.entry)
+            .field("guard", &self.guard)
+            .finish()
+    }
+}
+
+impl<'a> AcceptArm<'a> {
+    /// An accept alternative for `entry`, handling arguments of type `A`
+    /// and replying with `R`.
+    pub fn accept<A, R, F>(entry: impl Into<String>, handler: F) -> Self
+    where
+        A: Send + 'static,
+        R: Send + 'static,
+        F: FnOnce(A) -> R + 'a,
+    {
+        let entry = entry.into();
+        let entry2 = entry.clone();
+        Self {
+            entry,
+            guard: true,
+            handler: Box::new(move |args| {
+                let args = args
+                    .downcast::<A>()
+                    .map_err(|_| AdaError::TypeMismatch { entry: entry2 })?;
+                Ok(Box::new(handler(*args)) as ErasedVal)
+            }),
+        }
+    }
+
+    /// Attaches a boolean guard (`when cond =>` in Ada).
+    pub fn when(mut self, cond: bool) -> Self {
+        self.guard = self.guard && cond;
+        self
+    }
+}
+
+/// The context of a running task: call entries of other tasks, accept
+/// calls to your own.
+pub struct TaskCtx {
+    rt: Arc<Rt>,
+    me: String,
+    deadline: Option<Instant>,
+}
+
+impl fmt::Debug for TaskCtx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TaskCtx").field("me", &self.me).finish()
+    }
+}
+
+impl TaskCtx {
+    /// This task's name.
+    pub fn name(&self) -> &str {
+        &self.me
+    }
+
+    fn wait_until<T>(
+        &self,
+        pred: impl FnMut(&RtState) -> bool,
+        f: impl FnOnce(&mut RtState) -> T,
+    ) -> Result<T, AdaError> {
+        match self.deadline {
+            None => Ok(self.rt.state.wait_until(pred, f)),
+            Some(d) => {
+                let now = Instant::now();
+                let left = d.saturating_duration_since(now);
+                self.rt
+                    .state
+                    .wait_until_timeout(pred, left, f)
+                    .ok_or(AdaError::Timeout)
+            }
+        }
+    }
+
+    /// Calls an entry: queues the request and blocks until the owning
+    /// task accepts it and completes the accept body, returning the
+    /// reply (Ada rendezvous).
+    ///
+    /// # Errors
+    ///
+    /// * [`AdaError::Closed`] if the program terminates first,
+    /// * [`AdaError::Aborted`] if a task panicked,
+    /// * [`AdaError::Timeout`] on deadline expiry,
+    /// * [`AdaError::UnknownTask`] / [`AdaError::TypeMismatch`] on bad
+    ///   addressing.
+    pub fn call<A, R>(&self, entry: &EntryRef<A, R>, args: A) -> Result<R, AdaError>
+    where
+        A: Send + 'static,
+        R: Send + 'static,
+    {
+        let id = self.rt.state.with(|st| {
+            if !st.queues.contains_key(&entry.task) {
+                return Err(AdaError::UnknownTask(entry.task.clone()));
+            }
+            if !st.live.contains(&entry.task) {
+                // Calling an entry of a completed task: TASKING_ERROR.
+                return Err(AdaError::Closed);
+            }
+            let id = st.next_call;
+            st.next_call += 1;
+            st.calls.insert(
+                id,
+                CallRec {
+                    args: Some(Box::new(args)),
+                    reply: None,
+                    state: CallState::Queued,
+                },
+            );
+            st.queues
+                .entry(entry.task.clone())
+                .or_default()
+                .entry(entry.entry.clone())
+                .or_default()
+                .push_back(id);
+            Ok(id)
+        })?;
+        let outcome = self.wait_until(
+            |st| {
+                st.aborted
+                    || st.closed
+                    || matches!(
+                        st.calls.get(&id).map(|c| c.state),
+                        Some(CallState::Done | CallState::Failed)
+                    )
+            },
+            |st| {
+                if st.calls.get(&id).map(|c| c.state) == Some(CallState::Done) {
+                    let mut rec = st.calls.remove(&id).expect("checked");
+                    return Ok(rec.reply.take().expect("done call has a reply"));
+                }
+                if st.calls.get(&id).map(|c| c.state) == Some(CallState::Failed) {
+                    st.calls.remove(&id);
+                    return Err(AdaError::Closed);
+                }
+                // Remove the dead call so quiescence can still be reached.
+                if let Some(q) = st
+                    .queues
+                    .get_mut(&entry.task)
+                    .and_then(|m| m.get_mut(&entry.entry))
+                {
+                    q.retain(|&c| c != id);
+                }
+                st.calls.remove(&id);
+                if st.aborted {
+                    Err(AdaError::Aborted)
+                } else {
+                    Err(AdaError::Closed)
+                }
+            },
+        );
+        match outcome {
+            Ok(Ok(reply)) => reply.downcast::<R>().map(|b| *b).map_err(|_| {
+                AdaError::TypeMismatch {
+                    entry: entry.entry.clone(),
+                }
+            }),
+            Ok(Err(e)) => Err(e),
+            Err(timeout) => {
+                // Best effort de-queue on timeout.
+                self.rt.state.with(|st| {
+                    if st.calls.get(&id).map(|c| c.state) == Some(CallState::Queued) {
+                        if let Some(q) = st
+                            .queues
+                            .get_mut(&entry.task)
+                            .and_then(|m| m.get_mut(&entry.entry))
+                        {
+                            q.retain(|&c| c != id);
+                        }
+                        st.calls.remove(&id);
+                    }
+                });
+                Err(timeout)
+            }
+        }
+    }
+
+    /// Accepts one call on `entry` (of this task), running `handler` as
+    /// the accept body; the caller is released when it returns.
+    ///
+    /// # Errors
+    ///
+    /// As [`TaskCtx::call`].
+    pub fn accept<A, R, F>(&self, entry: &str, handler: F) -> Result<(), AdaError>
+    where
+        A: Send + 'static,
+        R: Send + 'static,
+        F: FnOnce(A) -> R,
+    {
+        match self.select(vec![AcceptArm::accept(entry, handler)])? {
+            0 => Ok(()),
+            _ => unreachable!("single-arm select fires arm 0"),
+        }
+    }
+
+    /// Ada `select`: blocks until some open (guard-true) alternative has
+    /// a queued call, accepts the oldest call of that alternative, runs
+    /// its handler, and returns the index of the fired arm.
+    ///
+    /// # Errors
+    ///
+    /// [`AdaError::App`] if every guard is false (Ada's
+    /// `PROGRAM_ERROR`), plus the failures of [`TaskCtx::call`].
+    pub fn select(&self, arms: Vec<AcceptArm<'_>>) -> Result<usize, AdaError> {
+        match self.select_inner(arms, false)? {
+            Some(idx) => Ok(idx),
+            None => unreachable!("terminate disabled"),
+        }
+    }
+
+    /// `select … or terminate`: like [`TaskCtx::select`] but completes
+    /// with `Ok(None)` when the whole task set quiesces (every live task
+    /// finished or blocked in a terminate alternative, nothing queued).
+    ///
+    /// # Errors
+    ///
+    /// As [`TaskCtx::select`].
+    pub fn select_or_terminate(
+        &self,
+        arms: Vec<AcceptArm<'_>>,
+    ) -> Result<Option<usize>, AdaError> {
+        self.select_inner(arms, true)
+    }
+
+    /// Ada's `select … else …`: accepts a queued call on some open
+    /// alternative if one is available *right now*, otherwise returns
+    /// `Ok(None)` immediately (the caller runs its else-part).
+    ///
+    /// # Errors
+    ///
+    /// As [`TaskCtx::select`].
+    pub fn try_select(&self, arms: Vec<AcceptArm<'_>>) -> Result<Option<usize>, AdaError> {
+        let open: Vec<(usize, String)> = arms
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.guard)
+            .map(|(i, a)| (i, a.entry.clone()))
+            .collect();
+        let me = self.me.clone();
+        let taken = self.rt.state.with(|st| {
+            if st.aborted {
+                return Err(AdaError::Aborted);
+            }
+            for (idx, e) in &open {
+                let id = st
+                    .queues
+                    .get_mut(&me)
+                    .and_then(|m| m.get_mut(e))
+                    .and_then(|q| q.pop_front());
+                if let Some(id) = id {
+                    let rec = st.calls.get_mut(&id).expect("queued call exists");
+                    rec.state = CallState::Taken;
+                    let args = rec.args.take().expect("queued call has args");
+                    return Ok(Some((*idx, id, args)));
+                }
+            }
+            Ok(None)
+        })?;
+        let (idx, id, args) = match taken {
+            Some(t) => t,
+            None => return Ok(None),
+        };
+        let handler = arms
+            .into_iter()
+            .nth(idx)
+            .expect("index within arms")
+            .handler;
+        let reply = handler(args)?;
+        self.rt.state.with(|st| {
+            if let Some(rec) = st.calls.get_mut(&id) {
+                rec.reply = Some(reply);
+                rec.state = CallState::Done;
+            }
+        });
+        Ok(Some(idx))
+    }
+
+    fn select_inner(
+        &self,
+        arms: Vec<AcceptArm<'_>>,
+        terminate: bool,
+    ) -> Result<Option<usize>, AdaError> {
+        let open: Vec<(usize, &str)> = arms
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.guard)
+            .map(|(i, a)| (i, a.entry.as_str()))
+            .collect();
+        if open.is_empty() && !terminate {
+            return Err(AdaError::App(
+                "select with no open alternatives (PROGRAM_ERROR)".into(),
+            ));
+        }
+        if terminate {
+            self.rt.state.with(|st| {
+                st.terminate_waiting.insert(self.me.clone());
+                st.check_quiescence();
+            });
+        }
+        let me = self.me.clone();
+        let fired = self.wait_until(
+            |st| {
+                st.aborted
+                    || (terminate && st.closed)
+                    || open.iter().any(|(_, e)| {
+                        st.queues
+                            .get(&me)
+                            .and_then(|m| m.get(*e))
+                            .map(|q| !q.is_empty())
+                            .unwrap_or(false)
+                    })
+            },
+            |st| {
+                if st.aborted {
+                    return Err(AdaError::Aborted);
+                }
+                for (idx, e) in &open {
+                    let id = st
+                        .queues
+                        .get_mut(&me)
+                        .and_then(|m| m.get_mut(*e))
+                        .and_then(|q| q.pop_front());
+                    if let Some(id) = id {
+                        let rec = st.calls.get_mut(&id).expect("queued call exists");
+                        rec.state = CallState::Taken;
+                        let args = rec.args.take().expect("queued call has args");
+                        if terminate {
+                            st.terminate_waiting.remove(&me);
+                        }
+                        return Ok(Some((*idx, id, args)));
+                    }
+                }
+                debug_assert!(terminate && st.closed);
+                Ok(None)
+            },
+        )?;
+        let (idx, id, args) = match fired? {
+            Some(t) => t,
+            None => return Ok(None),
+        };
+        // Run the accept body outside the monitor: the caller stays
+        // blocked (rendezvous) until the reply is posted.
+        let handler = arms
+            .into_iter()
+            .nth(idx)
+            .expect("index within arms")
+            .handler;
+        let reply = handler(args)?;
+        self.rt.state.with(|st| {
+            if let Some(rec) = st.calls.get_mut(&id) {
+                rec.reply = Some(reply);
+                rec.state = CallState::Done;
+            }
+        });
+        Ok(Some(idx))
+    }
+
+    /// Is there a queued call on `entry` right now (`E'COUNT > 0`)?
+    pub fn has_caller(&self, entry: &str) -> bool {
+        self.rt.state.peek(|st| {
+            st.queues
+                .get(&self.me)
+                .and_then(|m| m.get(entry))
+                .map(|q| !q.is_empty())
+                .unwrap_or(false)
+        })
+    }
+}
+
+type TaskBody<O> = Box<dyn FnOnce(&TaskCtx) -> Result<O, AdaError> + Send>;
+
+/// A set of Ada-like tasks built up with [`TaskSet::task`] and executed
+/// by [`TaskSet::run`], which joins them all and returns their outputs
+/// by task name.
+pub struct TaskSet<O = ()> {
+    name: String,
+    deadline: Option<Instant>,
+    tasks: Vec<(String, TaskBody<O>)>,
+}
+
+impl<O> fmt::Debug for TaskSet<O> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TaskSet")
+            .field("name", &self.name)
+            .field(
+                "tasks",
+                &self.tasks.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl<O: Send + 'static> TaskSet<O> {
+    /// Starts building a task set (the name is for diagnostics).
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            deadline: None,
+            tasks: Vec::new(),
+        }
+    }
+
+    /// Fails every blocking operation after `timeout` (deadlock guard).
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.deadline = Some(Instant::now() + timeout);
+        self
+    }
+
+    /// Declares a task.
+    pub fn task<F>(mut self, name: impl Into<String>, body: F) -> Self
+    where
+        F: FnOnce(&TaskCtx) -> Result<O, AdaError> + Send + 'static,
+    {
+        self.tasks.push((name.into(), Box::new(body)));
+        self
+    }
+
+    /// Declares `n` tasks `base[0] … base[n-1]` sharing one body.
+    pub fn task_array<F>(mut self, base: &str, n: usize, body: F) -> Self
+    where
+        F: Fn(&TaskCtx, usize) -> Result<O, AdaError> + Send + Sync + 'static,
+    {
+        let body = Arc::new(body);
+        for i in 0..n {
+            let body = Arc::clone(&body);
+            self.tasks
+                .push((entry_name(base, i), Box::new(move |ctx| body(ctx, i))));
+        }
+        self
+    }
+
+    /// Number of declared tasks (the paper highlights the n → n+m+1
+    /// process growth of the Ada translation; this makes it measurable).
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Runs all tasks to completion.
+    ///
+    /// # Errors
+    ///
+    /// The first task error, by declaration order; a panicking task
+    /// aborts the whole set.
+    pub fn run(self) -> Result<HashMap<String, O>, AdaError> {
+        let rt = Arc::new(Rt {
+            state: Monitor::new(RtState {
+                queues: HashMap::new(),
+                calls: HashMap::new(),
+                next_call: 0,
+                live: self.tasks.iter().map(|(n, _)| n.clone()).collect(),
+                terminate_waiting: HashSet::new(),
+                closed: false,
+                aborted: false,
+            }),
+        });
+        // Pre-create queues so calls to not-yet-started tasks work.
+        rt.state.with(|st| {
+            for (name, _) in &self.tasks {
+                st.queues.entry(name.clone()).or_default();
+            }
+        });
+        let deadline = self.deadline;
+        let mut names = Vec::new();
+        let mut handles = Vec::new();
+        for (name, body) in self.tasks {
+            let ctx = TaskCtx {
+                rt: Arc::clone(&rt),
+                me: name.clone(),
+                deadline,
+            };
+            let rt2 = Arc::clone(&rt);
+            names.push(name.clone());
+            handles.push(std::thread::spawn(move || {
+                let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&ctx)));
+                rt2.state.with(|st| {
+                    st.live.remove(&name);
+                    // Calls still queued at this task can never be
+                    // accepted: fail them (Ada TASKING_ERROR).
+                    let dead: Vec<u64> = st
+                        .queues
+                        .get_mut(&name)
+                        .map(|m| m.values_mut().flat_map(|q| q.drain(..)).collect())
+                        .unwrap_or_default();
+                    for id in dead {
+                        if let Some(rec) = st.calls.get_mut(&id) {
+                            rec.state = CallState::Failed;
+                        }
+                    }
+                    match &out {
+                        Ok(_) => st.check_quiescence(),
+                        Err(_) => st.aborted = true,
+                    }
+                });
+                out.unwrap_or_else(|_| Err(AdaError::App("task panicked".into())))
+            }));
+        }
+        let mut outputs = HashMap::new();
+        let mut first_err = None;
+        for (name, h) in names.into_iter().zip(handles) {
+            match h.join().expect("panics caught in task wrapper") {
+                Ok(o) => {
+                    outputs.insert(name, o);
+                }
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(outputs),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_name_format() {
+        assert_eq!(entry_name("start", 2), "start[2]");
+    }
+
+    #[test]
+    fn simple_rendezvous_with_reply() {
+        let out = TaskSet::<u32>::new("pair")
+            .timeout(Duration::from_secs(5))
+            .task("server", |ctx| {
+                ctx.accept("double", |x: u32| x * 2)?;
+                Ok(0)
+            })
+            .task("client", |ctx| {
+                ctx.call(&EntryRef::<u32, u32>::new("server", "double"), 21)
+            })
+            .run()
+            .unwrap();
+        assert_eq!(out["client"], 42);
+    }
+
+    #[test]
+    fn calls_are_fifo_per_entry() {
+        let out = TaskSet::<Vec<u32>>::new("fifo")
+            .timeout(Duration::from_secs(5))
+            .task("server", |ctx| {
+                let mut order = Vec::new();
+                for _ in 0..2 {
+                    ctx.accept("e", |x: u32| order.push(x))?;
+                }
+                Ok(order)
+            })
+            .task("c1", |ctx| {
+                ctx.call(&EntryRef::<u32, ()>::new("server", "e"), 1)?;
+                Ok(vec![])
+            })
+            .task("c2", |ctx| {
+                // Give c1 a head start so its call queues first.
+                std::thread::sleep(Duration::from_millis(30));
+                ctx.call(&EntryRef::<u32, ()>::new("server", "e"), 2)?;
+                Ok(vec![])
+            })
+            .run()
+            .unwrap();
+        assert_eq!(out["server"], vec![1, 2]);
+    }
+
+    #[test]
+    fn select_with_guards() {
+        let out = TaskSet::<String>::new("guarded")
+            .timeout(Duration::from_secs(5))
+            .task("server", |ctx| {
+                let mut log = String::new();
+                // Only the "open" entry may fire.
+                let fired = ctx.select(vec![
+                    AcceptArm::accept("shut", |_x: u32| ()).when(false),
+                    AcceptArm::accept("open", |x: u32| log.push_str(&x.to_string())),
+                ])?;
+                assert_eq!(fired, 1);
+                Ok(log)
+            })
+            .task("client", |ctx| {
+                ctx.call(&EntryRef::<u32, ()>::new("server", "open"), 5)?;
+                Ok(String::new())
+            })
+            .run()
+            .unwrap();
+        assert_eq!(out["server"], "5");
+    }
+
+    #[test]
+    fn select_all_guards_closed_is_error() {
+        let err = TaskSet::<()>::new("closed")
+            .timeout(Duration::from_secs(5))
+            .task("server", |ctx| {
+                ctx.select(vec![AcceptArm::accept("e", |_x: u32| ()).when(false)])?;
+                Ok(())
+            })
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, AdaError::App(_)));
+    }
+
+    #[test]
+    fn terminate_alternative_fires_on_quiescence() {
+        let out = TaskSet::<u32>::new("term")
+            .timeout(Duration::from_secs(5))
+            .task("server", |ctx| {
+                let mut served = 0;
+                loop {
+                    let fired = ctx.select_or_terminate(vec![AcceptArm::accept(
+                        "ping",
+                        |_x: u32| (),
+                    )])?;
+                    match fired {
+                        Some(_) => served += 1,
+                        None => return Ok(served),
+                    }
+                }
+            })
+            .task("c1", |ctx| {
+                ctx.call(&EntryRef::<u32, ()>::new("server", "ping"), 0)?;
+                Ok(0)
+            })
+            .task("c2", |ctx| {
+                ctx.call(&EntryRef::<u32, ()>::new("server", "ping"), 0)?;
+                Ok(0)
+            })
+            .run()
+            .unwrap();
+        assert_eq!(out["server"], 2);
+    }
+
+    #[test]
+    fn two_servers_terminate_together() {
+        // Both servers wait on terminate; neither has callers: quiesce.
+        let out = TaskSet::<bool>::new("quiet")
+            .timeout(Duration::from_secs(5))
+            .task("s1", |ctx| {
+                Ok(ctx
+                    .select_or_terminate(vec![AcceptArm::accept("e", |_x: u8| ())])?
+                    .is_none())
+            })
+            .task("s2", |ctx| {
+                Ok(ctx
+                    .select_or_terminate(vec![AcceptArm::accept("e", |_x: u8| ())])?
+                    .is_none())
+            })
+            .run()
+            .unwrap();
+        assert!(out["s1"] && out["s2"]);
+    }
+
+    #[test]
+    fn call_to_unknown_task_fails() {
+        let err = TaskSet::<()>::new("unknown")
+            .timeout(Duration::from_secs(5))
+            .task("only", |ctx| {
+                ctx.call(&EntryRef::<u8, ()>::new("ghost", "e"), 1)
+            })
+            .run()
+            .unwrap_err();
+        assert_eq!(err, AdaError::UnknownTask("ghost".into()));
+    }
+
+    #[test]
+    fn pending_call_fails_when_program_closes() {
+        let err = TaskSet::<()>::new("dangling")
+            .timeout(Duration::from_secs(5))
+            .task("caller", |ctx| {
+                // "server" never accepts; it finishes immediately, and the
+                // program quiesces with the call pending.
+                ctx.call(&EntryRef::<u8, ()>::new("server", "e"), 1)
+            })
+            .task("server", |_ctx| Ok(()))
+            .run()
+            .unwrap_err();
+        assert_eq!(err, AdaError::Closed);
+    }
+
+    #[test]
+    fn panicking_task_aborts_set() {
+        let err = TaskSet::<()>::new("boom")
+            .timeout(Duration::from_secs(5))
+            .task("bomber", |_ctx| panic!("test panic"))
+            .task("caller", |ctx| {
+                ctx.call(&EntryRef::<u8, ()>::new("bomber", "e"), 1)
+            })
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, AdaError::App(_) | AdaError::Aborted));
+    }
+
+    #[test]
+    fn entry_families() {
+        let out = TaskSet::<u32>::new("family")
+            .timeout(Duration::from_secs(5))
+            .task("server", |ctx| {
+                let mut sum = 0;
+                for i in 0..3 {
+                    ctx.accept(&entry_name("slot", i), |x: u32| sum += x)?;
+                }
+                Ok(sum)
+            })
+            .task_array("c", 3, |ctx, i| {
+                ctx.call(
+                    &EntryRef::<u32, ()>::new("server", entry_name("slot", i)),
+                    i as u32 + 1,
+                )?;
+                Ok(0)
+            })
+            .run()
+            .unwrap();
+        assert_eq!(out["server"], 6);
+    }
+
+    #[test]
+    fn has_caller_reflects_queue() {
+        let out = TaskSet::<bool>::new("count")
+            .timeout(Duration::from_secs(5))
+            .task("server", |ctx| {
+                while !ctx.has_caller("e") {
+                    std::thread::yield_now();
+                }
+                let before = ctx.has_caller("e");
+                ctx.accept("e", |_x: u8| ())?;
+                Ok(before && !ctx.has_caller("e"))
+            })
+            .task("client", |ctx| {
+                ctx.call(&EntryRef::<u8, ()>::new("server", "e"), 1)?;
+                Ok(false)
+            })
+            .run()
+            .unwrap();
+        assert!(out["server"]);
+    }
+
+    #[test]
+    fn type_mismatch_reported() {
+        let err = TaskSet::<()>::new("types")
+            .timeout(Duration::from_secs(5))
+            .task("server", |ctx| ctx.accept("e", |_x: String| ()))
+            .task("client", |ctx| {
+                ctx.call(&EntryRef::<u8, ()>::new("server", "e"), 1)
+            })
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, AdaError::TypeMismatch { .. }));
+    }
+}
+
+#[cfg(test)]
+mod try_select_tests {
+    use super::*;
+
+    #[test]
+    fn else_part_taken_when_no_caller() {
+        let out = TaskSet::<bool>::new("else")
+            .timeout(Duration::from_secs(5))
+            .task("server", |ctx| {
+                let fired = ctx.try_select(vec![AcceptArm::accept("e", |_x: u8| ())])?;
+                Ok(fired.is_none())
+            })
+            .run()
+            .unwrap();
+        assert!(out["server"], "no caller: the else part runs");
+    }
+
+    #[test]
+    fn queued_call_accepted_immediately() {
+        let out = TaskSet::<u32>::new("ready")
+            .timeout(Duration::from_secs(5))
+            .task("server", |ctx| {
+                // Wait for the call to queue, then try_select must take it.
+                while !ctx.has_caller("e") {
+                    std::thread::yield_now();
+                }
+                let mut got = 0;
+                let fired = ctx.try_select(vec![AcceptArm::accept("e", |x: u32| got = x)])?;
+                assert_eq!(fired, Some(0));
+                Ok(got)
+            })
+            .task("client", |ctx| {
+                ctx.call(&EntryRef::<u32, ()>::new("server", "e"), 9)?;
+                Ok(0)
+            })
+            .run()
+            .unwrap();
+        assert_eq!(out["server"], 9);
+    }
+
+    #[test]
+    fn closed_guards_skip_queued_calls() {
+        let out = TaskSet::<bool>::new("guarded_else")
+            .timeout(Duration::from_secs(5))
+            .task("server", |ctx| {
+                while !ctx.has_caller("e") {
+                    std::thread::yield_now();
+                }
+                // Guard closed: even with a caller queued, else runs.
+                let fired =
+                    ctx.try_select(vec![AcceptArm::accept("e", |_x: u32| ()).when(false)])?;
+                assert!(fired.is_none());
+                // Now accept for real so the client is released.
+                ctx.accept("e", |_x: u32| ())?;
+                Ok(true)
+            })
+            .task("client", |ctx| {
+                ctx.call(&EntryRef::<u32, ()>::new("server", "e"), 1)?;
+                Ok(false)
+            })
+            .run()
+            .unwrap();
+        assert!(out["server"]);
+    }
+}

@@ -1,0 +1,249 @@
+//! Figures 9–11: the mechanical translation of scripts into Ada tasking.
+//!
+//! Each role `r_j` of script `s` becomes a task `s.r_j` with the role's
+//! own entries plus two more: `start` (delivers the enrollment's in
+//! parameters) and `stop` (returns the out parameters). One additional
+//! *supervisor task* owns `start[j]`/`stop[j]` entry families which the
+//! role tasks call to delimit their participation; the supervisor's
+//! per-performance bookkeeping enforces the successive-activations rule.
+//!
+//! An enrollment `ENROLL IN s AS r(in, out)` becomes two entry calls:
+//! `s.r.start(in); s.r.stop(out)` — exactly the paper's rule.
+//!
+//! The paper points out two costs of this translation, both reproduced
+//! here: the program grows from n processes to n+m+1 tasks
+//! ([`TaskSet::task_count`] exposes this), and role tasks loop forever
+//! (bounded here by an explicit `performances` count so programs can
+//! terminate — the paper's own caveat that the translation "can convert
+//! a terminating program into a non-terminating one").
+
+use crate::task::{entry_name, AcceptArm, AdaError, EntryRef, TaskCtx};
+use crate::TaskSet;
+
+/// The task name hosting role `role` of script `script`.
+pub fn role_task_name(script: &str, role: &str) -> String {
+    format!("{script}.{role}")
+}
+
+/// The supervisor task's name for script `script`.
+pub fn supervisor_task_name(script: &str) -> String {
+    format!("{script}.supervisor")
+}
+
+/// Translated enrollment: `s.r.start(in); s.r.stop(out)`.
+///
+/// # Errors
+///
+/// Any [`AdaError`] from the two entry calls.
+pub fn enroll<In, Out>(
+    ctx: &TaskCtx,
+    script: &str,
+    role: &str,
+    in_params: In,
+) -> Result<Out, AdaError>
+where
+    In: Send + 'static,
+    Out: Send + 'static,
+{
+    let task = role_task_name(script, role);
+    ctx.call(&EntryRef::<In, ()>::new(task.clone(), "start"), in_params)?;
+    ctx.call(&EntryRef::<(), Out>::new(task, "stop"), ())
+}
+
+/// The body of a translated role task (Figure 11): for each performance,
+/// accept `start`, check in with the supervisor, run the role body,
+/// check out, and release the enroller through `stop`.
+///
+/// The role body communicates with sibling roles through ordinary entry
+/// calls/accepts on the role tasks (see [`role_task_name`]).
+///
+/// # Errors
+///
+/// Any [`AdaError`] from the protocol or the body.
+pub fn role_task<In, Out, F>(
+    ctx: &TaskCtx,
+    script: &str,
+    role_index: usize,
+    performances: usize,
+    body: F,
+) -> Result<(), AdaError>
+where
+    In: Send + 'static,
+    Out: Send + 'static,
+    F: Fn(&TaskCtx, In) -> Result<Out, AdaError>,
+{
+    let sup = supervisor_task_name(script);
+    let sup_start = EntryRef::<(), ()>::new(sup.clone(), entry_name("start", role_index));
+    let sup_stop = EntryRef::<(), ()>::new(sup, entry_name("stop", role_index));
+    for _ in 0..performances {
+        let mut input: Option<In> = None;
+        ctx.accept("start", |v: In| input = Some(v))?;
+        // Join the current performance (blocks while a previous
+        // performance is still winding down: successive activations).
+        ctx.call(&sup_start, ())?;
+        let out = body(ctx, input.take().expect("start delivered input"))?;
+        ctx.call(&sup_stop, ())?;
+        ctx.accept("stop", |(): ()| out)?;
+    }
+    Ok(())
+}
+
+/// The supervisor task of Figure 9: accepts each role's `start[j]` at
+/// most once per performance and waits for all `stop[j]` before letting
+/// the next performance begin.
+///
+/// # Errors
+///
+/// Any [`AdaError`] from the entry protocol.
+pub fn supervisor(ctx: &TaskCtx, roles: usize, performances: usize) -> Result<(), AdaError> {
+    for _ in 0..performances {
+        let mut started = vec![false; roles];
+        let mut stopped = vec![false; roles];
+        while stopped.iter().any(|s| !s) {
+            let mut arms = Vec::new();
+            let mut tags = Vec::new();
+            for j in 0..roles {
+                if !started[j] {
+                    arms.push(AcceptArm::accept(entry_name("start", j), |(): ()| ()));
+                    tags.push((j, true));
+                } else if !stopped[j] {
+                    arms.push(AcceptArm::accept(entry_name("stop", j), |(): ()| ()));
+                    tags.push((j, false));
+                }
+            }
+            let fired = ctx.select(arms)?;
+            let (j, is_start) = tags[fired];
+            if is_start {
+                started[j] = true;
+            } else {
+                stopped[j] = true;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Builds the fully translated broadcast program of Figures 8–11: `n`
+/// enrolling recipient tasks plus one enrolling transmitter, `n + 1`
+/// role tasks, and the supervisor — running `performances` consecutive
+/// broadcasts of `base_value + p`. Returns the assembled [`TaskSet`]
+/// (so callers can observe [`TaskSet::task_count`]) ready to run.
+pub fn translated_broadcast(
+    n: usize,
+    base_value: u64,
+    performances: usize,
+    timeout: std::time::Duration,
+) -> TaskSet<Vec<u64>> {
+    const SCRIPT: &str = "bcast";
+    let mut set = TaskSet::<Vec<u64>>::new("translated_broadcast")
+        .timeout(timeout)
+        // Supervisor: one extra task.
+        .task(supervisor_task_name(SCRIPT), move |ctx| {
+            supervisor(ctx, n + 1, performances)?;
+            Ok(Vec::new())
+        })
+        // Role task for the sender (role index 0): Figure 8 reverse
+        // broadcast — recipients call its `receive` entry.
+        .task(role_task_name(SCRIPT, "sender"), move |ctx| {
+            role_task::<u64, (), _>(ctx, SCRIPT, 0, performances, |ctx, data| {
+                let mut completed = 0;
+                while completed < n {
+                    ctx.accept("receive", |(): ()| {
+                        completed += 1;
+                        data
+                    })?;
+                }
+                Ok(())
+            })?;
+            Ok(Vec::new())
+        });
+    // Role tasks for the recipients (role indices 1..=n).
+    for i in 0..n {
+        set = set.task(
+            role_task_name(SCRIPT, &entry_name("recipient", i)),
+            move |ctx| {
+                role_task::<(), u64, _>(ctx, SCRIPT, i + 1, performances, |ctx, ()| {
+                    ctx.call(
+                        &EntryRef::<(), u64>::new(role_task_name(SCRIPT, "sender"), "receive"),
+                        (),
+                    )
+                })?;
+                Ok(Vec::new())
+            },
+        );
+    }
+    // The actual enrolling processes.
+    set = set.task("T", move |ctx| {
+        for p in 0..performances {
+            enroll::<u64, ()>(ctx, SCRIPT, "sender", base_value + p as u64)?;
+        }
+        Ok(Vec::new())
+    });
+    set.task_array("q", n, move |ctx, i| {
+        let mut got = Vec::new();
+        for _ in 0..performances {
+            got.push(enroll::<(), u64>(
+                ctx,
+                SCRIPT,
+                &entry_name("recipient", i),
+                (),
+            )?);
+        }
+        Ok(got)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn translated_broadcast_delivers() {
+        let set = translated_broadcast(3, 100, 1, Duration::from_secs(10));
+        let out = set.run().unwrap();
+        for i in 0..3 {
+            assert_eq!(out[&entry_name("q", i)], vec![100]);
+        }
+    }
+
+    #[test]
+    fn task_count_is_n_plus_m_plus_one() {
+        // n = 4 enrolling recipients + 1 enrolling transmitter = 5
+        // processes; m = 5 roles; translation adds m role tasks + 1
+        // supervisor: total = n + m + 1 = 11.
+        let set = translated_broadcast(4, 0, 1, Duration::from_secs(10));
+        assert_eq!(set.task_count(), 5 + 5 + 1);
+    }
+
+    #[test]
+    fn successive_performances_serialized() {
+        let set = translated_broadcast(2, 100, 3, Duration::from_secs(10));
+        let out = set.run().unwrap();
+        for i in 0..2 {
+            assert_eq!(out[&entry_name("q", i)], vec![100, 101, 102]);
+        }
+    }
+
+    #[test]
+    fn supervisor_blocks_double_start() {
+        // A role task trying to start twice in one performance queues
+        // until the next performance: with performances = 1 it deadlocks
+        // and times out.
+        let err = TaskSet::<()>::new("double")
+            .timeout(Duration::from_millis(200))
+            .task(supervisor_task_name("s"), |ctx| supervisor(ctx, 1, 1))
+            .task("greedy", |ctx| {
+                let sup = supervisor_task_name("s");
+                ctx.call(&EntryRef::<(), ()>::new(sup.clone(), entry_name("start", 0)), ())?;
+                // Second start in the same performance must block.
+                ctx.call(&EntryRef::<(), ()>::new(sup, entry_name("start", 0)), ())
+            })
+            .run()
+            .unwrap_err();
+        assert!(
+            matches!(err, AdaError::Timeout | AdaError::Closed),
+            "got {err:?}"
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! E10 (§II): the cost of enrollment regimes.
+//!
+//! Partners-unnamed enrollment needs no matching; partners-named
+//! enrollment runs the backtracking specification matcher; `OneOf`
+//! constraints widen the search. Expected shape: unnamed ≤ named ≤
+//! one-of, with modest absolute differences at script-sized casts, plus
+//! matcher scaling in the number of roles.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use script_core::{Enrollment, Initiation, ProcessSel, RoleId, Script, Termination};
+
+/// A trivial n-role rendezvous script: every role just returns.
+fn noop_script(n: usize) -> (script_core::Script<u8>, script_core::FamilyHandle<u8, (), ()>) {
+    let mut b = Script::<u8>::builder("noop");
+    let member = b.family("member", n, |_ctx, ()| Ok(()));
+    b.initiation(Initiation::Delayed)
+        .termination(Termination::Delayed);
+    (b.build().unwrap(), member)
+}
+
+fn run_performance(
+    inst: &script_core::Instance<u8>,
+    member: &script_core::FamilyHandle<u8, (), ()>,
+    n: usize,
+    options: impl Fn(usize) -> Enrollment + Sync,
+) {
+    std::thread::scope(|s| {
+        for i in 0..n {
+            let inst = inst.clone();
+            let member = member.clone();
+            let opts = options(i);
+            s.spawn(move || inst.enroll_member_with(&member, i, (), opts).unwrap());
+        }
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_enrollment_matching");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(1600));
+
+    for &n in &[2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("unnamed", n), &n, |b, &n| {
+            let (script, member) = noop_script(n);
+            let inst = script.instance();
+            b.iter(|| run_performance(&inst, &member, n, |i| Enrollment::as_process(format!("P{i}"))));
+        });
+        group.bench_with_input(BenchmarkId::new("fully_named", n), &n, |b, &n| {
+            let (script, member) = noop_script(n);
+            let inst = script.instance();
+            b.iter(|| {
+                run_performance(&inst, &member, n, |i| {
+                    // Every member names every partner exactly.
+                    let mut e = Enrollment::as_process(format!("P{i}"));
+                    for j in 0..n {
+                        if j != i {
+                            e = e.partner(
+                                RoleId::indexed("member", j),
+                                ProcessSel::is(format!("P{j}")),
+                            );
+                        }
+                    }
+                    e
+                })
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("one_of_named", n), &n, |b, &n| {
+            let (script, member) = noop_script(n);
+            let inst = script.instance();
+            b.iter(|| {
+                run_performance(&inst, &member, n, |i| {
+                    let mut e = Enrollment::as_process(format!("P{i}"));
+                    for j in 0..n {
+                        if j != i {
+                            e = e.partner(
+                                RoleId::indexed("member", j),
+                                ProcessSel::one_of((0..n).map(|p| format!("P{p}"))),
+                            );
+                        }
+                    }
+                    e
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! E11 (§II): delayed versus immediate initiation and termination.
+//!
+//! Measures the full enroll-communicate-terminate cycle of a two-role
+//! relay under all four policy combinations. Expected shape: immediate
+//! initiation shaves the assembly barrier, immediate termination shaves
+//! the release barrier; delayed/delayed is the dearest, immediate/
+//! immediate the cheapest.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use script_core::{Initiation, RoleId, Script, Termination};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_initiation_policies");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(1600));
+
+    for (label, initiation, termination) in [
+        ("delayed_delayed", Initiation::Delayed, Termination::Delayed),
+        (
+            "delayed_immediate",
+            Initiation::Delayed,
+            Termination::Immediate,
+        ),
+        (
+            "immediate_delayed",
+            Initiation::Immediate,
+            Termination::Delayed,
+        ),
+        (
+            "immediate_immediate",
+            Initiation::Immediate,
+            Termination::Immediate,
+        ),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("relay_cycle", label),
+            &(initiation, termination),
+            |b, &(initiation, termination)| {
+                let mut builder = Script::<u64>::builder("relay");
+                let left = builder.role("left", |ctx, v: u64| {
+                    ctx.send(&RoleId::new("right"), v)?;
+                    Ok(())
+                });
+                let right = builder.role("right", |ctx, ()| ctx.recv_from(&RoleId::new("left")));
+                builder.initiation(initiation).termination(termination);
+                let script = builder.build().unwrap();
+                let inst = script.instance();
+                b.iter(|| {
+                    std::thread::scope(|s| {
+                        let i2 = inst.clone();
+                        let left = left.clone();
+                        let h = s.spawn(move || i2.enroll(&left, 5));
+                        let got = inst.enroll(&right, ()).unwrap();
+                        h.join().unwrap().unwrap();
+                        got
+                    })
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

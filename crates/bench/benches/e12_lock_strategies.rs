@@ -1,0 +1,58 @@
+//! E12 (§II): locking strategies under varying read/write mixes.
+//!
+//! Runs a fixed operation sequence (acquire+release cycles on distinct
+//! items) with the given fraction of reads, under "one lock to read, k
+//! to write" and majority locking. Expected shape: one-read-all-write
+//! wins on read-heavy mixes (reads touch one manager) and loses on
+//! write-heavy mixes (writes touch all k); majority is flat in the mix.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use script_lockmgr::script::Cluster;
+use script_lockmgr::strategy::Strategy;
+
+const K: usize = 3;
+const OPS: usize = 10;
+
+fn run_mix(cluster: &Cluster, read_pct: usize) {
+    for i in 0..OPS {
+        let item = format!("item{i}");
+        if i * 100 < read_pct * OPS {
+            assert!(cluster.acquire_shared("r", &item).unwrap().granted());
+            cluster.release_shared("r", &item).unwrap();
+        } else {
+            assert!(cluster.acquire_exclusive("w", &item).unwrap().granted());
+            cluster.release_exclusive("w", &item).unwrap();
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_lock_strategies");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(1600));
+
+    for &read_pct in &[0usize, 50, 100] {
+        group.throughput(Throughput::Elements(OPS as u64));
+        group.bench_with_input(
+            BenchmarkId::new("one_read_all_write", read_pct),
+            &read_pct,
+            |b, &read_pct| {
+                let cluster = Cluster::new(K, Strategy::one_read_all_write(K));
+                b.iter(|| run_mix(&cluster, read_pct));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("majority", read_pct),
+            &read_pct,
+            |b, &read_pct| {
+                let cluster = Cluster::new(K, Strategy::majority(K));
+                b.iter(|| run_mix(&cluster, read_pct));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

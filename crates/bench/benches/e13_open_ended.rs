@@ -1,0 +1,55 @@
+//! E13 (§V): open-ended scripts — dynamic role families.
+//!
+//! An open gather takes whatever number of workers shows up; a fixed
+//! gather declares its size up front. Expected shape: the open variant
+//! pays a small per-enrollment admission cost (implicit declaration,
+//! auto-indexing) but scales the same way; both are linear in the number
+//! of contributors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use script_lib::gather;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_open_ended");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(1600));
+
+    for &n in &[2usize, 4, 8] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("fixed_gather", n), &n, |b, &n| {
+            let g = gather::gather::<u64>(n);
+            let inst = g.script.instance();
+            b.iter(|| {
+                gather::run_on(&inst, &g, (0..n as u64).collect()).unwrap();
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("open_gather", n), &n, |b, &n| {
+            let og = gather::open_gather::<u64>(None);
+            b.iter(|| {
+                // A fresh instance per performance: open casts freeze via
+                // seal, so reuse would require sealing anyway.
+                let inst = og.script.instance();
+                std::thread::scope(|s| {
+                    let h = {
+                        let inst = inst.clone();
+                        let collector = og.collector.clone();
+                        s.spawn(move || inst.enroll(&collector, n))
+                    };
+                    for v in 0..n as u64 {
+                        let inst = &inst;
+                        let worker = &og.worker;
+                        s.spawn(move || inst.enroll_auto(worker, v).unwrap());
+                    }
+                    let sum = h.join().unwrap().unwrap().iter().sum::<u64>();
+                    assert_eq!(sum, (n as u64 * (n as u64 - 1)) / 2);
+                });
+                inst.seal_cast();
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

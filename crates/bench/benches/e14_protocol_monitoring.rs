@@ -1,0 +1,116 @@
+//! E14: the cost of runtime protocol monitoring (the MPST bridge).
+//!
+//! The same request/response exchange is run through a raw `RoleCtx`
+//! and through a monitored `Session`. Expected shape: monitoring adds a
+//! small constant per operation (label check + type advance), well under
+//! the rendezvous cost itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use script_core::{RoleId, Script, ScriptError};
+use script_proto::{GlobalType, Session};
+
+const ROUNDS: usize = 8;
+
+/// A built script plus its two role handles.
+type Handles = (
+    script_core::Script<&'static str>,
+    script_core::RoleHandle<&'static str, (), ()>,
+    script_core::RoleHandle<&'static str, (), ()>,
+);
+
+fn protocol() -> GlobalType {
+    // rec t. client → server: req; server → client ∈ { rep: t, done: end }
+    // (unrolled fixed ROUNDS times for a deterministic bench instead).
+    let mut g = GlobalType::End;
+    for _ in 0..ROUNDS {
+        g = GlobalType::msg(
+            "client",
+            "server",
+            "req",
+            GlobalType::msg("server", "client", "rep", g),
+        );
+    }
+    g
+}
+
+fn raw_script() -> Handles {
+    let mut b = Script::<&'static str>::builder("raw");
+    let client = b.role("client", |ctx, ()| {
+        for _ in 0..ROUNDS {
+            ctx.send(&RoleId::new("server"), "req")?;
+            ctx.recv_from(&RoleId::new("server"))?;
+        }
+        Ok(())
+    });
+    let server = b.role("server", |ctx, ()| {
+        for _ in 0..ROUNDS {
+            ctx.recv_from(&RoleId::new("client"))?;
+            ctx.send(&RoleId::new("client"), "rep")?;
+        }
+        Ok(())
+    });
+    (b.build().unwrap(), client, server)
+}
+
+fn monitored_script() -> Handles {
+    let g = protocol();
+    let ct = g.project(&RoleId::new("client")).unwrap();
+    let st = g.project(&RoleId::new("server")).unwrap();
+    let mut b = Script::<&'static str>::builder("monitored");
+    let client = b.role("client", move |ctx, ()| {
+        let mut s = Session::new(ctx, ct.clone());
+        for _ in 0..ROUNDS {
+            s.send(&RoleId::new("server"), "req")
+                .map_err(|e| ScriptError::app(e.to_string()))?;
+            s.recv_from(&RoleId::new("server"))
+                .map_err(|e| ScriptError::app(e.to_string()))?;
+        }
+        s.finish().map_err(|e| ScriptError::app(e.to_string()))?;
+        Ok(())
+    });
+    let server = b.role("server", move |ctx, ()| {
+        let mut s = Session::new(ctx, st.clone());
+        for _ in 0..ROUNDS {
+            s.recv_from(&RoleId::new("client"))
+                .map_err(|e| ScriptError::app(e.to_string()))?;
+            s.send(&RoleId::new("client"), "rep")
+                .map_err(|e| ScriptError::app(e.to_string()))?;
+        }
+        s.finish().map_err(|e| ScriptError::app(e.to_string()))?;
+        Ok(())
+    });
+    (b.build().unwrap(), client, server)
+}
+
+fn run_once(
+    script: &script_core::Script<&'static str>,
+    client: &script_core::RoleHandle<&'static str, (), ()>,
+    server: &script_core::RoleHandle<&'static str, (), ()>,
+) {
+    let inst = script.instance();
+    std::thread::scope(|s| {
+        let i2 = inst.clone();
+        let server = server.clone();
+        let h = s.spawn(move || i2.enroll(&server, ()));
+        inst.enroll(client, ()).unwrap();
+        h.join().unwrap().unwrap();
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e14_protocol_monitoring");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(1600));
+
+    let (raw, rc, rs) = raw_script();
+    group.bench_function("raw_ctx", |b| b.iter(|| run_once(&raw, &rc, &rs)));
+
+    let (mon, mc, ms) = monitored_script();
+    group.bench_function("monitored_session", |b| b.iter(|| run_once(&mon, &mc, &ms)));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

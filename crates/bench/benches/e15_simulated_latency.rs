@@ -1,0 +1,39 @@
+//! E15: broadcast topologies under simulated per-hop latency.
+//!
+//! The paper defers to the broadcast literature for the strategies'
+//! "relative merits"; those merits are latency-dependent. With a 500 µs
+//! simulated transmission delay per send, the expected shapes emerge:
+//! star ≈ n·d, tree ≈ 2·log₂(n)·d critical path — the tree overtakes
+//! the star as n grows.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use script_bench::delayed::{delayed_broadcast, run, Topology};
+
+const HOP: Duration = Duration::from_micros(500);
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e15_simulated_latency");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(1600));
+
+    for &n in &[4usize, 8, 16] {
+        for topo in [Topology::Star, Topology::Tree, Topology::Pipeline] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{topo:?}"), n),
+                &n,
+                |b, &n| {
+                    let bc = delayed_broadcast(n, topo, HOP);
+                    let inst = bc.script.instance();
+                    b.iter(|| run(&inst, &bc, 1).unwrap());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E9 (§II): broadcast strategy scaling — star vs pipeline vs tree.
+//!
+//! Expected shape: with everyone enrolled up front, star latency grows
+//! ~O(n) in sequential sends from one transmitter; the tree's *critical
+//! path* is O(log n) hops (though total sends are the same); the
+//! pipeline is O(n) hops end-to-end but each hop is one cheap
+//! rendezvous.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use script_lib::broadcast::{self, Order};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_broadcast_strategies");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(1600));
+
+    for &n in &[4usize, 8, 16, 32] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("star", n), &n, |b, &n| {
+            let bc = broadcast::star::<u64>(n, Order::Sequential);
+            let inst = bc.script.instance();
+            b.iter(|| broadcast::run_on(&inst, &bc, 1).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("pipeline", n), &n, |b, &n| {
+            let bc = broadcast::pipeline::<u64>(n);
+            let inst = bc.script.instance();
+            b.iter(|| broadcast::run_on(&inst, &bc, 1).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("tree", n), &n, |b, &n| {
+            let bc = broadcast::tree::<u64>(n);
+            let inst = bc.script.instance();
+            b.iter(|| broadcast::run_on(&inst, &bc, 1).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("mailbox", n), &n, |b, &n| {
+            let bc = broadcast::mailbox::<u64>(n);
+            let inst = bc.script.instance();
+            b.iter(|| broadcast::run_on(&inst, &bc, 1).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

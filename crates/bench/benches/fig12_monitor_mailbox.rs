@@ -1,0 +1,82 @@
+//! E8 (Figure 12): one monitor for all mailboxes versus one monitor per
+//! mailbox.
+//!
+//! The paper: the single-monitor packaging means "all access to any
+//! mailbox is serialized"; one monitor per mailbox "eliminates the
+//! unnecessary concurrency restrictions". We run `n` producer/consumer
+//! pairs, each hammering its own mailbox, under both layouts.
+//!
+//! Expected shape: per-mailbox monitors scale with cores; the shared
+//! monitor flatlines (or degrades) as pairs are added.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use script_monitor::{PerMailbox, SharedMailboxes};
+
+const OPS: usize = 200;
+
+fn shared_layout(pairs: usize) {
+    let boxes = Arc::new(SharedMailboxes::<u64>::new(pairs));
+    std::thread::scope(|s| {
+        for i in 0..pairs {
+            let producer = Arc::clone(&boxes);
+            s.spawn(move || {
+                for v in 0..OPS as u64 {
+                    producer.put(i, v);
+                }
+            });
+            let consumer = Arc::clone(&boxes);
+            s.spawn(move || {
+                for _ in 0..OPS {
+                    consumer.get(i);
+                }
+            });
+        }
+    });
+}
+
+fn per_mailbox_layout(pairs: usize) {
+    let boxes = Arc::new(PerMailbox::<u64>::new(pairs));
+    std::thread::scope(|s| {
+        for i in 0..pairs {
+            let producer = Arc::clone(&boxes);
+            s.spawn(move || {
+                for v in 0..OPS as u64 {
+                    producer.put(i, v);
+                }
+            });
+            let consumer = Arc::clone(&boxes);
+            s.spawn(move || {
+                for _ in 0..OPS {
+                    consumer.get(i);
+                }
+            });
+        }
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_monitor_mailbox");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(1600));
+
+    for &pairs in &[1usize, 2, 4, 8] {
+        group.throughput(Throughput::Elements((pairs * OPS) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("single_monitor_all_mailboxes", pairs),
+            &pairs,
+            |b, &pairs| b.iter(|| shared_layout(pairs)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("monitor_per_mailbox", pairs),
+            &pairs,
+            |b, &pairs| b.iter(|| per_mailbox_layout(pairs)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

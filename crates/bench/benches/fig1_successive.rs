@@ -1,0 +1,51 @@
+//! E1 (Figure 1): successive-activation turnaround.
+//!
+//! Measures how fast consecutive performances of one instance can run —
+//! the cost of the rule that every role of performance *n* terminates
+//! before performance *n+1* begins — for both termination policies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use script_core::{Initiation, RoleId, Script, Termination};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_successive_performances");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(1600));
+
+    for (label, termination) in [
+        ("delayed_termination", Termination::Delayed),
+        ("immediate_termination", Termination::Immediate),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("ping_pong_performance", label),
+            &termination,
+            |b, &termination| {
+                let mut builder = Script::<u8>::builder("ping_pong");
+                let ping = builder.role("ping", |ctx, ()| ctx.send(&RoleId::new("pong"), 1));
+                let pong = builder.role("pong", |ctx, ()| {
+                    ctx.recv_from(&RoleId::new("ping"))?;
+                    Ok(())
+                });
+                builder
+                    .initiation(Initiation::Delayed)
+                    .termination(termination);
+                let script = builder.build().unwrap();
+                let inst = script.instance();
+                b.iter(|| {
+                    std::thread::scope(|s| {
+                        let i2 = inst.clone();
+                        let ping = ping.clone();
+                        let h = s.spawn(move || i2.enroll(&ping, ()));
+                        inst.enroll(&pong, ()).unwrap();
+                        h.join().unwrap().unwrap();
+                    });
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E3 (Figure 3): synchronized star broadcast latency versus fan-out.
+//!
+//! Expected shape: one performance's wall time grows roughly linearly in
+//! the number of recipients (the transmitter sends sequentially), for
+//! both recipient orders.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use script_lib::broadcast::{self, Order};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_star_broadcast");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(1600));
+
+    for &n in &[2usize, 4, 8, 16] {
+        group.throughput(Throughput::Elements(n as u64));
+        for (label, order) in [
+            ("sequential", Order::Sequential),
+            ("nondeterministic", Order::NonDeterministic),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, n),
+                &n,
+                |b, &n| {
+                    let bc = broadcast::star::<u64>(n, order);
+                    let inst = bc.script.instance();
+                    b.iter(|| broadcast::run_on(&inst, &bc, 42).unwrap());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! E4 (Figure 4): per-process time spent inside the script.
+//!
+//! The paper's claim: "The immediate initiation and termination permit
+//! processes to spend much less time in the script than in the previous
+//! [synchronized star] example." Recipients arrive staggered; we measure
+//! the *average enrollment duration per recipient* (custom timing), not
+//! wall clock. Expected shape: pipeline ≪ star, by roughly the stagger
+//! span.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use script_lib::broadcast::{self, Broadcast, Order};
+
+const N: usize = 8;
+const STAGGER: Duration = Duration::from_micros(300);
+
+/// One performance with staggered arrivals; returns the summed
+/// time-in-script over all recipients.
+fn time_in_script(b: &Broadcast<u64>) -> Duration {
+    let instance = b.script.instance();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..N)
+            .map(|i| {
+                let instance = &instance;
+                let recipient = &b.recipient;
+                s.spawn(move || {
+                    std::thread::sleep(STAGGER * i as u32);
+                    let t0 = Instant::now();
+                    instance.enroll_member(recipient, i, ()).unwrap();
+                    t0.elapsed()
+                })
+            })
+            .collect();
+        let sender = &b.sender;
+        let i2 = &instance;
+        let sh = s.spawn(move || i2.enroll(sender, 1).unwrap());
+        let total: Duration = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        sh.join().unwrap();
+        total
+    })
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_time_in_script");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(1600));
+
+    for (label, make) in [
+        (
+            "star_delayed",
+            Box::new(|| broadcast::star::<u64>(N, Order::Sequential))
+                as Box<dyn Fn() -> Broadcast<u64>>,
+        ),
+        ("pipeline_immediate", Box::new(|| broadcast::pipeline::<u64>(N))),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("avg_recipient_enrollment", label),
+            &(),
+            |bench, _| {
+                let b = make();
+                bench.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        total += time_in_script(&b) / N as u32;
+                    }
+                    total
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

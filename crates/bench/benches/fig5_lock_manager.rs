@@ -1,0 +1,48 @@
+//! E5 (Figure 5): lock-manager operation latency under the paper's
+//! "one lock to read, k locks to write" strategy.
+//!
+//! Expected shape: a read cycle (acquire one grant + release to all) is
+//! cheaper than a write cycle (acquire all k + release to all), and both
+//! grow with k — reads sublinearly (one grant suffices), writes
+//! linearly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use script_lockmgr::script::Cluster;
+use script_lockmgr::strategy::Strategy;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_lock_manager");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(1600));
+
+    for &k in &[2usize, 3, 5] {
+        group.bench_with_input(BenchmarkId::new("read_cycle", k), &k, |b, &k| {
+            let cluster = Cluster::new(k, Strategy::one_read_all_write(k));
+            b.iter(|| {
+                assert!(cluster.acquire_shared("r", "x").unwrap().granted());
+                cluster.release_shared("r", "x").unwrap();
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("write_cycle", k), &k, |b, &k| {
+            let cluster = Cluster::new(k, Strategy::one_read_all_write(k));
+            b.iter(|| {
+                assert!(cluster.acquire_exclusive("w", "x").unwrap().granted());
+                cluster.release_exclusive("w", "x").unwrap();
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("denied_write", k), &k, |b, &k| {
+            let cluster = Cluster::new(k, Strategy::one_read_all_write(k));
+            // A standing read lock denies every write immediately at
+            // manager 0 (Figure 5c's early exit).
+            assert!(cluster.acquire_shared("r", "x").unwrap().granted());
+            b.iter(|| {
+                assert!(!cluster.acquire_exclusive("w", "x").unwrap().granted());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! E6 (Figures 6–7): the cost of the script→CSP translation.
+//!
+//! Three renditions of the same 4-recipient broadcast:
+//! * the native script engine,
+//! * direct CSP with output guards (Figure 6),
+//! * the mechanical translation with supervisor process `p_s` and
+//!   start/end handshakes (Figure 7).
+//!
+//! Expected shape: the translation is the slowest (extra process plus
+//! 2(m) handshakes per performance); native and direct CSP are close.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use script_csp::translate::{enroll, supervisor, supervisor_name, TMsg};
+use script_csp::{proc_name, Parallel};
+use script_lib::broadcast::{self, Order};
+
+const N: usize = 4;
+
+fn run_translated() {
+    const SCRIPT: &str = "bcast";
+    let mut roles = vec!["transmitter".to_string()];
+    roles.extend((0..N).map(|i| format!("recipient[{i}]")));
+    let mut cmd = Parallel::<TMsg<u64>, ()>::new("fig7")
+        .timeout(Duration::from_secs(10))
+        .process(supervisor_name(SCRIPT), move |ctx| {
+            supervisor(ctx, &roles, 1)
+        })
+        .process("T", |ctx| {
+            let binding: HashMap<String, String> = (0..N)
+                .map(|i| (format!("recipient[{i}]"), proc_name("q", i)))
+                .collect();
+            enroll(ctx, SCRIPT, "transmitter", binding, |env| {
+                for i in 0..N {
+                    env.send_role(&format!("recipient[{i}]"), 7)?;
+                }
+                Ok(())
+            })
+        });
+    cmd = cmd.process_array("q", N, |ctx, i| {
+        let binding: HashMap<String, String> =
+            [("transmitter".to_string(), "T".to_string())].into();
+        enroll(ctx, SCRIPT, &format!("recipient[{i}]"), binding, |env| {
+            env.recv_role("transmitter").map(|_| ())
+        })
+    });
+    cmd.run().unwrap();
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_csp_translation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(1600));
+
+    group.bench_function("native_script", |b| {
+        let bc = broadcast::star::<u64>(N, Order::NonDeterministic);
+        let inst = bc.script.instance();
+        b.iter(|| broadcast::run_on(&inst, &bc, 7).unwrap());
+    });
+
+    group.bench_function("csp_direct_fig6", |b| {
+        b.iter(|| script_csp::broadcast::run(N, 7u64, Duration::from_secs(10)).unwrap());
+    });
+
+    group.bench_function("csp_translated_fig7", |b| {
+        b.iter(run_translated);
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

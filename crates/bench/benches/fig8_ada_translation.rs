@@ -1,0 +1,40 @@
+//! E7 (Figures 8–11): the cost of the script→Ada translation.
+//!
+//! Compares the direct Ada "reverse broadcast" (Figure 8) with the full
+//! translation (task per role + supervisor, Figures 9–11), which grows
+//! the program from n to n+m+1 tasks.
+//!
+//! Expected shape: the translation pays roughly 2× the task count and
+//! four extra rendezvous per role (start/stop with enroller and
+//! supervisor), so it is clearly slower per performance.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use script_ada::translate::translated_broadcast;
+
+const N: usize = 4;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_ada_translation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(1600));
+
+    group.bench_function("ada_direct_fig8", |b| {
+        b.iter(|| script_ada::broadcast::run(N, 7u64, Duration::from_secs(10)).unwrap());
+    });
+
+    group.bench_function("ada_translated_fig9_11", |b| {
+        b.iter(|| {
+            translated_broadcast(N, 7, 1, Duration::from_secs(10))
+                .run()
+                .unwrap()
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

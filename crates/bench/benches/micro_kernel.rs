@@ -1,0 +1,74 @@
+//! Microbenchmarks of the communication kernel (`script-chan`): raw
+//! rendezvous latency, selection latency, and engine enrollment cost.
+//! Not a paper experiment — a regression guard for the substrate all
+//! experiments stand on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use script_chan::{Arm, Network};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_kernel");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(1600));
+
+    group.bench_function("rendezvous_round_trip", |b| {
+        let net: Network<u8, u64> = Network::new();
+        net.activate(0);
+        net.activate(1);
+        let p0 = net.port(0).unwrap();
+        let p1 = net.port(1).unwrap();
+        std::thread::scope(|s| {
+            let stop = &std::sync::atomic::AtomicBool::new(false);
+            let echo = s.spawn(move || {
+                while let Ok(v) = p1.recv_from(&0) {
+                    if p1.send(&0, v).is_err() {
+                        break;
+                    }
+                }
+            });
+            b.iter(|| {
+                p0.send(&1, 7).unwrap();
+                p0.recv_from(&1).unwrap();
+            });
+            stop.store(true, std::sync::atomic::Ordering::SeqCst);
+            net.abort();
+            echo.join().unwrap();
+        });
+    });
+
+    group.bench_function("select_two_ready_sources", |b| {
+        let net: Network<u8, u64> = Network::with_seed(1);
+        net.activate(0);
+        net.activate(1);
+        net.activate(2);
+        let rx = net.port(0).unwrap();
+        let t1 = net.port(1).unwrap();
+        let t2 = net.port(2).unwrap();
+        std::thread::scope(|s| {
+            let f1 = s.spawn(move || while t1.send(&0, 1).is_ok() {});
+            let f2 = s.spawn(move || while t2.send(&0, 2).is_ok() {});
+            b.iter(|| {
+                rx.select(vec![Arm::recv_from(1), Arm::recv_from(2)])
+                    .unwrap();
+            });
+            net.abort();
+            f1.join().unwrap();
+            f2.join().unwrap();
+        });
+    });
+
+    group.bench_function("engine_minimal_performance", |b| {
+        use script_core::Script;
+        let mut builder = Script::<u8>::builder("solo");
+        let solo = builder.role("solo", |_ctx, ()| Ok(()));
+        let script = builder.build().unwrap();
+        let inst = script.instance();
+        b.iter(|| inst.enroll(&solo, ()).unwrap());
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

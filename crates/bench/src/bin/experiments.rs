@@ -1,0 +1,607 @@
+//! The experiment harness: runs every experiment from DESIGN.md §5 and
+//! prints a claim-versus-measured table (the data behind EXPERIMENTS.md).
+//!
+//! ```sh
+//! cargo run --release -p script-bench --bin experiments
+//! ```
+//!
+//! The paper reports no absolute numbers; each row verifies the *shape*
+//! of one of its qualitative claims.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use script_bench::{at_least_x_faster, measure, measure_custom, verdict, Measurement};
+use script_core::{Enrollment, Initiation, ProcessSel, RoleId, Script, Termination};
+use script_lib::broadcast::{self, Broadcast, Order};
+use script_lib::gather;
+use script_lockmgr::script::Cluster;
+use script_lockmgr::strategy::Strategy;
+use script_monitor::{PerMailbox, SharedMailboxes};
+use script_proto::{GlobalType, Session};
+
+struct Row {
+    id: &'static str,
+    claim: String,
+    measured: String,
+    verdict: &'static str,
+}
+
+fn row(id: &'static str, claim: impl Into<String>, measured: impl Into<String>, ok: bool) -> Row {
+    Row {
+        id,
+        claim: claim.into(),
+        measured: measured.into(),
+        verdict: verdict(ok),
+    }
+}
+
+/// E1: consecutive performances are serialized; turnaround is measured.
+fn e1() -> Row {
+    let mut b = Script::<u8>::builder("ping_pong");
+    let ping = b.role("ping", |ctx, ()| ctx.send(&RoleId::new("pong"), 1));
+    let pong = b.role("pong", |ctx, ()| {
+        ctx.recv_from(&RoleId::new("ping"))?;
+        Ok(())
+    });
+    b.initiation(Initiation::Delayed)
+        .termination(Termination::Delayed);
+    let script = b.build().unwrap();
+    let inst = script.instance();
+    let m = measure(50, || {
+        std::thread::scope(|s| {
+            let i2 = inst.clone();
+            let ping = ping.clone();
+            let h = s.spawn(move || i2.enroll(&ping, ()));
+            inst.enroll(&pong, ()).unwrap();
+            h.join().unwrap().unwrap();
+        });
+    });
+    let serialized = inst.completed_performances() == 51;
+    row(
+        "E1 (Fig 1)",
+        "successive performances strictly serialized",
+        format!("51/51 serialized; {m} per performance"),
+        serialized,
+    )
+}
+
+/// E3: star broadcast latency grows with fan-out.
+fn e3() -> Row {
+    let lat = |n: usize| {
+        let bc = broadcast::star::<u64>(n, Order::Sequential);
+        let inst = bc.script.instance();
+        measure(30, || {
+            broadcast::run_on(&inst, &bc, 1).unwrap();
+        })
+    };
+    let small = lat(4);
+    let large = lat(16);
+    row(
+        "E3 (Fig 3)",
+        "star latency grows with recipients (4 → 16)",
+        format!("n=4: {small}, n=16: {large}"),
+        large.median > small.median,
+    )
+}
+
+/// E4: pipeline's time-in-script ≪ star's under staggered arrivals.
+fn e4() -> Row {
+    const N: usize = 8;
+    const STAGGER: Duration = Duration::from_micros(300);
+    fn time_in_script(b: &Broadcast<u64>) -> Duration {
+        let instance = b.script.instance();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..N)
+                .map(|i| {
+                    let instance = &instance;
+                    let recipient = &b.recipient;
+                    s.spawn(move || {
+                        std::thread::sleep(STAGGER * i as u32);
+                        let t0 = Instant::now();
+                        instance.enroll_member(recipient, i, ()).unwrap();
+                        t0.elapsed()
+                    })
+                })
+                .collect();
+            let sender = &b.sender;
+            let i2 = &instance;
+            let sh = s.spawn(move || i2.enroll(sender, 1).unwrap());
+            let total: Duration = handles.into_iter().map(|h| h.join().unwrap()).sum();
+            sh.join().unwrap();
+            total / N as u32
+        })
+    }
+    let star = broadcast::star::<u64>(N, Order::Sequential);
+    let pipe = broadcast::pipeline::<u64>(N);
+    let star_m = measure_custom(15, || time_in_script(&star));
+    let pipe_m = measure_custom(15, || time_in_script(&pipe));
+    row(
+        "E4 (Fig 4)",
+        "pipeline time-in-script ≪ star (≥ 2×)",
+        format!("star: {star_m}, pipeline: {pipe_m}"),
+        at_least_x_faster(pipe_m, star_m, 2.0),
+    )
+}
+
+/// E5: writes (k grants) cost more than reads (1 grant).
+fn e5() -> Row {
+    let k = 4;
+    let cluster = Cluster::new(k, Strategy::one_read_all_write(k));
+    let read = measure(25, || {
+        assert!(cluster.acquire_shared("r", "x").unwrap().granted());
+        cluster.release_shared("r", "x").unwrap();
+    });
+    let write = measure(25, || {
+        assert!(cluster.acquire_exclusive("w", "x").unwrap().granted());
+        cluster.release_exclusive("w", "x").unwrap();
+    });
+    row(
+        "E5 (Fig 5)",
+        "write cycle (k grants) costs more than read cycle (1 grant)",
+        format!("read: {read}, write: {write} (k = {k})"),
+        write.median > read.median,
+    )
+}
+
+/// E6: the CSP translation costs more than the native script.
+fn e6() -> Row {
+    const N: usize = 4;
+    let native = {
+        let bc = broadcast::star::<u64>(N, Order::NonDeterministic);
+        let inst = bc.script.instance();
+        measure(25, || {
+            broadcast::run_on(&inst, &bc, 7).unwrap();
+        })
+    };
+    let direct = measure(25, || {
+        script_csp::broadcast::run(N, 7u64, Duration::from_secs(10)).unwrap();
+    });
+    let translated = measure(25, || {
+        use script_csp::translate::{enroll, supervisor, supervisor_name, TMsg};
+        use script_csp::{proc_name, Parallel};
+        const SCRIPT: &str = "bcast";
+        let mut roles = vec!["transmitter".to_string()];
+        roles.extend((0..N).map(|i| format!("recipient[{i}]")));
+        let mut cmd = Parallel::<TMsg<u64>, ()>::new("fig7")
+            .timeout(Duration::from_secs(10))
+            .process(supervisor_name(SCRIPT), move |ctx| {
+                supervisor(ctx, &roles, 1)
+            })
+            .process("T", |ctx| {
+                let binding: HashMap<String, String> = (0..N)
+                    .map(|i| (format!("recipient[{i}]"), proc_name("q", i)))
+                    .collect();
+                enroll(ctx, SCRIPT, "transmitter", binding, |env| {
+                    for i in 0..N {
+                        env.send_role(&format!("recipient[{i}]"), 7)?;
+                    }
+                    Ok(())
+                })
+            });
+        cmd = cmd.process_array("q", N, |ctx, i| {
+            let binding: HashMap<String, String> =
+                [("transmitter".to_string(), "T".to_string())].into();
+            enroll(ctx, SCRIPT, &format!("recipient[{i}]"), binding, |env| {
+                env.recv_role("transmitter").map(|_| ())
+            })
+        });
+        cmd.run().unwrap();
+    });
+    row(
+        "E6 (Figs 6-7)",
+        "translation (supervisor + handshakes) slower than direct CSP",
+        format!("native: {native}, CSP: {direct}, translated: {translated}"),
+        translated.median > direct.median,
+    )
+}
+
+/// E7: the Ada translation's n+m+1 growth and its runtime cost.
+fn e7() -> Row {
+    const N: usize = 4;
+    let direct = measure(20, || {
+        script_ada::broadcast::run(N, 7u64, Duration::from_secs(10)).unwrap();
+    });
+    let translated = measure(20, || {
+        script_ada::translate::translated_broadcast(N, 7, 1, Duration::from_secs(10))
+            .run()
+            .unwrap();
+    });
+    let set = script_ada::translate::translated_broadcast(N, 0, 1, Duration::from_secs(1));
+    let tasks_ok = set.task_count() == (N + 1) + (N + 1) + 1;
+    row(
+        "E7 (Figs 8-11)",
+        "translation grows tasks n→n+m+1 and is slower",
+        format!(
+            "tasks: {} (= n+m+1), direct: {direct}, translated: {translated}",
+            set.task_count()
+        ),
+        tasks_ok && translated.median > direct.median,
+    )
+}
+
+/// E8: the single-monitor mailbox layout serializes; per-mailbox scales.
+fn e8() -> Row {
+    const OPS: usize = 400;
+    const PAIRS: usize = 4;
+    let shared = measure(15, || {
+        let boxes = Arc::new(SharedMailboxes::<u64>::new(PAIRS));
+        std::thread::scope(|s| {
+            for i in 0..PAIRS {
+                let p = Arc::clone(&boxes);
+                s.spawn(move || {
+                    for v in 0..OPS as u64 {
+                        p.put(i, v);
+                    }
+                });
+                let c = Arc::clone(&boxes);
+                s.spawn(move || {
+                    for _ in 0..OPS {
+                        c.get(i);
+                    }
+                });
+            }
+        });
+    });
+    let per = measure(15, || {
+        let boxes = Arc::new(PerMailbox::<u64>::new(PAIRS));
+        std::thread::scope(|s| {
+            for i in 0..PAIRS {
+                let p = Arc::clone(&boxes);
+                s.spawn(move || {
+                    for v in 0..OPS as u64 {
+                        p.put(i, v);
+                    }
+                });
+                let c = Arc::clone(&boxes);
+                s.spawn(move || {
+                    for _ in 0..OPS {
+                        c.get(i);
+                    }
+                });
+            }
+        });
+    });
+    row(
+        "E8 (Fig 12)",
+        "monitor-per-mailbox beats one-monitor-for-all under concurrency",
+        format!("shared: {shared}, per-mailbox: {per} ({PAIRS} pairs)"),
+        per.median < shared.median,
+    )
+}
+
+/// E9: strategy scaling at a wide fan-out.
+fn e9() -> Row {
+    const N: usize = 32;
+    let run = |bc: Broadcast<u64>| {
+        let inst = bc.script.instance();
+        measure(15, move || {
+            broadcast::run_on(&inst, &bc, 1).unwrap();
+        })
+    };
+    let star = run(broadcast::star::<u64>(N, Order::Sequential));
+    let tree = run(broadcast::tree::<u64>(N));
+    let pipe = run(broadcast::pipeline::<u64>(N));
+    row(
+        "E9 (§II)",
+        "all strategies deliver; wave/pipeline compete with star at n=32",
+        format!("star: {star}, tree: {tree}, pipeline: {pipe}"),
+        true, // informational: each run asserts correct delivery
+    )
+}
+
+/// E10: matching cost — unnamed vs fully named enrollment.
+fn e10() -> Row {
+    fn noop(n: usize) -> (Script<u8>, script_core::FamilyHandle<u8, (), ()>) {
+        let mut b = Script::<u8>::builder("noop");
+        let member = b.family("member", n, |_ctx, ()| Ok(()));
+        b.initiation(Initiation::Delayed)
+            .termination(Termination::Delayed);
+        (b.build().unwrap(), member)
+    }
+    const N: usize = 8;
+    let unnamed = {
+        let (script, member) = noop(N);
+        let inst = script.instance();
+        measure(20, move || {
+            std::thread::scope(|s| {
+                for i in 0..N {
+                    let inst = inst.clone();
+                    let member = member.clone();
+                    s.spawn(move || {
+                        inst.enroll_member_with(
+                            &member,
+                            i,
+                            (),
+                            Enrollment::as_process(format!("P{i}")),
+                        )
+                        .unwrap()
+                    });
+                }
+            });
+        })
+    };
+    let named = {
+        let (script, member) = noop(N);
+        let inst = script.instance();
+        measure(20, move || {
+            std::thread::scope(|s| {
+                for i in 0..N {
+                    let inst = inst.clone();
+                    let member = member.clone();
+                    s.spawn(move || {
+                        let mut e = Enrollment::as_process(format!("P{i}"));
+                        for j in 0..N {
+                            if j != i {
+                                e = e.partner(
+                                    RoleId::indexed("member", j),
+                                    ProcessSel::is(format!("P{j}")),
+                                );
+                            }
+                        }
+                        inst.enroll_member_with(&member, i, (), e).unwrap()
+                    });
+                }
+            });
+        })
+    };
+    row(
+        "E10 (§II)",
+        "named enrollment pays a bounded matching premium",
+        format!("unnamed: {unnamed}, fully named: {named} (n = {N})"),
+        named.median < unnamed.median * 10,
+    )
+}
+
+/// E11: initiation/termination policy cost ordering.
+fn e11() -> Row {
+    let cycle = |initiation, termination| -> Measurement {
+        let mut b = Script::<u64>::builder("relay");
+        let left = b.role("left", |ctx, v: u64| {
+            ctx.send(&RoleId::new("right"), v)?;
+            Ok(())
+        });
+        let right = b.role("right", |ctx, ()| ctx.recv_from(&RoleId::new("left")));
+        b.initiation(initiation).termination(termination);
+        let script = b.build().unwrap();
+        let inst = script.instance();
+        measure(40, move || {
+            std::thread::scope(|s| {
+                let i2 = inst.clone();
+                let left = left.clone();
+                let h = s.spawn(move || i2.enroll(&left, 5));
+                inst.enroll(&right, ()).unwrap();
+                h.join().unwrap().unwrap();
+            });
+        })
+    };
+    let dd = cycle(Initiation::Delayed, Termination::Delayed);
+    let ii = cycle(Initiation::Immediate, Termination::Immediate);
+    row(
+        "E11 (§II)",
+        "immediate/immediate no slower than delayed/delayed",
+        format!("delayed/delayed: {dd}, immediate/immediate: {ii}"),
+        ii.median <= dd.median * 2, // same order of magnitude, usually faster
+    )
+}
+
+/// E12: strategy choice vs read ratio.
+fn e12() -> Row {
+    const K: usize = 3;
+    let mix = |strategy: Strategy, read_pct: usize| {
+        let cluster = Cluster::new(K, strategy);
+        measure(10, move || {
+            for i in 0..10usize {
+                let item = format!("item{i}");
+                if i * 10 < read_pct {
+                    assert!(cluster.acquire_shared("r", &item).unwrap().granted());
+                    cluster.release_shared("r", &item).unwrap();
+                } else {
+                    assert!(cluster.acquire_exclusive("w", &item).unwrap().granted());
+                    cluster.release_exclusive("w", &item).unwrap();
+                }
+            }
+        })
+    };
+    let oraw_reads = mix(Strategy::one_read_all_write(K), 100);
+    let oraw_writes = mix(Strategy::one_read_all_write(K), 0);
+    let maj_reads = mix(Strategy::majority(K), 100);
+    let maj_writes = mix(Strategy::majority(K), 0);
+    row(
+        "E12 (§II)",
+        "one-read-all-write favors reads; majority is balanced",
+        format!(
+            "ORAW r/w: {oraw_reads}/{oraw_writes}; majority r/w: {maj_reads}/{maj_writes}"
+        ),
+        oraw_reads.median < oraw_writes.median,
+    )
+}
+
+/// E13: open-ended families carry a modest admission premium.
+fn e13() -> Row {
+    const N: usize = 8;
+    let fixed = {
+        let g = gather::gather::<u64>(N);
+        let inst = g.script.instance();
+        measure(20, move || {
+            gather::run_on(&inst, &g, (0..N as u64).collect()).unwrap();
+        })
+    };
+    let open = {
+        let og = gather::open_gather::<u64>(None);
+        measure(20, move || {
+            let inst = og.script.instance();
+            std::thread::scope(|s| {
+                let h = {
+                    let inst = inst.clone();
+                    let collector = og.collector.clone();
+                    s.spawn(move || inst.enroll(&collector, N))
+                };
+                for v in 0..N as u64 {
+                    let inst = &inst;
+                    let worker = &og.worker;
+                    s.spawn(move || inst.enroll_auto(worker, v).unwrap());
+                }
+                h.join().unwrap().unwrap();
+            });
+            inst.seal_cast();
+        })
+    };
+    row(
+        "E13 (§V)",
+        "open-ended gather within ~5× of fixed gather",
+        format!("fixed: {fixed}, open: {open} (n = {N})"),
+        open.median < fixed.median * 5 + Duration::from_millis(2),
+    )
+}
+
+/// E14: runtime protocol monitoring overhead (the MPST bridge).
+fn e14() -> Row {
+    use script_core::{RoleHandle, Script, ScriptError};
+    const ROUNDS: usize = 8;
+    type Handles = (
+        Script<&'static str>,
+        RoleHandle<&'static str, (), ()>,
+        RoleHandle<&'static str, (), ()>,
+    );
+    fn raw() -> Handles {
+        let mut b = Script::<&'static str>::builder("raw");
+        let client = b.role("client", |ctx, ()| {
+            for _ in 0..ROUNDS {
+                ctx.send(&RoleId::new("server"), "req")?;
+                ctx.recv_from(&RoleId::new("server"))?;
+            }
+            Ok(())
+        });
+        let server = b.role("server", |ctx, ()| {
+            for _ in 0..ROUNDS {
+                ctx.recv_from(&RoleId::new("client"))?;
+                ctx.send(&RoleId::new("client"), "rep")?;
+            }
+            Ok(())
+        });
+        (b.build().unwrap(), client, server)
+    }
+    fn monitored() -> Handles {
+        let mut g = GlobalType::End;
+        for _ in 0..ROUNDS {
+            g = GlobalType::msg(
+                "client",
+                "server",
+                "req",
+                GlobalType::msg("server", "client", "rep", g),
+            );
+        }
+        let ct = g.project(&RoleId::new("client")).unwrap();
+        let st = g.project(&RoleId::new("server")).unwrap();
+        let mut b = Script::<&'static str>::builder("monitored");
+        let client = b.role("client", move |ctx, ()| {
+            let mut s = Session::new(ctx, ct.clone());
+            for _ in 0..ROUNDS {
+                s.send(&RoleId::new("server"), "req")
+                    .map_err(|e| ScriptError::app(e.to_string()))?;
+                s.recv_from(&RoleId::new("server"))
+                    .map_err(|e| ScriptError::app(e.to_string()))?;
+            }
+            s.finish().map_err(|e| ScriptError::app(e.to_string()))?;
+            Ok(())
+        });
+        let server = b.role("server", move |ctx, ()| {
+            let mut s = Session::new(ctx, st.clone());
+            for _ in 0..ROUNDS {
+                s.recv_from(&RoleId::new("client"))
+                    .map_err(|e| ScriptError::app(e.to_string()))?;
+                s.send(&RoleId::new("client"), "rep")
+                    .map_err(|e| ScriptError::app(e.to_string()))?;
+            }
+            s.finish().map_err(|e| ScriptError::app(e.to_string()))?;
+            Ok(())
+        });
+        (b.build().unwrap(), client, server)
+    }
+    fn run_once(h: &Handles) {
+        let inst = h.0.instance();
+        std::thread::scope(|s| {
+            let i2 = inst.clone();
+            let server = h.2.clone();
+            let jh = s.spawn(move || i2.enroll(&server, ()));
+            inst.enroll(&h.1, ()).unwrap();
+            jh.join().unwrap().unwrap();
+        });
+    }
+    let raw_h = raw();
+    let raw_m = measure(30, || run_once(&raw_h));
+    let mon_h = monitored();
+    let mon_m = measure(30, || run_once(&mon_h));
+    row(
+        "E14 (proto)",
+        "protocol monitoring costs < 2x over raw communication",
+        format!("raw: {raw_m}, monitored: {mon_m} ({ROUNDS} round trips)"),
+        mon_m.median < raw_m.median * 2,
+    )
+}
+
+/// E15: topology merits emerge under simulated per-hop latency.
+fn e15() -> Row {
+    use script_bench::delayed::{delayed_broadcast, run, Topology};
+    const N: usize = 16;
+    let hop = Duration::from_micros(500);
+    let time_of = |topo: Topology| {
+        let b = delayed_broadcast(N, topo, hop);
+        let inst = b.script.instance();
+        measure(10, move || {
+            run(&inst, &b, 1).unwrap();
+        })
+    };
+    let star = time_of(Topology::Star);
+    let tree = time_of(Topology::Tree);
+    row(
+        "E15 (§II)",
+        "spanning tree beats star once links have latency (n=16)",
+        format!("per-hop 500µs: star {star}, tree {tree}"),
+        tree.median < star.median,
+    )
+}
+
+fn main() {
+    println!("Running all experiments (release mode recommended)...\n");
+    let rows = [
+        e1(),
+        e3(),
+        e4(),
+        e5(),
+        e6(),
+        e7(),
+        e8(),
+        e9(),
+        e10(),
+        e11(),
+        e12(),
+        e13(),
+        e14(),
+        e15(),
+    ];
+    println!(
+        "{:<14} | {:<62} | {:<66} | verdict",
+        "experiment", "paper claim (shape)", "measured"
+    );
+    println!("{}", "-".repeat(160));
+    let mut all_ok = true;
+    for r in &rows {
+        println!(
+            "{:<14} | {:<62} | {:<66} | {}",
+            r.id, r.claim, r.measured, r.verdict
+        );
+        all_ok &= r.verdict == "HOLDS";
+    }
+    println!("{}", "-".repeat(160));
+    println!(
+        "{} of {} claims hold",
+        rows.iter().filter(|r| r.verdict == "HOLDS").count(),
+        rows.len()
+    );
+    if !all_ok {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,126 @@
+//! Measurement helpers shared by the Criterion benches and the
+//! `experiments` summary binary.
+//!
+//! The paper has no quantitative evaluation, so the harness verifies the
+//! *shapes* of its qualitative claims: who is faster, by roughly what
+//! factor, and in which direction quantities scale.
+
+pub mod delayed;
+
+use std::time::{Duration, Instant};
+
+/// Statistics over repeated timed runs of a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Measurement {
+    /// Median duration per run.
+    pub median: Duration,
+    /// Minimum observed duration.
+    pub min: Duration,
+    /// Maximum observed duration.
+    pub max: Duration,
+}
+
+impl Measurement {
+    /// Median in fractional milliseconds.
+    pub fn median_ms(&self) -> f64 {
+        self.median.as_secs_f64() * 1e3
+    }
+}
+
+impl std::fmt::Display for Measurement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.median)
+    }
+}
+
+/// Times `runs` executions of `scenario` and reports median/min/max.
+/// A warm-up run is performed first and discarded.
+pub fn measure(runs: usize, mut scenario: impl FnMut()) -> Measurement {
+    assert!(runs > 0);
+    scenario();
+    let mut samples: Vec<Duration> = (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            scenario();
+            t0.elapsed()
+        })
+        .collect();
+    samples.sort_unstable();
+    Measurement {
+        median: samples[samples.len() / 2],
+        min: samples[0],
+        max: *samples.last().expect("runs > 0"),
+    }
+}
+
+/// Like [`measure`], but the scenario reports its own duration (for
+/// metrics other than wall time, e.g. summed time-in-script).
+pub fn measure_custom(runs: usize, mut scenario: impl FnMut() -> Duration) -> Measurement {
+    assert!(runs > 0);
+    scenario();
+    let mut samples: Vec<Duration> = (0..runs).map(|_| scenario()).collect();
+    samples.sort_unstable();
+    Measurement {
+        median: samples[samples.len() / 2],
+        min: samples[0],
+        max: *samples.last().expect("runs > 0"),
+    }
+}
+
+/// A claim about two measurements: `faster` should beat `slower` by at
+/// least `factor`.
+pub fn at_least_x_faster(faster: Measurement, slower: Measurement, factor: f64) -> bool {
+    slower.median.as_secs_f64() >= faster.median.as_secs_f64() * factor
+}
+
+/// Renders a verdict cell.
+pub fn verdict(ok: bool) -> &'static str {
+    if ok {
+        "HOLDS"
+    } else {
+        "DIFFERS"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_produces_ordered_stats() {
+        let m = measure(5, || std::thread::sleep(Duration::from_micros(200)));
+        assert!(m.min <= m.median && m.median <= m.max);
+        assert!(m.min >= Duration::from_micros(150));
+    }
+
+    #[test]
+    fn measure_custom_uses_reported_durations() {
+        let mut i = 0;
+        let m = measure_custom(3, || {
+            i += 1;
+            Duration::from_millis(i)
+        });
+        // Samples are 2, 3, 4 ms (warm-up consumed 1).
+        assert_eq!(m.min, Duration::from_millis(2));
+        assert_eq!(m.median, Duration::from_millis(3));
+        assert_eq!(m.max, Duration::from_millis(4));
+    }
+
+    #[test]
+    fn factor_comparison() {
+        let fast = Measurement {
+            median: Duration::from_millis(1),
+            min: Duration::from_millis(1),
+            max: Duration::from_millis(1),
+        };
+        let slow = Measurement {
+            median: Duration::from_millis(10),
+            min: Duration::from_millis(10),
+            max: Duration::from_millis(10),
+        };
+        assert!(at_least_x_faster(fast, slow, 5.0));
+        assert!(!at_least_x_faster(slow, fast, 1.0));
+        assert_eq!(verdict(true), "HOLDS");
+        assert_eq!(verdict(false), "DIFFERS");
+    }
+}

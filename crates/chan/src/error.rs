@@ -1,0 +1,72 @@
+//! Error type for network operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by [`Port`](crate::Port) operations.
+///
+/// `I` is the participant identifier type of the network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChanError<I> {
+    /// The named peer has terminated (or will never be filled) and no
+    /// message from it is pending.
+    ///
+    /// This is the paper's "distinguished value" returned by attempts to
+    /// communicate with an unfilled role.
+    Terminated(I),
+    /// Every possible partner of the operation has terminated.
+    AllTerminated,
+    /// The network was aborted (for example because a participant
+    /// panicked).
+    Aborted,
+    /// The operation's deadline expired.
+    Timeout,
+    /// The peer was never declared in this network.
+    Unknown(I),
+    /// A participant attempted to communicate with itself.
+    Myself,
+    /// The select call was given no arms.
+    EmptySelect,
+}
+
+impl<I: fmt::Debug> fmt::Display for ChanError<I> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChanError::Terminated(peer) => write!(f, "peer {peer:?} terminated"),
+            ChanError::AllTerminated => write!(f, "all possible partners terminated"),
+            ChanError::Aborted => write!(f, "network aborted"),
+            ChanError::Timeout => write!(f, "operation timed out"),
+            ChanError::Unknown(peer) => write!(f, "peer {peer:?} not declared in this network"),
+            ChanError::Myself => write!(f, "self-communication is not allowed"),
+            ChanError::EmptySelect => write!(f, "select requires at least one arm"),
+        }
+    }
+}
+
+impl<I: fmt::Debug> Error for ChanError<I> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_meaningful() {
+        let e: ChanError<&str> = ChanError::Terminated("r1");
+        assert!(e.to_string().contains("r1"));
+        assert!(ChanError::<u8>::Aborted.to_string().contains("abort"));
+        assert!(ChanError::<u8>::Timeout.to_string().contains("timed out"));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn is_error<E: Error>(_: &E) {}
+        is_error(&ChanError::<u32>::AllTerminated);
+    }
+
+    #[test]
+    fn equality() {
+        assert_eq!(ChanError::Terminated(1), ChanError::Terminated(1));
+        assert_ne!(ChanError::Terminated(1), ChanError::Terminated(2));
+        assert_ne!(ChanError::<u8>::Aborted, ChanError::<u8>::Timeout);
+    }
+}

@@ -1,0 +1,1341 @@
+//! The rendezvous network state machine.
+//!
+//! All blocking operations share one mutex + condvar pair per network.
+//! Every state mutation broadcasts, and every blocked operation re-scans
+//! its alternatives on wake-up, so the implementation is lost-wakeup-free
+//! by construction. Send arms in a selection fire only by *claiming* a
+//! peer that is already committed to a matching receive (the standard
+//! two-phase trick for CSP output guards), which makes a fired send arm a
+//! proof of delivery.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::{Condvar, Mutex};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::select::{Arm, Outcome, Source};
+use crate::ChanError;
+
+/// Lifecycle state of a network participant.
+///
+/// The three states mirror the paper's role lifecycle: a role in the
+/// script text but not yet enrolled (`Expected`), an enrolled role
+/// executing its body (`Active`), and a role that finished or will never
+/// be filled in this performance (`Done`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PeerState {
+    /// Declared but not yet active; communication with it blocks.
+    Expected,
+    /// Actively participating.
+    Active,
+    /// Finished, or barred from ever joining; communication with it fails
+    /// with [`ChanError::Terminated`] once pending messages are drained.
+    Done,
+}
+
+#[derive(Debug)]
+struct WaitEntry<I> {
+    /// The receive sources this blocked participant is offering.
+    offers: Vec<Source<I>>,
+    /// Set by a claiming sender: the peer whose message must be taken.
+    resolved: Option<I>,
+}
+
+impl<I: PartialEq> WaitEntry<I> {
+    fn offers_from(&self, sender: &I) -> bool {
+        self.offers
+            .iter()
+            .any(|s| matches!(s, Source::Any) || matches!(s, Source::Of(p) if p == sender))
+    }
+}
+
+struct State<I, M> {
+    peers: HashMap<I, PeerState>,
+    /// `inbox[receiver][sender]` holds at most one in-flight message.
+    inbox: HashMap<I, HashMap<I, M>>,
+    /// `(sender, receiver) → pickups`, used by plain sends to await
+    /// rendezvous completion.
+    acks: HashMap<(I, I), u64>,
+    waits: HashMap<I, WaitEntry<I>>,
+    aborted: bool,
+    implicit_declare: bool,
+    /// Once sealed, implicit declaration yields `Done` peers: late
+    /// references to unknown peers fail instead of blocking forever.
+    sealed: bool,
+    rng: SmallRng,
+}
+
+impl<I, M> State<I, M>
+where
+    I: Clone + Eq + Hash,
+{
+    fn ensure_declared(&mut self, id: &I) -> Result<(), ChanError<I>> {
+        if self.peers.contains_key(id) {
+            return Ok(());
+        }
+        if self.implicit_declare {
+            let state = if self.sealed {
+                PeerState::Done
+            } else {
+                PeerState::Expected
+            };
+            self.peers.insert(id.clone(), state);
+            Ok(())
+        } else {
+            Err(ChanError::Unknown(id.clone()))
+        }
+    }
+
+    fn state_of(&self, id: &I) -> PeerState {
+        *self.peers.get(id).unwrap_or(&PeerState::Expected)
+    }
+
+    fn take_from(&mut self, me: &I, from: &I) -> Option<M> {
+        let msg = self.inbox.get_mut(me)?.remove(from)?;
+        *self.acks.entry((from.clone(), me.clone())).or_insert(0) += 1;
+        Some(msg)
+    }
+
+    /// Any peer other than `me` that could still produce a message?
+    ///
+    /// On an implicitly-declaring (open) network that has not been
+    /// sealed, unknown peers may still join, so the answer is always
+    /// `true` there.
+    fn any_possible_sender(&self, me: &I) -> bool {
+        (self.implicit_declare && !self.sealed)
+            || self
+                .peers
+                .iter()
+                .any(|(id, st)| id != me && *st != PeerState::Done)
+    }
+
+    fn has_pending_from(&self, me: &I, from: &I) -> bool {
+        self.inbox
+            .get(me)
+            .map(|m| m.contains_key(from))
+            .unwrap_or(false)
+    }
+}
+
+struct Shared<I, M> {
+    state: Mutex<State<I, M>>,
+    cond: Condvar,
+}
+
+/// A network of named participants communicating by rendezvous.
+///
+/// Cloning a `Network` yields another handle to the same network. See the
+/// [crate docs](crate) for an overview and example.
+pub struct Network<I, M> {
+    shared: Arc<Shared<I, M>>,
+}
+
+impl<I, M> Clone for Network<I, M> {
+    fn clone(&self) -> Self {
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<I: fmt::Debug + Clone + Eq + Hash, M> fmt::Debug for Network<I, M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.shared.state.lock();
+        f.debug_struct("Network")
+            .field("peers", &st.peers)
+            .field("aborted", &st.aborted)
+            .finish()
+    }
+}
+
+impl<I, M> Default for Network<I, M>
+where
+    I: Clone + Eq + Hash + fmt::Debug + Send,
+    M: Send,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<I, M> Network<I, M>
+where
+    I: Clone + Eq + Hash + fmt::Debug + Send,
+    M: Send,
+{
+    /// Creates an empty network. Peers must be declared (or activated)
+    /// before they can be referenced.
+    pub fn new() -> Self {
+        Self::build(false, None)
+    }
+
+    /// Creates a network in which referencing an undeclared peer
+    /// implicitly declares it as [`PeerState::Expected`] instead of
+    /// failing with [`ChanError::Unknown`].
+    ///
+    /// Used for open-ended role families whose membership is not known up
+    /// front.
+    pub fn new_open() -> Self {
+        Self::build(true, None)
+    }
+
+    /// Creates a network with a deterministic RNG seed for the fair
+    /// nondeterministic choice among ready alternatives. Intended for
+    /// reproducible tests.
+    pub fn with_seed(seed: u64) -> Self {
+        Self::build(false, Some(seed))
+    }
+
+    fn build(implicit_declare: bool, seed: Option<u64>) -> Self {
+        let rng = match seed {
+            Some(s) => SmallRng::seed_from_u64(s),
+            None => SmallRng::from_entropy(),
+        };
+        Self {
+            shared: Arc::new(Shared {
+                state: Mutex::new(State {
+                    peers: HashMap::new(),
+                    inbox: HashMap::new(),
+                    acks: HashMap::new(),
+                    waits: HashMap::new(),
+                    aborted: false,
+                    implicit_declare,
+                    sealed: false,
+                    rng,
+                }),
+                cond: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Declares `id` as an expected participant (idempotent; never
+    /// downgrades an existing state).
+    pub fn declare(&self, id: I) {
+        let mut st = self.shared.state.lock();
+        st.peers.entry(id).or_insert(PeerState::Expected);
+        drop(st);
+        self.shared.cond.notify_all();
+    }
+
+    /// Marks `id` as active, declaring it if necessary.
+    pub fn activate(&self, id: I) {
+        let mut st = self.shared.state.lock();
+        st.peers.insert(id, PeerState::Active);
+        drop(st);
+        self.shared.cond.notify_all();
+    }
+
+    /// Marks `id` as done (finished or permanently barred). Blocked
+    /// operations naming `id` observe the transition: receives drain any
+    /// pending message first, then fail with
+    /// [`ChanError::Terminated`]; senders waiting on `id` fail
+    /// immediately.
+    pub fn finish(&self, id: I) {
+        let mut st = self.shared.state.lock();
+        st.peers.insert(id, PeerState::Done);
+        drop(st);
+        self.shared.cond.notify_all();
+    }
+
+    /// Seals the network: every peer still [`PeerState::Expected`] becomes
+    /// [`PeerState::Done`] (it will never be filled), and — on
+    /// implicitly-declaring networks — future references to unknown peers
+    /// are declared `Done` rather than `Expected`.
+    ///
+    /// This implements the freeze of a performance's cast: after the
+    /// critical role set is filled (or after an explicit
+    /// `seal_cast`), unfilled roles read as terminated.
+    pub fn seal(&self) {
+        let mut st = self.shared.state.lock();
+        st.sealed = true;
+        for state in st.peers.values_mut() {
+            if *state == PeerState::Expected {
+                *state = PeerState::Done;
+            }
+        }
+        drop(st);
+        self.shared.cond.notify_all();
+    }
+
+    /// Aborts the whole network: every blocked and future operation fails
+    /// with [`ChanError::Aborted`].
+    pub fn abort(&self) {
+        let mut st = self.shared.state.lock();
+        st.aborted = true;
+        drop(st);
+        self.shared.cond.notify_all();
+    }
+
+    /// Returns `true` if the network has been aborted.
+    pub fn is_aborted(&self) -> bool {
+        self.shared.state.lock().aborted
+    }
+
+    /// Current lifecycle state of `id` (`None` if never declared).
+    pub fn peer_state(&self, id: &I) -> Option<PeerState> {
+        self.shared.state.lock().peers.get(id).copied()
+    }
+
+    /// All declared participants and their states, in unspecified order.
+    pub fn peers(&self) -> Vec<(I, PeerState)> {
+        self.shared
+            .state
+            .lock()
+            .peers
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// Obtains the communication capability for participant `me`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChanError::Unknown`] if `me` was never declared and the
+    /// network does not implicitly declare.
+    pub fn port(&self, me: I) -> Result<Port<I, M>, ChanError<I>> {
+        let mut st = self.shared.state.lock();
+        st.ensure_declared(&me)?;
+        drop(st);
+        Ok(Port {
+            net: self.clone(),
+            me,
+        })
+    }
+}
+
+/// The communication capability of one participant.
+///
+/// A `Port` is bound to one participant id; all operations are performed
+/// "as" that participant. Obtained from [`Network::port`].
+pub struct Port<I, M> {
+    net: Network<I, M>,
+    me: I,
+}
+
+impl<I: fmt::Debug, M> fmt::Debug for Port<I, M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Port").field("me", &self.me).finish()
+    }
+}
+
+impl<I, M> Port<I, M>
+where
+    I: Clone + Eq + Hash + fmt::Debug + Send,
+    M: Send,
+{
+    /// The participant this port speaks for.
+    pub fn id(&self) -> &I {
+        &self.me
+    }
+
+    /// The underlying network.
+    pub fn network(&self) -> &Network<I, M> {
+        &self.net
+    }
+
+    /// Synchronously sends `msg` to `to`: blocks until the message has
+    /// been picked up by the receiver (rendezvous), waiting for `to` to
+    /// become active first if it is still expected.
+    ///
+    /// # Errors
+    ///
+    /// * [`ChanError::Terminated`] if `to` is (or becomes) done before
+    ///   pickup,
+    /// * [`ChanError::Aborted`] if the network aborts,
+    /// * [`ChanError::Unknown`] / [`ChanError::Myself`] on bad addressing.
+    pub fn send(&self, to: &I, msg: M) -> Result<(), ChanError<I>> {
+        self.send_deadline(to, msg, None)
+    }
+
+    /// [`Port::send`] with an optional deadline.
+    ///
+    /// # Errors
+    ///
+    /// As [`Port::send`], plus [`ChanError::Timeout`] if the deadline
+    /// expires before the rendezvous completes.
+    pub fn send_deadline(
+        &self,
+        to: &I,
+        msg: M,
+        deadline: Option<Instant>,
+    ) -> Result<(), ChanError<I>> {
+        if *to == self.me {
+            return Err(ChanError::Myself);
+        }
+        let shared = &self.net.shared;
+        let mut st = shared.state.lock();
+        st.ensure_declared(to)?;
+        st.ensure_declared(&self.me)?;
+
+        // Phase 1: wait for the receiver to be active with a free slot,
+        // then deposit.
+        loop {
+            if st.aborted {
+                return Err(ChanError::Aborted);
+            }
+            match st.state_of(to) {
+                PeerState::Done => return Err(ChanError::Terminated(to.clone())),
+                PeerState::Expected => {}
+                PeerState::Active => {
+                    let slot_free = !st
+                        .inbox
+                        .get(to)
+                        .map(|m| m.contains_key(&self.me))
+                        .unwrap_or(false);
+                    if slot_free {
+                        break;
+                    }
+                }
+            }
+            if self.wait(&mut st, deadline) {
+                return Err(ChanError::Timeout);
+            }
+        }
+        st.inbox
+            .entry(to.clone())
+            .or_default()
+            .insert(self.me.clone(), msg);
+        let target = st
+            .acks
+            .get(&(self.me.clone(), to.clone()))
+            .copied()
+            .unwrap_or(0)
+            + 1;
+        shared.cond.notify_all();
+
+        // Phase 2: wait for pickup.
+        loop {
+            let acked = st
+                .acks
+                .get(&(self.me.clone(), to.clone()))
+                .copied()
+                .unwrap_or(0);
+            if acked >= target {
+                return Ok(());
+            }
+            if st.aborted {
+                return Err(ChanError::Aborted);
+            }
+            if st.state_of(to) == PeerState::Done {
+                // Receiver finished without taking the message: reclaim it.
+                if let Some(m) = st.inbox.get_mut(to) {
+                    m.remove(&self.me);
+                }
+                return Err(ChanError::Terminated(to.clone()));
+            }
+            if self.wait(&mut st, deadline) {
+                // Timed out waiting for pickup: reclaim the deposit so the
+                // message is not delivered after we report failure.
+                if let Some(m) = st.inbox.get_mut(to) {
+                    m.remove(&self.me);
+                }
+                return Err(ChanError::Timeout);
+            }
+        }
+    }
+
+    /// Receives the pending message from `from`, blocking until one
+    /// arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`ChanError::Terminated`] if `from` is done with no pending
+    /// message, plus the addressing/abort errors of [`Port::send`].
+    pub fn recv_from(&self, from: &I) -> Result<M, ChanError<I>> {
+        self.recv_from_deadline(from, None)
+    }
+
+    /// [`Port::recv_from`] with an optional deadline.
+    ///
+    /// # Errors
+    ///
+    /// As [`Port::recv_from`], plus [`ChanError::Timeout`].
+    pub fn recv_from_deadline(
+        &self,
+        from: &I,
+        deadline: Option<Instant>,
+    ) -> Result<M, ChanError<I>> {
+        match self.select_deadline(vec![Arm::recv_from(from.clone())], deadline)? {
+            Outcome::Received { msg, .. } => Ok(msg),
+            _ => unreachable!("single recv arm yielded a non-receive outcome"),
+        }
+    }
+
+    /// Receives a message from any peer, blocking until one arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`ChanError::AllTerminated`] once every other peer is done and no
+    /// message is pending, plus abort/timeout errors.
+    pub fn recv_any(&self) -> Result<(I, M), ChanError<I>> {
+        self.recv_any_deadline(None)
+    }
+
+    /// [`Port::recv_any`] with an optional deadline.
+    ///
+    /// # Errors
+    ///
+    /// As [`Port::recv_any`], plus [`ChanError::Timeout`].
+    pub fn recv_any_deadline(&self, deadline: Option<Instant>) -> Result<(I, M), ChanError<I>> {
+        match self.select_deadline(vec![Arm::recv_any()], deadline)? {
+            Outcome::Received { from, msg, .. } => Ok((from, msg)),
+            _ => unreachable!("single recv arm yielded a non-receive outcome"),
+        }
+    }
+
+    /// Non-blocking receive: takes the pending message from `from` if
+    /// one is already deposited, without waiting.
+    ///
+    /// # Errors
+    ///
+    /// [`ChanError::Terminated`] if `from` is done with nothing pending;
+    /// addressing and abort errors as for [`Port::send`]. Returns
+    /// `Ok(None)` when no message is pending but one may still arrive.
+    pub fn try_recv_from(&self, from: &I) -> Result<Option<M>, ChanError<I>> {
+        if *from == self.me {
+            return Err(ChanError::Myself);
+        }
+        let mut st = self.net.shared.state.lock();
+        st.ensure_declared(from)?;
+        st.ensure_declared(&self.me)?;
+        if st.aborted {
+            return Err(ChanError::Aborted);
+        }
+        if let Some(msg) = st.take_from(&self.me, from) {
+            drop(st);
+            self.net.shared.cond.notify_all();
+            return Ok(Some(msg));
+        }
+        if st.state_of(from) == PeerState::Done {
+            return Err(ChanError::Terminated(from.clone()));
+        }
+        Ok(None)
+    }
+
+    /// Guarded selection over the given arms (CSP alternative command).
+    ///
+    /// Blocks until one arm can fire, then fires exactly one, chosen
+    /// uniformly at random among the ready alternatives (bounded
+    /// nondeterminism). Unfired arms — including any messages held by
+    /// unfired send arms — are discarded.
+    ///
+    /// # Errors
+    ///
+    /// * [`ChanError::EmptySelect`] if `arms` is empty,
+    /// * [`ChanError::Terminated`] / [`ChanError::AllTerminated`] when
+    ///   every arm has become permanently unfireable,
+    /// * [`ChanError::Aborted`] on network abort,
+    /// * addressing errors as for [`Port::send`].
+    pub fn select(&self, arms: Vec<Arm<I, M>>) -> Result<Outcome<I, M>, ChanError<I>> {
+        self.select_deadline(arms, None)
+    }
+
+    /// [`Port::select`] with an optional deadline.
+    ///
+    /// # Errors
+    ///
+    /// As [`Port::select`], plus [`ChanError::Timeout`].
+    pub fn select_deadline(
+        &self,
+        arms: Vec<Arm<I, M>>,
+        deadline: Option<Instant>,
+    ) -> Result<Outcome<I, M>, ChanError<I>> {
+        if arms.is_empty() {
+            return Err(ChanError::EmptySelect);
+        }
+        // Internal representation: send messages become take-able.
+        enum Repr<I, M> {
+            Recv(Source<I>),
+            Send { to: I, msg: Option<M> },
+            Watch(I),
+        }
+        let mut reprs: Vec<Repr<I, M>> = Vec::with_capacity(arms.len());
+        for arm in arms {
+            reprs.push(match arm {
+                Arm::Recv(s) => Repr::Recv(s),
+                Arm::Send { to, msg } => Repr::Send { to, msg: Some(msg) },
+                Arm::Watch(p) => Repr::Watch(p),
+            });
+        }
+
+        let shared = &self.net.shared;
+        let mut st = shared.state.lock();
+        st.ensure_declared(&self.me)?;
+        // Validate addressing up front.
+        for r in &reprs {
+            let named = match r {
+                Repr::Recv(Source::Of(p)) => Some(p),
+                Repr::Recv(Source::Any) => None,
+                Repr::Send { to, .. } => Some(to),
+                Repr::Watch(p) => Some(p),
+            };
+            if let Some(p) = named {
+                if *p == self.me {
+                    return Err(ChanError::Myself);
+                }
+                st.ensure_declared(p)?;
+            }
+        }
+
+        loop {
+            // A claim left over from a previous sleep takes priority even
+            // over aborts: the sender already returned success.
+            if let Some(entry) = st.waits.remove(&self.me) {
+                if let Some(from) = entry.resolved {
+                    let msg = st
+                        .take_from(&self.me, &from)
+                        .expect("claim implies a deposited message");
+                    drop(st);
+                    shared.cond.notify_all();
+                    let arm = reprs
+                        .iter()
+                        .position(|r| match r {
+                            Repr::Recv(Source::Any) => true,
+                            Repr::Recv(Source::Of(p)) => *p == from,
+                            _ => false,
+                        })
+                        .expect("claim matched an offered receive arm");
+                    return Ok(Outcome::Received { arm, from, msg });
+                }
+            }
+            if st.aborted {
+                return Err(ChanError::Aborted);
+            }
+
+            // Scan arms in random order for a ready one.
+            let mut order: Vec<usize> = (0..reprs.len()).collect();
+            order.shuffle(&mut st.rng);
+            let mut any_live = false;
+            for idx in order {
+                match &mut reprs[idx] {
+                    Repr::Recv(Source::Of(p)) => {
+                        let p = p.clone();
+                        if let Some(msg) = st.take_from(&self.me, &p) {
+                            drop(st);
+                            shared.cond.notify_all();
+                            return Ok(Outcome::Received {
+                                arm: idx,
+                                from: p,
+                                msg,
+                            });
+                        }
+                        if st.state_of(&p) != PeerState::Done {
+                            any_live = true;
+                        }
+                    }
+                    Repr::Recv(Source::Any) => {
+                        let senders: Vec<I> = st
+                            .inbox
+                            .get(&self.me)
+                            .map(|m| m.keys().cloned().collect())
+                            .unwrap_or_default();
+                        if let Some(from) = senders.choose(&mut st.rng).cloned() {
+                            let msg = st
+                                .take_from(&self.me, &from)
+                                .expect("chosen sender has a message");
+                            drop(st);
+                            shared.cond.notify_all();
+                            return Ok(Outcome::Received {
+                                arm: idx,
+                                from,
+                                msg,
+                            });
+                        }
+                        if st.any_possible_sender(&self.me) {
+                            any_live = true;
+                        }
+                    }
+                    Repr::Send { to, msg } => {
+                        let to = to.clone();
+                        match st.state_of(&to) {
+                            PeerState::Done => {}
+                            PeerState::Expected => any_live = true,
+                            PeerState::Active => {
+                                any_live = true;
+                                let slot_free = !st.has_pending_from(&to, &self.me);
+                                let claimable = slot_free
+                                    && st
+                                        .waits
+                                        .get(&to)
+                                        .map(|w| w.resolved.is_none() && w.offers_from(&self.me))
+                                        .unwrap_or(false);
+                                if claimable {
+                                    let m = msg.take().expect("send arm fires at most once");
+                                    st.inbox
+                                        .entry(to.clone())
+                                        .or_default()
+                                        .insert(self.me.clone(), m);
+                                    st.waits
+                                        .get_mut(&to)
+                                        .expect("checked above")
+                                        .resolved = Some(self.me.clone());
+                                    drop(st);
+                                    shared.cond.notify_all();
+                                    return Ok(Outcome::Sent { arm: idx, to });
+                                }
+                            }
+                        }
+                    }
+                    Repr::Watch(p) => {
+                        let p = p.clone();
+                        if st.state_of(&p) == PeerState::Done {
+                            if !st.has_pending_from(&self.me, &p) {
+                                drop(st);
+                                shared.cond.notify_all();
+                                return Ok(Outcome::Terminated { arm: idx, peer: p });
+                            }
+                            // A message from the dead peer is still
+                            // pending: a recv arm must drain it first; the
+                            // watch arm stays pending.
+                            any_live = true;
+                        } else {
+                            any_live = true;
+                        }
+                    }
+                }
+            }
+
+            if !any_live {
+                // Every arm is permanently unfireable.
+                if reprs.len() == 1 {
+                    if let Repr::Recv(Source::Of(p)) | Repr::Send { to: p, .. } = &reprs[0] {
+                        return Err(ChanError::Terminated(p.clone()));
+                    }
+                }
+                return Err(ChanError::AllTerminated);
+            }
+
+            // Publish our receive offers so send arms elsewhere can claim
+            // us, then sleep.
+            let offers: Vec<Source<I>> = reprs
+                .iter()
+                .filter_map(|r| match r {
+                    Repr::Recv(s) => Some(s.clone()),
+                    _ => None,
+                })
+                .collect();
+            st.waits.insert(
+                self.me.clone(),
+                WaitEntry {
+                    offers,
+                    resolved: None,
+                },
+            );
+            shared.cond.notify_all();
+            if self.wait(&mut st, deadline) {
+                // Deadline expired — unless a claim raced in, in which
+                // case the loop head will honor it.
+                let resolved = st
+                    .waits
+                    .get(&self.me)
+                    .map(|w| w.resolved.is_some())
+                    .unwrap_or(false);
+                if !resolved {
+                    st.waits.remove(&self.me);
+                    return Err(ChanError::Timeout);
+                }
+            }
+        }
+    }
+
+    /// Waits on the network condvar. Returns `true` on deadline expiry.
+    fn wait(
+        &self,
+        st: &mut parking_lot::MutexGuard<'_, State<I, M>>,
+        deadline: Option<Instant>,
+    ) -> bool {
+        match deadline {
+            Some(d) => self.net.shared.cond.wait_until(st, d).timed_out(),
+            None => {
+                self.net.shared.cond.wait(st);
+                false
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc as StdArc;
+    use std::time::Duration;
+
+    type TwoParty = (
+        Network<&'static str, u32>,
+        Port<&'static str, u32>,
+        Port<&'static str, u32>,
+    );
+
+    fn two_party() -> TwoParty {
+        let net: Network<&'static str, u32> = Network::with_seed(42);
+        net.activate("a");
+        net.activate("b");
+        let a = net.port("a").unwrap();
+        let b = net.port("b").unwrap();
+        (net, a, b)
+    }
+
+    fn soon() -> Option<Instant> {
+        Some(Instant::now() + Duration::from_millis(50))
+    }
+
+    #[test]
+    fn simple_rendezvous() {
+        let (_net, a, b) = two_party();
+        let t = std::thread::spawn(move || b.recv_from(&"a"));
+        a.send(&"b", 5).unwrap();
+        assert_eq!(t.join().unwrap().unwrap(), 5);
+    }
+
+    #[test]
+    fn send_blocks_until_pickup() {
+        let (_net, a, b) = two_party();
+        let started = StdArc::new(std::sync::atomic::AtomicBool::new(false));
+        let done = StdArc::new(std::sync::atomic::AtomicBool::new(false));
+        let d2 = StdArc::clone(&done);
+        let s2 = StdArc::clone(&started);
+        let t = std::thread::spawn(move || {
+            s2.store(true, std::sync::atomic::Ordering::SeqCst);
+            a.send(&"b", 1).unwrap();
+            d2.store(true, std::sync::atomic::Ordering::SeqCst);
+        });
+        while !started.load(std::sync::atomic::Ordering::SeqCst) {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!done.load(std::sync::atomic::Ordering::SeqCst), "send returned before pickup");
+        assert_eq!(b.recv_from(&"a").unwrap(), 1);
+        t.join().unwrap();
+        assert!(done.load(std::sync::atomic::Ordering::SeqCst));
+    }
+
+    #[test]
+    fn send_to_expected_peer_blocks_then_completes() {
+        let net: Network<&'static str, u32> = Network::new();
+        net.activate("a");
+        net.declare("late");
+        let a = net.port("a").unwrap();
+        let net2 = net.clone();
+        let t = std::thread::spawn(move || a.send(&"late", 9));
+        std::thread::sleep(Duration::from_millis(10));
+        net2.activate("late");
+        let late = net2.port("late").unwrap();
+        assert_eq!(late.recv_from(&"a").unwrap(), 9);
+        t.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn send_to_done_peer_fails() {
+        let (net, a, _b) = two_party();
+        net.finish("b");
+        assert_eq!(a.send(&"b", 1), Err(ChanError::Terminated("b")));
+    }
+
+    #[test]
+    fn send_fails_when_peer_dies_mid_wait() {
+        let (net, a, _b) = two_party();
+        let t = std::thread::spawn(move || a.send(&"b", 1));
+        std::thread::sleep(Duration::from_millis(10));
+        net.finish("b");
+        assert_eq!(t.join().unwrap(), Err(ChanError::Terminated("b")));
+    }
+
+    #[test]
+    fn recv_from_done_peer_drains_pending_message_first() {
+        let (net, a, b) = two_party();
+        let t = std::thread::spawn(move || a.send(&"b", 3));
+        // Wait for the deposit to land.
+        while !net
+            .shared
+            .state
+            .lock()
+            .has_pending_from(&"b", &"a")
+        {
+            std::thread::yield_now();
+        }
+        net.finish("a");
+        // The pending message is still delivered...
+        assert_eq!(b.recv_from(&"a").unwrap(), 3);
+        t.join().unwrap().unwrap();
+        // ...and only then does termination surface.
+        assert_eq!(b.recv_from(&"a"), Err(ChanError::Terminated("a")));
+    }
+
+    #[test]
+    fn recv_any_errors_when_everyone_done() {
+        let (net, _a, b) = two_party();
+        net.finish("a");
+        assert_eq!(b.recv_any(), Err(ChanError::AllTerminated));
+    }
+
+    #[test]
+    fn self_send_rejected() {
+        let (_net, a, _b) = two_party();
+        assert_eq!(a.send(&"a", 1), Err(ChanError::Myself));
+        assert_eq!(a.recv_from(&"a"), Err(ChanError::Myself));
+    }
+
+    #[test]
+    fn unknown_peer_rejected() {
+        let (_net, a, _b) = two_party();
+        assert_eq!(a.send(&"zed", 1), Err(ChanError::Unknown("zed")));
+    }
+
+    #[test]
+    fn open_network_implicitly_declares() {
+        let net: Network<&'static str, u32> = Network::new_open();
+        net.activate("a");
+        let a = net.port("a").unwrap();
+        // "b" is auto-declared Expected; the send blocks, then times out.
+        assert_eq!(a.send_deadline(&"b", 1, soon()), Err(ChanError::Timeout));
+        assert_eq!(net.peer_state(&"b"), Some(PeerState::Expected));
+    }
+
+    #[test]
+    fn abort_wakes_blocked_operations() {
+        let (net, a, b) = two_party();
+        let t1 = std::thread::spawn(move || a.send(&"b", 1));
+        let t2 = std::thread::spawn(move || b.recv_from(&"a").map(|_| ()));
+        std::thread::sleep(Duration::from_millis(10));
+        net.abort();
+        // One of the two may have completed the rendezvous before the
+        // abort; but at least the pair cannot both succeed with a second
+        // exchange pending. Here no receive happened before abort in the
+        // send's phase-2, so outcomes may be Ok/Ok (rendezvous won the
+        // race) or Aborted.
+        let r1 = t1.join().unwrap();
+        let r2 = t2.join().unwrap();
+        match (&r1, &r2) {
+            (Ok(()), Ok(())) => {}
+            _ => {
+                assert!(
+                    r1 == Err(ChanError::Aborted) || r2 == Err(ChanError::Aborted),
+                    "unexpected outcomes: {r1:?} {r2:?}"
+                );
+            }
+        }
+        assert!(net.is_aborted());
+    }
+
+    #[test]
+    fn timeout_on_recv() {
+        let (_net, _a, b) = two_party();
+        assert_eq!(b.recv_from_deadline(&"a", soon()), Err(ChanError::Timeout));
+    }
+
+    #[test]
+    fn timeout_on_send_reclaims_deposit() {
+        let (net, a, b) = two_party();
+        assert_eq!(a.send_deadline(&"b", 7, soon()), Err(ChanError::Timeout));
+        // The deposit must have been reclaimed: nothing to receive.
+        assert_eq!(
+            b.recv_from_deadline(&"a", soon()),
+            Err(ChanError::Timeout)
+        );
+        drop(net);
+    }
+
+    #[test]
+    fn select_recv_prefers_ready_message() {
+        let (_net, a, b) = two_party();
+        let t = std::thread::spawn(move || a.send(&"b", 11));
+        let out = b
+            .select(vec![Arm::recv_from("a"), Arm::watch("a")])
+            .unwrap();
+        assert_eq!(
+            out,
+            Outcome::Received {
+                arm: 0,
+                from: "a",
+                msg: 11
+            }
+        );
+        t.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn select_send_claims_committed_receiver() {
+        let (_net, a, b) = two_party();
+        let t = std::thread::spawn(move || b.recv_any());
+        std::thread::sleep(Duration::from_millis(10));
+        let out = a.select(vec![Arm::send("b", 21)]).unwrap();
+        assert_eq!(out, Outcome::Sent { arm: 0, to: "b" });
+        assert_eq!(t.join().unwrap().unwrap(), ("a", 21));
+    }
+
+    #[test]
+    fn select_send_does_not_fire_without_committed_receiver() {
+        let (_net, a, _b) = two_party();
+        assert_eq!(
+            a.select_deadline(vec![Arm::send("b", 1)], soon()),
+            Err(ChanError::Timeout)
+        );
+    }
+
+    #[test]
+    fn crossing_selects_do_not_deadlock() {
+        // Both offer {send, recv}; CSP semantics allow a match.
+        let (_net, a, b) = two_party();
+        let t = std::thread::spawn(move || {
+            a.select(vec![Arm::send("b", 1), Arm::recv_from("b")])
+        });
+        let r_b = b
+            .select(vec![Arm::send("a", 2), Arm::recv_from("a")])
+            .unwrap();
+        let r_a = t.join().unwrap().unwrap();
+        // Exactly one direction fired, consistently on both sides.
+        match (&r_a, &r_b) {
+            (Outcome::Sent { to: "b", .. }, Outcome::Received { from: "a", msg, .. }) => {
+                assert_eq!(*msg, 1)
+            }
+            (Outcome::Received { from: "b", msg, .. }, Outcome::Sent { to: "a", .. }) => {
+                assert_eq!(*msg, 2)
+            }
+            other => panic!("inconsistent match: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watch_fires_on_termination() {
+        let (net, _a, b) = two_party();
+        let t = std::thread::spawn(move || b.select(vec![Arm::recv_from("a"), Arm::watch("a")]));
+        std::thread::sleep(Duration::from_millis(10));
+        net.finish("a");
+        assert_eq!(
+            t.join().unwrap().unwrap(),
+            Outcome::Terminated { arm: 1, peer: "a" }
+        );
+    }
+
+    #[test]
+    fn watch_waits_for_drain() {
+        let (net, a, b) = two_party();
+        let t = std::thread::spawn(move || a.send(&"b", 5));
+        while !net.shared.state.lock().has_pending_from(&"b", &"a") {
+            std::thread::yield_now();
+        }
+        net.finish("a");
+        // Watch must not fire while the message is pending.
+        let out = b
+            .select(vec![Arm::recv_from("a"), Arm::watch("a")])
+            .unwrap();
+        assert_eq!(
+            out,
+            Outcome::Received {
+                arm: 0,
+                from: "a",
+                msg: 5
+            }
+        );
+        t.join().unwrap().unwrap();
+        let out = b
+            .select(vec![Arm::recv_from("a"), Arm::watch("a")])
+            .unwrap();
+        assert_eq!(out, Outcome::Terminated { arm: 1, peer: "a" });
+    }
+
+    #[test]
+    fn empty_select_rejected() {
+        let (_net, a, _b) = two_party();
+        assert_eq!(a.select(vec![]), Err(ChanError::EmptySelect));
+    }
+
+    #[test]
+    fn single_dead_arm_names_the_peer() {
+        let (net, a, _b) = two_party();
+        net.finish("b");
+        assert_eq!(
+            a.select(vec![Arm::recv_from("b")]),
+            Err(ChanError::Terminated("b"))
+        );
+    }
+
+    #[test]
+    fn multiple_dead_arms_report_all_terminated() {
+        let net: Network<&'static str, u32> = Network::new();
+        net.activate("a");
+        net.activate("b");
+        net.activate("c");
+        let a = net.port("a").unwrap();
+        net.finish("b");
+        net.finish("c");
+        assert_eq!(
+            a.select(vec![Arm::recv_from("b"), Arm::recv_from("c")]),
+            Err(ChanError::AllTerminated)
+        );
+    }
+
+    #[test]
+    fn two_senders_one_receiver_fairness() {
+        let net: Network<&'static str, u32> = Network::with_seed(7);
+        net.activate("s1");
+        net.activate("s2");
+        net.activate("r");
+        let s1 = net.port("s1").unwrap();
+        let s2 = net.port("s2").unwrap();
+        let r = net.port("r").unwrap();
+        const N: usize = 50;
+        let t1 = std::thread::spawn(move || {
+            for _ in 0..N {
+                s1.send(&"r", 1).unwrap();
+            }
+        });
+        let t2 = std::thread::spawn(move || {
+            for _ in 0..N {
+                s2.send(&"r", 2).unwrap();
+            }
+        });
+        let mut ones = 0;
+        let mut twos = 0;
+        for _ in 0..2 * N {
+            match r.recv_any().unwrap() {
+                ("s1", _) => ones += 1,
+                ("s2", _) => twos += 1,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        t1.join().unwrap();
+        t2.join().unwrap();
+        assert_eq!(ones, N);
+        assert_eq!(twos, N);
+    }
+
+    #[test]
+    fn pipeline_of_ten() {
+        let net: Network<usize, u64> = Network::new();
+        for i in 0..10 {
+            net.activate(i);
+        }
+        let mut handles = Vec::new();
+        for i in 1..10 {
+            let p = net.port(i).unwrap();
+            handles.push(std::thread::spawn(move || {
+                let v = p.recv_from(&(i - 1)).unwrap();
+                if i < 9 {
+                    p.send(&(i + 1), v + 1).unwrap();
+                    0
+                } else {
+                    v + 1
+                }
+            }));
+        }
+        let p0 = net.port(0).unwrap();
+        p0.send(&1, 0).unwrap();
+        let mut last = 0;
+        for h in handles {
+            last = last.max(h.join().unwrap());
+        }
+        assert_eq!(last, 9);
+    }
+
+    #[test]
+    fn peer_states_reported() {
+        let net: Network<&'static str, ()> = Network::new();
+        net.declare("x");
+        assert_eq!(net.peer_state(&"x"), Some(PeerState::Expected));
+        net.activate("x");
+        assert_eq!(net.peer_state(&"x"), Some(PeerState::Active));
+        net.finish("x");
+        assert_eq!(net.peer_state(&"x"), Some(PeerState::Done));
+        assert_eq!(net.peer_state(&"y"), None);
+        assert_eq!(net.peers().len(), 1);
+    }
+
+    #[test]
+    fn declare_never_downgrades() {
+        let net: Network<&'static str, ()> = Network::new();
+        net.activate("x");
+        net.declare("x");
+        assert_eq!(net.peer_state(&"x"), Some(PeerState::Active));
+    }
+}
+
+#[cfg(test)]
+mod seal_tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn seal_bars_expected_peers() {
+        let net: Network<&'static str, u32> = Network::new();
+        net.activate("a");
+        net.declare("ghost");
+        let a = net.port("a").unwrap();
+        let t = std::thread::spawn(move || a.send(&"ghost", 1));
+        std::thread::sleep(Duration::from_millis(10));
+        net.seal();
+        assert_eq!(t.join().unwrap(), Err(ChanError::Terminated("ghost")));
+    }
+
+    #[test]
+    fn sealed_open_network_rejects_new_peers() {
+        let net: Network<&'static str, u32> = Network::new_open();
+        net.activate("a");
+        net.seal();
+        let a = net.port("a").unwrap();
+        assert_eq!(a.send(&"never", 1), Err(ChanError::Terminated("never")));
+    }
+
+    #[test]
+    fn seal_does_not_touch_active_peers() {
+        let net: Network<&'static str, u32> = Network::new();
+        net.activate("a");
+        net.seal();
+        assert_eq!(net.peer_state(&"a"), Some(PeerState::Active));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::time::Duration;
+
+    /// Random many-sender workloads: every message sent is received
+    /// exactly once, attributed to the right sender.
+    fn conservation(case: Vec<(u8, u8)>) {
+        // Map to 3 senders, payloads tagged (sender, seq).
+        let net: Network<String, (usize, u64)> = Network::new();
+        let senders = 3usize;
+        net.activate("rx".to_string());
+        for i in 0..senders {
+            net.activate(format!("tx{i}"));
+        }
+        let mut per_sender: Vec<Vec<u64>> = vec![Vec::new(); senders];
+        for (s, v) in &case {
+            per_sender[*s as usize % senders].push(u64::from(*v));
+        }
+        let total: usize = per_sender.iter().map(|v| v.len()).sum();
+        let rx = net.port("rx".to_string()).unwrap();
+        std::thread::scope(|scope| {
+            for (i, msgs) in per_sender.clone().into_iter().enumerate() {
+                let port = net.port(format!("tx{i}")).unwrap();
+                scope.spawn(move || {
+                    for (seq, _v) in msgs.iter().enumerate() {
+                        port.send(&"rx".to_string(), (i, seq as u64)).unwrap();
+                    }
+                });
+            }
+            let mut seen: Vec<Vec<u64>> = vec![Vec::new(); senders];
+            for _ in 0..total {
+                let (from, (i, seq)) = rx
+                    .recv_any_deadline(Some(Instant::now() + Duration::from_secs(10)))
+                    .unwrap();
+                assert_eq!(from, format!("tx{i}"));
+                seen[i].push(seq);
+            }
+            // Per-sender FIFO: each sender's sequence numbers arrive in
+            // order (rendezvous means at most one in flight per pair).
+            for (i, seqs) in seen.iter().enumerate() {
+                let expected: Vec<u64> = (0..per_sender[i].len() as u64).collect();
+                assert_eq!(seqs, &expected, "sender {i} order");
+            }
+        });
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn messages_conserved_and_fifo(case in proptest::collection::vec((0u8..3, any::<u8>()), 0..30)) {
+            conservation(case);
+        }
+
+        /// Select over random subsets of ready peers always fires an arm
+        /// that was actually ready, and drains everything eventually.
+        #[test]
+        fn select_never_invents_messages(seed in any::<u64>(), k in 1usize..4) {
+            let net: Network<usize, usize> = Network::with_seed(seed);
+            net.activate(99); // receiver
+            for i in 0..k {
+                net.activate(i);
+            }
+            let rx = net.port(99).unwrap();
+            std::thread::scope(|scope| {
+                for i in 0..k {
+                    let port = net.port(i).unwrap();
+                    scope.spawn(move || port.send(&99, i).unwrap());
+                }
+                let mut got = Vec::new();
+                for _ in 0..k {
+                    let arms: Vec<Arm<usize, usize>> =
+                        (0..k).map(Arm::recv_from).collect();
+                    match rx
+                        .select_deadline(arms, Some(Instant::now() + Duration::from_secs(10)))
+                        .unwrap()
+                    {
+                        Outcome::Received { from, msg, .. } => {
+                            prop_assert_eq!(from, msg);
+                            got.push(msg);
+                        }
+                        other => prop_assert!(false, "unexpected outcome {:?}", other),
+                    }
+                }
+                got.sort_unstable();
+                let expected: Vec<usize> = (0..k).collect();
+                prop_assert_eq!(got, expected);
+                Ok(())
+            })?;
+        }
+    }
+}
+
+#[cfg(test)]
+mod try_recv_tests {
+    use super::*;
+
+    #[test]
+    fn try_recv_returns_none_when_empty() {
+        let net: Network<&'static str, u32> = Network::new();
+        net.activate("a");
+        net.activate("b");
+        let b = net.port("b").unwrap();
+        assert_eq!(b.try_recv_from(&"a").unwrap(), None);
+    }
+
+    #[test]
+    fn try_recv_takes_deposited_message() {
+        let net: Network<&'static str, u32> = Network::new();
+        net.activate("a");
+        net.activate("b");
+        let a = net.port("a").unwrap();
+        let b = net.port("b").unwrap();
+        let t = std::thread::spawn(move || a.send(&"b", 5));
+        // Poll until the deposit lands.
+        loop {
+            match b.try_recv_from(&"a").unwrap() {
+                Some(v) => {
+                    assert_eq!(v, 5);
+                    break;
+                }
+                None => std::thread::yield_now(),
+            }
+        }
+        t.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn try_recv_reports_termination() {
+        let net: Network<&'static str, u32> = Network::new();
+        net.activate("a");
+        net.activate("b");
+        let b = net.port("b").unwrap();
+        net.finish("a");
+        assert_eq!(b.try_recv_from(&"a"), Err(ChanError::Terminated("a")));
+    }
+
+    #[test]
+    fn try_recv_rejects_self() {
+        let net: Network<&'static str, u32> = Network::new();
+        net.activate("a");
+        let a = net.port("a").unwrap();
+        assert_eq!(a.try_recv_from(&"a"), Err(ChanError::Myself));
+    }
+}

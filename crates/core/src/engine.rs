@@ -1,0 +1,748 @@
+//! The performance engine: enrollment queues, cast assembly, freezing,
+//! successive activations, termination, and abort containment.
+//!
+//! The engine is deliberately *passive* — a mutex-protected state machine
+//! advanced by the enrolling threads themselves — in keeping with the
+//! paper's goal of "not generating additional processes when executing a
+//! script". (The CSP and Ada *translations* in their respective crates
+//! demonstrate the paper's supervisor-process alternative.)
+
+use std::any::Any;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+use script_chan::Network;
+
+use crate::ctx::RoleCtx;
+use crate::matcher::{admissible, match_performance, Candidate};
+use crate::spec::{FamilySize, ScriptSpec};
+use crate::{
+    Enrollment, Initiation, Partners, PerformanceId, ProcessId, RoleId, ScriptError, ScriptEvent,
+    Termination,
+};
+
+/// How an enrollment names its role: a concrete id, or "next free member"
+/// of an open family.
+#[derive(Debug, Clone)]
+pub(crate) enum RoleRef {
+    Concrete(RoleId),
+    /// Auto-indexed member of the named open family.
+    NextOf(String),
+}
+
+#[derive(Debug)]
+enum Outcome {
+    Waiting,
+    Admitted { seq: u64, role: RoleId },
+    Rejected(ScriptError),
+}
+
+#[derive(Debug)]
+struct PendingSlot {
+    ticket: u64,
+    role: RoleRef,
+    process: ProcessId,
+    partners: Partners,
+    outcome: Outcome,
+}
+
+struct Perf<M> {
+    seq: u64,
+    net: Network<RoleId, M>,
+    /// Admitted (role, process, recorded partner constraints).
+    cast: Vec<(RoleId, ProcessId, Partners)>,
+    running: HashSet<RoleId>,
+    finished: HashSet<RoleId>,
+    frozen: bool,
+    aborted: bool,
+    next_open_index: HashMap<String, usize>,
+}
+
+impl<M> Perf<M> {
+    fn cast_has(&self, role: &RoleId) -> bool {
+        self.cast.iter().any(|(r, _, _)| r == role)
+    }
+
+    fn family_count(&self, family: &str) -> usize {
+        self.cast
+            .iter()
+            .filter(|(r, _, _)| r.in_family(family))
+            .count()
+    }
+}
+
+struct EngineState<M> {
+    next_ticket: u64,
+    next_seq: u64,
+    current: Option<Perf<M>>,
+    pending: Vec<PendingSlot>,
+    /// Number of fully completed performances; performance `s` has
+    /// terminated iff `s < completed`.
+    completed: u64,
+    aborted_seqs: HashSet<u64>,
+    closed: bool,
+    /// Bounded event log, enabled on demand.
+    events: Option<EventBuf>,
+}
+
+struct EventBuf {
+    buf: VecDeque<ScriptEvent>,
+    capacity: usize,
+}
+
+impl<M> EngineState<M> {
+    fn emit(&mut self, event: ScriptEvent) {
+        if let Some(log) = self.events.as_mut() {
+            if log.buf.len() == log.capacity {
+                log.buf.pop_front();
+            }
+            log.buf.push_back(event);
+        }
+    }
+}
+
+pub(crate) struct Engine<M> {
+    pub(crate) spec: Arc<ScriptSpec<M>>,
+    state: Mutex<EngineState<M>>,
+    cond: Condvar,
+}
+
+impl<M: Send + Clone + 'static> Engine<M> {
+    pub(crate) fn new(spec: Arc<ScriptSpec<M>>) -> Arc<Self> {
+        Arc::new(Self {
+            spec,
+            state: Mutex::new(EngineState::<M> {
+                next_ticket: 0,
+                next_seq: 0,
+                current: None,
+                pending: Vec::new(),
+                completed: 0,
+                aborted_seqs: HashSet::new(),
+                closed: false,
+                events: None,
+            }),
+            cond: Condvar::new(),
+        })
+    }
+
+    /// Number of performances that have fully terminated.
+    pub(crate) fn completed_performances(&self) -> u64 {
+        self.state.lock().completed
+    }
+
+    /// Enables (or resizes) the bounded event log.
+    pub(crate) fn enable_event_log(&self, capacity: usize) {
+        let mut st = self.state.lock();
+        st.events = Some(EventBuf {
+            buf: VecDeque::with_capacity(capacity.min(1024)),
+            capacity: capacity.max(1),
+        });
+    }
+
+    /// Drains and returns the logged events.
+    pub(crate) fn take_events(&self) -> Vec<ScriptEvent> {
+        let mut st = self.state.lock();
+        match st.events.as_mut() {
+            Some(log) => log.buf.drain(..).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// A diagnostic snapshot of the instance.
+    pub(crate) fn status(&self) -> crate::InstanceStatus {
+        let st = self.state.lock();
+        crate::InstanceStatus {
+            completed_performances: st.completed,
+            pending_enrollments: st
+                .pending
+                .iter()
+                .filter(|s| matches!(s.outcome, Outcome::Waiting))
+                .count(),
+            current: st.current.as_ref().map(|p| crate::PerformanceStatus {
+                id: PerformanceId(p.seq),
+                cast: p
+                    .cast
+                    .iter()
+                    .map(|(r, pr, _)| (r.clone(), pr.clone()))
+                    .collect(),
+                frozen: p.frozen,
+                running: p.running.len(),
+                finished: p.finished.len(),
+                aborted: p.aborted,
+            }),
+        }
+    }
+
+    /// Number of enrollments queued but not yet admitted.
+    pub(crate) fn pending_enrollments(&self) -> usize {
+        self.state
+            .lock()
+            .pending
+            .iter()
+            .filter(|s| matches!(s.outcome, Outcome::Waiting))
+            .count()
+    }
+
+    /// Closes the instance: pending and future enrollments fail with
+    /// [`ScriptError::InstanceClosed`]; a current performance is aborted.
+    pub(crate) fn close(&self) {
+        let mut st = self.state.lock();
+        st.closed = true;
+        st.emit(ScriptEvent::InstanceClosed);
+        for slot in &mut st.pending {
+            if matches!(slot.outcome, Outcome::Waiting) {
+                slot.outcome = Outcome::Rejected(ScriptError::InstanceClosed);
+            }
+        }
+        let mut aborted_seq = None;
+        if let Some(perf) = st.current.as_mut() {
+            perf.aborted = true;
+            perf.net.abort();
+            aborted_seq = Some(perf.seq);
+        }
+        if let Some(seq) = aborted_seq {
+            st.emit(ScriptEvent::PerformanceAborted {
+                performance: PerformanceId(seq),
+            });
+        }
+        self.check_completion(&mut st);
+        drop(st);
+        self.cond.notify_all();
+    }
+
+    /// Manually freezes the current performance's cast (open-ended
+    /// scripts). No-op if there is no current performance or it is
+    /// already frozen.
+    pub(crate) fn seal_cast(&self) {
+        let mut st = self.state.lock();
+        let mut frozen_seq = None;
+        if let Some(perf) = st.current.as_mut() {
+            if !perf.frozen {
+                Self::freeze(&self.spec, perf);
+                frozen_seq = Some(perf.seq);
+            }
+        }
+        if let Some(seq) = frozen_seq {
+            st.emit(ScriptEvent::CastFrozen {
+                performance: PerformanceId(seq),
+            });
+            self.try_advance(&mut st);
+        }
+        drop(st);
+        self.cond.notify_all();
+    }
+
+    /// The cast of the performance `seq`, if it is the current one.
+    pub(crate) fn cast_of(&self, seq: u64) -> Vec<(RoleId, ProcessId)> {
+        let st = self.state.lock();
+        match &st.current {
+            Some(p) if p.seq == seq => p
+                .cast
+                .iter()
+                .map(|(r, pr, _)| (r.clone(), pr.clone()))
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    pub(crate) fn is_frozen(&self, seq: u64) -> bool {
+        let st = self.state.lock();
+        match &st.current {
+            Some(p) if p.seq == seq => p.frozen,
+            // A performance that is no longer current was frozen by
+            // construction when it completed.
+            _ => true,
+        }
+    }
+
+    /// The full enrollment path: queue, get admitted, run the role body
+    /// on this thread, finish, and (for delayed termination) wait for the
+    /// whole cast.
+    pub(crate) fn enroll_erased(
+        self: &Arc<Self>,
+        role: RoleRef,
+        params: Box<dyn Any + Send>,
+        options: Enrollment,
+    ) -> Result<Box<dyn Any + Send>, ScriptError> {
+        let deadline = options.deadline;
+        let process = options.process.unwrap_or_else(ProcessId::anonymous);
+        self.validate_role_ref(&role)?;
+
+        // Phase 1: queue and wait for admission.
+        let ticket;
+        {
+            let mut st = self.state.lock();
+            if st.closed {
+                return Err(ScriptError::InstanceClosed);
+            }
+            ticket = st.next_ticket;
+            st.next_ticket += 1;
+            st.emit(ScriptEvent::EnrollmentQueued {
+                role: match &role {
+                    RoleRef::Concrete(id) => id.clone(),
+                    RoleRef::NextOf(family) => RoleId::new(family.clone()),
+                },
+                process: process.clone(),
+            });
+            st.pending.push(PendingSlot {
+                ticket,
+                role,
+                process: process.clone(),
+                partners: options.partners,
+                outcome: Outcome::Waiting,
+            });
+            self.try_advance(&mut st);
+            if options.non_blocking {
+                let idx = st
+                    .pending
+                    .iter()
+                    .position(|s| s.ticket == ticket)
+                    .expect("just pushed");
+                if matches!(st.pending[idx].outcome, Outcome::Waiting) {
+                    st.pending.remove(idx);
+                    return Err(ScriptError::WouldBlock);
+                }
+            }
+            drop(st);
+            self.cond.notify_all();
+        }
+        let (seq, role_id, net) = {
+            let mut st = self.state.lock();
+            loop {
+                let idx = st
+                    .pending
+                    .iter()
+                    .position(|s| s.ticket == ticket)
+                    .expect("pending slot present until resolved");
+                match &st.pending[idx].outcome {
+                    Outcome::Admitted { seq, role } => {
+                        let seq = *seq;
+                        let role = role.clone();
+                        st.pending.remove(idx);
+                        let net = st
+                            .current
+                            .as_ref()
+                            .expect("admitted into the current performance")
+                            .net
+                            .clone();
+                        break (seq, role, net);
+                    }
+                    Outcome::Rejected(e) => {
+                        let e = e.clone();
+                        st.pending.remove(idx);
+                        return Err(e);
+                    }
+                    Outcome::Waiting => {
+                        let timed_out = match deadline {
+                            Some(d) => self.cond.wait_until(&mut st, d).timed_out(),
+                            None => {
+                                self.cond.wait(&mut st);
+                                false
+                            }
+                        };
+                        if timed_out
+                            && matches!(st.pending[idx].outcome, Outcome::Waiting)
+                        {
+                            st.pending.remove(idx);
+                            self.try_advance(&mut st);
+                            drop(st);
+                            self.cond.notify_all();
+                            return Err(ScriptError::Timeout);
+                        }
+                    }
+                }
+            }
+        };
+
+        // Phase 2: run the role body on this thread (the role is a
+        // logical continuation of the enrolling process).
+        let def = self
+            .spec
+            .role_def(role_id.name())
+            .expect("admitted role exists in spec");
+        let body = Arc::clone(&def.body);
+        let port = net
+            .port(role_id.clone())
+            .expect("cast role is declared in the performance network");
+        let mut ctx = RoleCtx::new(
+            Arc::clone(self),
+            port,
+            role_id.clone(),
+            PerformanceId(seq),
+            process,
+            deadline,
+        );
+        let outcome = catch_unwind(AssertUnwindSafe(|| body(&mut ctx, params)));
+        drop(ctx);
+
+        // Phase 3: finish the role, maybe complete the performance.
+        let mut st = self.state.lock();
+        let panicked = outcome.is_err();
+        {
+            let perf = st
+                .current
+                .as_mut()
+                .expect("performance outlives its running roles");
+            debug_assert_eq!(perf.seq, seq);
+            perf.running.remove(&role_id);
+            perf.finished.insert(role_id.clone());
+            perf.net.finish(role_id.clone());
+            if panicked {
+                perf.aborted = true;
+                perf.net.abort();
+            }
+        }
+        st.emit(ScriptEvent::RoleFinished {
+            performance: PerformanceId(seq),
+            role: role_id.clone(),
+        });
+        if panicked {
+            st.emit(ScriptEvent::PerformanceAborted {
+                performance: PerformanceId(seq),
+            });
+        }
+        self.try_advance(&mut st);
+        self.cond.notify_all();
+
+        if panicked {
+            return Err(ScriptError::RolePanicked(role_id));
+        }
+
+        // Phase 4: delayed termination barrier.
+        if self.spec.termination == Termination::Delayed {
+            loop {
+                if st.completed > seq {
+                    break;
+                }
+                let timed_out = match deadline {
+                    Some(d) => self.cond.wait_until(&mut st, d).timed_out(),
+                    None => {
+                        self.cond.wait(&mut st);
+                        false
+                    }
+                };
+                if timed_out && st.completed <= seq {
+                    return Err(ScriptError::Timeout);
+                }
+            }
+            if st.aborted_seqs.contains(&seq) {
+                return Err(ScriptError::PerformanceAborted);
+            }
+        }
+        drop(st);
+
+        outcome.expect("panic case returned above")
+    }
+
+    fn validate_role_ref(&self, role: &RoleRef) -> Result<(), ScriptError> {
+        match role {
+            RoleRef::Concrete(id) => self.spec.validate_role_id(id),
+            RoleRef::NextOf(family) => match self.spec.role_def(family).map(|d| d.family) {
+                Some(Some(FamilySize::Open { .. })) => Ok(()),
+                _ => Err(ScriptError::UnknownRole(RoleId::new(family.clone()))),
+            },
+        }
+    }
+
+    /// Advances the state machine: starts performances and admits pending
+    /// enrollments. Must be called with the state lock held whenever the
+    /// pending set or the current performance changes.
+    fn try_advance(&self, st: &mut EngineState<M>) {
+        if st.closed {
+            return;
+        }
+        loop {
+            if st.current.is_none() {
+                match self.spec.initiation {
+                    Initiation::Delayed => {
+                        if !self.start_delayed(st) {
+                            return;
+                        }
+                    }
+                    Initiation::Immediate => {
+                        if !st
+                            .pending
+                            .iter()
+                            .any(|s| matches!(s.outcome, Outcome::Waiting))
+                        {
+                            return;
+                        }
+                        self.open_performance(st, Vec::new());
+                    }
+                }
+            }
+            let mut newly_admitted = Vec::new();
+            let mut froze = false;
+            let seq;
+            {
+                let perf = st.current.as_mut().expect("just ensured");
+                seq = perf.seq;
+                if self.spec.initiation == Initiation::Immediate && !perf.frozen {
+                    newly_admitted = Self::admit_pending(&self.spec, perf, &mut st.pending);
+                    if Self::covers_critical(&self.spec, perf) {
+                        Self::freeze(&self.spec, perf);
+                        froze = true;
+                    }
+                }
+            }
+            for (role, process) in newly_admitted {
+                st.emit(ScriptEvent::RoleAdmitted {
+                    performance: PerformanceId(seq),
+                    role,
+                    process,
+                });
+            }
+            if froze {
+                st.emit(ScriptEvent::CastFrozen {
+                    performance: PerformanceId(seq),
+                });
+            }
+            // Freezing may complete an already-finished cast, which in
+            // turn may start the next performance; loop once more if so.
+            if !self.check_completion(st) {
+                return;
+            }
+        }
+    }
+
+    /// Tries to start a delayed-initiation performance from the pending
+    /// set. Returns `true` if one was started.
+    fn start_delayed(&self, st: &mut EngineState<M>) -> bool {
+        let waiting: Vec<&PendingSlot> = st
+            .pending
+            .iter()
+            .filter(|s| matches!(s.outcome, Outcome::Waiting))
+            .collect();
+        let candidates: Vec<Candidate<'_>> = waiting
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match &s.role {
+                RoleRef::Concrete(id) => Some(Candidate {
+                    idx: i,
+                    role: id,
+                    process: &s.process,
+                    partners: &s.partners,
+                }),
+                // Open families cannot occur with delayed initiation.
+                RoleRef::NextOf(_) => None,
+            })
+            .collect();
+        let critical: Vec<_> = self
+            .spec
+            .expanded_critical()
+            .into_iter()
+            .map(|(exact, _)| exact)
+            .collect();
+        let Some(assignment) = match_performance(&candidates, &critical) else {
+            return false;
+        };
+        let admitted: Vec<(u64, RoleId)> = assignment
+            .into_iter()
+            .map(|(role, cand_idx)| (waiting[candidates[cand_idx].idx].ticket, role))
+            .collect();
+        self.open_performance(st, admitted);
+        true
+    }
+
+    /// Creates the next performance and admits the given
+    /// `(ticket, role)` pairs into it. Delayed performances (non-empty
+    /// admission list) are frozen at creation.
+    fn open_performance(&self, st: &mut EngineState<M>, admitted: Vec<(u64, RoleId)>) {
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        let net: Network<RoleId, M> = if self.spec.has_open_family() {
+            Network::new_open()
+        } else {
+            Network::new()
+        };
+        for role in self.spec.fixed_role_ids() {
+            net.declare(role);
+        }
+        let mut perf = Perf {
+            seq,
+            net,
+            cast: Vec::new(),
+            running: HashSet::new(),
+            finished: HashSet::new(),
+            frozen: false,
+            aborted: false,
+            next_open_index: HashMap::new(),
+        };
+        st.emit(ScriptEvent::PerformanceStarted {
+            performance: PerformanceId(seq),
+        });
+        let delayed = !admitted.is_empty();
+        for (ticket, role) in admitted {
+            let slot = st
+                .pending
+                .iter_mut()
+                .find(|s| s.ticket == ticket)
+                .expect("admitted ticket pending");
+            perf.net.activate(role.clone());
+            perf.cast
+                .push((role.clone(), slot.process.clone(), slot.partners.clone()));
+            perf.running.insert(role.clone());
+            let process = slot.process.clone();
+            slot.outcome = Outcome::Admitted {
+                seq,
+                role: role.clone(),
+            };
+            st.emit(ScriptEvent::RoleAdmitted {
+                performance: PerformanceId(seq),
+                role,
+                process,
+            });
+        }
+        if delayed {
+            Self::freeze(&self.spec, &mut perf);
+            st.emit(ScriptEvent::CastFrozen {
+                performance: PerformanceId(seq),
+            });
+        }
+        st.current = Some(perf);
+    }
+
+    /// Admits every currently-admissible pending enrollment, in ticket
+    /// order, repeating until a fixed point (an admission may enable
+    /// another). Returns the admitted `(role, process)` pairs.
+    fn admit_pending(
+        spec: &ScriptSpec<M>,
+        perf: &mut Perf<M>,
+        pending: &mut [PendingSlot],
+    ) -> Vec<(RoleId, ProcessId)> {
+        let mut admitted = Vec::new();
+        let mut progress = true;
+        while progress {
+            progress = false;
+            for slot in pending.iter_mut() {
+                if !matches!(slot.outcome, Outcome::Waiting) {
+                    continue;
+                }
+                let role = match &slot.role {
+                    RoleRef::Concrete(id) => {
+                        if perf.cast_has(id) {
+                            continue;
+                        }
+                        if let Some(Some(FamilySize::Open { max: Some(m) })) =
+                            spec.role_def(id.name()).map(|d| d.family)
+                        {
+                            if perf.family_count(id.name()) >= m {
+                                continue;
+                            }
+                        }
+                        id.clone()
+                    }
+                    RoleRef::NextOf(family) => {
+                        let max = match spec.role_def(family).map(|d| d.family) {
+                            Some(Some(FamilySize::Open { max })) => max,
+                            _ => continue,
+                        };
+                        if let Some(m) = max {
+                            if perf.family_count(family) >= m {
+                                continue;
+                            }
+                        }
+                        let next = perf.next_open_index.entry(family.clone()).or_insert(0);
+                        // Skip indices explicitly taken.
+                        let mut i = *next;
+                        while perf.cast_has(&RoleId::indexed(family.clone(), i)) {
+                            i += 1;
+                        }
+                        RoleId::indexed(family.clone(), i)
+                    }
+                };
+                let cand = Candidate {
+                    idx: 0,
+                    role: &role,
+                    process: &slot.process,
+                    partners: &slot.partners,
+                };
+                if admissible(&cand, &perf.cast) {
+                    if let RoleRef::NextOf(family) = &slot.role {
+                        perf.next_open_index
+                            .insert(family.clone(), role.index().expect("indexed") + 1);
+                    }
+                    perf.net.activate(role.clone());
+                    perf.cast
+                        .push((role.clone(), slot.process.clone(), slot.partners.clone()));
+                    perf.running.insert(role.clone());
+                    admitted.push((role.clone(), slot.process.clone()));
+                    slot.outcome = Outcome::Admitted {
+                        seq: perf.seq,
+                        role,
+                    };
+                    progress = true;
+                }
+            }
+        }
+        admitted
+    }
+
+    /// Does the cast cover any critical role set?
+    fn covers_critical(spec: &ScriptSpec<M>, perf: &Perf<M>) -> bool {
+        let expanded = spec.expanded_critical();
+        if expanded.is_empty() {
+            // Open-ended script without critical sets: only manual seal.
+            return false;
+        }
+        expanded.iter().any(|(exact, at_least)| {
+            exact.iter().all(|r| perf.cast_has(r))
+                && at_least
+                    .iter()
+                    .all(|(family, k)| perf.family_count(family) >= *k)
+        })
+    }
+
+    /// Freezes the cast: unfilled roles become permanently terminated.
+    fn freeze(spec: &ScriptSpec<M>, perf: &mut Perf<M>) {
+        perf.frozen = true;
+        for role in spec.fixed_role_ids() {
+            if !perf.cast_has(&role) {
+                perf.net.finish(role);
+            }
+        }
+        // Bars implicitly-declared (open family) stragglers.
+        perf.net.seal();
+    }
+
+    /// Completes the current performance if it is done; returns `true`
+    /// if it completed (the caller should re-run `try_advance`).
+    fn check_completion(&self, st: &mut EngineState<M>) -> bool {
+        let done = match &st.current {
+            Some(p) => {
+                let all_finished = p.cast.iter().all(|(r, _, _)| p.finished.contains(r));
+                (p.frozen && !p.cast.is_empty() && all_finished)
+                    || (p.aborted && p.running.is_empty())
+            }
+            None => false,
+        };
+        if done {
+            let perf = st.current.take().expect("checked");
+            if perf.aborted {
+                st.aborted_seqs.insert(perf.seq);
+            }
+            st.completed = perf.seq + 1;
+            st.emit(ScriptEvent::PerformanceCompleted {
+                performance: PerformanceId(perf.seq),
+                aborted: perf.aborted,
+            });
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl<M> std::fmt::Debug for Engine<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("Engine")
+            .field("script", &self.spec.name)
+            .field("pending", &st.pending.len())
+            .field("completed", &st.completed)
+            .field("closed", &st.closed)
+            .finish()
+    }
+}

@@ -1,0 +1,277 @@
+//! Enrollment options: process identity and partner naming.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ProcessId, RoleId};
+
+/// A constraint on which process may fill a role, from the point of view
+/// of one enrolling process.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ProcessSel {
+    /// Any process is acceptable (partners-unnamed).
+    #[default]
+    Any,
+    /// Exactly the named process (partners-named, as in "with `T` as
+    /// transmitter").
+    Is(ProcessId),
+    /// Any of the named processes (the paper's "role fulfilled by either
+    /// process A or process B").
+    OneOf(BTreeSet<ProcessId>),
+}
+
+impl ProcessSel {
+    /// Constraint requiring exactly `p`.
+    pub fn is(p: impl Into<ProcessId>) -> Self {
+        ProcessSel::Is(p.into())
+    }
+
+    /// Constraint allowing any of `ps`.
+    pub fn one_of<I, P>(ps: I) -> Self
+    where
+        I: IntoIterator<Item = P>,
+        P: Into<ProcessId>,
+    {
+        ProcessSel::OneOf(ps.into_iter().map(Into::into).collect())
+    }
+
+    /// Does this constraint admit `p`?
+    pub fn allows(&self, p: &ProcessId) -> bool {
+        match self {
+            ProcessSel::Any => true,
+            ProcessSel::Is(q) => q == p,
+            ProcessSel::OneOf(set) => set.contains(p),
+        }
+    }
+}
+
+/// The partner constraints of one enrollment: a (partial) map from roles
+/// to acceptable processes.
+///
+/// Supports all three regimes of the paper: *partners-named* (constrain
+/// every partner role), *partners-unnamed* (constrain nothing — the
+/// default), and mixtures.
+///
+/// # Example
+///
+/// ```
+/// use script_core::{Partners, ProcessSel, RoleId};
+///
+/// // "I want to see T as transmitter, and either A or B as recipient 0."
+/// let partners = Partners::any()
+///     .with("transmitter", ProcessSel::is("T"))
+///     .with(RoleId::indexed("recipient", 0), ProcessSel::one_of(["A", "B"]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Partners {
+    constraints: BTreeMap<RoleId, ProcessSel>,
+}
+
+impl Partners {
+    /// No constraints: partners-unnamed enrollment.
+    pub fn any() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or replaces) a constraint for `role`.
+    pub fn with(mut self, role: impl Into<RoleId>, sel: ProcessSel) -> Self {
+        self.constraints.insert(role.into(), sel);
+        self
+    }
+
+    /// Shorthand for `with(role, ProcessSel::is(process))`.
+    pub fn named(self, role: impl Into<RoleId>, process: impl Into<ProcessId>) -> Self {
+        self.with(role, ProcessSel::is(process))
+    }
+
+    /// Does this enrollment accept `process` in `role`?
+    ///
+    /// Roles without an explicit constraint accept anyone.
+    pub fn allows(&self, role: &RoleId, process: &ProcessId) -> bool {
+        self.constraints
+            .get(role)
+            .map(|sel| sel.allows(process))
+            .unwrap_or(true)
+    }
+
+    /// Iterates over the explicit constraints.
+    pub fn iter(&self) -> impl Iterator<Item = (&RoleId, &ProcessSel)> {
+        self.constraints.iter()
+    }
+
+    /// Returns `true` if there are no explicit constraints.
+    pub fn is_unconstrained(&self) -> bool {
+        self.constraints.is_empty()
+    }
+}
+
+/// Options accompanying an enrollment: the enrolling process's identity,
+/// its partner constraints, and an optional deadline.
+///
+/// # Example
+///
+/// ```
+/// use script_core::{Enrollment, ProcessSel};
+/// use std::time::Duration;
+///
+/// let e = Enrollment::as_process("T")
+///     .partner("recipient", ProcessSel::is("P"))
+///     .timeout(Duration::from_secs(1));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Enrollment {
+    pub(crate) process: Option<ProcessId>,
+    pub(crate) partners: Partners,
+    pub(crate) deadline: Option<Instant>,
+    pub(crate) non_blocking: bool,
+}
+
+impl Enrollment {
+    /// Anonymous, unconstrained, unbounded enrollment (the default).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enrolls under the given process identity, so that partner-named
+    /// enrollments of other processes can refer to this one.
+    pub fn as_process(process: impl Into<ProcessId>) -> Self {
+        Self {
+            process: Some(process.into()),
+            ..Self::default()
+        }
+    }
+
+    /// Adds a partner constraint.
+    pub fn partner(mut self, role: impl Into<RoleId>, sel: ProcessSel) -> Self {
+        self.partners = self.partners.with(role, sel);
+        self
+    }
+
+    /// Replaces all partner constraints at once.
+    pub fn partners(mut self, partners: Partners) -> Self {
+        self.partners = partners;
+        self
+    }
+
+    /// Fails the enrollment (and the whole run of the role, if it has not
+    /// started) after `timeout`.
+    ///
+    /// The deadline covers the wait-to-be-admitted phase and every
+    /// blocking communication performed by the role body through its
+    /// context.
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.deadline = Some(Instant::now() + timeout);
+        self
+    }
+
+    /// Sets an absolute deadline instead of a relative timeout.
+    pub fn deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Makes the enrollment non-blocking: if it cannot be admitted to a
+    /// performance immediately, it fails with
+    /// [`ScriptError::WouldBlock`](crate::ScriptError::WouldBlock)
+    /// instead of queueing.
+    ///
+    /// This is the paper's "script enrollment acting as a guard": a
+    /// process can offer to participate and fall through to an
+    /// alternative when no performance is ready for it.
+    pub fn non_blocking(mut self) -> Self {
+        self.non_blocking = true;
+        self
+    }
+}
+
+impl fmt::Display for Partners {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.constraints.is_empty() {
+            return f.write_str("[any partners]");
+        }
+        write!(f, "[")?;
+        for (i, (role, sel)) in self.constraints.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            match sel {
+                ProcessSel::Any => write!(f, "{role}: any")?,
+                ProcessSel::Is(p) => write!(f, "{role}: {p}")?,
+                ProcessSel::OneOf(ps) => {
+                    write!(f, "{role}: one of ")?;
+                    for (j, p) in ps.iter().enumerate() {
+                        if j > 0 {
+                            write!(f, "|")?;
+                        }
+                        write!(f, "{p}")?;
+                    }
+                }
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_allows_everyone() {
+        let p = Partners::any();
+        assert!(p.allows(&RoleId::new("r"), &ProcessId::new("X")));
+        assert!(p.is_unconstrained());
+    }
+
+    #[test]
+    fn is_constraint_matches_exactly() {
+        let p = Partners::any().named("r", "A");
+        assert!(p.allows(&RoleId::new("r"), &ProcessId::new("A")));
+        assert!(!p.allows(&RoleId::new("r"), &ProcessId::new("B")));
+        // Unconstrained roles still accept anyone.
+        assert!(p.allows(&RoleId::new("s"), &ProcessId::new("B")));
+    }
+
+    #[test]
+    fn one_of_constraint() {
+        let sel = ProcessSel::one_of(["A", "B"]);
+        assert!(sel.allows(&ProcessId::new("A")));
+        assert!(sel.allows(&ProcessId::new("B")));
+        assert!(!sel.allows(&ProcessId::new("C")));
+    }
+
+    #[test]
+    fn with_replaces_existing() {
+        let p = Partners::any()
+            .named("r", "A")
+            .with("r", ProcessSel::is("B"));
+        assert!(!p.allows(&RoleId::new("r"), &ProcessId::new("A")));
+        assert!(p.allows(&RoleId::new("r"), &ProcessId::new("B")));
+        assert_eq!(p.iter().count(), 1);
+    }
+
+    #[test]
+    fn enrollment_builder() {
+        let e = Enrollment::as_process("T")
+            .partner("x", ProcessSel::Any)
+            .timeout(Duration::from_millis(1));
+        assert_eq!(e.process, Some(ProcessId::new("T")));
+        assert!(e.deadline.is_some());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Partners::any().to_string(), "[any partners]");
+        let p = Partners::any()
+            .named("a", "P")
+            .with("b", ProcessSel::one_of(["Q", "R"]))
+            .with("c", ProcessSel::Any);
+        let s = p.to_string();
+        assert!(s.contains("a: P"));
+        assert!(s.contains("b: one of Q|R"));
+        assert!(s.contains("c: any"));
+    }
+}

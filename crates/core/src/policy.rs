@@ -1,0 +1,201 @@
+//! Initiation, termination, and critical-role-set policies.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::RoleId;
+
+/// When a performance of a script begins (paper §II, *Script Initiation
+/// and Termination*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Initiation {
+    /// Processes must first enroll in all roles of some critical role set;
+    /// only then does the performance (and every role body) begin. This
+    /// enforces global synchronization across the whole cast.
+    #[default]
+    Delayed,
+    /// The performance starts with the first enrollment; later processes
+    /// join while it is in progress. A role blocks only when it attempts
+    /// to communicate with an unfilled role.
+    Immediate,
+}
+
+/// When enrolled processes are released from a performance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Termination {
+    /// All processes are freed together, once every role of the cast has
+    /// finished.
+    #[default]
+    Delayed,
+    /// Each process is freed as soon as its own role body returns.
+    Immediate,
+}
+
+/// One alternative critical role set: a subset of roles whose enrollment
+/// suffices for a performance (paper §II, *Critical Role Set*).
+///
+/// A critical set is built from entries naming singleton roles, specific
+/// family members, whole families, or a minimum count of an (open) family.
+///
+/// # Example
+///
+/// ```
+/// use script_core::CriticalSet;
+///
+/// // The lock-manager example: all managers plus the reader.
+/// let cs = CriticalSet::new().family("manager").role("reader");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CriticalSet {
+    pub(crate) entries: Vec<CriticalEntry>,
+}
+
+/// One entry of a [`CriticalSet`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CriticalEntry {
+    /// A singleton role, by name.
+    Role(String),
+    /// One specific member of a family.
+    Member(String, usize),
+    /// Every member of a (fixed-size) family.
+    Family(String),
+    /// At least `1`.. members of a family, counted at freeze time. Only
+    /// meaningful with [`Initiation::Immediate`].
+    FamilyAtLeast(String, usize),
+}
+
+impl CriticalSet {
+    /// An empty critical set; add entries with the builder methods.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requires the singleton role `name`.
+    pub fn role(mut self, name: impl Into<String>) -> Self {
+        self.entries.push(CriticalEntry::Role(name.into()));
+        self
+    }
+
+    /// Requires member `index` of family `name`.
+    pub fn member(mut self, name: impl Into<String>, index: usize) -> Self {
+        self.entries.push(CriticalEntry::Member(name.into(), index));
+        self
+    }
+
+    /// Requires every member of the fixed-size family `name`.
+    pub fn family(mut self, name: impl Into<String>) -> Self {
+        self.entries.push(CriticalEntry::Family(name.into()));
+        self
+    }
+
+    /// Requires at least `count` enrolled members of family `name`.
+    pub fn family_at_least(mut self, name: impl Into<String>, count: usize) -> Self {
+        self.entries
+            .push(CriticalEntry::FamilyAtLeast(name.into(), count));
+        self
+    }
+
+    /// Returns `true` if the set has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Expands the exact entries into concrete role ids, given the sizes
+    /// of fixed families. `FamilyAtLeast` entries are returned separately.
+    pub(crate) fn expand(
+        &self,
+        family_size: &dyn Fn(&str) -> Option<usize>,
+    ) -> (BTreeSet<RoleId>, Vec<(String, usize)>) {
+        let mut exact = BTreeSet::new();
+        let mut at_least = Vec::new();
+        for e in &self.entries {
+            match e {
+                CriticalEntry::Role(name) => {
+                    exact.insert(RoleId::new(name.clone()));
+                }
+                CriticalEntry::Member(name, i) => {
+                    exact.insert(RoleId::indexed(name.clone(), *i));
+                }
+                CriticalEntry::Family(name) => {
+                    if let Some(n) = family_size(name) {
+                        for i in 0..n {
+                            exact.insert(RoleId::indexed(name.clone(), i));
+                        }
+                    }
+                }
+                CriticalEntry::FamilyAtLeast(name, k) => {
+                    at_least.push((name.clone(), *k));
+                }
+            }
+        }
+        (exact, at_least)
+    }
+}
+
+impl fmt::Display for CriticalSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match e {
+                CriticalEntry::Role(n) => write!(f, "{n}")?,
+                CriticalEntry::Member(n, i) => write!(f, "{n}[{i}]")?,
+                CriticalEntry::Family(n) => write!(f, "{n}[*]")?,
+                CriticalEntry::FamilyAtLeast(n, k) => write!(f, "{n}[>={k}]")?,
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_delayed() {
+        assert_eq!(Initiation::default(), Initiation::Delayed);
+        assert_eq!(Termination::default(), Termination::Delayed);
+    }
+
+    #[test]
+    fn expand_mixed_entries() {
+        let cs = CriticalSet::new()
+            .role("sender")
+            .member("aux", 7)
+            .family("recipient")
+            .family_at_least("worker", 2);
+        let sizes = |name: &str| match name {
+            "recipient" => Some(3),
+            _ => None,
+        };
+        let (exact, at_least) = cs.expand(&sizes);
+        assert!(exact.contains(&RoleId::new("sender")));
+        assert!(exact.contains(&RoleId::indexed("aux", 7)));
+        for i in 0..3 {
+            assert!(exact.contains(&RoleId::indexed("recipient", i)));
+        }
+        assert_eq!(exact.len(), 5);
+        assert_eq!(at_least, vec![("worker".to_string(), 2)]);
+    }
+
+    #[test]
+    fn display_renders_entries() {
+        let cs = CriticalSet::new()
+            .role("r")
+            .member("f", 1)
+            .family("g")
+            .family_at_least("h", 4);
+        assert_eq!(cs.to_string(), "{r, f[1], g[*], h[>=4]}");
+    }
+
+    #[test]
+    fn empty_set_detected() {
+        assert!(CriticalSet::new().is_empty());
+        assert!(!CriticalSet::new().role("x").is_empty());
+    }
+}

@@ -1,0 +1,92 @@
+//! Figure 6: the broadcast script written directly in CSP.
+//!
+//! The transmitter uses a repetitive alternative command with *output
+//! guards*, sending `x` to each recipient in whatever order the
+//! recipients become ready:
+//!
+//! ```text
+//! ROLE transmitter (x: item)::
+//!   VAR sent: ARRAY[1..5] OF boolean := 5*false;
+//!   *[ (k=1..5) ¬sent[k]; recipient[k]!x → sent[k] := true ]
+//! ROLE (i=1..5) recipient(y_i):: transmitter?y_i
+//! ```
+
+use crate::process::{proc_name, CspError, Parallel};
+use script_chan::{Arm, Outcome};
+
+/// Name of the transmitter process.
+pub const TRANSMITTER: &str = "transmitter";
+
+/// Runs the Figure 6 CSP broadcast with `n` recipients, returning each
+/// recipient's received value (indexed by recipient number).
+///
+/// # Errors
+///
+/// Propagates any [`CspError`] from the underlying processes (e.g.
+/// [`CspError::Timeout`] if `timeout` is hit).
+pub fn run<M>(n: usize, value: M, timeout: std::time::Duration) -> Result<Vec<M>, CspError>
+where
+    M: Send + Clone + 'static,
+{
+    let v = value.clone();
+    let out = Parallel::<M, Option<M>>::new("csp_broadcast")
+        .timeout(timeout)
+        .process(TRANSMITTER, move |ctx| {
+            let mut sent = vec![false; n];
+            // *[ (k) ¬sent[k]; recipient[k]!x → sent[k] := true ]
+            while sent.iter().any(|s| !s) {
+                let arms: Vec<Arm<String, M>> = sent
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| !**s)
+                    .map(|(k, _)| Arm::send(proc_name("recipient", k), v.clone()))
+                    .collect();
+                match ctx.alternative(arms)? {
+                    Outcome::Sent { to, .. } => {
+                        let k: usize = to
+                            .trim_start_matches("recipient[")
+                            .trim_end_matches(']')
+                            .parse()
+                            .expect("recipient name");
+                        sent[k] = true;
+                    }
+                    _ => unreachable!("only output guards offered"),
+                }
+            }
+            Ok(None)
+        })
+        .process_array("recipient", n, |ctx, _i| ctx.recv(TRANSMITTER).map(Some))
+        .run()?;
+    Ok((0..n)
+        .map(|i| {
+            out[&proc_name("recipient", i)]
+                .clone()
+                .expect("recipient received")
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn all_recipients_receive_the_value() {
+        let got = run(5, 99u64, Duration::from_secs(5)).unwrap();
+        assert_eq!(got, vec![99; 5]);
+    }
+
+    #[test]
+    fn single_recipient() {
+        let got = run(1, "x".to_string(), Duration::from_secs(5)).unwrap();
+        assert_eq!(got, vec!["x".to_string()]);
+    }
+
+    #[test]
+    fn wide_fanout() {
+        let got = run(32, 7u8, Duration::from_secs(10)).unwrap();
+        assert_eq!(got.len(), 32);
+        assert!(got.iter().all(|&v| v == 7));
+    }
+}

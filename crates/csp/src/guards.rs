@@ -1,0 +1,188 @@
+//! The CSP repetitive command `*[ G₁ → C₁ □ G₂ → C₂ □ … ]`.
+//!
+//! A repetitive command retries its alternative until every guard is
+//! permanently closed (all named partners terminated), which in CSP is
+//! the normal way server loops end. [`repetitive`] packages that
+//! convention over [`ProcCtx::alternative`].
+
+use script_chan::{Arm, Outcome};
+
+use crate::process::{CspError, ProcCtx};
+
+/// What the loop body tells the driver after handling one event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Loop {
+    /// Evaluate the guards again.
+    Continue,
+    /// Leave the repetitive command now.
+    Break,
+}
+
+/// Runs a CSP repetitive command: on each iteration, `guards()` produces
+/// the currently open arms (boolean guards are expressed by omission);
+/// `handle` processes the fired outcome. The loop ends normally when
+/// every arm is permanently unfireable (partner termination) or when the
+/// handler returns [`Loop::Break`]; it returns the number of iterations
+/// that fired.
+///
+/// # Errors
+///
+/// Propagates any [`CspError`] other than the loop-terminating
+/// [`CspError::AllTerminated`] / [`CspError::Terminated`].
+///
+/// # Example
+///
+/// ```
+/// use script_csp::{repetitive, Arm, Loop, Parallel};
+///
+/// let out = Parallel::<u32, u32>::new("sum_server")
+///     .process("server", |ctx| {
+///         let mut sum = 0;
+///         repetitive(ctx, || vec![Arm::recv_any()], |outcome| {
+///             if let script_csp::Outcome::Received { msg, .. } = outcome {
+///                 sum += msg;
+///             }
+///             Ok(Loop::Continue)
+///         })?;
+///         Ok(sum)
+///     })
+///     .process("c1", |ctx| { ctx.send("server", 3)?; Ok(0) })
+///     .process("c2", |ctx| { ctx.send("server", 4)?; Ok(0) })
+///     .run()
+///     .unwrap();
+/// assert_eq!(out["server"], 7);
+/// ```
+pub fn repetitive<M, G, H>(ctx: &ProcCtx<M>, mut guards: G, mut handle: H) -> Result<u64, CspError>
+where
+    M: Send + 'static,
+    G: FnMut() -> Vec<Arm<String, M>>,
+    H: FnMut(Outcome<String, M>) -> Result<Loop, CspError>,
+{
+    let mut fired = 0;
+    loop {
+        let arms = guards();
+        if arms.is_empty() {
+            // All boolean guards false: the repetitive command exits.
+            return Ok(fired);
+        }
+        match ctx.alternative(arms) {
+            Ok(outcome) => {
+                fired += 1;
+                match handle(outcome)? {
+                    Loop::Continue => {}
+                    Loop::Break => return Ok(fired),
+                }
+            }
+            Err(CspError::AllTerminated | CspError::Terminated(_)) => return Ok(fired),
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::Parallel;
+    use std::time::Duration;
+
+    #[test]
+    fn server_drains_all_clients_then_exits() {
+        let out = Parallel::<u32, u64>::new("drain")
+            .timeout(Duration::from_secs(5))
+            .process("server", |ctx| {
+                repetitive(ctx, || vec![Arm::recv_any()], |_| Ok(Loop::Continue))
+            })
+            .process_array("c", 3, |ctx, i| {
+                ctx.send("server", i as u32)?;
+                ctx.send("server", i as u32)?;
+                Ok(0)
+            })
+            .run()
+            .unwrap();
+        assert_eq!(out["server"], 6);
+    }
+
+    #[test]
+    fn handler_can_break_early() {
+        let out = Parallel::<u32, u64>::new("early")
+            .timeout(Duration::from_secs(5))
+            .process("server", |ctx| {
+                repetitive(
+                    ctx,
+                    || vec![Arm::recv_any()],
+                    |outcome| match outcome {
+                        Outcome::Received { msg: 99, .. } => Ok(Loop::Break),
+                        _ => Ok(Loop::Continue),
+                    },
+                )
+            })
+            .process("client", |ctx| {
+                ctx.send("server", 1)?;
+                ctx.send("server", 99)?;
+                Ok(0)
+            })
+            .run()
+            .unwrap();
+        assert_eq!(out["server"], 2);
+    }
+
+    #[test]
+    fn empty_guard_set_exits_immediately() {
+        let out = Parallel::<u32, u64>::new("empty")
+            .timeout(Duration::from_secs(5))
+            .process("server", |ctx| repetitive(ctx, Vec::new, |_| Ok(Loop::Continue)))
+            .run()
+            .unwrap();
+        assert_eq!(out["server"], 0);
+    }
+
+    #[test]
+    fn dynamic_guards_reflect_state() {
+        // Accept at most 2 messages from each of two clients, using
+        // boolean guards that close as counts fill up.
+        let out = Parallel::<u32, u64>::new("bounded")
+            .timeout(Duration::from_secs(5))
+            .process("server", |ctx| {
+                // Cells let the guard closure and the handler share the
+                // counters (both closures are alive at once).
+                let from_a = std::cell::Cell::new(0);
+                let from_b = std::cell::Cell::new(0);
+                repetitive(
+                    ctx,
+                    || {
+                        let mut arms = Vec::new();
+                        if from_a.get() < 2 {
+                            arms.push(Arm::recv_from("a".to_string()));
+                        }
+                        if from_b.get() < 2 {
+                            arms.push(Arm::recv_from("b".to_string()));
+                        }
+                        arms
+                    },
+                    |outcome| {
+                        if let Outcome::Received { from, .. } = outcome {
+                            if from == "a" {
+                                from_a.set(from_a.get() + 1);
+                            } else {
+                                from_b.set(from_b.get() + 1);
+                            }
+                        }
+                        Ok(Loop::Continue)
+                    },
+                )
+            })
+            .process("a", |ctx| {
+                ctx.send("server", 1)?;
+                ctx.send("server", 1)?;
+                Ok(0)
+            })
+            .process("b", |ctx| {
+                ctx.send("server", 2)?;
+                ctx.send("server", 2)?;
+                Ok(0)
+            })
+            .run()
+            .unwrap();
+        assert_eq!(out["server"], 4);
+    }
+}

@@ -1,0 +1,44 @@
+//! A CSP-like host substrate, plus the paper's script-to-CSP translation.
+//!
+//! Section IV of *Script: A Communication Abstraction Mechanism* (Francez
+//! & Hailpern, PODC 1983) adds scripts to CSP and proves, by translation,
+//! that scripts "do not transcend the direct expressive power of CSP".
+//! This crate provides both halves as runnable code:
+//!
+//! * [`Parallel`] — CSP parallel commands `[P₁ ‖ P₂ ‖ …]`: named
+//!   processes (and process arrays) over synchronous `!`/`?`
+//!   communication with guarded alternative commands, built on the
+//!   `script-chan` rendezvous kernel;
+//! * [`broadcast`] — Figure 6: the broadcast script written directly as a
+//!   CSP process network, with the transmitter using output guards;
+//! * [`translate`] — Figure 7: the mechanical translation of script
+//!   enrollment into CSP, with a supervisor process `p_s` coordinating
+//!   `start_s`/`end_s` messages and tagged inter-role communication.
+//!
+//! # Example
+//!
+//! ```
+//! use script_csp::Parallel;
+//!
+//! let outputs = Parallel::<u32, u32>::new("pair")
+//!     .process("p", |ctx| {
+//!         ctx.send("q", 1)?;
+//!         Ok(0)
+//!     })
+//!     .process("q", |ctx| ctx.recv("p"))
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(outputs["q"], 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod broadcast;
+mod guards;
+mod process;
+pub mod translate;
+
+pub use guards::{repetitive, Loop};
+pub use process::{proc_name, CspError, Parallel, ProcCtx};
+pub use script_chan::{Arm, Outcome, Source};

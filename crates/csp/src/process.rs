@@ -1,0 +1,410 @@
+//! CSP parallel commands: named processes over synchronous channels.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use script_chan::{Arm, ChanError, Network, Outcome, Port};
+
+/// Error produced by CSP process operations.
+///
+/// Communication failures are reported in terms of the peer process name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CspError {
+    /// The named peer process has terminated with no pending message.
+    Terminated(String),
+    /// Every possible partner has terminated (distributed termination of
+    /// a repetitive command).
+    AllTerminated,
+    /// The network was aborted because some process panicked.
+    Aborted,
+    /// A deadline expired.
+    Timeout,
+    /// The named process is not part of this parallel command.
+    Unknown(String),
+    /// Self-communication attempted.
+    Myself,
+    /// An alternative command was given no alternatives.
+    EmptyAlternative,
+    /// A process body failed with an application error.
+    App(String),
+}
+
+impl CspError {
+    /// Convenience constructor for application-level process errors.
+    pub fn app(msg: impl Into<String>) -> Self {
+        CspError::App(msg.into())
+    }
+}
+
+impl fmt::Display for CspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CspError::Terminated(p) => write!(f, "process {p} terminated"),
+            CspError::AllTerminated => write!(f, "all partner processes terminated"),
+            CspError::Aborted => write!(f, "parallel command aborted"),
+            CspError::Timeout => write!(f, "operation timed out"),
+            CspError::Unknown(p) => write!(f, "process {p} not in this parallel command"),
+            CspError::Myself => write!(f, "self-communication is not allowed"),
+            CspError::EmptyAlternative => write!(f, "alternative command has no alternatives"),
+            CspError::App(m) => write!(f, "process error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CspError {}
+
+pub(crate) fn map_err(e: ChanError<String>) -> CspError {
+    match e {
+        ChanError::Terminated(p) => CspError::Terminated(p),
+        ChanError::AllTerminated => CspError::AllTerminated,
+        ChanError::Aborted => CspError::Aborted,
+        ChanError::Timeout => CspError::Timeout,
+        ChanError::Unknown(p) => CspError::Unknown(p),
+        ChanError::Myself => CspError::Myself,
+        ChanError::EmptySelect => CspError::EmptyAlternative,
+    }
+}
+
+/// The canonical name of member `i` of process array `base`
+/// (CSP's `recipient(3)` style, rendered `recipient[3]`).
+pub fn proc_name(base: &str, i: usize) -> String {
+    format!("{base}[{i}]")
+}
+
+/// The communication capability of one CSP process.
+///
+/// Provides the `!`/`?` primitives and the guarded alternative command.
+pub struct ProcCtx<M> {
+    pub(crate) port: Port<String, M>,
+    deadline: Option<Instant>,
+}
+
+impl<M> fmt::Debug for ProcCtx<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProcCtx").field("port", &self.port).finish()
+    }
+}
+
+impl<M: Send + 'static> ProcCtx<M> {
+    /// This process's name.
+    pub fn name(&self) -> &String {
+        self.port.id()
+    }
+
+    /// Synchronous output `to!msg`: blocks until the partner inputs it.
+    ///
+    /// # Errors
+    ///
+    /// [`CspError::Terminated`] if the partner has terminated, plus
+    /// abort/timeout/addressing failures.
+    pub fn send(&self, to: &str, msg: M) -> Result<(), CspError> {
+        self.port
+            .send_deadline(&to.to_string(), msg, self.deadline)
+            .map_err(map_err)
+    }
+
+    /// Synchronous input `from?x`.
+    ///
+    /// # Errors
+    ///
+    /// As [`ProcCtx::send`].
+    pub fn recv(&self, from: &str) -> Result<M, CspError> {
+        self.port
+            .recv_from_deadline(&from.to_string(), self.deadline)
+            .map_err(map_err)
+    }
+
+    /// Input from any partner (the extended naming of Francez's CSP
+    /// proposal, which the paper's supervisor translation relies on).
+    ///
+    /// # Errors
+    ///
+    /// [`CspError::AllTerminated`] once every partner is gone, plus the
+    /// failures of [`ProcCtx::send`].
+    pub fn recv_any(&self) -> Result<(String, M), CspError> {
+        self.port.recv_any_deadline(self.deadline).map_err(map_err)
+    }
+
+    /// Guarded alternative command over the given arms; fires exactly one.
+    ///
+    /// Boolean guards are expressed by omitting disabled arms (the
+    /// conventional embedding). Use [`Arm::recv_from`], [`Arm::recv_any`],
+    /// [`Arm::send`] (output guards) and [`Arm::watch`].
+    ///
+    /// # Errors
+    ///
+    /// [`CspError::AllTerminated`] / [`CspError::Terminated`] when every
+    /// arm is permanently unfireable — the CSP rule that a repetitive
+    /// command terminates when all partners named in its guards have
+    /// terminated — plus abort/timeout failures.
+    pub fn alternative(&self, arms: Vec<Arm<String, M>>) -> Result<Outcome<String, M>, CspError> {
+        self.port.select_deadline(arms, self.deadline).map_err(map_err)
+    }
+
+    /// Has the named process terminated?
+    pub fn terminated(&self, name: &str) -> bool {
+        self.port.network().peer_state(&name.to_string())
+            == Some(script_chan::PeerState::Done)
+    }
+}
+
+type ProcBody<M, O> = Box<dyn FnOnce(&ProcCtx<M>) -> Result<O, CspError> + Send>;
+
+/// A CSP parallel command under construction: `[p ‖ q ‖ r(i=1..n)]`.
+///
+/// Each process runs on its own thread; [`Parallel::run`] blocks until
+/// all of them terminate and returns their outputs by process name. A
+/// panicking process aborts the whole command.
+pub struct Parallel<M, O = ()> {
+    name: String,
+    deadline: Option<Instant>,
+    bodies: Vec<(String, ProcBody<M, O>)>,
+}
+
+impl<M, O> fmt::Debug for Parallel<M, O> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Parallel")
+            .field("name", &self.name)
+            .field("processes", &self.bodies.iter().map(|(n, _)| n).collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl<M, O> Parallel<M, O>
+where
+    M: Send + 'static,
+    O: Send + 'static,
+{
+    /// Starts building a parallel command (the name is for diagnostics).
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            deadline: None,
+            bodies: Vec::new(),
+        }
+    }
+
+    /// Fails every blocking operation after `timeout` (deadlock guard for
+    /// tests and benchmarks).
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.deadline = Some(Instant::now() + timeout);
+        self
+    }
+
+    /// Adds the named process.
+    pub fn process<F>(mut self, name: impl Into<String>, body: F) -> Self
+    where
+        F: FnOnce(&ProcCtx<M>) -> Result<O, CspError> + Send + 'static,
+    {
+        self.bodies.push((name.into(), Box::new(body)));
+        self
+    }
+
+    /// Adds `n` processes `base[0] … base[n-1]` sharing one body; each
+    /// receives its index.
+    pub fn process_array<F>(mut self, base: &str, n: usize, body: F) -> Self
+    where
+        F: Fn(&ProcCtx<M>, usize) -> Result<O, CspError> + Send + Sync + 'static,
+    {
+        let body = Arc::new(body);
+        for i in 0..n {
+            let body = Arc::clone(&body);
+            self.bodies
+                .push((proc_name(base, i), Box::new(move |ctx| body(ctx, i))));
+        }
+        self
+    }
+
+    /// Runs the parallel command to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first process error encountered (by declaration
+    /// order). A panicking process surfaces as [`CspError::Aborted`] for
+    /// its peers and [`CspError::App`] for itself.
+    pub fn run(self) -> Result<HashMap<String, O>, CspError> {
+        let net: Network<String, M> = Network::new();
+        for (name, _) in &self.bodies {
+            net.activate(name.clone());
+        }
+        let deadline = self.deadline;
+        let mut names = Vec::new();
+        let mut handles = Vec::new();
+        for (name, body) in self.bodies {
+            let port = net.port(name.clone()).expect("declared above");
+            let net2 = net.clone();
+            names.push(name.clone());
+            handles.push(std::thread::spawn(move || {
+                let ctx = ProcCtx { port, deadline };
+                let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&ctx)));
+                match out {
+                    Ok(r) => {
+                        net2.finish(name);
+                        r
+                    }
+                    Err(_) => {
+                        net2.abort();
+                        Err(CspError::App(format!("process {name} panicked")))
+                    }
+                }
+            }));
+        }
+        let mut outputs = HashMap::new();
+        let mut first_err = None;
+        for (name, h) in names.into_iter().zip(handles) {
+            match h.join().expect("catch_unwind already caught panics") {
+                Ok(o) => {
+                    outputs.insert(name, o);
+                }
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(outputs),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proc_name_format() {
+        assert_eq!(proc_name("r", 3), "r[3]");
+    }
+
+    #[test]
+    fn two_process_rendezvous() {
+        let out = Parallel::<u32, u32>::new("pair")
+            .process("p", |ctx| {
+                ctx.send("q", 17)?;
+                Ok(0)
+            })
+            .process("q", |ctx| ctx.recv("p"))
+            .run()
+            .unwrap();
+        assert_eq!(out["q"], 17);
+    }
+
+    #[test]
+    fn process_array_indices() {
+        let out = Parallel::<u32, usize>::new("arr")
+            .process_array("w", 4, |_ctx, i| Ok(i * 10))
+            .run()
+            .unwrap();
+        for i in 0..4 {
+            assert_eq!(out[&proc_name("w", i)], i * 10);
+        }
+    }
+
+    #[test]
+    fn alternative_with_output_guards() {
+        // p offers output to whichever of q, r is ready first.
+        let out = Parallel::<u32, u32>::new("alt")
+            .process("p", |ctx| {
+                let fired = ctx.alternative(vec![
+                    Arm::send("q".to_string(), 1),
+                    Arm::send("r".to_string(), 2),
+                ])?;
+                match fired {
+                    Outcome::Sent { to, .. } if to == "q" => Ok(1),
+                    Outcome::Sent { .. } => Ok(2),
+                    _ => unreachable!(),
+                }
+            })
+            .process("q", |ctx| match ctx.recv("p") {
+                Ok(v) => Ok(v),
+                Err(CspError::Terminated(_) | CspError::AllTerminated) => Ok(0),
+                Err(e) => Err(e),
+            })
+            .process("r", |ctx| match ctx.recv("p") {
+                Ok(v) => Ok(v),
+                Err(CspError::Terminated(_) | CspError::AllTerminated) => Ok(0),
+                Err(e) => Err(e),
+            })
+            .run()
+            .unwrap();
+        // Exactly one of q, r received; p reports which.
+        let delivered = out["q"] + out["r"];
+        assert_eq!(delivered, out["p"]);
+    }
+
+    #[test]
+    fn repetitive_command_terminates_when_partners_do() {
+        // Server loops until both clients terminate (CSP distributed
+        // termination convention).
+        let out = Parallel::<u32, u32>::new("server")
+            .process("server", |ctx| {
+                let mut sum = 0;
+                loop {
+                    match ctx.recv_any() {
+                        Ok((_, v)) => sum += v,
+                        Err(CspError::AllTerminated) => return Ok(sum),
+                        Err(e) => return Err(e),
+                    }
+                }
+            })
+            .process("c1", |ctx| {
+                ctx.send("server", 3)?;
+                Ok(0)
+            })
+            .process("c2", |ctx| {
+                ctx.send("server", 4)?;
+                Ok(0)
+            })
+            .run()
+            .unwrap();
+        assert_eq!(out["server"], 7);
+    }
+
+    #[test]
+    fn panicking_process_aborts_command() {
+        let err = Parallel::<u32, ()>::new("boom")
+            .process("p", |_ctx| panic!("test panic"))
+            .process("q", |ctx| ctx.recv("p").map(|_| ()))
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, CspError::App(_) | CspError::Aborted));
+    }
+
+    #[test]
+    fn timeout_guards_deadlock() {
+        let err = Parallel::<u32, ()>::new("deadlock")
+            .timeout(Duration::from_millis(50))
+            .process("p", |ctx| ctx.recv("q").map(|_| ()))
+            .process("q", |ctx| ctx.recv("p").map(|_| ()))
+            .run()
+            .unwrap_err();
+        // Whichever process times out first terminates, so the other may
+        // observe Terminated instead of its own timeout.
+        assert!(
+            matches!(err, CspError::Timeout | CspError::Terminated(_)),
+            "unexpected error: {err:?}"
+        );
+    }
+
+    #[test]
+    fn terminated_query() {
+        let out = Parallel::<u32, bool>::new("term")
+            .process("watcher", |ctx| {
+                // Wait until fleeting is done.
+                while !ctx.terminated("fleeting") {
+                    std::thread::yield_now();
+                }
+                Ok(true)
+            })
+            .process("fleeting", |_ctx| Ok(false))
+            .run()
+            .unwrap();
+        assert!(out["watcher"]);
+    }
+}

@@ -1,0 +1,376 @@
+//! Figure 7: the mechanical translation of scripts into plain CSP.
+//!
+//! The paper proves scripts add no expressive power to CSP by exhibiting
+//! a translation: each enrollment becomes (1) a `start_s` message to a
+//! per-script supervisor process `p_s`, (2) the role body inlined into
+//! the enrolling process with role names replaced by process names (the
+//! `WITH` binding) and every communication tagged with the script
+//! instance name, and (3) an `end_s` message. The supervisor's
+//! `ready`/`done` arrays enforce the *successive activations* rule.
+//!
+//! The paper's supervisor uses a guarded receive (`ready[k]; p_j?start_s`)
+//! to delay an enrollment for an occupied role. Message content cannot
+//! gate a receive in this substrate, so the same blocking effect is
+//! obtained by a two-message handshake: the supervisor accepts the
+//! `start_s`, and replies `go_s` only once the role is free. The enroller
+//! stays blocked exactly as under the guarded receive.
+//!
+//! Tagging (`TMsg::Data { script, .. }`) prevents the "unintended
+//! matching between communication commands arising from the translation"
+//! that the paper warns about; a tag mismatch is reported as an error
+//! instead of being silently delivered.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::process::{CspError, ProcCtx};
+
+/// Message vocabulary of a translated program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TMsg<M> {
+    /// Enrollment request: "I wish to play `role`".
+    Start {
+        /// The role being claimed.
+        role: String,
+    },
+    /// Supervisor's go-ahead (the accepted guarded receive).
+    Go,
+    /// Role completion notice.
+    End {
+        /// The role that finished.
+        role: String,
+    },
+    /// An inter-role payload, tagged with the script instance name.
+    Data {
+        /// Tag: the script instance this payload belongs to.
+        script: String,
+        /// The actual message.
+        payload: M,
+    },
+}
+
+/// The canonical name of the supervisor process for script `s`
+/// (the paper's `p_s`).
+pub fn supervisor_name(script: &str) -> String {
+    format!("p_{script}")
+}
+
+/// The view a translated role body has of the world: communication with
+/// *roles*, transparently mapped to the bound *processes* and tagged with
+/// the script name.
+pub struct RoleEnv<'a, M> {
+    ctx: &'a ProcCtx<TMsg<M>>,
+    script: String,
+    binding: HashMap<String, String>,
+}
+
+impl<M> fmt::Debug for RoleEnv<'_, M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RoleEnv")
+            .field("script", &self.script)
+            .field("binding", &self.binding)
+            .finish()
+    }
+}
+
+impl<M: Send + 'static> RoleEnv<'_, M> {
+    /// Sends `payload` to the process bound to `role` (translated
+    /// `role!payload`).
+    ///
+    /// # Errors
+    ///
+    /// [`CspError::Unknown`] if the enrollment's binding does not name
+    /// `role`, plus the communication failures of
+    /// [`ProcCtx::send`].
+    pub fn send_role(&self, role: &str, payload: M) -> Result<(), CspError> {
+        let target = self
+            .binding
+            .get(role)
+            .ok_or_else(|| CspError::Unknown(format!("role {role} not in binding")))?;
+        self.ctx.send(
+            target,
+            TMsg::Data {
+                script: self.script.clone(),
+                payload,
+            },
+        )
+    }
+
+    /// Receives from the process bound to `role` (translated `role?x`),
+    /// checking the script tag.
+    ///
+    /// # Errors
+    ///
+    /// [`CspError::App`] on a tag mismatch (a message from a different
+    /// script instance), [`CspError::Unknown`] for an unbound role, plus
+    /// communication failures.
+    pub fn recv_role(&self, role: &str) -> Result<M, CspError> {
+        let source = self
+            .binding
+            .get(role)
+            .ok_or_else(|| CspError::Unknown(format!("role {role} not in binding")))?;
+        match self.ctx.recv(source)? {
+            TMsg::Data { script, payload } if script == self.script => Ok(payload),
+            TMsg::Data { script, .. } => Err(CspError::App(format!(
+                "tag mismatch: expected script '{}', got '{script}'",
+                self.script
+            ))),
+            _ => Err(CspError::App(
+                "protocol violation: expected tagged data".to_string(),
+            )),
+        }
+    }
+
+    /// The underlying process context (for name queries etc.).
+    pub fn ctx(&self) -> &ProcCtx<TMsg<M>> {
+        self.ctx
+    }
+}
+
+/// Translated enrollment: `ENROLL IN script AS role(...) WITH binding`.
+///
+/// Performs the `start_s` handshake with the supervisor, runs `body` with
+/// role-to-process communication mapped through `binding`, then reports
+/// `end_s`.
+///
+/// # Errors
+///
+/// Any [`CspError`] from the handshake or the body.
+pub fn enroll<M, F>(
+    ctx: &ProcCtx<TMsg<M>>,
+    script: &str,
+    role: &str,
+    binding: HashMap<String, String>,
+    body: F,
+) -> Result<(), CspError>
+where
+    M: Send + 'static,
+    F: FnOnce(&RoleEnv<'_, M>) -> Result<(), CspError>,
+{
+    let sup = supervisor_name(script);
+    ctx.send(
+        &sup,
+        TMsg::Start {
+            role: role.to_string(),
+        },
+    )?;
+    match ctx.recv(&sup)? {
+        TMsg::Go => {}
+        _ => {
+            return Err(CspError::App(
+                "protocol violation: expected go".to_string(),
+            ))
+        }
+    }
+    let env = RoleEnv {
+        ctx,
+        script: script.to_string(),
+        binding,
+    };
+    body(&env)?;
+    ctx.send(
+        &sup,
+        TMsg::End {
+            role: role.to_string(),
+        },
+    )
+}
+
+/// The supervisor process `p_s` of Figure 7: coordinates `performances`
+/// consecutive performances of a script with the given roles, enforcing
+/// that all roles of one performance finish before the next begins.
+///
+/// # Errors
+///
+/// [`CspError::App`] on protocol violations (duplicate starts for a role
+/// within one performance, an end without a start), plus communication
+/// failures.
+pub fn supervisor<M>(
+    ctx: &ProcCtx<TMsg<M>>,
+    roles: &[String],
+    performances: usize,
+) -> Result<(), CspError>
+where
+    M: Send + 'static,
+{
+    // Queued enrollments for occupied roles: role -> waiting processes.
+    let mut waitlist: HashMap<String, Vec<String>> = HashMap::new();
+    for _ in 0..performances {
+        let mut ready: HashMap<&String, bool> = roles.iter().map(|r| (r, true)).collect();
+        let mut done: HashMap<&String, bool> = roles.iter().map(|r| (r, false)).collect();
+        // Admit queued enrollments from the previous performance first.
+        for role in roles {
+            if let Some(queue) = waitlist.get_mut(role) {
+                if !queue.is_empty() {
+                    let proc = queue.remove(0);
+                    ready.insert(role, false);
+                    ctx.send(&proc, TMsg::Go)?;
+                }
+            }
+        }
+        while done.values().any(|d| !d) {
+            let (from, msg) = ctx.recv_any()?;
+            match msg {
+                TMsg::Start { role } => {
+                    let known = roles.iter().find(|r| **r == role).ok_or_else(|| {
+                        CspError::App(format!("start for undeclared role {role}"))
+                    })?;
+                    if ready[known] {
+                        ready.insert(known, false);
+                        ctx.send(&from, TMsg::Go)?;
+                    } else {
+                        waitlist.entry(role).or_default().push(from);
+                    }
+                }
+                TMsg::End { role } => {
+                    let known = roles.iter().find(|r| **r == role).ok_or_else(|| {
+                        CspError::App(format!("end for undeclared role {role}"))
+                    })?;
+                    if ready[known] {
+                        return Err(CspError::App(format!("end without start for {role}")));
+                    }
+                    done.insert(known, true);
+                }
+                _ => {
+                    return Err(CspError::App(
+                        "protocol violation at supervisor".to_string(),
+                    ))
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::{proc_name, Parallel};
+    use std::time::Duration;
+
+    const SCRIPT: &str = "bcast";
+
+    fn roles(n: usize) -> Vec<String> {
+        let mut v = vec!["transmitter".to_string()];
+        v.extend((0..n).map(|i| format!("recipient[{i}]")));
+        v
+    }
+
+    /// The full Figure 6+7 setup: a broadcast script, translated.
+    fn run_translated(n: usize, performances: usize) -> HashMap<String, Vec<u64>> {
+        let mut cmd = Parallel::<TMsg<u64>, Vec<u64>>::new("translated")
+            .timeout(Duration::from_secs(10))
+            .process(supervisor_name(SCRIPT), move |ctx| {
+                supervisor(ctx, &roles(n), performances)?;
+                Ok(Vec::new())
+            })
+            .process("T", move |ctx| {
+                for p in 0..performances {
+                    let binding: HashMap<String, String> = (0..n)
+                        .map(|i| (format!("recipient[{i}]"), proc_name("q", i)))
+                        .collect();
+                    enroll(ctx, SCRIPT, "transmitter", binding, |env| {
+                        for i in 0..n {
+                            env.send_role(&format!("recipient[{i}]"), 100 + p as u64)?;
+                        }
+                        Ok(())
+                    })?;
+                }
+                Ok(Vec::new())
+            });
+        cmd = cmd.process_array("q", n, move |ctx, i| {
+            let mut got = Vec::new();
+            for _ in 0..performances {
+                let binding: HashMap<String, String> =
+                    [("transmitter".to_string(), "T".to_string())].into();
+                enroll(ctx, SCRIPT, &format!("recipient[{i}]"), binding, |env| {
+                    got.push(env.recv_role("transmitter")?);
+                    Ok(())
+                })?;
+            }
+            Ok(got)
+        });
+        cmd.run().unwrap()
+    }
+
+    #[test]
+    fn translated_broadcast_delivers() {
+        let out = run_translated(3, 1);
+        for i in 0..3 {
+            assert_eq!(out[&proc_name("q", i)], vec![100]);
+        }
+    }
+
+    #[test]
+    fn successive_performances_serialized_by_supervisor() {
+        let out = run_translated(4, 3);
+        for i in 0..4 {
+            assert_eq!(out[&proc_name("q", i)], vec![100, 101, 102]);
+        }
+    }
+
+    #[test]
+    fn supervisor_rejects_end_without_start() {
+        let err = Parallel::<TMsg<u64>, ()>::new("bad")
+            .timeout(Duration::from_secs(5))
+            .process(supervisor_name("s"), |ctx| {
+                supervisor(ctx, &["r".to_string()], 1)
+            })
+            .process("rogue", |ctx| {
+                ctx.send(&supervisor_name("s"), TMsg::End { role: "r".into() })
+            })
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, CspError::App(_)));
+    }
+
+    #[test]
+    fn tag_mismatch_detected() {
+        let out = Parallel::<TMsg<u8>, Result<u8, CspError>>::new("tags")
+            .timeout(Duration::from_secs(5))
+            .process("sender", |ctx| {
+                ctx.send(
+                    "receiver",
+                    TMsg::Data {
+                        script: "other_script".into(),
+                        payload: 1,
+                    },
+                )?;
+                Ok(Ok(0))
+            })
+            .process("receiver", |ctx| {
+                let env = RoleEnv {
+                    ctx,
+                    script: "my_script".into(),
+                    binding: [("peer".to_string(), "sender".to_string())].into(),
+                };
+                Ok(env.recv_role("peer"))
+            })
+            .run()
+            .unwrap();
+        assert!(matches!(out["receiver"], Err(CspError::App(_))));
+    }
+
+    #[test]
+    fn late_enroller_waits_for_next_performance() {
+        // Two processes compete for the single role; the supervisor must
+        // serialize them across two performances.
+        let out = Parallel::<TMsg<u8>, u8>::new("compete")
+            .timeout(Duration::from_secs(5))
+            .process(supervisor_name("solo"), |ctx| {
+                supervisor(ctx, &["only".to_string()], 2)?;
+                Ok(0)
+            })
+            .process("a", |ctx| {
+                enroll(ctx, "solo", "only", HashMap::new(), |_| Ok(()))?;
+                Ok(1)
+            })
+            .process("b", |ctx| {
+                enroll(ctx, "solo", "only", HashMap::new(), |_| Ok(()))?;
+                Ok(2)
+            })
+            .run()
+            .unwrap();
+        assert_eq!(out["a"] + out["b"], 3);
+    }
+}

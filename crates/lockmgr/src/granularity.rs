@@ -1,0 +1,320 @@
+//! Multiple-granularity locking (Korth), the paper's third strategy.
+//!
+//! Items are hierarchical paths like `"db/accounts/row17"`. Acquiring
+//! `S`/`X` on a node takes the matching intention lock (`IS`/`IX`) on
+//! every ancestor first; grants follow the classic compatibility matrix:
+//!
+//! ```text
+//!        IS   IX    S   SIX    X
+//!  IS     ✓    ✓    ✓    ✓    ✗
+//!  IX     ✓    ✓    ✗    ✗    ✗
+//!  S      ✓    ✗    ✓    ✗    ✗
+//!  SIX    ✓    ✗    ✗    ✗    ✗
+//!  X      ✗    ✗    ✗    ✗    ✗
+//! ```
+
+use std::collections::HashMap;
+
+use crate::table::{Mode, Table};
+
+/// A granular lock mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum GranularMode {
+    /// Intention shared.
+    IntentionShared,
+    /// Intention exclusive.
+    IntentionExclusive,
+    /// Shared (locks the whole subtree for reading).
+    Shared,
+    /// Shared + intention exclusive.
+    SharedIntentionExclusive,
+    /// Exclusive (locks the whole subtree for writing).
+    Exclusive,
+}
+
+use GranularMode::*;
+
+/// Are two granular modes compatible when held by different owners?
+pub fn compatible(a: GranularMode, b: GranularMode) -> bool {
+    match (a, b) {
+        (IntentionShared, Exclusive) | (Exclusive, IntentionShared) => false,
+        (IntentionShared, _) | (_, IntentionShared) => true,
+        (IntentionExclusive, IntentionExclusive) => true,
+        (Shared, Shared) => true,
+        _ => false,
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Held {
+    owner: String,
+    mode: GranularMode,
+    /// Reference count: one owner may hold the same intent from several
+    /// concurrent item locks.
+    count: usize,
+}
+
+/// A hierarchical lock table implementing multiple-granularity locking.
+///
+/// Implements the flat [`Table`] trait: `Shared`/`Exclusive` requests on
+/// a path take the appropriate intention locks on ancestors.
+///
+/// # Example
+///
+/// ```
+/// use script_lockmgr::granularity::GranularityTable;
+/// use script_lockmgr::table::{Mode, Table};
+///
+/// let mut t = GranularityTable::new();
+/// assert!(t.try_acquire("db/a/x", Mode::Exclusive, "w"));
+/// // A sibling row is still readable…
+/// assert!(t.try_acquire("db/a/y", Mode::Shared, "r"));
+/// // …but the whole file is not.
+/// assert!(!t.try_acquire("db/a", Mode::Shared, "r"));
+/// ```
+#[derive(Debug, Default)]
+pub struct GranularityTable {
+    /// node path → locks held on that node.
+    nodes: HashMap<String, Vec<Held>>,
+    /// (owner, item) → the `(node, mode)` grants backing that item lock.
+    grants: HashMap<(String, String), Vec<(String, GranularMode)>>,
+}
+
+fn ancestors(path: &str) -> Vec<String> {
+    let mut acc = String::new();
+    let mut out = Vec::new();
+    for seg in path.split('/') {
+        if !acc.is_empty() {
+            acc.push('/');
+        }
+        acc.push_str(seg);
+        out.push(acc.clone());
+    }
+    out
+}
+
+impl GranularityTable {
+    /// Creates an empty hierarchical table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn node_allows(&self, node: &str, mode: GranularMode, owner: &str) -> bool {
+        self.nodes
+            .get(node)
+            .map(|held| {
+                held.iter()
+                    .all(|h| h.owner == owner || compatible(h.mode, mode))
+            })
+            .unwrap_or(true)
+    }
+
+    fn add(&mut self, node: &str, mode: GranularMode, owner: &str) {
+        let held = self.nodes.entry(node.to_string()).or_default();
+        if let Some(h) = held
+            .iter_mut()
+            .find(|h| h.owner == owner && h.mode == mode)
+        {
+            h.count += 1;
+        } else {
+            held.push(Held {
+                owner: owner.to_string(),
+                mode,
+                count: 1,
+            });
+        }
+    }
+
+    fn remove(&mut self, node: &str, mode: GranularMode, owner: &str) {
+        if let Some(held) = self.nodes.get_mut(node) {
+            if let Some(pos) = held
+                .iter()
+                .position(|h| h.owner == owner && h.mode == mode)
+            {
+                held[pos].count -= 1;
+                if held[pos].count == 0 {
+                    held.remove(pos);
+                }
+            }
+            if held.is_empty() {
+                self.nodes.remove(node);
+            }
+        }
+    }
+
+    /// The modes currently held on `node` (for inspection/tests).
+    pub fn modes_on(&self, node: &str) -> Vec<GranularMode> {
+        self.nodes
+            .get(node)
+            .map(|held| held.iter().map(|h| h.mode).collect())
+            .unwrap_or_default()
+    }
+}
+
+impl Table for GranularityTable {
+    fn try_acquire(&mut self, item: &str, mode: Mode, owner: &str) -> bool {
+        let key = (owner.to_string(), item.to_string());
+        if self.grants.contains_key(&key) {
+            // Idempotent re-acquire of the same item.
+            return true;
+        }
+        let chain = ancestors(item);
+        let (intent, leaf_mode) = match mode {
+            Mode::Shared => (IntentionShared, Shared),
+            Mode::Exclusive => (IntentionExclusive, Exclusive),
+        };
+        // Check compatibility on every ancestor, then on the target.
+        let (leaf, parents) = chain.split_last().expect("paths are non-empty");
+        for node in parents {
+            if !self.node_allows(node, intent, owner) {
+                return false;
+            }
+        }
+        if !self.node_allows(leaf, leaf_mode, owner) {
+            return false;
+        }
+        // Commit.
+        let mut backing = Vec::with_capacity(chain.len());
+        for node in parents {
+            self.add(node, intent, owner);
+            backing.push((node.clone(), intent));
+        }
+        self.add(leaf, leaf_mode, owner);
+        backing.push((leaf.clone(), leaf_mode));
+        self.grants.insert(key, backing);
+        true
+    }
+
+    fn release(&mut self, item: &str, owner: &str) {
+        let key = (owner.to_string(), item.to_string());
+        if let Some(backing) = self.grants.remove(&key) {
+            for (node, mode) in backing {
+                self.remove(&node, mode, owner);
+            }
+        }
+    }
+
+    fn locked_items(&self) -> usize {
+        self.grants.len()
+    }
+
+    fn snapshot(&self) -> Vec<(String, String, Mode)> {
+        let mut out: Vec<(String, String, Mode)> = self
+            .grants
+            .iter()
+            .map(|((owner, item), backing)| {
+                let mode = match backing.last().map(|(_, m)| *m) {
+                    Some(Exclusive) => Mode::Exclusive,
+                    _ => Mode::Shared,
+                };
+                (item.clone(), owner.clone(), mode)
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    fn restore(&mut self, snapshot: Vec<(String, String, Mode)>) {
+        self.nodes.clear();
+        self.grants.clear();
+        for (item, owner, mode) in snapshot {
+            let granted = self.try_acquire(&item, mode, &owner);
+            debug_assert!(granted, "snapshots are internally consistent");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compatibility_matrix() {
+        // Spot-check the matrix rows.
+        assert!(compatible(IntentionShared, IntentionExclusive));
+        assert!(compatible(IntentionShared, Shared));
+        assert!(compatible(IntentionShared, SharedIntentionExclusive));
+        assert!(!compatible(IntentionShared, Exclusive));
+        assert!(compatible(IntentionExclusive, IntentionExclusive));
+        assert!(!compatible(IntentionExclusive, Shared));
+        assert!(!compatible(IntentionExclusive, SharedIntentionExclusive));
+        assert!(compatible(Shared, Shared));
+        assert!(!compatible(Shared, SharedIntentionExclusive));
+        assert!(!compatible(SharedIntentionExclusive, SharedIntentionExclusive));
+        assert!(!compatible(Exclusive, Exclusive));
+    }
+
+    #[test]
+    fn sibling_rows_can_be_written_concurrently() {
+        let mut t = GranularityTable::new();
+        assert!(t.try_acquire("db/f/r1", Mode::Exclusive, "w1"));
+        assert!(t.try_acquire("db/f/r2", Mode::Exclusive, "w2"));
+    }
+
+    #[test]
+    fn exclusive_row_blocks_file_share() {
+        let mut t = GranularityTable::new();
+        assert!(t.try_acquire("db/f/r1", Mode::Exclusive, "w"));
+        assert!(!t.try_acquire("db/f", Mode::Shared, "r"));
+        assert!(!t.try_acquire("db", Mode::Exclusive, "r"));
+        // But sharing an unrelated file is fine.
+        assert!(t.try_acquire("db/g", Mode::Shared, "r"));
+    }
+
+    #[test]
+    fn shared_file_blocks_row_write() {
+        let mut t = GranularityTable::new();
+        assert!(t.try_acquire("db/f", Mode::Shared, "r"));
+        assert!(!t.try_acquire("db/f/r1", Mode::Exclusive, "w"));
+        assert!(t.try_acquire("db/f/r1", Mode::Shared, "r2"));
+        t.release("db/f", "r");
+        assert!(!t.try_acquire("db/f/r1", Mode::Exclusive, "w"), "r2 still reads");
+        t.release("db/f/r1", "r2");
+        assert!(t.try_acquire("db/f/r1", Mode::Exclusive, "w"));
+    }
+
+    #[test]
+    fn release_removes_intents() {
+        let mut t = GranularityTable::new();
+        assert!(t.try_acquire("db/f/r1", Mode::Exclusive, "w"));
+        t.release("db/f/r1", "w");
+        assert!(t.modes_on("db").is_empty());
+        assert!(t.modes_on("db/f").is_empty());
+        assert_eq!(t.locked_items(), 0);
+        assert!(t.try_acquire("db", Mode::Exclusive, "other"));
+    }
+
+    #[test]
+    fn same_owner_intents_refcounted() {
+        let mut t = GranularityTable::new();
+        assert!(t.try_acquire("db/f/r1", Mode::Exclusive, "w"));
+        assert!(t.try_acquire("db/f/r2", Mode::Exclusive, "w"));
+        t.release("db/f/r1", "w");
+        // The intent on db/f must survive the first release.
+        assert!(!t.try_acquire("db/f", Mode::Shared, "r"));
+        t.release("db/f/r2", "w");
+        assert!(t.try_acquire("db/f", Mode::Shared, "r"));
+    }
+
+    #[test]
+    fn reacquire_same_item_is_idempotent() {
+        let mut t = GranularityTable::new();
+        assert!(t.try_acquire("db/x", Mode::Shared, "a"));
+        assert!(t.try_acquire("db/x", Mode::Shared, "a"));
+        assert_eq!(t.locked_items(), 1);
+        t.release("db/x", "a");
+        assert_eq!(t.locked_items(), 0);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut t = GranularityTable::new();
+        t.try_acquire("db/f/r1", Mode::Exclusive, "w");
+        t.try_acquire("db/g", Mode::Shared, "r");
+        let snap = t.snapshot();
+        let mut u = GranularityTable::new();
+        u.restore(snap.clone());
+        assert_eq!(u.snapshot(), snap);
+        assert!(!u.try_acquire("db/f", Mode::Shared, "other"));
+    }
+}

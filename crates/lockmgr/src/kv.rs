@@ -1,0 +1,319 @@
+//! A replicated key-value store driven by the lock-manager script — the
+//! "replicated and distributed database" the paper's example manages.
+//!
+//! Writes take an exclusive quorum, then install the new version on
+//! every replica; reads take a shared quorum and return the freshest
+//! version among the replicas they locked. With intersecting quorums
+//! (enforced by [`Strategy`]) this yields
+//! linearizable register semantics.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use script_core::ScriptError;
+
+use crate::script::{Cluster, Outcome};
+use crate::strategy::Strategy;
+
+#[derive(Debug, Clone)]
+struct Versioned<V> {
+    version: u64,
+    value: V,
+}
+
+/// One replica's storage.
+type Replica<V> = Mutex<HashMap<String, Versioned<V>>>;
+
+/// A replicated KV store: `k` replicas guarded by the Figure 5 lock
+/// manager script.
+pub struct ReplicatedKv<V> {
+    cluster: Cluster,
+    replicas: Arc<Vec<Replica<V>>>,
+}
+
+impl<V> fmt::Debug for ReplicatedKv<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReplicatedKv")
+            .field("replicas", &self.replicas.len())
+            .finish()
+    }
+}
+
+impl<V: Clone + Send + 'static> ReplicatedKv<V> {
+    /// Creates a store with `k` replicas under the given strategy.
+    pub fn new(k: usize, strategy: Strategy) -> Self {
+        Self {
+            cluster: Cluster::new(k, strategy),
+            replicas: Arc::new((0..k).map(|_| Mutex::new(HashMap::new())).collect()),
+        }
+    }
+
+    /// The underlying lock cluster.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Writes `value` under `key` on behalf of `client`. Returns `false`
+    /// (without writing) if the exclusive quorum was denied.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ScriptError`] from the lock performances.
+    pub fn write(&self, client: &str, key: &str, value: V) -> Result<bool, ScriptError> {
+        match self.cluster.acquire_exclusive(client, key)? {
+            Outcome::Granted { .. } => {}
+            _ => return Ok(false),
+        }
+        let next_version = 1 + self
+            .replicas
+            .iter()
+            .map(|r| r.lock().get(key).map(|v| v.version).unwrap_or(0))
+            .max()
+            .unwrap_or(0);
+        for replica in self.replicas.iter() {
+            replica.lock().insert(
+                key.to_string(),
+                Versioned {
+                    version: next_version,
+                    value: value.clone(),
+                },
+            );
+        }
+        self.cluster.release_exclusive(client, key)?;
+        Ok(true)
+    }
+
+    /// Reads `key` on behalf of `client`: takes a shared quorum and
+    /// returns the freshest version among the replicas it locked, or
+    /// `None` if the key is absent. Returns `Err`-free `None` also when
+    /// the read quorum was denied — the caller can retry.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ScriptError`] from the lock performances.
+    pub fn read(&self, client: &str, key: &str) -> Result<Option<V>, ScriptError> {
+        let at = match self.cluster.acquire_shared(client, key)? {
+            Outcome::Granted { at } => at,
+            _ => return Ok(None),
+        };
+        let freshest = at
+            .iter()
+            .filter_map(|&i| self.replicas[i].lock().get(key).cloned())
+            .max_by_key(|v| v.version)
+            .map(|v| v.value);
+        self.cluster.release_shared(client, key)?;
+        Ok(freshest)
+    }
+
+    /// Test/inspection access: the version of `key` at `replica`.
+    pub fn version_at(&self, replica: usize, key: &str) -> Option<u64> {
+        self.replicas[replica].lock().get(key).map(|v| v.version)
+    }
+
+    /// Atomically writes several keys (strict two-phase locking):
+    /// exclusive quorums are taken on every key in sorted order — so two
+    /// transactions never deadlock — then all values are installed, then
+    /// everything is released. Returns `false` (installing nothing) if
+    /// any quorum is denied; partially acquired locks are released.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ScriptError`] from the lock performances.
+    pub fn write_many(
+        &self,
+        client: &str,
+        entries: &[(String, V)],
+    ) -> Result<bool, ScriptError> {
+        let mut keys: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        // Growing phase: lock every key, in global order.
+        let mut held: Vec<&str> = Vec::with_capacity(keys.len());
+        for key in &keys {
+            match self.cluster.acquire_exclusive(client, key)? {
+                Outcome::Granted { .. } => held.push(key),
+                _ => {
+                    for h in &held {
+                        self.cluster.release_exclusive(client, h)?;
+                    }
+                    return Ok(false);
+                }
+            }
+        }
+        // Apply: last write per key wins, all replicas, one version bump.
+        for (key, value) in entries {
+            let next_version = 1 + self
+                .replicas
+                .iter()
+                .map(|r| r.lock().get(key).map(|v| v.version).unwrap_or(0))
+                .max()
+                .unwrap_or(0);
+            for replica in self.replicas.iter() {
+                replica.lock().insert(
+                    key.clone(),
+                    Versioned {
+                        version: next_version,
+                        value: value.clone(),
+                    },
+                );
+            }
+        }
+        // Shrinking phase.
+        for key in &keys {
+            self.cluster.release_exclusive(client, key)?;
+        }
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let kv = ReplicatedKv::new(3, Strategy::one_read_all_write(3));
+        assert!(kv.write("alice", "greeting", "hello".to_string()).unwrap());
+        assert_eq!(
+            kv.read("bob", "greeting").unwrap(),
+            Some("hello".to_string())
+        );
+    }
+
+    #[test]
+    fn missing_key_reads_none() {
+        let kv = ReplicatedKv::<String>::new(2, Strategy::one_read_all_write(2));
+        assert_eq!(kv.read("bob", "nope").unwrap(), None);
+    }
+
+    #[test]
+    fn overwrites_bump_versions_everywhere() {
+        let kv = ReplicatedKv::new(3, Strategy::majority(3));
+        assert!(kv.write("w", "k", 1u64).unwrap());
+        assert!(kv.write("w", "k", 2u64).unwrap());
+        for r in 0..3 {
+            assert_eq!(kv.version_at(r, "k"), Some(2));
+        }
+        assert_eq!(kv.read("r", "k").unwrap(), Some(2));
+    }
+
+    #[test]
+    fn write_denied_while_reader_holds_lock() {
+        let kv = ReplicatedKv::new(2, Strategy::one_read_all_write(2));
+        assert!(kv.write("w", "k", 10u64).unwrap());
+        // A reader takes and holds a shared lock out-of-band.
+        assert!(kv.cluster().acquire_shared("r", "k").unwrap().granted());
+        assert!(!kv.write("w", "k", 11u64).unwrap(), "write must be denied");
+        assert_eq!(kv.version_at(0, "k"), Some(1), "no partial write");
+        kv.cluster().release_shared("r", "k").unwrap();
+        assert!(kv.write("w", "k", 11u64).unwrap());
+        assert_eq!(kv.read("r", "k").unwrap(), Some(11));
+    }
+
+    #[test]
+    fn majority_read_returns_freshest_locked_replica() {
+        let kv = ReplicatedKv::new(3, Strategy::majority(3));
+        assert!(kv.write("w", "k", 5u64).unwrap());
+        // All replicas agree; any majority read returns the value.
+        assert_eq!(kv.read("r", "k").unwrap(), Some(5));
+    }
+
+    #[test]
+    fn concurrent_writers_serialize() {
+        let kv = Arc::new(ReplicatedKv::new(3, Strategy::majority(3)));
+        let mut wins = 0;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    let kv = Arc::clone(&kv);
+                    s.spawn(move || kv.write(&format!("w{i}"), "k", i as u64))
+                })
+                .collect();
+            for h in handles {
+                if h.join().unwrap().unwrap() {
+                    wins += 1;
+                }
+            }
+        });
+        assert!(wins >= 1, "at least one writer succeeds");
+        // All replicas ended on the same version.
+        let v0 = kv.version_at(0, "k");
+        assert!(v0.is_some());
+        for r in 1..3 {
+            assert_eq!(kv.version_at(r, "k"), v0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod txn_tests {
+    use super::*;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn multi_key_write_installs_everything() {
+        let kv = ReplicatedKv::new(2, Strategy::one_read_all_write(2));
+        assert!(kv
+            .write_many("t1", &[("a".into(), 1u64), ("b".into(), 2)])
+            .unwrap());
+        assert_eq!(kv.read("r", "a").unwrap(), Some(1));
+        assert_eq!(kv.read("r", "b").unwrap(), Some(2));
+    }
+
+    #[test]
+    fn denied_transaction_installs_nothing() {
+        let kv = ReplicatedKv::new(2, Strategy::one_read_all_write(2));
+        // A standing reader on "b" denies the write quorum there.
+        assert!(kv.cluster().acquire_shared("r", "b").unwrap().granted());
+        assert!(!kv
+            .write_many("t1", &[("a".into(), 1u64), ("b".into(), 2)])
+            .unwrap());
+        assert_eq!(kv.read("r2", "a").unwrap(), None, "nothing installed");
+        // The denied transaction released its partial lock on "a".
+        kv.cluster().release_shared("r", "b").unwrap();
+        assert!(kv.write("w", "a", 9u64).unwrap());
+    }
+
+    #[test]
+    fn duplicate_keys_last_write_wins() {
+        let kv = ReplicatedKv::new(2, Strategy::one_read_all_write(2));
+        assert!(kv
+            .write_many("t", &[("k".into(), 1u64), ("k".into(), 2)])
+            .unwrap());
+        assert_eq!(kv.read("r", "k").unwrap(), Some(2));
+    }
+
+    #[test]
+    fn concurrent_transactions_never_partially_interleave() {
+        // Two transactions write disjoint values to the same two keys;
+        // afterwards both keys must carry the same transaction's value.
+        let kv = Arc::new(ReplicatedKv::new(3, Strategy::majority(3)));
+        for _ in 0..5 {
+            std::thread::scope(|s| {
+                for t in 0..2u64 {
+                    let kv = Arc::clone(&kv);
+                    s.spawn(move || {
+                        // Retry until the transaction lands.
+                        loop {
+                            if kv
+                                .write_many(
+                                    &format!("t{t}"),
+                                    &[("x".into(), t), ("y".into(), t)],
+                                )
+                                .unwrap()
+                            {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    });
+                }
+            });
+            let x = kv.read("check", "x").unwrap().unwrap();
+            let y = kv.read("check", "y").unwrap().unwrap();
+            assert_eq!(x, y, "transaction atomicity violated");
+        }
+    }
+}

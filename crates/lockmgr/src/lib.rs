@@ -1,0 +1,51 @@
+//! The paper's replicated, distributed database lock manager (Figure 5),
+//! built as scripts over `script-core`.
+//!
+//! "Consider n nodes in a network, each of which can hold a copy of a
+//! database. At any one time k nodes hold copies. ... Readers and
+//! writers attempt to interact with this database through a lock manager
+//! script. This script can hide various read/write locking strategies:
+//! lock one node to read, all nodes to write; lock a majority of nodes
+//! to read or write; multiple granularity locking as described by
+//! Korth." (§II)
+//!
+//! The crate provides:
+//!
+//! * [`table`] — the lock-table abstract data type (flat read/write
+//!   tables) behind the [`table::Table`] trait;
+//! * [`granularity`] — multiple-granularity locking (IS/IX/S/SIX/X over
+//!   a resource hierarchy), the paper's third strategy;
+//! * [`strategy`] — quorum strategies: one-lock-to-read/k-to-write and
+//!   majority;
+//! * [`script`] — the Figure 5 roles (k lock managers, a reader, a
+//!   writer) with the exact `terminated`-query serving loop, plus a
+//!   [`script::Cluster`] helper that runs performances on threads;
+//! * [`membership`] — the separate script the paper posits "for lock
+//!   managers to negotiate the entering and leaving of the active set",
+//!   with lock-table state handover;
+//! * [`kv`] — a replicated key-value store exercising the whole stack;
+//! * [`workload`] — seeded, replayable workload generation for the
+//!   strategy experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use script_lockmgr::script::Cluster;
+//! use script_lockmgr::strategy::Strategy;
+//!
+//! let cluster = Cluster::new(3, Strategy::one_read_all_write(3));
+//! let grant = cluster.acquire_shared("alice", "x").unwrap();
+//! assert!(grant.granted());
+//! cluster.release_shared("alice", "x").unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod granularity;
+pub mod kv;
+pub mod membership;
+pub mod script;
+pub mod strategy;
+pub mod table;
+pub mod workload;

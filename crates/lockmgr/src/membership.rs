@@ -1,0 +1,193 @@
+//! Membership change: "There would be a separate script for lock
+//! managers to negotiate the entering and leaving of the active set."
+//! (§III)
+//!
+//! The [`handover`] script transfers a departing manager's lock table to
+//! its replacement (so that "if a reader is granted a read lock in one
+//! performance, some lock manager will have a record of that lock on a
+//! subsequent performance"), and [`ActiveSet`] tracks which of the `n`
+//! nodes are currently the `k` active managers.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use script_core::{
+    Initiation, Instance, RoleHandle, RoleId, Script, ScriptError, Termination,
+};
+
+use crate::table::{FlatTable, Mode, Table};
+
+/// A serialized lock table: `(item, owner, mode)` triples.
+pub type Snapshot = Vec<(String, String, Mode)>;
+
+/// The handover script: a donor role streams its lock-table snapshot to
+/// a joiner role.
+#[derive(Debug)]
+pub struct Handover {
+    /// The underlying script.
+    pub script: Script<Snapshot>,
+    /// The departing manager: its data parameter is the snapshot.
+    pub donor: RoleHandle<Snapshot, Snapshot, ()>,
+    /// The joining manager: returns the received snapshot.
+    pub joiner: RoleHandle<Snapshot, (), Snapshot>,
+}
+
+/// Builds the handover script.
+pub fn handover() -> Handover {
+    let mut b = Script::<Snapshot>::builder("membership_handover");
+    let donor = b.role("donor", |ctx, snapshot: Snapshot| {
+        ctx.send(&RoleId::new("joiner"), snapshot)?;
+        Ok(())
+    });
+    let joiner = b.role("joiner", |ctx, ()| ctx.recv_from(&RoleId::new("donor")));
+    b.initiation(Initiation::Delayed)
+        .termination(Termination::Delayed);
+    Handover {
+        script: b.build().expect("handover spec is valid"),
+        donor,
+        joiner,
+    }
+}
+
+/// The set of active lock managers among `n` candidate nodes, with
+/// table handover on every membership change.
+pub struct ActiveSet {
+    tables: Arc<Vec<Mutex<FlatTable>>>,
+    active: Mutex<BTreeSet<usize>>,
+    handover: Handover,
+    instance: Instance<Snapshot>,
+}
+
+impl fmt::Debug for ActiveSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ActiveSet")
+            .field("nodes", &self.tables.len())
+            .field("active", &self.active())
+            .finish()
+    }
+}
+
+impl ActiveSet {
+    /// Creates `n` nodes with nodes `0..k` initially active.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < k <= n`.
+    pub fn new(n: usize, k: usize) -> Self {
+        assert!(k > 0 && k <= n, "need 0 < k <= n");
+        let handover = handover();
+        let instance = handover.script.instance();
+        Self {
+            tables: Arc::new((0..n).map(|_| Mutex::new(FlatTable::new())).collect()),
+            active: Mutex::new((0..k).collect()),
+            handover,
+            instance,
+        }
+    }
+
+    /// The currently active node indices, ascending.
+    pub fn active(&self) -> Vec<usize> {
+        self.active.lock().iter().copied().collect()
+    }
+
+    /// The per-node lock tables.
+    pub fn tables(&self) -> &Arc<Vec<Mutex<FlatTable>>> {
+        &self.tables
+    }
+
+    /// Replaces active node `leaving` with inactive node `joining`,
+    /// transferring the lock table through a handover performance.
+    ///
+    /// # Errors
+    ///
+    /// [`ScriptError::App`] if `leaving` is not active or `joining`
+    /// already is, plus any error from the handover script.
+    pub fn swap(&self, leaving: usize, joining: usize) -> Result<(), ScriptError> {
+        {
+            let active = self.active.lock();
+            if !active.contains(&leaving) {
+                return Err(ScriptError::app(format!("node {leaving} is not active")));
+            }
+            if active.contains(&joining) {
+                return Err(ScriptError::app(format!("node {joining} is already active")));
+            }
+            if joining >= self.tables.len() {
+                return Err(ScriptError::app(format!("node {joining} does not exist")));
+            }
+        }
+        // One performance: the leaving node donates, the joining node
+        // receives and installs.
+        let snapshot = self.tables[leaving].lock().snapshot();
+        let received = std::thread::scope(|s| {
+            let donor_h = {
+                let inst = self.instance.clone();
+                let donor = self.handover.donor.clone();
+                s.spawn(move || inst.enroll(&donor, snapshot))
+            };
+            let received = self.instance.enroll(&self.handover.joiner, ())?;
+            donor_h.join().expect("donor thread does not panic")?;
+            Ok::<Snapshot, ScriptError>(received)
+        })?;
+        self.tables[joining].lock().restore(received);
+        *self.tables[leaving].lock() = FlatTable::new();
+        let mut active = self.active.lock();
+        active.remove(&leaving);
+        active.insert(joining);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handover_transfers_snapshot() {
+        let h = handover();
+        let inst = h.script.instance();
+        let snap: Snapshot = vec![("x".into(), "r".into(), Mode::Shared)];
+        let got = std::thread::scope(|s| {
+            let snap2 = snap.clone();
+            let d = {
+                let inst = inst.clone();
+                let donor = h.donor.clone();
+                s.spawn(move || inst.enroll(&donor, snap2))
+            };
+            let got = inst.enroll(&h.joiner, ()).unwrap();
+            d.join().unwrap().unwrap();
+            got
+        });
+        assert_eq!(got, snap);
+    }
+
+    #[test]
+    fn swap_preserves_locks() {
+        let set = ActiveSet::new(4, 3);
+        set.tables()[1].lock().try_acquire("x", Mode::Exclusive, "w");
+        set.swap(1, 3).unwrap();
+        assert_eq!(set.active(), vec![0, 2, 3]);
+        assert_eq!(set.tables()[3].lock().writer("x"), Some("w"));
+        assert_eq!(set.tables()[1].lock().locked_items(), 0);
+    }
+
+    #[test]
+    fn invalid_swaps_rejected() {
+        let set = ActiveSet::new(3, 2);
+        assert!(set.swap(2, 0).is_err(), "2 is not active");
+        assert!(set.swap(0, 1).is_err(), "1 is already active");
+        assert!(set.swap(0, 9).is_err(), "9 does not exist");
+        assert_eq!(set.active(), vec![0, 1]);
+    }
+
+    #[test]
+    fn repeated_swaps_keep_k_constant() {
+        let set = ActiveSet::new(5, 2);
+        set.swap(0, 2).unwrap();
+        set.swap(1, 3).unwrap();
+        set.swap(2, 4).unwrap();
+        assert_eq!(set.active().len(), 2);
+        assert_eq!(set.active(), vec![3, 4]);
+    }
+}

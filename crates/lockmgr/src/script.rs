@@ -1,0 +1,619 @@
+//! The Figure 5 lock-manager script: `k` lock managers, a reader, and a
+//! writer, with critical role sets so that a performance may run with
+//! either client (or both).
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use script_core::{
+    CriticalSet, Enrollment, Event, FamilyHandle, Guard, Initiation, Instance, ProcessSel,
+    RoleHandle, RoleId, Script, ScriptError, Termination,
+};
+
+use crate::strategy::Strategy;
+use crate::table::{FlatTable, Mode, Table};
+
+/// Messages exchanged between clients and lock managers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LockMsg {
+    /// `SEND lock(data, id) TO manager[i]` — request a lock.
+    Acquire {
+        /// The item (or hierarchical path) to lock.
+        item: String,
+        /// Exclusive (write) or shared (read).
+        exclusive: bool,
+        /// The requesting client's identifier (the paper's "unique
+        /// processor identifier, so that locks may be identified
+        /// unambiguously").
+        owner: String,
+    },
+    /// `SEND release(data, id) TO manager[i]`.
+    Release {
+        /// The item to release.
+        item: String,
+        /// The releasing client.
+        owner: String,
+    },
+    /// `RECEIVE reply FROM manager[i]` — granted or denied.
+    Reply {
+        /// Whether the lock was granted.
+        granted: bool,
+    },
+}
+
+/// A client request: one performance of the script executes one of
+/// these per enrolled client role.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Acquire a lock on `item`.
+    Acquire {
+        /// The item to lock.
+        item: String,
+        /// The requesting client.
+        client: String,
+    },
+    /// Release the lock on `item`.
+    Release {
+        /// The item to release.
+        item: String,
+        /// The releasing client.
+        client: String,
+    },
+}
+
+/// The result of a client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// The lock was acquired; `at` lists the granting managers.
+    Granted {
+        /// Indices of the managers that granted the lock.
+        at: Vec<usize>,
+    },
+    /// The quorum could not be met; any partial grants were released.
+    Denied,
+    /// The release was delivered to every manager.
+    Released,
+}
+
+impl Outcome {
+    /// Was the request granted?
+    pub fn granted(&self) -> bool {
+        matches!(self, Outcome::Granted { .. })
+    }
+}
+
+/// The lock-manager script with its typed role handles.
+pub struct LockScript {
+    /// The underlying script.
+    pub script: Script<LockMsg>,
+    /// The manager family: each member returns how many requests it
+    /// served in the performance.
+    pub manager: FamilyHandle<LockMsg, (), usize>,
+    /// The reader role (shared locks).
+    pub reader: RoleHandle<LockMsg, Request, Outcome>,
+    /// The writer role (exclusive locks).
+    pub writer: RoleHandle<LockMsg, Request, Outcome>,
+    k: usize,
+}
+
+impl fmt::Debug for LockScript {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LockScript").field("k", &self.k).finish()
+    }
+}
+
+fn manager_id(i: usize) -> RoleId {
+    RoleId::indexed("manager", i)
+}
+
+/// The quorum-acquire protocol shared by reader and writer (Figures 5b
+/// and 5c): ask managers in order, stop early once the quorum is met or
+/// can no longer be met, release partial grants on denial.
+fn quorum_acquire(
+    ctx: &script_core::RoleCtx<LockMsg>,
+    k: usize,
+    quorum: usize,
+    exclusive: bool,
+    item: &str,
+    client: &str,
+) -> Result<Outcome, ScriptError> {
+    let mut who: Vec<usize> = Vec::new();
+    for i in 0..k {
+        if who.len() >= quorum {
+            break;
+        }
+        if who.len() + (k - i) < quorum {
+            break; // cannot reach the quorum any more
+        }
+        ctx.send(
+            &manager_id(i),
+            LockMsg::Acquire {
+                item: item.to_string(),
+                exclusive,
+                owner: client.to_string(),
+            },
+        )?;
+        match ctx.recv_from(&manager_id(i))? {
+            LockMsg::Reply { granted } => {
+                if granted {
+                    who.push(i);
+                }
+            }
+            other => {
+                return Err(ScriptError::app(format!(
+                    "protocol violation: expected reply, got {other:?}"
+                )))
+            }
+        }
+    }
+    if who.len() >= quorum {
+        Ok(Outcome::Granted { at: who })
+    } else {
+        // `status := denied;  DO i IN who; SEND release … OD`
+        for &i in &who {
+            ctx.send(
+                &manager_id(i),
+                LockMsg::Release {
+                    item: item.to_string(),
+                    owner: client.to_string(),
+                },
+            )?;
+        }
+        Ok(Outcome::Denied)
+    }
+}
+
+fn release_all(
+    ctx: &script_core::RoleCtx<LockMsg>,
+    k: usize,
+    item: &str,
+    client: &str,
+) -> Result<Outcome, ScriptError> {
+    for i in 0..k {
+        ctx.send(
+            &manager_id(i),
+            LockMsg::Release {
+                item: item.to_string(),
+                owner: client.to_string(),
+            },
+        )?;
+    }
+    Ok(Outcome::Released)
+}
+
+/// Builds the lock-manager script over the given persistent tables
+/// (`tables.len()` managers) and quorum strategy.
+///
+/// "Between performances of the script the identity of the lock managers
+/// may change, but we assume that the lock tables are preserved" — hence
+/// the tables live outside the script, behind an `Arc`.
+///
+/// # Panics
+///
+/// Panics if `strategy.managers() != tables.len()`.
+pub fn lock_script<T: Table + 'static>(
+    strategy: Strategy,
+    tables: Arc<Vec<Mutex<T>>>,
+) -> LockScript {
+    let k = tables.len();
+    assert_eq!(strategy.managers(), k, "strategy sized for k managers");
+    let mut b = Script::<LockMsg>::builder("lock_manager");
+
+    // Figure 5a: the manager serves lock/release requests from the
+    // reader and the writer until both have terminated.
+    let manager = b.family("manager", k, move |ctx, ()| {
+        let me = ctx.role().index().expect("manager is indexed");
+        let mut served = 0;
+        loop {
+            let r_done = ctx.terminated(&RoleId::new("reader"));
+            let w_done = ctx.terminated(&RoleId::new("writer"));
+            if r_done && w_done {
+                return Ok(served);
+            }
+            let event = ctx.select(vec![
+                Guard::recv_from(RoleId::new("reader")).when(!r_done),
+                Guard::recv_from(RoleId::new("writer")).when(!w_done),
+                Guard::watch(RoleId::new("reader")).when(!r_done),
+                Guard::watch(RoleId::new("writer")).when(!w_done),
+            ])?;
+            match event {
+                Event::Received { from, msg, .. } => {
+                    served += 1;
+                    match msg {
+                        LockMsg::Acquire {
+                            item,
+                            exclusive,
+                            owner,
+                        } => {
+                            let mode = if exclusive {
+                                Mode::Exclusive
+                            } else {
+                                Mode::Shared
+                            };
+                            let granted =
+                                tables[me].lock().try_acquire(&item, mode, &owner);
+                            ctx.send(&from, LockMsg::Reply { granted })?;
+                        }
+                        LockMsg::Release { item, owner } => {
+                            tables[me].lock().release(&item, &owner);
+                        }
+                        LockMsg::Reply { .. } => {
+                            return Err(ScriptError::app(
+                                "protocol violation: client sent a reply",
+                            ))
+                        }
+                    }
+                }
+                Event::Terminated { .. } => {}
+                Event::Sent { .. } => unreachable!("no send guards"),
+            }
+        }
+    });
+
+    // Figure 5b: the reader.
+    let read_quorum = strategy.read_quorum();
+    let reader = b.role("reader", move |ctx, req: Request| match req {
+        Request::Acquire { item, client } => {
+            quorum_acquire(ctx, k, read_quorum, false, &item, &client)
+        }
+        Request::Release { item, client } => release_all(ctx, k, &item, &client),
+    });
+
+    // Figure 5c: the writer.
+    let write_quorum = strategy.write_quorum();
+    let writer = b.role("writer", move |ctx, req: Request| match req {
+        Request::Acquire { item, client } => {
+            quorum_acquire(ctx, k, write_quorum, true, &item, &client)
+        }
+        Request::Release { item, client } => release_all(ctx, k, &item, &client),
+    });
+
+    // "it is sufficient that all the lock-manager roles be filled, as
+    // well as, either the reader or the writer (or both)".
+    b.critical_set(CriticalSet::new().family("manager").role("reader"))
+        .critical_set(CriticalSet::new().family("manager").role("writer"))
+        .initiation(Initiation::Delayed)
+        .termination(Termination::Delayed);
+
+    LockScript {
+        script: b.build().expect("lock manager spec is valid"),
+        manager,
+        reader,
+        writer,
+        k,
+    }
+}
+
+/// A convenience harness: persistent tables plus a script instance, with
+/// per-operation performances run on scoped threads.
+pub struct Cluster {
+    script: LockScript,
+    instance: Instance<LockMsg>,
+    tables: Arc<Vec<Mutex<FlatTable>>>,
+    timeout: Duration,
+}
+
+impl fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Cluster")
+            .field("managers", &self.tables.len())
+            .finish()
+    }
+}
+
+impl Cluster {
+    /// Creates a cluster of `k` managers with flat lock tables.
+    pub fn new(k: usize, strategy: Strategy) -> Self {
+        let tables: Arc<Vec<Mutex<FlatTable>>> =
+            Arc::new((0..k).map(|_| Mutex::new(FlatTable::new())).collect());
+        let script = lock_script(strategy, Arc::clone(&tables));
+        let instance = script.script.instance();
+        Self {
+            script,
+            instance,
+            tables,
+            timeout: Duration::from_secs(10),
+        }
+    }
+
+    /// The number of managers.
+    pub fn managers(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Direct access to the persistent tables (for tests/inspection).
+    pub fn tables(&self) -> &Arc<Vec<Mutex<FlatTable>>> {
+        &self.tables
+    }
+
+    /// The underlying script instance.
+    pub fn instance(&self) -> &Instance<LockMsg> {
+        &self.instance
+    }
+
+    /// Runs one performance with the given client requests (reader,
+    /// writer, or both).
+    ///
+    /// # Errors
+    ///
+    /// The first error any participant reported.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both requests are `None`.
+    pub fn perform(
+        &self,
+        reader_req: Option<Request>,
+        writer_req: Option<Request>,
+    ) -> Result<(Option<Outcome>, Option<Outcome>), ScriptError> {
+        assert!(
+            reader_req.is_some() || writer_req.is_some(),
+            "a performance needs at least one client"
+        );
+        let k = self.managers();
+        let clients = usize::from(reader_req.is_some()) + usize::from(writer_req.is_some());
+        // A single-client performance must not be greedily extended with
+        // an unrelated client from a concurrent `perform` call (that
+        // would strand the other call's managers). An unsatisfiable
+        // partner constraint on the unused client role keeps it out —
+        // partner naming doing exactly what the paper designed it for.
+        let nobody = || ProcessSel::one_of(Vec::<String>::new());
+        let solo_reader = clients == 1 && reader_req.is_some();
+        let solo_writer = clients == 1 && writer_req.is_some();
+        std::thread::scope(|s| {
+            // Enroll the clients first and wait until both are queued:
+            // with two alternative critical sets ("reader or writer or
+            // both"), admitting the managers early could start a
+            // performance before the second client arrives.
+            let reader_h = reader_req.map(|req| {
+                let r = &self.script.reader;
+                let inst = &self.instance;
+                let t = self.timeout;
+                let mut options = Enrollment::new().timeout(t);
+                if solo_reader {
+                    options = options.partner("writer", nobody());
+                }
+                s.spawn(move || inst.enroll_with(r, req, options))
+            });
+            let writer_h = writer_req.map(|req| {
+                let w = &self.script.writer;
+                let inst = &self.instance;
+                let t = self.timeout;
+                let mut options = Enrollment::new().timeout(t);
+                if solo_writer {
+                    options = options.partner("reader", nobody());
+                }
+                s.spawn(move || inst.enroll_with(w, req, options))
+            });
+            let queue_deadline = std::time::Instant::now() + self.timeout;
+            while self.instance.pending_enrollments() < clients
+                && std::time::Instant::now() < queue_deadline
+            {
+                std::thread::yield_now();
+            }
+            let managers: Vec<_> = (0..k)
+                .map(|i| {
+                    let mgr = &self.script.manager;
+                    let inst = &self.instance;
+                    let t = self.timeout;
+                    s.spawn(move || {
+                        inst.enroll_member_with(mgr, i, (), Enrollment::new().timeout(t))
+                    })
+                })
+                .collect();
+            let reader_out = match reader_h {
+                Some(h) => Some(h.join().expect("reader thread does not panic")?),
+                None => None,
+            };
+            let writer_out = match writer_h {
+                Some(h) => Some(h.join().expect("writer thread does not panic")?),
+                None => None,
+            };
+            for m in managers {
+                m.join().expect("manager threads do not panic")?;
+            }
+            Ok((reader_out, writer_out))
+        })
+    }
+
+    /// Acquires a shared lock for `client` on `item`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ScriptError`] from the performance.
+    pub fn acquire_shared(&self, client: &str, item: &str) -> Result<Outcome, ScriptError> {
+        let (r, _) = self.perform(
+            Some(Request::Acquire {
+                item: item.into(),
+                client: client.into(),
+            }),
+            None,
+        )?;
+        Ok(r.expect("reader enrolled"))
+    }
+
+    /// Releases `client`'s shared lock on `item`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ScriptError`] from the performance.
+    pub fn release_shared(&self, client: &str, item: &str) -> Result<Outcome, ScriptError> {
+        let (r, _) = self.perform(
+            Some(Request::Release {
+                item: item.into(),
+                client: client.into(),
+            }),
+            None,
+        )?;
+        Ok(r.expect("reader enrolled"))
+    }
+
+    /// Acquires an exclusive lock for `client` on `item`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ScriptError`] from the performance.
+    pub fn acquire_exclusive(&self, client: &str, item: &str) -> Result<Outcome, ScriptError> {
+        let (_, w) = self.perform(
+            None,
+            Some(Request::Acquire {
+                item: item.into(),
+                client: client.into(),
+            }),
+        )?;
+        Ok(w.expect("writer enrolled"))
+    }
+
+    /// Releases `client`'s exclusive lock on `item`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ScriptError`] from the performance.
+    pub fn release_exclusive(&self, client: &str, item: &str) -> Result<Outcome, ScriptError> {
+        let (_, w) = self.perform(
+            None,
+            Some(Request::Release {
+                item: item.into(),
+                client: client.into(),
+            }),
+        )?;
+        Ok(w.expect("writer enrolled"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reader_needs_one_grant() {
+        let c = Cluster::new(3, Strategy::one_read_all_write(3));
+        match c.acquire_shared("r1", "x").unwrap() {
+            Outcome::Granted { at } => assert_eq!(at, vec![0], "first manager grants"),
+            other => panic!("expected grant, got {other:?}"),
+        }
+        // Only manager 0's table holds the lock.
+        assert!(c.tables()[0].lock().holds("x", "r1"));
+        assert!(!c.tables()[1].lock().holds("x", "r1"));
+    }
+
+    #[test]
+    fn writer_needs_all_grants() {
+        let c = Cluster::new(3, Strategy::one_read_all_write(3));
+        match c.acquire_exclusive("w", "x").unwrap() {
+            Outcome::Granted { at } => assert_eq!(at, vec![0, 1, 2]),
+            other => panic!("expected grant, got {other:?}"),
+        }
+        for t in c.tables().iter() {
+            assert_eq!(t.lock().writer("x"), Some("w"));
+        }
+    }
+
+    #[test]
+    fn reader_blocks_writer_and_release_unblocks() {
+        let c = Cluster::new(3, Strategy::one_read_all_write(3));
+        assert!(c.acquire_shared("r1", "x").unwrap().granted());
+        // The writer needs all three; manager 0 denies.
+        assert_eq!(c.acquire_exclusive("w", "x").unwrap(), Outcome::Denied);
+        // Denial must not leave partial write locks behind.
+        for t in c.tables().iter() {
+            assert_eq!(t.lock().writer("x"), None);
+        }
+        assert_eq!(c.release_shared("r1", "x").unwrap(), Outcome::Released);
+        assert!(c.acquire_exclusive("w", "x").unwrap().granted());
+    }
+
+    #[test]
+    fn writer_blocks_reader_at_first_manager() {
+        let c = Cluster::new(2, Strategy::one_read_all_write(2));
+        assert!(c.acquire_exclusive("w", "x").unwrap().granted());
+        // The reader tries manager 0 (denied), then manager 1 (denied:
+        // writer locked all).
+        assert_eq!(c.acquire_shared("r", "x").unwrap(), Outcome::Denied);
+        c.release_exclusive("w", "x").unwrap();
+        assert!(c.acquire_shared("r", "x").unwrap().granted());
+    }
+
+    #[test]
+    fn majority_readers_conflict_with_writers() {
+        let c = Cluster::new(3, Strategy::majority(3));
+        match c.acquire_shared("r", "x").unwrap() {
+            Outcome::Granted { at } => assert_eq!(at.len(), 2),
+            other => panic!("expected majority grant, got {other:?}"),
+        }
+        // A writer majority must intersect the reader's.
+        assert_eq!(c.acquire_exclusive("w", "x").unwrap(), Outcome::Denied);
+        c.release_shared("r", "x").unwrap();
+        assert!(c.acquire_exclusive("w", "x").unwrap().granted());
+    }
+
+    #[test]
+    fn reader_and_writer_in_one_performance() {
+        let c = Cluster::new(2, Strategy::one_read_all_write(2));
+        let (r, w) = c
+            .perform(
+                Some(Request::Acquire {
+                    item: "x".into(),
+                    client: "r".into(),
+                }),
+                Some(Request::Acquire {
+                    item: "y".into(),
+                    client: "w".into(),
+                }),
+            )
+            .unwrap();
+        assert!(r.unwrap().granted(), "distinct items: both grant");
+        assert!(w.unwrap().granted());
+    }
+
+    #[test]
+    fn conflicting_reader_and_writer_same_performance() {
+        let c = Cluster::new(2, Strategy::one_read_all_write(2));
+        let (r, w) = c
+            .perform(
+                Some(Request::Acquire {
+                    item: "x".into(),
+                    client: "r".into(),
+                }),
+                Some(Request::Acquire {
+                    item: "x".into(),
+                    client: "w".into(),
+                }),
+            )
+            .unwrap();
+        // Exactly one of them can win everything it needs; the loser is
+        // denied (no blocking/waiting in Figure 5's protocol).
+        let r = r.unwrap();
+        let w = w.unwrap();
+        assert!(
+            r.granted() || w.granted(),
+            "at least one request must succeed: {r:?} {w:?}"
+        );
+        // Tables must be consistent: never a reader and writer on x at
+        // the same manager.
+        for t in c.tables().iter() {
+            let t = t.lock();
+            assert!(!(t.readers("x") > 0 && t.writer("x").is_some()));
+        }
+    }
+
+    #[test]
+    fn locks_persist_across_performances() {
+        let c = Cluster::new(2, Strategy::one_read_all_write(2));
+        assert!(c.acquire_shared("r", "x").unwrap().granted());
+        assert_eq!(c.instance().completed_performances(), 1);
+        // A later performance still sees the lock.
+        assert_eq!(c.acquire_exclusive("w", "x").unwrap(), Outcome::Denied);
+        assert_eq!(c.instance().completed_performances(), 2);
+    }
+
+    #[test]
+    fn distinct_items_do_not_conflict() {
+        let c = Cluster::new(3, Strategy::majority(3));
+        assert!(c.acquire_exclusive("w1", "a").unwrap().granted());
+        assert!(c.acquire_exclusive("w2", "b").unwrap().granted());
+        assert!(c.acquire_shared("r", "c").unwrap().granted());
+    }
+}

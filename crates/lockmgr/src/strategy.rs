@@ -1,0 +1,129 @@
+//! Quorum strategies for the replicated lock manager.
+
+use std::fmt;
+
+/// How many of the `k` lock managers must grant a request.
+///
+/// The paper's strategies:
+/// * [`Strategy::one_read_all_write`] — "lock one node to read, all
+///   nodes to write" (the Figure 5 example),
+/// * [`Strategy::majority`] — "lock a majority of nodes to read or
+///   write".
+///
+/// Multiple-granularity locking is orthogonal: it changes each manager's
+/// *table* (see [`crate::granularity`]), not the quorum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Strategy {
+    read_quorum: usize,
+    write_quorum: usize,
+    k: usize,
+}
+
+impl Strategy {
+    /// Builds a custom strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < read_quorum, write_quorum <= k` and the pair
+    /// guarantees read/write conflict detection
+    /// (`read_quorum + write_quorum > k`).
+    pub fn new(k: usize, read_quorum: usize, write_quorum: usize) -> Self {
+        assert!(k > 0, "need at least one lock manager");
+        assert!(
+            (1..=k).contains(&read_quorum) && (1..=k).contains(&write_quorum),
+            "quorums must be within 1..=k"
+        );
+        assert!(
+            read_quorum + write_quorum > k,
+            "read and write quorums must intersect"
+        );
+        assert!(
+            write_quorum * 2 > k,
+            "two write quorums must intersect"
+        );
+        Self {
+            read_quorum,
+            write_quorum,
+            k,
+        }
+    }
+
+    /// Figure 5's strategy: one lock to read, `k` locks to write.
+    pub fn one_read_all_write(k: usize) -> Self {
+        Self::new(k, 1, k)
+    }
+
+    /// Majority locking for both reads and writes.
+    pub fn majority(k: usize) -> Self {
+        let m = k / 2 + 1;
+        Self::new(k, m, m)
+    }
+
+    /// The number of managers.
+    pub fn managers(&self) -> usize {
+        self.k
+    }
+
+    /// Managers that must grant a read.
+    pub fn read_quorum(&self) -> usize {
+        self.read_quorum
+    }
+
+    /// Managers that must grant a write.
+    pub fn write_quorum(&self) -> usize {
+        self.write_quorum
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "r={}/w={} of {}",
+            self.read_quorum, self.write_quorum, self.k
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_read_all_write_quorums() {
+        let s = Strategy::one_read_all_write(5);
+        assert_eq!(s.read_quorum(), 1);
+        assert_eq!(s.write_quorum(), 5);
+        assert_eq!(s.managers(), 5);
+    }
+
+    #[test]
+    fn majority_quorums() {
+        assert_eq!(Strategy::majority(5).read_quorum(), 3);
+        assert_eq!(Strategy::majority(4).write_quorum(), 3);
+        assert_eq!(Strategy::majority(1).read_quorum(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must intersect")]
+    fn non_intersecting_quorums_rejected() {
+        let _ = Strategy::new(5, 2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "two write quorums")]
+    fn non_intersecting_write_quorums_rejected() {
+        let _ = Strategy::new(6, 5, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "within 1..=k")]
+    fn zero_quorum_rejected() {
+        let _ = Strategy::new(3, 0, 3);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(Strategy::majority(5).to_string(), "r=3/w=3 of 5");
+    }
+}

@@ -1,0 +1,256 @@
+//! Lock tables: the abstract data type each lock manager maintains.
+//!
+//! "We assume that the lock tables are abstract data types with the
+//! appropriate functions to lock and release entries in the table and to
+//! check whether read or write locks on a piece of data may be added."
+//! (§III)
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// The lock mode a client requests on an item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Mode {
+    /// Shared (read) access; compatible with other shared holders.
+    Shared,
+    /// Exclusive (write) access; compatible with nothing.
+    Exclusive,
+}
+
+/// The lock-table abstract data type.
+///
+/// Implementations must be re-entrant per owner: acquiring a mode an
+/// owner already holds succeeds (idempotently), and one `release`
+/// releases everything that owner holds on the item.
+pub trait Table: Send {
+    /// Attempts to acquire `mode` on `item` for `owner`; returns whether
+    /// the lock was granted. Denials must leave the table unchanged.
+    fn try_acquire(&mut self, item: &str, mode: Mode, owner: &str) -> bool;
+
+    /// Releases everything `owner` holds on `item` (no-op if nothing).
+    fn release(&mut self, item: &str, owner: &str);
+
+    /// Number of items with at least one lock.
+    fn locked_items(&self) -> usize;
+
+    /// A serializable snapshot of the table — `(item, owner, mode)`
+    /// triples — used for membership handover.
+    fn snapshot(&self) -> Vec<(String, String, Mode)>;
+
+    /// Rebuilds the table from a snapshot, replacing current contents.
+    fn restore(&mut self, snapshot: Vec<(String, String, Mode)>);
+}
+
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+struct Entry {
+    readers: Vec<String>,
+    writer: Option<String>,
+}
+
+/// A flat (single-granule) read/write lock table.
+///
+/// # Example
+///
+/// ```
+/// use script_lockmgr::table::{FlatTable, Mode, Table};
+///
+/// let mut t = FlatTable::new();
+/// assert!(t.try_acquire("x", Mode::Shared, "r1"));
+/// assert!(t.try_acquire("x", Mode::Shared, "r2"));
+/// assert!(!t.try_acquire("x", Mode::Exclusive, "w"));
+/// t.release("x", "r1");
+/// t.release("x", "r2");
+/// assert!(t.try_acquire("x", Mode::Exclusive, "w"));
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct FlatTable {
+    entries: HashMap<String, Entry>,
+}
+
+impl FlatTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Does `owner` hold a lock on `item`?
+    pub fn holds(&self, item: &str, owner: &str) -> bool {
+        self.entries
+            .get(item)
+            .map(|e| {
+                e.readers.iter().any(|r| r == owner)
+                    || e.writer.as_deref() == Some(owner)
+            })
+            .unwrap_or(false)
+    }
+
+    /// Current reader count on `item`.
+    pub fn readers(&self, item: &str) -> usize {
+        self.entries.get(item).map(|e| e.readers.len()).unwrap_or(0)
+    }
+
+    /// Current writer on `item`, if any.
+    pub fn writer(&self, item: &str) -> Option<&str> {
+        self.entries.get(item).and_then(|e| e.writer.as_deref())
+    }
+}
+
+impl Table for FlatTable {
+    fn try_acquire(&mut self, item: &str, mode: Mode, owner: &str) -> bool {
+        let entry = self.entries.entry(item.to_string()).or_default();
+        match mode {
+            Mode::Shared => {
+                if entry.writer.is_some() && entry.writer.as_deref() != Some(owner) {
+                    return false;
+                }
+                if !entry.readers.iter().any(|r| r == owner) {
+                    entry.readers.push(owner.to_string());
+                }
+                true
+            }
+            Mode::Exclusive => {
+                let other_reader = entry.readers.iter().any(|r| r != owner);
+                let other_writer =
+                    entry.writer.is_some() && entry.writer.as_deref() != Some(owner);
+                if other_reader || other_writer {
+                    return false;
+                }
+                entry.writer = Some(owner.to_string());
+                true
+            }
+        }
+    }
+
+    fn release(&mut self, item: &str, owner: &str) {
+        if let Some(entry) = self.entries.get_mut(item) {
+            entry.readers.retain(|r| r != owner);
+            if entry.writer.as_deref() == Some(owner) {
+                entry.writer = None;
+            }
+            if entry.readers.is_empty() && entry.writer.is_none() {
+                self.entries.remove(item);
+            }
+        }
+    }
+
+    fn locked_items(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn snapshot(&self) -> Vec<(String, String, Mode)> {
+        let mut out = Vec::new();
+        for (item, entry) in &self.entries {
+            for r in &entry.readers {
+                out.push((item.clone(), r.clone(), Mode::Shared));
+            }
+            if let Some(w) = &entry.writer {
+                out.push((item.clone(), w.clone(), Mode::Exclusive));
+            }
+        }
+        out.sort();
+        out
+    }
+
+    fn restore(&mut self, snapshot: Vec<(String, String, Mode)>) {
+        self.entries.clear();
+        for (item, owner, mode) in snapshot {
+            let granted = self.try_acquire(&item, mode, &owner);
+            debug_assert!(granted, "snapshots are internally consistent");
+        }
+    }
+}
+
+impl fmt::Display for FlatTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} locked item(s)", self.locked_items())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_locks_coexist() {
+        let mut t = FlatTable::new();
+        assert!(t.try_acquire("x", Mode::Shared, "a"));
+        assert!(t.try_acquire("x", Mode::Shared, "b"));
+        assert_eq!(t.readers("x"), 2);
+    }
+
+    #[test]
+    fn exclusive_excludes_everyone() {
+        let mut t = FlatTable::new();
+        assert!(t.try_acquire("x", Mode::Exclusive, "w"));
+        assert!(!t.try_acquire("x", Mode::Shared, "r"));
+        assert!(!t.try_acquire("x", Mode::Exclusive, "w2"));
+        assert_eq!(t.writer("x"), Some("w"));
+    }
+
+    #[test]
+    fn readers_block_writer() {
+        let mut t = FlatTable::new();
+        assert!(t.try_acquire("x", Mode::Shared, "r"));
+        assert!(!t.try_acquire("x", Mode::Exclusive, "w"));
+        t.release("x", "r");
+        assert!(t.try_acquire("x", Mode::Exclusive, "w"));
+    }
+
+    #[test]
+    fn distinct_items_are_independent() {
+        let mut t = FlatTable::new();
+        assert!(t.try_acquire("x", Mode::Exclusive, "w"));
+        assert!(t.try_acquire("y", Mode::Exclusive, "w2"));
+        assert_eq!(t.locked_items(), 2);
+    }
+
+    #[test]
+    fn reacquire_is_idempotent() {
+        let mut t = FlatTable::new();
+        assert!(t.try_acquire("x", Mode::Shared, "a"));
+        assert!(t.try_acquire("x", Mode::Shared, "a"));
+        assert_eq!(t.readers("x"), 1);
+        t.release("x", "a");
+        assert!(!t.holds("x", "a"));
+        assert_eq!(t.locked_items(), 0);
+    }
+
+    #[test]
+    fn own_upgrade_allowed() {
+        // An owner holding the only shared lock may take exclusive.
+        let mut t = FlatTable::new();
+        assert!(t.try_acquire("x", Mode::Shared, "a"));
+        assert!(t.try_acquire("x", Mode::Exclusive, "a"));
+        assert!(!t.try_acquire("x", Mode::Shared, "b"));
+    }
+
+    #[test]
+    fn denial_leaves_table_unchanged() {
+        let mut t = FlatTable::new();
+        assert!(t.try_acquire("x", Mode::Exclusive, "w"));
+        let before = t.snapshot();
+        assert!(!t.try_acquire("x", Mode::Shared, "r"));
+        assert_eq!(t.snapshot(), before);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut t = FlatTable::new();
+        t.try_acquire("x", Mode::Shared, "a");
+        t.try_acquire("x", Mode::Shared, "b");
+        t.try_acquire("y", Mode::Exclusive, "w");
+        let snap = t.snapshot();
+        let mut u = FlatTable::new();
+        u.restore(snap.clone());
+        assert_eq!(u.snapshot(), snap);
+        assert!(u.holds("x", "a"));
+        assert_eq!(u.writer("y"), Some("w"));
+    }
+
+    #[test]
+    fn release_unknown_is_noop() {
+        let mut t = FlatTable::new();
+        t.release("ghost", "nobody");
+        assert_eq!(t.locked_items(), 0);
+    }
+}

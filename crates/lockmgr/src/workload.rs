@@ -1,0 +1,216 @@
+//! Seeded workload generation for lock-manager experiments.
+//!
+//! The paper reports no numbers, so workloads are synthetic; seeding
+//! makes every experiment replayable bit-for-bit.
+
+use std::fmt;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::script::{Cluster, Outcome};
+use script_core::ScriptError;
+
+/// One client operation against the cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadOp {
+    /// Acquire + release a shared lock on the item.
+    ReadCycle {
+        /// Item index (mapped to `item{n}`).
+        item: usize,
+        /// Client name.
+        client: String,
+    },
+    /// Acquire + release an exclusive lock on the item.
+    WriteCycle {
+        /// Item index.
+        item: usize,
+        /// Client name.
+        client: String,
+    },
+}
+
+/// Workload shape parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// Number of operations to generate.
+    pub operations: usize,
+    /// Fraction of reads, `0.0..=1.0`.
+    pub read_ratio: f64,
+    /// Number of distinct items (smaller → more contention).
+    pub items: usize,
+    /// Number of distinct clients.
+    pub clients: usize,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        Self {
+            operations: 100,
+            read_ratio: 0.8,
+            items: 16,
+            clients: 4,
+        }
+    }
+}
+
+/// Generates a replayable operation sequence from a seed.
+///
+/// # Panics
+///
+/// Panics if `read_ratio` is outside `0.0..=1.0` or `items`/`clients`
+/// is zero.
+pub fn generate(spec: &WorkloadSpec, seed: u64) -> Vec<WorkloadOp> {
+    assert!(
+        (0.0..=1.0).contains(&spec.read_ratio),
+        "read_ratio must be a fraction"
+    );
+    assert!(spec.items > 0 && spec.clients > 0, "items/clients must be positive");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..spec.operations)
+        .map(|_| {
+            let item = rng.gen_range(0..spec.items);
+            let client = format!("c{}", rng.gen_range(0..spec.clients));
+            if rng.gen_bool(spec.read_ratio) {
+                WorkloadOp::ReadCycle { item, client }
+            } else {
+                WorkloadOp::WriteCycle { item, client }
+            }
+        })
+        .collect()
+}
+
+/// Outcome counters from a workload run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkloadStats {
+    /// Read cycles that were granted.
+    pub reads_granted: usize,
+    /// Read cycles denied at acquire time.
+    pub reads_denied: usize,
+    /// Write cycles that were granted.
+    pub writes_granted: usize,
+    /// Write cycles denied at acquire time.
+    pub writes_denied: usize,
+}
+
+impl WorkloadStats {
+    /// Total operations executed.
+    pub fn total(&self) -> usize {
+        self.reads_granted + self.reads_denied + self.writes_granted + self.writes_denied
+    }
+}
+
+impl fmt::Display for WorkloadStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "reads {}/{} granted, writes {}/{} granted",
+            self.reads_granted,
+            self.reads_granted + self.reads_denied,
+            self.writes_granted,
+            self.writes_granted + self.writes_denied,
+        )
+    }
+}
+
+/// Replays a generated workload sequentially against a cluster. Granted
+/// locks are released immediately (lock-cycle workload), so the run
+/// always terminates.
+///
+/// # Errors
+///
+/// Any [`ScriptError`] from the underlying performances.
+pub fn run(cluster: &Cluster, ops: &[WorkloadOp]) -> Result<WorkloadStats, ScriptError> {
+    let mut stats = WorkloadStats::default();
+    for op in ops {
+        match op {
+            WorkloadOp::ReadCycle { item, client } => {
+                let item = format!("item{item}");
+                match cluster.acquire_shared(client, &item)? {
+                    Outcome::Granted { .. } => {
+                        stats.reads_granted += 1;
+                        cluster.release_shared(client, &item)?;
+                    }
+                    _ => stats.reads_denied += 1,
+                }
+            }
+            WorkloadOp::WriteCycle { item, client } => {
+                let item = format!("item{item}");
+                match cluster.acquire_exclusive(client, &item)? {
+                    Outcome::Granted { .. } => {
+                        stats.writes_granted += 1;
+                        cluster.release_exclusive(client, &item)?;
+                    }
+                    _ => stats.writes_denied += 1,
+                }
+            }
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = WorkloadSpec::default();
+        assert_eq!(generate(&spec, 7), generate(&spec, 7));
+        assert_ne!(generate(&spec, 7), generate(&spec, 8));
+    }
+
+    #[test]
+    fn read_ratio_respected_roughly() {
+        let spec = WorkloadSpec {
+            operations: 1000,
+            read_ratio: 0.9,
+            ..WorkloadSpec::default()
+        };
+        let ops = generate(&spec, 42);
+        let reads = ops
+            .iter()
+            .filter(|o| matches!(o, WorkloadOp::ReadCycle { .. }))
+            .count();
+        assert!((850..=950).contains(&reads), "got {reads}");
+    }
+
+    #[test]
+    fn sequential_lock_cycles_all_granted() {
+        // Sequential cycles never contend with themselves.
+        let cluster = Cluster::new(2, Strategy::one_read_all_write(2));
+        let spec = WorkloadSpec {
+            operations: 20,
+            read_ratio: 0.5,
+            items: 4,
+            clients: 2,
+        };
+        let ops = generate(&spec, 3);
+        let stats = run(&cluster, &ops).unwrap();
+        assert_eq!(stats.total(), 20);
+        assert_eq!(stats.reads_denied + stats.writes_denied, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "read_ratio")]
+    fn bad_ratio_rejected() {
+        let spec = WorkloadSpec {
+            read_ratio: 1.5,
+            ..WorkloadSpec::default()
+        };
+        let _ = generate(&spec, 0);
+    }
+
+    #[test]
+    fn stats_display_nonempty() {
+        let s = WorkloadStats {
+            reads_granted: 1,
+            reads_denied: 2,
+            writes_granted: 3,
+            writes_denied: 4,
+        };
+        assert!(s.to_string().contains("1/3"));
+        assert_eq!(s.total(), 10);
+    }
+}

@@ -1,0 +1,184 @@
+//! A bounded FIFO buffer monitor, the classic "buffering regime".
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::time::Duration;
+
+use crate::Monitor;
+
+/// A bounded FIFO buffer protected by a single monitor.
+///
+/// The paper motivates scripts with "various buffering regimes" as
+/// frequently used communication patterns; the bounded buffer is the
+/// canonical one. `push` waits while the buffer is full, `pop` waits while
+/// it is empty.
+///
+/// # Example
+///
+/// ```
+/// use script_monitor::BoundedBuffer;
+///
+/// let buf = BoundedBuffer::new(2);
+/// buf.push(1);
+/// buf.push(2);
+/// assert_eq!(buf.pop(), 1);
+/// assert_eq!(buf.pop(), 2);
+/// ```
+pub struct BoundedBuffer<T> {
+    inner: Monitor<VecDeque<T>>,
+    capacity: usize,
+}
+
+impl<T> BoundedBuffer<T> {
+    /// Creates a buffer holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero; a zero-capacity rendezvous is provided
+    /// by the `script-chan` crate instead.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "bounded buffer capacity must be positive");
+        Self {
+            inner: Monitor::new(VecDeque::with_capacity(capacity)),
+            capacity,
+        }
+    }
+
+    /// The maximum number of items the buffer can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of buffered items.
+    pub fn len(&self) -> usize {
+        self.inner.peek(|q| q.len())
+    }
+
+    /// Returns `true` if no items are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends `item`, waiting while the buffer is full.
+    pub fn push(&self, item: T) {
+        let cap = self.capacity;
+        self.inner
+            .wait_until(|q| q.len() < cap, move |q| q.push_back(item));
+    }
+
+    /// Removes the oldest item, waiting while the buffer is empty.
+    pub fn pop(&self) -> T {
+        self.inner.wait_until(
+            |q| !q.is_empty(),
+            |q| q.pop_front().expect("predicate guaranteed non-empty"),
+        )
+    }
+
+    /// Like [`BoundedBuffer::push`] but gives up after `timeout`,
+    /// returning the item on failure.
+    pub fn push_timeout(&self, item: T, timeout: Duration) -> Result<(), T> {
+        let cap = self.capacity;
+        let mut item = Some(item);
+        let pushed = self.inner.wait_until_timeout(
+            |q| q.len() < cap,
+            timeout,
+            |q| q.push_back(item.take().expect("consumed once")),
+        );
+        match pushed {
+            Some(()) => Ok(()),
+            None => Err(item.take().expect("still owned on timeout")),
+        }
+    }
+
+    /// Like [`BoundedBuffer::pop`] but gives up after `timeout`.
+    pub fn pop_timeout(&self, timeout: Duration) -> Option<T> {
+        self.inner.wait_until_timeout(
+            |q| !q.is_empty(),
+            timeout,
+            |q| q.pop_front().expect("predicate guaranteed non-empty"),
+        )
+    }
+}
+
+impl<T> fmt::Debug for BoundedBuffer<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BoundedBuffer")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = BoundedBuffer::<u8>::new(0);
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let buf = BoundedBuffer::new(8);
+        for i in 0..8 {
+            buf.push(i);
+        }
+        for i in 0..8 {
+            assert_eq!(buf.pop(), i);
+        }
+    }
+
+    #[test]
+    fn push_blocks_when_full() {
+        let buf = Arc::new(BoundedBuffer::new(1));
+        buf.push(1);
+        let pusher = {
+            let buf = Arc::clone(&buf);
+            std::thread::spawn(move || buf.push(2))
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(buf.pop(), 1);
+        pusher.join().unwrap();
+        assert_eq!(buf.pop(), 2);
+    }
+
+    #[test]
+    fn timeouts_report_failure() {
+        let buf = BoundedBuffer::new(1);
+        buf.push('x');
+        assert_eq!(buf.push_timeout('y', Duration::from_millis(5)), Err('y'));
+        assert_eq!(buf.pop(), 'x');
+        assert_eq!(buf.pop_timeout(Duration::from_millis(5)), None);
+    }
+
+    #[test]
+    fn producer_consumer_stress() {
+        const N: u64 = 2_000;
+        let buf = Arc::new(BoundedBuffer::new(4));
+        let producer = {
+            let buf = Arc::clone(&buf);
+            std::thread::spawn(move || {
+                for i in 0..N {
+                    buf.push(i);
+                }
+            })
+        };
+        let mut sum = 0;
+        for _ in 0..N {
+            sum += buf.pop();
+        }
+        producer.join().unwrap();
+        assert_eq!(sum, N * (N - 1) / 2);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn capacity_reported() {
+        let buf: BoundedBuffer<()> = BoundedBuffer::new(3);
+        assert_eq!(buf.capacity(), 3);
+        assert_eq!(buf.len(), 0);
+    }
+}

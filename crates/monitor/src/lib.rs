@@ -1,0 +1,45 @@
+//! Hoare-style monitors with automatic condition signalling.
+//!
+//! This crate is the shared-memory host substrate from Section IV of
+//! *Script: A Communication Abstraction Mechanism* (Francez & Hailpern,
+//! PODC 1983). The paper's monitor-based script examples rely on a
+//! `WAIT UNTIL <predicate>` operation inside a monitor; [`Monitor`]
+//! provides exactly that on top of a mutex and a condition variable with
+//! *automatic signalling*: every exit from the monitor re-evaluates the
+//! predicates of all waiters.
+//!
+//! The crate also provides the two data abstractions the paper builds from
+//! monitors:
+//!
+//! * [`Mailbox`] — the one-slot full/empty buffer of Figure 12,
+//! * [`BoundedBuffer`] — an n-slot FIFO used for buffering regimes,
+//! * [`SharedMailboxes`] — a *single* monitor housing many mailboxes,
+//!   exhibiting the serialization the paper warns about, in contrast to a
+//!   monitor-per-mailbox layout ([`PerMailbox`]),
+//! * [`MonitorSupervisor`] — the paper's monitor-based script supervisor
+//!   (§IV): immediate initiation/termination with successive
+//!   activations, plus [`mailbox_broadcast`], Figure 12 end to end.
+//!
+//! # Example
+//!
+//! ```
+//! use script_monitor::Monitor;
+//!
+//! let m = Monitor::new(0_u32);
+//! m.with(|n| *n += 1);
+//! let doubled = m.wait_until(|n| *n > 0, |n| *n * 2);
+//! assert_eq!(doubled, 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod bounded;
+mod mailbox;
+mod monitor;
+mod supervisor;
+
+pub use bounded::BoundedBuffer;
+pub use mailbox::{Mailbox, PerMailbox, SharedMailboxes};
+pub use monitor::Monitor;
+pub use supervisor::{mailbox_broadcast, MonitorSupervisor};

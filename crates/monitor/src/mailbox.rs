@@ -1,0 +1,316 @@
+//! The paper's Figure 12 mailbox monitor, in two packaging variants.
+
+use std::fmt;
+use std::time::Duration;
+
+use crate::Monitor;
+
+/// A one-slot mailbox: `put` waits until empty, `get` waits until full.
+///
+/// This is the `mailbox : MONITOR` of Figure 12 in the paper. Each mailbox
+/// is its own monitor, so distinct mailboxes admit concurrent access (the
+/// "multiple monitor scheme" the paper's script solution follows).
+///
+/// # Example
+///
+/// ```
+/// use script_monitor::Mailbox;
+/// use std::sync::Arc;
+///
+/// let mbox = Arc::new(Mailbox::new());
+/// let producer = {
+///     let mbox = Arc::clone(&mbox);
+///     std::thread::spawn(move || mbox.put("hello"))
+/// };
+/// assert_eq!(mbox.get(), "hello");
+/// producer.join().unwrap();
+/// ```
+pub struct Mailbox<T> {
+    slot: Monitor<Option<T>>,
+}
+
+impl<T> Mailbox<T> {
+    /// Creates an empty mailbox.
+    pub fn new() -> Self {
+        Self {
+            slot: Monitor::new(None),
+        }
+    }
+
+    /// Deposits `item`, waiting until the mailbox is empty.
+    pub fn put(&self, item: T) {
+        self.slot
+            .wait_until(|s| s.is_none(), move |s| *s = Some(item));
+    }
+
+    /// Removes the item, waiting until the mailbox is full.
+    pub fn get(&self) -> T {
+        self.slot.wait_until(
+            |s| s.is_some(),
+            |s| s.take().expect("predicate guaranteed Some"),
+        )
+    }
+
+    /// Attempts [`Mailbox::put`], giving up after `timeout`.
+    ///
+    /// Returns the item back on timeout so the caller keeps ownership.
+    pub fn put_timeout(&self, item: T, timeout: Duration) -> Result<(), T> {
+        let mut item = Some(item);
+        let deposited = self.slot.wait_until_timeout(
+            |s| s.is_none(),
+            timeout,
+            |s| *s = Some(item.take().expect("consumed once")),
+        );
+        match deposited {
+            Some(()) => Ok(()),
+            None => Err(item.take().expect("still owned on timeout")),
+        }
+    }
+
+    /// Attempts [`Mailbox::get`], giving up after `timeout`.
+    pub fn get_timeout(&self, timeout: Duration) -> Option<T> {
+        self.slot.wait_until_timeout(
+            |s| s.is_some(),
+            timeout,
+            |s| s.take().expect("predicate guaranteed Some"),
+        )
+    }
+
+    /// Returns `true` if the mailbox currently holds an item.
+    pub fn is_full(&self) -> bool {
+        self.slot.peek(|s| s.is_some())
+    }
+}
+
+impl<T> Default for Mailbox<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> fmt::Debug for Mailbox<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mailbox")
+            .field("full", &self.is_full())
+            .finish()
+    }
+}
+
+/// Many one-slot mailboxes housed in a *single* monitor.
+///
+/// This is the packaging the paper rejects: "all access to any mailbox is
+/// serialized". It is provided so that the serialization penalty can be
+/// measured against [`PerMailbox`] (experiment E8 / Figure 12 discussion).
+pub struct SharedMailboxes<T> {
+    slots: Monitor<Vec<Option<T>>>,
+}
+
+impl<T> SharedMailboxes<T> {
+    /// Creates `n` empty mailboxes inside one monitor.
+    pub fn new(n: usize) -> Self {
+        Self {
+            slots: Monitor::new((0..n).map(|_| None).collect()),
+        }
+    }
+
+    /// Number of mailboxes.
+    pub fn len(&self) -> usize {
+        self.slots.peek(|v| v.len())
+    }
+
+    /// Returns `true` if there are no mailboxes at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Deposits into mailbox `i`, waiting until that slot is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn put(&self, i: usize, item: T) {
+        self.slots
+            .wait_until(|v| v[i].is_none(), move |v| v[i] = Some(item));
+    }
+
+    /// Removes from mailbox `i`, waiting until that slot is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn get(&self, i: usize) -> T {
+        self.slots.wait_until(
+            |v| v[i].is_some(),
+            |v| v[i].take().expect("predicate guaranteed Some"),
+        )
+    }
+}
+
+impl<T> fmt::Debug for SharedMailboxes<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SharedMailboxes")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// Many one-slot mailboxes, one monitor each — the paper's preferred layout.
+///
+/// Functionally identical to [`SharedMailboxes`] but distinct mailboxes can
+/// be accessed concurrently.
+pub struct PerMailbox<T> {
+    boxes: Vec<Mailbox<T>>,
+}
+
+impl<T> PerMailbox<T> {
+    /// Creates `n` empty mailboxes, each its own monitor.
+    pub fn new(n: usize) -> Self {
+        Self {
+            boxes: (0..n).map(|_| Mailbox::new()).collect(),
+        }
+    }
+
+    /// Number of mailboxes.
+    pub fn len(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// Returns `true` if there are no mailboxes at all.
+    pub fn is_empty(&self) -> bool {
+        self.boxes.is_empty()
+    }
+
+    /// Deposits into mailbox `i`, waiting until that slot is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn put(&self, i: usize, item: T) {
+        self.boxes[i].put(item);
+    }
+
+    /// Removes from mailbox `i`, waiting until that slot is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn get(&self, i: usize) -> T {
+        self.boxes[i].get()
+    }
+
+    /// Borrows mailbox `i` directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn mailbox(&self, i: usize) -> &Mailbox<T> {
+        &self.boxes[i]
+    }
+}
+
+impl<T> fmt::Debug for PerMailbox<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PerMailbox")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn put_then_get() {
+        let m = Mailbox::new();
+        m.put(9);
+        assert!(m.is_full());
+        assert_eq!(m.get(), 9);
+        assert!(!m.is_full());
+    }
+
+    #[test]
+    fn get_blocks_until_put() {
+        let m = Arc::new(Mailbox::new());
+        let getter = {
+            let m = Arc::clone(&m);
+            std::thread::spawn(move || m.get())
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        m.put(3);
+        assert_eq!(getter.join().unwrap(), 3);
+    }
+
+    #[test]
+    fn put_blocks_until_empty() {
+        let m = Arc::new(Mailbox::new());
+        m.put(1);
+        let putter = {
+            let m = Arc::clone(&m);
+            std::thread::spawn(move || m.put(2))
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(m.get(), 1);
+        putter.join().unwrap();
+        assert_eq!(m.get(), 2);
+    }
+
+    #[test]
+    fn put_timeout_returns_item_when_full() {
+        let m = Mailbox::new();
+        m.put("a");
+        let back = m.put_timeout("b", Duration::from_millis(10));
+        assert_eq!(back, Err("b"));
+        assert_eq!(m.get(), "a");
+    }
+
+    #[test]
+    fn get_timeout_on_empty_is_none() {
+        let m: Mailbox<u8> = Mailbox::new();
+        assert_eq!(m.get_timeout(Duration::from_millis(10)), None);
+    }
+
+    #[test]
+    fn shared_mailboxes_independent_slots() {
+        let s = SharedMailboxes::new(3);
+        s.put(0, 'a');
+        s.put(2, 'c');
+        assert_eq!(s.get(2), 'c');
+        assert_eq!(s.get(0), 'a');
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn per_mailbox_roundtrip() {
+        let p = PerMailbox::new(2);
+        p.put(1, 10);
+        assert_eq!(p.get(1), 10);
+        assert!(!p.mailbox(0).is_full());
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn shared_and_per_agree_on_sequencing() {
+        // Same producer/consumer schedule through both layouts.
+        let shared = Arc::new(SharedMailboxes::new(4));
+        let per = Arc::new(PerMailbox::new(4));
+        let mut handles = Vec::new();
+        for i in 0..4 {
+            let shared = Arc::clone(&shared);
+            let per = Arc::clone(&per);
+            handles.push(std::thread::spawn(move || {
+                shared.put(i, i as u64);
+                per.put(i, i as u64);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(shared.get(i), i as u64);
+            assert_eq!(per.get(i), i as u64);
+        }
+    }
+}

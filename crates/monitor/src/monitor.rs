@@ -1,0 +1,244 @@
+//! The core monitor primitive.
+
+use std::fmt;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+/// A monitor guarding a piece of state with automatic condition signalling.
+///
+/// A monitor combines mutual exclusion with condition synchronization: a
+/// thread *enters* the monitor ([`Monitor::with`]) to operate on the state,
+/// or *waits* inside it until a predicate over the state holds
+/// ([`Monitor::wait_until`]).
+///
+/// Signalling is automatic (sometimes called an *automatic signal* or
+/// *implicit signal* monitor): whenever a thread leaves the monitor after a
+/// mutating entry, all waiters are woken and re-evaluate their predicates.
+/// This matches the `WAIT UNTIL` construct used by the paper's Figure 12
+/// mailbox monitor and trades a little wake-up traffic for freedom from
+/// missed-signal bugs.
+///
+/// # Example
+///
+/// ```
+/// use script_monitor::Monitor;
+/// use std::sync::Arc;
+///
+/// let account = Arc::new(Monitor::new(0_i64));
+/// let depositor = {
+///     let account = Arc::clone(&account);
+///     std::thread::spawn(move || account.with(|balance| *balance += 100))
+/// };
+/// // Wait until the deposit lands, then withdraw.
+/// account.wait_until(|b| *b >= 100, |b| *b -= 100);
+/// depositor.join().unwrap();
+/// assert_eq!(account.with(|b| *b), 0);
+/// ```
+pub struct Monitor<T> {
+    state: Mutex<T>,
+    cond: Condvar,
+}
+
+impl<T> Monitor<T> {
+    /// Creates a monitor guarding `init`.
+    pub fn new(init: T) -> Self {
+        Self {
+            state: Mutex::new(init),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Enters the monitor and runs `f` on the state.
+    ///
+    /// All waiters are woken on exit so that they can re-evaluate their
+    /// predicates (automatic signalling).
+    pub fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        let mut guard = self.state.lock();
+        let out = f(&mut guard);
+        drop(guard);
+        self.cond.notify_all();
+        out
+    }
+
+    /// Enters the monitor read-only, without signalling waiters.
+    ///
+    /// Use this for pure inspection; it avoids spurious wake-ups.
+    pub fn peek<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        let guard = self.state.lock();
+        f(&guard)
+    }
+
+    /// Blocks until `pred` holds, then runs `f` on the state.
+    ///
+    /// The predicate is evaluated under the monitor lock; the wait is free
+    /// of lost-wakeup races. On exit all waiters are woken, since `f` may
+    /// have established some other waiter's condition.
+    pub fn wait_until<R>(&self, mut pred: impl FnMut(&T) -> bool, f: impl FnOnce(&mut T) -> R) -> R {
+        let mut guard = self.state.lock();
+        while !pred(&guard) {
+            self.cond.wait(&mut guard);
+        }
+        let out = f(&mut guard);
+        drop(guard);
+        self.cond.notify_all();
+        out
+    }
+
+    /// Like [`Monitor::wait_until`], but gives up after `timeout`.
+    ///
+    /// Returns `None` if the predicate did not hold within the timeout; the
+    /// state is left untouched in that case.
+    pub fn wait_until_timeout<R>(
+        &self,
+        mut pred: impl FnMut(&T) -> bool,
+        timeout: Duration,
+        f: impl FnOnce(&mut T) -> R,
+    ) -> Option<R> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut guard = self.state.lock();
+        while !pred(&guard) {
+            if self.cond.wait_until(&mut guard, deadline).timed_out() && !pred(&guard) {
+                return None;
+            }
+        }
+        let out = f(&mut guard);
+        drop(guard);
+        self.cond.notify_all();
+        Some(out)
+    }
+
+    /// Consumes the monitor, returning the inner state.
+    pub fn into_inner(self) -> T {
+        self.state.into_inner()
+    }
+}
+
+impl<T: Default> Default for Monitor<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Monitor<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.state.try_lock() {
+            Some(guard) => f.debug_struct("Monitor").field("state", &*guard).finish(),
+            None => f.debug_struct("Monitor").field("state", &"<locked>").finish(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn with_runs_and_returns() {
+        let m = Monitor::new(41);
+        assert_eq!(m.with(|n| {
+            *n += 1;
+            *n
+        }), 42);
+    }
+
+    #[test]
+    fn peek_does_not_mutate() {
+        let m = Monitor::new(vec![1, 2, 3]);
+        let len = m.peek(|v| v.len());
+        assert_eq!(len, 3);
+        assert_eq!(m.into_inner(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn wait_until_immediately_satisfied() {
+        let m = Monitor::new(5);
+        let out = m.wait_until(|n| *n == 5, |n| *n * 10);
+        assert_eq!(out, 50);
+    }
+
+    #[test]
+    fn wait_until_blocks_until_condition() {
+        let m = Arc::new(Monitor::new(0));
+        let waiter = {
+            let m = Arc::clone(&m);
+            std::thread::spawn(move || m.wait_until(|n| *n == 3, |n| *n))
+        };
+        for _ in 0..3 {
+            std::thread::sleep(Duration::from_millis(5));
+            m.with(|n| *n += 1);
+        }
+        assert_eq!(waiter.join().unwrap(), 3);
+    }
+
+    #[test]
+    fn wait_until_timeout_expires() {
+        let m = Monitor::new(0);
+        let out = m.wait_until_timeout(|n| *n == 1, Duration::from_millis(20), |n| *n);
+        assert_eq!(out, None);
+    }
+
+    #[test]
+    fn wait_until_timeout_succeeds() {
+        let m = Arc::new(Monitor::new(0));
+        let setter = {
+            let m = Arc::clone(&m);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(10));
+                m.with(|n| *n = 7);
+            })
+        };
+        let out = m.wait_until_timeout(|n| *n == 7, Duration::from_secs(5), |n| *n);
+        setter.join().unwrap();
+        assert_eq!(out, Some(7));
+    }
+
+    #[test]
+    fn many_waiters_all_wake() {
+        let m = Arc::new(Monitor::new(false));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || m.wait_until(|b| *b, |_| ()))
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(10));
+        m.with(|b| *b = true);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn default_constructs_default_state() {
+        let m: Monitor<u8> = Monitor::default();
+        assert_eq!(m.peek(|n| *n), 0);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let m = Monitor::new(1);
+        assert!(!format!("{m:?}").is_empty());
+    }
+
+    #[test]
+    fn chained_conditions_propagate() {
+        // A -> B -> C: each waiter establishes the next condition on exit.
+        let m = Arc::new(Monitor::new(0));
+        let mut handles = Vec::new();
+        for stage in 1..=3 {
+            let m = Arc::clone(&m);
+            handles.push(std::thread::spawn(move || {
+                m.wait_until(|n| *n == stage, |n| *n += 1)
+            }));
+        }
+        std::thread::sleep(Duration::from_millis(5));
+        m.with(|n| *n = 1);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.peek(|n| *n), 4);
+    }
+}

@@ -1,0 +1,311 @@
+//! Scripts over monitors: the paper's third host substrate, §IV.
+//!
+//! "A monitor-based supervisor would most easily implement immediate
+//! initiation and termination. No translation rules are given, as they
+//! would be similar to those for Ada and CSP." This module supplies the
+//! rules the paper leaves implicit: a per-script [`MonitorSupervisor`]
+//! monitor holds the `ready`/`done` arrays; enrollment claims a ready
+//! role (waiting out the previous performance — successive activations),
+//! runs the role body on the enrolling thread, and marks it done; the
+//! last role to finish resets the arrays for the next performance.
+//!
+//! Inter-role data movement uses the monitor toolbox ([`Mailbox`],
+//! [`crate::BoundedBuffer`]); [`mailbox_broadcast`] is Figure 12 end to
+//! end on this substrate.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::{Monitor, PerMailbox};
+
+#[derive(Debug)]
+struct SupState {
+    /// role → free to claim in the current performance.
+    ready: HashMap<String, bool>,
+    /// role → finished in the current performance.
+    done: HashMap<String, bool>,
+    performance: u64,
+    completed: u64,
+}
+
+impl SupState {
+    fn all_done(&self) -> bool {
+        self.done.values().all(|d| *d)
+    }
+}
+
+/// A monitor-based script supervisor: immediate initiation, immediate
+/// termination, successive activations.
+///
+/// # Example
+///
+/// ```
+/// use script_monitor::MonitorSupervisor;
+/// use std::sync::Arc;
+///
+/// let sup = Arc::new(MonitorSupervisor::new(["ping", "pong"]));
+/// let s2 = Arc::clone(&sup);
+/// let t = std::thread::spawn(move || s2.enroll("pong", |_perf| 2));
+/// let a = sup.enroll("ping", |_perf| 1);
+/// assert_eq!(a + t.join().unwrap(), 3);
+/// ```
+pub struct MonitorSupervisor {
+    state: Monitor<SupState>,
+    roles: Vec<String>,
+}
+
+impl fmt::Debug for MonitorSupervisor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MonitorSupervisor")
+            .field("roles", &self.roles)
+            .finish()
+    }
+}
+
+impl MonitorSupervisor {
+    /// Creates a supervisor for the given roles.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty or duplicate role list.
+    pub fn new<I, S>(roles: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let roles: Vec<String> = roles.into_iter().map(Into::into).collect();
+        assert!(!roles.is_empty(), "a script needs at least one role");
+        let mut ready = HashMap::new();
+        let mut done = HashMap::new();
+        for r in &roles {
+            assert!(
+                ready.insert(r.clone(), true).is_none(),
+                "duplicate role {r}"
+            );
+            done.insert(r.clone(), false);
+        }
+        Self {
+            state: Monitor::new(SupState {
+                ready,
+                done,
+                performance: 0,
+                completed: 0,
+            }),
+            roles,
+        }
+    }
+
+    /// The declared roles.
+    pub fn roles(&self) -> &[String] {
+        &self.roles
+    }
+
+    /// Performances fully completed so far.
+    pub fn completed_performances(&self) -> u64 {
+        self.state.peek(|s| s.completed)
+    }
+
+    /// Enrolls in `role`: waits until the role is free (the previous
+    /// performance's occupant has finished *and* that performance has
+    /// been fully wound down if this role already ran in it), runs
+    /// `body` with the performance number, marks the role done, and —
+    /// immediate termination — returns at once. The last role to finish
+    /// resets the arrays, admitting the next performance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `role` was not declared.
+    pub fn enroll<R>(&self, role: &str, body: impl FnOnce(u64) -> R) -> R {
+        assert!(
+            self.roles.iter().any(|r| r == role),
+            "role {role} not declared"
+        );
+        let perf = self.state.wait_until(
+            |s| s.ready[role],
+            |s| {
+                s.ready.insert(role.to_string(), false);
+                s.performance
+            },
+        );
+        let out = body(perf);
+        self.state.with(|s| {
+            s.done.insert(role.to_string(), true);
+            if s.all_done() {
+                for v in s.ready.values_mut() {
+                    *v = true;
+                }
+                for v in s.done.values_mut() {
+                    *v = false;
+                }
+                s.performance += 1;
+                s.completed += 1;
+            }
+        });
+        out
+    }
+
+    /// [`MonitorSupervisor::enroll`] with a deadline on the wait-to-claim
+    /// phase; returns `None` on timeout.
+    pub fn enroll_timeout<R>(
+        &self,
+        role: &str,
+        timeout: Duration,
+        body: impl FnOnce(u64) -> R,
+    ) -> Option<R> {
+        assert!(
+            self.roles.iter().any(|r| r == role),
+            "role {role} not declared"
+        );
+        let perf = self.state.wait_until_timeout(
+            |s| s.ready[role],
+            timeout,
+            |s| {
+                s.ready.insert(role.to_string(), false);
+                s.performance
+            },
+        )?;
+        let out = body(perf);
+        self.state.with(|s| {
+            s.done.insert(role.to_string(), true);
+            if s.all_done() {
+                for v in s.ready.values_mut() {
+                    *v = true;
+                }
+                for v in s.done.values_mut() {
+                    *v = false;
+                }
+                s.performance += 1;
+                s.completed += 1;
+            }
+        });
+        Some(out)
+    }
+}
+
+/// Figure 12 end to end: the mailbox broadcast script on the monitor
+/// substrate. Runs `n` recipients and one sender (on the calling
+/// thread's scope), each enrolled through a [`MonitorSupervisor`];
+/// returns the received values.
+pub fn mailbox_broadcast<M: Send + Clone + 'static>(n: usize, value: M) -> Vec<M> {
+    let mut roles = vec!["sender".to_string()];
+    roles.extend((0..n).map(|i| format!("recipient[{i}]")));
+    let sup = Arc::new(MonitorSupervisor::new(roles));
+    let boxes = Arc::new(PerMailbox::<M>::new(n));
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for i in 0..n {
+            let sup = Arc::clone(&sup);
+            let boxes = Arc::clone(&boxes);
+            handles.push(s.spawn(move || {
+                sup.enroll(&format!("recipient[{i}]"), |_perf| boxes.get(i))
+            }));
+        }
+        let sv = value.clone();
+        sup.enroll("sender", move |_perf| {
+            for i in 0..n {
+                boxes.put(i, sv.clone());
+            }
+        });
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_roles_one_performance() {
+        let sup = Arc::new(MonitorSupervisor::new(["a", "b"]));
+        let s2 = Arc::clone(&sup);
+        let t = std::thread::spawn(move || s2.enroll("b", |perf| perf));
+        let pa = sup.enroll("a", |perf| perf);
+        let pb = t.join().unwrap();
+        assert_eq!(pa, 0);
+        assert_eq!(pb, 0);
+        assert_eq!(sup.completed_performances(), 1);
+    }
+
+    #[test]
+    fn successive_activations_hold() {
+        let sup = Arc::new(MonitorSupervisor::new(["solo"]));
+        for expected in 0..5 {
+            let perf = sup.enroll("solo", |p| p);
+            assert_eq!(perf, expected);
+        }
+        assert_eq!(sup.completed_performances(), 5);
+    }
+
+    #[test]
+    fn occupied_role_waits_for_full_performance() {
+        // Two processes race for one of two roles; the second claimant
+        // of "fast" must observe performance 1, and only after "slow"
+        // finished performance 0.
+        let sup = Arc::new(MonitorSupervisor::new(["fast", "slow"]));
+        std::thread::scope(|s| {
+            let s1 = Arc::clone(&sup);
+            let first = s.spawn(move || s1.enroll("fast", |p| p));
+            assert_eq!(first.join().unwrap(), 0);
+            // Re-claim "fast": performance 0 is not complete ("slow"
+            // still unfinished), so this must time out.
+            assert_eq!(
+                sup.enroll_timeout("fast", Duration::from_millis(50), |p| p),
+                None
+            );
+            let s2 = Arc::clone(&sup);
+            let slow = s.spawn(move || s2.enroll("slow", |p| p));
+            assert_eq!(slow.join().unwrap(), 0);
+            // Now performance 1 admits a fresh "fast".
+            assert_eq!(sup.enroll("fast", |p| p), 1);
+        });
+    }
+
+    #[test]
+    fn figure_12_broadcast_delivers() {
+        let got = mailbox_broadcast(5, 42u64);
+        assert_eq!(got, vec![42; 5]);
+    }
+
+    #[test]
+    fn figure_12_broadcast_strings() {
+        let got = mailbox_broadcast(3, "x".to_string());
+        assert_eq!(got, vec!["x".to_string(); 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not declared")]
+    fn unknown_role_panics() {
+        let sup = MonitorSupervisor::new(["a"]);
+        sup.enroll("ghost", |_| ());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate role")]
+    fn duplicate_roles_rejected() {
+        let _ = MonitorSupervisor::new(["a", "a"]);
+    }
+
+    #[test]
+    fn many_performances_many_threads() {
+        let sup = Arc::new(MonitorSupervisor::new(["p", "q"]));
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let sup_p = Arc::clone(&sup);
+                s.spawn(move || {
+                    for _ in 0..10 {
+                        sup_p.enroll("p", |p| p);
+                    }
+                });
+                let sup_q = Arc::clone(&sup);
+                s.spawn(move || {
+                    for _ in 0..10 {
+                        sup_q.enroll("q", |p| p);
+                    }
+                });
+            }
+        });
+        assert_eq!(sup.completed_performances(), 20);
+    }
+}

@@ -1,0 +1,103 @@
+//! Protocol errors.
+
+use std::error::Error;
+use std::fmt;
+
+use script_core::{RoleId, ScriptError};
+
+/// Error produced by projection or runtime protocol monitoring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProtoError {
+    /// A communication action did not match the local type.
+    Violation {
+        /// What the protocol expected next (human-readable).
+        expected: String,
+        /// The action that was attempted.
+        got: String,
+    },
+    /// The session ended with protocol still remaining.
+    Unfinished {
+        /// What was still expected.
+        expected: String,
+    },
+    /// A choice could not be projected for a non-participant because its
+    /// branches differ for that role (plain-merge failure).
+    Unmergeable {
+        /// The role whose projections differ.
+        role: RoleId,
+    },
+    /// A recursion variable was unbound.
+    UnboundVariable(String),
+    /// A recursion is not contractive (`rec t. t`): unfolding it would
+    /// never reach an action.
+    UnguardedRecursion(String),
+    /// Branch labels must be distinct and branches non-empty.
+    MalformedChoice(String),
+    /// A message names the same role as sender and receiver.
+    SelfMessage(RoleId),
+    /// The underlying script communication failed.
+    Script(ScriptError),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Violation { expected, got } => {
+                write!(f, "protocol violation: expected {expected}, got {got}")
+            }
+            ProtoError::Unfinished { expected } => {
+                write!(f, "session finished early: still expected {expected}")
+            }
+            ProtoError::Unmergeable { role } => {
+                write!(f, "choice branches are unmergeable for role {role}")
+            }
+            ProtoError::UnboundVariable(v) => write!(f, "unbound recursion variable {v}"),
+            ProtoError::UnguardedRecursion(v) => {
+                write!(f, "recursion {v} is unguarded (no action before looping)")
+            }
+            ProtoError::MalformedChoice(msg) => write!(f, "malformed choice: {msg}"),
+            ProtoError::SelfMessage(r) => write!(f, "role {r} cannot message itself"),
+            ProtoError::Script(e) => write!(f, "communication failed: {e}"),
+        }
+    }
+}
+
+impl Error for ProtoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ProtoError::Script(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ScriptError> for ProtoError {
+    fn from(e: ScriptError) -> Self {
+        ProtoError::Script(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ProtoError::Violation {
+            expected: "send ok to seller".into(),
+            got: "send quit to seller".into(),
+        };
+        assert!(e.to_string().contains("expected send ok"));
+        assert!(ProtoError::UnboundVariable("t".into())
+            .to_string()
+            .contains('t'));
+    }
+
+    #[test]
+    fn script_errors_convert() {
+        let e: ProtoError = ScriptError::Timeout.into();
+        assert_eq!(e, ProtoError::Script(ScriptError::Timeout));
+        assert!(Error::source(&e).is_some());
+    }
+}

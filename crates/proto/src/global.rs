@@ -1,0 +1,535 @@
+//! Global protocol types and projection.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use script_core::RoleId;
+
+use crate::local::LocalType;
+use crate::ProtoError;
+
+/// A global protocol: the bird's-eye choreography of a script.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GlobalType {
+    /// Protocol complete.
+    End,
+    /// `from` sends a `label`-tagged message to `to`, then the protocol
+    /// continues.
+    Msg {
+        /// Sender role.
+        from: RoleId,
+        /// Receiver role.
+        to: RoleId,
+        /// Message label.
+        label: String,
+        /// Continuation.
+        then: Box<GlobalType>,
+    },
+    /// `from` chooses a branch and informs `to` with its label; each
+    /// branch continues globally.
+    Choice {
+        /// The deciding role.
+        from: RoleId,
+        /// The directly informed role.
+        to: RoleId,
+        /// Branches by label.
+        branches: BTreeMap<String, GlobalType>,
+    },
+    /// Recursion binder.
+    Rec {
+        /// The recursion variable.
+        var: String,
+        /// The looping body.
+        body: Box<GlobalType>,
+    },
+    /// A recursion variable, bound by an enclosing [`GlobalType::Rec`].
+    Var(String),
+}
+
+impl GlobalType {
+    /// Convenience constructor for [`GlobalType::Msg`].
+    pub fn msg(
+        from: impl Into<RoleId>,
+        to: impl Into<RoleId>,
+        label: impl Into<String>,
+        then: GlobalType,
+    ) -> Self {
+        GlobalType::Msg {
+            from: from.into(),
+            to: to.into(),
+            label: label.into(),
+            then: Box::new(then),
+        }
+    }
+
+    /// Convenience constructor for [`GlobalType::Choice`].
+    pub fn choice<I>(from: impl Into<RoleId>, to: impl Into<RoleId>, branches: I) -> Self
+    where
+        I: IntoIterator<Item = (String, GlobalType)>,
+    {
+        GlobalType::Choice {
+            from: from.into(),
+            to: to.into(),
+            branches: branches.into_iter().collect(),
+        }
+    }
+
+    /// Convenience constructor for [`GlobalType::Rec`].
+    pub fn rec(var: impl Into<String>, body: GlobalType) -> Self {
+        GlobalType::Rec {
+            var: var.into(),
+            body: Box::new(body),
+        }
+    }
+
+    /// All roles mentioned by the protocol.
+    pub fn roles(&self) -> Vec<RoleId> {
+        let mut out = Vec::new();
+        self.collect_roles(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Does `role` appear as a sender or receiver anywhere in the
+    /// protocol?
+    pub fn participates(&self, role: &RoleId) -> bool {
+        match self {
+            GlobalType::End | GlobalType::Var(_) => false,
+            GlobalType::Msg { from, to, then, .. } => {
+                from == role || to == role || then.participates(role)
+            }
+            GlobalType::Choice { from, to, branches } => {
+                from == role
+                    || to == role
+                    || branches.values().any(|b| b.participates(role))
+            }
+            GlobalType::Rec { body, .. } => body.participates(role),
+        }
+    }
+
+    fn collect_roles(&self, out: &mut Vec<RoleId>) {
+        match self {
+            GlobalType::End | GlobalType::Var(_) => {}
+            GlobalType::Msg { from, to, then, .. } => {
+                out.push(from.clone());
+                out.push(to.clone());
+                then.collect_roles(out);
+            }
+            GlobalType::Choice { from, to, branches } => {
+                out.push(from.clone());
+                out.push(to.clone());
+                for b in branches.values() {
+                    b.collect_roles(out);
+                }
+            }
+            GlobalType::Rec { body, .. } => body.collect_roles(out),
+        }
+    }
+
+    /// Validates well-formedness: non-empty choices and no self-messages.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::MalformedChoice`] or [`ProtoError::SelfMessage`].
+    pub fn validate(&self) -> Result<(), ProtoError> {
+        match self {
+            GlobalType::End | GlobalType::Var(_) => Ok(()),
+            GlobalType::Msg { from, to, then, .. } => {
+                if from == to {
+                    return Err(ProtoError::SelfMessage(from.clone()));
+                }
+                then.validate()
+            }
+            GlobalType::Choice { from, to, branches } => {
+                if from == to {
+                    return Err(ProtoError::SelfMessage(from.clone()));
+                }
+                if branches.is_empty() {
+                    return Err(ProtoError::MalformedChoice(
+                        "a choice needs at least one branch".into(),
+                    ));
+                }
+                for b in branches.values() {
+                    b.validate()?;
+                }
+                Ok(())
+            }
+            GlobalType::Rec { var, body } => {
+                // Contractiveness: some message must precede the loop.
+                let mut head = &**body;
+                loop {
+                    match head {
+                        GlobalType::Var(v) if v == var => {
+                            return Err(ProtoError::UnguardedRecursion(var.clone()));
+                        }
+                        GlobalType::Rec { body: inner, .. } => head = inner,
+                        _ => break,
+                    }
+                }
+                body.validate()
+            }
+        }
+    }
+
+    /// Projects the global protocol onto one role, producing the
+    /// [`LocalType`] that role must follow.
+    ///
+    /// Uses plain merging: a role not involved in a choice must behave
+    /// identically in every branch, otherwise projection fails with
+    /// [`ProtoError::Unmergeable`].
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Unmergeable`], [`ProtoError::MalformedChoice`], or
+    /// [`ProtoError::SelfMessage`].
+    pub fn project(&self, role: &RoleId) -> Result<LocalType, ProtoError> {
+        self.validate()?;
+        self.project_inner(role)
+    }
+
+    fn project_inner(&self, role: &RoleId) -> Result<LocalType, ProtoError> {
+        match self {
+            GlobalType::End => Ok(LocalType::End),
+            GlobalType::Var(v) => Ok(LocalType::Var(v.clone())),
+            GlobalType::Msg {
+                from,
+                to,
+                label,
+                then,
+            } => {
+                let cont = then.project_inner(role)?;
+                if role == from {
+                    Ok(LocalType::Send {
+                        to: to.clone(),
+                        label: label.clone(),
+                        then: Box::new(cont),
+                    })
+                } else if role == to {
+                    Ok(LocalType::Recv {
+                        from: from.clone(),
+                        label: label.clone(),
+                        then: Box::new(cont),
+                    })
+                } else {
+                    Ok(cont)
+                }
+            }
+            GlobalType::Choice { from, to, branches } => {
+                if role == from {
+                    let mut projected = BTreeMap::new();
+                    for (label, branch) in branches {
+                        projected.insert(label.clone(), branch.project_inner(role)?);
+                    }
+                    Ok(LocalType::Select {
+                        to: to.clone(),
+                        branches: projected,
+                    })
+                } else if role == to {
+                    let mut projected = BTreeMap::new();
+                    for (label, branch) in branches {
+                        projected.insert(label.clone(), branch.project_inner(role)?);
+                    }
+                    Ok(LocalType::Branch {
+                        from: from.clone(),
+                        branches: projected,
+                    })
+                } else {
+                    // Plain merge: every branch must project identically.
+                    let mut iter = branches.values();
+                    let first = iter
+                        .next()
+                        .expect("validate() ensured non-empty")
+                        .project_inner(role)?;
+                    for branch in iter {
+                        if branch.project_inner(role)? != first {
+                            return Err(ProtoError::Unmergeable { role: role.clone() });
+                        }
+                    }
+                    Ok(first)
+                }
+            }
+            GlobalType::Rec { var, body } => {
+                // A role that never participates in the loop body
+                // projects to End directly — descending would trip the
+                // plain merge on `Var` vs `End` continuations.
+                if !body.participates(role) {
+                    return Ok(LocalType::End);
+                }
+                let projected = body.project_inner(role)?;
+                if !mentions_action(&projected) {
+                    Ok(LocalType::End)
+                } else {
+                    Ok(LocalType::Rec {
+                        var: var.clone(),
+                        body: Box::new(projected),
+                    })
+                }
+            }
+        }
+    }
+}
+
+/// Does a local type contain any action (send/recv/select/branch)?
+fn mentions_action(t: &LocalType) -> bool {
+    match t {
+        LocalType::End | LocalType::Var(_) => false,
+        LocalType::Send { .. }
+        | LocalType::Recv { .. }
+        | LocalType::Select { .. }
+        | LocalType::Branch { .. } => true,
+        LocalType::Rec { body, .. } => mentions_action(body),
+    }
+}
+
+impl fmt::Display for GlobalType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GlobalType::End => write!(f, "end"),
+            GlobalType::Msg {
+                from, to, label, ..
+            } => write!(f, "{from} → {to}: {label}; …"),
+            GlobalType::Choice { from, to, branches } => {
+                write!(f, "{from} → {to} ∈ {{")?;
+                for (i, l) in branches.keys().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{l}")?;
+                }
+                write!(f, "}}")
+            }
+            GlobalType::Rec { var, .. } => write!(f, "rec {var}. …"),
+            GlobalType::Var(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(name: &str) -> RoleId {
+        RoleId::new(name)
+    }
+
+    /// The classic two-buyer protocol.
+    fn two_buyer() -> GlobalType {
+        GlobalType::msg(
+            "buyer1",
+            "seller",
+            "title",
+            GlobalType::msg(
+                "seller",
+                "buyer1",
+                "quote",
+                GlobalType::msg(
+                    "seller",
+                    "buyer2",
+                    "quote",
+                    GlobalType::msg(
+                        "buyer1",
+                        "buyer2",
+                        "share",
+                        GlobalType::choice(
+                            "buyer2",
+                            "seller",
+                            [
+                                (
+                                    "ok".to_string(),
+                                    GlobalType::msg(
+                                        "seller",
+                                        "buyer2",
+                                        "date",
+                                        GlobalType::End,
+                                    ),
+                                ),
+                                ("quit".to_string(), GlobalType::End),
+                            ],
+                        ),
+                    ),
+                ),
+            ),
+        )
+    }
+
+    #[test]
+    fn roles_enumerated() {
+        let g = two_buyer();
+        assert_eq!(g.roles(), vec![r("buyer1"), r("buyer2"), r("seller")]);
+    }
+
+    #[test]
+    fn projection_of_decider_is_select() {
+        let g = two_buyer();
+        let b2 = g.project(&r("buyer2")).unwrap();
+        // buyer2: recv quote; recv share; select { ok: recv date, quit: end }
+        let expected = LocalType::recv(
+            "seller",
+            "quote",
+            LocalType::recv(
+                "buyer1",
+                "share",
+                LocalType::select(
+                    "seller",
+                    [
+                        (
+                            "ok".to_string(),
+                            LocalType::recv("seller", "date", LocalType::End),
+                        ),
+                        ("quit".to_string(), LocalType::End),
+                    ],
+                ),
+            ),
+        );
+        assert_eq!(b2, expected);
+    }
+
+    #[test]
+    fn projection_of_receiver_is_branch() {
+        let g = two_buyer();
+        let seller = g.project(&r("seller")).unwrap();
+        let expected = LocalType::recv(
+            "buyer1",
+            "title",
+            LocalType::send(
+                "buyer1",
+                "quote",
+                LocalType::send(
+                    "buyer2",
+                    "quote",
+                    LocalType::branch(
+                        "buyer2",
+                        [
+                            (
+                                "ok".to_string(),
+                                LocalType::send("buyer2", "date", LocalType::End),
+                            ),
+                            ("quit".to_string(), LocalType::End),
+                        ],
+                    ),
+                ),
+            ),
+        );
+        assert_eq!(seller, expected);
+    }
+
+    #[test]
+    fn uninvolved_role_merges_cleanly() {
+        let g = two_buyer();
+        // buyer1 does nothing after "share": both branches project to End
+        // for it, so the merge succeeds.
+        let b1 = g.project(&r("buyer1")).unwrap();
+        let expected = LocalType::send(
+            "seller",
+            "title",
+            LocalType::recv(
+                "seller",
+                "quote",
+                LocalType::send("buyer2", "share", LocalType::End),
+            ),
+        );
+        assert_eq!(b1, expected);
+    }
+
+    #[test]
+    fn unmergeable_choice_detected() {
+        // In one branch `other` receives; in the other it does not: its
+        // behavior depends on a choice it is never told about.
+        let g = GlobalType::choice(
+            "a",
+            "b",
+            [
+                (
+                    "left".to_string(),
+                    GlobalType::msg("a", "other", "ping", GlobalType::End),
+                ),
+                ("right".to_string(), GlobalType::End),
+            ],
+        );
+        assert_eq!(
+            g.project(&r("other")).unwrap_err(),
+            ProtoError::Unmergeable { role: r("other") }
+        );
+        // The participants still project fine.
+        assert!(g.project(&r("a")).is_ok());
+        assert!(g.project(&r("b")).is_ok());
+    }
+
+    #[test]
+    fn self_message_rejected() {
+        let g = GlobalType::msg("a", "a", "oops", GlobalType::End);
+        assert_eq!(
+            g.project(&r("a")).unwrap_err(),
+            ProtoError::SelfMessage(r("a"))
+        );
+    }
+
+    #[test]
+    fn empty_choice_rejected() {
+        let g = GlobalType::Choice {
+            from: r("a"),
+            to: r("b"),
+            branches: BTreeMap::new(),
+        };
+        assert!(matches!(
+            g.project(&r("a")).unwrap_err(),
+            ProtoError::MalformedChoice(_)
+        ));
+    }
+
+    #[test]
+    fn recursion_projects_per_role() {
+        // rec t. a → b: data; b → a ∈ { more: t, done: end }
+        let g = GlobalType::rec(
+            "t",
+            GlobalType::msg(
+                "a",
+                "b",
+                "data",
+                GlobalType::choice(
+                    "b",
+                    "a",
+                    [
+                        ("more".to_string(), GlobalType::Var("t".into())),
+                        ("done".to_string(), GlobalType::End),
+                    ],
+                ),
+            ),
+        );
+        let a = g.project(&r("a")).unwrap();
+        assert!(matches!(a, LocalType::Rec { .. }));
+        // A role that never acts in the loop projects to End.
+        let ghost = g.project(&r("ghost")).unwrap();
+        assert_eq!(ghost, LocalType::End);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!two_buyer().to_string().is_empty());
+        assert_eq!(GlobalType::End.to_string(), "end");
+    }
+}
+
+#[cfg(test)]
+mod contractive_tests {
+    use super::*;
+
+    #[test]
+    fn unguarded_global_recursion_rejected() {
+        let g = GlobalType::rec("t", GlobalType::Var("t".into()));
+        assert_eq!(
+            g.validate().unwrap_err(),
+            ProtoError::UnguardedRecursion("t".into())
+        );
+    }
+
+    #[test]
+    fn guarded_global_recursion_accepted() {
+        let g = GlobalType::rec(
+            "t",
+            GlobalType::msg("a", "b", "x", GlobalType::Var("t".into())),
+        );
+        assert!(g.validate().is_ok());
+    }
+}

@@ -1,0 +1,572 @@
+//! Local (per-role) protocol types and the runtime monitor.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use script_core::RoleId;
+
+use crate::ProtoError;
+
+/// One role's view of a protocol: the session type it must follow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LocalType {
+    /// Protocol complete.
+    End,
+    /// Send a `label`-tagged message to `to`, then continue.
+    Send {
+        /// Recipient role.
+        to: RoleId,
+        /// Message label.
+        label: String,
+        /// Continuation.
+        then: Box<LocalType>,
+    },
+    /// Receive a `label`-tagged message from `from`, then continue.
+    Recv {
+        /// Sender role.
+        from: RoleId,
+        /// Message label.
+        label: String,
+        /// Continuation.
+        then: Box<LocalType>,
+    },
+    /// Internal choice: this role picks a branch by sending its label
+    /// to `to`.
+    Select {
+        /// The partner notified of the choice.
+        to: RoleId,
+        /// Branches by label.
+        branches: BTreeMap<String, LocalType>,
+    },
+    /// External choice: `from` picks; this role receives the label.
+    Branch {
+        /// The deciding partner.
+        from: RoleId,
+        /// Branches by label.
+        branches: BTreeMap<String, LocalType>,
+    },
+    /// Recursion binder: `Var(var)` inside `body` loops back here.
+    Rec {
+        /// The recursion variable.
+        var: String,
+        /// The looping body.
+        body: Box<LocalType>,
+    },
+    /// A recursion variable, bound by an enclosing [`LocalType::Rec`].
+    Var(String),
+}
+
+impl LocalType {
+    /// Convenience constructor for [`LocalType::Send`].
+    pub fn send(to: impl Into<RoleId>, label: impl Into<String>, then: LocalType) -> Self {
+        LocalType::Send {
+            to: to.into(),
+            label: label.into(),
+            then: Box::new(then),
+        }
+    }
+
+    /// Convenience constructor for [`LocalType::Recv`].
+    pub fn recv(from: impl Into<RoleId>, label: impl Into<String>, then: LocalType) -> Self {
+        LocalType::Recv {
+            from: from.into(),
+            label: label.into(),
+            then: Box::new(then),
+        }
+    }
+
+    /// Convenience constructor for [`LocalType::Select`].
+    pub fn select<I>(to: impl Into<RoleId>, branches: I) -> Self
+    where
+        I: IntoIterator<Item = (String, LocalType)>,
+    {
+        LocalType::Select {
+            to: to.into(),
+            branches: branches.into_iter().collect(),
+        }
+    }
+
+    /// Convenience constructor for [`LocalType::Branch`].
+    pub fn branch<I>(from: impl Into<RoleId>, branches: I) -> Self
+    where
+        I: IntoIterator<Item = (String, LocalType)>,
+    {
+        LocalType::Branch {
+            from: from.into(),
+            branches: branches.into_iter().collect(),
+        }
+    }
+
+    /// Convenience constructor for [`LocalType::Rec`].
+    pub fn rec(var: impl Into<String>, body: LocalType) -> Self {
+        LocalType::Rec {
+            var: var.into(),
+            body: Box::new(body),
+        }
+    }
+
+    /// Substitutes `Var(var)` with `replacement` (capture-avoiding with
+    /// respect to shadowing binders).
+    fn substitute(&self, var: &str, replacement: &LocalType) -> LocalType {
+        match self {
+            LocalType::End => LocalType::End,
+            LocalType::Send { to, label, then } => LocalType::Send {
+                to: to.clone(),
+                label: label.clone(),
+                then: Box::new(then.substitute(var, replacement)),
+            },
+            LocalType::Recv { from, label, then } => LocalType::Recv {
+                from: from.clone(),
+                label: label.clone(),
+                then: Box::new(then.substitute(var, replacement)),
+            },
+            LocalType::Select { to, branches } => LocalType::Select {
+                to: to.clone(),
+                branches: branches
+                    .iter()
+                    .map(|(l, b)| (l.clone(), b.substitute(var, replacement)))
+                    .collect(),
+            },
+            LocalType::Branch { from, branches } => LocalType::Branch {
+                from: from.clone(),
+                branches: branches
+                    .iter()
+                    .map(|(l, b)| (l.clone(), b.substitute(var, replacement)))
+                    .collect(),
+            },
+            LocalType::Rec { var: v, body } if v == var => self.clone(), // shadowed
+            LocalType::Rec { var: v, body } => LocalType::Rec {
+                var: v.clone(),
+                body: Box::new(body.substitute(var, replacement)),
+            },
+            LocalType::Var(v) if v == var => replacement.clone(),
+            LocalType::Var(v) => LocalType::Var(v.clone()),
+        }
+    }
+
+    /// Unfolds top-level recursion until the head is an action (or
+    /// `End`).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::UnboundVariable`] for a free `Var` at the head;
+    /// [`ProtoError::UnguardedRecursion`] for `rec t. t`-style types
+    /// whose unfolding never reaches an action.
+    pub fn unfold(self) -> Result<LocalType, ProtoError> {
+        let mut t = self;
+        loop {
+            match t {
+                LocalType::Rec { var, body } => {
+                    // Contractiveness: the body must put an action before
+                    // looping back, or unfolding diverges.
+                    let mut head = &*body;
+                    loop {
+                        match head {
+                            LocalType::Var(v) if *v == var => {
+                                return Err(ProtoError::UnguardedRecursion(var));
+                            }
+                            LocalType::Rec { body: inner, .. } => head = inner,
+                            _ => break,
+                        }
+                    }
+                    let rec = LocalType::Rec {
+                        var: var.clone(),
+                        body: body.clone(),
+                    };
+                    t = body.substitute(&var, &rec);
+                }
+                LocalType::Var(v) => return Err(ProtoError::UnboundVariable(v)),
+                other => return Ok(other),
+            }
+        }
+    }
+}
+
+impl fmt::Display for LocalType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LocalType::End => write!(f, "end"),
+            LocalType::Send { to, label, .. } => write!(f, "send {label} to {to}; …"),
+            LocalType::Recv { from, label, .. } => write!(f, "recv {label} from {from}; …"),
+            LocalType::Select { to, branches } => {
+                write!(f, "select to {to} ∈ {{")?;
+                for (i, l) in branches.keys().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{l}")?;
+                }
+                write!(f, "}}")
+            }
+            LocalType::Branch { from, branches } => {
+                write!(f, "branch from {from} ∈ {{")?;
+                for (i, l) in branches.keys().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{l}")?;
+                }
+                write!(f, "}}")
+            }
+            LocalType::Rec { var, .. } => write!(f, "rec {var}. …"),
+            LocalType::Var(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A communication action, as observed by the monitor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// This role sent `label` to `to`.
+    Send {
+        /// Recipient.
+        to: RoleId,
+        /// Label.
+        label: String,
+    },
+    /// This role received `label` from `from`.
+    Recv {
+        /// Sender.
+        from: RoleId,
+        /// Label.
+        label: String,
+    },
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Send { to, label } => write!(f, "send {label} to {to}"),
+            Action::Recv { from, label } => write!(f, "recv {label} from {from}"),
+        }
+    }
+}
+
+/// A runtime monitor tracking a role's progress through its
+/// [`LocalType`].
+#[derive(Debug, Clone)]
+pub struct LocalMonitor {
+    current: LocalType,
+}
+
+impl LocalMonitor {
+    /// Starts monitoring from the given local type.
+    pub fn new(local: LocalType) -> Self {
+        Self { current: local }
+    }
+
+    /// What the monitor currently expects, for diagnostics.
+    pub fn expected(&self) -> String {
+        self.current.to_string()
+    }
+
+    /// Is the protocol complete?
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::UnboundVariable`] for a malformed type.
+    pub fn is_done(&self) -> Result<bool, ProtoError> {
+        Ok(matches!(self.current.clone().unfold()?, LocalType::End))
+    }
+
+    /// Advances the monitor over one action.
+    ///
+    /// The current type is *moved* forward (no cloning of the remaining
+    /// protocol), so monitoring costs O(1) per step outside recursion
+    /// unfolds. On a violation the monitor is restored to its pre-action
+    /// state and every subsequent action keeps failing.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Violation`] if the action does not match the type;
+    /// [`ProtoError::UnboundVariable`] for malformed recursion.
+    pub fn advance(&mut self, action: &Action) -> Result<(), ProtoError> {
+        let head = std::mem::replace(&mut self.current, LocalType::End).unfold()?;
+        let violation = |monitor: &mut Self, head: LocalType| {
+            let err = ProtoError::Violation {
+                expected: head.to_string(),
+                got: action.to_string(),
+            };
+            monitor.current = head;
+            Err(err)
+        };
+        match (head, action) {
+            (
+                LocalType::Send { to, label, then },
+                Action::Send {
+                    to: ato,
+                    label: alabel,
+                },
+            ) if to == *ato && label == *alabel => {
+                self.current = *then;
+                Ok(())
+            }
+            (
+                LocalType::Recv { from, label, then },
+                Action::Recv {
+                    from: afrom,
+                    label: alabel,
+                },
+            ) if from == *afrom && label == *alabel => {
+                self.current = *then;
+                Ok(())
+            }
+            (
+                LocalType::Select { to, mut branches },
+                Action::Send {
+                    to: ato,
+                    label: alabel,
+                },
+            ) if to == *ato => match branches.remove(alabel) {
+                Some(b) => {
+                    self.current = b;
+                    Ok(())
+                }
+                None => violation(self, LocalType::Select { to, branches }),
+            },
+            (
+                LocalType::Branch { from, mut branches },
+                Action::Recv {
+                    from: afrom,
+                    label: alabel,
+                },
+            ) if from == *afrom => match branches.remove(alabel) {
+                Some(b) => {
+                    self.current = b;
+                    Ok(())
+                }
+                None => violation(self, LocalType::Branch { from, branches }),
+            },
+            (head, _) => violation(self, head),
+        }
+    }
+
+    /// Declares the session finished.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Unfinished`] if protocol remains.
+    pub fn finish(self) -> Result<(), ProtoError> {
+        if self.is_done()? {
+            Ok(())
+        } else {
+            Err(ProtoError::Unfinished {
+                expected: self.expected(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a() -> RoleId {
+        RoleId::new("a")
+    }
+    fn b() -> RoleId {
+        RoleId::new("b")
+    }
+
+    fn send_action(to: RoleId, label: &str) -> Action {
+        Action::Send {
+            to,
+            label: label.into(),
+        }
+    }
+    fn recv_action(from: RoleId, label: &str) -> Action {
+        Action::Recv {
+            from,
+            label: label.into(),
+        }
+    }
+
+    #[test]
+    fn linear_protocol_advances_to_end() {
+        let t = LocalType::send(a(), "hi", LocalType::recv(a(), "yo", LocalType::End));
+        let mut m = LocalMonitor::new(t);
+        assert!(!m.is_done().unwrap());
+        m.advance(&send_action(a(), "hi")).unwrap();
+        m.advance(&recv_action(a(), "yo")).unwrap();
+        assert!(m.is_done().unwrap());
+        m.finish().unwrap();
+    }
+
+    #[test]
+    fn wrong_label_is_a_violation() {
+        let t = LocalType::send(a(), "hi", LocalType::End);
+        let mut m = LocalMonitor::new(t);
+        let err = m.advance(&send_action(a(), "bye")).unwrap_err();
+        assert!(matches!(err, ProtoError::Violation { .. }));
+    }
+
+    #[test]
+    fn wrong_partner_is_a_violation() {
+        let t = LocalType::send(a(), "hi", LocalType::End);
+        let mut m = LocalMonitor::new(t);
+        let err = m.advance(&send_action(b(), "hi")).unwrap_err();
+        assert!(matches!(err, ProtoError::Violation { .. }));
+    }
+
+    #[test]
+    fn wrong_direction_is_a_violation() {
+        let t = LocalType::send(a(), "hi", LocalType::End);
+        let mut m = LocalMonitor::new(t);
+        let err = m.advance(&recv_action(a(), "hi")).unwrap_err();
+        assert!(matches!(err, ProtoError::Violation { .. }));
+    }
+
+    #[test]
+    fn select_takes_the_chosen_branch() {
+        let t = LocalType::select(
+            a(),
+            [
+                ("ok".to_string(), LocalType::recv(a(), "done", LocalType::End)),
+                ("quit".to_string(), LocalType::End),
+            ],
+        );
+        let mut m = LocalMonitor::new(t.clone());
+        m.advance(&send_action(a(), "ok")).unwrap();
+        m.advance(&recv_action(a(), "done")).unwrap();
+        m.finish().unwrap();
+
+        let mut m = LocalMonitor::new(t);
+        m.advance(&send_action(a(), "quit")).unwrap();
+        m.finish().unwrap();
+    }
+
+    #[test]
+    fn branch_follows_partner_choice() {
+        let t = LocalType::branch(
+            a(),
+            [
+                ("yes".to_string(), LocalType::End),
+                ("no".to_string(), LocalType::send(a(), "retry", LocalType::End)),
+            ],
+        );
+        let mut m = LocalMonitor::new(t);
+        m.advance(&recv_action(a(), "no")).unwrap();
+        m.advance(&send_action(a(), "retry")).unwrap();
+        m.finish().unwrap();
+    }
+
+    #[test]
+    fn unknown_branch_label_rejected() {
+        let t = LocalType::branch(a(), [("yes".to_string(), LocalType::End)]);
+        let mut m = LocalMonitor::new(t);
+        assert!(matches!(
+            m.advance(&recv_action(a(), "maybe")),
+            Err(ProtoError::Violation { .. })
+        ));
+    }
+
+    #[test]
+    fn recursion_unfolds_repeatedly() {
+        // rec t. select a { more: send a data; t, stop: end }
+        let t = LocalType::rec(
+            "t",
+            LocalType::select(
+                a(),
+                [
+                    (
+                        "more".to_string(),
+                        LocalType::send(a(), "data", LocalType::Var("t".into())),
+                    ),
+                    ("stop".to_string(), LocalType::End),
+                ],
+            ),
+        );
+        let mut m = LocalMonitor::new(t);
+        for _ in 0..3 {
+            m.advance(&send_action(a(), "more")).unwrap();
+            m.advance(&send_action(a(), "data")).unwrap();
+        }
+        m.advance(&send_action(a(), "stop")).unwrap();
+        m.finish().unwrap();
+    }
+
+    #[test]
+    fn unbound_variable_detected() {
+        let mut m = LocalMonitor::new(LocalType::Var("ghost".into()));
+        assert_eq!(
+            m.advance(&send_action(a(), "x")).unwrap_err(),
+            ProtoError::UnboundVariable("ghost".into())
+        );
+    }
+
+    #[test]
+    fn premature_finish_reported() {
+        let m = LocalMonitor::new(LocalType::send(a(), "hi", LocalType::End));
+        assert!(matches!(m.finish(), Err(ProtoError::Unfinished { .. })));
+    }
+
+    #[test]
+    fn shadowed_recursion_variables() {
+        // rec t. send a hi; rec t. select a { again: t, stop: end } —
+        // the inner t binds; looping "again" repeats only the select.
+        let inner = LocalType::rec(
+            "t",
+            LocalType::select(
+                a(),
+                [
+                    ("again".to_string(), LocalType::Var("t".into())),
+                    ("stop".to_string(), LocalType::End),
+                ],
+            ),
+        );
+        let t = LocalType::rec("t", LocalType::send(a(), "hi", inner));
+        let mut m = LocalMonitor::new(t);
+        m.advance(&send_action(a(), "hi")).unwrap();
+        m.advance(&send_action(a(), "again")).unwrap();
+        // "hi" must NOT be required again: inner t loops to the select.
+        m.advance(&send_action(a(), "again")).unwrap();
+        m.advance(&send_action(a(), "stop")).unwrap();
+        m.finish().unwrap();
+    }
+}
+
+#[cfg(test)]
+mod contractive_tests {
+    use super::*;
+
+    #[test]
+    fn unguarded_recursion_detected() {
+        let t = LocalType::rec("t", LocalType::Var("t".into()));
+        assert_eq!(
+            t.unfold().unwrap_err(),
+            ProtoError::UnguardedRecursion("t".into())
+        );
+    }
+
+    #[test]
+    fn nested_unguarded_recursion_detected() {
+        // rec t. rec u. t — still no action before looping.
+        let t = LocalType::rec("t", LocalType::rec("u", LocalType::Var("t".into())));
+        assert_eq!(
+            t.unfold().unwrap_err(),
+            ProtoError::UnguardedRecursion("t".into())
+        );
+    }
+
+    #[test]
+    fn guarded_recursion_is_fine() {
+        let t = LocalType::rec(
+            "t",
+            LocalType::send(RoleId::new("a"), "x", LocalType::Var("t".into())),
+        );
+        assert!(matches!(t.unfold().unwrap(), LocalType::Send { .. }));
+    }
+
+    #[test]
+    fn monitor_surfaces_unguarded_recursion() {
+        let mut m = LocalMonitor::new(LocalType::rec("t", LocalType::Var("t".into())));
+        let action = Action::Send {
+            to: RoleId::new("a"),
+            label: "x".into(),
+        };
+        assert!(matches!(
+            m.advance(&action),
+            Err(ProtoError::UnguardedRecursion(_))
+        ));
+    }
+}

@@ -1,0 +1,308 @@
+//! Runtime-monitored sessions over script role contexts.
+
+use std::fmt;
+
+use script_core::{RoleCtx, RoleId};
+
+use crate::local::{Action, LocalMonitor, LocalType};
+use crate::ProtoError;
+
+/// Messages that carry a protocol label.
+///
+/// Implement this for the script's message type so [`Session`] can check
+/// labels against the local type.
+///
+/// # Example
+///
+/// ```
+/// use script_proto::Labeled;
+///
+/// #[derive(Clone)]
+/// enum Msg { Quote(u64), Ok, Quit }
+///
+/// impl Labeled for Msg {
+///     fn label(&self) -> &str {
+///         match self {
+///             Msg::Quote(_) => "quote",
+///             Msg::Ok => "ok",
+///             Msg::Quit => "quit",
+///         }
+///     }
+/// }
+/// ```
+pub trait Labeled {
+    /// The message's protocol label.
+    fn label(&self) -> &str;
+}
+
+impl Labeled for String {
+    fn label(&self) -> &str {
+        self
+    }
+}
+
+impl Labeled for &'static str {
+    fn label(&self) -> &str {
+        self
+    }
+}
+
+/// A protocol-checked view of a [`RoleCtx`]: every send and receive is
+/// validated against the role's [`LocalType`] before/after it happens.
+///
+/// On the first violation the session returns
+/// [`ProtoError::Violation`] and refuses further use (the monitor
+/// stays in the violated state, so every subsequent action fails too).
+pub struct Session<'a, M> {
+    ctx: &'a RoleCtx<M>,
+    monitor: LocalMonitor,
+}
+
+impl<M> fmt::Debug for Session<'_, M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field("expected", &self.monitor.expected())
+            .finish()
+    }
+}
+
+impl<'a, M: Send + Clone + Labeled + 'static> Session<'a, M> {
+    /// Starts a monitored session for `ctx` following `local`.
+    pub fn new(ctx: &'a RoleCtx<M>, local: LocalType) -> Self {
+        Self {
+            ctx,
+            monitor: LocalMonitor::new(local),
+        }
+    }
+
+    /// What the protocol expects next (diagnostics).
+    pub fn expected(&self) -> String {
+        self.monitor.expected()
+    }
+
+    /// Sends `msg` to `to`, first checking it against the protocol.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Violation`] if the protocol expects something else
+    /// (nothing is sent in that case), or [`ProtoError::Script`] if the
+    /// underlying communication fails.
+    pub fn send(&mut self, to: &RoleId, msg: M) -> Result<(), ProtoError> {
+        self.monitor.advance(&Action::Send {
+            to: to.clone(),
+            label: msg.label().to_string(),
+        })?;
+        self.ctx.send(to, msg)?;
+        Ok(())
+    }
+
+    /// Receives from `from` and checks the received label.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Violation`] if the protocol expected a different
+    /// action or the received label mismatches, or
+    /// [`ProtoError::Script`] on communication failure.
+    pub fn recv_from(&mut self, from: &RoleId) -> Result<M, ProtoError> {
+        let msg = self.ctx.recv_from(from)?;
+        self.monitor.advance(&Action::Recv {
+            from: from.clone(),
+            label: msg.label().to_string(),
+        })?;
+        Ok(msg)
+    }
+
+    /// Completes the session; fails if protocol remains.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Unfinished`].
+    pub fn finish(self) -> Result<(), ProtoError> {
+        self.monitor.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GlobalType;
+    use script_core::{Script, ScriptError};
+
+    /// A labeled message enum for a quote/decision protocol.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    enum Msg {
+        Title(String),
+        Quote(u64),
+        Ok,
+        Quit,
+    }
+
+    impl Labeled for Msg {
+        fn label(&self) -> &str {
+            match self {
+                Msg::Title(_) => "title",
+                Msg::Quote(_) => "quote",
+                Msg::Ok => "ok",
+                Msg::Quit => "quit",
+            }
+        }
+    }
+
+    fn protocol() -> GlobalType {
+        GlobalType::msg(
+            "client",
+            "server",
+            "title",
+            GlobalType::msg(
+                "server",
+                "client",
+                "quote",
+                GlobalType::choice(
+                    "client",
+                    "server",
+                    [
+                        ("ok".to_string(), GlobalType::End),
+                        ("quit".to_string(), GlobalType::End),
+                    ],
+                ),
+            ),
+        )
+    }
+
+    #[test]
+    fn conforming_roles_complete() {
+        let g = protocol();
+        let client_t = g.project(&RoleId::new("client")).unwrap();
+        let server_t = g.project(&RoleId::new("server")).unwrap();
+
+        let mut b = Script::<Msg>::builder("quoted");
+        let ct = client_t.clone();
+        let client = b.role("client", move |ctx, budget: u64| {
+            let mut s = Session::new(ctx, ct.clone());
+            s.send(&RoleId::new("server"), Msg::Title("tapl".into()))
+                .map_err(|e| ScriptError::app(e.to_string()))?;
+            let quote = match s.recv_from(&RoleId::new("server")) {
+                Ok(Msg::Quote(q)) => q,
+                other => return Err(ScriptError::app(format!("bad quote: {other:?}"))),
+            };
+            let decision = if quote <= budget { Msg::Ok } else { Msg::Quit };
+            let accepted = decision == Msg::Ok;
+            s.send(&RoleId::new("server"), decision)
+                .map_err(|e| ScriptError::app(e.to_string()))?;
+            s.finish().map_err(|e| ScriptError::app(e.to_string()))?;
+            Ok(accepted)
+        });
+        let st = server_t.clone();
+        let server = b.role("server", move |ctx, price: u64| {
+            let mut s = Session::new(ctx, st.clone());
+            let _title = s
+                .recv_from(&RoleId::new("client"))
+                .map_err(|e| ScriptError::app(e.to_string()))?;
+            s.send(&RoleId::new("client"), Msg::Quote(price))
+                .map_err(|e| ScriptError::app(e.to_string()))?;
+            let decision = s
+                .recv_from(&RoleId::new("client"))
+                .map_err(|e| ScriptError::app(e.to_string()))?;
+            s.finish().map_err(|e| ScriptError::app(e.to_string()))?;
+            Ok(decision == Msg::Ok)
+        });
+        let script = b.build().unwrap();
+
+        for (price, budget, expect) in [(30u64, 50u64, true), (80, 50, false)] {
+            let inst = script.instance();
+            let (sold, bought) = std::thread::scope(|s| {
+                let i2 = inst.clone();
+                let server = server.clone();
+                let h = s.spawn(move || i2.enroll(&server, price));
+                let bought = inst.enroll(&client, budget).unwrap();
+                (h.join().unwrap().unwrap(), bought)
+            });
+            assert_eq!(sold, expect);
+            assert_eq!(bought, expect);
+        }
+    }
+
+    #[test]
+    fn out_of_protocol_send_is_caught_before_sending() {
+        let g = protocol();
+        let client_t = g.project(&RoleId::new("client")).unwrap();
+
+        let mut b = Script::<Msg>::builder("violator");
+        let ct = client_t;
+        let client = b.role("client", move |ctx, ()| {
+            let mut s = Session::new(ctx, ct.clone());
+            // Protocol says: send title first. Try to send Ok instead.
+            match s.send(&RoleId::new("server"), Msg::Ok) {
+                Err(ProtoError::Violation { expected, got }) => {
+                    assert!(expected.contains("title"), "expected = {expected}");
+                    assert!(got.contains("ok"));
+                    Ok(())
+                }
+                other => Err(ScriptError::app(format!("expected violation: {other:?}"))),
+            }
+        });
+        // The server never receives anything: the violating send was
+        // blocked before reaching the wire.
+        let server = b.role("server", |ctx, ()| {
+            match ctx.recv_from_timeout(&RoleId::new("client"), std::time::Duration::from_millis(80))
+            {
+                Err(ScriptError::Timeout) | Err(ScriptError::RoleUnavailable(_)) => Ok(()),
+                other => Err(ScriptError::app(format!("unexpected: {other:?}"))),
+            }
+        });
+        let script = b.build().unwrap();
+        let inst = script.instance();
+        std::thread::scope(|s| {
+            let i2 = inst.clone();
+            let server = server.clone();
+            let h = s.spawn(move || i2.enroll(&server, ()));
+            inst.enroll(&client, ()).unwrap();
+            h.join().unwrap().unwrap();
+        });
+    }
+
+    #[test]
+    fn mislabeled_reception_is_caught() {
+        // The server follows no protocol and sends a mislabeled message;
+        // the client's monitor flags it on reception.
+        let g = protocol();
+        let client_t = g.project(&RoleId::new("client")).unwrap();
+
+        let mut b = Script::<Msg>::builder("liar");
+        let ct = client_t;
+        let client = b.role("client", move |ctx, ()| {
+            let mut s = Session::new(ctx, ct.clone());
+            s.send(&RoleId::new("server"), Msg::Title("x".into()))
+                .map_err(|e| ScriptError::app(e.to_string()))?;
+            match s.recv_from(&RoleId::new("server")) {
+                Err(ProtoError::Violation { expected, got }) => {
+                    assert!(expected.contains("quote"));
+                    assert!(got.contains("quit"));
+                    Ok(())
+                }
+                other => Err(ScriptError::app(format!("expected violation: {other:?}"))),
+            }
+        });
+        let server = b.role("server", |ctx, ()| {
+            let _ = ctx.recv_from(&RoleId::new("client"))?;
+            // Protocol says quote; send quit instead.
+            ctx.send(&RoleId::new("client"), Msg::Quit)?;
+            Ok(())
+        });
+        let script = b.build().unwrap();
+        let inst = script.instance();
+        std::thread::scope(|s| {
+            let i2 = inst.clone();
+            let server = server.clone();
+            let h = s.spawn(move || i2.enroll(&server, ()));
+            inst.enroll(&client, ()).unwrap();
+            h.join().unwrap().unwrap();
+        });
+    }
+
+    #[test]
+    fn string_messages_are_their_own_labels() {
+        assert_eq!("hello".label(), "hello");
+        assert_eq!(String::from("x").label(), "x");
+    }
+}

@@ -1,0 +1,162 @@
+//! Property tests: projection and monitoring cohere.
+//!
+//! For random well-formed global types, every execution path of the
+//! global protocol must be accepted, step by step, by the monitors of
+//! all projected local types — and leave every monitor in a finishable
+//! state at the end.
+
+use proptest::prelude::*;
+
+use script_proto::{Action, GlobalType, LocalMonitor, ProtoError, RoleId};
+
+const ROLES: [&str; 4] = ["a", "b", "c", "d"];
+
+/// Random Rec-free global types over a fixed role set.
+fn arb_global(depth: u32) -> BoxedStrategy<GlobalType> {
+    let leaf = Just(GlobalType::End).boxed();
+    if depth == 0 {
+        return leaf;
+    }
+    let msg = (0usize..4, 0usize..4, 0usize..5, arb_global(depth - 1)).prop_filter_map(
+        "no self messages",
+        |(f, t, l, then)| {
+            if f == t {
+                None
+            } else {
+                Some(GlobalType::msg(ROLES[f], ROLES[t], format!("l{l}"), then))
+            }
+        },
+    );
+    let choice = (
+        0usize..4,
+        0usize..4,
+        proptest::collection::btree_map(0usize..4, arb_global(depth - 1), 1..3),
+    )
+        .prop_filter_map("no self choices", |(f, t, branches)| {
+            if f == t {
+                None
+            } else {
+                Some(GlobalType::choice(
+                    ROLES[f],
+                    ROLES[t],
+                    branches
+                        .into_iter()
+                        .map(|(l, g)| (format!("l{l}"), g)),
+                ))
+            }
+        });
+    prop_oneof![Just(GlobalType::End), msg, choice].boxed()
+}
+
+/// Walks one random execution of `g`, feeding the corresponding actions
+/// to each role's monitor.
+fn walk(
+    g: &GlobalType,
+    monitors: &mut std::collections::HashMap<RoleId, LocalMonitor>,
+    rng_path: &mut impl Iterator<Item = usize>,
+) -> Result<(), ProtoError> {
+    match g {
+        GlobalType::End => Ok(()),
+        GlobalType::Msg {
+            from,
+            to,
+            label,
+            then,
+        } => {
+            monitors
+                .get_mut(from)
+                .expect("projected")
+                .advance(&Action::Send {
+                    to: to.clone(),
+                    label: label.clone(),
+                })?;
+            monitors
+                .get_mut(to)
+                .expect("projected")
+                .advance(&Action::Recv {
+                    from: from.clone(),
+                    label: label.clone(),
+                })?;
+            walk(then, monitors, rng_path)
+        }
+        GlobalType::Choice { from, to, branches } => {
+            let pick = rng_path.next().unwrap_or(0) % branches.len();
+            let (label, branch) = branches.iter().nth(pick).expect("non-empty");
+            monitors
+                .get_mut(from)
+                .expect("projected")
+                .advance(&Action::Send {
+                    to: to.clone(),
+                    label: label.clone(),
+                })?;
+            monitors
+                .get_mut(to)
+                .expect("projected")
+                .advance(&Action::Recv {
+                    from: from.clone(),
+                    label: label.clone(),
+                })?;
+            walk(branch, monitors, rng_path)
+        }
+        GlobalType::Rec { .. } | GlobalType::Var(_) => {
+            unreachable!("generator emits Rec-free types")
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Projection soundness: when every role projects, every global
+    /// execution path is accepted by all monitors, which all finish.
+    #[test]
+    fn projections_accept_every_execution(
+        g in arb_global(4),
+        path in proptest::collection::vec(0usize..4, 0..16),
+    ) {
+        // Skip protocols that fail plain merging — those are the
+        // documented projection limitation, not a soundness issue.
+        let mut monitors = std::collections::HashMap::new();
+        let mut projectable = true;
+        for name in ROLES {
+            match g.project(&RoleId::new(name)) {
+                Ok(local) => {
+                    monitors.insert(RoleId::new(name), LocalMonitor::new(local));
+                }
+                Err(ProtoError::Unmergeable { .. }) => {
+                    projectable = false;
+                    break;
+                }
+                Err(e) => return Err(TestCaseError::fail(format!("unexpected: {e}"))),
+            }
+        }
+        prop_assume!(projectable);
+        let mut path_iter = path.into_iter();
+        walk(&g, &mut monitors, &mut path_iter)
+            .map_err(|e| TestCaseError::fail(format!("monitor rejected valid step: {e}")))?;
+        for (role, m) in monitors {
+            m.finish().map_err(|e| {
+                TestCaseError::fail(format!("{role} not finished: {e}"))
+            })?;
+        }
+    }
+
+    /// Validation catches every self-message, wherever it hides.
+    #[test]
+    fn self_messages_always_detected(depth in 0u32..3, role in 0usize..4) {
+        let inner = GlobalType::Msg {
+            from: RoleId::new(ROLES[role]),
+            to: RoleId::new(ROLES[role]),
+            label: "x".into(),
+            then: Box::new(GlobalType::End),
+        };
+        let mut g = inner;
+        for _ in 0..depth {
+            g = GlobalType::msg("a", "b", "wrap", g);
+        }
+        prop_assert!(matches!(
+            g.validate(),
+            Err(ProtoError::SelfMessage(_))
+        ));
+    }
+}

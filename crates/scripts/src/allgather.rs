@@ -1,0 +1,145 @@
+//! A ring all-gather script: every member contributes one value and
+//! leaves with everyone's values, via n−1 rounds of neighbor exchange.
+
+use script_core::{
+    FamilyHandle, Initiation, Instance, RoleId, Script, ScriptError, Termination,
+};
+
+/// The packaged all-gather script.
+#[derive(Debug)]
+pub struct AllGather<M> {
+    /// The underlying script.
+    pub script: Script<Vec<(usize, M)>>,
+    /// The member family: contributes one value, receives all of them
+    /// (indexed by member).
+    pub member: FamilyHandle<Vec<(usize, M)>, M, Vec<M>>,
+    n: usize,
+}
+
+impl<M> AllGather<M> {
+    /// Number of members.
+    pub fn members(&self) -> usize {
+        self.n
+    }
+}
+
+/// Builds a ring all-gather over `n` members.
+///
+/// Round r: member i sends the batch it received in round r−1 (its own
+/// contribution in round 0) to member (i+1) mod n. After n−1 rounds
+/// everyone has seen every contribution.
+pub fn all_gather<M: Send + Clone + 'static>(n: usize) -> AllGather<M> {
+    assert!(n >= 1, "all-gather needs at least one member");
+    let mut b = Script::<Vec<(usize, M)>>::builder("all_gather");
+    let member = b.family("member", n, move |ctx, mine: M| {
+        let me = ctx.role().index().expect("member is indexed");
+        let next = RoleId::indexed("member", (me + 1) % n);
+        let prev = RoleId::indexed("member", (me + n - 1) % n);
+        let mut known: Vec<Option<M>> = vec![None; n];
+        known[me] = Some(mine.clone());
+        let mut outgoing = vec![(me, mine)];
+        for _ in 0..n.saturating_sub(1) {
+            // Alternate send/receive by parity to avoid a send cycle
+            // deadlock on the synchronous ring.
+            if me % 2 == 0 {
+                ctx.send(&next, outgoing)?;
+                outgoing = ctx.recv_from(&prev)?;
+            } else {
+                let incoming = ctx.recv_from(&prev)?;
+                ctx.send(&next, outgoing)?;
+                outgoing = incoming;
+            }
+            for (idx, v) in &outgoing {
+                known[*idx] = Some(v.clone());
+            }
+        }
+        Ok(known
+            .into_iter()
+            .map(|v| v.expect("ring completed n-1 rounds"))
+            .collect())
+    });
+    b.initiation(Initiation::Delayed)
+        .termination(Termination::Delayed);
+    AllGather {
+        script: b.build().expect("all-gather spec is valid"),
+        member,
+        n,
+    }
+}
+
+/// Runs one all-gather; returns each member's gathered vector.
+///
+/// # Errors
+///
+/// The first error any participant reported.
+pub fn run<M: Send + Clone + 'static>(
+    ag: &AllGather<M>,
+    values: Vec<M>,
+) -> Result<Vec<Vec<M>>, ScriptError> {
+    assert_eq!(values.len(), ag.n, "one value per member");
+    let instance = ag.script.instance();
+    run_on(&instance, ag, values)
+}
+
+/// Like [`run`] on an existing instance.
+///
+/// # Errors
+///
+/// The first error any participant reported.
+pub fn run_on<M: Send + Clone + 'static>(
+    instance: &Instance<Vec<(usize, M)>>,
+    ag: &AllGather<M>,
+    values: Vec<M>,
+) -> Result<Vec<Vec<M>>, ScriptError> {
+    std::thread::scope(|s| {
+        let handles: Vec<_> = values
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| {
+                let member = &ag.member;
+                s.spawn(move || instance.enroll_member(member, i, v))
+            })
+            .collect();
+        let mut out = Vec::with_capacity(ag.n);
+        for h in handles {
+            out.push(h.join().expect("member threads do not panic")?);
+        }
+        Ok(out)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn everyone_sees_everything() {
+        for n in [1usize, 2, 3, 4, 7, 8] {
+            let ag = all_gather::<u64>(n);
+            let values: Vec<u64> = (0..n as u64).map(|i| i * 10).collect();
+            let out = run(&ag, values.clone()).unwrap();
+            for (i, got) in out.iter().enumerate() {
+                assert_eq!(got, &values, "member {i} of {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn works_with_strings() {
+        let ag = all_gather::<String>(3);
+        let out = run(&ag, vec!["a".into(), "b".into(), "c".into()]).unwrap();
+        assert_eq!(out[2], vec!["a".to_string(), "b".into(), "c".into()]);
+    }
+
+    #[test]
+    fn reusable_across_performances() {
+        let ag = all_gather::<u64>(3);
+        let inst = ag.script.instance();
+        for round in 0..3u64 {
+            let values = vec![round, round + 1, round + 2];
+            let out = run_on(&inst, &ag, values.clone()).unwrap();
+            assert!(out.iter().all(|v| v == &values));
+        }
+        assert_eq!(inst.completed_performances(), 3);
+    }
+}

@@ -1,0 +1,113 @@
+//! A barrier script: global synchronization of `n` parties.
+//!
+//! Delayed initiation plus delayed termination makes the script body
+//! trivial — the enrollment machinery *is* the barrier. This is the
+//! purest demonstration of the paper's observation that delayed
+//! initiation "enforces global synchronization between large groups of
+//! processes (as a possible extension to CSP's synchronized
+//! communication between two processes)".
+
+use script_core::{FamilyHandle, Initiation, Instance, Script, ScriptError, Termination};
+
+/// A packaged barrier script.
+#[derive(Debug)]
+pub struct Barrier {
+    /// The underlying script.
+    pub script: Script<()>,
+    /// The party family; enrolling blocks until all `n` parties arrive.
+    pub party: FamilyHandle<(), (), ()>,
+    n: usize,
+}
+
+impl Barrier {
+    /// Number of parties.
+    pub fn parties(&self) -> usize {
+        self.n
+    }
+}
+
+/// Builds an `n`-party barrier.
+pub fn barrier(n: usize) -> Barrier {
+    let mut b = Script::<()>::builder("barrier");
+    let party = b.family("party", n, |_ctx, ()| Ok(()));
+    b.initiation(Initiation::Delayed)
+        .termination(Termination::Delayed);
+    Barrier {
+        script: b.build().expect("barrier spec is valid"),
+        party,
+        n,
+    }
+}
+
+/// Blocks until all `n` parties of `instance` have enrolled as
+/// `party[index]`.
+///
+/// # Errors
+///
+/// Any [`ScriptError`] from enrollment (timeout, abort, close).
+pub fn wait(instance: &Instance<()>, barrier: &Barrier, index: usize) -> Result<(), ScriptError> {
+    instance.enroll_member(&barrier.party, index, ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn all_parties_released_together() {
+        const N: usize = 6;
+        let b = barrier(N);
+        let inst = b.script.instance();
+        let before = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for i in 0..N {
+                let inst = inst.clone();
+                let b = &b;
+                let before = Arc::clone(&before);
+                s.spawn(move || {
+                    before.fetch_add(1, Ordering::SeqCst);
+                    wait(&inst, b, i).unwrap();
+                    // At release, every party must have arrived.
+                    assert_eq!(before.load(Ordering::SeqCst), N);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn missing_party_blocks() {
+        let b = barrier(2);
+        let inst = b.script.instance();
+        let err = inst
+            .enroll_member_with(
+                &b.party,
+                0,
+                (),
+                script_core::Enrollment::new().timeout(Duration::from_millis(50)),
+            )
+            .unwrap_err();
+        assert_eq!(err, ScriptError::Timeout);
+    }
+
+    #[test]
+    fn barrier_is_reusable() {
+        const N: usize = 3;
+        let b = barrier(N);
+        let inst = b.script.instance();
+        std::thread::scope(|s| {
+            for i in 0..N {
+                let inst = inst.clone();
+                let b = &b;
+                s.spawn(move || {
+                    for _ in 0..4 {
+                        wait(&inst, b, i).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(inst.completed_performances(), 4);
+    }
+}

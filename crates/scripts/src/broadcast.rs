@@ -1,0 +1,302 @@
+//! Broadcast scripts: the paper's running example, in every strategy it
+//! discusses.
+//!
+//! "The body of the script could hide the various broadcast strategies:
+//! a star-like pattern in which the transmitter communicates directly
+//! with each recipient, either in some pre-specified order, or
+//! non-deterministically; a spanning tree, generating a wave of
+//! transmissions; others." (§II)
+
+use std::sync::Arc;
+
+use script_core::{
+    Event, FamilyHandle, Guard, Initiation, Instance, RoleHandle, RoleId, Script, ScriptError,
+    Termination,
+};
+use script_monitor::PerMailbox;
+
+/// The order in which a star transmitter serves its recipients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Order {
+    /// `recipient[0], recipient[1], …` — the paper's Figure 3.
+    Sequential,
+    /// Whichever recipient is ready, chosen fairly — the paper's
+    /// "non-deterministically" option and its Figure 6 CSP rendering
+    /// with output guards.
+    NonDeterministic,
+}
+
+/// A packaged broadcast script: the script plus its typed role handles.
+#[derive(Debug)]
+pub struct Broadcast<M> {
+    /// The underlying script (one sender, `n` recipients).
+    pub script: Script<M>,
+    /// The sender role: data parameter is the value to broadcast.
+    pub sender: RoleHandle<M, M, ()>,
+    /// The recipient family: result parameter is the received value.
+    pub recipient: FamilyHandle<M, (), M>,
+    n: usize,
+}
+
+impl<M> Broadcast<M> {
+    /// Number of recipients.
+    pub fn fan_out(&self) -> usize {
+        self.n
+    }
+}
+
+fn sender_id() -> RoleId {
+    RoleId::new("sender")
+}
+
+/// The synchronized star broadcast of Figure 3: delayed initiation and
+/// termination, transmitter sends directly to every recipient.
+///
+/// Because initiation is delayed, "the sender is never blocked while
+/// waiting for a recipient": the whole cast is present before the first
+/// send.
+pub fn star<M: Send + Clone + 'static>(n: usize, order: Order) -> Broadcast<M> {
+    let mut b = Script::<M>::builder("star_broadcast");
+    let sender = match order {
+        Order::Sequential => b.role("sender", move |ctx, data: M| {
+            for i in 0..n {
+                ctx.send(&RoleId::indexed("recipient", i), data.clone())?;
+            }
+            Ok(())
+        }),
+        Order::NonDeterministic => b.role("sender", move |ctx, data: M| {
+            let mut sent = vec![false; n];
+            while sent.iter().any(|s| !s) {
+                let guards: Vec<Guard<M>> = sent
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| !**s)
+                    .map(|(k, _)| Guard::send(RoleId::indexed("recipient", k), data.clone()))
+                    .collect();
+                match ctx.select(guards)? {
+                    Event::Sent { to, .. } => {
+                        sent[to.index().expect("recipient is indexed")] = true;
+                    }
+                    _ => unreachable!("only send guards offered"),
+                }
+            }
+            Ok(())
+        }),
+    };
+    let recipient = b.family("recipient", n, |ctx, ()| ctx.recv_from(&sender_id()));
+    b.initiation(Initiation::Delayed)
+        .termination(Termination::Delayed);
+    Broadcast {
+        script: b.build().expect("star broadcast spec is valid"),
+        sender,
+        recipient,
+        n,
+    }
+}
+
+/// The pipeline broadcast of Figure 4: immediate initiation and
+/// termination; each recipient passes the value to its successor and
+/// leaves. Processes "spend much less time in the script" than in the
+/// synchronized star, at the cost of possibly blocking mid-chain when a
+/// successor has not yet enrolled.
+pub fn pipeline<M: Send + Clone + 'static>(n: usize) -> Broadcast<M> {
+    let mut b = Script::<M>::builder("pipeline_broadcast");
+    let sender = b.role("sender", |ctx, data: M| {
+        ctx.send(&RoleId::indexed("recipient", 0), data)?;
+        Ok(())
+    });
+    let recipient = b.family("recipient", n, move |ctx, ()| {
+        let me = ctx.role().index().expect("recipient is indexed");
+        let value = if me == 0 {
+            ctx.recv_from(&sender_id())?
+        } else {
+            ctx.recv_from(&RoleId::indexed("recipient", me - 1))?
+        };
+        if me + 1 < n {
+            ctx.send(&RoleId::indexed("recipient", me + 1), value.clone())?;
+        }
+        Ok(value)
+    });
+    b.initiation(Initiation::Immediate)
+        .termination(Termination::Immediate);
+    Broadcast {
+        script: b.build().expect("pipeline broadcast spec is valid"),
+        sender,
+        recipient,
+        n,
+    }
+}
+
+/// A binary spanning-tree broadcast: the sender feeds the root; each
+/// recipient forwards to its (up to two) children, "generating a wave of
+/// transmissions". Latency grows with the tree depth, O(log n), instead
+/// of the star's O(n) sequential sends.
+pub fn tree<M: Send + Clone + 'static>(n: usize) -> Broadcast<M> {
+    let mut b = Script::<M>::builder("tree_broadcast");
+    let sender = b.role("sender", |ctx, data: M| {
+        ctx.send(&RoleId::indexed("recipient", 0), data)?;
+        Ok(())
+    });
+    let recipient = b.family("recipient", n, move |ctx, ()| {
+        let me = ctx.role().index().expect("recipient is indexed");
+        let value = if me == 0 {
+            ctx.recv_from(&sender_id())?
+        } else {
+            ctx.recv_from(&RoleId::indexed("recipient", (me - 1) / 2))?
+        };
+        for child in [2 * me + 1, 2 * me + 2] {
+            if child < n {
+                ctx.send(&RoleId::indexed("recipient", child), value.clone())?;
+            }
+        }
+        Ok(value)
+    });
+    b.initiation(Initiation::Delayed)
+        .termination(Termination::Delayed);
+    Broadcast {
+        script: b.build().expect("tree broadcast spec is valid"),
+        sender,
+        recipient,
+        n,
+    }
+}
+
+/// The mailbox broadcast of Figure 12: one monitor per recipient mailbox
+/// packaged inside the script ("the script providing the top-level
+/// packaging"). The critical role set includes everyone, which —
+/// exactly as the paper notes — "prevents the sender from waiting on a
+/// full mailbox".
+pub fn mailbox<M: Send + Clone + 'static>(n: usize) -> Broadcast<M> {
+    let boxes: Arc<PerMailbox<M>> = Arc::new(PerMailbox::new(n));
+    let mut b = Script::<M>::builder("mailbox_broadcast");
+    let tx_boxes = Arc::clone(&boxes);
+    let sender = b.role("sender", move |_ctx, data: M| {
+        for r in 0..n {
+            tx_boxes.put(r, data.clone());
+        }
+        Ok(())
+    });
+    let recipient = b.family("recipient", n, move |ctx, ()| {
+        let me = ctx.role().index().expect("recipient is indexed");
+        Ok(boxes.get(me))
+    });
+    b.initiation(Initiation::Delayed)
+        .termination(Termination::Delayed);
+    Broadcast {
+        script: b.build().expect("mailbox broadcast spec is valid"),
+        sender,
+        recipient,
+        n,
+    }
+}
+
+/// Runs one performance of any [`Broadcast`] script on scoped threads:
+/// enrolls the sender with `value` and one recipient per family member,
+/// returning the values received (indexed by recipient).
+///
+/// # Errors
+///
+/// The first error any participant reported.
+pub fn run<M: Send + Clone + 'static>(b: &Broadcast<M>, value: M) -> Result<Vec<M>, ScriptError> {
+    let instance = b.script.instance();
+    run_on(&instance, b, value)
+}
+
+/// Like [`run`], but reuses an existing instance (successive
+/// performances).
+///
+/// # Errors
+///
+/// The first error any participant reported.
+pub fn run_on<M: Send + Clone + 'static>(
+    instance: &Instance<M>,
+    b: &Broadcast<M>,
+    value: M,
+) -> Result<Vec<M>, ScriptError> {
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..b.n)
+            .map(|i| {
+                let recipient = &b.recipient;
+                s.spawn(move || instance.enroll_member(recipient, i, ()))
+            })
+            .collect();
+        let send_result = instance.enroll(&b.sender, value);
+        let mut received = Vec::with_capacity(b.n);
+        for h in handles {
+            received.push(h.join().expect("recipient threads do not panic")?);
+        }
+        send_result?;
+        Ok(received)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(b: &Broadcast<u64>) {
+        let got = run(b, 7).unwrap();
+        assert_eq!(got, vec![7; b.fan_out()]);
+    }
+
+    #[test]
+    fn star_sequential_delivers() {
+        check(&star(5, Order::Sequential));
+    }
+
+    #[test]
+    fn star_nondeterministic_delivers() {
+        check(&star(5, Order::NonDeterministic));
+    }
+
+    #[test]
+    fn pipeline_delivers() {
+        check(&pipeline(5));
+    }
+
+    #[test]
+    fn tree_delivers() {
+        check(&tree(5));
+    }
+
+    #[test]
+    fn mailbox_delivers() {
+        check(&mailbox(5));
+    }
+
+    #[test]
+    fn tree_handles_all_shapes() {
+        for n in [1, 2, 3, 4, 7, 8, 15, 16, 31] {
+            let b = tree(n);
+            let got = run(&b, 1u64).unwrap();
+            assert_eq!(got, vec![1; n], "n = {n}");
+        }
+    }
+
+    #[test]
+    fn strategies_agree_across_fanouts() {
+        for n in [1, 2, 6, 9] {
+            for b in [
+                star::<u64>(n, Order::Sequential),
+                star::<u64>(n, Order::NonDeterministic),
+                pipeline::<u64>(n),
+                tree::<u64>(n),
+                mailbox::<u64>(n),
+            ] {
+                let got = run(&b, 99).unwrap();
+                assert_eq!(got, vec![99; n]);
+            }
+        }
+    }
+
+    #[test]
+    fn successive_broadcasts_on_one_instance() {
+        let b = star::<u64>(3, Order::Sequential);
+        let inst = b.script.instance();
+        for v in 0..5 {
+            let got = run_on(&inst, &b, v).unwrap();
+            assert_eq!(got, vec![v; 3]);
+        }
+        assert_eq!(inst.completed_performances(), 5);
+    }
+}

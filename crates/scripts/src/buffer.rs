@@ -1,0 +1,199 @@
+//! A bounded-buffer relay script — one of the paper's "various buffering
+//! regimes".
+//!
+//! Three roles: a producer streams items, a buffering role holds at most
+//! `capacity` of them, and a consumer drains them in order. The buffer
+//! role's body is a classic CSP-style guarded loop mixing an input
+//! guard, an *output* guard, and a termination watch.
+
+use std::collections::VecDeque;
+
+use script_core::{
+    Event, Guard, Initiation, Instance, RoleHandle, RoleId, Script, ScriptError, Termination,
+};
+
+/// A packaged bounded-buffer relay.
+#[derive(Debug)]
+pub struct BufferedRelay<M> {
+    /// The underlying script.
+    pub script: Script<M>,
+    /// The producer: its data parameter is the items to stream.
+    pub producer: RoleHandle<M, Vec<M>, ()>,
+    /// The buffering role: returns how many items it relayed.
+    pub keeper: RoleHandle<M, (), usize>,
+    /// The consumer: parameter is how many items to take; returns them.
+    pub consumer: RoleHandle<M, usize, Vec<M>>,
+    capacity: usize,
+}
+
+impl<M> BufferedRelay<M> {
+    /// The buffer capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+fn producer_id() -> RoleId {
+    RoleId::new("producer")
+}
+fn keeper_id() -> RoleId {
+    RoleId::new("keeper")
+}
+fn consumer_id() -> RoleId {
+    RoleId::new("consumer")
+}
+
+/// Builds a bounded-buffer relay with the given capacity.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero (use direct rendezvous instead).
+pub fn buffered_relay<M: Send + Clone + 'static>(capacity: usize) -> BufferedRelay<M> {
+    assert!(capacity > 0, "capacity must be positive");
+    let mut b = Script::<M>::builder("buffered_relay");
+    let producer = b.role("producer", |ctx, items: Vec<M>| {
+        for item in items {
+            ctx.send(&keeper_id(), item)?;
+        }
+        Ok(())
+    });
+    let keeper = b.role("keeper", move |ctx, ()| {
+        let mut held: VecDeque<M> = VecDeque::with_capacity(capacity);
+        let mut relayed = 0;
+        loop {
+            let producer_done = ctx.terminated(&producer_id());
+            let consumer_done = ctx.terminated(&consumer_id());
+            if held.is_empty() && producer_done {
+                return Ok(relayed);
+            }
+            if consumer_done && !held.is_empty() {
+                // Consumer left items behind; drop them and report.
+                return Ok(relayed);
+            }
+            let front = held.front().cloned();
+            let event = ctx.select(vec![
+                Guard::recv_from(producer_id()).when(held.len() < capacity && !producer_done),
+                match front {
+                    Some(item) => Guard::send(consumer_id(), item).when(!consumer_done),
+                    None => Guard::recv_any().when(false),
+                },
+                Guard::watch(producer_id()).when(!producer_done),
+                Guard::watch(consumer_id()).when(!consumer_done),
+            ])?;
+            match event {
+                Event::Received { msg, .. } => held.push_back(msg),
+                Event::Sent { .. } => {
+                    held.pop_front();
+                    relayed += 1;
+                }
+                Event::Terminated { .. } => {}
+            }
+        }
+    });
+    let consumer = b.role("consumer", |ctx, count: usize| {
+        let mut taken = Vec::with_capacity(count);
+        for _ in 0..count {
+            taken.push(ctx.recv_from(&keeper_id())?);
+        }
+        Ok(taken)
+    });
+    b.initiation(Initiation::Delayed)
+        .termination(Termination::Delayed);
+    BufferedRelay {
+        script: b.build().expect("buffered relay spec is valid"),
+        producer,
+        keeper,
+        consumer,
+        capacity,
+    }
+}
+
+/// Streams `items` through the relay; returns what the consumer took.
+///
+/// # Errors
+///
+/// The first error any participant reported.
+pub fn run<M: Send + Clone + 'static>(
+    relay: &BufferedRelay<M>,
+    items: Vec<M>,
+) -> Result<Vec<M>, ScriptError> {
+    let instance = relay.script.instance();
+    run_on(&instance, relay, items)
+}
+
+/// Like [`run`] on an existing instance.
+///
+/// # Errors
+///
+/// The first error any participant reported.
+pub fn run_on<M: Send + Clone + 'static>(
+    instance: &Instance<M>,
+    relay: &BufferedRelay<M>,
+    items: Vec<M>,
+) -> Result<Vec<M>, ScriptError> {
+    let count = items.len();
+    std::thread::scope(|s| {
+        let p = {
+            let producer = &relay.producer;
+            s.spawn(move || instance.enroll(producer, items))
+        };
+        let k = {
+            let keeper = &relay.keeper;
+            s.spawn(move || instance.enroll(keeper, ()))
+        };
+        let taken = instance.enroll(&relay.consumer, count);
+        p.join().expect("producer thread does not panic")?;
+        k.join().expect("keeper thread does not panic")?;
+        taken
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = buffered_relay::<u8>(0);
+    }
+
+    #[test]
+    fn relays_in_order() {
+        let relay = buffered_relay::<u64>(3);
+        let items: Vec<u64> = (0..20).collect();
+        let got = run(&relay, items.clone()).unwrap();
+        assert_eq!(got, items);
+    }
+
+    #[test]
+    fn capacity_one_still_fifo() {
+        let relay = buffered_relay::<u64>(1);
+        let items: Vec<u64> = (0..10).collect();
+        assert_eq!(run(&relay, items.clone()).unwrap(), items);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let relay = buffered_relay::<u64>(2);
+        assert_eq!(run(&relay, vec![]).unwrap(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn large_capacity_decouples() {
+        let relay = buffered_relay::<u64>(64);
+        let items: Vec<u64> = (0..100).collect();
+        assert_eq!(run(&relay, items.clone()).unwrap(), items);
+    }
+
+    #[test]
+    fn reusable_across_performances() {
+        let relay = buffered_relay::<u64>(2);
+        let inst = relay.script.instance();
+        for round in 0..3u64 {
+            let items = vec![round, round + 1, round + 2];
+            assert_eq!(run_on(&inst, &relay, items.clone()).unwrap(), items);
+        }
+        assert_eq!(inst.completed_performances(), 3);
+    }
+}

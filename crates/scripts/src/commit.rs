@@ -1,0 +1,195 @@
+//! A two-phase commit script: the kind of "larger scale synchronization
+//! (involving more than just a pair of processes)" the paper says a
+//! communication abstraction should hide.
+//!
+//! One coordinator, `n` participants. Phase 1: the coordinator solicits
+//! votes; phase 2: it broadcasts the decision (commit iff every vote was
+//! yes). The entire protocol — message order, vote collection, decision
+//! distribution — is hidden inside the script; enrollers just supply a
+//! vote and receive the decision.
+
+use script_core::{
+    FamilyHandle, Initiation, Instance, RoleHandle, RoleId, Script, ScriptError, Termination,
+};
+
+/// Protocol messages (internal to the script body, public for
+/// inspection/translation use).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommitMsg {
+    /// Phase 1 solicitation.
+    VoteRequest,
+    /// A participant's vote.
+    Vote(bool),
+    /// Phase 2 decision.
+    Decision(bool),
+}
+
+/// The packaged two-phase-commit script.
+#[derive(Debug)]
+pub struct TwoPhaseCommit {
+    /// The underlying script.
+    pub script: Script<CommitMsg>,
+    /// The coordinator: returns the decision.
+    pub coordinator: RoleHandle<CommitMsg, (), bool>,
+    /// The participant family: data parameter is the vote; result is the
+    /// decision.
+    pub participant: FamilyHandle<CommitMsg, bool, bool>,
+    n: usize,
+}
+
+impl TwoPhaseCommit {
+    /// Number of participants.
+    pub fn participants(&self) -> usize {
+        self.n
+    }
+}
+
+/// Builds a two-phase commit over `n` participants.
+pub fn two_phase_commit(n: usize) -> TwoPhaseCommit {
+    let mut b = Script::<CommitMsg>::builder("two_phase_commit");
+    let coordinator = b.role("coordinator", move |ctx, ()| {
+        // Phase 1: solicit and collect votes.
+        for i in 0..n {
+            ctx.send(&RoleId::indexed("participant", i), CommitMsg::VoteRequest)?;
+        }
+        let mut all_yes = true;
+        for _ in 0..n {
+            match ctx.recv_any()? {
+                (_, CommitMsg::Vote(v)) => all_yes &= v,
+                (from, other) => {
+                    return Err(ScriptError::app(format!(
+                        "protocol violation from {from}: expected vote, got {other:?}"
+                    )))
+                }
+            }
+        }
+        // Phase 2: broadcast the decision.
+        for i in 0..n {
+            ctx.send(
+                &RoleId::indexed("participant", i),
+                CommitMsg::Decision(all_yes),
+            )?;
+        }
+        Ok(all_yes)
+    });
+    let participant = b.family("participant", n, |ctx, vote: bool| {
+        let coord = RoleId::new("coordinator");
+        match ctx.recv_from(&coord)? {
+            CommitMsg::VoteRequest => {}
+            other => {
+                return Err(ScriptError::app(format!(
+                    "protocol violation: expected vote request, got {other:?}"
+                )))
+            }
+        }
+        ctx.send(&coord, CommitMsg::Vote(vote))?;
+        match ctx.recv_from(&coord)? {
+            CommitMsg::Decision(d) => Ok(d),
+            other => Err(ScriptError::app(format!(
+                "protocol violation: expected decision, got {other:?}"
+            ))),
+        }
+    });
+    b.initiation(Initiation::Delayed)
+        .termination(Termination::Delayed);
+    TwoPhaseCommit {
+        script: b.build().expect("two-phase commit spec is valid"),
+        coordinator,
+        participant,
+        n,
+    }
+}
+
+/// Runs one commit round with the given votes; returns
+/// `(coordinator decision, per-participant decisions)`.
+///
+/// # Errors
+///
+/// The first error any participant reported.
+pub fn run(tpc: &TwoPhaseCommit, votes: Vec<bool>) -> Result<(bool, Vec<bool>), ScriptError> {
+    assert_eq!(votes.len(), tpc.n, "one vote per participant");
+    let instance = tpc.script.instance();
+    run_on(&instance, tpc, votes)
+}
+
+/// Like [`run`] on an existing instance.
+///
+/// # Errors
+///
+/// The first error any participant reported.
+pub fn run_on(
+    instance: &Instance<CommitMsg>,
+    tpc: &TwoPhaseCommit,
+    votes: Vec<bool>,
+) -> Result<(bool, Vec<bool>), ScriptError> {
+    std::thread::scope(|s| {
+        let handles: Vec<_> = votes
+            .into_iter()
+            .enumerate()
+            .map(|(i, vote)| {
+                let participant = &tpc.participant;
+                s.spawn(move || instance.enroll_member(participant, i, vote))
+            })
+            .collect();
+        let decision = instance.enroll(&tpc.coordinator, ())?;
+        let mut seen = Vec::with_capacity(tpc.n);
+        for h in handles {
+            seen.push(h.join().expect("participant threads do not panic")?);
+        }
+        Ok((decision, seen))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unanimous_yes_commits() {
+        let tpc = two_phase_commit(4);
+        let (decision, seen) = run(&tpc, vec![true; 4]).unwrap();
+        assert!(decision);
+        assert_eq!(seen, vec![true; 4]);
+    }
+
+    #[test]
+    fn single_no_aborts() {
+        let tpc = two_phase_commit(4);
+        let (decision, seen) = run(&tpc, vec![true, true, false, true]).unwrap();
+        assert!(!decision);
+        assert_eq!(seen, vec![false; 4]);
+    }
+
+    #[test]
+    fn all_no_aborts() {
+        let tpc = two_phase_commit(2);
+        let (decision, seen) = run(&tpc, vec![false, false]).unwrap();
+        assert!(!decision);
+        assert_eq!(seen, vec![false; 2]);
+    }
+
+    #[test]
+    fn single_participant() {
+        let tpc = two_phase_commit(1);
+        assert_eq!(run(&tpc, vec![true]).unwrap(), (true, vec![true]));
+        assert_eq!(run(&tpc, vec![false]).unwrap(), (false, vec![false]));
+    }
+
+    #[test]
+    fn decision_is_uniform_across_rounds() {
+        let tpc = two_phase_commit(3);
+        let inst = tpc.script.instance();
+        for votes in [
+            vec![true, true, true],
+            vec![true, false, true],
+            vec![false, false, false],
+            vec![true, true, true],
+        ] {
+            let expected = votes.iter().all(|&v| v);
+            let (decision, seen) = run_on(&inst, &tpc, votes).unwrap();
+            assert_eq!(decision, expected);
+            assert!(seen.iter().all(|&d| d == expected), "uniform decision");
+        }
+        assert_eq!(inst.completed_performances(), 4);
+    }
+}

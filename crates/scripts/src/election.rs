@@ -1,0 +1,205 @@
+//! Chang–Roberts leader election on a unidirectional ring, as a script.
+//!
+//! Every station injects its (unique) identifier; identifiers travel
+//! clockwise, surviving only if larger than the station they pass; the
+//! identifier that makes it all the way around crowns its owner, who
+//! circulates an `Elected` announcement once. The whole election —
+//! candidate forwarding, dropping, announcement — is hidden in the
+//! script body; enrollers supply an id and get the leader's id back.
+//!
+//! The station body drives a send/receive *selection* (a CSP-style
+//! alternative with an output guard), since on a synchronous ring
+//! everyone naively sending first would deadlock.
+
+use std::collections::VecDeque;
+
+use script_core::{
+    Event, FamilyHandle, Guard, Initiation, Instance, RoleId, Script, ScriptError, Termination,
+};
+
+/// Ring messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ElectMsg {
+    /// A candidate identifier still in the running.
+    Candidate(u64),
+    /// The election result, circulated once by the winner.
+    Elected(u64),
+}
+
+/// The packaged election script.
+#[derive(Debug)]
+pub struct Election {
+    /// The underlying script.
+    pub script: Script<ElectMsg>,
+    /// The station family: data parameter is the station's unique id;
+    /// the result is the elected leader's id.
+    pub station: FamilyHandle<ElectMsg, u64, u64>,
+    n: usize,
+}
+
+impl Election {
+    /// Number of stations on the ring.
+    pub fn stations(&self) -> usize {
+        self.n
+    }
+}
+
+/// Builds a Chang–Roberts election over `n` ring stations.
+///
+/// # Panics
+///
+/// Panics if `n < 2` (a ring needs at least two stations).
+pub fn election(n: usize) -> Election {
+    assert!(n >= 2, "a ring needs at least two stations");
+    let mut b = Script::<ElectMsg>::builder("chang_roberts");
+    let station = b.family("station", n, move |ctx, my_id: u64| {
+        let me = ctx.role().index().expect("station is indexed");
+        let next = RoleId::indexed("station", (me + 1) % n);
+        let prev = RoleId::indexed("station", (me + n - 1) % n);
+        let mut outbox: VecDeque<ElectMsg> = VecDeque::new();
+        outbox.push_back(ElectMsg::Candidate(my_id));
+        let mut leader: Option<u64> = None;
+        let mut done_receiving = false;
+        loop {
+            if done_receiving && outbox.is_empty() {
+                return Ok(leader.expect("ring elected a leader"));
+            }
+            let event = ctx.select(vec![
+                match outbox.front() {
+                    Some(msg) => Guard::send(next.clone(), msg.clone()),
+                    None => Guard::recv_any().when(false),
+                },
+                Guard::recv_from(prev.clone()).when(!done_receiving),
+            ])?;
+            match event {
+                Event::Sent { .. } => {
+                    outbox.pop_front();
+                }
+                Event::Received { msg, .. } => match msg {
+                    ElectMsg::Candidate(c) if c == my_id => {
+                        // My id survived the full circle: I am the leader.
+                        leader = Some(my_id);
+                        outbox.push_back(ElectMsg::Elected(my_id));
+                    }
+                    ElectMsg::Candidate(c) if c > my_id => {
+                        outbox.push_back(ElectMsg::Candidate(c));
+                    }
+                    ElectMsg::Candidate(_) => {
+                        // Smaller id: absorbed.
+                    }
+                    ElectMsg::Elected(l) if l == my_id => {
+                        // My announcement returned: everyone knows.
+                        done_receiving = true;
+                    }
+                    ElectMsg::Elected(l) => {
+                        leader = Some(l);
+                        outbox.push_back(ElectMsg::Elected(l));
+                        done_receiving = true;
+                    }
+                },
+                Event::Terminated { .. } => unreachable!("no watch guards"),
+            }
+        }
+    });
+    b.initiation(Initiation::Delayed)
+        .termination(Termination::Delayed);
+    Election {
+        script: b.build().expect("election spec is valid"),
+        station,
+        n,
+    }
+}
+
+/// Runs one election with the given station ids (must be distinct);
+/// returns the leader id observed by each station.
+///
+/// # Errors
+///
+/// The first error any participant reported.
+pub fn run(e: &Election, ids: Vec<u64>) -> Result<Vec<u64>, ScriptError> {
+    assert_eq!(ids.len(), e.n, "one id per station");
+    let instance = e.script.instance();
+    run_on(&instance, e, ids)
+}
+
+/// Like [`run`] on an existing instance.
+///
+/// # Errors
+///
+/// The first error any participant reported.
+pub fn run_on(
+    instance: &Instance<ElectMsg>,
+    e: &Election,
+    ids: Vec<u64>,
+) -> Result<Vec<u64>, ScriptError> {
+    std::thread::scope(|s| {
+        let handles: Vec<_> = ids
+            .into_iter()
+            .enumerate()
+            .map(|(i, id)| {
+                let station = &e.station;
+                s.spawn(move || instance.enroll_member(station, i, id))
+            })
+            .collect();
+        let mut out = Vec::with_capacity(e.n);
+        for h in handles {
+            out.push(h.join().expect("station threads do not panic")?);
+        }
+        Ok(out)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn highest_id_wins() {
+        let e = election(5);
+        let got = run(&e, vec![30, 10, 50, 20, 40]).unwrap();
+        assert_eq!(got, vec![50; 5]);
+    }
+
+    #[test]
+    fn two_station_ring() {
+        let e = election(2);
+        assert_eq!(run(&e, vec![1, 2]).unwrap(), vec![2, 2]);
+        assert_eq!(run(&e, vec![9, 3]).unwrap(), vec![9, 9]);
+    }
+
+    #[test]
+    fn leader_position_is_irrelevant() {
+        let e = election(4);
+        for rotation in 0..4 {
+            let mut ids = vec![10u64, 20, 30, 99];
+            ids.rotate_left(rotation);
+            let got = run(&e, ids).unwrap();
+            assert_eq!(got, vec![99; 4], "rotation {rotation}");
+        }
+    }
+
+    #[test]
+    fn elections_are_repeatable_on_one_instance() {
+        let e = election(3);
+        let inst = e.script.instance();
+        assert_eq!(run_on(&inst, &e, vec![1, 2, 3]).unwrap(), vec![3; 3]);
+        assert_eq!(run_on(&inst, &e, vec![7, 5, 6]).unwrap(), vec![7; 3]);
+        assert_eq!(inst.completed_performances(), 2);
+    }
+
+    #[test]
+    fn wide_ring() {
+        let n = 12;
+        let e = election(n);
+        let ids: Vec<u64> = (0..n as u64).map(|i| (i * 37 + 11) % 101).collect();
+        let max = *ids.iter().max().unwrap();
+        let got = run(&e, ids).unwrap();
+        assert_eq!(got, vec![max; n]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn singleton_ring_rejected() {
+        let _ = election(1);
+    }
+}

@@ -1,0 +1,190 @@
+//! A gather script: many workers deliver one value each to a collector.
+//!
+//! Two flavors: a fixed-size worker family, and an open-ended family
+//! (paper §V) where the number of contributors is decided per
+//! performance.
+
+use script_core::{
+    FamilyHandle, Initiation, Instance, RoleHandle, RoleId, Script, ScriptError, Termination,
+};
+
+/// A packaged gather script with a fixed worker family.
+#[derive(Debug)]
+pub struct Gather<M> {
+    /// The underlying script.
+    pub script: Script<M>,
+    /// The collector role; its result is every worker's contribution in
+    /// worker-index order.
+    pub collector: RoleHandle<M, (), Vec<M>>,
+    /// The worker family; the data parameter is the contribution.
+    pub worker: FamilyHandle<M, M, ()>,
+    n: usize,
+}
+
+impl<M> Gather<M> {
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.n
+    }
+}
+
+fn collector_id() -> RoleId {
+    RoleId::new("collector")
+}
+
+/// Builds a gather over `n` workers. Contributions are returned in
+/// worker order regardless of arrival order.
+pub fn gather<M: Send + Clone + 'static>(n: usize) -> Gather<M> {
+    let mut b = Script::<M>::builder("gather");
+    let collector = b.role("collector", move |ctx, ()| {
+        let mut slots: Vec<Option<M>> = vec![None; n];
+        for _ in 0..n {
+            let (from, value) = ctx.recv_any()?;
+            let idx = from.index().expect("workers are indexed");
+            slots[idx] = Some(value);
+        }
+        Ok(slots
+            .into_iter()
+            .map(|s| s.expect("every worker contributed"))
+            .collect())
+    });
+    let worker = b.family("worker", n, |ctx, value: M| {
+        ctx.send(&collector_id(), value)?;
+        Ok(())
+    });
+    b.initiation(Initiation::Delayed)
+        .termination(Termination::Delayed);
+    Gather {
+        script: b.build().expect("gather spec is valid"),
+        collector,
+        worker,
+        n,
+    }
+}
+
+/// A packaged open-ended gather: the collector takes contributions until
+/// every enrolled worker has reported and the cast has been sealed.
+#[derive(Debug)]
+pub struct OpenGather<M> {
+    /// The underlying script.
+    pub script: Script<M>,
+    /// The collector: parameter is the number of contributions to await.
+    pub collector: RoleHandle<M, usize, Vec<M>>,
+    /// The open worker family.
+    pub worker: FamilyHandle<M, M, ()>,
+}
+
+/// Builds an open-ended gather (immediate initiation; seal the cast or
+/// rely on the collector's expected count).
+pub fn open_gather<M: Send + Clone + 'static>(max: Option<usize>) -> OpenGather<M> {
+    let mut b = Script::<M>::builder("open_gather");
+    let collector = b.role("collector", |ctx, expected: usize| {
+        let mut values = Vec::with_capacity(expected);
+        while values.len() < expected {
+            let (_, value) = ctx.recv_any()?;
+            values.push(value);
+        }
+        Ok(values)
+    });
+    let worker = b.open_family("worker", max, |ctx, value: M| {
+        ctx.send(&collector_id(), value)?;
+        Ok(())
+    });
+    b.initiation(Initiation::Immediate)
+        .termination(Termination::Immediate);
+    OpenGather {
+        script: b.build().expect("open gather spec is valid"),
+        collector,
+        worker,
+    }
+}
+
+/// Runs one fixed-gather performance with the given contributions.
+///
+/// # Errors
+///
+/// The first error any participant reported.
+pub fn run<M: Send + Clone + 'static>(g: &Gather<M>, values: Vec<M>) -> Result<Vec<M>, ScriptError> {
+    assert_eq!(values.len(), g.n, "one contribution per worker");
+    let instance = g.script.instance();
+    run_on(&instance, g, values)
+}
+
+/// Like [`run`] on an existing instance.
+///
+/// # Errors
+///
+/// The first error any participant reported.
+pub fn run_on<M: Send + Clone + 'static>(
+    instance: &Instance<M>,
+    g: &Gather<M>,
+    values: Vec<M>,
+) -> Result<Vec<M>, ScriptError> {
+    std::thread::scope(|s| {
+        let workers: Vec<_> = values
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| {
+                let worker = &g.worker;
+                s.spawn(move || instance.enroll_member(worker, i, v))
+            })
+            .collect();
+        let out = instance.enroll(&g.collector, ());
+        for w in workers {
+            w.join().expect("worker threads do not panic")?;
+        }
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collects_in_worker_order() {
+        let g = gather::<u64>(4);
+        let got = run(&g, vec![40, 10, 30, 20]).unwrap();
+        assert_eq!(got, vec![40, 10, 30, 20]);
+    }
+
+    #[test]
+    fn single_worker() {
+        let g = gather::<String>(1);
+        let got = run(&g, vec!["only".into()]).unwrap();
+        assert_eq!(got, vec!["only".to_string()]);
+    }
+
+    #[test]
+    fn open_gather_takes_any_count() {
+        let og = open_gather::<u64>(None);
+        let inst = og.script.instance();
+        std::thread::scope(|s| {
+            let c = {
+                let inst = inst.clone();
+                let collector = og.collector.clone();
+                s.spawn(move || inst.enroll(&collector, 5))
+            };
+            for v in 0..5u64 {
+                let inst = &inst;
+                let worker = &og.worker;
+                s.spawn(move || inst.enroll_auto(worker, v));
+            }
+            let mut got = c.join().unwrap().unwrap();
+            got.sort_unstable();
+            assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        });
+        inst.seal_cast();
+    }
+
+    #[test]
+    fn gather_reusable_across_performances() {
+        let g = gather::<u64>(2);
+        let inst = g.script.instance();
+        for round in 0..3 {
+            let got = run_on(&inst, &g, vec![round, round + 1]).unwrap();
+            assert_eq!(got, vec![round, round + 1]);
+        }
+        assert_eq!(inst.completed_performances(), 3);
+    }
+}

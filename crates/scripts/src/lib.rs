@@ -1,0 +1,47 @@
+//! A library of reusable scripts built on `script-core`.
+//!
+//! The paper motivates scripts with "frequently used patterns, for
+//! example various buffering regimes" and develops broadcast and a
+//! replicated lock manager as running examples. This crate packages
+//! those patterns — and the other classics — as ready-made scripts:
+//!
+//! * [`broadcast`] — the paper's §II/§III strategies: synchronized star
+//!   (Figure 3, ordered or nondeterministic), pipeline (Figure 4),
+//!   spanning-tree wave, and the monitor-mailbox variant (Figure 12);
+//! * [`barrier`] — global synchronization as a script;
+//! * [`gather`] / [`scatter`] — many-to-one and one-to-many data motion;
+//! * [`reduce`] — tree reduction with a combining operator;
+//! * [`ring`] — token circulation;
+//! * [`buffer`] — a bounded-buffer relay (a "buffering regime") with the
+//!   buffering role written as CSP-style guarded selection;
+//! * [`commit`] — two-phase commit, a multi-party synchronization
+//!   pattern hidden entirely inside a script;
+//! * [`allgather`] — ring all-gather (everyone ends with everyone's
+//!   contribution);
+//! * [`election`] — Chang–Roberts leader election on a ring;
+//! * [`philosophers`] — dining philosophers, forks as serving roles.
+//!
+//! # Example
+//!
+//! ```
+//! use script_lib::broadcast;
+//!
+//! let b = broadcast::star::<u64>(4, broadcast::Order::Sequential);
+//! let received = broadcast::run(&b, 42).unwrap();
+//! assert_eq!(received, vec![42; 4]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod allgather;
+pub mod barrier;
+pub mod broadcast;
+pub mod commit;
+pub mod election;
+pub mod buffer;
+pub mod gather;
+pub mod philosophers;
+pub mod reduce;
+pub mod ring;
+pub mod scatter;

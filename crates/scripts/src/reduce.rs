@@ -1,0 +1,147 @@
+//! A tree-reduction script: `n` leaves combine values up a binary tree.
+//!
+//! The combining operator is supplied per enrollment, so one script
+//! declaration serves sums, maxima, concatenations — the script is "as
+//! generic as its host programming language allows" (§II).
+
+use script_core::{
+    FamilyHandle, Initiation, Instance, RoleHandle, RoleId, Script, ScriptError, Termination,
+};
+
+/// A packaged reduction script.
+#[derive(Debug)]
+pub struct Reduce<M> {
+    /// The underlying script.
+    pub script: Script<M>,
+    /// The root role: receives the fully combined value.
+    pub root: RoleHandle<M, (), M>,
+    /// The node family: each node contributes one leaf value.
+    pub node: FamilyHandle<M, M, ()>,
+    n: usize,
+}
+
+impl<M> Reduce<M> {
+    /// Number of contributing nodes.
+    pub fn nodes(&self) -> usize {
+        self.n
+    }
+}
+
+/// Builds a binary-tree reduction over `n` nodes with operator `op`.
+///
+/// Node `i` combines its own value with those of children `2i+1` and
+/// `2i+2` (if present) and passes the result to its parent; node 0
+/// reports to the root role.
+pub fn reduce<M, F>(n: usize, op: F) -> Reduce<M>
+where
+    M: Send + Clone + 'static,
+    F: Fn(M, M) -> M + Send + Sync + Clone + 'static,
+{
+    let mut b = Script::<M>::builder("tree_reduce");
+    let root = b.role("root", |ctx, ()| ctx.recv_from(&RoleId::indexed("node", 0)));
+    let node = b.family("node", n, move |ctx, mine: M| {
+        let me = ctx.role().index().expect("node is indexed");
+        let mut acc = mine;
+        for child in [2 * me + 1, 2 * me + 2] {
+            if child < n {
+                let v = ctx.recv_from(&RoleId::indexed("node", child))?;
+                acc = op(acc, v);
+            }
+        }
+        if me == 0 {
+            ctx.send(&RoleId::new("root"), acc)?;
+        } else {
+            ctx.send(&RoleId::indexed("node", (me - 1) / 2), acc)?;
+        }
+        Ok(())
+    });
+    b.initiation(Initiation::Delayed)
+        .termination(Termination::Delayed);
+    Reduce {
+        script: b.build().expect("reduce spec is valid"),
+        root,
+        node,
+        n,
+    }
+}
+
+/// Runs one reduction; returns the combined value.
+///
+/// # Errors
+///
+/// The first error any participant reported.
+pub fn run<M: Send + Clone + 'static>(r: &Reduce<M>, values: Vec<M>) -> Result<M, ScriptError> {
+    assert_eq!(values.len(), r.n, "one value per node");
+    let instance = r.script.instance();
+    run_on(&instance, r, values)
+}
+
+/// Like [`run`] on an existing instance.
+///
+/// # Errors
+///
+/// The first error any participant reported.
+pub fn run_on<M: Send + Clone + 'static>(
+    instance: &Instance<M>,
+    r: &Reduce<M>,
+    values: Vec<M>,
+) -> Result<M, ScriptError> {
+    std::thread::scope(|s| {
+        let nodes: Vec<_> = values
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| {
+                let node = &r.node;
+                s.spawn(move || instance.enroll_member(node, i, v))
+            })
+            .collect();
+        let out = instance.enroll(&r.root, ());
+        for nh in nodes {
+            nh.join().expect("node threads do not panic")?;
+        }
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_correctly() {
+        for n in [1, 2, 3, 7, 10, 16] {
+            let r = reduce::<u64, _>(n, |a, b| a + b);
+            let values: Vec<u64> = (1..=n as u64).collect();
+            let got = run(&r, values).unwrap();
+            assert_eq!(got, (n as u64) * (n as u64 + 1) / 2, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn max_reduction() {
+        let r = reduce::<u64, _>(6, |a, b| a.max(b));
+        assert_eq!(run(&r, vec![3, 9, 2, 7, 1, 8]).unwrap(), 9);
+    }
+
+    #[test]
+    fn non_commutative_operator_has_fixed_shape() {
+        // String concatenation: the combine order is deterministic
+        // (own value, then left child, then right child).
+        let r = reduce::<String, _>(3, |a, b| a + &b);
+        let got = run(
+            &r,
+            vec!["a".to_string(), "b".to_string(), "c".to_string()],
+        )
+        .unwrap();
+        assert_eq!(got, "abc");
+    }
+
+    #[test]
+    fn reusable_instance() {
+        let r = reduce::<u64, _>(4, |a, b| a + b);
+        let inst = r.script.instance();
+        assert_eq!(run_on(&inst, &r, vec![1, 1, 1, 1]).unwrap(), 4);
+        assert_eq!(run_on(&inst, &r, vec![2, 2, 2, 2]).unwrap(), 8);
+        assert_eq!(inst.completed_performances(), 2);
+    }
+}

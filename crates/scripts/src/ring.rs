@@ -1,0 +1,169 @@
+//! A token-ring script: a value circulates through every station a fixed
+//! number of laps, each station applying a transformation.
+
+use script_core::{
+    FamilyHandle, Initiation, Instance, Script, ScriptError, RoleId, Termination,
+};
+
+/// A packaged token-ring script.
+#[derive(Debug)]
+pub struct Ring<M> {
+    /// The underlying script.
+    pub script: Script<M>,
+    /// The station family: station 0 injects the token (its parameter)
+    /// and every station's result is the last token value it saw.
+    pub station: FamilyHandle<M, Option<M>, M>,
+    n: usize,
+    laps: usize,
+}
+
+impl<M> Ring<M> {
+    /// Number of stations.
+    pub fn stations(&self) -> usize {
+        self.n
+    }
+
+    /// Number of laps the token makes.
+    pub fn laps(&self) -> usize {
+        self.laps
+    }
+}
+
+/// Builds a ring of `n` stations circulating the token `laps` times,
+/// applying `step` at every hop.
+///
+/// Station 0 must be enrolled with `Some(initial_token)`; the others
+/// with `None`.
+pub fn ring<M, F>(n: usize, laps: usize, step: F) -> Ring<M>
+where
+    M: Send + Clone + 'static,
+    F: Fn(M) -> M + Send + Sync + 'static,
+{
+    assert!(n >= 2, "a ring needs at least two stations");
+    assert!(laps >= 1, "the token must circulate at least once");
+    let mut b = Script::<M>::builder("token_ring");
+    let station = b.family("station", n, move |ctx, injected: Option<M>| {
+        let me = ctx.role().index().expect("station is indexed");
+        let prev = RoleId::indexed("station", (me + n - 1) % n);
+        let next = RoleId::indexed("station", (me + 1) % n);
+        let mut last;
+        if me == 0 {
+            let mut token = injected.ok_or_else(|| {
+                ScriptError::app("station 0 must inject the initial token")
+            })?;
+            for _ in 0..laps {
+                ctx.send(&next, step(token.clone()))?;
+                token = ctx.recv_from(&prev)?;
+            }
+            last = token;
+        } else {
+            if injected.is_some() {
+                return Err(ScriptError::app("only station 0 may inject a token"));
+            }
+            last = ctx.recv_from(&prev)?;
+            for lap in 0..laps {
+                ctx.send(&next, step(last.clone()))?;
+                if lap + 1 < laps {
+                    last = ctx.recv_from(&prev)?;
+                }
+            }
+        }
+        Ok(last)
+    });
+    b.initiation(Initiation::Delayed)
+        .termination(Termination::Delayed);
+    Ring {
+        script: b.build().expect("ring spec is valid"),
+        station,
+        n,
+        laps,
+    }
+}
+
+/// Runs one performance; returns each station's last-seen token value.
+///
+/// # Errors
+///
+/// The first error any participant reported.
+pub fn run<M: Send + Clone + 'static>(r: &Ring<M>, token: M) -> Result<Vec<M>, ScriptError> {
+    let instance = r.script.instance();
+    run_on(&instance, r, token)
+}
+
+/// Like [`run`] on an existing instance.
+///
+/// # Errors
+///
+/// The first error any participant reported.
+pub fn run_on<M: Send + Clone + 'static>(
+    instance: &Instance<M>,
+    r: &Ring<M>,
+    token: M,
+) -> Result<Vec<M>, ScriptError> {
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..r.n)
+            .map(|i| {
+                let station = &r.station;
+                let injected = if i == 0 { Some(token.clone()) } else { None };
+                s.spawn(move || instance.enroll_member(station, i, injected))
+            })
+            .collect();
+        let mut out = Vec::with_capacity(r.n);
+        for h in handles {
+            out.push(h.join().expect("station threads do not panic")?);
+        }
+        Ok(out)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_increments_n_times_laps_hops() {
+        // Each hop adds one; after `laps` full circuits the token has
+        // grown by n * laps. Station 0's final value is the token after
+        // the last full lap.
+        let n = 4;
+        let laps = 3;
+        let r = ring::<u64, _>(n, laps, |t| t + 1);
+        let out = run(&r, 0).unwrap();
+        assert_eq!(out[0], (n * laps) as u64);
+    }
+
+    #[test]
+    fn intermediate_stations_see_monotone_tokens() {
+        let r = ring::<u64, _>(3, 2, |t| t + 1);
+        let out = run(&r, 0).unwrap();
+        // Station i's last token on the final lap: stations see strictly
+        // increasing values around the ring.
+        assert!(out[1] < out[2] || out[2] < out[0] || out[0] < out[1]);
+    }
+
+    #[test]
+    fn injecting_from_wrong_station_fails() {
+        let r = ring::<u64, _>(2, 1, |t| t);
+        let inst = r.script.instance();
+        let result = std::thread::scope(|s| {
+            let h = {
+                let inst = inst.clone();
+                let station = r.station.clone();
+                s.spawn(move || inst.enroll_member(&station, 1, Some(5)))
+            };
+            let zero = inst.enroll_member(&r.station, 0, Some(0));
+            (zero, h.join().unwrap())
+        });
+        assert!(result.1.is_err(), "station 1 must not inject");
+        // Station 0 either completed its hop or saw the partner die.
+        let _ = result.0;
+    }
+
+    #[test]
+    fn two_station_single_lap() {
+        let r = ring::<String, _>(2, 1, |t| t + "!");
+        let out = run(&r, "go".to_string()).unwrap();
+        assert_eq!(out[1], "go!");
+        assert_eq!(out[0], "go!!");
+    }
+}

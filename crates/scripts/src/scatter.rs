@@ -1,0 +1,121 @@
+//! A scatter script: a distributor hands a distinct value to each member.
+
+use script_core::{
+    FamilyHandle, Initiation, Instance, RoleHandle, RoleId, Script, ScriptError, Termination,
+};
+
+/// A packaged scatter script.
+#[derive(Debug)]
+pub struct Scatter<M> {
+    /// The underlying script.
+    pub script: Script<M>,
+    /// The distributor: its data parameter is one value per member.
+    pub distributor: RoleHandle<M, Vec<M>, ()>,
+    /// The member family: each member's result is its own value.
+    pub member: FamilyHandle<M, (), M>,
+    n: usize,
+}
+
+impl<M> Scatter<M> {
+    /// Number of members.
+    pub fn members(&self) -> usize {
+        self.n
+    }
+}
+
+/// Builds a scatter over `n` members.
+pub fn scatter<M: Send + Clone + 'static>(n: usize) -> Scatter<M> {
+    let mut b = Script::<M>::builder("scatter");
+    let distributor = b.role("distributor", move |ctx, values: Vec<M>| {
+        if values.len() != n {
+            return Err(ScriptError::app(format!(
+                "scatter needs exactly {n} values, got {}",
+                values.len()
+            )));
+        }
+        for (i, v) in values.into_iter().enumerate() {
+            ctx.send(&RoleId::indexed("member", i), v)?;
+        }
+        Ok(())
+    });
+    let member = b.family("member", n, |ctx, ()| {
+        ctx.recv_from(&RoleId::new("distributor"))
+    });
+    b.initiation(Initiation::Delayed)
+        .termination(Termination::Delayed);
+    Scatter {
+        script: b.build().expect("scatter spec is valid"),
+        distributor,
+        member,
+        n,
+    }
+}
+
+/// Runs one scatter performance; returns each member's received value.
+///
+/// # Errors
+///
+/// The first error any participant reported.
+pub fn run<M: Send + Clone + 'static>(sc: &Scatter<M>, values: Vec<M>) -> Result<Vec<M>, ScriptError> {
+    let instance = sc.script.instance();
+    run_on(&instance, sc, values)
+}
+
+/// Like [`run`] on an existing instance.
+///
+/// # Errors
+///
+/// The first error any participant reported.
+pub fn run_on<M: Send + Clone + 'static>(
+    instance: &Instance<M>,
+    sc: &Scatter<M>,
+    values: Vec<M>,
+) -> Result<Vec<M>, ScriptError> {
+    std::thread::scope(|s| {
+        let members: Vec<_> = (0..sc.n)
+            .map(|i| {
+                let member = &sc.member;
+                s.spawn(move || instance.enroll_member(member, i, ()))
+            })
+            .collect();
+        let dist = instance.enroll(&sc.distributor, values);
+        let mut received = Vec::with_capacity(sc.n);
+        for m in members {
+            received.push(m.join().expect("member threads do not panic")?);
+        }
+        dist?;
+        Ok(received)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn each_member_gets_its_value() {
+        let sc = scatter::<u64>(4);
+        let got = run(&sc, vec![10, 11, 12, 13]).unwrap();
+        assert_eq!(got, vec![10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn wrong_arity_rejected() {
+        let sc = scatter::<u64>(3);
+        // The distributor fails with an application error; members then
+        // observe its termination.
+        let err = run(&sc, vec![1]).unwrap_err();
+        assert!(matches!(
+            err,
+            ScriptError::App(_) | ScriptError::RoleUnavailable(_)
+        ));
+    }
+
+    #[test]
+    fn scatter_then_scatter_again() {
+        let sc = scatter::<&'static str>(2);
+        let inst = sc.script.instance();
+        assert_eq!(run_on(&inst, &sc, vec!["a", "b"]).unwrap(), vec!["a", "b"]);
+        assert_eq!(run_on(&inst, &sc, vec!["c", "d"]).unwrap(), vec!["c", "d"]);
+    }
+}

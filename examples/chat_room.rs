@@ -1,0 +1,81 @@
+//! Open-ended scripts (paper §V future work): a chat room whose audience
+//! size is decided per performance.
+//!
+//! A speaker enrolls with an announcement; any number of listeners
+//! enroll into the *open* `listener` family; the host seals the cast and
+//! the speaker addresses exactly the audience that showed up.
+//!
+//! ```sh
+//! cargo run --example chat_room
+//! ```
+
+use std::time::Duration;
+
+use script::core::{Event, Guard, Initiation, RoleId, Script, Termination};
+
+fn main() {
+    let mut b = Script::<String>::builder("chat_room");
+
+    // The speaker waits for the cast to freeze, then greets every
+    // listener that enrolled.
+    let speaker = b.role("speaker", |ctx, announcement: String| {
+        // Serve listeners as they arrive: each listener sends a "hello"
+        // and gets the announcement back, until the cast freezes and all
+        // enrolled listeners have been served.
+        let mut served = Vec::new();
+        loop {
+            match ctx.select_timeout(
+                vec![Guard::recv_any()],
+                Duration::from_millis(100),
+            ) {
+                Ok(Event::Received { from, msg, .. }) => {
+                    ctx.send(&from, format!("{announcement} (to {from})"))?;
+                    served.push(format!("{from} said: {msg}"));
+                }
+                Ok(_) => {}
+                Err(script::core::ScriptError::Timeout)
+                | Err(script::core::ScriptError::AllPartnersTerminated) => {
+                    if ctx.cast_frozen() {
+                        break;
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(served)
+    });
+
+    let listener = b.open_family("listener", Some(16), |ctx, name: String| {
+        ctx.send(&RoleId::new("speaker"), format!("hi, I'm {name}"))?;
+        ctx.recv_from(&RoleId::new("speaker"))
+    });
+
+    b.initiation(Initiation::Immediate)
+        .termination(Termination::Immediate);
+    let script = b.build().expect("valid script");
+    let instance = script.instance();
+
+    let audience = ["ada", "grace", "edsger", "tony"];
+    std::thread::scope(|s| {
+        let speaker_h = {
+            let instance = instance.clone();
+            s.spawn(move || instance.enroll(&speaker, "welcome to PODC'83".to_string()))
+        };
+        let mut listeners = Vec::new();
+        for name in audience {
+            let instance = &instance;
+            let listener = &listener;
+            listeners.push(s.spawn(move || instance.enroll_auto(listener, name.to_string())));
+        }
+        for l in listeners {
+            println!("listener heard: {}", l.join().unwrap().unwrap());
+        }
+        // Everyone has been served; close the doors.
+        instance.seal_cast();
+        let served = speaker_h.join().unwrap().unwrap();
+        println!("\nspeaker's log ({} listeners):", served.len());
+        for line in served {
+            println!("  {line}");
+        }
+    });
+}

@@ -1,0 +1,45 @@
+//! A small dataflow built entirely from library scripts: scatter work to
+//! a pool, stream results through a bounded buffer, and reduce.
+//!
+//! Demonstrates script *composition* via nested enrollment: the worker
+//! roles of the outer pipeline enroll into an inner reduction script.
+//!
+//! ```sh
+//! cargo run --example pipeline_workers
+//! ```
+
+use script::lib::{buffer, reduce, scatter};
+
+fn main() {
+    const WORKERS: usize = 4;
+
+    // Stage 1: scatter one chunk of work to each worker.
+    let chunks: Vec<Vec<u64>> = (0..WORKERS as u64)
+        .map(|w| (0..250).map(|i| w * 1000 + i).collect())
+        .collect();
+    let sc = scatter::scatter::<Vec<u64>>(WORKERS);
+    let received = scatter::run(&sc, chunks).expect("scatter succeeds");
+    println!(
+        "scattered {} chunks ({} items each)",
+        received.len(),
+        received[0].len()
+    );
+
+    // Stage 2: each worker sums its chunk; the partial sums flow through
+    // a bounded buffer (capacity 2) to decouple production from
+    // consumption.
+    let partials: Vec<u64> = received.iter().map(|c| c.iter().sum()).collect();
+    let relay = buffer::buffered_relay::<u64>(2);
+    let drained = buffer::run(&relay, partials.clone()).expect("relay succeeds");
+    println!("streamed {} partial sums through a capacity-2 buffer", drained.len());
+
+    // Stage 3: tree-reduce the partial sums.
+    let r = reduce::reduce::<u64, _>(WORKERS, |a, b| a + b);
+    let total = reduce::run(&r, drained).expect("reduce succeeds");
+
+    let expected: u64 = (0..WORKERS as u64)
+        .flat_map(|w| (0..250).map(move |i| w * 1000 + i))
+        .sum();
+    println!("tree-reduced total = {total} (expected {expected})");
+    assert_eq!(total, expected);
+}

@@ -1,0 +1,60 @@
+//! Quickstart: declare a script, enroll processes, run performances.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use script::core::{Initiation, RoleId, Script, Termination};
+
+fn main() {
+    // 1. Declare the script: one sender, three recipients (Figure 3's
+    //    synchronized star broadcast, scaled down).
+    const N: usize = 3;
+    let mut builder = Script::<String>::builder("hello_broadcast");
+    let sender = builder.role("sender", move |ctx, message: String| {
+        for i in 0..N {
+            ctx.send(&RoleId::indexed("recipient", i), message.clone())?;
+        }
+        Ok(())
+    });
+    let recipient = builder.family("recipient", N, |ctx, ()| {
+        let message = ctx.recv_from(&RoleId::new("sender"))?;
+        Ok(format!("{} heard: {message}", ctx.role()))
+    });
+    builder
+        .initiation(Initiation::Delayed)
+        .termination(Termination::Delayed);
+    let script = builder.build().expect("valid script");
+
+    // 2. Create an instance and enroll: each enrollment runs its role on
+    //    the calling thread and returns the role's result parameters.
+    let instance = script.instance();
+    std::thread::scope(|s| {
+        let mut listeners = Vec::new();
+        for i in 0..N {
+            let instance = &instance;
+            let recipient = &recipient;
+            listeners.push(s.spawn(move || instance.enroll_member(recipient, i, ())));
+        }
+        instance
+            .enroll(&sender, "the show begins".to_string())
+            .expect("broadcast succeeds");
+        for l in listeners {
+            println!("{}", l.join().unwrap().expect("recipient succeeds"));
+        }
+    });
+
+    // 3. Successive performances of the same instance are serialized.
+    std::thread::scope(|s| {
+        for i in 0..N {
+            let instance = &instance;
+            let recipient = &recipient;
+            s.spawn(move || instance.enroll_member(recipient, i, ()).unwrap());
+        }
+        instance.enroll(&sender, "encore!".to_string()).unwrap();
+    });
+    println!(
+        "performances completed: {}",
+        instance.completed_performances()
+    );
+}

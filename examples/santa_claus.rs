@@ -1,0 +1,120 @@
+//! The Santa Claus problem, solved with critical role sets.
+//!
+//! Santa sleeps until *either* all nine reindeer return (deliver toys)
+//! *or* three elves need help (consult). This is precisely a script with
+//! two alternative critical role sets:
+//!
+//! ```text
+//! CRITICAL { santa, reindeer[0..9] }   -- deliver toys
+//! CRITICAL { santa, elf >= 3 }         -- consult on R&D
+//! ```
+//!
+//! Each performance is one wake-up of Santa; the engine's matcher picks
+//! whichever group is complete.
+//!
+//! ```sh
+//! cargo run --example santa_claus
+//! ```
+
+use std::time::Duration;
+
+use script::core::{CriticalSet, Enrollment, Initiation, RoleId, Script, Termination};
+
+const REINDEER: usize = 9;
+const ELF_GROUP: usize = 3;
+
+fn main() {
+    let mut b = Script::<String>::builder("santas_workshop");
+
+    let santa = b.role("santa", |ctx, ()| {
+        // Which group woke us? Exactly one is present (frozen cast).
+        let reindeer_here = (0..REINDEER)
+            .all(|i| !ctx.terminated(&RoleId::indexed("reindeer", i)));
+        let job = if reindeer_here {
+            for i in 0..REINDEER {
+                ctx.send(&RoleId::indexed("reindeer", i), "harness up!".into())?;
+            }
+            "delivered toys with 9 reindeer"
+        } else {
+            let cast = ctx.cast();
+            for (role, _) in cast.iter().filter(|(r, _)| r.in_family("elf")) {
+                ctx.send(role, "here's how that toy works".into())?;
+            }
+            "consulted with 3 elves"
+        };
+        Ok(job.to_string())
+    });
+
+    let reindeer = b.family("reindeer", REINDEER, |ctx, name: String| {
+        let msg = ctx.recv_from(&RoleId::new("santa"))?;
+        Ok(format!("{name}: {msg}"))
+    });
+
+    let elf = b.open_family("elf", None, |ctx, name: String| {
+        let msg = ctx.recv_from(&RoleId::new("santa"))?;
+        Ok(format!("{name}: {msg}"))
+    });
+
+    b.initiation(Initiation::Immediate)
+        .termination(Termination::Delayed)
+        // Deliver toys: Santa plus the whole reindeer team...
+        .critical_set(CriticalSet::new().role("santa").family("reindeer"))
+        // ...or consult: Santa plus at least three elves.
+        .critical_set(CriticalSet::new().role("santa").family_at_least("elf", ELF_GROUP));
+    let script = b.build().expect("valid script");
+    let instance = script.instance();
+
+    // Night 1: the elves get there first.
+    println!("== night 1: three elves with questions ==");
+    std::thread::scope(|s| {
+        let mut elves = Vec::new();
+        for name in ["alabaster", "bushy", "pepper"] {
+            let instance = &instance;
+            let elf = &elf;
+            elves.push(s.spawn(move || instance.enroll_auto(elf, name.to_string())));
+        }
+        let i2 = instance.clone();
+        let santa2 = santa.clone();
+        let santa_h = s.spawn(move || i2.enroll(&santa2, ()));
+        for e in elves {
+            println!("  {}", e.join().unwrap().unwrap());
+        }
+        println!("  santa: {}", santa_h.join().unwrap().unwrap());
+    });
+
+    // Night 2: the reindeer are back from vacation.
+    println!("\n== night 2: all nine reindeer return ==");
+    std::thread::scope(|s| {
+        let mut team = Vec::new();
+        for (i, name) in [
+            "dasher", "dancer", "prancer", "vixen", "comet", "cupid", "donner", "blitzen",
+            "rudolph",
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let instance = &instance;
+            let reindeer = &reindeer;
+            team.push(s.spawn(move || {
+                instance.enroll_member_with(
+                    reindeer,
+                    i,
+                    name.to_string(),
+                    Enrollment::new().timeout(Duration::from_secs(10)),
+                )
+            }));
+        }
+        let i2 = instance.clone();
+        let santa2 = santa.clone();
+        let santa_h = s.spawn(move || i2.enroll(&santa2, ()));
+        for r in team {
+            println!("  {}", r.join().unwrap().unwrap());
+        }
+        println!("  santa: {}", santa_h.join().unwrap().unwrap());
+    });
+
+    println!(
+        "\nperformances completed: {}",
+        instance.completed_performances()
+    );
+}

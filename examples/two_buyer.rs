@@ -1,0 +1,173 @@
+//! The two-buyer protocol: scripts meet their descendants.
+//!
+//! Scripts (PODC 1983) are an ancestor of multiparty session types; this
+//! example closes the loop. A global protocol is declared, projected
+//! onto each role, and the role bodies run under runtime monitors that
+//! reject any out-of-protocol communication — inside an ordinary script
+//! performance.
+//!
+//! ```text
+//! buyer1 → seller: title
+//! seller → buyer1: quote     seller → buyer2: quote
+//! buyer1 → buyer2: share
+//! buyer2 → seller ∈ { ok: seller → buyer2: date, quit }
+//! ```
+//!
+//! ```sh
+//! cargo run --example two_buyer
+//! ```
+
+use script::core::{RoleId, Script, ScriptError};
+use script::proto::{GlobalType, Labeled, Session};
+
+#[derive(Debug, Clone, PartialEq)]
+enum Msg {
+    Title(String),
+    Quote(u64),
+    Share(u64),
+    Ok,
+    Quit,
+    Date(String),
+}
+
+impl Labeled for Msg {
+    fn label(&self) -> &str {
+        match self {
+            Msg::Title(_) => "title",
+            Msg::Quote(_) => "quote",
+            Msg::Share(_) => "share",
+            Msg::Ok => "ok",
+            Msg::Quit => "quit",
+            Msg::Date(_) => "date",
+        }
+    }
+}
+
+fn protocol() -> GlobalType {
+    GlobalType::msg(
+        "buyer1",
+        "seller",
+        "title",
+        GlobalType::msg(
+            "seller",
+            "buyer1",
+            "quote",
+            GlobalType::msg(
+                "seller",
+                "buyer2",
+                "quote",
+                GlobalType::msg(
+                    "buyer1",
+                    "buyer2",
+                    "share",
+                    GlobalType::choice(
+                        "buyer2",
+                        "seller",
+                        [
+                            (
+                                "ok".to_string(),
+                                GlobalType::msg("seller", "buyer2", "date", GlobalType::End),
+                            ),
+                            ("quit".to_string(), GlobalType::End),
+                        ],
+                    ),
+                ),
+            ),
+        ),
+    )
+}
+
+fn app_err(e: script::proto::ProtoError) -> ScriptError {
+    ScriptError::app(e.to_string())
+}
+
+fn main() {
+    let g = protocol();
+    println!("global protocol : {g}");
+    for role in g.roles() {
+        println!("  {role:<7} follows: {}", g.project(&role).unwrap());
+    }
+
+    let seller_t = g.project(&RoleId::new("seller")).unwrap();
+    let buyer1_t = g.project(&RoleId::new("buyer1")).unwrap();
+    let buyer2_t = g.project(&RoleId::new("buyer2")).unwrap();
+
+    let mut b = Script::<Msg>::builder("two_buyer");
+    let st = seller_t;
+    let seller = b.role("seller", move |ctx, price: u64| {
+        let mut s = Session::new(ctx, st.clone());
+        let title = match s.recv_from(&RoleId::new("buyer1")).map_err(app_err)? {
+            Msg::Title(t) => t,
+            _ => unreachable!("monitor verified the label"),
+        };
+        s.send(&RoleId::new("buyer1"), Msg::Quote(price))
+            .map_err(app_err)?;
+        s.send(&RoleId::new("buyer2"), Msg::Quote(price))
+            .map_err(app_err)?;
+        let decision = s.recv_from(&RoleId::new("buyer2")).map_err(app_err)?;
+        let sold = if decision == Msg::Ok {
+            s.send(&RoleId::new("buyer2"), Msg::Date("friday".into()))
+                .map_err(app_err)?;
+            true
+        } else {
+            false
+        };
+        s.finish().map_err(app_err)?;
+        Ok(format!(
+            "seller: '{title}' at {price} — {}",
+            if sold { "sold" } else { "no sale" }
+        ))
+    });
+    let b1t = buyer1_t;
+    let buyer1 = b.role("buyer1", move |ctx, contribution: u64| {
+        let mut s = Session::new(ctx, b1t.clone());
+        s.send(&RoleId::new("seller"), Msg::Title("tapl".into()))
+            .map_err(app_err)?;
+        let quote = match s.recv_from(&RoleId::new("seller")).map_err(app_err)? {
+            Msg::Quote(q) => q,
+            _ => unreachable!("monitor verified the label"),
+        };
+        let offer = contribution.min(quote);
+        s.send(&RoleId::new("buyer2"), Msg::Share(quote - offer))
+            .map_err(app_err)?;
+        s.finish().map_err(app_err)?;
+        Ok(format!("buyer1: quoted {quote}, covering {offer}"))
+    });
+    let b2t = buyer2_t;
+    let buyer2 = b.role("buyer2", move |ctx, budget: u64| {
+        let mut s = Session::new(ctx, b2t.clone());
+        let _quote = s.recv_from(&RoleId::new("seller")).map_err(app_err)?;
+        let share = match s.recv_from(&RoleId::new("buyer1")).map_err(app_err)? {
+            Msg::Share(v) => v,
+            _ => unreachable!("monitor verified the label"),
+        };
+        let out = if share <= budget {
+            s.send(&RoleId::new("seller"), Msg::Ok).map_err(app_err)?;
+            let date = s.recv_from(&RoleId::new("seller")).map_err(app_err)?;
+            format!("buyer2: pays {share}, delivery {date:?}")
+        } else {
+            s.send(&RoleId::new("seller"), Msg::Quit).map_err(app_err)?;
+            format!("buyer2: {share} over budget, quits")
+        };
+        s.finish().map_err(app_err)?;
+        Ok(out)
+    });
+    let script = b.build().unwrap();
+
+    for (label, contribution, budget) in [("deal", 60u64, 50u64), ("no deal", 10, 20)] {
+        println!("\n== {label}: buyer1 pays {contribution}, buyer2 budget {budget} ==");
+        let instance = script.instance();
+        std::thread::scope(|s| {
+            let i1 = instance.clone();
+            let seller = seller.clone();
+            let h1 = s.spawn(move || i1.enroll(&seller, 100));
+            let i2 = instance.clone();
+            let buyer2 = buyer2.clone();
+            let h2 = s.spawn(move || i2.enroll(&buyer2, budget));
+            let out1 = instance.enroll(&buyer1, contribution).unwrap();
+            println!("  {out1}");
+            println!("  {}", h2.join().unwrap().unwrap());
+            println!("  {}", h1.join().unwrap().unwrap());
+        });
+    }
+}

@@ -1,0 +1,57 @@
+//! **script** — a faithful Rust implementation of *Script: A
+//! Communication Abstraction Mechanism* (Nissim Francez and Brent
+//! Hailpern, PODC 1983).
+//!
+//! A *script* abstracts a **pattern of communication**: it declares
+//! formal **roles** (possibly indexed families) with per-role data
+//! parameters and a concurrent body; actual processes **enroll** in
+//! roles to run a **performance** of the script. This facade crate
+//! re-exports the whole workspace:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`core`] | the script engine: roles, enrollment, performances |
+//! | [`lib`] | ready-made scripts: broadcasts, barrier, gather, … |
+//! | [`lockmgr`] | the paper's replicated database lock manager |
+//! | [`csp`] | CSP substrate + the paper's script→CSP translation |
+//! | [`ada`] | Ada substrate + the paper's script→Ada translation |
+//! | [`monitor`] | monitors with `WAIT UNTIL`, mailboxes, buffers |
+//! | [`chan`] | the rendezvous/guarded-selection kernel |
+//! | [`proto`] | global types, projection, monitored sessions (MPST bridge) |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use script::core::{RoleId, Script};
+//!
+//! // Declare: a two-role greeting script.
+//! let mut b = Script::<String>::builder("greeting");
+//! let speaker = b.role("speaker", |ctx, text: String| {
+//!     ctx.send(&RoleId::new("listener"), text)
+//! });
+//! let listener = b.role("listener", |ctx, ()| {
+//!     ctx.recv_from(&RoleId::new("speaker"))
+//! });
+//! let script = b.build().unwrap();
+//!
+//! // Perform: two threads enroll.
+//! let instance = script.instance();
+//! let heard = std::thread::scope(|s| {
+//!     let i2 = instance.clone();
+//!     s.spawn(move || i2.enroll(&speaker, "hello".to_string()));
+//!     instance.enroll(&listener, ()).unwrap()
+//! });
+//! assert_eq!(heard, "hello");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use script_ada as ada;
+pub use script_chan as chan;
+pub use script_core as core;
+pub use script_csp as csp;
+pub use script_lib as lib;
+pub use script_lockmgr as lockmgr;
+pub use script_monitor as monitor;
+pub use script_proto as proto;

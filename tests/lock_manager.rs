@@ -1,0 +1,204 @@
+//! E5: the full Figure 5 lock-manager scenario, end to end, plus
+//! membership change and the replicated KV store.
+
+use std::sync::Arc;
+
+use script::lockmgr::granularity::GranularityTable;
+use script::lockmgr::kv::ReplicatedKv;
+use script::lockmgr::membership::ActiveSet;
+use script::lockmgr::script::{lock_script, Cluster, Outcome, Request};
+use script::lockmgr::strategy::Strategy;
+use script::lockmgr::table::{Mode, Table};
+
+#[test]
+fn figure_5_one_lock_to_read_k_to_write() {
+    let k = 4;
+    let c = Cluster::new(k, Strategy::one_read_all_write(k));
+
+    // Reader locks one node to read.
+    let grant = c.acquire_shared("reader-1", "row42").unwrap();
+    match &grant {
+        Outcome::Granted { at } => assert_eq!(at.len(), 1),
+        other => panic!("expected grant, got {other:?}"),
+    }
+
+    // Writer needs all k; the reader's one lock denies it, and the
+    // denied writer leaves no partial locks behind (Figure 5c's release
+    // loop over `who`).
+    assert_eq!(
+        c.acquire_exclusive("writer-1", "row42").unwrap(),
+        Outcome::Denied
+    );
+    for t in c.tables().iter() {
+        assert_eq!(t.lock().writer("row42"), None);
+    }
+
+    // Release and retry: now all k grant.
+    c.release_shared("reader-1", "row42").unwrap();
+    match c.acquire_exclusive("writer-1", "row42").unwrap() {
+        Outcome::Granted { at } => assert_eq!(at.len(), k),
+        other => panic!("expected grant, got {other:?}"),
+    }
+
+    // A second reader is blocked everywhere while the writer holds all.
+    assert_eq!(c.acquire_shared("reader-2", "row42").unwrap(), Outcome::Denied);
+    c.release_exclusive("writer-1", "row42").unwrap();
+    assert!(c.acquire_shared("reader-2", "row42").unwrap().granted());
+}
+
+#[test]
+fn concurrent_readers_share_under_majority() {
+    let c = Arc::new(Cluster::new(3, Strategy::majority(3)));
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..3)
+            .map(|i| {
+                let c = Arc::clone(&c);
+                s.spawn(move || c.acquire_shared(&format!("r{i}"), "x"))
+            })
+            .collect();
+        // Sequentially consistent: every reader must be granted — shared
+        // locks never conflict, whatever the interleaving of
+        // performances.
+        for h in handles {
+            assert!(h.join().unwrap().unwrap().granted());
+        }
+    });
+    for i in 0..3 {
+        c.release_shared(&format!("r{i}"), "x").unwrap();
+    }
+    assert!(c.acquire_exclusive("w", "x").unwrap().granted());
+}
+
+#[test]
+fn granularity_strategy_through_the_script() {
+    // The paper's third strategy: managers keep hierarchical tables.
+    let k = 2;
+    let tables: Arc<Vec<parking_lot::Mutex<GranularityTable>>> =
+        Arc::new((0..k).map(|_| parking_lot::Mutex::new(GranularityTable::new())).collect());
+    let script = lock_script(Strategy::one_read_all_write(k), Arc::clone(&tables));
+    let inst = script.script.instance();
+
+    let perform = |reader: Option<Request>, writer: Option<Request>| {
+        std::thread::scope(|s| {
+            let r_h = reader.map(|req| {
+                let inst = inst.clone();
+                let r = script.reader.clone();
+                s.spawn(move || inst.enroll(&r, req))
+            });
+            let w_h = writer.map(|req| {
+                let inst = inst.clone();
+                let w = script.writer.clone();
+                s.spawn(move || inst.enroll(&w, req))
+            });
+            while inst.pending_enrollments()
+                < usize::from(r_h.is_some()) + usize::from(w_h.is_some())
+            {
+                std::thread::yield_now();
+            }
+            let managers: Vec<_> = (0..k)
+                .map(|i| {
+                    let inst = inst.clone();
+                    let m = script.manager.clone();
+                    s.spawn(move || inst.enroll_member(&m, i, ()))
+                })
+                .collect();
+            let r = r_h.map(|h| h.join().unwrap().unwrap());
+            let w = w_h.map(|h| h.join().unwrap().unwrap());
+            for m in managers {
+                m.join().unwrap().unwrap();
+            }
+            (r, w)
+        })
+    };
+
+    // Writer locks a row exclusively (k grants needed).
+    let (_, w) = perform(
+        None,
+        Some(Request::Acquire {
+            item: "db/t/row1".into(),
+            client: "w".into(),
+        }),
+    );
+    assert!(w.unwrap().granted());
+
+    // Reading the whole table is denied (intention locks conflict)…
+    let (r, _) = perform(
+        Some(Request::Acquire {
+            item: "db/t".into(),
+            client: "r".into(),
+        }),
+        None,
+    );
+    assert_eq!(r.unwrap(), Outcome::Denied);
+
+    // …but reading a sibling row is fine.
+    let (r, _) = perform(
+        Some(Request::Acquire {
+            item: "db/t/row2".into(),
+            client: "r".into(),
+        }),
+        None,
+    );
+    assert!(r.unwrap().granted());
+}
+
+#[test]
+fn membership_change_preserves_locks_for_later_performances() {
+    // "if a reader is granted a read lock in one performance, some lock
+    // manager will have a record of that lock on a subsequent
+    // performance"
+    let set = ActiveSet::new(3, 2);
+    set.tables()[0]
+        .lock()
+        .try_acquire("x", Mode::Exclusive, "w");
+    set.swap(0, 2).unwrap();
+    assert_eq!(set.active(), vec![1, 2]);
+    assert_eq!(set.tables()[2].lock().writer("x"), Some("w"));
+}
+
+#[test]
+fn replicated_kv_end_to_end() {
+    let kv = ReplicatedKv::new(3, Strategy::majority(3));
+    assert!(kv.write("alice", "k1", 10u64).unwrap());
+    assert!(kv.write("alice", "k2", 20u64).unwrap());
+    assert_eq!(kv.read("bob", "k1").unwrap(), Some(10));
+    assert!(kv.write("carol", "k1", 11).unwrap());
+    assert_eq!(kv.read("bob", "k1").unwrap(), Some(11));
+    assert_eq!(kv.read("bob", "k2").unwrap(), Some(20));
+    assert_eq!(kv.read("bob", "missing").unwrap(), None);
+}
+
+#[test]
+fn mixed_workload_stress() {
+    let kv = Arc::new(ReplicatedKv::new(3, Strategy::one_read_all_write(3)));
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for w in 0..2 {
+            let kv = Arc::clone(&kv);
+            handles.push(s.spawn(move || {
+                let mut wrote = 0;
+                for i in 0..5 {
+                    if kv
+                        .write(&format!("w{w}"), &format!("key{}", i % 2), i as u64)
+                        .unwrap()
+                    {
+                        wrote += 1;
+                    }
+                }
+                wrote
+            }));
+        }
+        for r in 0..2 {
+            let kv = Arc::clone(&kv);
+            s.spawn(move || {
+                for i in 0..5 {
+                    // Reads may be denied under contention; they must
+                    // never error.
+                    let _ = kv.read(&format!("r{r}"), &format!("key{}", i % 2)).unwrap();
+                }
+            });
+        }
+        let total: u32 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert!(total >= 1, "some writes must succeed");
+    });
+}

@@ -1,0 +1,180 @@
+//! Property-based tests over the whole stack.
+//!
+//! Thread-heavy properties use reduced case counts; the per-case work is
+//! a full multi-threaded performance.
+
+use proptest::prelude::*;
+
+use script::lib::{broadcast, buffer, reduce};
+use script::lockmgr::granularity::GranularityTable;
+use script::lockmgr::table::{FlatTable, Mode, Table};
+
+fn strategies(n: usize) -> Vec<broadcast::Broadcast<u64>> {
+    vec![
+        broadcast::star(n, broadcast::Order::Sequential),
+        broadcast::star(n, broadcast::Order::NonDeterministic),
+        broadcast::pipeline(n),
+        broadcast::tree(n),
+        broadcast::mailbox(n),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every broadcast strategy delivers the exact value to every
+    /// recipient, for any fan-out.
+    #[test]
+    fn broadcast_delivery(n in 1usize..9, value: u64) {
+        for b in strategies(n) {
+            let got = broadcast::run(&b, value).unwrap();
+            prop_assert_eq!(got, vec![value; n]);
+        }
+    }
+
+    /// The bounded-buffer relay preserves order and loses nothing, for
+    /// any capacity and stream length.
+    #[test]
+    fn buffered_relay_is_fifo(capacity in 1usize..6, items in proptest::collection::vec(any::<u32>(), 0..40)) {
+        let items: Vec<u64> = items.into_iter().map(u64::from).collect();
+        let relay = buffer::buffered_relay::<u64>(capacity);
+        let got = buffer::run(&relay, items.clone()).unwrap();
+        prop_assert_eq!(got, items);
+    }
+
+    /// Tree reduction computes the same sum as sequential folding.
+    #[test]
+    fn reduction_matches_fold(values in proptest::collection::vec(0u64..1000, 1..20)) {
+        let r = reduce::reduce::<u64, _>(values.len(), |a, b| a + b);
+        let expected: u64 = values.iter().sum();
+        prop_assert_eq!(reduce::run(&r, values).unwrap(), expected);
+    }
+}
+
+/// A random operation on a lock table.
+#[derive(Debug, Clone)]
+enum LockOp {
+    Acquire { item: u8, owner: u8, exclusive: bool },
+    Release { item: u8, owner: u8 },
+}
+
+fn arb_lock_op() -> impl Strategy<Value = LockOp> {
+    prop_oneof![
+        (0u8..4, 0u8..4, any::<bool>()).prop_map(|(item, owner, exclusive)| LockOp::Acquire {
+            item,
+            owner,
+            exclusive
+        }),
+        (0u8..4, 0u8..4).prop_map(|(item, owner)| LockOp::Release { item, owner }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Flat-table invariant: a writer excludes all other owners.
+    #[test]
+    fn flat_table_invariants(ops in proptest::collection::vec(arb_lock_op(), 0..60)) {
+        let mut t = FlatTable::new();
+        for op in ops {
+            match op {
+                LockOp::Acquire { item, owner, exclusive } => {
+                    let mode = if exclusive { Mode::Exclusive } else { Mode::Shared };
+                    let _ = t.try_acquire(&format!("i{item}"), mode, &format!("o{owner}"));
+                }
+                LockOp::Release { item, owner } => {
+                    t.release(&format!("i{item}"), &format!("o{owner}"));
+                }
+            }
+            // Invariant: for every item, a writer coexists with no other
+            // owner.
+            for (item, owner, mode) in t.snapshot() {
+                if mode == Mode::Exclusive {
+                    for (item2, owner2, _) in t.snapshot() {
+                        if item == item2 {
+                            prop_assert_eq!(&owner, &owner2,
+                                "writer must be alone on {}", item);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Granularity-table invariant: two different owners never hold
+    /// conflicting locks on overlapping (ancestor/descendant) paths.
+    #[test]
+    fn granularity_table_invariants(ops in proptest::collection::vec(arb_lock_op(), 0..60)) {
+        // Map item ids to a small path hierarchy.
+        let paths = ["db", "db/f", "db/f/r1", "db/g"];
+        let mut t = GranularityTable::new();
+        for op in ops {
+            match op {
+                LockOp::Acquire { item, owner, exclusive } => {
+                    let mode = if exclusive { Mode::Exclusive } else { Mode::Shared };
+                    let _ = t.try_acquire(paths[item as usize % 4], mode, &format!("o{owner}"));
+                }
+                LockOp::Release { item, owner } => {
+                    t.release(paths[item as usize % 4], &format!("o{owner}"));
+                }
+            }
+            let held = t.snapshot();
+            for (p1, o1, m1) in &held {
+                for (p2, o2, m2) in &held {
+                    if o1 == o2 {
+                        continue;
+                    }
+                    let overlapping = p1 == p2
+                        || p2.starts_with(&format!("{p1}/"))
+                        || p1.starts_with(&format!("{p2}/"));
+                    if overlapping {
+                        prop_assert!(
+                            *m1 == Mode::Shared && *m2 == Mode::Shared,
+                            "conflicting locks on overlapping paths: \
+                             {o1}:{m1:?}@{p1} vs {o2}:{m2:?}@{p2}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Snapshot/restore is lossless for arbitrary reachable tables.
+    #[test]
+    fn snapshot_restore_is_lossless(ops in proptest::collection::vec(arb_lock_op(), 0..40)) {
+        let mut t = FlatTable::new();
+        for op in ops {
+            match op {
+                LockOp::Acquire { item, owner, exclusive } => {
+                    let mode = if exclusive { Mode::Exclusive } else { Mode::Shared };
+                    let _ = t.try_acquire(&format!("i{item}"), mode, &format!("o{owner}"));
+                }
+                LockOp::Release { item, owner } => {
+                    t.release(&format!("i{item}"), &format!("o{owner}"));
+                }
+            }
+        }
+        let snap = t.snapshot();
+        let mut u = FlatTable::new();
+        u.restore(snap.clone());
+        prop_assert_eq!(u.snapshot(), snap);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Successive performances of one instance never interleave: a
+    /// sequence of gathers returns each round's exact contribution set.
+    #[test]
+    fn performances_never_interleave(rounds in 1usize..5, workers in 1usize..4) {
+        let g = script::lib::gather::gather::<u64>(workers);
+        let inst = g.script.instance();
+        for round in 0..rounds as u64 {
+            let values: Vec<u64> = (0..workers as u64).map(|w| round * 100 + w).collect();
+            let got = script::lib::gather::run_on(&inst, &g, values.clone()).unwrap();
+            prop_assert_eq!(got, values);
+        }
+        prop_assert_eq!(inst.completed_performances(), rounds as u64);
+    }
+}

@@ -1,0 +1,39 @@
+//! Long-running soak tests, ignored by default:
+//!
+//! ```sh
+//! cargo test --release --test soak -- --ignored
+//! ```
+
+use script::lib::broadcast::{self, Order};
+use script::lockmgr::script::Cluster;
+use script::lockmgr::strategy::Strategy;
+use script::lockmgr::workload::{self, WorkloadSpec};
+
+#[test]
+#[ignore = "soak test: run explicitly"]
+fn thousand_broadcast_performances() {
+    let b = broadcast::star::<u64>(4, Order::NonDeterministic);
+    let inst = b.script.instance();
+    for v in 0..1_000 {
+        let got = broadcast::run_on(&inst, &b, v).unwrap();
+        assert_eq!(got, vec![v; 4]);
+    }
+    assert_eq!(inst.completed_performances(), 1_000);
+}
+
+#[test]
+#[ignore = "soak test: run explicitly"]
+fn lock_manager_workload_soak() {
+    let cluster = Cluster::new(3, Strategy::majority(3));
+    let spec = WorkloadSpec {
+        operations: 500,
+        read_ratio: 0.7,
+        items: 8,
+        clients: 4,
+    };
+    let ops = workload::generate(&spec, 1234);
+    let stats = workload::run(&cluster, &ops).unwrap();
+    assert_eq!(stats.total(), 500);
+    // Sequential lock cycles never contend with themselves.
+    assert_eq!(stats.reads_denied + stats.writes_denied, 0);
+}

@@ -1,0 +1,216 @@
+//! E1/E2: the paper's Figure 1 and Figure 2 scenarios.
+//!
+//! Figure 1: with six processes and a three-role script, a process
+//! re-claiming a role must wait until *every* role of the previous
+//! performance has finished, even if its predecessor finished early.
+//!
+//! Figure 2: two consecutive broadcast performances by the same
+//! processes must deliver `u = x` then `y = v` — values never cross
+//! performances.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use script::core::{Initiation, RoleId, Script, Termination};
+use script::lib::broadcast::{self, Order};
+
+/// Figure 1, literally: roles p, q, r; processes A..F. A finishes its
+/// role early; D's enrollment as p must still wait for B and C.
+#[test]
+fn figure_1_consecutive_performances() {
+    let mut b = Script::<u8>::builder("fig1");
+    // p finishes immediately; q and r rendezvous with each other, and we
+    // keep them alive until a side-channel flag allows them to proceed.
+    let gate = Arc::new(AtomicU64::new(0));
+    let p_started = Arc::new(AtomicU64::new(0));
+
+    let gate_q = Arc::clone(&gate);
+    let p_started_probe = Arc::clone(&p_started);
+
+    let p = b.role("p", move |_ctx, ()| {
+        p_started_probe.fetch_add(1, Ordering::SeqCst);
+        Ok(())
+    });
+    let q = b.role("q", move |ctx, ()| {
+        ctx.send(&RoleId::new("r"), 1)?;
+        while gate_q.load(Ordering::SeqCst) == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        Ok(())
+    });
+    let r = b.role("r", |ctx, ()| {
+        ctx.recv_from(&RoleId::new("q"))?;
+        Ok(())
+    });
+    b.initiation(Initiation::Delayed)
+        .termination(Termination::Immediate);
+    let script = b.build().unwrap();
+    let inst = script.instance();
+
+    std::thread::scope(|s| {
+        // Performance 1: A as p, B as q, C as r.
+        let a = {
+            let inst = inst.clone();
+            let p = p.clone();
+            s.spawn(move || inst.enroll(&p, ()))
+        };
+        let b_h = {
+            let inst = inst.clone();
+            let q = q.clone();
+            s.spawn(move || inst.enroll(&q, ()))
+        };
+        let c = {
+            let inst = inst.clone();
+            let r = r.clone();
+            s.spawn(move || inst.enroll(&r, ()))
+        };
+        // A finishes its role as p (immediate termination frees it).
+        a.join().unwrap().unwrap();
+        assert_eq!(p_started.load(Ordering::SeqCst), 1);
+
+        // D attempts to enroll as p, but must wait: B is still gated.
+        let d = {
+            let inst = inst.clone();
+            let p = p.clone();
+            s.spawn(move || inst.enroll(&p, ()))
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(
+            p_started.load(Ordering::SeqCst),
+            1,
+            "D ran p although B and C had not finished"
+        );
+        assert_eq!(inst.completed_performances(), 0);
+
+        // B and C finish; only now can performance 2 (D, E, F) start.
+        gate.store(1, Ordering::SeqCst);
+        b_h.join().unwrap().unwrap();
+        c.join().unwrap().unwrap();
+        let e = {
+            let inst = inst.clone();
+            let q = q.clone();
+            s.spawn(move || inst.enroll(&q, ()))
+        };
+        let f = {
+            let inst = inst.clone();
+            let r = r.clone();
+            s.spawn(move || inst.enroll(&r, ()))
+        };
+        d.join().unwrap().unwrap();
+        assert_eq!(p_started.load(Ordering::SeqCst), 2, "D eventually ran p");
+        e.join().unwrap().unwrap();
+        f.join().unwrap().unwrap();
+    });
+    assert_eq!(inst.completed_performances(), 2);
+}
+
+/// Figure 2: process A broadcasts x then receives v; process B receives
+/// u then broadcasts y. Exactly as in the figure, the enrollments are
+/// partner-named (`WITH … AS transmitter`), which pins each recipient to
+/// the intended performance; the semantics must guarantee u = x, y = v.
+#[test]
+fn figure_2_repeated_broadcasts_do_not_cross() {
+    use script::core::Enrollment;
+
+    let b = broadcast::star::<u64>(2, Order::Sequential);
+    let inst = b.script.instance();
+    std::thread::scope(|s| {
+        // Process A: transmit x = 17, then receive v with B as sender.
+        let a = {
+            let inst = inst.clone();
+            let sender = b.sender.clone();
+            let recipient = b.recipient.clone();
+            s.spawn(move || {
+                inst.enroll_with(&sender, 17, Enrollment::as_process("A"))
+                    .unwrap();
+                inst.enroll_member_with(
+                    &recipient,
+                    0,
+                    (),
+                    Enrollment::as_process("A").partner("sender", script::core::ProcessSel::is("B")),
+                )
+                .unwrap()
+            })
+        };
+        // Process B: receive u with A as sender, then transmit y = 99.
+        let b_h = {
+            let inst = inst.clone();
+            let sender = b.sender.clone();
+            let recipient = b.recipient.clone();
+            s.spawn(move || {
+                let u = inst
+                    .enroll_member_with(
+                        &recipient,
+                        1,
+                        (),
+                        Enrollment::as_process("B")
+                            .partner("sender", script::core::ProcessSel::is("A")),
+                    )
+                    .unwrap();
+                inst.enroll_with(&sender, 99, Enrollment::as_process("B"))
+                    .unwrap();
+                u
+            })
+        };
+        // Helper processes fill the remaining recipient slots, each
+        // naming the transmitter of the performance it wants.
+        let h1 = {
+            let inst = inst.clone();
+            let recipient = b.recipient.clone();
+            s.spawn(move || {
+                inst.enroll_member_with(
+                    &recipient,
+                    0,
+                    (),
+                    Enrollment::as_process("H1")
+                        .partner("sender", script::core::ProcessSel::is("A")),
+                )
+                .unwrap()
+            })
+        };
+        let h2 = {
+            let inst = inst.clone();
+            let recipient = b.recipient.clone();
+            s.spawn(move || {
+                inst.enroll_member_with(
+                    &recipient,
+                    1,
+                    (),
+                    Enrollment::as_process("H2")
+                        .partner("sender", script::core::ProcessSel::is("B")),
+                )
+                .unwrap()
+            })
+        };
+        let v = a.join().unwrap();
+        let u = b_h.join().unwrap();
+        assert_eq!(u, 17, "u = x");
+        assert_eq!(v, 99, "y = v");
+        assert_eq!(h1.join().unwrap(), 17, "H1 joined A's performance");
+        assert_eq!(h2.join().unwrap(), 99, "H2 joined B's performance");
+    });
+    assert_eq!(inst.completed_performances(), 2);
+}
+
+/// The successive-activations rule holds across many rounds and both
+/// termination policies.
+#[test]
+fn performance_indices_strictly_increase() {
+    for termination in [Termination::Delayed, Termination::Immediate] {
+        let mut b = Script::<u8>::builder("order");
+        let probe = b.role("probe", |ctx, ()| Ok(ctx.performance().0));
+        b.initiation(Initiation::Delayed).termination(termination);
+        let script = b.build().unwrap();
+        let inst = script.instance();
+        let mut last = None;
+        for _ in 0..20 {
+            let seq = inst.enroll(&probe, ()).unwrap();
+            if let Some(prev) = last {
+                assert!(seq > prev, "performances must be ordered");
+            }
+            last = Some(seq);
+        }
+        assert_eq!(inst.completed_performances(), 20);
+    }
+}

@@ -1,0 +1,130 @@
+//! E6/E7: the paper's expressibility proofs, executed.
+//!
+//! The same broadcast scenario is run four ways — natively as a script,
+//! directly in CSP (Figure 6), through the script→CSP translation with
+//! the supervisor process (Figure 7), and through the script→Ada
+//! translation with task-per-role (Figures 8–11) — and all must deliver
+//! identical values to every recipient, across several consecutive
+//! performances.
+
+use std::time::Duration;
+
+use script::ada;
+use script::csp;
+use script::lib::broadcast::{self, Order};
+
+const N: usize = 4;
+const PERFORMANCES: usize = 3;
+
+fn native_results() -> Vec<Vec<u64>> {
+    let b = broadcast::star::<u64>(N, Order::Sequential);
+    let inst = b.script.instance();
+    (0..PERFORMANCES)
+        .map(|p| broadcast::run_on(&inst, &b, 100 + p as u64).unwrap())
+        .collect()
+}
+
+#[test]
+fn native_csp_and_ada_broadcasts_agree() {
+    // Native script, three performances.
+    let native = native_results();
+
+    // Figure 6: plain CSP (single performance per run — the CSP program
+    // is one parallel command).
+    let csp_direct: Vec<Vec<u64>> = (0..PERFORMANCES)
+        .map(|p| csp::broadcast::run(N, 100 + p as u64, Duration::from_secs(10)).unwrap())
+        .collect();
+
+    // Figures 8–11: Ada translation, three performances in one task set.
+    let set = ada::translate::translated_broadcast(N, 100, PERFORMANCES, Duration::from_secs(20));
+    let ada_out = set.run().unwrap();
+    let ada_results: Vec<Vec<u64>> = (0..PERFORMANCES)
+        .map(|p| {
+            (0..N)
+                .map(|i| ada_out[&ada::entry_name("q", i)][p])
+                .collect()
+        })
+        .collect();
+
+    for p in 0..PERFORMANCES {
+        let expected = vec![100 + p as u64; N];
+        assert_eq!(native[p], expected, "native, performance {p}");
+        assert_eq!(csp_direct[p], expected, "CSP direct, performance {p}");
+        assert_eq!(ada_results[p], expected, "Ada translation, performance {p}");
+    }
+}
+
+#[test]
+fn csp_translation_with_supervisor_agrees() {
+    use csp::translate::{enroll, supervisor, supervisor_name, TMsg};
+    use std::collections::HashMap;
+
+    const SCRIPT: &str = "bcast";
+    let mut roles = vec!["transmitter".to_string()];
+    roles.extend((0..N).map(|i| format!("recipient[{i}]")));
+
+    let mut cmd = csp::Parallel::<TMsg<u64>, Vec<u64>>::new("fig7")
+        .timeout(Duration::from_secs(20))
+        .process(supervisor_name(SCRIPT), move |ctx| {
+            supervisor(ctx, &roles, PERFORMANCES)?;
+            Ok(Vec::new())
+        })
+        .process("T", move |ctx| {
+            for p in 0..PERFORMANCES {
+                let binding: HashMap<String, String> = (0..N)
+                    .map(|i| (format!("recipient[{i}]"), csp::proc_name("q", i)))
+                    .collect();
+                enroll(ctx, SCRIPT, "transmitter", binding, |env| {
+                    for i in 0..N {
+                        env.send_role(&format!("recipient[{i}]"), 100 + p as u64)?;
+                    }
+                    Ok(())
+                })?;
+            }
+            Ok(Vec::new())
+        });
+    cmd = cmd.process_array("q", N, move |ctx, i| {
+        let mut got = Vec::new();
+        for _ in 0..PERFORMANCES {
+            let binding: HashMap<String, String> =
+                [("transmitter".to_string(), "T".to_string())].into();
+            enroll(ctx, SCRIPT, &format!("recipient[{i}]"), binding, |env| {
+                got.push(env.recv_role("transmitter")?);
+                Ok(())
+            })?;
+        }
+        Ok(got)
+    });
+    let out = cmd.run().unwrap();
+
+    let native = native_results();
+    for i in 0..N {
+        let translated = &out[&csp::proc_name("q", i)];
+        let native_for_i: Vec<u64> = (0..PERFORMANCES).map(|p| native[p][i]).collect();
+        assert_eq!(*translated, native_for_i, "recipient {i}");
+    }
+}
+
+/// The paper's observation about the Ada translation: the process count
+/// grows from n to n + m + 1.
+#[test]
+fn ada_translation_process_growth() {
+    let set = ada::translate::translated_broadcast(N, 0, 1, Duration::from_secs(10));
+    let n = N + 1; // enrolling processes: N recipients + 1 transmitter
+    let m = N + 1; // roles: N recipient roles + 1 sender role
+    assert_eq!(set.task_count(), n + m + 1);
+}
+
+/// Figure 12 agrees across substrates: the script-engine mailbox
+/// broadcast and the monitor-supervisor mailbox broadcast deliver the
+/// same values.
+#[test]
+fn monitor_substrate_matches_engine_for_figure_12() {
+    let engine = {
+        let b = script::lib::broadcast::mailbox::<u64>(N);
+        script::lib::broadcast::run(&b, 123).unwrap()
+    };
+    let monitor = script::monitor::mailbox_broadcast(N, 123u64);
+    assert_eq!(engine, monitor);
+    assert_eq!(engine, vec![123; N]);
+}
