@@ -336,11 +336,14 @@ impl TaskCtx {
             },
         );
         match outcome {
-            Ok(Ok(reply)) => reply.downcast::<R>().map(|b| *b).map_err(|_| {
-                AdaError::TypeMismatch {
-                    entry: entry.entry.clone(),
-                }
-            }),
+            Ok(Ok(reply)) => {
+                reply
+                    .downcast::<R>()
+                    .map(|b| *b)
+                    .map_err(|_| AdaError::TypeMismatch {
+                        entry: entry.entry.clone(),
+                    })
+            }
             Ok(Err(e)) => Err(e),
             Err(timeout) => {
                 // Best effort de-queue on timeout.
@@ -401,10 +404,7 @@ impl TaskCtx {
     /// # Errors
     ///
     /// As [`TaskCtx::select`].
-    pub fn select_or_terminate(
-        &self,
-        arms: Vec<AcceptArm<'_>>,
-    ) -> Result<Option<usize>, AdaError> {
+    pub fn select_or_terminate(&self, arms: Vec<AcceptArm<'_>>) -> Result<Option<usize>, AdaError> {
         self.select_inner(arms, true)
     }
 
@@ -795,10 +795,8 @@ mod tests {
             .task("server", |ctx| {
                 let mut served = 0;
                 loop {
-                    let fired = ctx.select_or_terminate(vec![AcceptArm::accept(
-                        "ping",
-                        |_x: u32| (),
-                    )])?;
+                    let fired =
+                        ctx.select_or_terminate(vec![AcceptArm::accept("ping", |_x: u32| ())])?;
                     match fired {
                         Some(_) => served += 1,
                         None => return Ok(served),

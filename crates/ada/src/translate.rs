@@ -235,7 +235,10 @@ mod tests {
             .task(supervisor_task_name("s"), |ctx| supervisor(ctx, 1, 1))
             .task("greedy", |ctx| {
                 let sup = supervisor_task_name("s");
-                ctx.call(&EntryRef::<(), ()>::new(sup.clone(), entry_name("start", 0)), ())?;
+                ctx.call(
+                    &EntryRef::<(), ()>::new(sup.clone(), entry_name("start", 0)),
+                    (),
+                )?;
                 // Second start in the same performance must block.
                 ctx.call(&EntryRef::<(), ()>::new(sup, entry_name("start", 0)), ())
             })

@@ -10,7 +10,12 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use script_core::{Enrollment, Initiation, ProcessSel, RoleId, Script, Termination};
 
 /// A trivial n-role rendezvous script: every role just returns.
-fn noop_script(n: usize) -> (script_core::Script<u8>, script_core::FamilyHandle<u8, (), ()>) {
+fn noop_script(
+    n: usize,
+) -> (
+    script_core::Script<u8>,
+    script_core::FamilyHandle<u8, (), ()>,
+) {
     let mut b = Script::<u8>::builder("noop");
     let member = b.family("member", n, |_ctx, ()| Ok(()));
     b.initiation(Initiation::Delayed)
@@ -44,7 +49,11 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("unnamed", n), &n, |b, &n| {
             let (script, member) = noop_script(n);
             let inst = script.instance();
-            b.iter(|| run_performance(&inst, &member, n, |i| Enrollment::as_process(format!("P{i}"))));
+            b.iter(|| {
+                run_performance(&inst, &member, n, |i| {
+                    Enrollment::as_process(format!("P{i}"))
+                })
+            });
         });
         group.bench_with_input(BenchmarkId::new("fully_named", n), &n, |b, &n| {
             let (script, member) = noop_script(n);

@@ -21,15 +21,11 @@ fn bench(c: &mut Criterion) {
 
     for &n in &[4usize, 8, 16] {
         for topo in [Topology::Star, Topology::Tree, Topology::Pipeline] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("{topo:?}"), n),
-                &n,
-                |b, &n| {
-                    let bc = delayed_broadcast(n, topo, HOP);
-                    let inst = bc.script.instance();
-                    b.iter(|| run(&inst, &bc, 1).unwrap());
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(format!("{topo:?}"), n), &n, |b, &n| {
+                let bc = delayed_broadcast(n, topo, HOP);
+                let inst = bc.script.instance();
+                b.iter(|| run(&inst, &bc, 1).unwrap());
+            });
         }
     }
     group.finish();

@@ -19,15 +19,11 @@ fn bench(c: &mut Criterion) {
             ("sequential", Order::Sequential),
             ("nondeterministic", Order::NonDeterministic),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(label, n),
-                &n,
-                |b, &n| {
-                    let bc = broadcast::star::<u64>(n, order);
-                    let inst = bc.script.instance();
-                    b.iter(|| broadcast::run_on(&inst, &bc, 42).unwrap());
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+                let bc = broadcast::star::<u64>(n, order);
+                let inst = bc.script.instance();
+                b.iter(|| broadcast::run_on(&inst, &bc, 42).unwrap());
+            });
         }
     }
     group.finish();

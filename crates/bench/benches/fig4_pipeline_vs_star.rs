@@ -53,7 +53,10 @@ fn bench(c: &mut Criterion) {
             Box::new(|| broadcast::star::<u64>(N, Order::Sequential))
                 as Box<dyn Fn() -> Broadcast<u64>>,
         ),
-        ("pipeline_immediate", Box::new(|| broadcast::pipeline::<u64>(N))),
+        (
+            "pipeline_immediate",
+            Box::new(|| broadcast::pipeline::<u64>(N)),
+        ),
     ] {
         group.bench_with_input(
             BenchmarkId::new("avg_recipient_enrollment", label),

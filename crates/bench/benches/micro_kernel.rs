@@ -4,7 +4,7 @@
 //! experiments stand on.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use script_chan::{Arm, Network};
+use script_chan::{Arm, FaultPlan, Network};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("micro_kernel");
@@ -32,6 +32,33 @@ fn bench(c: &mut Criterion) {
                 p0.recv_from(&1).unwrap();
             });
             stop.store(true, std::sync::atomic::Ordering::SeqCst);
+            net.abort();
+            echo.join().unwrap();
+        });
+    });
+
+    // Same round-trip with a zero-probability FaultPlan attached: the
+    // chaos hooks must stay within noise of the plain path, and with no
+    // plan at all they are a single `Option` check.
+    group.bench_function("rendezvous_round_trip_noop_faultplan", |b| {
+        let net: Network<u8, u64> = Network::new();
+        net.set_fault_plan(FaultPlan::new(0));
+        net.activate(0);
+        net.activate(1);
+        let p0 = net.port(0).unwrap();
+        let p1 = net.port(1).unwrap();
+        std::thread::scope(|s| {
+            let echo = s.spawn(move || {
+                while let Ok(v) = p1.recv_from(&0) {
+                    if p1.send(&0, v).is_err() {
+                        break;
+                    }
+                }
+            });
+            b.iter(|| {
+                p0.send(&1, 7).unwrap();
+                p0.recv_from(&1).unwrap();
+            });
             net.abort();
             echo.join().unwrap();
         });

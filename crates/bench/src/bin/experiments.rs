@@ -411,9 +411,7 @@ fn e12() -> Row {
     row(
         "E12 (§II)",
         "one-read-all-write favors reads; majority is balanced",
-        format!(
-            "ORAW r/w: {oraw_reads}/{oraw_writes}; majority r/w: {maj_reads}/{maj_writes}"
-        ),
+        format!("ORAW r/w: {oraw_reads}/{oraw_writes}; majority r/w: {maj_reads}/{maj_writes}"),
         oraw_reads.median < oraw_writes.median,
     )
 }

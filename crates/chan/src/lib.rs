@@ -17,7 +17,10 @@
 //!   sets;
 //! * termination watching ([`Arm::watch`]) so server-like roles can drain
 //!   requests and stop when all their clients are done;
-//! * whole-network abort for panic containment.
+//! * whole-network abort for panic containment;
+//! * deterministic fault injection ([`FaultPlan`]) — seeded message drop,
+//!   delay, duplication, and peer crash for chaos testing, a strict no-op
+//!   when no plan is attached.
 //!
 //! # Example
 //!
@@ -40,9 +43,11 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod error;
+mod fault;
 mod network;
 mod select;
 
 pub use error::ChanError;
+pub use fault::{FaultKind, FaultPlan, FaultRecord};
 pub use network::{Network, PeerState, Port};
 pub use select::{Arm, Outcome, Source};

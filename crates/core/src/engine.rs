@@ -10,10 +10,11 @@
 use std::any::Any;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
-use script_chan::Network;
+use script_chan::{FaultPlan, Network};
 
 use crate::ctx::RoleCtx;
 use crate::matcher::{admissible, match_performance, Candidate};
@@ -82,9 +83,31 @@ struct EngineState<M> {
     /// terminated iff `s < completed`.
     completed: u64,
     aborted_seqs: HashSet<u64>,
+    /// Subset of `aborted_seqs` killed by the watchdog rather than by a
+    /// panic or close; their participants see [`ScriptError::Stalled`].
+    stalled_seqs: HashSet<u64>,
     closed: bool,
     /// Bounded event log, enabled on demand.
     events: Option<EventBuf>,
+    /// Quiescence window: performances making no communication progress
+    /// for this long are aborted by a monitor thread.
+    watchdog: Option<Duration>,
+    /// Root seed for per-performance network RNGs (fault determinism).
+    chaos_seed: Option<u64>,
+    /// Fault plan attached (reseeded per performance) to every new
+    /// performance's network.
+    fault_plan: Option<FaultPlan>,
+}
+
+/// SplitMix64 finalizer: derives per-performance seeds from a root seed
+/// so distinct performances draw independent, reproducible schedules.
+fn mix_seed(root: u64, seq: u64) -> u64 {
+    let mut z = root
+        .wrapping_add(seq.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 struct EventBuf {
@@ -107,11 +130,14 @@ pub(crate) struct Engine<M> {
     pub(crate) spec: Arc<ScriptSpec<M>>,
     state: Mutex<EngineState<M>>,
     cond: Condvar,
+    /// Self-reference for watchdog threads (they must not keep the
+    /// engine alive).
+    weak: Weak<Engine<M>>,
 }
 
 impl<M: Send + Clone + 'static> Engine<M> {
     pub(crate) fn new(spec: Arc<ScriptSpec<M>>) -> Arc<Self> {
-        Arc::new(Self {
+        Arc::new_cyclic(|weak| Self {
             spec,
             state: Mutex::new(EngineState::<M> {
                 next_ticket: 0,
@@ -120,11 +146,46 @@ impl<M: Send + Clone + 'static> Engine<M> {
                 pending: Vec::new(),
                 completed: 0,
                 aborted_seqs: HashSet::new(),
+                stalled_seqs: HashSet::new(),
                 closed: false,
                 events: None,
+                watchdog: None,
+                chaos_seed: None,
+                fault_plan: None,
             }),
             cond: Condvar::new(),
+            weak: weak.clone(),
         })
+    }
+
+    /// Arms (or re-arms) the quiescence watchdog for future
+    /// performances: a performance whose network makes no progress for
+    /// `window` is aborted with [`ScriptError::Stalled`].
+    pub(crate) fn set_watchdog(&self, window: Duration) {
+        assert!(window > Duration::ZERO, "watchdog window must be positive");
+        self.state.lock().watchdog = Some(window);
+    }
+
+    /// Disarms the watchdog for future performances.
+    pub(crate) fn clear_watchdog(&self) {
+        self.state.lock().watchdog = None;
+    }
+
+    /// Seeds the per-performance network RNGs (selection shuffling)
+    /// deterministically. Affects future performances.
+    pub(crate) fn set_chaos_seed(&self, seed: u64) {
+        self.state.lock().chaos_seed = Some(seed);
+    }
+
+    /// Attaches `plan` (reseeded per performance from its own seed) to
+    /// every future performance's network.
+    pub(crate) fn set_fault_plan(&self, plan: FaultPlan) {
+        self.state.lock().fault_plan = Some(plan);
+    }
+
+    /// Stops injecting faults into future performances.
+    pub(crate) fn clear_fault_plan(&self) {
+        self.state.lock().fault_plan = None;
     }
 
     /// Number of performances that have fully terminated.
@@ -342,9 +403,7 @@ impl<M: Send + Clone + 'static> Engine<M> {
                                 false
                             }
                         };
-                        if timed_out
-                            && matches!(st.pending[idx].outcome, Outcome::Waiting)
-                        {
+                        if timed_out && matches!(st.pending[idx].outcome, Outcome::Waiting) {
                             st.pending.remove(idx);
                             self.try_advance(&mut st);
                             drop(st);
@@ -428,12 +487,22 @@ impl<M: Send + Clone + 'static> Engine<M> {
                 }
             }
             if st.aborted_seqs.contains(&seq) {
-                return Err(ScriptError::PerformanceAborted);
+                return Err(if st.stalled_seqs.contains(&seq) {
+                    ScriptError::Stalled
+                } else {
+                    ScriptError::PerformanceAborted
+                });
             }
         }
+        let stalled = st.stalled_seqs.contains(&seq);
         drop(st);
 
-        outcome.expect("panic case returned above")
+        match outcome.expect("panic case returned above") {
+            // A role unblocked by a watchdog abort sees the generic
+            // abort from the channel layer; name the real cause.
+            Err(ScriptError::PerformanceAborted) if stalled => Err(ScriptError::Stalled),
+            other => other,
+        }
     }
 
     fn validate_role_ref(&self, role: &RoleRef) -> Result<(), ScriptError> {
@@ -552,13 +621,20 @@ impl<M: Send + Clone + 'static> Engine<M> {
     fn open_performance(&self, st: &mut EngineState<M>, admitted: Vec<(u64, RoleId)>) {
         let seq = st.next_seq;
         st.next_seq += 1;
-        let net: Network<RoleId, M> = if self.spec.has_open_family() {
-            Network::new_open()
-        } else {
-            Network::new()
+        let net: Network<RoleId, M> = match (self.spec.has_open_family(), st.chaos_seed) {
+            (true, Some(root)) => Network::new_open_seeded(mix_seed(root, seq)),
+            (true, None) => Network::new_open(),
+            (false, Some(root)) => Network::with_seed(mix_seed(root, seq)),
+            (false, None) => Network::new(),
         };
+        if let Some(plan) = &st.fault_plan {
+            net.set_fault_plan(plan.reseeded(mix_seed(plan.seed(), seq)));
+        }
         for role in self.spec.fixed_role_ids() {
             net.declare(role);
+        }
+        if let Some(window) = st.watchdog {
+            self.spawn_watchdog(seq, net.clone(), window);
         }
         let mut perf = Perf {
             seq,
@@ -602,6 +678,57 @@ impl<M: Send + Clone + 'static> Engine<M> {
             });
         }
         st.current = Some(perf);
+    }
+
+    /// Spawns the quiescence monitor for performance `seq`.
+    ///
+    /// The engine itself stays passive (role bodies run on enrolling
+    /// threads); the watchdog is the one deliberate exception — an
+    /// observer that cannot run on any participant thread, since every
+    /// participant may be the one that is stuck. It holds only a weak
+    /// engine reference and exits as soon as `seq` is no longer the
+    /// current performance.
+    fn spawn_watchdog(&self, seq: u64, net: Network<RoleId, M>, window: Duration) {
+        let weak = self.weak.clone();
+        let poll = (window / 4).clamp(Duration::from_millis(1), Duration::from_millis(50));
+        std::thread::spawn(move || {
+            let mut last_activity = net.activity();
+            let mut last_progress = Instant::now();
+            loop {
+                std::thread::sleep(poll);
+                let Some(engine) = weak.upgrade() else { return };
+                let mut st = engine.state.lock();
+                match &st.current {
+                    Some(p) if p.seq == seq && !p.aborted => {}
+                    _ => return,
+                }
+                let now_activity = net.activity();
+                if now_activity != last_activity {
+                    last_activity = now_activity;
+                    last_progress = Instant::now();
+                    continue;
+                }
+                if last_progress.elapsed() < window {
+                    continue;
+                }
+                // Quiescent past the deadline: declare a stall and abort.
+                let perf = st.current.as_mut().expect("matched above");
+                perf.aborted = true;
+                perf.net.abort();
+                st.aborted_seqs.insert(seq);
+                st.stalled_seqs.insert(seq);
+                st.emit(ScriptEvent::PerformanceStalled {
+                    performance: PerformanceId(seq),
+                });
+                st.emit(ScriptEvent::PerformanceAborted {
+                    performance: PerformanceId(seq),
+                });
+                engine.try_advance(&mut st);
+                drop(st);
+                engine.cond.notify_all();
+                return;
+            }
+        });
     }
 
     /// Admits every currently-admissible pending enrollment, in ticket
@@ -722,6 +849,14 @@ impl<M: Send + Clone + 'static> Engine<M> {
             let perf = st.current.take().expect("checked");
             if perf.aborted {
                 st.aborted_seqs.insert(perf.seq);
+            }
+            // Surface every fault the chaos layer injected, in schedule
+            // order, before the completion event.
+            for record in perf.net.take_fault_log() {
+                st.emit(ScriptEvent::FaultInjected {
+                    performance: PerformanceId(perf.seq),
+                    fault: record.to_string(),
+                });
             }
             st.completed = perf.seq + 1;
             st.emit(ScriptEvent::PerformanceCompleted {

@@ -27,6 +27,10 @@ pub enum ScriptError {
     RolePanicked(RoleId),
     /// A deadline expired before the operation completed.
     Timeout,
+    /// The instance watchdog aborted the performance because it made no
+    /// communication progress within the configured quiescence window
+    /// (see `Instance::set_watchdog`).
+    Stalled,
     /// A non-blocking enrollment could not be admitted immediately
     /// (see `Enrollment::non_blocking` — "script enrollment as a
     /// guard").
@@ -59,6 +63,22 @@ impl ScriptError {
     pub fn app(msg: impl Into<String>) -> Self {
         ScriptError::App(msg.into())
     }
+
+    /// Is this a transient failure worth retrying (timeouts, aborted or
+    /// stalled performances)? Structural errors — unknown roles, bad
+    /// parameters, a closed instance — are permanent and are not.
+    ///
+    /// This is the default predicate used by `RetryPolicy`-driven
+    /// runners.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            ScriptError::Timeout
+                | ScriptError::Stalled
+                | ScriptError::PerformanceAborted
+                | ScriptError::WouldBlock
+        )
+    }
 }
 
 impl fmt::Display for ScriptError {
@@ -73,6 +93,9 @@ impl fmt::Display for ScriptError {
             ScriptError::PerformanceAborted => write!(f, "performance aborted"),
             ScriptError::RolePanicked(r) => write!(f, "role {r} panicked"),
             ScriptError::Timeout => write!(f, "operation timed out"),
+            ScriptError::Stalled => {
+                write!(f, "performance stalled (watchdog quiescence deadline)")
+            }
             ScriptError::WouldBlock => {
                 write!(f, "enrollment would block (no immediate admission)")
             }
@@ -110,6 +133,16 @@ mod tests {
     }
 
     #[test]
+    fn transient_classification() {
+        assert!(ScriptError::Timeout.is_transient());
+        assert!(ScriptError::Stalled.is_transient());
+        assert!(ScriptError::PerformanceAborted.is_transient());
+        assert!(!ScriptError::InstanceClosed.is_transient());
+        assert!(!ScriptError::UnknownRole(RoleId::new("r")).is_transient());
+        assert!(!ScriptError::App("x".into()).is_transient());
+    }
+
+    #[test]
     fn implements_std_error() {
         fn is_error<E: Error + Send + Sync + 'static>(_: &E) {}
         is_error(&ScriptError::Timeout);
@@ -123,6 +156,7 @@ mod tests {
             ScriptError::PerformanceAborted,
             ScriptError::RolePanicked(RoleId::new("r")),
             ScriptError::Timeout,
+            ScriptError::Stalled,
             ScriptError::WouldBlock,
             ScriptError::UnknownRole(RoleId::new("r")),
             ScriptError::SelfCommunication,

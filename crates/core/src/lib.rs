@@ -73,6 +73,7 @@ mod handle;
 mod ids;
 mod matcher;
 mod policy;
+mod retry;
 mod spec;
 
 use std::any::Any;
@@ -82,9 +83,12 @@ use std::sync::Arc;
 pub use ctx::{Event, Guard, RoleCtx};
 pub use enroll::{Enrollment, Partners, ProcessSel};
 pub use error::ScriptError;
+pub use retry::RetryPolicy;
+// Fault injection is configured with the channel-layer plan type.
 pub use handle::{FamilyHandle, RoleHandle};
 pub use ids::{PerformanceId, ProcessId, RoleId};
 pub use policy::{CriticalEntry, CriticalSet, Initiation, Termination};
+pub use script_chan::{FaultKind, FaultPlan, FaultRecord};
 pub use spec::{FamilySize, ScriptBuilder};
 
 use engine::{Engine, RoleRef};
@@ -132,10 +136,24 @@ pub enum ScriptEvent {
         /// The finished role.
         role: RoleId,
     },
-    /// The performance aborted (panic or close).
+    /// The performance aborted (panic, close, or watchdog).
     PerformanceAborted {
         /// The aborted performance.
         performance: PerformanceId,
+    },
+    /// The watchdog found the performance quiescent past its deadline
+    /// (always followed by [`ScriptEvent::PerformanceAborted`]).
+    PerformanceStalled {
+        /// The stalled performance.
+        performance: PerformanceId,
+    },
+    /// The chaos layer injected a fault into the performance's network.
+    /// Recorded when the performance completes, in schedule order.
+    FaultInjected {
+        /// The affected performance.
+        performance: PerformanceId,
+        /// Human-readable fault record (`kind from->to #seq`).
+        fault: String,
     },
     /// Every role of the performance terminated.
     PerformanceCompleted {
@@ -453,6 +471,73 @@ impl<M: Send + Clone + 'static> Instance<M> {
     /// aborted.
     pub fn close(&self) {
         self.engine.close();
+    }
+
+    /// Arms a quiescence watchdog: any **future** performance whose
+    /// network makes no communication progress for `window` is aborted,
+    /// and its participants unblock with [`ScriptError::Stalled`].
+    ///
+    /// "Progress" means network activity — sends landing, receives
+    /// completing, roles joining or finishing. A performance of roles
+    /// that compute without communicating for longer than `window` will
+    /// be treated as hung; size the window accordingly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn set_watchdog(&self, window: std::time::Duration) {
+        self.engine.set_watchdog(window);
+    }
+
+    /// Disarms the watchdog for future performances.
+    pub fn clear_watchdog(&self) {
+        self.engine.clear_watchdog();
+    }
+
+    /// Seeds the nondeterministic choices (selection shuffling) of every
+    /// future performance's network, derived per performance, so that
+    /// chaos runs are reproducible.
+    pub fn set_chaos_seed(&self, seed: u64) {
+        self.engine.set_chaos_seed(seed);
+    }
+
+    /// Injects the deterministic fault schedule described by `plan` into
+    /// every future performance (each performance draws an independent
+    /// schedule derived from the plan's seed). Injected faults surface
+    /// as [`ScriptEvent::FaultInjected`] entries when the performance
+    /// completes.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        self.engine.set_fault_plan(plan);
+    }
+
+    /// Stops injecting faults into future performances.
+    pub fn clear_fault_plan(&self) {
+        self.engine.clear_fault_plan();
+    }
+
+    /// [`Instance::enroll_with`] under a [`RetryPolicy`]: transient
+    /// failures ([`ScriptError::is_transient`]) are retried with
+    /// exponential backoff until the policy's attempts are exhausted;
+    /// the last error is returned. Requires cloneable parameters.
+    ///
+    /// An enrollment deadline in `options` applies per attempt.
+    ///
+    /// # Errors
+    ///
+    /// As [`Instance::enroll_with`]; permanent errors are returned
+    /// immediately.
+    pub fn enroll_with_retry<P, O>(
+        &self,
+        role: &RoleHandle<M, P, O>,
+        params: P,
+        options: Enrollment,
+        policy: &RetryPolicy,
+    ) -> Result<O, ScriptError>
+    where
+        P: Clone + Send + 'static,
+        O: Send + 'static,
+    {
+        policy.run(|_attempt| self.enroll_with(role, params.clone(), options.clone()))
     }
 }
 
@@ -941,6 +1026,163 @@ mod tests {
             assert_eq!(ha.join().unwrap().unwrap(), 1);
             assert_eq!(hb.join().unwrap().unwrap(), 2);
         });
+    }
+
+    #[test]
+    fn watchdog_aborts_deadlocked_performance() {
+        let mut b = Script::<u8>::builder("deadlock");
+        let left = b.role("left", |ctx, ()| {
+            ctx.recv_from(&RoleId::new("right"))?;
+            Ok(())
+        });
+        let right = b.role("right", |ctx, ()| {
+            ctx.recv_from(&RoleId::new("left"))?;
+            Ok(())
+        });
+        b.initiation(Initiation::Delayed)
+            .termination(Termination::Delayed);
+        let script = b.build().unwrap();
+        let inst = script.instance();
+        inst.set_watchdog(Duration::from_millis(60));
+        inst.enable_event_log(64);
+        std::thread::scope(|s| {
+            let i1 = inst.clone();
+            let left = left.clone();
+            let h = s.spawn(move || i1.enroll(&left, ()));
+            assert_eq!(inst.enroll(&right, ()).unwrap_err(), ScriptError::Stalled);
+            assert_eq!(h.join().unwrap().unwrap_err(), ScriptError::Stalled);
+        });
+        let events = inst.take_events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, ScriptEvent::PerformanceStalled { .. })));
+        // The stalled performance still terminated; the instance is free.
+        assert_eq!(inst.completed_performances(), 1);
+    }
+
+    #[test]
+    fn watchdog_spares_slow_but_live_performance() {
+        let mut b = Script::<u8>::builder("slow");
+        let ping = b.role("ping", |ctx, ()| {
+            for _ in 0..3 {
+                std::thread::sleep(Duration::from_millis(20));
+                ctx.send(&RoleId::new("pong"), 1)?;
+            }
+            Ok(())
+        });
+        let pong = b.role("pong", |ctx, ()| {
+            for _ in 0..3 {
+                ctx.recv_from(&RoleId::new("ping"))?;
+            }
+            Ok(())
+        });
+        b.initiation(Initiation::Delayed)
+            .termination(Termination::Delayed);
+        let script = b.build().unwrap();
+        let inst = script.instance();
+        // Each 20 ms pause is well inside the 400 ms quiescence window
+        // (generous so a loaded test machine cannot fake a stall).
+        inst.set_watchdog(Duration::from_millis(400));
+        std::thread::scope(|s| {
+            let i1 = inst.clone();
+            let ping = ping.clone();
+            let h = s.spawn(move || i1.enroll(&ping, ()));
+            inst.enroll(&pong, ()).unwrap();
+            h.join().unwrap().unwrap();
+        });
+        assert_eq!(inst.completed_performances(), 1);
+    }
+
+    #[test]
+    fn injected_drop_stalls_and_surfaces_fault_events() {
+        let mut b = Script::<u8>::builder("lossy");
+        // Request/reply: if the request is lost both sides block — the
+        // requester awaiting the reply, the replier awaiting the request.
+        let src = b.role("src", |ctx, ()| {
+            ctx.send(&RoleId::new("dst"), 7)?;
+            ctx.recv_from(&RoleId::new("dst"))?;
+            Ok(())
+        });
+        let dst = b.role("dst", |ctx, ()| {
+            let v = ctx.recv_from(&RoleId::new("src"))?;
+            ctx.send(&RoleId::new("src"), v)?;
+            Ok(())
+        });
+        b.initiation(Initiation::Delayed)
+            .termination(Termination::Delayed);
+        let script = b.build().unwrap();
+        let inst = script.instance();
+        inst.set_chaos_seed(1);
+        inst.set_fault_plan(FaultPlan::new(1).with_drop(1.0));
+        inst.set_watchdog(Duration::from_millis(60));
+        inst.enable_event_log(64);
+        std::thread::scope(|s| {
+            let i1 = inst.clone();
+            let src = src.clone();
+            let h = s.spawn(move || i1.enroll(&src, ()));
+            // The receiver starves on the dropped message until the
+            // watchdog calls the performance stalled.
+            assert_eq!(inst.enroll(&dst, ()).unwrap_err(), ScriptError::Stalled);
+            // The sender may have finished cleanly (its send "succeeded")
+            // or observed the stall, depending on timing.
+            let _ = h.join().unwrap();
+        });
+        let events = inst.take_events();
+        assert!(events.iter().any(
+            |e| matches!(e, ScriptEvent::FaultInjected { fault, .. } if fault.contains("drop"))
+        ));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, ScriptEvent::PerformanceStalled { .. })));
+
+        // Recovery: with the plan cleared, the same instance admits a
+        // fresh cast and completes cleanly.
+        inst.clear_fault_plan();
+        inst.clear_watchdog();
+        std::thread::scope(|s| {
+            let i1 = inst.clone();
+            let src = src.clone();
+            let h = s.spawn(move || i1.enroll(&src, ()));
+            inst.enroll(&dst, ()).unwrap();
+            h.join().unwrap().unwrap();
+        });
+        assert_eq!(inst.completed_performances(), 2);
+    }
+
+    #[test]
+    fn enroll_with_retry_recovers_from_timeout() {
+        let mut b = Script::<u8>::builder("late_partner");
+        let ping = b.role("ping", |ctx, ()| ctx.send(&RoleId::new("pong"), 1));
+        let pong = b.role("pong", |ctx, ()| {
+            ctx.recv_from(&RoleId::new("ping"))?;
+            Ok(())
+        });
+        b.initiation(Initiation::Delayed)
+            .termination(Termination::Delayed);
+        let script = b.build().unwrap();
+        let inst = script.instance();
+        std::thread::scope(|s| {
+            let i1 = inst.clone();
+            let pong = pong.clone();
+            let h = s.spawn(move || {
+                // Arrive after the first attempt has already timed out.
+                std::thread::sleep(Duration::from_millis(80));
+                i1.enroll(&pong, ())
+            });
+            let policy = RetryPolicy::new(8)
+                .with_base(Duration::from_millis(5))
+                .with_cap(Duration::from_millis(20))
+                .with_seed(4);
+            inst.enroll_with_retry(
+                &ping,
+                (),
+                Enrollment::new().timeout(Duration::from_millis(40)),
+                &policy,
+            )
+            .unwrap();
+            h.join().unwrap().unwrap();
+        });
+        assert_eq!(inst.completed_performances(), 1);
     }
 
     #[test]

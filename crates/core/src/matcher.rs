@@ -88,8 +88,7 @@ fn cover_critical_set(
         let (_, list) = &per_role[chosen.len()];
         for &idx in list {
             let cand = &candidates[idx];
-            let selected: Vec<&Candidate<'_>> =
-                chosen.iter().map(|&i| &candidates[i]).collect();
+            let selected: Vec<&Candidate<'_>> = chosen.iter().map(|&i| &candidates[i]).collect();
             if compatible_with_all(cand, &selected) {
                 chosen.push(idx);
                 if backtrack(per_role, candidates, chosen) {
@@ -133,10 +132,7 @@ fn extend(candidates: &[Candidate<'_>], chosen: Vec<usize>) -> HashMap<RoleId, u
 /// (with their recorded constraints) are `cast`?
 ///
 /// The caller guarantees `cand.role` is not yet filled.
-pub(crate) fn admissible(
-    cand: &Candidate<'_>,
-    cast: &[(RoleId, ProcessId, Partners)],
-) -> bool {
+pub(crate) fn admissible(cand: &Candidate<'_>, cast: &[(RoleId, ProcessId, Partners)]) -> bool {
     cast.iter().all(|(role, process, partners)| {
         process != cand.process
             && cand.partners.allows(role, process)
@@ -160,8 +156,7 @@ mod tests {
             }
         }
         fn add(&mut self, role: RoleId, process: &str, partners: Partners) -> &mut Self {
-            self.entries
-                .push((role, ProcessId::new(process), partners));
+            self.entries.push((role, ProcessId::new(process), partners));
             self
         }
         fn candidates(&self) -> Vec<Candidate<'_>> {
@@ -271,10 +266,7 @@ mod tests {
         let mut a = Arena::new();
         a.add(RoleId::new("writer"), "W", Partners::any());
         let cands = a.candidates();
-        let critical = vec![
-            set(&[RoleId::new("reader")]),
-            set(&[RoleId::new("writer")]),
-        ];
+        let critical = vec![set(&[RoleId::new("reader")]), set(&[RoleId::new("writer")])];
         let m = match_performance(&cands, &critical).unwrap();
         assert!(m.contains_key(&RoleId::new("writer")));
     }
@@ -372,21 +364,18 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arb_partners(n_roles: usize, n_procs: usize) -> impl Strategy<Value = Partners> {
-        proptest::collection::vec(
-            (0..n_roles, proptest::option::of(0..n_procs)),
-            0..=n_roles,
-        )
-        .prop_map(move |constraints| {
-            let mut p = Partners::any();
-            for (role, proc_opt) in constraints {
-                let sel = match proc_opt {
-                    Some(q) => ProcessSel::is(format!("P{q}")),
-                    None => ProcessSel::Any,
-                };
-                p = p.with(RoleId::new(format!("r{role}")), sel);
-            }
-            p
-        })
+        proptest::collection::vec((0..n_roles, proptest::option::of(0..n_procs)), 0..=n_roles)
+            .prop_map(move |constraints| {
+                let mut p = Partners::any();
+                for (role, proc_opt) in constraints {
+                    let sel = match proc_opt {
+                        Some(q) => ProcessSel::is(format!("P{q}")),
+                        None => ProcessSel::Any,
+                    };
+                    p = p.with(RoleId::new(format!("r{role}")), sel);
+                }
+                p
+            })
     }
 
     proptest! {

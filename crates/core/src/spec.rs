@@ -366,8 +366,7 @@ impl<M: Send + Clone + 'static> ScriptBuilder<M> {
                         }
                         if self.initiation == Initiation::Delayed {
                             return invalid(
-                                "family_at_least critical sets require immediate initiation"
-                                    .into(),
+                                "family_at_least critical sets require immediate initiation".into(),
                             );
                         }
                     }

@@ -130,7 +130,9 @@ mod tests {
     fn empty_guard_set_exits_immediately() {
         let out = Parallel::<u32, u64>::new("empty")
             .timeout(Duration::from_secs(5))
-            .process("server", |ctx| repetitive(ctx, Vec::new, |_| Ok(Loop::Continue)))
+            .process("server", |ctx| {
+                repetitive(ctx, Vec::new, |_| Ok(Loop::Continue))
+            })
             .run()
             .unwrap();
         assert_eq!(out["server"], 0);

@@ -141,13 +141,14 @@ impl<M: Send + 'static> ProcCtx<M> {
     /// command terminates when all partners named in its guards have
     /// terminated — plus abort/timeout failures.
     pub fn alternative(&self, arms: Vec<Arm<String, M>>) -> Result<Outcome<String, M>, CspError> {
-        self.port.select_deadline(arms, self.deadline).map_err(map_err)
+        self.port
+            .select_deadline(arms, self.deadline)
+            .map_err(map_err)
     }
 
     /// Has the named process terminated?
     pub fn terminated(&self, name: &str) -> bool {
-        self.port.network().peer_state(&name.to_string())
-            == Some(script_chan::PeerState::Done)
+        self.port.network().peer_state(&name.to_string()) == Some(script_chan::PeerState::Done)
     }
 }
 
@@ -168,7 +169,10 @@ impl<M, O> fmt::Debug for Parallel<M, O> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Parallel")
             .field("name", &self.name)
-            .field("processes", &self.bodies.iter().map(|(n, _)| n).collect::<Vec<_>>())
+            .field(
+                "processes",
+                &self.bodies.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+            )
             .finish()
     }
 }

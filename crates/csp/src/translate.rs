@@ -156,11 +156,7 @@ where
     )?;
     match ctx.recv(&sup)? {
         TMsg::Go => {}
-        _ => {
-            return Err(CspError::App(
-                "protocol violation: expected go".to_string(),
-            ))
-        }
+        _ => return Err(CspError::App("protocol violation: expected go".to_string())),
     }
     let env = RoleEnv {
         ctx,
@@ -223,9 +219,10 @@ where
                     }
                 }
                 TMsg::End { role } => {
-                    let known = roles.iter().find(|r| **r == role).ok_or_else(|| {
-                        CspError::App(format!("end for undeclared role {role}"))
-                    })?;
+                    let known = roles
+                        .iter()
+                        .find(|r| **r == role)
+                        .ok_or_else(|| CspError::App(format!("end for undeclared role {role}")))?;
                     if ready[known] {
                         return Err(CspError::App(format!("end without start for {role}")));
                     }

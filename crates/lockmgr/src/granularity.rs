@@ -111,10 +111,7 @@ impl GranularityTable {
 
     fn add(&mut self, node: &str, mode: GranularMode, owner: &str) {
         let held = self.nodes.entry(node.to_string()).or_default();
-        if let Some(h) = held
-            .iter_mut()
-            .find(|h| h.owner == owner && h.mode == mode)
-        {
+        if let Some(h) = held.iter_mut().find(|h| h.owner == owner && h.mode == mode) {
             h.count += 1;
         } else {
             held.push(Held {
@@ -127,10 +124,7 @@ impl GranularityTable {
 
     fn remove(&mut self, node: &str, mode: GranularMode, owner: &str) {
         if let Some(held) = self.nodes.get_mut(node) {
-            if let Some(pos) = held
-                .iter()
-                .position(|h| h.owner == owner && h.mode == mode)
-            {
+            if let Some(pos) = held.iter().position(|h| h.owner == owner && h.mode == mode) {
                 held[pos].count -= 1;
                 if held[pos].count == 0 {
                     held.remove(pos);
@@ -240,7 +234,10 @@ mod tests {
         assert!(!compatible(IntentionExclusive, SharedIntentionExclusive));
         assert!(compatible(Shared, Shared));
         assert!(!compatible(Shared, SharedIntentionExclusive));
-        assert!(!compatible(SharedIntentionExclusive, SharedIntentionExclusive));
+        assert!(!compatible(
+            SharedIntentionExclusive,
+            SharedIntentionExclusive
+        ));
         assert!(!compatible(Exclusive, Exclusive));
     }
 
@@ -268,7 +265,10 @@ mod tests {
         assert!(!t.try_acquire("db/f/r1", Mode::Exclusive, "w"));
         assert!(t.try_acquire("db/f/r1", Mode::Shared, "r2"));
         t.release("db/f", "r");
-        assert!(!t.try_acquire("db/f/r1", Mode::Exclusive, "w"), "r2 still reads");
+        assert!(
+            !t.try_acquire("db/f/r1", Mode::Exclusive, "w"),
+            "r2 still reads"
+        );
         t.release("db/f/r1", "r2");
         assert!(t.try_acquire("db/f/r1", Mode::Exclusive, "w"));
     }

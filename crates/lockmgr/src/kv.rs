@@ -121,11 +121,7 @@ impl<V: Clone + Send + 'static> ReplicatedKv<V> {
     /// # Errors
     ///
     /// Any [`ScriptError`] from the lock performances.
-    pub fn write_many(
-        &self,
-        client: &str,
-        entries: &[(String, V)],
-    ) -> Result<bool, ScriptError> {
+    pub fn write_many(&self, client: &str, entries: &[(String, V)]) -> Result<bool, ScriptError> {
         let mut keys: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
         keys.sort_unstable();
         keys.dedup();
@@ -298,10 +294,7 @@ mod txn_tests {
                         // Retry until the transaction lands.
                         loop {
                             if kv
-                                .write_many(
-                                    &format!("t{t}"),
-                                    &[("x".into(), t), ("y".into(), t)],
-                                )
+                                .write_many(&format!("t{t}"), &[("x".into(), t), ("y".into(), t)])
                                 .unwrap()
                             {
                                 break;

@@ -13,9 +13,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use script_core::{
-    Initiation, Instance, RoleHandle, RoleId, Script, ScriptError, Termination,
-};
+use script_core::{Initiation, Instance, RoleHandle, RoleId, Script, ScriptError, Termination};
 
 use crate::table::{FlatTable, Mode, Table};
 
@@ -111,7 +109,9 @@ impl ActiveSet {
                 return Err(ScriptError::app(format!("node {leaving} is not active")));
             }
             if active.contains(&joining) {
-                return Err(ScriptError::app(format!("node {joining} is already active")));
+                return Err(ScriptError::app(format!(
+                    "node {joining} is already active"
+                )));
             }
             if joining >= self.tables.len() {
                 return Err(ScriptError::app(format!("node {joining} does not exist")));
@@ -165,7 +165,9 @@ mod tests {
     #[test]
     fn swap_preserves_locks() {
         let set = ActiveSet::new(4, 3);
-        set.tables()[1].lock().try_acquire("x", Mode::Exclusive, "w");
+        set.tables()[1]
+            .lock()
+            .try_acquire("x", Mode::Exclusive, "w");
         set.swap(1, 3).unwrap();
         assert_eq!(set.active(), vec![0, 2, 3]);
         assert_eq!(set.tables()[3].lock().writer("x"), Some("w"));

@@ -232,17 +232,14 @@ pub fn lock_script<T: Table + 'static>(
                             } else {
                                 Mode::Shared
                             };
-                            let granted =
-                                tables[me].lock().try_acquire(&item, mode, &owner);
+                            let granted = tables[me].lock().try_acquire(&item, mode, &owner);
                             ctx.send(&from, LockMsg::Reply { granted })?;
                         }
                         LockMsg::Release { item, owner } => {
                             tables[me].lock().release(&item, &owner);
                         }
                         LockMsg::Reply { .. } => {
-                            return Err(ScriptError::app(
-                                "protocol violation: client sent a reply",
-                            ))
+                            return Err(ScriptError::app("protocol violation: client sent a reply"))
                         }
                     }
                 }

@@ -37,10 +37,7 @@ impl Strategy {
             read_quorum + write_quorum > k,
             "read and write quorums must intersect"
         );
-        assert!(
-            write_quorum * 2 > k,
-            "two write quorums must intersect"
-        );
+        assert!(write_quorum * 2 > k, "two write quorums must intersect");
         Self {
             read_quorum,
             write_quorum,

@@ -77,10 +77,7 @@ impl FlatTable {
     pub fn holds(&self, item: &str, owner: &str) -> bool {
         self.entries
             .get(item)
-            .map(|e| {
-                e.readers.iter().any(|r| r == owner)
-                    || e.writer.as_deref() == Some(owner)
-            })
+            .map(|e| e.readers.iter().any(|r| r == owner) || e.writer.as_deref() == Some(owner))
             .unwrap_or(false)
     }
 
@@ -110,8 +107,7 @@ impl Table for FlatTable {
             }
             Mode::Exclusive => {
                 let other_reader = entry.readers.iter().any(|r| r != owner);
-                let other_writer =
-                    entry.writer.is_some() && entry.writer.as_deref() != Some(owner);
+                let other_writer = entry.writer.is_some() && entry.writer.as_deref() != Some(owner);
                 if other_reader || other_writer {
                     return false;
                 }

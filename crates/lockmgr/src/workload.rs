@@ -9,7 +9,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::script::{Cluster, Outcome};
-use script_core::ScriptError;
+use script_core::{RetryPolicy, ScriptError};
 
 /// One client operation against the cluster.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,7 +65,10 @@ pub fn generate(spec: &WorkloadSpec, seed: u64) -> Vec<WorkloadOp> {
         (0.0..=1.0).contains(&spec.read_ratio),
         "read_ratio must be a fraction"
     );
-    assert!(spec.items > 0 && spec.clients > 0, "items/clients must be positive");
+    assert!(
+        spec.items > 0 && spec.clients > 0,
+        "items/clients must be positive"
+    );
     let mut rng = SmallRng::seed_from_u64(seed);
     (0..spec.operations)
         .map(|_| {
@@ -149,6 +152,65 @@ pub fn run(cluster: &Cluster, ops: &[WorkloadOp]) -> Result<WorkloadStats, Scrip
     Ok(stats)
 }
 
+/// Like [`run`], but retries each lock-cycle step under `policy` when
+/// the underlying performance fails transiently (timeout, abort, or
+/// stall — e.g. while a chaos fault plan is active on the cluster's
+/// instances). Also returns how many retries were consumed, so soak
+/// harnesses can report recovery effort.
+///
+/// A *denied* lock is a normal outcome, not a failure: it is counted
+/// and never retried.
+///
+/// # Errors
+///
+/// The last transient error of a step whose retries ran out, or the
+/// first permanent error.
+pub fn run_with_retry(
+    cluster: &Cluster,
+    ops: &[WorkloadOp],
+    policy: &RetryPolicy,
+) -> Result<(WorkloadStats, usize), ScriptError> {
+    let mut stats = WorkloadStats::default();
+    let mut retries = 0usize;
+    for op in ops {
+        match op {
+            WorkloadOp::ReadCycle { item, client } => {
+                let item = format!("item{item}");
+                match policy.run(|attempt| {
+                    retries += usize::from(attempt > 0);
+                    cluster.acquire_shared(client, &item)
+                })? {
+                    Outcome::Granted { .. } => {
+                        stats.reads_granted += 1;
+                        policy.run(|attempt| {
+                            retries += usize::from(attempt > 0);
+                            cluster.release_shared(client, &item)
+                        })?;
+                    }
+                    _ => stats.reads_denied += 1,
+                }
+            }
+            WorkloadOp::WriteCycle { item, client } => {
+                let item = format!("item{item}");
+                match policy.run(|attempt| {
+                    retries += usize::from(attempt > 0);
+                    cluster.acquire_exclusive(client, &item)
+                })? {
+                    Outcome::Granted { .. } => {
+                        stats.writes_granted += 1;
+                        policy.run(|attempt| {
+                            retries += usize::from(attempt > 0);
+                            cluster.release_exclusive(client, &item)
+                        })?;
+                    }
+                    _ => stats.writes_denied += 1,
+                }
+            }
+        }
+    }
+    Ok((stats, retries))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,6 +252,26 @@ mod tests {
         let stats = run(&cluster, &ops).unwrap();
         assert_eq!(stats.total(), 20);
         assert_eq!(stats.reads_denied + stats.writes_denied, 0);
+    }
+
+    #[test]
+    fn retry_driver_matches_plain_run_when_healthy() {
+        let spec = WorkloadSpec {
+            operations: 20,
+            read_ratio: 0.5,
+            items: 4,
+            clients: 2,
+        };
+        let ops = generate(&spec, 9);
+        let plain = run(&Cluster::new(2, Strategy::one_read_all_write(2)), &ops).unwrap();
+        let (retried, retries) = run_with_retry(
+            &Cluster::new(2, Strategy::one_read_all_write(2)),
+            &ops,
+            &RetryPolicy::new(3),
+        )
+        .unwrap();
+        assert_eq!(plain, retried);
+        assert_eq!(retries, 0, "no retries needed on a healthy cluster");
     }
 
     #[test]

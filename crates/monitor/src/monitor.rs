@@ -74,7 +74,11 @@ impl<T> Monitor<T> {
     /// The predicate is evaluated under the monitor lock; the wait is free
     /// of lost-wakeup races. On exit all waiters are woken, since `f` may
     /// have established some other waiter's condition.
-    pub fn wait_until<R>(&self, mut pred: impl FnMut(&T) -> bool, f: impl FnOnce(&mut T) -> R) -> R {
+    pub fn wait_until<R>(
+        &self,
+        mut pred: impl FnMut(&T) -> bool,
+        f: impl FnOnce(&mut T) -> R,
+    ) -> R {
         let mut guard = self.state.lock();
         while !pred(&guard) {
             self.cond.wait(&mut guard);
@@ -124,7 +128,10 @@ impl<T: fmt::Debug> fmt::Debug for Monitor<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.state.try_lock() {
             Some(guard) => f.debug_struct("Monitor").field("state", &*guard).finish(),
-            None => f.debug_struct("Monitor").field("state", &"<locked>").finish(),
+            None => f
+                .debug_struct("Monitor")
+                .field("state", &"<locked>")
+                .finish(),
         }
     }
 }
@@ -138,10 +145,13 @@ mod tests {
     #[test]
     fn with_runs_and_returns() {
         let m = Monitor::new(41);
-        assert_eq!(m.with(|n| {
-            *n += 1;
-            *n
-        }), 42);
+        assert_eq!(
+            m.with(|n| {
+                *n += 1;
+                *n
+            }),
+            42
+        );
     }
 
     #[test]

@@ -198,9 +198,9 @@ pub fn mailbox_broadcast<M: Send + Clone + 'static>(n: usize, value: M) -> Vec<M
         for i in 0..n {
             let sup = Arc::clone(&sup);
             let boxes = Arc::clone(&boxes);
-            handles.push(s.spawn(move || {
-                sup.enroll(&format!("recipient[{i}]"), |_perf| boxes.get(i))
-            }));
+            handles.push(
+                s.spawn(move || sup.enroll(&format!("recipient[{i}]"), |_perf| boxes.get(i))),
+            );
         }
         let sv = value.clone();
         sup.enroll("sender", move |_perf| {

@@ -100,9 +100,7 @@ impl GlobalType {
                 from == role || to == role || then.participates(role)
             }
             GlobalType::Choice { from, to, branches } => {
-                from == role
-                    || to == role
-                    || branches.values().any(|b| b.participates(role))
+                from == role || to == role || branches.values().any(|b| b.participates(role))
             }
             GlobalType::Rec { body, .. } => body.participates(role),
         }
@@ -337,12 +335,7 @@ mod tests {
                             [
                                 (
                                     "ok".to_string(),
-                                    GlobalType::msg(
-                                        "seller",
-                                        "buyer2",
-                                        "date",
-                                        GlobalType::End,
-                                    ),
+                                    GlobalType::msg("seller", "buyer2", "date", GlobalType::End),
                                 ),
                                 ("quit".to_string(), GlobalType::End),
                             ],

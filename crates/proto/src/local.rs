@@ -421,7 +421,10 @@ mod tests {
         let t = LocalType::select(
             a(),
             [
-                ("ok".to_string(), LocalType::recv(a(), "done", LocalType::End)),
+                (
+                    "ok".to_string(),
+                    LocalType::recv(a(), "done", LocalType::End),
+                ),
                 ("quit".to_string(), LocalType::End),
             ],
         );
@@ -441,7 +444,10 @@ mod tests {
             a(),
             [
                 ("yes".to_string(), LocalType::End),
-                ("no".to_string(), LocalType::send(a(), "retry", LocalType::End)),
+                (
+                    "no".to_string(),
+                    LocalType::send(a(), "retry", LocalType::End),
+                ),
             ],
         );
         let mut m = LocalMonitor::new(t);

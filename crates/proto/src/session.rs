@@ -244,7 +244,8 @@ mod tests {
         // The server never receives anything: the violating send was
         // blocked before reaching the wire.
         let server = b.role("server", |ctx, ()| {
-            match ctx.recv_from_timeout(&RoleId::new("client"), std::time::Duration::from_millis(80))
+            match ctx
+                .recv_from_timeout(&RoleId::new("client"), std::time::Duration::from_millis(80))
             {
                 Err(ScriptError::Timeout) | Err(ScriptError::RoleUnavailable(_)) => Ok(()),
                 other => Err(ScriptError::app(format!("unexpected: {other:?}"))),

@@ -39,9 +39,7 @@ fn arb_global(depth: u32) -> BoxedStrategy<GlobalType> {
                 Some(GlobalType::choice(
                     ROLES[f],
                     ROLES[t],
-                    branches
-                        .into_iter()
-                        .map(|(l, g)| (format!("l{l}"), g)),
+                    branches.into_iter().map(|(l, g)| (format!("l{l}"), g)),
                 ))
             }
         });

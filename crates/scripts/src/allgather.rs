@@ -1,9 +1,7 @@
 //! A ring all-gather script: every member contributes one value and
 //! leaves with everyone's values, via n−1 rounds of neighbor exchange.
 
-use script_core::{
-    FamilyHandle, Initiation, Instance, RoleId, Script, ScriptError, Termination,
-};
+use script_core::{FamilyHandle, Initiation, Instance, RoleId, Script, ScriptError, Termination};
 
 /// The packaged all-gather script.
 #[derive(Debug)]

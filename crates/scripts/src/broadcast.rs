@@ -10,8 +10,8 @@
 use std::sync::Arc;
 
 use script_core::{
-    Event, FamilyHandle, Guard, Initiation, Instance, RoleHandle, RoleId, Script, ScriptError,
-    Termination,
+    Event, FamilyHandle, Guard, Initiation, Instance, RetryPolicy, RoleHandle, RoleId, Script,
+    ScriptError, Termination,
 };
 use script_monitor::PerMailbox;
 
@@ -228,6 +228,33 @@ pub fn run_on<M: Send + Clone + 'static>(
         send_result?;
         Ok(received)
     })
+}
+
+/// Like [`run_on`], but retries the whole performance under `policy`
+/// when it fails transiently (timeout, abort, or stall — e.g. under an
+/// injected fault plan with a watchdog armed). Each attempt is a fresh
+/// performance of the same instance.
+///
+/// Because this runner enrolls the *entire* cast on every attempt, a
+/// [`ScriptError::RoleUnavailable`] — e.g. a recipient left waiting
+/// after a dropped message let the sender finish — is also retryable
+/// here, unlike in single-enrollment retries where the missing role may
+/// never be filled.
+///
+/// # Errors
+///
+/// The last retryable error once attempts are exhausted, or the first
+/// permanent error.
+pub fn run_with_retry<M: Send + Clone + 'static>(
+    instance: &Instance<M>,
+    b: &Broadcast<M>,
+    value: M,
+    policy: &RetryPolicy,
+) -> Result<Vec<M>, ScriptError> {
+    policy.run_if(
+        |e: &ScriptError| e.is_transient() || matches!(e, ScriptError::RoleUnavailable(_)),
+        |_attempt| run_on(instance, b, value.clone()),
+    )
 }
 
 #[cfg(test)]

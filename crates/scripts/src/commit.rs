@@ -9,7 +9,8 @@
 //! vote and receive the decision.
 
 use script_core::{
-    FamilyHandle, Initiation, Instance, RoleHandle, RoleId, Script, ScriptError, Termination,
+    FamilyHandle, Initiation, Instance, RetryPolicy, RoleHandle, RoleId, Script, ScriptError,
+    Termination,
 };
 
 /// Protocol messages (internal to the script body, public for
@@ -138,6 +139,33 @@ pub fn run_on(
         }
         Ok((decision, seen))
     })
+}
+
+/// Like [`run_on`], but retries the whole commit round under `policy`
+/// when it fails transiently (timeout, abort, or stall). Each attempt
+/// is a fresh performance: two-phase commit is idempotent in this model
+/// (the decision is a pure function of the votes), so a lost round can
+/// simply be replayed.
+///
+/// As in [`broadcast::run_with_retry`](crate::broadcast::run_with_retry),
+/// the runner enrolls the entire cast each attempt, so
+/// [`ScriptError::RoleUnavailable`] caused by a mid-performance fault is
+/// also retryable.
+///
+/// # Errors
+///
+/// The last retryable error once attempts are exhausted, or the first
+/// permanent error.
+pub fn run_with_retry(
+    instance: &Instance<CommitMsg>,
+    tpc: &TwoPhaseCommit,
+    votes: Vec<bool>,
+    policy: &RetryPolicy,
+) -> Result<(bool, Vec<bool>), ScriptError> {
+    policy.run_if(
+        |e: &ScriptError| e.is_transient() || matches!(e, ScriptError::RoleUnavailable(_)),
+        |_attempt| run_on(instance, tpc, votes.clone()),
+    )
 }
 
 #[cfg(test)]

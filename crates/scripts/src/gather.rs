@@ -104,7 +104,10 @@ pub fn open_gather<M: Send + Clone + 'static>(max: Option<usize>) -> OpenGather<
 /// # Errors
 ///
 /// The first error any participant reported.
-pub fn run<M: Send + Clone + 'static>(g: &Gather<M>, values: Vec<M>) -> Result<Vec<M>, ScriptError> {
+pub fn run<M: Send + Clone + 'static>(
+    g: &Gather<M>,
+    values: Vec<M>,
+) -> Result<Vec<M>, ScriptError> {
     assert_eq!(values.len(), g.n, "one contribution per worker");
     let instance = g.script.instance();
     run_on(&instance, g, values)

@@ -37,9 +37,9 @@
 pub mod allgather;
 pub mod barrier;
 pub mod broadcast;
+pub mod buffer;
 pub mod commit;
 pub mod election;
-pub mod buffer;
 pub mod gather;
 pub mod philosophers;
 pub mod reduce;

@@ -128,11 +128,7 @@ mod tests {
         // String concatenation: the combine order is deterministic
         // (own value, then left child, then right child).
         let r = reduce::<String, _>(3, |a, b| a + &b);
-        let got = run(
-            &r,
-            vec!["a".to_string(), "b".to_string(), "c".to_string()],
-        )
-        .unwrap();
+        let got = run(&r, vec!["a".to_string(), "b".to_string(), "c".to_string()]).unwrap();
         assert_eq!(got, "abc");
     }
 

@@ -1,9 +1,7 @@
 //! A token-ring script: a value circulates through every station a fixed
 //! number of laps, each station applying a transformation.
 
-use script_core::{
-    FamilyHandle, Initiation, Instance, Script, ScriptError, RoleId, Termination,
-};
+use script_core::{FamilyHandle, Initiation, Instance, RoleId, Script, ScriptError, Termination};
 
 /// A packaged token-ring script.
 #[derive(Debug)]
@@ -48,9 +46,8 @@ where
         let next = RoleId::indexed("station", (me + 1) % n);
         let mut last;
         if me == 0 {
-            let mut token = injected.ok_or_else(|| {
-                ScriptError::app("station 0 must inject the initial token")
-            })?;
+            let mut token = injected
+                .ok_or_else(|| ScriptError::app("station 0 must inject the initial token"))?;
             for _ in 0..laps {
                 ctx.send(&next, step(token.clone()))?;
                 token = ctx.recv_from(&prev)?;

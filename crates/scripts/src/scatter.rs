@@ -56,7 +56,10 @@ pub fn scatter<M: Send + Clone + 'static>(n: usize) -> Scatter<M> {
 /// # Errors
 ///
 /// The first error any participant reported.
-pub fn run<M: Send + Clone + 'static>(sc: &Scatter<M>, values: Vec<M>) -> Result<Vec<M>, ScriptError> {
+pub fn run<M: Send + Clone + 'static>(
+    sc: &Scatter<M>,
+    values: Vec<M>,
+) -> Result<Vec<M>, ScriptError> {
     let instance = sc.script.instance();
     run_on(&instance, sc, values)
 }

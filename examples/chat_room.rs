@@ -24,10 +24,7 @@ fn main() {
         // enrolled listeners have been served.
         let mut served = Vec::new();
         loop {
-            match ctx.select_timeout(
-                vec![Guard::recv_any()],
-                Duration::from_millis(100),
-            ) {
+            match ctx.select_timeout(vec![Guard::recv_any()], Duration::from_millis(100)) {
                 Ok(Event::Received { from, msg, .. }) => {
                     ctx.send(&from, format!("{announcement} (to {from})"))?;
                     served.push(format!("{from} said: {msg}"));

@@ -21,12 +21,18 @@ fn main() {
     let t0 = Instant::now();
     let b = broadcast::star::<u64>(N, Order::NonDeterministic);
     let native = broadcast::run(&b, 7).unwrap();
-    println!("native script       delivered {native:?} in {:?}", t0.elapsed());
+    println!(
+        "native script       delivered {native:?} in {:?}",
+        t0.elapsed()
+    );
 
     // (b) Figure 6: plain CSP
     let t0 = Instant::now();
     let direct = script::csp::broadcast::run(N, 7u64, Duration::from_secs(10)).unwrap();
-    println!("CSP (figure 6)      delivered {direct:?} in {:?}", t0.elapsed());
+    println!(
+        "CSP (figure 6)      delivered {direct:?} in {:?}",
+        t0.elapsed()
+    );
 
     // (c) Figure 7: translated script with supervisor process
     let t0 = Instant::now();
@@ -65,7 +71,10 @@ fn main() {
     let translated: Vec<u64> = (0..N)
         .map(|i| out[&proc_name("q", i)].expect("received"))
         .collect();
-    println!("CSP translation     delivered {translated:?} in {:?}", t0.elapsed());
+    println!(
+        "CSP translation     delivered {translated:?} in {:?}",
+        t0.elapsed()
+    );
 
     println!(
         "\nThe translation adds one supervisor process and start/end\n\

@@ -31,7 +31,10 @@ fn main() {
     let partials: Vec<u64> = received.iter().map(|c| c.iter().sum()).collect();
     let relay = buffer::buffered_relay::<u64>(2);
     let drained = buffer::run(&relay, partials.clone()).expect("relay succeeds");
-    println!("streamed {} partial sums through a capacity-2 buffer", drained.len());
+    println!(
+        "streamed {} partial sums through a capacity-2 buffer",
+        drained.len()
+    );
 
     // Stage 3: tree-reduce the partial sums.
     let r = reduce::reduce::<u64, _>(WORKERS, |a, b| a + b);

@@ -57,8 +57,14 @@ fn main() {
     let kv = ReplicatedKv::new(3, Strategy::majority(3));
     kv.write("alice", "balance", 100u64).unwrap();
     println!("alice writes balance = 100");
-    println!("bob reads balance = {:?}", kv.read("bob", "balance").unwrap());
+    println!(
+        "bob reads balance = {:?}",
+        kv.read("bob", "balance").unwrap()
+    );
     kv.write("alice", "balance", 250u64).unwrap();
     println!("alice writes balance = 250");
-    println!("bob reads balance = {:?}", kv.read("bob", "balance").unwrap());
+    println!(
+        "bob reads balance = {:?}",
+        kv.read("bob", "balance").unwrap()
+    );
 }

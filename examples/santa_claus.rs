@@ -28,8 +28,7 @@ fn main() {
 
     let santa = b.role("santa", |ctx, ()| {
         // Which group woke us? Exactly one is present (frozen cast).
-        let reindeer_here = (0..REINDEER)
-            .all(|i| !ctx.terminated(&RoleId::indexed("reindeer", i)));
+        let reindeer_here = (0..REINDEER).all(|i| !ctx.terminated(&RoleId::indexed("reindeer", i)));
         let job = if reindeer_here {
             for i in 0..REINDEER {
                 ctx.send(&RoleId::indexed("reindeer", i), "harness up!".into())?;
@@ -60,7 +59,11 @@ fn main() {
         // Deliver toys: Santa plus the whole reindeer team...
         .critical_set(CriticalSet::new().role("santa").family("reindeer"))
         // ...or consult: Santa plus at least three elves.
-        .critical_set(CriticalSet::new().role("santa").family_at_least("elf", ELF_GROUP));
+        .critical_set(
+            CriticalSet::new()
+                .role("santa")
+                .family_at_least("elf", ELF_GROUP),
+        );
     let script = b.build().expect("valid script");
     let instance = script.instance();
 

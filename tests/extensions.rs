@@ -124,7 +124,11 @@ fn self_enrollment_same_instance_waits_for_next_performance() {
                 // Same instance: this queues for the NEXT performance,
                 // which can never start while we are still running.
                 let err = inst
-                    .enroll_with(&handle, false, Enrollment::new().timeout(Duration::from_millis(80)))
+                    .enroll_with(
+                        &handle,
+                        false,
+                        Enrollment::new().timeout(Duration::from_millis(80)),
+                    )
                     .unwrap_err();
                 assert_eq!(err, ScriptError::Timeout);
             }
@@ -216,19 +220,14 @@ fn event_log_records_lifecycle() {
     let events = inst.take_events();
     let pos = |pred: &dyn Fn(&ScriptEvent) -> bool| events.iter().position(pred);
 
-    let queued = pos(&|e| matches!(e, ScriptEvent::EnrollmentQueued { .. }))
-        .expect("enrollments queued");
-    let started = pos(&|e| matches!(e, ScriptEvent::PerformanceStarted { .. }))
-        .expect("performance started");
+    let queued =
+        pos(&|e| matches!(e, ScriptEvent::EnrollmentQueued { .. })).expect("enrollments queued");
+    let started =
+        pos(&|e| matches!(e, ScriptEvent::PerformanceStarted { .. })).expect("performance started");
     let frozen =
         pos(&|e| matches!(e, ScriptEvent::CastFrozen { .. })).expect("cast frozen (delayed)");
-    let completed = pos(&|e| {
-        matches!(
-            e,
-            ScriptEvent::PerformanceCompleted { aborted: false, .. }
-        )
-    })
-    .expect("performance completed");
+    let completed = pos(&|e| matches!(e, ScriptEvent::PerformanceCompleted { aborted: false, .. }))
+        .expect("performance completed");
     assert!(queued < started && started < completed);
     assert!(frozen < completed);
     assert_eq!(

@@ -4,10 +4,10 @@
 use std::time::Duration;
 
 use script::core::{
-    CriticalSet, Enrollment, Guard, Initiation, ProcessSel, RoleId, Script, ScriptError,
+    CriticalSet, Enrollment, FaultPlan, Guard, Initiation, ProcessSel, RoleId, Script, ScriptError,
     Termination,
 };
-use script::lib::broadcast::{self};
+use script::lib::broadcast::{self, Order};
 
 #[test]
 fn panicking_recipient_aborts_star_broadcast() {
@@ -66,6 +66,32 @@ fn panicking_recipient_aborts_star_broadcast() {
 }
 
 #[test]
+fn chaos_aborted_broadcast_leaves_instance_usable() {
+    // A total-loss fault plan wrecks one star-broadcast performance; the
+    // watchdog (or fail-fast termination detection) releases everyone.
+    // With the plan cleared, the same instance admits a fresh cast and
+    // completes cleanly.
+    let b = broadcast::star::<u64>(2, Order::Sequential);
+    let inst = b.script.instance();
+    inst.set_chaos_seed(11);
+    inst.set_fault_plan(FaultPlan::new(11).with_drop(1.0));
+    inst.set_watchdog(Duration::from_millis(80));
+    let err = broadcast::run_on(&inst, &b, 7).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ScriptError::Stalled
+                | ScriptError::RoleUnavailable(_)
+                | ScriptError::PerformanceAborted
+        ),
+        "expected a chaos-induced failure, got {err:?}"
+    );
+    inst.clear_fault_plan();
+    inst.clear_watchdog();
+    assert_eq!(broadcast::run_on(&inst, &b, 8).unwrap(), vec![8, 8]);
+}
+
+#[test]
 fn absent_partner_times_out_cleanly() {
     let b = broadcast::pipeline::<u64>(3);
     let inst = b.script.instance();
@@ -76,11 +102,7 @@ fn absent_partner_times_out_cleanly() {
             let inst = inst.clone();
             let h = b.sender.clone();
             s.spawn(move || {
-                inst.enroll_with(
-                    &h,
-                    5,
-                    Enrollment::new().timeout(Duration::from_millis(300)),
-                )
+                inst.enroll_with(&h, 5, Enrollment::new().timeout(Duration::from_millis(300)))
             })
         };
         let r0 = inst.enroll_member_with(

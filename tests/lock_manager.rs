@@ -41,7 +41,10 @@ fn figure_5_one_lock_to_read_k_to_write() {
     }
 
     // A second reader is blocked everywhere while the writer holds all.
-    assert_eq!(c.acquire_shared("reader-2", "row42").unwrap(), Outcome::Denied);
+    assert_eq!(
+        c.acquire_shared("reader-2", "row42").unwrap(),
+        Outcome::Denied
+    );
     c.release_exclusive("writer-1", "row42").unwrap();
     assert!(c.acquire_shared("reader-2", "row42").unwrap().granted());
 }
@@ -73,8 +76,11 @@ fn concurrent_readers_share_under_majority() {
 fn granularity_strategy_through_the_script() {
     // The paper's third strategy: managers keep hierarchical tables.
     let k = 2;
-    let tables: Arc<Vec<parking_lot::Mutex<GranularityTable>>> =
-        Arc::new((0..k).map(|_| parking_lot::Mutex::new(GranularityTable::new())).collect());
+    let tables: Arc<Vec<parking_lot::Mutex<GranularityTable>>> = Arc::new(
+        (0..k)
+            .map(|_| parking_lot::Mutex::new(GranularityTable::new()))
+            .collect(),
+    );
     let script = lock_script(Strategy::one_read_all_write(k), Arc::clone(&tables));
     let inst = script.script.instance();
 

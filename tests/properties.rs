@@ -25,7 +25,7 @@ proptest! {
     /// Every broadcast strategy delivers the exact value to every
     /// recipient, for any fan-out.
     #[test]
-    fn broadcast_delivery(n in 1usize..9, value: u64) {
+    fn broadcast_delivery(n in 1usize..9, value in any::<u64>()) {
         for b in strategies(n) {
             let got = broadcast::run(&b, value).unwrap();
             prop_assert_eq!(got, vec![value; n]);
@@ -54,8 +54,15 @@ proptest! {
 /// A random operation on a lock table.
 #[derive(Debug, Clone)]
 enum LockOp {
-    Acquire { item: u8, owner: u8, exclusive: bool },
-    Release { item: u8, owner: u8 },
+    Acquire {
+        item: u8,
+        owner: u8,
+        exclusive: bool,
+    },
+    Release {
+        item: u8,
+        owner: u8,
+    },
 }
 
 fn arb_lock_op() -> impl Strategy<Value = LockOp> {

@@ -128,7 +128,8 @@ fn figure_2_repeated_broadcasts_do_not_cross() {
                     &recipient,
                     0,
                     (),
-                    Enrollment::as_process("A").partner("sender", script::core::ProcessSel::is("B")),
+                    Enrollment::as_process("A")
+                        .partner("sender", script::core::ProcessSel::is("B")),
                 )
                 .unwrap()
             })

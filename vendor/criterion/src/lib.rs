@@ -1,0 +1,303 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! Provides the same authoring API (`criterion_group!`, `criterion_main!`,
+//! groups, `Bencher::iter`, throughput, `BenchmarkId`) backed by a plain
+//! wall-clock harness: warm up, run timed batches, report mean ns/iter
+//! to stdout. No statistics engine, plots, or baselines — but the bench
+//! *code* is identical to what the real crate would run, so arms stay
+//! comparable relative to each other within a run.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value passthrough.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation for a benchmark (reported, not analyzed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter.
+    pub fn new<S: Into<String>, P: fmt::Display>(function_id: S, parameter: P) -> Self {
+        Self {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Timing collector handed to benchmark closures.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine` until the measurement window
+    /// is filled.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibration: find a batch size that takes ~1ms.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            let took = start.elapsed();
+            if took >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 4;
+        }
+        let start = Instant::now();
+        while start.elapsed() < self.measurement_time {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            self.total += t0.elapsed();
+            self.iters += batch;
+        }
+    }
+
+    /// Times with a caller-controlled loop: `routine` receives an
+    /// iteration count and returns the measured elapsed time.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        // Calibration: find an iteration count that takes ~1ms.
+        let mut batch: u64 = 1;
+        loop {
+            let took = routine(batch);
+            if took >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 4;
+        }
+        let start = Instant::now();
+        while start.elapsed() < self.measurement_time {
+            self.total += routine(batch);
+            self.iters += batch;
+        }
+    }
+
+    fn report(&self, id: &str, throughput: Option<Throughput>) {
+        if self.iters == 0 {
+            println!("bench {id:<48} (no iterations)");
+            return;
+        }
+        let ns = self.total.as_nanos() as f64 / self.iters as f64;
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>10.0} elem/s", n as f64 * 1e9 / ns)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>10.0} B/s", n as f64 * 1e9 / ns)
+            }
+            None => String::new(),
+        };
+        println!("bench {id:<48} {ns:>12.1} ns/iter{rate}");
+    }
+}
+
+/// A named set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: &'a Config,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the nominal sample count (advisory: this harness sizes
+    /// batches by wall-clock, so the value is accepted and ignored).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement duration.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets throughput reporting for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        self.run(id.into(), f);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: Into<BenchmarkId>, In: ?Sized, F: FnMut(&mut Bencher, &In)>(
+        &mut self,
+        id: I,
+        input: &In,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(id.into(), |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (matches the real API; nothing to flush).
+    pub fn finish(self) {}
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: BenchmarkId, mut f: F) {
+        let full = format!("{}/{}", self.name, id.id);
+        if !self.config.matches(&full) {
+            return;
+        }
+        // Warm-up pass: run the routine, discard timings.
+        let mut warm = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+            measurement_time: self.warm_up_time,
+        };
+        f(&mut warm);
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut b);
+        b.report(&full, self.throughput);
+    }
+}
+
+#[derive(Default)]
+struct Config {
+    filter: Option<String>,
+    list_only: bool,
+}
+
+impl Config {
+    fn from_args() -> Self {
+        let mut cfg = Self::default();
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--bench" | "--noplot" | "--quiet" | "-q" => {}
+                "--list" => cfg.list_only = true,
+                "--save-baseline" | "--baseline" | "--measurement-time" | "--warm-up-time"
+                | "--sample-size" => {
+                    args.next();
+                }
+                s if s.starts_with('-') => {}
+                s => cfg.filter = Some(s.to_string()),
+            }
+        }
+        cfg
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        if self.list_only {
+            println!("{id}: bench");
+            return false;
+        }
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    config: Config,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            config: Config::from_args(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: &self.config,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(1),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut group = self.benchmark_group("bench");
+        group.run(BenchmarkId::from(id), &mut f);
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring the real macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring the real macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

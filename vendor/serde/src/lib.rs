@@ -1,0 +1,102 @@
+//! Offline stand-in for the `serde` trait surface this workspace uses.
+//!
+//! The workspace only requires that its ID/policy types *implement*
+//! `Serialize`/`Deserialize` (trait bounds checked in tests); no actual
+//! serialization format ships yet. The traits here are markers with
+//! blanket-satisfiable contracts so the `derive` macro can emit empty
+//! impls. When a real wire format lands, this vendored stub is replaced
+//! by the published crate wholesale.
+
+#![forbid(unsafe_code)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker: the type can be serialized.
+pub trait Serialize {}
+
+/// Marker: the type can be deserialized from borrowed data with
+/// lifetime `'de`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Deserialization helpers.
+pub mod de {
+    /// Marker: the type can be deserialized without borrowing.
+    pub trait DeserializeOwned: for<'de> super::Deserialize<'de> {}
+
+    impl<T> DeserializeOwned for T where T: for<'de> super::Deserialize<'de> {}
+}
+
+macro_rules! impl_primitives {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+
+impl_primitives!(
+    (),
+    bool,
+    char,
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+    String
+);
+
+impl Serialize for str {}
+
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+
+impl<T: Serialize> Serialize for Box<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {}
+
+impl<T: Serialize> Serialize for [T] {}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {}
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {}
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for std::collections::BTreeSet<T> {}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {}
+
+#[cfg(test)]
+mod tests {
+    use super::de::DeserializeOwned;
+    use super::*;
+
+    fn assert_serde<T: Serialize + DeserializeOwned>() {}
+
+    #[test]
+    fn primitives_and_containers_are_serde() {
+        assert_serde::<u64>();
+        assert_serde::<String>();
+        assert_serde::<Option<Vec<u32>>>();
+        assert_serde::<std::collections::BTreeMap<String, u64>>();
+    }
+}

@@ -1,0 +1,64 @@
+//! Derive companion for the vendored `serde` stub.
+//!
+//! Emits empty marker impls (`impl ::serde::Serialize for T {}`), which
+//! is all the stubbed traits require. Written against bare
+//! `proc_macro::TokenStream` — no `syn`/`quote` — because the build
+//! environment cannot fetch crates.
+//!
+//! Supported shapes: non-generic `struct`/`enum` items, which covers
+//! every derive target in this workspace. Generic items would need
+//! bound plumbing and are rejected with a compile error to fail loudly.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following the `struct`/`enum` keyword and
+/// checks for generics (a `<` immediately after the name).
+fn type_name(input: &TokenStream) -> Result<String, String> {
+    let mut iter = input.clone().into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                match iter.next() {
+                    Some(TokenTree::Ident(name)) => {
+                        if let Some(TokenTree::Punct(p)) = iter.peek() {
+                            if p.as_char() == '<' {
+                                return Err(format!(
+                                    "vendored serde_derive does not support generic type `{name}`"
+                                ));
+                            }
+                        }
+                        return Ok(name.to_string());
+                    }
+                    _ => return Err("expected a type name after struct/enum".into()),
+                }
+            }
+        }
+    }
+    Err("derive input contains no struct or enum".into())
+}
+
+fn emit(input: TokenStream, make_impl: impl Fn(&str) -> String) -> TokenStream {
+    match type_name(&input) {
+        Ok(name) => make_impl(&name).parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("error parses"),
+    }
+}
+
+/// Derives the stub `serde::Serialize` marker.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    emit(input, |name| {
+        format!("impl ::serde::Serialize for {name} {{}}")
+    })
+}
+
+/// Derives the stub `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    emit(input, |name| {
+        format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+    })
+}
