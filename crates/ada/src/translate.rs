@@ -6,6 +6,9 @@
 //! *supervisor task* owns `start[j]`/`stop[j]` entry families which the
 //! role tasks call to delimit their participation; the supervisor's
 //! per-performance bookkeeping enforces the successive-activations rule.
+//! (Like the CSP translation, this serializes performances — the
+//! paper's supervisor admits one at a time — whereas the native engine
+//! also supports overlapping performances on separate shards.)
 //!
 //! An enrollment `ENROLL IN s AS r(in, out)` becomes two entry calls:
 //! `s.r.start(in); s.r.stop(out)` — exactly the paper's rule.

@@ -94,6 +94,64 @@ fn bench(c: &mut Criterion) {
         b.iter(|| inst.enroll(&solo, ()).unwrap());
     });
 
+    // Contended throughput: N concurrent performances of the same
+    // instance (N ping/pong pairs enrolling over and over), one
+    // rendezvous round-trip per performance. On a global-lock engine
+    // every enroll, finish, and completion funnels through one mutex
+    // and broadcasts one condvar across all 2·N worker threads; on the
+    // sharded engine each live performance signals on its own lock +
+    // condvar and only enrollment matching stays global.
+    group.bench_function("contended_performances_8x2", |b| {
+        use script_core::{Initiation, RoleId, Script, Termination};
+        use std::time::{Duration, Instant};
+        const PERFS: usize = 8; // concurrent performances
+        const REPEAT: usize = 25; // performances per worker pair, per iter
+
+        let mut builder = Script::<u64>::builder("contended");
+        let ping = builder.role("ping", |ctx, i: u64| {
+            ctx.send(&RoleId::new("pong"), i)?;
+            ctx.recv_from(&RoleId::new("pong"))?;
+            Ok(())
+        });
+        let pong = builder.role("pong", |ctx, ()| {
+            let v = ctx.recv_from(&RoleId::new("ping"))?;
+            ctx.send(&RoleId::new("ping"), v)?;
+            Ok(())
+        });
+        builder
+            .initiation(Initiation::Delayed)
+            .termination(Termination::Delayed);
+        let script = builder.build().unwrap();
+        let inst = script.instance();
+
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let start = Instant::now();
+                std::thread::scope(|s| {
+                    for _ in 0..PERFS {
+                        let i = inst.clone();
+                        let p = ping.clone();
+                        s.spawn(move || {
+                            for n in 0..REPEAT {
+                                i.enroll(&p, n as u64).unwrap();
+                            }
+                        });
+                        let i = inst.clone();
+                        let p = pong.clone();
+                        s.spawn(move || {
+                            for _ in 0..REPEAT {
+                                i.enroll(&p, ()).unwrap();
+                            }
+                        });
+                    }
+                });
+                total += start.elapsed();
+            }
+            total
+        });
+    });
+
     group.finish();
 }
 

@@ -20,7 +20,12 @@
 //! * whole-network abort for panic containment;
 //! * deterministic fault injection ([`FaultPlan`]) — seeded message drop,
 //!   delay, duplication, and peer crash for chaos testing, a strict no-op
-//!   when no plan is attached.
+//!   when no plan is attached (or when the attached plan enables no fault
+//!   class — the short-circuit is hoisted to attach time);
+//! * a pluggable [`Transport`] seam: [`Network`] is a facade over an
+//!   `Arc<dyn Transport>`, whose default in-process implementation,
+//!   [`ShardedTransport`], keeps one lock + condvar **per endpoint** so
+//!   unrelated participants never contend.
 //!
 //! # Example
 //!
@@ -46,8 +51,10 @@ mod error;
 mod fault;
 mod network;
 mod select;
+pub mod transport;
 
 pub use error::ChanError;
 pub use fault::{FaultKind, FaultPlan, FaultRecord};
 pub use network::{Network, PeerState, Port};
 pub use select::{Arm, Outcome, Source};
+pub use transport::{FaultObserver, ShardedTransport, Transport};

@@ -1,26 +1,27 @@
-//! The rendezvous network state machine.
+//! The rendezvous network facade.
 //!
-//! All blocking operations share one mutex + condvar pair per network.
-//! Every state mutation broadcasts, and every blocked operation re-scans
-//! its alternatives on wake-up, so the implementation is lost-wakeup-free
-//! by construction. Send arms in a selection fire only by *claiming* a
-//! peer that is already committed to a matching receive (the standard
-//! two-phase trick for CSP output guards), which makes a fired send arm a
-//! proof of delivery.
+//! A [`Network`] is a thin handle over a [`Transport`] — the blocking
+//! rendezvous substrate. The default transport is the in-process
+//! [`ShardedTransport`](crate::ShardedTransport): one lock + condvar
+//! *per endpoint*, so unrelated participants never contend and wakeups
+//! are targeted instead of herd broadcasts (see the
+//! [`transport`](crate::transport) module docs for the sharding and
+//! wakeup protocol). Alternative substrates plug in through
+//! [`Network::with_transport`] without touching the layers above.
+//!
+//! Send arms in a selection fire only by *claiming* a peer that is
+//! already committed to a matching receive (the standard two-phase
+//! trick for CSP output guards), which makes a fired send arm a proof
+//! of delivery.
 
-use std::collections::HashMap;
 use std::fmt;
 use std::hash::Hash;
 use std::sync::Arc;
 use std::time::Instant;
 
-use parking_lot::{Condvar, Mutex};
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-
-use crate::fault::{FaultKind, FaultPlan, FaultRecord};
-use crate::select::{Arm, Outcome, Source};
+use crate::fault::{FaultPlan, FaultRecord};
+use crate::select::{Arm, Outcome};
+use crate::transport::{ShardedTransport, Transport};
 use crate::ChanError;
 
 /// Lifecycle state of a network participant.
@@ -40,209 +41,35 @@ pub enum PeerState {
     Done,
 }
 
-#[derive(Debug)]
-struct WaitEntry<I> {
-    /// The receive sources this blocked participant is offering.
-    offers: Vec<Source<I>>,
-    /// Set by a claiming sender: the peer whose message must be taken.
-    resolved: Option<I>,
-}
-
-impl<I: PartialEq> WaitEntry<I> {
-    fn offers_from(&self, sender: &I) -> bool {
-        self.offers
-            .iter()
-            .any(|s| matches!(s, Source::Any) || matches!(s, Source::Of(p) if p == sender))
-    }
-}
-
-/// Callback invoked on every injected fault (see
-/// [`Network::set_fault_observer`]).
-type FaultObserver<I> = Arc<dyn Fn(&FaultRecord<I>) + Send + Sync>;
-
-/// Chaos bookkeeping, allocated only when a [`FaultPlan`] is attached.
-struct FaultState<I, M> {
-    plan: FaultPlan,
-    /// Captured at attach time (where `M: Clone` is known) so message
-    /// duplication needs no `Clone` bound on the rest of the network.
-    clone_fn: fn(&M) -> M,
-    /// Per-edge send counters keying drop/delay/duplicate decisions.
-    seqs: HashMap<(I, I), u64>,
-    /// Per-peer operation counters driving crash-at-step-*k*.
-    steps: HashMap<I, u64>,
-    /// Every fault injected so far, in injection order.
-    log: Vec<FaultRecord<I>>,
-}
-
-struct State<I, M> {
-    peers: HashMap<I, PeerState>,
-    /// `inbox[receiver][sender]` holds at most one in-flight message.
-    inbox: HashMap<I, HashMap<I, M>>,
-    /// `(sender, receiver) → pickups`, used by plain sends to await
-    /// rendezvous completion.
-    acks: HashMap<(I, I), u64>,
-    waits: HashMap<I, WaitEntry<I>>,
-    aborted: bool,
-    implicit_declare: bool,
-    /// Once sealed, implicit declaration yields `Done` peers: late
-    /// references to unknown peers fail instead of blocking forever.
-    sealed: bool,
-    rng: SmallRng,
-    /// Monotone progress counter: bumped on every deposit, pickup, and
-    /// peer lifecycle transition. Watchdogs compare it across a
-    /// quiescence window to tell "slow" from "wedged".
-    activity: u64,
-    /// `None` (the common case) costs one branch per operation.
-    faults: Option<FaultState<I, M>>,
-    fault_observer: Option<FaultObserver<I>>,
-}
-
-impl<I, M> State<I, M>
-where
-    I: Clone + Eq + Hash,
-{
-    fn ensure_declared(&mut self, id: &I) -> Result<(), ChanError<I>> {
-        if self.peers.contains_key(id) {
-            return Ok(());
-        }
-        if self.implicit_declare {
-            let state = if self.sealed {
-                PeerState::Done
-            } else {
-                PeerState::Expected
-            };
-            self.peers.insert(id.clone(), state);
-            Ok(())
-        } else {
-            Err(ChanError::Unknown(id.clone()))
-        }
-    }
-
-    fn state_of(&self, id: &I) -> PeerState {
-        *self.peers.get(id).unwrap_or(&PeerState::Expected)
-    }
-
-    fn take_from(&mut self, me: &I, from: &I) -> Option<M> {
-        let msg = self.inbox.get_mut(me)?.remove(from)?;
-        *self.acks.entry((from.clone(), me.clone())).or_insert(0) += 1;
-        self.activity += 1;
-        Some(msg)
-    }
-
-    /// Records an injected fault in the log and tells the observer.
-    fn chaos_record(&mut self, kind: FaultKind, from: &I, to: &I, seq: u64) {
-        let record = FaultRecord {
-            kind,
-            from: from.clone(),
-            to: to.clone(),
-            seq,
-        };
-        if let Some(obs) = &self.fault_observer {
-            obs(&record);
-        }
-        if let Some(f) = &mut self.faults {
-            f.log.push(record);
-        }
-    }
-
-    /// Advances the per-edge send counter, returning the index of this
-    /// send on `from → to` (`None` when no plan is attached).
-    fn chaos_edge_seq(&mut self, from: &I, to: &I) -> Option<u64> {
-        let f = self.faults.as_mut()?;
-        if !f.plan.has_message_faults() {
-            return None;
-        }
-        let seq = f.seqs.entry((from.clone(), to.clone())).or_insert(0);
-        let s = *seq;
-        *seq += 1;
-        Some(s)
-    }
-
-    /// Counts one network operation by `me`; if the plan says `me`
-    /// crashes at this step, marks it `Done` and reports the crash.
-    /// The caller must notify the condvar after an `Err` so blocked
-    /// partners observe the transition.
-    fn chaos_step(&mut self, me: &I) -> Result<(), ChanError<I>> {
-        let crashed = match self.faults.as_mut() {
-            None => false,
-            Some(f) if !f.plan.has_crashes() => false,
-            Some(f) => {
-                let steps = f.steps.entry(me.clone()).or_insert(0);
-                *steps += 1;
-                *steps == f.plan.crash_step() && f.plan.decide_crash(me)
-            }
-        };
-        if crashed {
-            let step = self
-                .faults
-                .as_ref()
-                .expect("checked above")
-                .plan
-                .crash_step();
-            self.peers.insert(me.clone(), PeerState::Done);
-            self.activity += 1;
-            self.chaos_record(FaultKind::Crash, me, me, step);
-            return Err(ChanError::Terminated(me.clone()));
-        }
-        Ok(())
-    }
-
-    /// Any peer other than `me` that could still produce a message?
-    ///
-    /// On an implicitly-declaring (open) network that has not been
-    /// sealed, unknown peers may still join, so the answer is always
-    /// `true` there.
-    fn any_possible_sender(&self, me: &I) -> bool {
-        (self.implicit_declare && !self.sealed)
-            || self
-                .peers
-                .iter()
-                .any(|(id, st)| id != me && *st != PeerState::Done)
-    }
-
-    fn has_pending_from(&self, me: &I, from: &I) -> bool {
-        self.inbox
-            .get(me)
-            .map(|m| m.contains_key(from))
-            .unwrap_or(false)
-    }
-}
-
-struct Shared<I, M> {
-    state: Mutex<State<I, M>>,
-    cond: Condvar,
-}
-
 /// A network of named participants communicating by rendezvous.
 ///
 /// Cloning a `Network` yields another handle to the same network. See the
 /// [crate docs](crate) for an overview and example.
 pub struct Network<I, M> {
-    shared: Arc<Shared<I, M>>,
+    transport: Arc<dyn Transport<I, M>>,
 }
 
 impl<I, M> Clone for Network<I, M> {
     fn clone(&self) -> Self {
         Self {
-            shared: Arc::clone(&self.shared),
+            transport: Arc::clone(&self.transport),
         }
     }
 }
 
 impl<I: fmt::Debug + Clone + Eq + Hash, M> fmt::Debug for Network<I, M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let st = self.shared.state.lock();
         f.debug_struct("Network")
-            .field("peers", &st.peers)
-            .field("aborted", &st.aborted)
+            .field("peers", &self.transport.peers())
+            .field("aborted", &self.transport.is_aborted())
             .finish()
     }
 }
 
 impl<I, M> Default for Network<I, M>
 where
-    I: Clone + Eq + Hash + fmt::Debug + Send,
-    M: Send,
+    I: Clone + Eq + Hash + fmt::Debug + Send + Sync + 'static,
+    M: Send + 'static,
 {
     fn default() -> Self {
         Self::new()
@@ -251,13 +78,14 @@ where
 
 impl<I, M> Network<I, M>
 where
-    I: Clone + Eq + Hash + fmt::Debug + Send,
-    M: Send,
+    I: Clone + Eq + Hash + fmt::Debug + Send + Sync + 'static,
+    M: Send + 'static,
 {
-    /// Creates an empty network. Peers must be declared (or activated)
-    /// before they can be referenced.
+    /// Creates an empty network on the default sharded in-process
+    /// transport. Peers must be declared (or activated) before they can
+    /// be referenced.
     pub fn new() -> Self {
-        Self::build(false, None)
+        Self::with_transport(Arc::new(ShardedTransport::new(false, None)))
     }
 
     /// Creates a network in which referencing an undeclared peer
@@ -267,72 +95,48 @@ where
     /// Used for open-ended role families whose membership is not known up
     /// front.
     pub fn new_open() -> Self {
-        Self::build(true, None)
+        Self::with_transport(Arc::new(ShardedTransport::new(true, None)))
     }
 
     /// Creates a network with a deterministic RNG seed for the fair
     /// nondeterministic choice among ready alternatives. Intended for
     /// reproducible tests.
     pub fn with_seed(seed: u64) -> Self {
-        Self::build(false, Some(seed))
+        Self::with_transport(Arc::new(ShardedTransport::new(false, Some(seed))))
     }
 
     /// [`Network::new_open`] with a deterministic selection RNG seed,
     /// so nondeterministic-order broadcasts over open-ended casts are
     /// reproducible under a chaos seed.
     pub fn new_open_seeded(seed: u64) -> Self {
-        Self::build(true, Some(seed))
+        Self::with_transport(Arc::new(ShardedTransport::new(true, Some(seed))))
     }
 
-    fn build(implicit_declare: bool, seed: Option<u64>) -> Self {
-        let rng = match seed {
-            Some(s) => SmallRng::seed_from_u64(s),
-            None => SmallRng::from_entropy(),
-        };
-        Self {
-            shared: Arc::new(Shared {
-                state: Mutex::new(State {
-                    peers: HashMap::new(),
-                    inbox: HashMap::new(),
-                    acks: HashMap::new(),
-                    waits: HashMap::new(),
-                    aborted: false,
-                    implicit_declare,
-                    sealed: false,
-                    rng,
-                    activity: 0,
-                    faults: None,
-                    fault_observer: None,
-                }),
-                cond: Condvar::new(),
-            }),
-        }
+    /// Wraps an existing transport in a network handle.
+    ///
+    /// This is the seam for alternative substrates (a remote transport,
+    /// an instrumented wrapper): everything above the [`Transport`]
+    /// trait — ports, selections, the engine — works unchanged.
+    pub fn with_transport(transport: Arc<dyn Transport<I, M>>) -> Self {
+        Self { transport }
     }
 
-    /// Re-seeds the selection RNG in place. Lets an instance impose a
+    /// Re-seeds the selection RNGs in place. Lets an instance impose a
     /// reproducible selection order on an already-built network (e.g.
     /// one per performance, derived from a chaos seed).
     pub fn reseed(&self, seed: u64) {
-        self.shared.state.lock().rng = SmallRng::seed_from_u64(seed);
+        self.transport.reseed(seed);
     }
 
     /// Declares `id` as an expected participant (idempotent; never
     /// downgrades an existing state).
     pub fn declare(&self, id: I) {
-        let mut st = self.shared.state.lock();
-        st.peers.entry(id).or_insert(PeerState::Expected);
-        st.activity += 1;
-        drop(st);
-        self.shared.cond.notify_all();
+        self.transport.declare(id);
     }
 
     /// Marks `id` as active, declaring it if necessary.
     pub fn activate(&self, id: I) {
-        let mut st = self.shared.state.lock();
-        st.peers.insert(id, PeerState::Active);
-        st.activity += 1;
-        drop(st);
-        self.shared.cond.notify_all();
+        self.transport.activate(id);
     }
 
     /// Marks `id` as done (finished or permanently barred). Blocked
@@ -341,11 +145,7 @@ where
     /// [`ChanError::Terminated`]; senders waiting on `id` fail
     /// immediately.
     pub fn finish(&self, id: I) {
-        let mut st = self.shared.state.lock();
-        st.peers.insert(id, PeerState::Done);
-        st.activity += 1;
-        drop(st);
-        self.shared.cond.notify_all();
+        self.transport.finish(id);
     }
 
     /// Seals the network: every peer still [`PeerState::Expected`] becomes
@@ -357,46 +157,28 @@ where
     /// critical role set is filled (or after an explicit
     /// `seal_cast`), unfilled roles read as terminated.
     pub fn seal(&self) {
-        let mut st = self.shared.state.lock();
-        st.sealed = true;
-        for state in st.peers.values_mut() {
-            if *state == PeerState::Expected {
-                *state = PeerState::Done;
-            }
-        }
-        st.activity += 1;
-        drop(st);
-        self.shared.cond.notify_all();
+        self.transport.seal();
     }
 
     /// Aborts the whole network: every blocked and future operation fails
     /// with [`ChanError::Aborted`].
     pub fn abort(&self) {
-        let mut st = self.shared.state.lock();
-        st.aborted = true;
-        drop(st);
-        self.shared.cond.notify_all();
+        self.transport.abort();
     }
 
     /// Returns `true` if the network has been aborted.
     pub fn is_aborted(&self) -> bool {
-        self.shared.state.lock().aborted
+        self.transport.is_aborted()
     }
 
     /// Current lifecycle state of `id` (`None` if never declared).
     pub fn peer_state(&self, id: &I) -> Option<PeerState> {
-        self.shared.state.lock().peers.get(id).copied()
+        self.transport.peer_state(id)
     }
 
     /// All declared participants and their states, in unspecified order.
     pub fn peers(&self) -> Vec<(I, PeerState)> {
-        self.shared
-            .state
-            .lock()
-            .peers
-            .iter()
-            .map(|(k, v)| (k.clone(), *v))
-            .collect()
+        self.transport.peers()
     }
 
     /// Monotone progress counter: increments on every deposit, pickup,
@@ -404,13 +186,24 @@ where
     /// across a quiescence window can distinguish a slow performance
     /// (counter advancing) from a wedged one (counter frozen).
     pub fn activity(&self) -> u64 {
-        self.shared.state.lock().activity
+        self.transport.activity()
+    }
+
+    /// Diagnostic: is a message from `from` currently deposited at `to`
+    /// awaiting pickup? Useful in tests that need to observe the
+    /// rendezvous mid-flight; not part of the protocol surface.
+    pub fn has_pending_from(&self, to: &I, from: &I) -> bool {
+        self.transport.has_pending_from(to, from)
     }
 
     /// Attaches a deterministic [`FaultPlan`]. Subsequent sends consult
     /// the plan for drop/delay/duplicate decisions and every operation
     /// counts toward crash-at-step-*k*. Replaces any previous plan and
     /// resets all fault counters and the fault log.
+    ///
+    /// A plan with no enabled fault class short-circuits at attach time:
+    /// the transport hoists the decision out of the per-message path, so
+    /// a no-op plan costs the same as no plan at all.
     ///
     /// Requires `M: Clone` so dropped-in duplicates can be
     /// materialized; networks that never attach a plan need no `Clone`.
@@ -421,64 +214,40 @@ where
         fn clone_of<M: Clone>(m: &M) -> M {
             m.clone()
         }
-        let mut st = self.shared.state.lock();
-        st.faults = Some(FaultState {
-            plan,
-            clone_fn: clone_of::<M>,
-            seqs: HashMap::new(),
-            steps: HashMap::new(),
-            log: Vec::new(),
-        });
+        self.transport.set_fault_plan(plan, clone_of::<M>);
     }
 
     /// Detaches the fault plan (and discards its log), restoring the
     /// no-op fast path.
     pub fn clear_fault_plan(&self) {
-        self.shared.state.lock().faults = None;
+        self.transport.clear_fault_plan();
     }
 
     /// The currently attached plan, if any.
     pub fn fault_plan(&self) -> Option<FaultPlan> {
-        self.shared
-            .state
-            .lock()
-            .faults
-            .as_ref()
-            .map(|f| f.plan.clone())
+        self.transport.fault_plan()
     }
 
-    /// Registers a callback invoked synchronously (under the network
-    /// lock — it must not call back into the network) for every
-    /// injected fault. Used by the engine to surface faults as script
-    /// events.
+    /// Registers a callback invoked synchronously, from the faulting
+    /// thread, for every injected fault (it must not block on the
+    /// faulting operation). Used by the engine to surface faults as
+    /// script events.
     pub fn set_fault_observer<F>(&self, observer: F)
     where
         F: Fn(&FaultRecord<I>) + Send + Sync + 'static,
     {
-        self.shared.state.lock().fault_observer = Some(Arc::new(observer));
+        self.transport.set_fault_observer(Arc::new(observer));
     }
 
     /// A copy of the fault log: every fault injected so far, in
     /// injection order.
     pub fn fault_log(&self) -> Vec<FaultRecord<I>> {
-        self.shared
-            .state
-            .lock()
-            .faults
-            .as_ref()
-            .map(|f| f.log.clone())
-            .unwrap_or_default()
+        self.transport.fault_log()
     }
 
     /// Drains and returns the fault log.
     pub fn take_fault_log(&self) -> Vec<FaultRecord<I>> {
-        self.shared
-            .state
-            .lock()
-            .faults
-            .as_mut()
-            .map(|f| std::mem::take(&mut f.log))
-            .unwrap_or_default()
+        self.transport.take_fault_log()
     }
 
     /// Obtains the communication capability for participant `me`.
@@ -488,9 +257,7 @@ where
     /// Returns [`ChanError::Unknown`] if `me` was never declared and the
     /// network does not implicitly declare.
     pub fn port(&self, me: I) -> Result<Port<I, M>, ChanError<I>> {
-        let mut st = self.shared.state.lock();
-        st.ensure_declared(&me)?;
-        drop(st);
+        self.transport.ensure_peer(&me)?;
         Ok(Port {
             net: self.clone(),
             me,
@@ -515,8 +282,8 @@ impl<I: fmt::Debug, M> fmt::Debug for Port<I, M> {
 
 impl<I, M> Port<I, M>
 where
-    I: Clone + Eq + Hash + fmt::Debug + Send,
-    M: Send,
+    I: Clone + Eq + Hash + fmt::Debug + Send + Sync + 'static,
+    M: Send + 'static,
 {
     /// The participant this port speaks for.
     pub fn id(&self) -> &I {
@@ -554,138 +321,7 @@ where
         msg: M,
         deadline: Option<Instant>,
     ) -> Result<(), ChanError<I>> {
-        if *to == self.me {
-            return Err(ChanError::Myself);
-        }
-        let shared = &self.net.shared;
-        let mut st = shared.state.lock();
-        st.ensure_declared(to)?;
-        st.ensure_declared(&self.me)?;
-
-        // Chaos hooks — one branch on the fault-free fast path.
-        let mut dup_info: Option<(M, u64)> = None;
-        if st.faults.is_some() {
-            if let Err(e) = st.chaos_step(&self.me) {
-                drop(st);
-                shared.cond.notify_all();
-                return Err(e);
-            }
-            if let Some(seq) = st.chaos_edge_seq(&self.me, to) {
-                let f = st.faults.as_ref().expect("plan attached");
-                let clone_fn = f.clone_fn;
-                let delay = f.plan.delay();
-                let delayed = f.plan.decide_delay(&self.me, to, seq);
-                let dropped = f.plan.decide_drop(&self.me, to, seq);
-                if !dropped && f.plan.decide_duplicate(&self.me, to, seq) {
-                    // Recorded here, at decision time, so the fault log
-                    // is a pure function of the plan; the redelivery
-                    // below stays best-effort.
-                    st.chaos_record(FaultKind::Duplicate, &self.me, to, seq);
-                    dup_info = Some((clone_fn(&msg), seq));
-                }
-                if delayed {
-                    st.chaos_record(FaultKind::Delay, &self.me, to, seq);
-                    drop(st);
-                    std::thread::sleep(delay);
-                    st = shared.state.lock();
-                }
-                if dropped {
-                    // Lost on the wire *after* transmission: the sender
-                    // observes success (unless the peer is already gone);
-                    // the receiver never sees the message.
-                    st.chaos_record(FaultKind::Drop, &self.me, to, seq);
-                    if st.aborted {
-                        return Err(ChanError::Aborted);
-                    }
-                    return match st.state_of(to) {
-                        PeerState::Done => Err(ChanError::Terminated(to.clone())),
-                        _ => Ok(()),
-                    };
-                }
-            }
-        }
-
-        // Phase 1: wait for the receiver to be active with a free slot,
-        // then deposit.
-        loop {
-            if st.aborted {
-                return Err(ChanError::Aborted);
-            }
-            match st.state_of(to) {
-                PeerState::Done => return Err(ChanError::Terminated(to.clone())),
-                PeerState::Expected => {}
-                PeerState::Active => {
-                    let slot_free = !st
-                        .inbox
-                        .get(to)
-                        .map(|m| m.contains_key(&self.me))
-                        .unwrap_or(false);
-                    if slot_free {
-                        break;
-                    }
-                }
-            }
-            if self.wait(&mut st, deadline) {
-                return Err(ChanError::Timeout);
-            }
-        }
-        st.inbox
-            .entry(to.clone())
-            .or_default()
-            .insert(self.me.clone(), msg);
-        st.activity += 1;
-        let target = st
-            .acks
-            .get(&(self.me.clone(), to.clone()))
-            .copied()
-            .unwrap_or(0)
-            + 1;
-        shared.cond.notify_all();
-
-        // Phase 2: wait for pickup.
-        loop {
-            let acked = st
-                .acks
-                .get(&(self.me.clone(), to.clone()))
-                .copied()
-                .unwrap_or(0);
-            if acked >= target {
-                break;
-            }
-            if st.aborted {
-                return Err(ChanError::Aborted);
-            }
-            if st.state_of(to) == PeerState::Done {
-                // Receiver finished without taking the message: reclaim it.
-                if let Some(m) = st.inbox.get_mut(to) {
-                    m.remove(&self.me);
-                }
-                return Err(ChanError::Terminated(to.clone()));
-            }
-            if self.wait(&mut st, deadline) {
-                // Timed out waiting for pickup: reclaim the deposit so the
-                // message is not delivered after we report failure.
-                if let Some(m) = st.inbox.get_mut(to) {
-                    m.remove(&self.me);
-                }
-                return Err(ChanError::Timeout);
-            }
-        }
-
-        // Rendezvous complete. Deliver the chaos duplicate, if planned
-        // and the edge slot is free (best-effort redelivery).
-        if let Some((copy, _seq)) = dup_info {
-            if !st.has_pending_from(to, &self.me) && st.state_of(to) == PeerState::Active {
-                st.inbox
-                    .entry(to.clone())
-                    .or_default()
-                    .insert(self.me.clone(), copy);
-                st.activity += 1;
-                drop(st);
-                shared.cond.notify_all();
-            }
-        }
-        Ok(())
+        self.net.transport.send(&self.me, to, msg, deadline)
     }
 
     /// Receives the pending message from `from`, blocking until one
@@ -746,31 +382,7 @@ where
     /// addressing and abort errors as for [`Port::send`]. Returns
     /// `Ok(None)` when no message is pending but one may still arrive.
     pub fn try_recv_from(&self, from: &I) -> Result<Option<M>, ChanError<I>> {
-        if *from == self.me {
-            return Err(ChanError::Myself);
-        }
-        let mut st = self.net.shared.state.lock();
-        st.ensure_declared(from)?;
-        st.ensure_declared(&self.me)?;
-        if st.faults.is_some() {
-            if let Err(e) = st.chaos_step(&self.me) {
-                drop(st);
-                self.net.shared.cond.notify_all();
-                return Err(e);
-            }
-        }
-        if st.aborted {
-            return Err(ChanError::Aborted);
-        }
-        if let Some(msg) = st.take_from(&self.me, from) {
-            drop(st);
-            self.net.shared.cond.notify_all();
-            return Ok(Some(msg));
-        }
-        if st.state_of(from) == PeerState::Done {
-            return Err(ChanError::Terminated(from.clone()));
-        }
-        Ok(None)
+        self.net.transport.try_recv(&self.me, from)
     }
 
     /// Guarded selection over the given arms (CSP alternative command).
@@ -801,244 +413,7 @@ where
         arms: Vec<Arm<I, M>>,
         deadline: Option<Instant>,
     ) -> Result<Outcome<I, M>, ChanError<I>> {
-        if arms.is_empty() {
-            return Err(ChanError::EmptySelect);
-        }
-        // Internal representation: send messages become take-able.
-        enum Repr<I, M> {
-            Recv(Source<I>),
-            Send { to: I, msg: Option<M> },
-            Watch(I),
-        }
-        let mut reprs: Vec<Repr<I, M>> = Vec::with_capacity(arms.len());
-        for arm in arms {
-            reprs.push(match arm {
-                Arm::Recv(s) => Repr::Recv(s),
-                Arm::Send { to, msg } => Repr::Send { to, msg: Some(msg) },
-                Arm::Watch(p) => Repr::Watch(p),
-            });
-        }
-
-        let shared = &self.net.shared;
-        let mut st = shared.state.lock();
-        st.ensure_declared(&self.me)?;
-        // Validate addressing up front.
-        for r in &reprs {
-            let named = match r {
-                Repr::Recv(Source::Of(p)) => Some(p),
-                Repr::Recv(Source::Any) => None,
-                Repr::Send { to, .. } => Some(to),
-                Repr::Watch(p) => Some(p),
-            };
-            if let Some(p) = named {
-                if *p == self.me {
-                    return Err(ChanError::Myself);
-                }
-                st.ensure_declared(p)?;
-            }
-        }
-        // Chaos: selection counts as one operation toward crash-at-step-k.
-        if st.faults.is_some() {
-            if let Err(e) = st.chaos_step(&self.me) {
-                drop(st);
-                shared.cond.notify_all();
-                return Err(e);
-            }
-        }
-
-        loop {
-            // A claim left over from a previous sleep takes priority even
-            // over aborts: the sender already returned success.
-            if let Some(entry) = st.waits.remove(&self.me) {
-                if let Some(from) = entry.resolved {
-                    let msg = st
-                        .take_from(&self.me, &from)
-                        .expect("claim implies a deposited message");
-                    drop(st);
-                    shared.cond.notify_all();
-                    let arm = reprs
-                        .iter()
-                        .position(|r| match r {
-                            Repr::Recv(Source::Any) => true,
-                            Repr::Recv(Source::Of(p)) => *p == from,
-                            _ => false,
-                        })
-                        .expect("claim matched an offered receive arm");
-                    return Ok(Outcome::Received { arm, from, msg });
-                }
-            }
-            if st.aborted {
-                return Err(ChanError::Aborted);
-            }
-
-            // Scan arms in random order for a ready one.
-            let mut order: Vec<usize> = (0..reprs.len()).collect();
-            order.shuffle(&mut st.rng);
-            let mut any_live = false;
-            for idx in order {
-                match &mut reprs[idx] {
-                    Repr::Recv(Source::Of(p)) => {
-                        let p = p.clone();
-                        if let Some(msg) = st.take_from(&self.me, &p) {
-                            drop(st);
-                            shared.cond.notify_all();
-                            return Ok(Outcome::Received {
-                                arm: idx,
-                                from: p,
-                                msg,
-                            });
-                        }
-                        if st.state_of(&p) != PeerState::Done {
-                            any_live = true;
-                        }
-                    }
-                    Repr::Recv(Source::Any) => {
-                        let senders: Vec<I> = st
-                            .inbox
-                            .get(&self.me)
-                            .map(|m| m.keys().cloned().collect())
-                            .unwrap_or_default();
-                        if let Some(from) = senders.choose(&mut st.rng).cloned() {
-                            let msg = st
-                                .take_from(&self.me, &from)
-                                .expect("chosen sender has a message");
-                            drop(st);
-                            shared.cond.notify_all();
-                            return Ok(Outcome::Received {
-                                arm: idx,
-                                from,
-                                msg,
-                            });
-                        }
-                        if st.any_possible_sender(&self.me) {
-                            any_live = true;
-                        }
-                    }
-                    Repr::Send { to, msg } => {
-                        let to = to.clone();
-                        match st.state_of(&to) {
-                            PeerState::Done => {}
-                            PeerState::Expected => any_live = true,
-                            PeerState::Active => {
-                                any_live = true;
-                                let slot_free = !st.has_pending_from(&to, &self.me);
-                                let claimable = slot_free
-                                    && st
-                                        .waits
-                                        .get(&to)
-                                        .map(|w| w.resolved.is_none() && w.offers_from(&self.me))
-                                        .unwrap_or(false);
-                                if claimable {
-                                    let m = msg.take().expect("send arm fires at most once");
-                                    // Chaos: a dropped send arm still fires
-                                    // (the sender saw delivery) but leaves
-                                    // the receiver waiting.
-                                    if st.faults.is_some() {
-                                        if let Some(seq) = st.chaos_edge_seq(&self.me, &to) {
-                                            let plan =
-                                                &st.faults.as_ref().expect("plan attached").plan;
-                                            if plan.decide_drop(&self.me, &to, seq) {
-                                                st.chaos_record(
-                                                    FaultKind::Drop,
-                                                    &self.me,
-                                                    &to,
-                                                    seq,
-                                                );
-                                                drop(st);
-                                                shared.cond.notify_all();
-                                                return Ok(Outcome::Sent { arm: idx, to });
-                                            }
-                                        }
-                                    }
-                                    st.inbox
-                                        .entry(to.clone())
-                                        .or_default()
-                                        .insert(self.me.clone(), m);
-                                    st.activity += 1;
-                                    st.waits.get_mut(&to).expect("checked above").resolved =
-                                        Some(self.me.clone());
-                                    drop(st);
-                                    shared.cond.notify_all();
-                                    return Ok(Outcome::Sent { arm: idx, to });
-                                }
-                            }
-                        }
-                    }
-                    Repr::Watch(p) => {
-                        let p = p.clone();
-                        if st.state_of(&p) == PeerState::Done {
-                            if !st.has_pending_from(&self.me, &p) {
-                                drop(st);
-                                shared.cond.notify_all();
-                                return Ok(Outcome::Terminated { arm: idx, peer: p });
-                            }
-                            // A message from the dead peer is still
-                            // pending: a recv arm must drain it first; the
-                            // watch arm stays pending.
-                            any_live = true;
-                        } else {
-                            any_live = true;
-                        }
-                    }
-                }
-            }
-
-            if !any_live {
-                // Every arm is permanently unfireable.
-                if reprs.len() == 1 {
-                    if let Repr::Recv(Source::Of(p)) | Repr::Send { to: p, .. } = &reprs[0] {
-                        return Err(ChanError::Terminated(p.clone()));
-                    }
-                }
-                return Err(ChanError::AllTerminated);
-            }
-
-            // Publish our receive offers so send arms elsewhere can claim
-            // us, then sleep.
-            let offers: Vec<Source<I>> = reprs
-                .iter()
-                .filter_map(|r| match r {
-                    Repr::Recv(s) => Some(s.clone()),
-                    _ => None,
-                })
-                .collect();
-            st.waits.insert(
-                self.me.clone(),
-                WaitEntry {
-                    offers,
-                    resolved: None,
-                },
-            );
-            shared.cond.notify_all();
-            if self.wait(&mut st, deadline) {
-                // Deadline expired — unless a claim raced in, in which
-                // case the loop head will honor it.
-                let resolved = st
-                    .waits
-                    .get(&self.me)
-                    .map(|w| w.resolved.is_some())
-                    .unwrap_or(false);
-                if !resolved {
-                    st.waits.remove(&self.me);
-                    return Err(ChanError::Timeout);
-                }
-            }
-        }
-    }
-
-    /// Waits on the network condvar. Returns `true` on deadline expiry.
-    fn wait(
-        &self,
-        st: &mut parking_lot::MutexGuard<'_, State<I, M>>,
-        deadline: Option<Instant>,
-    ) -> bool {
-        match deadline {
-            Some(d) => self.net.shared.cond.wait_until(st, d).timed_out(),
-            None => {
-                self.net.shared.cond.wait(st);
-                false
-            }
-        }
+        self.net.transport.select(&self.me, arms, deadline)
     }
 }
 
@@ -1136,7 +511,7 @@ mod tests {
         let (net, a, b) = two_party();
         let t = std::thread::spawn(move || a.send(&"b", 3));
         // Wait for the deposit to land.
-        while !net.shared.state.lock().has_pending_from(&"b", &"a") {
+        while !net.has_pending_from(&"b", &"a") {
             std::thread::yield_now();
         }
         net.finish("a");
@@ -1292,7 +667,7 @@ mod tests {
     fn watch_waits_for_drain() {
         let (net, a, b) = two_party();
         let t = std::thread::spawn(move || a.send(&"b", 5));
-        while !net.shared.state.lock().has_pending_from(&"b", &"a") {
+        while !net.has_pending_from(&"b", &"a") {
             std::thread::yield_now();
         }
         net.finish("a");

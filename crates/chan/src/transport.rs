@@ -1,0 +1,1012 @@
+//! The transport seam and the sharded in-process implementation.
+//!
+//! [`Transport`] abstracts the blocking rendezvous substrate a
+//! [`Network`](crate::Network) runs on, so a future remote backend can
+//! slot in without touching the engine or the translations.
+//!
+//! [`ShardedTransport`] is the in-process implementation: **one lock +
+//! condvar per endpoint** instead of one per network. Hot-path
+//! operations touch only the endpoints they name:
+//!
+//! * `send(a → b)` deposits into, and awaits pickup on, *b*'s endpoint;
+//! * a selection by *s* sleeps on *s*'s own condvar; deposits to *s* and
+//!   claims of *s*'s published offers land under *s*'s lock;
+//! * a send arm `s → t` registers *s* as a *send watcher* on *t*, so
+//!   *t*'s offer publications and slot releases wake exactly the
+//!   selectors that care.
+//!
+//! Rare lifecycle transitions (declare/activate/finish/seal/abort) bump
+//! a per-endpoint event counter and broadcast to every endpoint — the
+//! only remaining thundering herd, and it fires once per role lifetime,
+//! not once per message.
+//!
+//! Lost wakeups are prevented by an eventcount: every change a sleeping
+//! selector could care about increments the endpoint's `signal` under
+//! its lock; selectors re-read the counter before parking and rescan if
+//! it moved. Locks are never nested endpoint-to-endpoint, so the
+//! implementation is deadlock-free by construction.
+//!
+//! Fault decisions are routed at the edge: per-edge sequence counters
+//! live in the *receiver's* endpoint and crash-step counters in the
+//! operator's own endpoint, so decisions remain pure functions of
+//! (seed, edge, seq) — determinism is preserved shard by shard. When the
+//! attached plan cannot inject message faults (or crashes), the
+//! corresponding hot path is gated by a single relaxed boolean load,
+//! checked once per operation instead of consulting the plan per hop.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Instant;
+
+use parking_lot::{Condvar, Mutex};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::fault::{FaultKind, FaultPlan, FaultRecord};
+use crate::network::PeerState;
+use crate::select::{Arm, Outcome, Source};
+use crate::ChanError;
+
+/// Callback invoked on every injected fault (see
+/// [`Network::set_fault_observer`](crate::Network::set_fault_observer)).
+pub type FaultObserver<I> = Arc<dyn Fn(&FaultRecord<I>) + Send + Sync>;
+
+/// The blocking rendezvous substrate a [`Network`](crate::Network) runs
+/// on.
+///
+/// All methods are object-safe: a `Network` holds an
+/// `Arc<dyn Transport>`, so alternative backends (a remote transport, an
+/// instrumented wrapper) plug in via
+/// [`Network::with_transport`](crate::Network::with_transport) without
+/// another engine rewrite. Message duplication support passes a
+/// `clone_fn` alongside the plan so the trait itself needs no
+/// `M: Clone` bound.
+pub trait Transport<I, M>: Send + Sync {
+    /// Declares `id` as expected (idempotent, never downgrades).
+    fn declare(&self, id: I);
+    /// Marks `id` active, declaring it if necessary.
+    fn activate(&self, id: I);
+    /// Marks `id` done (finished or permanently barred).
+    fn finish(&self, id: I);
+    /// Seals: expected peers become done; on implicitly-declaring
+    /// transports, future unknown peers are declared done.
+    fn seal(&self);
+    /// Aborts every blocked and future operation.
+    fn abort(&self);
+    /// Whether the transport has been aborted.
+    fn is_aborted(&self) -> bool;
+    /// Lifecycle state of `id`, `None` if never declared.
+    fn peer_state(&self, id: &I) -> Option<PeerState>;
+    /// All declared peers and their states, in unspecified order.
+    fn peers(&self) -> Vec<(I, PeerState)>;
+    /// Monotone progress counter (see
+    /// [`Network::activity`](crate::Network::activity)).
+    fn activity(&self) -> u64;
+    /// Re-seeds the per-endpoint selection RNGs from `seed`.
+    fn reseed(&self, seed: u64);
+    /// Ensures `id` exists (implicit declaration if supported).
+    fn ensure_peer(&self, id: &I) -> Result<(), ChanError<I>>;
+    /// Whether a message from `from` is deposited at `to` (diagnostic).
+    fn has_pending_from(&self, to: &I, from: &I) -> bool;
+    /// Attaches a fault plan; `clone_fn` materializes duplicates.
+    fn set_fault_plan(&self, plan: FaultPlan, clone_fn: fn(&M) -> M);
+    /// Detaches the fault plan and discards its log.
+    fn clear_fault_plan(&self);
+    /// The currently attached plan, if any.
+    fn fault_plan(&self) -> Option<FaultPlan>;
+    /// Registers the fault observer callback.
+    fn set_fault_observer(&self, observer: FaultObserver<I>);
+    /// A copy of the fault log.
+    fn fault_log(&self) -> Vec<FaultRecord<I>>;
+    /// Drains and returns the fault log.
+    fn take_fault_log(&self) -> Vec<FaultRecord<I>>;
+    /// Synchronous send `from → to` (two-phase rendezvous).
+    fn send(&self, from: &I, to: &I, msg: M, deadline: Option<Instant>)
+        -> Result<(), ChanError<I>>;
+    /// Non-blocking receive of a deposited message.
+    fn try_recv(&self, me: &I, from: &I) -> Result<Option<M>, ChanError<I>>;
+    /// Guarded selection over `arms` on behalf of `me`.
+    fn select(
+        &self,
+        me: &I,
+        arms: Vec<Arm<I, M>>,
+        deadline: Option<Instant>,
+    ) -> Result<Outcome<I, M>, ChanError<I>>;
+}
+
+const LIFE_EXPECTED: u8 = 0;
+const LIFE_ACTIVE: u8 = 1;
+const LIFE_DONE: u8 = 2;
+
+fn life_of(v: u8) -> PeerState {
+    match v {
+        LIFE_ACTIVE => PeerState::Active,
+        LIFE_DONE => PeerState::Done,
+        _ => PeerState::Expected,
+    }
+}
+
+#[derive(Debug)]
+struct WaitEntry<I> {
+    /// The receive sources this blocked participant is offering.
+    offers: Vec<Source<I>>,
+    /// Set by a claiming sender: the peer whose message must be taken.
+    resolved: Option<I>,
+}
+
+impl<I: PartialEq> WaitEntry<I> {
+    fn offers_from(&self, sender: &I) -> bool {
+        self.offers
+            .iter()
+            .any(|s| matches!(s, Source::Any) || matches!(s, Source::Of(p) if p == sender))
+    }
+}
+
+/// One participant's shard: its own lock, condvar, and lifecycle word.
+struct Endpoint<I, M> {
+    /// Lifecycle (`LIFE_*`), readable without the lock.
+    life: AtomicU8,
+    state: Mutex<EpState<I, M>>,
+    cond: Condvar,
+}
+
+struct EpState<I, M> {
+    /// Messages to me, keyed by sender: at most one in flight per edge.
+    inbox: HashMap<I, M>,
+    /// Pickup counts per sender, awaited by the sender's phase 2.
+    acks: HashMap<I, u64>,
+    /// My published receive offers, claimable by send arms.
+    wait: Option<WaitEntry<I>>,
+    /// Eventcount: bumped under this lock on every change a sleeper on
+    /// `cond` could care about. Selectors re-read it before parking.
+    signal: u64,
+    /// Selectors with a send arm targeting me, woken when my offers or
+    /// inbox slots change. `(token, endpoint)` so a selector can remove
+    /// exactly its own registration.
+    watchers: Vec<(u64, Arc<Endpoint<I, M>>)>,
+    /// Fair-choice RNG for selections by this endpoint.
+    rng: SmallRng,
+    /// Per-edge send counters for edges *into* me (chaos decisions).
+    chaos_in_seqs: HashMap<I, u64>,
+    /// My operation counter driving crash-at-step-*k*.
+    chaos_steps: u64,
+}
+
+/// Chaos configuration, shared read-only once attached.
+struct FaultConfig<M> {
+    plan: FaultPlan,
+    clone_fn: fn(&M) -> M,
+}
+
+/// Cold-path fault state: hot paths read only the two booleans.
+struct FaultHooks<I, M> {
+    /// `plan.has_message_faults()`, readable without a lock.
+    msg_faults: AtomicBool,
+    /// `plan.has_crashes()`, readable without a lock.
+    crashes: AtomicBool,
+    config: Mutex<Option<Arc<FaultConfig<M>>>>,
+    observer: Mutex<Option<FaultObserver<I>>>,
+    log: Mutex<Vec<FaultRecord<I>>>,
+}
+
+/// The in-process sharded transport (see the module docs).
+pub struct ShardedTransport<I, M> {
+    endpoints: RwLock<HashMap<I, Arc<Endpoint<I, M>>>>,
+    implicit_declare: bool,
+    sealed: AtomicBool,
+    aborted: AtomicBool,
+    activity: AtomicU64,
+    /// Root seed for per-endpoint RNGs (`None` = entropy).
+    seed: Mutex<Option<u64>>,
+    /// Unique tokens for watcher registrations.
+    next_token: AtomicU64,
+    faults: FaultHooks<I, M>,
+}
+
+impl<I, M> fmt::Debug for ShardedTransport<I, M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedTransport")
+            .field(
+                "endpoints",
+                &self.endpoints.read().map(|g| g.len()).unwrap_or(0),
+            )
+            .field("aborted", &self.aborted.load(Ordering::Relaxed))
+            .field("sealed", &self.sealed.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Derives a per-endpoint RNG seed from the root seed and the endpoint
+/// id (deterministic within a build: `DefaultHasher::new` is keyless).
+fn derive_seed<I: Hash>(root: u64, id: &I) -> u64 {
+    let mut h = DefaultHasher::new();
+    root.hash(&mut h);
+    id.hash(&mut h);
+    h.finish()
+}
+
+impl<I, M> ShardedTransport<I, M>
+where
+    I: Clone + Eq + Hash + fmt::Debug + Send + Sync + 'static,
+    M: Send + 'static,
+{
+    /// Creates a transport. `implicit_declare` networks auto-declare
+    /// unknown peers; `seed` fixes the selection RNGs for reproducibility.
+    pub fn new(implicit_declare: bool, seed: Option<u64>) -> Self {
+        Self {
+            endpoints: RwLock::new(HashMap::new()),
+            implicit_declare,
+            sealed: AtomicBool::new(false),
+            aborted: AtomicBool::new(false),
+            activity: AtomicU64::new(0),
+            seed: Mutex::new(seed),
+            next_token: AtomicU64::new(0),
+            faults: FaultHooks {
+                msg_faults: AtomicBool::new(false),
+                crashes: AtomicBool::new(false),
+                config: Mutex::new(None),
+                observer: Mutex::new(None),
+                log: Mutex::new(Vec::new()),
+            },
+        }
+    }
+
+    fn new_endpoint(&self, id: &I, life: u8) -> Arc<Endpoint<I, M>> {
+        let rng = match *self.seed.lock() {
+            Some(root) => SmallRng::seed_from_u64(derive_seed(root, id)),
+            None => SmallRng::from_entropy(),
+        };
+        Arc::new(Endpoint {
+            life: AtomicU8::new(life),
+            state: Mutex::new(EpState {
+                inbox: HashMap::new(),
+                acks: HashMap::new(),
+                wait: None,
+                signal: 0,
+                watchers: Vec::new(),
+                rng,
+                chaos_in_seqs: HashMap::new(),
+                chaos_steps: 0,
+            }),
+            cond: Condvar::new(),
+        })
+    }
+
+    /// Read access to the endpoint registry (poisoning swallowed, in
+    /// the style of the vendored `parking_lot` shim).
+    fn registry(&self) -> RwLockReadGuard<'_, HashMap<I, Arc<Endpoint<I, M>>>> {
+        self.endpoints
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn registry_mut(&self) -> RwLockWriteGuard<'_, HashMap<I, Arc<Endpoint<I, M>>>> {
+        self.endpoints
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lookup(&self, id: &I) -> Option<Arc<Endpoint<I, M>>> {
+        self.registry().get(id).cloned()
+    }
+
+    /// Gets the endpoint for `id`, creating it with `life` if absent.
+    fn get_or_create(&self, id: &I, life: u8) -> Arc<Endpoint<I, M>> {
+        if let Some(ep) = self.lookup(id) {
+            return ep;
+        }
+        let mut w = self.registry_mut();
+        if let Some(ep) = w.get(id) {
+            return ep.clone();
+        }
+        let ep = self.new_endpoint(id, life);
+        w.insert(id.clone(), ep.clone());
+        ep
+    }
+
+    /// Resolves `id`, implicitly declaring it if the transport allows.
+    fn ensure(&self, id: &I) -> Result<Arc<Endpoint<I, M>>, ChanError<I>> {
+        if let Some(ep) = self.lookup(id) {
+            return Ok(ep);
+        }
+        if self.implicit_declare {
+            let life = if self.sealed.load(Ordering::SeqCst) {
+                LIFE_DONE
+            } else {
+                LIFE_EXPECTED
+            };
+            Ok(self.get_or_create(id, life))
+        } else {
+            Err(ChanError::Unknown(id.clone()))
+        }
+    }
+
+    /// Bumps every endpoint's eventcount and wakes all sleepers. Used by
+    /// the rare lifecycle transitions (and abort/seal), whose effects
+    /// any blocked operation anywhere may be waiting on.
+    fn broadcast(&self) {
+        let eps: Vec<Arc<Endpoint<I, M>>> = self.registry().values().cloned().collect();
+        for ep in eps {
+            ep.state.lock().signal += 1;
+            ep.cond.notify_all();
+        }
+    }
+
+    /// Wakes the selectors registered as send watchers on `ep`. Call
+    /// *without* holding any endpoint lock; the snapshot was taken under
+    /// `ep`'s lock.
+    fn wake_watchers(watchers: Vec<(u64, Arc<Endpoint<I, M>>)>) {
+        for (_, w) in watchers {
+            w.state.lock().signal += 1;
+            w.cond.notify_all();
+        }
+    }
+
+    fn chaos_cfg(&self) -> Option<Arc<FaultConfig<M>>> {
+        self.faults.config.lock().clone()
+    }
+
+    /// Records an injected fault in the log and tells the observer.
+    fn record_fault(&self, kind: FaultKind, from: &I, to: &I, seq: u64) {
+        let record = FaultRecord {
+            kind,
+            from: from.clone(),
+            to: to.clone(),
+            seq,
+        };
+        let obs = self.faults.observer.lock().clone();
+        if let Some(obs) = obs {
+            obs(&record);
+        }
+        self.faults.log.lock().push(record);
+    }
+
+    /// Counts one operation by `me` toward crash-at-step-*k*; on a
+    /// crash, marks `me` done and broadcasts the transition.
+    fn chaos_step(&self, me: &I, me_ep: &Arc<Endpoint<I, M>>) -> Result<(), ChanError<I>> {
+        let Some(cfg) = self.chaos_cfg() else {
+            return Ok(());
+        };
+        if !cfg.plan.has_crashes() {
+            return Ok(());
+        }
+        let crashed = {
+            let mut st = me_ep.state.lock();
+            st.chaos_steps += 1;
+            st.chaos_steps == cfg.plan.crash_step() && cfg.plan.decide_crash(me)
+        };
+        if crashed {
+            me_ep.life.store(LIFE_DONE, Ordering::SeqCst);
+            self.activity.fetch_add(1, Ordering::Relaxed);
+            self.record_fault(FaultKind::Crash, me, me, cfg.plan.crash_step());
+            self.broadcast();
+            return Err(ChanError::Terminated(me.clone()));
+        }
+        Ok(())
+    }
+
+    /// Advances the per-edge counter for `from → to` under `to`'s lock.
+    fn chaos_edge_seq(&self, from: &I, to_ep: &Arc<Endpoint<I, M>>) -> u64 {
+        let mut st = to_ep.state.lock();
+        let c = st.chaos_in_seqs.entry(from.clone()).or_insert(0);
+        let s = *c;
+        *c += 1;
+        s
+    }
+
+    /// Takes the message from `from` out of `st`'s inbox, acking it.
+    fn take_from(&self, st: &mut EpState<I, M>, from: &I) -> Option<M> {
+        let msg = st.inbox.remove(from)?;
+        *st.acks.entry(from.clone()).or_insert(0) += 1;
+        st.signal += 1;
+        self.activity.fetch_add(1, Ordering::Relaxed);
+        Some(msg)
+    }
+
+    /// Any peer other than `me` that could still produce a message?
+    fn any_possible_sender(&self, me: &I) -> bool {
+        if self.implicit_declare && !self.sealed.load(Ordering::SeqCst) {
+            return true;
+        }
+        self.registry()
+            .iter()
+            .any(|(id, ep)| id != me && ep.life.load(Ordering::SeqCst) != LIFE_DONE)
+    }
+
+    /// Waits on `ep`'s condvar. Returns `true` on deadline expiry.
+    fn wait_on(
+        ep: &Endpoint<I, M>,
+        st: &mut parking_lot::MutexGuard<'_, EpState<I, M>>,
+        deadline: Option<Instant>,
+    ) -> bool {
+        match deadline {
+            Some(d) => ep.cond.wait_until(st, d).timed_out(),
+            None => {
+                ep.cond.wait(st);
+                false
+            }
+        }
+    }
+}
+
+impl<I, M> Transport<I, M> for ShardedTransport<I, M>
+where
+    I: Clone + Eq + Hash + fmt::Debug + Send + Sync + 'static,
+    M: Send + 'static,
+{
+    fn declare(&self, id: I) {
+        self.get_or_create(&id, LIFE_EXPECTED);
+        self.activity.fetch_add(1, Ordering::Relaxed);
+        self.broadcast();
+    }
+
+    fn activate(&self, id: I) {
+        let ep = self.get_or_create(&id, LIFE_ACTIVE);
+        ep.life.store(LIFE_ACTIVE, Ordering::SeqCst);
+        self.activity.fetch_add(1, Ordering::Relaxed);
+        self.broadcast();
+    }
+
+    fn finish(&self, id: I) {
+        let ep = self.get_or_create(&id, LIFE_DONE);
+        ep.life.store(LIFE_DONE, Ordering::SeqCst);
+        self.activity.fetch_add(1, Ordering::Relaxed);
+        self.broadcast();
+    }
+
+    fn seal(&self) {
+        self.sealed.store(true, Ordering::SeqCst);
+        let eps: Vec<Arc<Endpoint<I, M>>> = self.registry().values().cloned().collect();
+        for ep in &eps {
+            let _ = ep.life.compare_exchange(
+                LIFE_EXPECTED,
+                LIFE_DONE,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            );
+        }
+        self.activity.fetch_add(1, Ordering::Relaxed);
+        self.broadcast();
+    }
+
+    fn abort(&self) {
+        self.aborted.store(true, Ordering::SeqCst);
+        self.broadcast();
+    }
+
+    fn is_aborted(&self) -> bool {
+        self.aborted.load(Ordering::SeqCst)
+    }
+
+    fn peer_state(&self, id: &I) -> Option<PeerState> {
+        self.lookup(id)
+            .map(|ep| life_of(ep.life.load(Ordering::SeqCst)))
+    }
+
+    fn peers(&self) -> Vec<(I, PeerState)> {
+        self.registry()
+            .iter()
+            .map(|(id, ep)| (id.clone(), life_of(ep.life.load(Ordering::SeqCst))))
+            .collect()
+    }
+
+    fn activity(&self) -> u64 {
+        self.activity.load(Ordering::Relaxed)
+    }
+
+    fn reseed(&self, seed: u64) {
+        *self.seed.lock() = Some(seed);
+        let eps: Vec<(I, Arc<Endpoint<I, M>>)> = self
+            .registry()
+            .iter()
+            .map(|(id, ep)| (id.clone(), ep.clone()))
+            .collect();
+        for (id, ep) in eps {
+            ep.state.lock().rng = SmallRng::seed_from_u64(derive_seed(seed, &id));
+        }
+    }
+
+    fn ensure_peer(&self, id: &I) -> Result<(), ChanError<I>> {
+        self.ensure(id).map(|_| ())
+    }
+
+    fn has_pending_from(&self, to: &I, from: &I) -> bool {
+        self.lookup(to)
+            .map(|ep| ep.state.lock().inbox.contains_key(from))
+            .unwrap_or(false)
+    }
+
+    fn set_fault_plan(&self, plan: FaultPlan, clone_fn: fn(&M) -> M) {
+        let msg = plan.has_message_faults();
+        let crashes = plan.has_crashes();
+        *self.faults.config.lock() = Some(Arc::new(FaultConfig { plan, clone_fn }));
+        self.faults.log.lock().clear();
+        // Reset all fault counters so the new plan starts from seq 0.
+        let eps: Vec<Arc<Endpoint<I, M>>> = self.registry().values().cloned().collect();
+        for ep in eps {
+            let mut st = ep.state.lock();
+            st.chaos_in_seqs.clear();
+            st.chaos_steps = 0;
+        }
+        // Flags last: a racing hot path that sees them set finds the
+        // config already in place. A no-op plan leaves both false — the
+        // per-message fault branch is hoisted out entirely at attach
+        // time, not re-checked per hop.
+        self.faults.msg_faults.store(msg, Ordering::SeqCst);
+        self.faults.crashes.store(crashes, Ordering::SeqCst);
+    }
+
+    fn clear_fault_plan(&self) {
+        self.faults.msg_faults.store(false, Ordering::SeqCst);
+        self.faults.crashes.store(false, Ordering::SeqCst);
+        *self.faults.config.lock() = None;
+        self.faults.log.lock().clear();
+    }
+
+    fn fault_plan(&self) -> Option<FaultPlan> {
+        self.faults.config.lock().as_ref().map(|c| c.plan.clone())
+    }
+
+    fn set_fault_observer(&self, observer: FaultObserver<I>) {
+        *self.faults.observer.lock() = Some(observer);
+    }
+
+    fn fault_log(&self) -> Vec<FaultRecord<I>> {
+        if self.faults.config.lock().is_none() {
+            return Vec::new();
+        }
+        self.faults.log.lock().clone()
+    }
+
+    fn take_fault_log(&self) -> Vec<FaultRecord<I>> {
+        if self.faults.config.lock().is_none() {
+            return Vec::new();
+        }
+        std::mem::take(&mut *self.faults.log.lock())
+    }
+
+    fn send(
+        &self,
+        from: &I,
+        to: &I,
+        msg: M,
+        deadline: Option<Instant>,
+    ) -> Result<(), ChanError<I>> {
+        if to == from {
+            return Err(ChanError::Myself);
+        }
+        let to_ep = self.ensure(to)?;
+        let from_ep = self.ensure(from)?;
+
+        // Chaos hooks — two relaxed boolean loads on the fault-free path.
+        if self.faults.crashes.load(Ordering::Relaxed) {
+            self.chaos_step(from, &from_ep)?;
+        }
+        let mut dup_info: Option<M> = None;
+        if self.faults.msg_faults.load(Ordering::Relaxed) {
+            if let Some(cfg) = self.chaos_cfg() {
+                if cfg.plan.has_message_faults() {
+                    let seq = self.chaos_edge_seq(from, &to_ep);
+                    let delayed = cfg.plan.decide_delay(from, to, seq);
+                    let dropped = cfg.plan.decide_drop(from, to, seq);
+                    if !dropped && cfg.plan.decide_duplicate(from, to, seq) {
+                        // Recorded here, at decision time, so the fault
+                        // log is a pure function of the plan; the
+                        // redelivery below stays best-effort.
+                        self.record_fault(FaultKind::Duplicate, from, to, seq);
+                        dup_info = Some((cfg.clone_fn)(&msg));
+                    }
+                    if delayed {
+                        self.record_fault(FaultKind::Delay, from, to, seq);
+                        std::thread::sleep(cfg.plan.delay());
+                    }
+                    if dropped {
+                        // Lost on the wire *after* transmission: the
+                        // sender observes success (unless the peer is
+                        // already gone); the receiver never sees it.
+                        self.record_fault(FaultKind::Drop, from, to, seq);
+                        if self.aborted.load(Ordering::SeqCst) {
+                            return Err(ChanError::Aborted);
+                        }
+                        return match life_of(to_ep.life.load(Ordering::SeqCst)) {
+                            PeerState::Done => Err(ChanError::Terminated(to.clone())),
+                            _ => Ok(()),
+                        };
+                    }
+                }
+            }
+        }
+
+        // Phase 1: wait for the receiver to be active with a free slot,
+        // then deposit. Everything happens under the *receiver's* lock.
+        let mut st = to_ep.state.lock();
+        loop {
+            if self.aborted.load(Ordering::SeqCst) {
+                return Err(ChanError::Aborted);
+            }
+            match life_of(to_ep.life.load(Ordering::SeqCst)) {
+                PeerState::Done => return Err(ChanError::Terminated(to.clone())),
+                PeerState::Expected => {}
+                PeerState::Active => {
+                    if !st.inbox.contains_key(from) {
+                        break;
+                    }
+                }
+            }
+            if Self::wait_on(&to_ep, &mut st, deadline) {
+                return Err(ChanError::Timeout);
+            }
+        }
+        st.inbox.insert(from.clone(), msg);
+        st.signal += 1;
+        self.activity.fetch_add(1, Ordering::Relaxed);
+        let target = st.acks.get(from).copied().unwrap_or(0) + 1;
+
+        // Phase 2: wait for pickup (still on the receiver's endpoint;
+        // the pickup bumps `acks[from]` and notifies this condvar).
+        to_ep.cond.notify_all();
+        loop {
+            if st.acks.get(from).copied().unwrap_or(0) >= target {
+                break;
+            }
+            if self.aborted.load(Ordering::SeqCst) {
+                return Err(ChanError::Aborted);
+            }
+            if to_ep.life.load(Ordering::SeqCst) == LIFE_DONE {
+                // Receiver finished without taking the message: reclaim.
+                st.inbox.remove(from);
+                return Err(ChanError::Terminated(to.clone()));
+            }
+            if Self::wait_on(&to_ep, &mut st, deadline) {
+                // Timed out waiting for pickup: reclaim the deposit so
+                // the message is not delivered after we report failure.
+                st.inbox.remove(from);
+                return Err(ChanError::Timeout);
+            }
+        }
+
+        // Rendezvous complete. Deliver the chaos duplicate, if planned
+        // and the edge slot is free (best-effort redelivery).
+        if let Some(copy) = dup_info {
+            if !st.inbox.contains_key(from) && to_ep.life.load(Ordering::SeqCst) == LIFE_ACTIVE {
+                st.inbox.insert(from.clone(), copy);
+                st.signal += 1;
+                self.activity.fetch_add(1, Ordering::Relaxed);
+                drop(st);
+                to_ep.cond.notify_all();
+            }
+        }
+        Ok(())
+    }
+
+    fn try_recv(&self, me: &I, from: &I) -> Result<Option<M>, ChanError<I>> {
+        if from == me {
+            return Err(ChanError::Myself);
+        }
+        let from_ep = self.ensure(from)?;
+        let me_ep = self.ensure(me)?;
+        if self.faults.crashes.load(Ordering::Relaxed) {
+            self.chaos_step(me, &me_ep)?;
+        }
+        if self.aborted.load(Ordering::SeqCst) {
+            return Err(ChanError::Aborted);
+        }
+        let mut st = me_ep.state.lock();
+        if let Some(msg) = self.take_from(&mut st, from) {
+            let watchers = st.watchers.clone();
+            drop(st);
+            // The sender's phase 2 sleeps on *my* condvar; watchers may
+            // care about the freed slot.
+            me_ep.cond.notify_all();
+            Self::wake_watchers(watchers);
+            return Ok(Some(msg));
+        }
+        drop(st);
+        if from_ep.life.load(Ordering::SeqCst) == LIFE_DONE {
+            return Err(ChanError::Terminated(from.clone()));
+        }
+        Ok(None)
+    }
+
+    fn select(
+        &self,
+        me: &I,
+        arms: Vec<Arm<I, M>>,
+        deadline: Option<Instant>,
+    ) -> Result<Outcome<I, M>, ChanError<I>> {
+        if arms.is_empty() {
+            return Err(ChanError::EmptySelect);
+        }
+        let me_ep = self.ensure(me)?;
+        // Internal representation: send messages become take-able, and
+        // every named peer's endpoint is resolved once up front.
+        type ArmRepr<I, M> = (SelRepr<I, M>, Option<Arc<Endpoint<I, M>>>);
+        let mut reprs: Vec<ArmRepr<I, M>> = Vec::with_capacity(arms.len());
+        for arm in arms {
+            let (repr, named) = match arm {
+                Arm::Recv(Source::Of(p)) => (SelRepr::Recv(Source::Of(p.clone())), Some(p)),
+                Arm::Recv(Source::Any) => (SelRepr::Recv(Source::Any), None),
+                Arm::Send { to, msg } => (
+                    SelRepr::Send {
+                        to: to.clone(),
+                        msg: Some(msg),
+                    },
+                    Some(to),
+                ),
+                Arm::Watch(p) => (SelRepr::Watch(p.clone()), Some(p)),
+            };
+            let ep = match named {
+                Some(p) => {
+                    if p == *me {
+                        return Err(ChanError::Myself);
+                    }
+                    Some(self.ensure(&p)?)
+                }
+                None => None,
+            };
+            reprs.push((repr, ep));
+        }
+        // Chaos: selection counts as one operation toward crash-at-step-k.
+        if self.faults.crashes.load(Ordering::Relaxed) {
+            self.chaos_step(me, &me_ep)?;
+        }
+
+        // Register as a send watcher on every send-arm target, so their
+        // offer publications and slot releases wake us. Deregistered on
+        // every exit path below.
+        let token = self.next_token.fetch_add(1, Ordering::Relaxed);
+        let mut watched: Vec<Arc<Endpoint<I, M>>> = Vec::new();
+        for (repr, ep) in &reprs {
+            if let (SelRepr::Send { .. }, Some(t_ep)) = (repr, ep) {
+                if !watched.iter().any(|w| Arc::ptr_eq(w, t_ep)) {
+                    t_ep.state.lock().watchers.push((token, me_ep.clone()));
+                    watched.push(t_ep.clone());
+                }
+            }
+        }
+        let result = self.select_loop(me, &me_ep, &mut reprs, deadline);
+        for t_ep in watched {
+            t_ep.state.lock().watchers.retain(|(t, _)| *t != token);
+        }
+        result
+    }
+}
+
+impl<I, M> ShardedTransport<I, M>
+where
+    I: Clone + Eq + Hash + fmt::Debug + Send + Sync + 'static,
+    M: Send + 'static,
+{
+    /// The selection loop body (watcher registration handled by the
+    /// caller). `reprs` pairs each arm with its resolved endpoint.
+    #[allow(clippy::type_complexity)]
+    fn select_loop(
+        &self,
+        me: &I,
+        me_ep: &Arc<Endpoint<I, M>>,
+        reprs: &mut [(SelRepr<I, M>, Option<Arc<Endpoint<I, M>>>)],
+        deadline: Option<Instant>,
+    ) -> Result<Outcome<I, M>, ChanError<I>> {
+        loop {
+            // Loop head, under my own lock: honor a claim left over from
+            // a previous sleep (priority even over aborts — the claiming
+            // sender already returned success), withdraw any published
+            // offers so no claim can land mid-scan, and snapshot the
+            // eventcount.
+            let sig0;
+            {
+                let mut st = me_ep.state.lock();
+                sig0 = st.signal;
+                if let Some(entry) = st.wait.take() {
+                    if let Some(from) = entry.resolved {
+                        let msg = self
+                            .take_from(&mut st, &from)
+                            .expect("claim implies a deposited message");
+                        let watchers = st.watchers.clone();
+                        drop(st);
+                        me_ep.cond.notify_all();
+                        Self::wake_watchers(watchers);
+                        let arm = reprs
+                            .iter()
+                            .position(|(r, _)| match r {
+                                SelRepr::Recv(Source::Any) => true,
+                                SelRepr::Recv(Source::Of(p)) => *p == from,
+                                _ => false,
+                            })
+                            .expect("claim matched an offered receive arm");
+                        return Ok(Outcome::Received { arm, from, msg });
+                    }
+                }
+            }
+            if self.aborted.load(Ordering::SeqCst) {
+                return Err(ChanError::Aborted);
+            }
+
+            // Scan arms in random order for a ready one, locking only
+            // the endpoint each arm concerns (never two at once).
+            let mut order: Vec<usize> = (0..reprs.len()).collect();
+            order.shuffle(&mut me_ep.state.lock().rng);
+            let mut any_live = false;
+            for idx in order {
+                let (repr, arm_ep) = &mut reprs[idx];
+                match repr {
+                    SelRepr::Recv(Source::Of(p)) => {
+                        let p = p.clone();
+                        let mut st = me_ep.state.lock();
+                        if let Some(msg) = self.take_from(&mut st, &p) {
+                            let watchers = st.watchers.clone();
+                            drop(st);
+                            me_ep.cond.notify_all();
+                            Self::wake_watchers(watchers);
+                            return Ok(Outcome::Received {
+                                arm: idx,
+                                from: p,
+                                msg,
+                            });
+                        }
+                        drop(st);
+                        let p_ep = arm_ep.as_ref().expect("named arm resolved");
+                        if p_ep.life.load(Ordering::SeqCst) != LIFE_DONE {
+                            any_live = true;
+                        }
+                    }
+                    SelRepr::Recv(Source::Any) => {
+                        let mut st = me_ep.state.lock();
+                        let senders: Vec<I> = st.inbox.keys().cloned().collect();
+                        if let Some(from) = senders.choose(&mut st.rng).cloned() {
+                            let msg = self
+                                .take_from(&mut st, &from)
+                                .expect("chosen sender has a message");
+                            let watchers = st.watchers.clone();
+                            drop(st);
+                            me_ep.cond.notify_all();
+                            Self::wake_watchers(watchers);
+                            return Ok(Outcome::Received {
+                                arm: idx,
+                                from,
+                                msg,
+                            });
+                        }
+                        drop(st);
+                        if self.any_possible_sender(me) {
+                            any_live = true;
+                        }
+                    }
+                    SelRepr::Send { to, msg } => {
+                        let to = to.clone();
+                        let t_ep = arm_ep.as_ref().expect("named arm resolved").clone();
+                        match life_of(t_ep.life.load(Ordering::SeqCst)) {
+                            PeerState::Done => {}
+                            PeerState::Expected => any_live = true,
+                            PeerState::Active => {
+                                any_live = true;
+                                let mut ts = t_ep.state.lock();
+                                let slot_free = !ts.inbox.contains_key(me);
+                                let claimable = slot_free
+                                    && ts
+                                        .wait
+                                        .as_ref()
+                                        .map(|w| w.resolved.is_none() && w.offers_from(me))
+                                        .unwrap_or(false);
+                                if claimable {
+                                    let m = msg.take().expect("send arm fires at most once");
+                                    // Chaos: a dropped send arm still
+                                    // fires (the sender saw delivery) but
+                                    // leaves the receiver waiting.
+                                    if self.faults.msg_faults.load(Ordering::Relaxed) {
+                                        if let Some(cfg) = self.chaos_cfg() {
+                                            if cfg.plan.has_message_faults() {
+                                                let c =
+                                                    ts.chaos_in_seqs.entry(me.clone()).or_insert(0);
+                                                let seq = *c;
+                                                *c += 1;
+                                                if cfg.plan.decide_drop(me, &to, seq) {
+                                                    drop(ts);
+                                                    self.record_fault(
+                                                        FaultKind::Drop,
+                                                        me,
+                                                        &to,
+                                                        seq,
+                                                    );
+                                                    return Ok(Outcome::Sent { arm: idx, to });
+                                                }
+                                            }
+                                        }
+                                    }
+                                    ts.inbox.insert(me.clone(), m);
+                                    ts.wait.as_mut().expect("checked above").resolved =
+                                        Some(me.clone());
+                                    ts.signal += 1;
+                                    self.activity.fetch_add(1, Ordering::Relaxed);
+                                    drop(ts);
+                                    t_ep.cond.notify_all();
+                                    return Ok(Outcome::Sent { arm: idx, to });
+                                }
+                            }
+                        }
+                    }
+                    SelRepr::Watch(p) => {
+                        let p = p.clone();
+                        let p_ep = arm_ep.as_ref().expect("named arm resolved");
+                        if p_ep.life.load(Ordering::SeqCst) == LIFE_DONE {
+                            let pending = me_ep.state.lock().inbox.contains_key(&p);
+                            if !pending {
+                                return Ok(Outcome::Terminated { arm: idx, peer: p });
+                            }
+                            // A message from the dead peer is still
+                            // pending: a recv arm must drain it first;
+                            // the watch arm stays pending.
+                            any_live = true;
+                        } else {
+                            any_live = true;
+                        }
+                    }
+                }
+            }
+
+            if !any_live {
+                // Every arm is permanently unfireable.
+                if reprs.len() == 1 {
+                    if let (SelRepr::Recv(Source::Of(p)) | SelRepr::Send { to: p, .. }, _) =
+                        &reprs[0]
+                    {
+                        return Err(ChanError::Terminated(p.clone()));
+                    }
+                }
+                return Err(ChanError::AllTerminated);
+            }
+
+            // Publish our receive offers so send arms elsewhere can
+            // claim us, wake the selectors watching us, then sleep —
+            // unless the eventcount moved since the scan started, in
+            // which case something changed mid-scan and we rescan.
+            let offers: Vec<Source<I>> = reprs
+                .iter()
+                .filter_map(|(r, _)| match r {
+                    SelRepr::Recv(s) => Some(s.clone()),
+                    _ => None,
+                })
+                .collect();
+            let watchers;
+            {
+                let mut st = me_ep.state.lock();
+                st.wait = Some(WaitEntry {
+                    offers,
+                    resolved: None,
+                });
+                watchers = st.watchers.clone();
+            }
+            Self::wake_watchers(watchers);
+            let mut st = me_ep.state.lock();
+            if st.signal != sig0 {
+                continue;
+            }
+            if Self::wait_on(me_ep, &mut st, deadline) {
+                // Deadline expired — unless a claim raced in, in which
+                // case the loop head will honor it.
+                let resolved = st
+                    .wait
+                    .as_ref()
+                    .map(|w| w.resolved.is_some())
+                    .unwrap_or(false);
+                if !resolved {
+                    st.wait = None;
+                    return Err(ChanError::Timeout);
+                }
+            }
+        }
+    }
+}
+
+/// Internal selection-arm representation (named at module scope so the
+/// helper method can reference it).
+enum SelRepr<I, M> {
+    Recv(Source<I>),
+    Send { to: I, msg: Option<M> },
+    Watch(I),
+}

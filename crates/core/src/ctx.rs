@@ -6,7 +6,7 @@ use std::time::{Duration, Instant};
 
 use script_chan::{Arm, ChanError, Outcome, PeerState, Port};
 
-use crate::engine::Engine;
+use crate::engine::{Engine, PerfShard};
 use crate::{PerformanceId, ProcessId, RoleId, ScriptError};
 
 /// One guarded alternative for [`RoleCtx::select`].
@@ -126,6 +126,9 @@ pub(crate) fn map_chan_err(e: ChanError<RoleId>) -> ScriptError {
 /// All blocking operations respect the enrollment's deadline, if any.
 pub struct RoleCtx<M> {
     engine: Arc<Engine<M>>,
+    /// The performance this role runs in: cast queries and sealing go
+    /// straight to its shard, bypassing the engine front end.
+    shard: Arc<PerfShard<M>>,
     port: Port<RoleId, M>,
     role: RoleId,
     performance: PerformanceId,
@@ -164,6 +167,7 @@ impl<M> RoleCtx<M> {
 impl<M: Send + Clone + 'static> RoleCtx<M> {
     pub(crate) fn new(
         engine: Arc<Engine<M>>,
+        shard: Arc<PerfShard<M>>,
         port: Port<RoleId, M>,
         role: RoleId,
         performance: PerformanceId,
@@ -172,6 +176,7 @@ impl<M: Send + Clone + 'static> RoleCtx<M> {
     ) -> Self {
         Self {
             engine,
+            shard,
             port,
             role,
             performance,
@@ -377,7 +382,7 @@ impl<M: Send + Clone + 'static> RoleCtx<M> {
 
     /// The cast of this performance so far: `(role, process)` bindings.
     pub fn cast(&self) -> Vec<(RoleId, ProcessId)> {
-        self.engine.cast_of(self.performance.0)
+        self.shard.cast_pairs()
     }
 
     /// The process enrolled in `role`, if it is currently in the cast.
@@ -391,13 +396,13 @@ impl<M: Send + Clone + 'static> RoleCtx<M> {
     /// Returns `true` once this performance's cast is frozen (no further
     /// roles can join).
     pub fn cast_frozen(&self) -> bool {
-        self.engine.is_frozen(self.performance.0)
+        self.shard.frozen()
     }
 
-    /// Freezes the cast of the current performance (for open-ended
-    /// scripts without a critical role set).
+    /// Freezes the cast of *this* performance (for open-ended scripts
+    /// without a critical role set).
     pub fn seal_cast(&self) {
-        self.engine.seal_cast();
+        self.engine.seal_shard(&self.shard);
     }
 }
 

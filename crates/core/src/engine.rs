@@ -1,15 +1,32 @@
 //! The performance engine: enrollment queues, cast assembly, freezing,
-//! successive activations, termination, and abort containment.
+//! successive *and overlapping* activations, termination, and abort
+//! containment.
 //!
-//! The engine is deliberately *passive* — a mutex-protected state machine
-//! advanced by the enrolling threads themselves — in keeping with the
-//! paper's goal of "not generating additional processes when executing a
-//! script". (The CSP and Ada *translations* in their respective crates
-//! demonstrate the paper's supervisor-process alternative.)
+//! The engine is deliberately *passive* — a state machine advanced by the
+//! enrolling threads themselves — in keeping with the paper's goal of
+//! "not generating additional processes when executing a script". (The
+//! CSP and Ada *translations* in their respective crates demonstrate the
+//! paper's supervisor-process alternative.)
+//!
+//! # Sharding
+//!
+//! Hot state is split in two. A single *front end* (one mutex + the
+//! engine condvar) owns only what enrollment matching needs: the pending
+//! queue and the roster of live performances. Each matched performance
+//! lives in its own [`PerfShard`] — cast, running/finished sets, network,
+//! and a private condvar — so the roles of one performance finish and
+//! signal on their own shard without touching the front-end lock or
+//! waking threads of unrelated performances. Completion is the only
+//! transition that crosses back: the thread that observes a shard ready
+//! claims it (the `completing` flag), reacquires the front end, and
+//! retires the shard there.
+//!
+//! Lock order: front end → shard → event log; never two shards at once.
 
 use std::any::Any;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
@@ -33,35 +50,62 @@ pub(crate) enum RoleRef {
     NextOf(String),
 }
 
-#[derive(Debug)]
-enum Outcome {
+enum Outcome<M> {
     Waiting,
-    Admitted { seq: u64, role: RoleId },
+    Admitted {
+        shard: Arc<PerfShard<M>>,
+        role: RoleId,
+    },
     Rejected(ScriptError),
 }
 
-#[derive(Debug)]
-struct PendingSlot {
+struct PendingSlot<M> {
     ticket: u64,
     role: RoleRef,
     process: ProcessId,
     partners: Partners,
-    outcome: Outcome,
+    /// Enrollment deadline: an expired slot is never admitted (its owner
+    /// is about to remove it and return `Timeout`), so near-deadline
+    /// matches cannot strand the rest of a freshly cast performance.
+    deadline: Option<Instant>,
+    outcome: Outcome<M>,
 }
 
-struct Perf<M> {
-    seq: u64,
-    net: Network<RoleId, M>,
+impl<M> PendingSlot<M> {
+    fn matchable(&self, now: Instant) -> bool {
+        matches!(self.outcome, Outcome::Waiting) && self.deadline.is_none_or(|d| now < d)
+    }
+}
+
+/// One live performance: its network plus everything its roles mutate
+/// while running, behind a lock and condvar of its own so sibling
+/// performances never contend.
+pub(crate) struct PerfShard<M> {
+    pub(crate) seq: u64,
+    pub(crate) net: Network<RoleId, M>,
+    state: Mutex<ShardState>,
+    cond: Condvar,
+}
+
+struct ShardState {
     /// Admitted (role, process, recorded partner constraints).
     cast: Vec<(RoleId, ProcessId, Partners)>,
     running: HashSet<RoleId>,
     finished: HashSet<RoleId>,
     frozen: bool,
     aborted: bool,
+    /// Aborted by the quiescence watchdog; participants see
+    /// [`ScriptError::Stalled`] rather than the generic abort.
+    stalled: bool,
+    /// Fully terminated: phase-4 (delayed-termination) waiters release.
+    done: bool,
+    /// Completion claimed by exactly one thread, which drops the shard
+    /// lock and reacquires front end → shard to retire it.
+    completing: bool,
     next_open_index: HashMap<String, usize>,
 }
 
-impl<M> Perf<M> {
+impl ShardState {
     fn cast_has(&self, role: &RoleId) -> bool {
         self.cast.iter().any(|(r, _, _)| r == role)
     }
@@ -72,23 +116,44 @@ impl<M> Perf<M> {
             .filter(|(r, _, _)| r.in_family(family))
             .count()
     }
+
+    /// Has this performance terminated (normally or by abort)?
+    fn is_ready(&self) -> bool {
+        let all_finished = self.cast.iter().all(|(r, _, _)| self.finished.contains(r));
+        (self.frozen && !self.cast.is_empty() && all_finished)
+            || (self.aborted && self.running.is_empty())
+    }
 }
 
-struct EngineState<M> {
+impl<M> PerfShard<M> {
+    /// The cast so far, as `(role, process)` pairs.
+    pub(crate) fn cast_pairs(&self) -> Vec<(RoleId, ProcessId)> {
+        self.state
+            .lock()
+            .cast
+            .iter()
+            .map(|(r, p, _)| (r.clone(), p.clone()))
+            .collect()
+    }
+
+    pub(crate) fn frozen(&self) -> bool {
+        self.state.lock().frozen
+    }
+}
+
+/// Enrollment/matching front end: everything that is *not* owned by one
+/// performance.
+struct FrontEnd<M> {
     next_ticket: u64,
     next_seq: u64,
-    current: Option<Perf<M>>,
-    pending: Vec<PendingSlot>,
-    /// Number of fully completed performances; performance `s` has
-    /// terminated iff `s < completed`.
-    completed: u64,
-    aborted_seqs: HashSet<u64>,
-    /// Subset of `aborted_seqs` killed by the watchdog rather than by a
-    /// panic or close; their participants see [`ScriptError::Stalled`].
-    stalled_seqs: HashSet<u64>,
+    /// The one unfrozen performance still accepting roles (immediate
+    /// initiation). Detached as soon as its cast freezes, so the next
+    /// enrollment gathers into a fresh, overlapping performance.
+    gathering: Option<Arc<PerfShard<M>>>,
+    /// Every performance started and not yet completed, oldest first.
+    live: Vec<Arc<PerfShard<M>>>,
+    pending: Vec<PendingSlot<M>>,
     closed: bool,
-    /// Bounded event log, enabled on demand.
-    events: Option<EventBuf>,
     /// Quiescence window: performances making no communication progress
     /// for this long are aborted by a monitor thread.
     watchdog: Option<Duration>,
@@ -115,21 +180,17 @@ struct EventBuf {
     capacity: usize,
 }
 
-impl<M> EngineState<M> {
-    fn emit(&mut self, event: ScriptEvent) {
-        if let Some(log) = self.events.as_mut() {
-            if log.buf.len() == log.capacity {
-                log.buf.pop_front();
-            }
-            log.buf.push_back(event);
-        }
-    }
-}
-
 pub(crate) struct Engine<M> {
     pub(crate) spec: Arc<ScriptSpec<M>>,
-    state: Mutex<EngineState<M>>,
+    front: Mutex<FrontEnd<M>>,
+    /// Wakes enrollment waiters only; per-performance signalling happens
+    /// on each shard's own condvar.
     cond: Condvar,
+    /// Bounded event log, enabled on demand. Its own lock (last in the
+    /// order) so both the front end and shards can emit.
+    events: Mutex<Option<EventBuf>>,
+    /// Count of fully terminated performances.
+    completed: AtomicU64,
     /// Self-reference for watchdog threads (they must not keep the
     /// engine alive).
     weak: Weak<Engine<M>>,
@@ -139,23 +200,32 @@ impl<M: Send + Clone + 'static> Engine<M> {
     pub(crate) fn new(spec: Arc<ScriptSpec<M>>) -> Arc<Self> {
         Arc::new_cyclic(|weak| Self {
             spec,
-            state: Mutex::new(EngineState::<M> {
+            front: Mutex::new(FrontEnd::<M> {
                 next_ticket: 0,
                 next_seq: 0,
-                current: None,
+                gathering: None,
+                live: Vec::new(),
                 pending: Vec::new(),
-                completed: 0,
-                aborted_seqs: HashSet::new(),
-                stalled_seqs: HashSet::new(),
                 closed: false,
-                events: None,
                 watchdog: None,
                 chaos_seed: None,
                 fault_plan: None,
             }),
             cond: Condvar::new(),
+            events: Mutex::new(None),
+            completed: AtomicU64::new(0),
             weak: weak.clone(),
         })
+    }
+
+    fn emit(&self, event: ScriptEvent) {
+        let mut ev = self.events.lock();
+        if let Some(log) = ev.as_mut() {
+            if log.buf.len() == log.capacity {
+                log.buf.pop_front();
+            }
+            log.buf.push_back(event);
+        }
     }
 
     /// Arms (or re-arms) the quiescence watchdog for future
@@ -163,40 +233,40 @@ impl<M: Send + Clone + 'static> Engine<M> {
     /// `window` is aborted with [`ScriptError::Stalled`].
     pub(crate) fn set_watchdog(&self, window: Duration) {
         assert!(window > Duration::ZERO, "watchdog window must be positive");
-        self.state.lock().watchdog = Some(window);
+        self.front.lock().watchdog = Some(window);
     }
 
     /// Disarms the watchdog for future performances.
     pub(crate) fn clear_watchdog(&self) {
-        self.state.lock().watchdog = None;
+        self.front.lock().watchdog = None;
     }
 
     /// Seeds the per-performance network RNGs (selection shuffling)
     /// deterministically. Affects future performances.
     pub(crate) fn set_chaos_seed(&self, seed: u64) {
-        self.state.lock().chaos_seed = Some(seed);
+        self.front.lock().chaos_seed = Some(seed);
     }
 
     /// Attaches `plan` (reseeded per performance from its own seed) to
     /// every future performance's network.
     pub(crate) fn set_fault_plan(&self, plan: FaultPlan) {
-        self.state.lock().fault_plan = Some(plan);
+        self.front.lock().fault_plan = Some(plan);
     }
 
     /// Stops injecting faults into future performances.
     pub(crate) fn clear_fault_plan(&self) {
-        self.state.lock().fault_plan = None;
+        self.front.lock().fault_plan = None;
     }
 
     /// Number of performances that have fully terminated.
     pub(crate) fn completed_performances(&self) -> u64 {
-        self.state.lock().completed
+        self.completed.load(Ordering::SeqCst)
     }
 
     /// Enables (or resizes) the bounded event log.
     pub(crate) fn enable_event_log(&self, capacity: usize) {
-        let mut st = self.state.lock();
-        st.events = Some(EventBuf {
+        let mut ev = self.events.lock();
+        *ev = Some(EventBuf {
             buf: VecDeque::with_capacity(capacity.min(1024)),
             capacity: capacity.max(1),
         });
@@ -204,8 +274,8 @@ impl<M: Send + Clone + 'static> Engine<M> {
 
     /// Drains and returns the logged events.
     pub(crate) fn take_events(&self) -> Vec<ScriptEvent> {
-        let mut st = self.state.lock();
-        match st.events.as_mut() {
+        let mut ev = self.events.lock();
+        match ev.as_mut() {
             Some(log) => log.buf.drain(..).collect(),
             None => Vec::new(),
         }
@@ -213,32 +283,41 @@ impl<M: Send + Clone + 'static> Engine<M> {
 
     /// A diagnostic snapshot of the instance.
     pub(crate) fn status(&self) -> crate::InstanceStatus {
-        let st = self.state.lock();
+        let fe = self.front.lock();
+        let performances: Vec<crate::PerformanceStatus> = fe
+            .live
+            .iter()
+            .map(|shard| {
+                let ss = shard.state.lock();
+                crate::PerformanceStatus {
+                    id: PerformanceId(shard.seq),
+                    cast: ss
+                        .cast
+                        .iter()
+                        .map(|(r, p, _)| (r.clone(), p.clone()))
+                        .collect(),
+                    frozen: ss.frozen,
+                    running: ss.running.len(),
+                    finished: ss.finished.len(),
+                    aborted: ss.aborted,
+                }
+            })
+            .collect();
         crate::InstanceStatus {
-            completed_performances: st.completed,
-            pending_enrollments: st
+            completed_performances: self.completed.load(Ordering::SeqCst),
+            pending_enrollments: fe
                 .pending
                 .iter()
                 .filter(|s| matches!(s.outcome, Outcome::Waiting))
                 .count(),
-            current: st.current.as_ref().map(|p| crate::PerformanceStatus {
-                id: PerformanceId(p.seq),
-                cast: p
-                    .cast
-                    .iter()
-                    .map(|(r, pr, _)| (r.clone(), pr.clone()))
-                    .collect(),
-                frozen: p.frozen,
-                running: p.running.len(),
-                finished: p.finished.len(),
-                aborted: p.aborted,
-            }),
+            current: performances.first().cloned(),
+            performances,
         }
     }
 
     /// Number of enrollments queued but not yet admitted.
     pub(crate) fn pending_enrollments(&self) -> usize {
-        self.state
+        self.front
             .lock()
             .pending
             .iter()
@@ -247,74 +326,89 @@ impl<M: Send + Clone + 'static> Engine<M> {
     }
 
     /// Closes the instance: pending and future enrollments fail with
-    /// [`ScriptError::InstanceClosed`]; a current performance is aborted.
+    /// [`ScriptError::InstanceClosed`]; live performances are aborted.
     pub(crate) fn close(&self) {
-        let mut st = self.state.lock();
-        st.closed = true;
-        st.emit(ScriptEvent::InstanceClosed);
-        for slot in &mut st.pending {
+        let mut fe = self.front.lock();
+        fe.closed = true;
+        self.emit(ScriptEvent::InstanceClosed);
+        for slot in &mut fe.pending {
             if matches!(slot.outcome, Outcome::Waiting) {
                 slot.outcome = Outcome::Rejected(ScriptError::InstanceClosed);
             }
         }
-        let mut aborted_seq = None;
-        if let Some(perf) = st.current.as_mut() {
-            perf.aborted = true;
-            perf.net.abort();
-            aborted_seq = Some(perf.seq);
-        }
-        if let Some(seq) = aborted_seq {
-            st.emit(ScriptEvent::PerformanceAborted {
-                performance: PerformanceId(seq),
-            });
-        }
-        self.check_completion(&mut st);
-        drop(st);
-        self.cond.notify_all();
-    }
-
-    /// Manually freezes the current performance's cast (open-ended
-    /// scripts). No-op if there is no current performance or it is
-    /// already frozen.
-    pub(crate) fn seal_cast(&self) {
-        let mut st = self.state.lock();
-        let mut frozen_seq = None;
-        if let Some(perf) = st.current.as_mut() {
-            if !perf.frozen {
-                Self::freeze(&self.spec, perf);
-                frozen_seq = Some(perf.seq);
+        for shard in fe.live.clone() {
+            let mut ss = shard.state.lock();
+            if ss.done {
+                continue;
+            }
+            if !ss.aborted {
+                ss.aborted = true;
+                shard.net.abort();
+                self.emit(ScriptEvent::PerformanceAborted {
+                    performance: PerformanceId(shard.seq),
+                });
+            }
+            let finalize = ss.is_ready() && !ss.completing;
+            if finalize {
+                ss.completing = true;
+            }
+            drop(ss);
+            if finalize {
+                self.finalize_shard(&mut fe, &shard);
+            } else {
+                shard.cond.notify_all();
             }
         }
-        if let Some(seq) = frozen_seq {
-            st.emit(ScriptEvent::CastFrozen {
-                performance: PerformanceId(seq),
-            });
-            self.try_advance(&mut st);
-        }
-        drop(st);
+        drop(fe);
         self.cond.notify_all();
     }
 
-    /// The cast of the performance `seq`, if it is the current one.
-    pub(crate) fn cast_of(&self, seq: u64) -> Vec<(RoleId, ProcessId)> {
-        let st = self.state.lock();
-        match &st.current {
-            Some(p) if p.seq == seq => p
-                .cast
-                .iter()
-                .map(|(r, pr, _)| (r.clone(), pr.clone()))
-                .collect(),
-            _ => Vec::new(),
-        }
+    /// Manually freezes the gathering performance's cast (open-ended
+    /// scripts). No-op if no performance is gathering.
+    pub(crate) fn seal_cast(&self) {
+        let mut fe = self.front.lock();
+        let Some(shard) = fe.gathering.clone() else {
+            return;
+        };
+        self.seal_shard_inner(&mut fe, &shard);
+        self.try_advance(&mut fe);
+        drop(fe);
+        self.cond.notify_all();
     }
 
-    pub(crate) fn is_frozen(&self, seq: u64) -> bool {
-        let st = self.state.lock();
-        match &st.current {
-            Some(p) if p.seq == seq => p.frozen,
-            // A performance that is no longer current was frozen by
-            // construction when it completed.
-            _ => true,
+    /// Freezes one specific performance's cast (used by
+    /// [`RoleCtx::seal_cast`], which knows which performance it is in).
+    pub(crate) fn seal_shard(&self, shard: &Arc<PerfShard<M>>) {
+        let mut fe = self.front.lock();
+        self.seal_shard_inner(&mut fe, shard);
+        self.try_advance(&mut fe);
+        drop(fe);
+        self.cond.notify_all();
+    }
+
+    fn seal_shard_inner(&self, fe: &mut FrontEnd<M>, shard: &Arc<PerfShard<M>>) {
+        let mut ss = shard.state.lock();
+        if ss.frozen || ss.done {
+            return;
+        }
+        Self::freeze(&self.spec, &shard.net, &mut ss);
+        self.emit(ScriptEvent::CastFrozen {
+            performance: PerformanceId(shard.seq),
+        });
+        if let Some(g) = fe.gathering.as_ref() {
+            if Arc::ptr_eq(g, shard) {
+                fe.gathering = None;
+            }
+        }
+        let finalize = ss.is_ready() && !ss.completing;
+        if finalize {
+            ss.completing = true;
+        }
+        drop(ss);
+        if finalize {
+            self.finalize_shard(fe, shard);
+        } else {
+            shard.cond.notify_all();
         }
     }
 
@@ -327,93 +421,99 @@ impl<M: Send + Clone + 'static> Engine<M> {
         params: Box<dyn Any + Send>,
         options: Enrollment,
     ) -> Result<Box<dyn Any + Send>, ScriptError> {
-        let deadline = options.deadline;
+        let deadline = options.deadline.map(|d| d.resolve());
         let process = options.process.unwrap_or_else(ProcessId::anonymous);
         self.validate_role_ref(&role)?;
 
-        // Phase 1: queue and wait for admission.
+        // Phase 1: queue and wait for admission (the only phase that
+        // touches the front-end lock and condvar).
         let ticket;
         {
-            let mut st = self.state.lock();
-            if st.closed {
+            let mut fe = self.front.lock();
+            if fe.closed {
                 return Err(ScriptError::InstanceClosed);
             }
-            ticket = st.next_ticket;
-            st.next_ticket += 1;
-            st.emit(ScriptEvent::EnrollmentQueued {
+            ticket = fe.next_ticket;
+            fe.next_ticket += 1;
+            self.emit(ScriptEvent::EnrollmentQueued {
                 role: match &role {
                     RoleRef::Concrete(id) => id.clone(),
                     RoleRef::NextOf(family) => RoleId::new(family.clone()),
                 },
                 process: process.clone(),
             });
-            st.pending.push(PendingSlot {
+            fe.pending.push(PendingSlot {
                 ticket,
                 role,
                 process: process.clone(),
                 partners: options.partners,
+                deadline,
                 outcome: Outcome::Waiting,
             });
-            self.try_advance(&mut st);
+            self.try_advance(&mut fe);
             if options.non_blocking {
-                let idx = st
+                let idx = fe
                     .pending
                     .iter()
                     .position(|s| s.ticket == ticket)
                     .expect("just pushed");
-                if matches!(st.pending[idx].outcome, Outcome::Waiting) {
-                    st.pending.remove(idx);
+                if matches!(fe.pending[idx].outcome, Outcome::Waiting) {
+                    fe.pending.remove(idx);
                     return Err(ScriptError::WouldBlock);
                 }
             }
-            drop(st);
+            drop(fe);
             self.cond.notify_all();
         }
-        let (seq, role_id, net) = {
-            let mut st = self.state.lock();
+        let (shard, role_id) = {
+            let mut fe = self.front.lock();
             loop {
-                let idx = st
+                let idx = fe
                     .pending
                     .iter()
                     .position(|s| s.ticket == ticket)
                     .expect("pending slot present until resolved");
-                match &st.pending[idx].outcome {
-                    Outcome::Admitted { seq, role } => {
-                        let seq = *seq;
+                match &fe.pending[idx].outcome {
+                    Outcome::Admitted { shard, role } => {
+                        let shard = Arc::clone(shard);
                         let role = role.clone();
-                        st.pending.remove(idx);
-                        let net = st
-                            .current
-                            .as_ref()
-                            .expect("admitted into the current performance")
-                            .net
-                            .clone();
-                        break (seq, role, net);
+                        fe.pending.remove(idx);
+                        break (shard, role);
                     }
                     Outcome::Rejected(e) => {
                         let e = e.clone();
-                        st.pending.remove(idx);
+                        fe.pending.remove(idx);
                         return Err(e);
                     }
                     Outcome::Waiting => {
                         let timed_out = match deadline {
-                            Some(d) => self.cond.wait_until(&mut st, d).timed_out(),
+                            Some(d) => self.cond.wait_until(&mut fe, d).timed_out(),
                             None => {
-                                self.cond.wait(&mut st);
+                                self.cond.wait(&mut fe);
                                 false
                             }
                         };
-                        if timed_out && matches!(st.pending[idx].outcome, Outcome::Waiting) {
-                            st.pending.remove(idx);
-                            self.try_advance(&mut st);
-                            drop(st);
-                            self.cond.notify_all();
-                            return Err(ScriptError::Timeout);
+                        if timed_out {
+                            // Re-find the slot: sibling removals during
+                            // the wait may have shifted its position.
+                            let idx = fe
+                                .pending
+                                .iter()
+                                .position(|s| s.ticket == ticket)
+                                .expect("pending slot present until resolved");
+                            if matches!(fe.pending[idx].outcome, Outcome::Waiting) {
+                                fe.pending.remove(idx);
+                                self.try_advance(&mut fe);
+                                drop(fe);
+                                self.cond.notify_all();
+                                return Err(ScriptError::Timeout);
+                            }
                         }
                     }
                 }
             }
         };
+        let seq = shard.seq;
 
         // Phase 2: run the role body on this thread (the role is a
         // logical continuation of the enrolling process).
@@ -422,11 +522,13 @@ impl<M: Send + Clone + 'static> Engine<M> {
             .role_def(role_id.name())
             .expect("admitted role exists in spec");
         let body = Arc::clone(&def.body);
-        let port = net
+        let port = shard
+            .net
             .port(role_id.clone())
             .expect("cast role is declared in the performance network");
         let mut ctx = RoleCtx::new(
             Arc::clone(self),
+            Arc::clone(&shard),
             port,
             role_id.clone(),
             PerformanceId(seq),
@@ -436,66 +538,72 @@ impl<M: Send + Clone + 'static> Engine<M> {
         let outcome = catch_unwind(AssertUnwindSafe(|| body(&mut ctx, params)));
         drop(ctx);
 
-        // Phase 3: finish the role, maybe complete the performance.
-        let mut st = self.state.lock();
+        // Phase 3: finish the role on the shard alone; only the thread
+        // that completes the performance crosses back to the front end.
         let panicked = outcome.is_err();
-        {
-            let perf = st
-                .current
-                .as_mut()
-                .expect("performance outlives its running roles");
-            debug_assert_eq!(perf.seq, seq);
-            perf.running.remove(&role_id);
-            perf.finished.insert(role_id.clone());
-            perf.net.finish(role_id.clone());
-            if panicked {
-                perf.aborted = true;
-                perf.net.abort();
+        let finalize = {
+            let mut ss = shard.state.lock();
+            ss.running.remove(&role_id);
+            ss.finished.insert(role_id.clone());
+            shard.net.finish(role_id.clone());
+            if panicked && !ss.aborted {
+                ss.aborted = true;
+                shard.net.abort();
             }
-        }
-        st.emit(ScriptEvent::RoleFinished {
-            performance: PerformanceId(seq),
-            role: role_id.clone(),
-        });
-        if panicked {
-            st.emit(ScriptEvent::PerformanceAborted {
+            self.emit(ScriptEvent::RoleFinished {
                 performance: PerformanceId(seq),
+                role: role_id.clone(),
             });
+            if panicked {
+                self.emit(ScriptEvent::PerformanceAborted {
+                    performance: PerformanceId(seq),
+                });
+            }
+            let f = ss.is_ready() && !ss.completing;
+            if f {
+                ss.completing = true;
+            }
+            f
+        };
+        if finalize {
+            let mut fe = self.front.lock();
+            self.finalize_shard(&mut fe, &shard);
+            self.try_advance(&mut fe);
+            drop(fe);
+            self.cond.notify_all();
+        } else {
+            shard.cond.notify_all();
         }
-        self.try_advance(&mut st);
-        self.cond.notify_all();
 
         if panicked {
             return Err(ScriptError::RolePanicked(role_id));
         }
 
-        // Phase 4: delayed termination barrier.
+        // Phase 4: delayed termination barrier, on the shard's own
+        // condvar — unrelated performances are never woken.
         if self.spec.termination == Termination::Delayed {
-            loop {
-                if st.completed > seq {
-                    break;
-                }
+            let mut ss = shard.state.lock();
+            while !ss.done {
                 let timed_out = match deadline {
-                    Some(d) => self.cond.wait_until(&mut st, d).timed_out(),
+                    Some(d) => shard.cond.wait_until(&mut ss, d).timed_out(),
                     None => {
-                        self.cond.wait(&mut st);
+                        shard.cond.wait(&mut ss);
                         false
                     }
                 };
-                if timed_out && st.completed <= seq {
+                if timed_out && !ss.done {
                     return Err(ScriptError::Timeout);
                 }
             }
-            if st.aborted_seqs.contains(&seq) {
-                return Err(if st.stalled_seqs.contains(&seq) {
+            if ss.aborted {
+                return Err(if ss.stalled {
                     ScriptError::Stalled
                 } else {
                     ScriptError::PerformanceAborted
                 });
             }
         }
-        let stalled = st.stalled_seqs.contains(&seq);
-        drop(st);
+        let stalled = shard.state.lock().stalled;
 
         match outcome.expect("panic case returned above") {
             // A role unblocked by a watchdog abort sees the generic
@@ -515,75 +623,107 @@ impl<M: Send + Clone + 'static> Engine<M> {
         }
     }
 
-    /// Advances the state machine: starts performances and admits pending
-    /// enrollments. Must be called with the state lock held whenever the
-    /// pending set or the current performance changes.
-    fn try_advance(&self, st: &mut EngineState<M>) {
-        if st.closed {
+    /// Retires a completed shard. The caller has claimed completion (set
+    /// `completing` under the shard lock, then released it) and holds the
+    /// front-end lock.
+    fn finalize_shard(&self, fe: &mut FrontEnd<M>, shard: &Arc<PerfShard<M>>) {
+        let aborted = {
+            let mut ss = shard.state.lock();
+            debug_assert!(ss.completing && !ss.done);
+            ss.done = true;
+            ss.aborted
+        };
+        // Surface every fault the chaos layer injected, in schedule
+        // order, before the completion event.
+        for record in shard.net.take_fault_log() {
+            self.emit(ScriptEvent::FaultInjected {
+                performance: PerformanceId(shard.seq),
+                fault: record.to_string(),
+            });
+        }
+        self.emit(ScriptEvent::PerformanceCompleted {
+            performance: PerformanceId(shard.seq),
+            aborted,
+        });
+        fe.live.retain(|s| !Arc::ptr_eq(s, shard));
+        if let Some(g) = fe.gathering.as_ref() {
+            if Arc::ptr_eq(g, shard) {
+                fe.gathering = None;
+            }
+        }
+        self.completed.fetch_add(1, Ordering::SeqCst);
+        shard.cond.notify_all();
+    }
+
+    /// Advances the front end: starts performances and admits pending
+    /// enrollments. Must be called with the front-end lock held whenever
+    /// the pending set changes or a gathering slot frees up.
+    fn try_advance(&self, fe: &mut FrontEnd<M>) {
+        if fe.closed {
             return;
         }
-        loop {
-            if st.current.is_none() {
-                match self.spec.initiation {
-                    Initiation::Delayed => {
-                        if !self.start_delayed(st) {
-                            return;
-                        }
+        match self.spec.initiation {
+            Initiation::Delayed => {
+                // Overlapping activations: keep opening performances
+                // while the pending set can cover a critical role set.
+                while self.start_delayed(fe) {}
+            }
+            Initiation::Immediate => loop {
+                if fe.gathering.is_none() {
+                    if !fe
+                        .pending
+                        .iter()
+                        .any(|s| matches!(s.outcome, Outcome::Waiting))
+                    {
+                        return;
                     }
-                    Initiation::Immediate => {
-                        if !st
-                            .pending
-                            .iter()
-                            .any(|s| matches!(s.outcome, Outcome::Waiting))
-                        {
-                            return;
-                        }
-                        self.open_performance(st, Vec::new());
-                    }
+                    self.open_performance(fe, Vec::new());
                 }
-            }
-            let mut newly_admitted = Vec::new();
-            let mut froze = false;
-            let seq;
-            {
-                let perf = st.current.as_mut().expect("just ensured");
-                seq = perf.seq;
-                if self.spec.initiation == Initiation::Immediate && !perf.frozen {
-                    newly_admitted = Self::admit_pending(&self.spec, perf, &mut st.pending);
-                    if Self::covers_critical(&self.spec, perf) {
-                        Self::freeze(&self.spec, perf);
-                        froze = true;
-                    }
+                let shard = Arc::clone(fe.gathering.as_ref().expect("just ensured"));
+                let seq = shard.seq;
+                let mut ss = shard.state.lock();
+                let newly_admitted =
+                    Self::admit_pending(&self.spec, &shard, &mut ss, &mut fe.pending);
+                let froze = if Self::covers_critical(&self.spec, &ss) {
+                    Self::freeze(&self.spec, &shard.net, &mut ss);
+                    true
+                } else {
+                    false
+                };
+                for (role, process) in newly_admitted {
+                    self.emit(ScriptEvent::RoleAdmitted {
+                        performance: PerformanceId(seq),
+                        role,
+                        process,
+                    });
                 }
-            }
-            for (role, process) in newly_admitted {
-                st.emit(ScriptEvent::RoleAdmitted {
-                    performance: PerformanceId(seq),
-                    role,
-                    process,
-                });
-            }
-            if froze {
-                st.emit(ScriptEvent::CastFrozen {
+                if !froze {
+                    return;
+                }
+                self.emit(ScriptEvent::CastFrozen {
                     performance: PerformanceId(seq),
                 });
-            }
-            // Freezing may complete an already-finished cast, which in
-            // turn may start the next performance; loop once more if so.
-            if !self.check_completion(st) {
-                return;
-            }
+                // Detach: the frozen performance runs on its shard while
+                // the next enrollment gathers into a fresh one (overlap).
+                fe.gathering = None;
+                let finalize = ss.is_ready() && !ss.completing;
+                if finalize {
+                    ss.completing = true;
+                }
+                drop(ss);
+                if finalize {
+                    self.finalize_shard(fe, &shard);
+                }
+            },
         }
     }
 
     /// Tries to start a delayed-initiation performance from the pending
     /// set. Returns `true` if one was started.
-    fn start_delayed(&self, st: &mut EngineState<M>) -> bool {
-        let waiting: Vec<&PendingSlot> = st
-            .pending
-            .iter()
-            .filter(|s| matches!(s.outcome, Outcome::Waiting))
-            .collect();
+    fn start_delayed(&self, fe: &mut FrontEnd<M>) -> bool {
+        let now = Instant::now();
+        let waiting: Vec<&PendingSlot<M>> =
+            fe.pending.iter().filter(|s| s.matchable(now)).collect();
         let candidates: Vec<Candidate<'_>> = waiting
             .iter()
             .enumerate()
@@ -611,98 +751,112 @@ impl<M: Send + Clone + 'static> Engine<M> {
             .into_iter()
             .map(|(role, cand_idx)| (waiting[candidates[cand_idx].idx].ticket, role))
             .collect();
-        self.open_performance(st, admitted);
+        self.open_performance(fe, admitted);
         true
     }
 
     /// Creates the next performance and admits the given
     /// `(ticket, role)` pairs into it. Delayed performances (non-empty
-    /// admission list) are frozen at creation.
-    fn open_performance(&self, st: &mut EngineState<M>, admitted: Vec<(u64, RoleId)>) {
-        let seq = st.next_seq;
-        st.next_seq += 1;
-        let net: Network<RoleId, M> = match (self.spec.has_open_family(), st.chaos_seed) {
+    /// admission list) are frozen at creation and run detached; an empty
+    /// admission list makes the new shard the gathering one.
+    fn open_performance(&self, fe: &mut FrontEnd<M>, admitted: Vec<(u64, RoleId)>) {
+        let seq = fe.next_seq;
+        fe.next_seq += 1;
+        let net: Network<RoleId, M> = match (self.spec.has_open_family(), fe.chaos_seed) {
             (true, Some(root)) => Network::new_open_seeded(mix_seed(root, seq)),
             (true, None) => Network::new_open(),
             (false, Some(root)) => Network::with_seed(mix_seed(root, seq)),
             (false, None) => Network::new(),
         };
-        if let Some(plan) = &st.fault_plan {
+        if let Some(plan) = &fe.fault_plan {
             net.set_fault_plan(plan.reseeded(mix_seed(plan.seed(), seq)));
         }
         for role in self.spec.fixed_role_ids() {
             net.declare(role);
         }
-        if let Some(window) = st.watchdog {
-            self.spawn_watchdog(seq, net.clone(), window);
-        }
-        let mut perf = Perf {
+        let shard = Arc::new(PerfShard {
             seq,
             net,
-            cast: Vec::new(),
-            running: HashSet::new(),
-            finished: HashSet::new(),
-            frozen: false,
-            aborted: false,
-            next_open_index: HashMap::new(),
-        };
-        st.emit(ScriptEvent::PerformanceStarted {
+            state: Mutex::new(ShardState {
+                cast: Vec::new(),
+                running: HashSet::new(),
+                finished: HashSet::new(),
+                frozen: false,
+                aborted: false,
+                stalled: false,
+                done: false,
+                completing: false,
+                next_open_index: HashMap::new(),
+            }),
+            cond: Condvar::new(),
+        });
+        self.emit(ScriptEvent::PerformanceStarted {
             performance: PerformanceId(seq),
         });
         let delayed = !admitted.is_empty();
-        for (ticket, role) in admitted {
-            let slot = st
-                .pending
-                .iter_mut()
-                .find(|s| s.ticket == ticket)
-                .expect("admitted ticket pending");
-            perf.net.activate(role.clone());
-            perf.cast
-                .push((role.clone(), slot.process.clone(), slot.partners.clone()));
-            perf.running.insert(role.clone());
-            let process = slot.process.clone();
-            slot.outcome = Outcome::Admitted {
-                seq,
-                role: role.clone(),
-            };
-            st.emit(ScriptEvent::RoleAdmitted {
-                performance: PerformanceId(seq),
-                role,
-                process,
-            });
+        {
+            let mut ss = shard.state.lock();
+            for (ticket, role) in admitted {
+                let slot = fe
+                    .pending
+                    .iter_mut()
+                    .find(|s| s.ticket == ticket)
+                    .expect("admitted ticket pending");
+                shard.net.activate(role.clone());
+                ss.cast
+                    .push((role.clone(), slot.process.clone(), slot.partners.clone()));
+                ss.running.insert(role.clone());
+                let process = slot.process.clone();
+                slot.outcome = Outcome::Admitted {
+                    shard: Arc::clone(&shard),
+                    role: role.clone(),
+                };
+                self.emit(ScriptEvent::RoleAdmitted {
+                    performance: PerformanceId(seq),
+                    role,
+                    process,
+                });
+            }
+            if delayed {
+                Self::freeze(&self.spec, &shard.net, &mut ss);
+                self.emit(ScriptEvent::CastFrozen {
+                    performance: PerformanceId(seq),
+                });
+            }
         }
-        if delayed {
-            Self::freeze(&self.spec, &mut perf);
-            st.emit(ScriptEvent::CastFrozen {
-                performance: PerformanceId(seq),
-            });
+        if let Some(window) = fe.watchdog {
+            self.spawn_watchdog(Arc::clone(&shard), window);
         }
-        st.current = Some(perf);
+        fe.live.push(Arc::clone(&shard));
+        if !delayed {
+            fe.gathering = Some(shard);
+        }
     }
 
-    /// Spawns the quiescence monitor for performance `seq`.
+    /// Spawns the quiescence monitor for one performance.
     ///
     /// The engine itself stays passive (role bodies run on enrolling
     /// threads); the watchdog is the one deliberate exception — an
     /// observer that cannot run on any participant thread, since every
-    /// participant may be the one that is stuck. It holds only a weak
-    /// engine reference and exits as soon as `seq` is no longer the
-    /// current performance.
-    fn spawn_watchdog(&self, seq: u64, net: Network<RoleId, M>, window: Duration) {
+    /// participant may be the one that is stuck. It holds the shard and
+    /// only a weak engine reference, and exits as soon as the
+    /// performance terminates or aborts.
+    fn spawn_watchdog(&self, shard: Arc<PerfShard<M>>, window: Duration) {
         let weak = self.weak.clone();
         let poll = (window / 4).clamp(Duration::from_millis(1), Duration::from_millis(50));
         std::thread::spawn(move || {
-            let mut last_activity = net.activity();
+            let mut last_activity = shard.net.activity();
             let mut last_progress = Instant::now();
             loop {
                 std::thread::sleep(poll);
                 let Some(engine) = weak.upgrade() else { return };
-                let mut st = engine.state.lock();
-                match &st.current {
-                    Some(p) if p.seq == seq && !p.aborted => {}
-                    _ => return,
+                {
+                    let ss = shard.state.lock();
+                    if ss.done || ss.aborted {
+                        return;
+                    }
                 }
-                let now_activity = net.activity();
+                let now_activity = shard.net.activity();
                 if now_activity != last_activity {
                     last_activity = now_activity;
                     last_progress = Instant::now();
@@ -712,19 +866,32 @@ impl<M: Send + Clone + 'static> Engine<M> {
                     continue;
                 }
                 // Quiescent past the deadline: declare a stall and abort.
-                let perf = st.current.as_mut().expect("matched above");
-                perf.aborted = true;
-                perf.net.abort();
-                st.aborted_seqs.insert(seq);
-                st.stalled_seqs.insert(seq);
-                st.emit(ScriptEvent::PerformanceStalled {
-                    performance: PerformanceId(seq),
+                // Front end first (lock order), then the shard.
+                let mut fe = engine.front.lock();
+                let mut ss = shard.state.lock();
+                if ss.done || ss.aborted {
+                    return;
+                }
+                ss.aborted = true;
+                ss.stalled = true;
+                shard.net.abort();
+                engine.emit(ScriptEvent::PerformanceStalled {
+                    performance: PerformanceId(shard.seq),
                 });
-                st.emit(ScriptEvent::PerformanceAborted {
-                    performance: PerformanceId(seq),
+                engine.emit(ScriptEvent::PerformanceAborted {
+                    performance: PerformanceId(shard.seq),
                 });
-                engine.try_advance(&mut st);
-                drop(st);
+                let finalize = ss.is_ready() && !ss.completing;
+                if finalize {
+                    ss.completing = true;
+                }
+                drop(ss);
+                if finalize {
+                    engine.finalize_shard(&mut fe, &shard);
+                    engine.try_advance(&mut fe);
+                }
+                drop(fe);
+                shard.cond.notify_all();
                 engine.cond.notify_all();
                 return;
             }
@@ -736,26 +903,28 @@ impl<M: Send + Clone + 'static> Engine<M> {
     /// another). Returns the admitted `(role, process)` pairs.
     fn admit_pending(
         spec: &ScriptSpec<M>,
-        perf: &mut Perf<M>,
-        pending: &mut [PendingSlot],
+        shard: &Arc<PerfShard<M>>,
+        ss: &mut ShardState,
+        pending: &mut [PendingSlot<M>],
     ) -> Vec<(RoleId, ProcessId)> {
         let mut admitted = Vec::new();
+        let now = Instant::now();
         let mut progress = true;
         while progress {
             progress = false;
             for slot in pending.iter_mut() {
-                if !matches!(slot.outcome, Outcome::Waiting) {
+                if !slot.matchable(now) {
                     continue;
                 }
                 let role = match &slot.role {
                     RoleRef::Concrete(id) => {
-                        if perf.cast_has(id) {
+                        if ss.cast_has(id) {
                             continue;
                         }
                         if let Some(Some(FamilySize::Open { max: Some(m) })) =
                             spec.role_def(id.name()).map(|d| d.family)
                         {
-                            if perf.family_count(id.name()) >= m {
+                            if ss.family_count(id.name()) >= m {
                                 continue;
                             }
                         }
@@ -767,14 +936,14 @@ impl<M: Send + Clone + 'static> Engine<M> {
                             _ => continue,
                         };
                         if let Some(m) = max {
-                            if perf.family_count(family) >= m {
+                            if ss.family_count(family) >= m {
                                 continue;
                             }
                         }
-                        let next = perf.next_open_index.entry(family.clone()).or_insert(0);
+                        let next = ss.next_open_index.entry(family.clone()).or_insert(0);
                         // Skip indices explicitly taken.
                         let mut i = *next;
-                        while perf.cast_has(&RoleId::indexed(family.clone(), i)) {
+                        while ss.cast_has(&RoleId::indexed(family.clone(), i)) {
                             i += 1;
                         }
                         RoleId::indexed(family.clone(), i)
@@ -786,18 +955,18 @@ impl<M: Send + Clone + 'static> Engine<M> {
                     process: &slot.process,
                     partners: &slot.partners,
                 };
-                if admissible(&cand, &perf.cast) {
+                if admissible(&cand, &ss.cast) {
                     if let RoleRef::NextOf(family) = &slot.role {
-                        perf.next_open_index
+                        ss.next_open_index
                             .insert(family.clone(), role.index().expect("indexed") + 1);
                     }
-                    perf.net.activate(role.clone());
-                    perf.cast
+                    shard.net.activate(role.clone());
+                    ss.cast
                         .push((role.clone(), slot.process.clone(), slot.partners.clone()));
-                    perf.running.insert(role.clone());
+                    ss.running.insert(role.clone());
                     admitted.push((role.clone(), slot.process.clone()));
                     slot.outcome = Outcome::Admitted {
-                        seq: perf.seq,
+                        shard: Arc::clone(shard),
                         role,
                     };
                     progress = true;
@@ -808,76 +977,42 @@ impl<M: Send + Clone + 'static> Engine<M> {
     }
 
     /// Does the cast cover any critical role set?
-    fn covers_critical(spec: &ScriptSpec<M>, perf: &Perf<M>) -> bool {
+    fn covers_critical(spec: &ScriptSpec<M>, ss: &ShardState) -> bool {
         let expanded = spec.expanded_critical();
         if expanded.is_empty() {
             // Open-ended script without critical sets: only manual seal.
             return false;
         }
         expanded.iter().any(|(exact, at_least)| {
-            exact.iter().all(|r| perf.cast_has(r))
+            exact.iter().all(|r| ss.cast_has(r))
                 && at_least
                     .iter()
-                    .all(|(family, k)| perf.family_count(family) >= *k)
+                    .all(|(family, k)| ss.family_count(family) >= *k)
         })
     }
 
     /// Freezes the cast: unfilled roles become permanently terminated.
-    fn freeze(spec: &ScriptSpec<M>, perf: &mut Perf<M>) {
-        perf.frozen = true;
+    fn freeze(spec: &ScriptSpec<M>, net: &Network<RoleId, M>, ss: &mut ShardState) {
+        ss.frozen = true;
         for role in spec.fixed_role_ids() {
-            if !perf.cast_has(&role) {
-                perf.net.finish(role);
+            if !ss.cast_has(&role) {
+                net.finish(role);
             }
         }
         // Bars implicitly-declared (open family) stragglers.
-        perf.net.seal();
-    }
-
-    /// Completes the current performance if it is done; returns `true`
-    /// if it completed (the caller should re-run `try_advance`).
-    fn check_completion(&self, st: &mut EngineState<M>) -> bool {
-        let done = match &st.current {
-            Some(p) => {
-                let all_finished = p.cast.iter().all(|(r, _, _)| p.finished.contains(r));
-                (p.frozen && !p.cast.is_empty() && all_finished)
-                    || (p.aborted && p.running.is_empty())
-            }
-            None => false,
-        };
-        if done {
-            let perf = st.current.take().expect("checked");
-            if perf.aborted {
-                st.aborted_seqs.insert(perf.seq);
-            }
-            // Surface every fault the chaos layer injected, in schedule
-            // order, before the completion event.
-            for record in perf.net.take_fault_log() {
-                st.emit(ScriptEvent::FaultInjected {
-                    performance: PerformanceId(perf.seq),
-                    fault: record.to_string(),
-                });
-            }
-            st.completed = perf.seq + 1;
-            st.emit(ScriptEvent::PerformanceCompleted {
-                performance: PerformanceId(perf.seq),
-                aborted: perf.aborted,
-            });
-            true
-        } else {
-            false
-        }
+        net.seal();
     }
 }
 
 impl<M> std::fmt::Debug for Engine<M> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let st = self.state.lock();
+        let fe = self.front.lock();
         f.debug_struct("Engine")
             .field("script", &self.spec.name)
-            .field("pending", &st.pending.len())
-            .field("completed", &st.completed)
-            .field("closed", &st.closed)
+            .field("pending", &fe.pending.len())
+            .field("live", &fe.live.len())
+            .field("completed", &self.completed.load(Ordering::SeqCst))
+            .field("closed", &fe.closed)
             .finish()
     }
 }

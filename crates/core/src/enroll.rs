@@ -125,8 +125,31 @@ impl Partners {
 pub struct Enrollment {
     pub(crate) process: Option<ProcessId>,
     pub(crate) partners: Partners,
-    pub(crate) deadline: Option<Instant>,
+    pub(crate) deadline: Option<DeadlineSpec>,
     pub(crate) non_blocking: bool,
+}
+
+/// How an enrollment deadline was specified. A relative budget is
+/// resolved to an absolute cutoff at each enrollment attempt, so that a
+/// cloned `Enrollment` (e.g. under
+/// [`enroll_with_retry`](crate::ScriptInstance::enroll_with_retry))
+/// grants every attempt its full budget instead of re-using a cutoff
+/// that already expired with the first attempt.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum DeadlineSpec {
+    /// Absolute wall-clock cutoff, fixed when the option was built.
+    At(Instant),
+    /// Relative budget, resolved when the enrollment starts.
+    After(Duration),
+}
+
+impl DeadlineSpec {
+    pub(crate) fn resolve(self) -> Instant {
+        match self {
+            DeadlineSpec::At(d) => d,
+            DeadlineSpec::After(t) => Instant::now() + t,
+        }
+    }
 }
 
 impl Enrollment {
@@ -161,15 +184,18 @@ impl Enrollment {
     ///
     /// The deadline covers the wait-to-be-admitted phase and every
     /// blocking communication performed by the role body through its
-    /// context.
+    /// context. The budget is relative: each enrollment started from
+    /// this option set (including every attempt under
+    /// [`enroll_with_retry`](crate::ScriptInstance::enroll_with_retry))
+    /// gets the full `timeout` from the moment it enrolls.
     pub fn timeout(mut self, timeout: Duration) -> Self {
-        self.deadline = Some(Instant::now() + timeout);
+        self.deadline = Some(DeadlineSpec::After(timeout));
         self
     }
 
     /// Sets an absolute deadline instead of a relative timeout.
     pub fn deadline(mut self, deadline: Instant) -> Self {
-        self.deadline = Some(deadline);
+        self.deadline = Some(DeadlineSpec::At(deadline));
         self
     }
 

@@ -138,8 +138,10 @@ impl From<String> for ProcessId {
 
 /// The sequence number of a performance of a script instance.
 ///
-/// Performances of one instance are strictly ordered (the paper's
-/// *successive activations* rule); the first performance has index 0.
+/// Sequence numbers record *start* order: they are assigned strictly
+/// increasing, beginning at 0. Performances of one instance may overlap
+/// (the paper's §II overlapping activations), so they need not
+/// *complete* in sequence order.
 #[derive(
     Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
 )]

@@ -21,8 +21,11 @@
 //!   semantics: once a critical set is filled, every unfilled role reads
 //!   as terminated ([`RoleCtx::terminated`]) and communication with it
 //!   fails with a distinguished error;
-//! * **successive activations**: all roles of a performance terminate
-//!   before the next performance of the same instance begins;
+//! * **successive and overlapping activations** (§II): enrollments that
+//!   cover a critical role set start a fresh performance immediately,
+//!   even while earlier performances of the same instance are still in
+//!   progress — each performance runs on its own engine shard and
+//!   network, so casts never interact across performances;
 //! * **indexed role families**, and — from the paper's future-work
 //!   section — **open-ended families** whose size is fixed per
 //!   performance, plus **nested enrollment** (role bodies may enroll into
@@ -193,8 +196,12 @@ pub struct InstanceStatus {
     pub completed_performances: u64,
     /// Enrollments queued but not yet admitted.
     pub pending_enrollments: usize,
-    /// The performance currently in progress, if any.
+    /// The oldest performance in progress, if any (kept for callers that
+    /// predate overlapping activations; equals `performances.first()`).
     pub current: Option<PerformanceStatus>,
+    /// Every performance in progress, oldest first. Overlapping
+    /// activations mean there can be more than one.
+    pub performances: Vec<PerformanceStatus>,
 }
 
 /// An immutable, validated script declaration.
@@ -656,11 +663,12 @@ mod tests {
         assert_eq!(inst.completed_performances(), 1);
     }
 
-    /// Figure 1 semantics: a second enrollment for an occupied role waits
-    /// for the entire first performance, even if its occupant finished
-    /// early.
+    /// Serially driven rounds each run as their own performance, in
+    /// order. (The full Figure 1 semantics — an enrollment that cannot
+    /// cover the critical set waits out the performance in progress —
+    /// is pinned in `tests/successive_performances.rs`.)
     #[test]
-    fn successive_performances_are_serialized() {
+    fn successive_performances_complete_in_order() {
         let mut b = Script::<u8>::builder("two_perf");
         let ping = b.role("ping", |ctx, ()| ctx.send(&RoleId::new("pong"), 1));
         let pong = b.role("pong", |ctx, ()| {
@@ -1165,9 +1173,20 @@ mod tests {
             let i1 = inst.clone();
             let pong = pong.clone();
             let h = s.spawn(move || {
-                // Arrive after the first attempt has already timed out.
+                // Arrive after the first attempt has already timed out. In
+                // the rare case that pong is matched with a ping attempt in
+                // the last instants before that attempt's deadline (ping's
+                // send then times out and pong sees `RoleUnavailable`),
+                // re-enroll so a later ping attempt can still succeed.
                 std::thread::sleep(Duration::from_millis(80));
-                i1.enroll(&pong, ())
+                let retryable = |e: &ScriptError| {
+                    e.is_transient() || matches!(e, ScriptError::RoleUnavailable(_))
+                };
+                let policy = RetryPolicy::new(4)
+                    .with_base(Duration::from_millis(1))
+                    .with_cap(Duration::from_millis(5))
+                    .with_seed(9);
+                policy.run_if(retryable, |_| i1.enroll(&pong, ()))
             });
             let policy = RetryPolicy::new(8)
                 .with_base(Duration::from_millis(5))
@@ -1182,7 +1201,9 @@ mod tests {
             .unwrap();
             h.join().unwrap().unwrap();
         });
-        assert_eq!(inst.completed_performances(), 1);
+        // Exactly one performance in the common case; a burned near-deadline
+        // round before the successful one is also acceptable.
+        assert!(inst.completed_performances() >= 1);
     }
 
     #[test]

@@ -7,6 +7,10 @@
 //! `WITH` binding) and every communication tagged with the script
 //! instance name, and (3) an `end_s` message. The supervisor's
 //! `ready`/`done` arrays enforce the *successive activations* rule.
+//! (The translation is deliberately more restrictive than the native
+//! engine, which since the sharded refactor also runs *overlapping*
+//! performances: Fig. 7's single supervisor serializes them, and the
+//! equivalence tests compare against serially driven native runs.)
 //!
 //! The paper's supervisor uses a guarded receive (`ready[k]; p_j?start_s`)
 //! to delay an enrollment for an occupied role. Message content cannot

@@ -7,7 +7,10 @@
 //! monitor holds the `ready`/`done` arrays; enrollment claims a ready
 //! role (waiting out the previous performance — successive activations),
 //! runs the role body on the enrolling thread, and marks it done; the
-//! last role to finish resets the arrays for the next performance.
+//! last role to finish resets the arrays for the next performance. A
+//! single `ready`/`done` array pair can hold only one performance, so
+//! this substrate serializes performances by construction; overlapping
+//! activations are a capability of the native sharded engine only.
 //!
 //! Inter-role data movement uses the monitor toolbox ([`Mailbox`],
 //! [`crate::BoundedBuffer`]); [`mailbox_broadcast`] is Figure 12 end to

@@ -202,8 +202,13 @@ pub fn run<M: Send + Clone + 'static>(b: &Broadcast<M>, value: M) -> Result<Vec<
     run_on(&instance, b, value)
 }
 
-/// Like [`run`], but reuses an existing instance (successive
-/// performances).
+/// Like [`run`], but reuses an existing instance. Calls may be made
+/// back to back (successive performances) or concurrently from several
+/// threads — each concurrent call runs as an overlapping performance on
+/// its own engine shard. Concurrent callers should note that role
+/// assignment across simultaneous casts is first-come-first-served:
+/// with distinct payloads, which sender a given recipient thread pairs
+/// with is not specified.
 ///
 /// # Errors
 ///
@@ -325,5 +330,18 @@ mod tests {
             assert_eq!(got, vec![v; 3]);
         }
         assert_eq!(inst.completed_performances(), 5);
+    }
+
+    #[test]
+    fn overlapping_broadcasts_on_one_instance() {
+        let b = star::<u64>(3, Order::Sequential);
+        let inst = b.script.instance();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4).map(|_| s.spawn(|| run_on(&inst, &b, 7))).collect();
+            for h in handles {
+                assert_eq!(h.join().unwrap().unwrap(), vec![7; 3]);
+            }
+        });
+        assert_eq!(inst.completed_performances(), 4);
     }
 }

@@ -103,11 +103,13 @@ fn recursive_script_divide_and_conquer() {
 }
 
 /// Self-enrollment into the *same instance* must not run inside the
-/// current performance: it queues for the next one. A single-threaded
-/// process that tries to wait for itself would deadlock — we pin that
-/// behavior with a timeout.
+/// current performance: it starts an *overlapping* one (paper §II). With
+/// the sharded engine the inner enrollment covers the critical set by
+/// itself, so a fresh performance begins inline — on its own shard and
+/// network — while the outer performance is still running, and both
+/// complete.
 #[test]
-fn self_enrollment_same_instance_waits_for_next_performance() {
+fn self_enrollment_same_instance_starts_overlapping_performance() {
     let mut b = Script::<u8>::builder("selfie");
     let holder: Arc<parking_lot::Mutex<Option<Instance<u8>>>> =
         Arc::new(parking_lot::Mutex::new(None));
@@ -121,16 +123,18 @@ fn self_enrollment_same_instance_waits_for_next_performance() {
             if recurse {
                 let inst = holder.lock().clone().expect("set");
                 let handle = handle_slot2.lock().clone().expect("set");
-                // Same instance: this queues for the NEXT performance,
-                // which can never start while we are still running.
-                let err = inst
-                    .enroll_with(
-                        &handle,
-                        false,
-                        Enrollment::new().timeout(Duration::from_millis(80)),
-                    )
-                    .unwrap_err();
-                assert_eq!(err, ScriptError::Timeout);
+                // Same instance: this starts an overlapping performance
+                // on a fresh shard and runs it to completion inline,
+                // while the outer performance is still in progress.
+                inst.enroll_with(
+                    &handle,
+                    false,
+                    Enrollment::new().timeout(Duration::from_millis(500)),
+                )
+                .unwrap();
+                // The inner performance has already completed; the outer
+                // one (ours) is still running.
+                assert_eq!(inst.completed_performances(), 1);
             }
             Ok(())
         });
@@ -143,7 +147,7 @@ fn self_enrollment_same_instance_waits_for_next_performance() {
     inst.enroll(&me, true).unwrap();
     // The instance is healthy afterwards.
     inst.enroll(&me, false).unwrap();
-    assert_eq!(inst.completed_performances(), 2);
+    assert_eq!(inst.completed_performances(), 3);
 }
 
 /// Instance introspection reflects the performance in progress.
