@@ -1,0 +1,498 @@
+//! A reusable conformance suite for [`Transport`] implementations.
+//!
+//! The [`Transport`] trait documents a behavioral contract (rendezvous,
+//! lifecycle, selection, deadlines, abort, fault determinism); this
+//! module checks it mechanically, so a new backend — the socket
+//! transport in `script-net`, an instrumented wrapper, a future shared
+//! memory substrate — is tested against the *same* expectations as the
+//! in-process [`ShardedTransport`](crate::ShardedTransport), not
+//! against ad-hoc tests that drift.
+//!
+//! A suite run is parameterized by a **factory**: a closure producing a
+//! fresh, independent, *closed* (non-implicitly-declaring) transport
+//! for `String` ids and `u64` messages, seeded for reproducible
+//! selection. Each check builds its own topology through the factory,
+//! so checks are order-independent and a failure names the violated
+//! clause.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use script_chan::{conformance, ShardedTransport};
+//!
+//! conformance::run_all(&|seed| {
+//!     Arc::new(ShardedTransport::new(false, Some(seed))) as _
+//! });
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::fault::{FaultKind, FaultPlan};
+use crate::network::{Network, PeerState};
+use crate::select::{Arm, Outcome};
+use crate::transport::Transport;
+use crate::ChanError;
+
+/// The concrete transport type the suite exercises.
+pub type ConformanceTransport = Arc<dyn Transport<String, u64>>;
+
+/// A factory producing a fresh closed transport seeded with the given
+/// selection seed. Every check calls it at least once.
+pub type TransportFactory<'a> = &'a dyn Fn(u64) -> ConformanceTransport;
+
+fn net_of(t: ConformanceTransport) -> Network<String, u64> {
+    Network::with_transport(t)
+}
+
+fn s(x: &str) -> String {
+    x.to_string()
+}
+
+/// A deadline generous enough that only a contract violation hits it.
+fn far() -> Option<Instant> {
+    Some(Instant::now() + Duration::from_secs(10))
+}
+
+/// A deadline the check *expects* to expire.
+fn soon() -> Option<Instant> {
+    Some(Instant::now() + Duration::from_millis(60))
+}
+
+/// Spins until `cond` holds, panicking with `what` after 10 seconds.
+fn await_cond(what: &str, cond: impl Fn() -> bool) {
+    let start = Instant::now();
+    while !cond() {
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "conformance: timed out waiting for {what}"
+        );
+        thread::yield_now();
+    }
+}
+
+/// Lifecycle: states progress `Expected → Active → Done`, `declare`
+/// never downgrades, unknown peers are rejected on closed transports,
+/// and the activity counter advances on transitions.
+pub fn check_lifecycle(factory: TransportFactory<'_>) {
+    let net = net_of(factory(1));
+    assert_eq!(
+        net.peer_state(&s("x")),
+        None,
+        "undeclared peer has no state"
+    );
+    net.declare(s("x"));
+    assert_eq!(net.peer_state(&s("x")), Some(PeerState::Expected));
+    net.activate(s("x"));
+    assert_eq!(net.peer_state(&s("x")), Some(PeerState::Active));
+    net.declare(s("x"));
+    assert_eq!(
+        net.peer_state(&s("x")),
+        Some(PeerState::Active),
+        "declare must not downgrade an active peer"
+    );
+    net.finish(s("x"));
+    assert_eq!(net.peer_state(&s("x")), Some(PeerState::Done));
+    assert!(
+        net.port(s("nobody")).is_err(),
+        "closed transports must reject undeclared participants"
+    );
+    let a0 = net.activity();
+    net.declare(s("y"));
+    assert!(
+        net.activity() > a0,
+        "lifecycle transitions advance activity"
+    );
+    let peers: Vec<String> = net.peers().into_iter().map(|(id, _)| id).collect();
+    assert!(peers.contains(&s("x")) && peers.contains(&s("y")));
+}
+
+/// Rendezvous ordering: messages on one directed edge are delivered in
+/// send order, and edges do not interfere.
+pub fn check_edge_fifo_ordering(factory: TransportFactory<'_>) {
+    let net = net_of(factory(7));
+    for id in ["s0", "s1", "rx"] {
+        net.activate(s(id));
+    }
+    let rx = net.port(s("rx")).unwrap();
+    let mut handles = Vec::new();
+    for (si, base) in [("s0", 0u64), ("s1", 100u64)] {
+        let p = net.port(s(si)).unwrap();
+        handles.push(thread::spawn(move || {
+            for k in 0..20u64 {
+                p.send_deadline(&s("rx"), base + k, far()).unwrap();
+            }
+        }));
+    }
+    let mut seen: HashMap<String, Vec<u64>> = HashMap::new();
+    for _ in 0..40 {
+        let (from, v) = rx.recv_any_deadline(far()).unwrap();
+        seen.entry(from).or_default().push(v);
+    }
+    assert_eq!(
+        seen[&s("s0")],
+        (0..20).collect::<Vec<u64>>(),
+        "edge s0→rx must be FIFO"
+    );
+    assert_eq!(
+        seen[&s("s1")],
+        (100..120).collect::<Vec<u64>>(),
+        "edge s1→rx must be FIFO"
+    );
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+/// Select fairness: with several senders simultaneously ready, seeded
+/// selection picks each of them first in some round — no arm is
+/// starved by position.
+pub fn check_select_fairness(factory: TransportFactory<'_>) {
+    const ROUNDS: u64 = 18;
+    let senders = ["s0", "s1", "s2"];
+    let mut first_counts: HashMap<String, u32> = HashMap::new();
+    for round in 0..ROUNDS {
+        let net = net_of(factory(round * 31 + 7));
+        net.activate(s("rx"));
+        for sx in senders {
+            net.activate(s(sx));
+        }
+        let mut handles = Vec::new();
+        for (i, sx) in senders.iter().enumerate() {
+            let p = net.port(s(sx)).unwrap();
+            handles.push(thread::spawn(move || {
+                p.send_deadline(&s("rx"), i as u64, far()).unwrap();
+            }));
+        }
+        await_cond("all three deposits to land", || {
+            senders
+                .iter()
+                .all(|sx| net.has_pending_from(&s("rx"), &s(sx)))
+        });
+        let rx = net.port(s("rx")).unwrap();
+        let (first, _) = rx.recv_any_deadline(far()).unwrap();
+        *first_counts.entry(first).or_insert(0) += 1;
+        for _ in 0..2 {
+            rx.recv_any_deadline(far()).unwrap();
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+    for sx in senders {
+        assert!(
+            first_counts.get(&s(sx)).copied().unwrap_or(0) >= 1,
+            "selection never chose {sx} first across {ROUNDS} seeded rounds: {first_counts:?}"
+        );
+    }
+}
+
+/// Send-arm claiming: a send arm fires only against a peer already
+/// committed to a matching receive (so firing proves delivery), and
+/// times out when no such commitment exists.
+pub fn check_send_claim(factory: TransportFactory<'_>) {
+    let net = net_of(factory(3));
+    net.activate(s("a"));
+    net.activate(s("b"));
+    let a = net.port(s("a")).unwrap();
+    assert_eq!(
+        a.select_deadline(vec![Arm::send(s("b"), 1)], soon()),
+        Err(ChanError::Timeout),
+        "a send arm must not fire without a committed receiver"
+    );
+    let b = net.port(s("b")).unwrap();
+    let h = thread::spawn(move || b.recv_any_deadline(far()));
+    let out = a
+        .select_deadline(vec![Arm::send(s("b"), 21)], far())
+        .unwrap();
+    assert!(
+        matches!(out, Outcome::Sent { arm: 0, ref to } if *to == s("b")),
+        "committed receiver must be claimable: {out:?}"
+    );
+    assert_eq!(h.join().unwrap(), Ok((s("a"), 21)));
+}
+
+/// Deadlines: expiry surfaces `Timeout` and leaves no partial effect —
+/// in particular a send that timed out awaiting pickup reclaims its
+/// deposit.
+pub fn check_deadlines(factory: TransportFactory<'_>) {
+    let net = net_of(factory(5));
+    net.activate(s("a"));
+    net.activate(s("b"));
+    net.declare(s("late"));
+    let a = net.port(s("a")).unwrap();
+    let b = net.port(s("b")).unwrap();
+    assert_eq!(
+        b.recv_from_deadline(&s("a"), soon()),
+        Err(ChanError::Timeout),
+        "recv deadline must expire"
+    );
+    assert_eq!(
+        a.send_deadline(&s("late"), 1, soon()),
+        Err(ChanError::Timeout),
+        "send to a never-activating peer must time out"
+    );
+    assert_eq!(
+        a.send_deadline(&s("b"), 7, soon()),
+        Err(ChanError::Timeout),
+        "send awaiting pickup must time out"
+    );
+    assert!(
+        !net.has_pending_from(&s("b"), &s("a")),
+        "a timed-out send must reclaim its deposit"
+    );
+    assert_eq!(b.try_recv_from(&s("a")), Ok(None));
+    assert_eq!(
+        a.select_deadline(vec![Arm::recv_from(s("b"))], soon()),
+        Err(ChanError::Timeout)
+    );
+}
+
+/// Termination surfacing: a done peer's already-deposited message is
+/// drained first, then operations naming it fail with `Terminated`;
+/// a selection whose arms are all dead reports `AllTerminated`.
+pub fn check_termination_surfacing(factory: TransportFactory<'_>) {
+    let net = net_of(factory(9));
+    for id in ["a", "b", "c"] {
+        net.activate(s(id));
+    }
+    let a = net.port(s("a")).unwrap();
+    let h = thread::spawn(move || a.send_deadline(&s("b"), 3, far()));
+    await_cond("the deposit from a to land", || {
+        net.has_pending_from(&s("b"), &s("a"))
+    });
+    net.finish(s("a"));
+    let b = net.port(s("b")).unwrap();
+    assert_eq!(
+        b.recv_from_deadline(&s("a"), far()),
+        Ok(3),
+        "a dead peer's pending message must be drained first"
+    );
+    let _ = h.join().unwrap();
+    assert_eq!(
+        b.recv_from_deadline(&s("a"), far()),
+        Err(ChanError::Terminated(s("a"))),
+        "after draining, a dead peer surfaces Terminated"
+    );
+    net.finish(s("c"));
+    assert_eq!(
+        b.select_deadline(vec![Arm::recv_from(s("a")), Arm::recv_from(s("c"))], far()),
+        Err(ChanError::AllTerminated),
+        "a selection with only dead arms surfaces AllTerminated"
+    );
+}
+
+/// Watch arms fire only after everything from the watched peer has been
+/// drained (the paper's `r.terminated` device).
+pub fn check_watch_drains_before_firing(factory: TransportFactory<'_>) {
+    let net = net_of(factory(11));
+    net.activate(s("a"));
+    net.activate(s("b"));
+    let a = net.port(s("a")).unwrap();
+    let h = thread::spawn(move || a.send_deadline(&s("b"), 4, far()));
+    await_cond("the deposit from a to land", || {
+        net.has_pending_from(&s("b"), &s("a"))
+    });
+    net.finish(s("a"));
+    let b = net.port(s("b")).unwrap();
+    let arms = || vec![Arm::recv_from(s("a")), Arm::watch(s("a"))];
+    let out = b.select_deadline(arms(), far()).unwrap();
+    assert!(
+        matches!(out, Outcome::Received { arm: 0, msg: 4, .. }),
+        "the pending message must win over the watch arm: {out:?}"
+    );
+    let out = b.select_deadline(arms(), far()).unwrap();
+    assert!(
+        matches!(out, Outcome::Terminated { arm: 1, ref peer } if *peer == s("a")),
+        "once drained, the watch arm fires: {out:?}"
+    );
+    let _ = h.join().unwrap();
+}
+
+/// Sealing: still-expected peers become done and communication with
+/// them fails with `Terminated`; active peers are untouched.
+pub fn check_seal_bars_expected_peers(factory: TransportFactory<'_>) {
+    let net = net_of(factory(13));
+    net.declare(s("ghost"));
+    net.activate(s("a"));
+    net.seal();
+    assert_eq!(net.peer_state(&s("ghost")), Some(PeerState::Done));
+    assert_eq!(net.peer_state(&s("a")), Some(PeerState::Active));
+    let a = net.port(s("a")).unwrap();
+    assert_eq!(
+        a.send_deadline(&s("ghost"), 1, far()),
+        Err(ChanError::Terminated(s("ghost")))
+    );
+}
+
+/// Abort: blocked operations unblock with `Aborted` and future
+/// operations fail the same way.
+pub fn check_abort_unblocks(factory: TransportFactory<'_>) {
+    let net = net_of(factory(15));
+    net.activate(s("a"));
+    net.activate(s("b"));
+    let b = net.port(s("b")).unwrap();
+    let h = thread::spawn(move || b.recv_from_deadline(&s("a"), far()));
+    thread::sleep(Duration::from_millis(30));
+    net.abort();
+    assert_eq!(h.join().unwrap(), Err(ChanError::Aborted));
+    let a = net.port(s("a")).unwrap();
+    assert_eq!(a.send_deadline(&s("b"), 1, far()), Err(ChanError::Aborted));
+    assert!(net.is_aborted());
+}
+
+/// Crash surfacing: a plan-selected victim fails its own operation with
+/// `Terminated(self)`, reads as `Done`, unblocks partners waiting on
+/// it, and leaves a `Crash` record in the fault log.
+pub fn check_crash_surfacing(factory: TransportFactory<'_>) {
+    // Pick a seed whose victim set is exactly {a}. Decisions are pure
+    // functions of (seed, peer), so this probe costs nothing.
+    let probe = |seed: u64| FaultPlan::new(seed).with_crash(0.5, 2);
+    let seed = (0..10_000u64)
+        .find(|&sd| {
+            let p = probe(sd);
+            p.decide_crash(&s("a")) && !p.decide_crash(&s("b")) && !p.decide_crash(&s("w"))
+        })
+        .expect("a seed selecting exactly peer a exists");
+    let net = net_of(factory(1));
+    for id in ["a", "b", "w"] {
+        net.activate(s(id));
+    }
+    net.set_fault_plan(probe(seed));
+    let w = net.port(s("w")).unwrap();
+    let wh = thread::spawn(move || w.recv_from_deadline(&s("a"), far()));
+    let b = net.port(s("b")).unwrap();
+    let bh = thread::spawn(move || b.recv_from_deadline(&s("a"), far()));
+    let a = net.port(s("a")).unwrap();
+    a.send_deadline(&s("b"), 1, far()).unwrap();
+    assert_eq!(bh.join().unwrap(), Ok(1));
+    assert_eq!(
+        a.send_deadline(&s("b"), 2, far()),
+        Err(ChanError::Terminated(s("a"))),
+        "the victim's crash-step operation fails with Terminated(self)"
+    );
+    assert_eq!(net.peer_state(&s("a")), Some(PeerState::Done));
+    assert_eq!(
+        wh.join().unwrap(),
+        Err(ChanError::Terminated(s("a"))),
+        "a partner blocked on the victim must unblock with Terminated"
+    );
+    assert!(
+        net.fault_log()
+            .iter()
+            .any(|r| r.kind == FaultKind::Crash && r.from == s("a")),
+        "the crash must be recorded in the fault log"
+    );
+}
+
+/// Fault-plan plumbing: an attached plan reads back equal (all fault
+/// classes and probabilities survive the transport boundary), the log
+/// starts empty, and clearing detaches it.
+pub fn check_fault_plan_roundtrip(factory: TransportFactory<'_>) {
+    let net = net_of(factory(17));
+    net.activate(s("a"));
+    net.activate(s("b"));
+    assert_eq!(net.fault_plan(), None);
+    let plan = FaultPlan::new(21)
+        .with_drop(0.25)
+        .with_delay(0.5, Duration::from_micros(300))
+        .with_duplicate(0.1)
+        .with_crash(0.4, 3);
+    net.set_fault_plan(plan.clone());
+    assert_eq!(
+        net.fault_plan(),
+        Some(plan),
+        "an attached plan must read back unchanged"
+    );
+    assert!(net.fault_log().is_empty());
+    net.clear_fault_plan();
+    assert_eq!(net.fault_plan(), None);
+}
+
+/// Fault determinism: the same seed and communication schedule produce
+/// byte-identical fault logs on two independent runs.
+pub fn check_fault_determinism(factory: TransportFactory<'_>) {
+    let one = chaos_schedule_log(factory);
+    let two = chaos_schedule_log(factory);
+    assert!(
+        !one.is_empty(),
+        "the reference chaos schedule injects at least one fault"
+    );
+    assert_eq!(
+        one, two,
+        "the same seed and schedule must replay the same fault log"
+    );
+}
+
+/// Runs the reference chaos schedule — 24 sequential sends on one edge
+/// under a fixed drop/delay/duplicate plan — and returns the rendered
+/// fault log.
+///
+/// Because injection decisions are made at the sending edge as pure
+/// functions of (seed, edge, sequence), the returned log is identical
+/// for *any* conforming transport: callers compare it across backends
+/// to prove chaos seeds replay across process boundaries.
+pub fn chaos_schedule_log(factory: TransportFactory<'_>) -> Vec<String> {
+    let net = net_of(factory(23));
+    net.activate(s("a"));
+    net.activate(s("b"));
+    net.set_fault_plan(
+        FaultPlan::new(29)
+            .with_drop(0.35)
+            .with_delay(0.2, Duration::from_micros(100))
+            .with_duplicate(0.25),
+    );
+    let b = net.port(s("b")).unwrap();
+    let rx = thread::spawn(move || {
+        let mut got = Vec::new();
+        while let Ok(v) = b.recv_from_deadline(&s("a"), far()) {
+            got.push(v);
+        }
+        got
+    });
+    let a = net.port(s("a")).unwrap();
+    for k in 0..24u64 {
+        a.send_deadline(&s("b"), k, far())
+            .expect("receiver drains continuously");
+    }
+    net.finish(s("a"));
+    let _ = rx.join().unwrap();
+    net.fault_log().iter().map(|r| r.to_string()).collect()
+}
+
+/// Runs every check in the suite against the factory.
+pub fn run_all(factory: TransportFactory<'_>) {
+    check_lifecycle(factory);
+    check_edge_fifo_ordering(factory);
+    check_select_fairness(factory);
+    check_send_claim(factory);
+    check_deadlines(factory);
+    check_termination_surfacing(factory);
+    check_watch_drains_before_firing(factory);
+    check_seal_bars_expected_peers(factory);
+    check_abort_unblocks(factory);
+    check_crash_surfacing(factory);
+    check_fault_plan_roundtrip(factory);
+    check_fault_determinism(factory);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::ShardedTransport;
+
+    fn sharded(seed: u64) -> ConformanceTransport {
+        Arc::new(ShardedTransport::new(false, Some(seed)))
+    }
+
+    #[test]
+    fn sharded_transport_conforms() {
+        run_all(&sharded);
+    }
+
+    #[test]
+    fn sharded_chaos_schedule_is_stable() {
+        assert_eq!(chaos_schedule_log(&sharded), chaos_schedule_log(&sharded));
+    }
+}

@@ -189,6 +189,26 @@ impl FaultPlan {
         self.delay
     }
 
+    /// The configured drop probability.
+    pub fn drop_probability(&self) -> f64 {
+        self.drop_prob
+    }
+
+    /// The configured delay probability.
+    pub fn delay_probability(&self) -> f64 {
+        self.delay_prob
+    }
+
+    /// The configured duplicate probability.
+    pub fn duplicate_probability(&self) -> f64 {
+        self.duplicate_prob
+    }
+
+    /// The configured crash probability.
+    pub fn crash_probability(&self) -> f64 {
+        self.crash_prob
+    }
+
     /// The configured crash step (0 when crashes are disabled).
     pub fn crash_step(&self) -> u64 {
         self.crash_step

@@ -47,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod conformance;
 mod error;
 mod fault;
 mod network;

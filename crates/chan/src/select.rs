@@ -15,7 +15,7 @@ pub enum Source<I> {
 /// Arms with a false boolean guard should simply not be passed to
 /// [`Port::select`](crate::Port::select); the higher layers provide the
 /// `when`-style sugar.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Arm<I, M> {
     /// Fire when a message from `source` can be received.
     Recv(Source<I>),

@@ -66,6 +66,42 @@ pub type FaultObserver<I> = Arc<dyn Fn(&FaultRecord<I>) + Send + Sync>;
 /// another engine rewrite. Message duplication support passes a
 /// `clone_fn` alongside the plan so the trait itself needs no
 /// `M: Clone` bound.
+///
+/// # Contract
+///
+/// Every implementation must satisfy the observable behavior below; the
+/// [`conformance`](crate::conformance) module checks it mechanically and
+/// must pass for any new backend.
+///
+/// * **Rendezvous.** [`Transport::send`] completes only when the
+///   receiver has picked the message up (or fails); at most one message
+///   per directed edge is in flight, so messages from one sender arrive
+///   in send order (per-edge FIFO).
+/// * **Lifecycle.** Peers move `Expected → Active → Done`;
+///   [`Transport::declare`] never downgrades a state. Operations naming
+///   an `Expected` peer block (the role may yet enroll); operations
+///   naming a `Done` peer fail with [`ChanError::Terminated`] *after*
+///   any already-deposited message from it has been drained. A
+///   selection whose arms are all permanently unfireable fails with
+///   `Terminated` (single named peer) or [`ChanError::AllTerminated`].
+/// * **Selection.** [`Transport::select`] fires exactly one arm, chosen
+///   fairly among ready alternatives (seeded by
+///   [`Transport::reseed`] for reproducibility); a send arm fires only
+///   by claiming a peer already committed to a matching receive, so a
+///   fired send arm proves delivery. Watch arms fire only once nothing
+///   from the watched peer remains undelivered.
+/// * **Deadlines.** An expired deadline surfaces
+///   [`ChanError::Timeout`] and leaves no partial effect: a send that
+///   timed out awaiting pickup reclaims its deposit.
+/// * **Abort.** [`Transport::abort`] fails every blocked and future
+///   operation with [`ChanError::Aborted`]; an already-claimed
+///   rendezvous still completes (the sender has already seen success).
+/// * **Faults.** With a [`FaultPlan`] attached, injection decisions are
+///   pure functions of (seed, edge, per-edge sequence) made at the
+///   *sending* edge, so the fault log for a fixed communication
+///   schedule is identical across runs — and across transports. Remote
+///   peer loss (a disconnected process) surfaces as the same
+///   [`ChanError::Terminated`] a crashed peer produces.
 pub trait Transport<I, M>: Send + Sync {
     /// Declares `id` as expected (idempotent, never downgrades).
     fn declare(&self, id: I);

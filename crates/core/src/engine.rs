@@ -162,7 +162,33 @@ struct FrontEnd<M> {
     /// Fault plan attached (reseeded per performance) to every new
     /// performance's network.
     fault_plan: Option<FaultPlan>,
+    /// Custom network constructor for future performances (distribution
+    /// seam); `None` builds the default in-process network.
+    net_factory: Option<Arc<NetworkFactory<M>>>,
 }
+
+/// What a [`NetworkFactory`] is told about the performance whose network
+/// it is about to build.
+#[derive(Debug, Clone)]
+pub struct PerformanceNet {
+    /// The performance the network will carry.
+    pub performance: PerformanceId,
+    /// Whether the script declares an open role family (the network
+    /// must accept peers beyond the declared cast).
+    pub open: bool,
+    /// The per-performance chaos seed, if the instance has one. The
+    /// engine reseeds the returned network with it either way; it is
+    /// provided so factories building *remote* transports can forward
+    /// it to the process that owns the rendezvous state.
+    pub seed: Option<u64>,
+}
+
+/// Builds the network for each new performance — the seam through which
+/// a performance is placed on a non-default transport (e.g. a socket
+/// transport from `script-net`, making the performance span OS
+/// processes). The factory is called once per performance, before any
+/// role is admitted.
+pub type NetworkFactory<M> = dyn Fn(&PerformanceNet) -> Network<RoleId, M> + Send + Sync;
 
 /// SplitMix64 finalizer: derives per-performance seeds from a root seed
 /// so distinct performances draw independent, reproducible schedules.
@@ -210,6 +236,7 @@ impl<M: Send + Clone + 'static> Engine<M> {
                 watchdog: None,
                 chaos_seed: None,
                 fault_plan: None,
+                net_factory: None,
             }),
             cond: Condvar::new(),
             events: Mutex::new(None),
@@ -256,6 +283,16 @@ impl<M: Send + Clone + 'static> Engine<M> {
     /// Stops injecting faults into future performances.
     pub(crate) fn clear_fault_plan(&self) {
         self.front.lock().fault_plan = None;
+    }
+
+    /// Routes every future performance's network through `factory`.
+    pub(crate) fn set_network_factory(&self, factory: Arc<NetworkFactory<M>>) {
+        self.front.lock().net_factory = Some(factory);
+    }
+
+    /// Future performances build the default in-process network again.
+    pub(crate) fn clear_network_factory(&self) {
+        self.front.lock().net_factory = None;
     }
 
     /// Number of performances that have fully terminated.
@@ -762,11 +799,28 @@ impl<M: Send + Clone + 'static> Engine<M> {
     fn open_performance(&self, fe: &mut FrontEnd<M>, admitted: Vec<(u64, RoleId)>) {
         let seq = fe.next_seq;
         fe.next_seq += 1;
-        let net: Network<RoleId, M> = match (self.spec.has_open_family(), fe.chaos_seed) {
-            (true, Some(root)) => Network::new_open_seeded(mix_seed(root, seq)),
-            (true, None) => Network::new_open(),
-            (false, Some(root)) => Network::with_seed(mix_seed(root, seq)),
-            (false, None) => Network::new(),
+        let seed = fe.chaos_seed.map(|root| mix_seed(root, seq));
+        let open = self.spec.has_open_family();
+        let net: Network<RoleId, M> = match &fe.net_factory {
+            Some(factory) => {
+                let net = factory(&PerformanceNet {
+                    performance: PerformanceId(seq),
+                    open,
+                    seed,
+                });
+                // Reseed so factory-built networks draw the same
+                // per-performance schedule as default ones.
+                if let Some(s) = seed {
+                    net.reseed(s);
+                }
+                net
+            }
+            None => match (open, seed) {
+                (true, Some(s)) => Network::new_open_seeded(s),
+                (true, None) => Network::new_open(),
+                (false, Some(s)) => Network::with_seed(s),
+                (false, None) => Network::new(),
+            },
         };
         if let Some(plan) = &fe.fault_plan {
             net.set_fault_plan(plan.reseeded(mix_seed(plan.seed(), seq)));

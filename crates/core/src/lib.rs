@@ -84,6 +84,7 @@ use std::fmt;
 use std::sync::Arc;
 
 pub use ctx::{Event, Guard, RoleCtx};
+pub use engine::{NetworkFactory, PerformanceNet};
 pub use enroll::{Enrollment, Partners, ProcessSel};
 pub use error::ScriptError;
 pub use retry::RetryPolicy;
@@ -520,6 +521,23 @@ impl<M: Send + Clone + 'static> Instance<M> {
     /// Stops injecting faults into future performances.
     pub fn clear_fault_plan(&self) {
         self.engine.clear_fault_plan();
+    }
+
+    /// Routes every **future** performance's network through `factory`
+    /// — the distribution seam. The factory receives a
+    /// [`PerformanceNet`] describing the performance and returns the
+    /// [`Network`](script_chan::Network) it should run on; returning
+    /// one backed by a socket transport (`script-net`) lets a single
+    /// performance span OS processes. Chaos seeds, fault plans, and the
+    /// watchdog compose unchanged: the engine reseeds and attaches the
+    /// plan to whatever network the factory returns.
+    pub fn set_network_factory(&self, factory: std::sync::Arc<NetworkFactory<M>>) {
+        self.engine.set_network_factory(factory);
+    }
+
+    /// Future performances build the default in-process network again.
+    pub fn clear_network_factory(&self) {
+        self.engine.clear_network_factory();
     }
 
     /// [`Instance::enroll_with`] under a [`RetryPolicy`]: transient

@@ -1,0 +1,535 @@
+//! The socket-backed [`Transport`]: a framed RPC client.
+//!
+//! A [`SocketTransport`] implements the full [`Transport`] contract by
+//! forwarding every operation to a [`TransportServer`](crate::TransportServer)
+//! hub over one multiplexed TCP connection. Connection establishment is
+//! **lazy** — the first operation dials, with reconnect attempts paced
+//! by a [`RetryPolicy`] (exponential backoff + decorrelated jitter), so
+//! a client may be constructed before its hub is listening.
+//!
+//! Blocking semantics cross the wire unchanged: a `send` or `select`
+//! RPC simply does not answer until the rendezvous fires server-side,
+//! and deadlines travel as remaining-millisecond budgets so the two
+//! processes need no shared clock.
+//!
+//! **Peer loss** is surfaced as the contract requires — with the same
+//! errors a crashed peer produces. If the hub becomes unreachable and
+//! redialing exhausts the retry budget, a send reports
+//! [`ChanError::Terminated`] for its target, a selection reports
+//! `Terminated`/`AllTerminated` for its arms, lifecycle queries degrade
+//! to "gone" answers (`is_aborted` → true, `peers` → empty), and
+//! [`Transport::activity`] freezes at its last observed value so an
+//! engine watchdog sampling it sees a wedged performance and raises
+//! `Stalled`. Conversely the ids this client *activated* are bound to
+//! its connection hub-side, so this process dying surfaces as
+//! `Terminated` to everyone else.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use script_chan::{
+    Arm, ChanError, FaultObserver, FaultPlan, FaultRecord, Outcome, PeerState, Transport,
+};
+use script_core::RetryPolicy;
+
+use crate::frame::{read_frame, write_frame};
+use crate::proto::{timeout_ms_of, Req, Resp, EVENT_REQ_ID};
+use crate::wire::{Reader, Wire};
+
+/// Response slot for one in-flight request.
+struct Slot<I, M> {
+    state: Mutex<SlotState<I, M>>,
+    cond: Condvar,
+}
+
+enum SlotState<I, M> {
+    Waiting,
+    Filled(Resp<I, M>),
+    /// The connection died before the response arrived.
+    Lost,
+}
+
+impl<I, M> Slot<I, M> {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(SlotState::Waiting),
+            cond: Condvar::new(),
+        }
+    }
+
+    fn fill(&self, value: SlotState<I, M>) {
+        let mut st = self.state.lock();
+        if matches!(*st, SlotState::Waiting) {
+            *st = value;
+            self.cond.notify_all();
+        }
+    }
+
+    /// Blocks until filled; `None` means the connection was lost.
+    fn wait(&self) -> Option<Resp<I, M>> {
+        let mut st = self.state.lock();
+        loop {
+            match std::mem::replace(&mut *st, SlotState::Waiting) {
+                SlotState::Waiting => self.cond.wait(&mut st),
+                SlotState::Filled(resp) => return Some(resp),
+                SlotState::Lost => return None,
+            }
+        }
+    }
+}
+
+/// One live connection: writer half plus the in-flight request table.
+struct ConnShared<I, M> {
+    writer: Mutex<TcpStream>,
+    /// Kept to sever the socket on close/drop.
+    stream: TcpStream,
+    pending: Mutex<HashMap<u64, Arc<Slot<I, M>>>>,
+    alive: AtomicBool,
+}
+
+impl<I, M> ConnShared<I, M> {
+    /// Marks the connection dead and fails every in-flight request.
+    fn fail(&self) {
+        self.alive.store(false, Ordering::SeqCst);
+        let drained: Vec<Arc<Slot<I, M>>> = self.pending.lock().drain().map(|(_, s)| s).collect();
+        for slot in drained {
+            slot.fill(SlotState::Lost);
+        }
+    }
+}
+
+/// A [`Transport`] speaking framed RPC to a remote hub (see the module
+/// docs).
+pub struct SocketTransport<I, M> {
+    addr: SocketAddr,
+    retry: RetryPolicy,
+    state: Mutex<Option<Arc<ConnShared<I, M>>>>,
+    /// Set when (re)dialing has definitively failed; cleared by a
+    /// successful reconnect.
+    lost: AtomicBool,
+    /// Last activity counter observed from the hub: frozen on loss so
+    /// watchdogs detect the wedge.
+    last_activity: AtomicU64,
+    /// Request ids start at 1; 0 is the event-frame marker.
+    next_req: AtomicU64,
+    observer: Arc<Mutex<Option<FaultObserver<I>>>>,
+    /// Ids to re-bind when a fresh connection is established.
+    bound: Mutex<Vec<I>>,
+    subscribed: AtomicBool,
+}
+
+impl<I, M> fmt::Debug for SocketTransport<I, M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SocketTransport")
+            .field("addr", &self.addr)
+            .field("lost", &self.lost.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl<I, M> SocketTransport<I, M>
+where
+    I: Wire + Clone + Eq + Hash + fmt::Debug + Send + Sync + 'static,
+    M: Wire + Send + Sync + 'static,
+{
+    /// A client for the hub at `addr`. No I/O happens here: the first
+    /// operation dials, retrying under `retry`.
+    pub fn new(addr: SocketAddr, retry: RetryPolicy) -> Self {
+        Self {
+            addr,
+            retry,
+            state: Mutex::new(None),
+            lost: AtomicBool::new(false),
+            last_activity: AtomicU64::new(0),
+            next_req: AtomicU64::new(EVENT_REQ_ID + 1),
+            observer: Arc::new(Mutex::new(None)),
+            bound: Mutex::new(Vec::new()),
+            subscribed: AtomicBool::new(false),
+        }
+    }
+
+    /// [`SocketTransport::new`] with address resolution and a default
+    /// retry policy (6 attempts, 25 ms base, 500 ms cap).
+    ///
+    /// # Errors
+    ///
+    /// Address resolution errors.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address resolved"))?;
+        Ok(Self::new(
+            addr,
+            RetryPolicy::new(6)
+                .with_base(Duration::from_millis(25))
+                .with_cap(Duration::from_millis(500)),
+        ))
+    }
+
+    /// The hub address this client dials.
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether the hub is currently unreachable (the last dial attempt
+    /// exhausted its retry budget, or the connection dropped mid-call).
+    pub fn is_lost(&self) -> bool {
+        self.lost.load(Ordering::SeqCst)
+    }
+
+    /// Severs the connection without telling the hub — exactly what a
+    /// process crash looks like from the other side. The hub finishes
+    /// every id this client activated; other participants observe
+    /// [`ChanError::Terminated`] for them.
+    pub fn close(&self) {
+        self.lost.store(true, Ordering::SeqCst);
+        if let Some(conn) = self.state.lock().take() {
+            let _ = conn.stream.shutdown(Shutdown::Both);
+            conn.fail();
+        }
+    }
+
+    /// Returns the live connection, (re)dialing if necessary.
+    fn conn(&self) -> Option<Arc<ConnShared<I, M>>> {
+        let mut guard = self.state.lock();
+        if let Some(c) = guard.as_ref() {
+            if c.alive.load(Ordering::SeqCst) {
+                return Some(Arc::clone(c));
+            }
+        }
+        match self.dial() {
+            Some(conn) => {
+                self.lost.store(false, Ordering::SeqCst);
+                *guard = Some(Arc::clone(&conn));
+                Some(conn)
+            }
+            None => {
+                self.lost.store(true, Ordering::SeqCst);
+                *guard = None;
+                None
+            }
+        }
+    }
+
+    /// Dials the hub under the retry policy and replays the
+    /// connection-scoped handshake (binds + subscription).
+    fn dial(&self) -> Option<Arc<ConnShared<I, M>>> {
+        let stream = self
+            .retry
+            .run_if(|_: &io::Error| true, |_| TcpStream::connect(self.addr))
+            .ok()?;
+        let _ = stream.set_nodelay(true);
+        let (reader, writer) = match (stream.try_clone(), stream.try_clone()) {
+            (Ok(r), Ok(w)) => (r, w),
+            _ => return None,
+        };
+        let conn = Arc::new(ConnShared {
+            writer: Mutex::new(writer),
+            stream,
+            pending: Mutex::new(HashMap::new()),
+            alive: AtomicBool::new(true),
+        });
+        Self::spawn_reader(Arc::clone(&conn), reader, Arc::clone(&self.observer));
+        // Replay connection-scoped state. A hub that saw the previous
+        // connection die has already finished these ids — re-binding is
+        // bookkeeping for *this* connection's eventual death, not a
+        // resurrection.
+        let binds: Vec<I> = self.bound.lock().clone();
+        for id in binds {
+            let _ = self.rpc_on(&conn, &Req::Bind(id));
+        }
+        if self.subscribed.load(Ordering::SeqCst) {
+            let _ = self.rpc_on(&conn, &Req::Subscribe);
+        }
+        Some(conn)
+    }
+
+    fn spawn_reader(
+        conn: Arc<ConnShared<I, M>>,
+        mut stream: TcpStream,
+        observer: Arc<Mutex<Option<FaultObserver<I>>>>,
+    ) {
+        thread::spawn(move || {
+            while let Ok(Some(frame)) = read_frame(&mut stream) {
+                let mut r = Reader::new(&frame);
+                let Ok(req_id) = u64::decode(&mut r) else {
+                    break;
+                };
+                if req_id == EVENT_REQ_ID {
+                    // Unsolicited push: a streamed fault event.
+                    if let Ok(rec) = FaultRecord::<I>::decode(&mut r) {
+                        let obs = observer.lock().clone();
+                        if let Some(obs) = obs {
+                            obs(&rec);
+                        }
+                    }
+                    continue;
+                }
+                let Ok(resp) = Resp::<I, M>::decode(&mut r) else {
+                    break;
+                };
+                let slot = conn.pending.lock().remove(&req_id);
+                if let Some(slot) = slot {
+                    slot.fill(SlotState::Filled(resp));
+                }
+            }
+            conn.fail();
+        });
+    }
+
+    /// One RPC on a specific connection (used during the handshake,
+    /// where re-entering [`SocketTransport::conn`] would deadlock).
+    fn rpc_on(&self, conn: &Arc<ConnShared<I, M>>, req: &Req<I, M>) -> Option<Resp<I, M>> {
+        let req_id = self.next_req.fetch_add(1, Ordering::Relaxed);
+        let slot = Arc::new(Slot::new());
+        conn.pending.lock().insert(req_id, Arc::clone(&slot));
+        let mut payload = Vec::new();
+        req_id.encode(&mut payload);
+        req.encode(&mut payload);
+        let write_ok = write_frame(&mut *conn.writer.lock(), &payload).is_ok();
+        if !write_ok {
+            conn.pending.lock().remove(&req_id);
+            conn.fail();
+            return None;
+        }
+        slot.wait()
+    }
+
+    /// One RPC with reconnect: a failed *write* retries on a fresh
+    /// connection (the hub never saw the request), but once the request
+    /// is on the wire a lost connection surfaces as loss — the
+    /// operation is not idempotent.
+    fn call(&self, req: &Req<I, M>) -> Option<Resp<I, M>> {
+        for _ in 0..2 {
+            let conn = self.conn()?;
+            let req_id = self.next_req.fetch_add(1, Ordering::Relaxed);
+            let slot = Arc::new(Slot::new());
+            conn.pending.lock().insert(req_id, Arc::clone(&slot));
+            let mut payload = Vec::new();
+            req_id.encode(&mut payload);
+            req.encode(&mut payload);
+            let write_ok = write_frame(&mut *conn.writer.lock(), &payload).is_ok();
+            if !write_ok {
+                conn.pending.lock().remove(&req_id);
+                conn.fail();
+                continue;
+            }
+            match slot.wait() {
+                Some(resp) => return Some(resp),
+                None => break,
+            }
+        }
+        self.lost.store(true, Ordering::SeqCst);
+        None
+    }
+}
+
+/// The peer a single-arm selection's loss should be pinned on,
+/// mirroring the in-process all-arms-dead rule.
+fn single_named_peer<I: Clone, M>(arms: &[Arm<I, M>]) -> Option<I> {
+    match arms {
+        [Arm::Recv(script_chan::Source::Of(p))] | [Arm::Send { to: p, .. }] => Some(p.clone()),
+        _ => None,
+    }
+}
+
+impl<I, M> Transport<I, M> for SocketTransport<I, M>
+where
+    I: Wire + Clone + Eq + Hash + fmt::Debug + Send + Sync + 'static,
+    M: Wire + Send + Sync + 'static,
+{
+    fn declare(&self, id: I) {
+        let _ = self.call(&Req::Declare(id));
+    }
+
+    fn activate(&self, id: I) {
+        {
+            let mut b = self.bound.lock();
+            if !b.contains(&id) {
+                b.push(id.clone());
+            }
+        }
+        let _ = self.call(&Req::Activate(id));
+    }
+
+    fn finish(&self, id: I) {
+        self.bound.lock().retain(|b| b != &id);
+        let _ = self.call(&Req::Finish(id));
+    }
+
+    fn seal(&self) {
+        let _ = self.call(&Req::Seal);
+    }
+
+    fn abort(&self) {
+        let _ = self.call(&Req::Abort);
+    }
+
+    fn is_aborted(&self) -> bool {
+        match self.call(&Req::IsAborted) {
+            Some(Resp::Bool(b)) => b,
+            // An unreachable hub cannot host any further operation.
+            _ => true,
+        }
+    }
+
+    fn peer_state(&self, id: &I) -> Option<PeerState> {
+        match self.call(&Req::PeerStateOf(id.clone())) {
+            Some(Resp::State(s)) => s,
+            _ => None,
+        }
+    }
+
+    fn peers(&self) -> Vec<(I, PeerState)> {
+        match self.call(&Req::Peers) {
+            Some(Resp::PeerList(ps)) => ps,
+            _ => Vec::new(),
+        }
+    }
+
+    fn activity(&self) -> u64 {
+        match self.call(&Req::Activity) {
+            Some(Resp::Counter(c)) => {
+                self.last_activity.store(c, Ordering::Relaxed);
+                c
+            }
+            // Frozen on loss: a sampling watchdog sees no progress.
+            _ => self.last_activity.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reseed(&self, seed: u64) {
+        let _ = self.call(&Req::Reseed(seed));
+    }
+
+    fn ensure_peer(&self, id: &I) -> Result<(), ChanError<I>> {
+        match self.call(&Req::EnsurePeer(id.clone())) {
+            Some(Resp::Unit) => Ok(()),
+            Some(Resp::ChanErr(e)) => Err(e),
+            _ => Err(ChanError::Terminated(id.clone())),
+        }
+    }
+
+    fn has_pending_from(&self, to: &I, from: &I) -> bool {
+        match self.call(&Req::HasPendingFrom {
+            to: to.clone(),
+            from: from.clone(),
+        }) {
+            Some(Resp::Bool(b)) => b,
+            _ => false,
+        }
+    }
+
+    fn set_fault_plan(&self, plan: FaultPlan, _clone_fn: fn(&M) -> M) {
+        // Duplicates are materialized hub-side with the hub's clone.
+        let _ = self.call(&Req::SetFaultPlan(plan));
+    }
+
+    fn clear_fault_plan(&self) {
+        let _ = self.call(&Req::ClearFaultPlan);
+    }
+
+    fn fault_plan(&self) -> Option<FaultPlan> {
+        match self.call(&Req::GetFaultPlan) {
+            Some(Resp::Plan(p)) => p,
+            _ => None,
+        }
+    }
+
+    fn set_fault_observer(&self, observer: FaultObserver<I>) {
+        *self.observer.lock() = Some(observer);
+        self.subscribed.store(true, Ordering::SeqCst);
+        let _ = self.call(&Req::Subscribe);
+    }
+
+    fn fault_log(&self) -> Vec<FaultRecord<I>> {
+        match self.call(&Req::FaultLog) {
+            Some(Resp::Log(l)) => l,
+            _ => Vec::new(),
+        }
+    }
+
+    fn take_fault_log(&self) -> Vec<FaultRecord<I>> {
+        match self.call(&Req::TakeFaultLog) {
+            Some(Resp::Log(l)) => l,
+            _ => Vec::new(),
+        }
+    }
+
+    fn send(
+        &self,
+        from: &I,
+        to: &I,
+        msg: M,
+        deadline: Option<Instant>,
+    ) -> Result<(), ChanError<I>> {
+        let req = Req::Send {
+            from: from.clone(),
+            to: to.clone(),
+            msg,
+            timeout_ms: timeout_ms_of(deadline),
+        };
+        match self.call(&req) {
+            Some(Resp::Unit) => Ok(()),
+            Some(Resp::ChanErr(e)) => Err(e),
+            // Hub loss = the receiving side is gone, the same error a
+            // crashed peer produces.
+            _ => Err(ChanError::Terminated(to.clone())),
+        }
+    }
+
+    fn try_recv(&self, me: &I, from: &I) -> Result<Option<M>, ChanError<I>> {
+        match self.call(&Req::TryRecv {
+            me: me.clone(),
+            from: from.clone(),
+        }) {
+            Some(Resp::Msg(m)) => Ok(m),
+            Some(Resp::ChanErr(e)) => Err(e),
+            _ => Err(ChanError::Terminated(from.clone())),
+        }
+    }
+
+    fn select(
+        &self,
+        me: &I,
+        arms: Vec<Arm<I, M>>,
+        deadline: Option<Instant>,
+    ) -> Result<Outcome<I, M>, ChanError<I>> {
+        if arms.is_empty() {
+            return Err(ChanError::EmptySelect);
+        }
+        let loss = match single_named_peer(&arms) {
+            Some(p) => ChanError::Terminated(p),
+            None => ChanError::AllTerminated,
+        };
+        let req = Req::Select {
+            me: me.clone(),
+            arms,
+            timeout_ms: timeout_ms_of(deadline),
+        };
+        match self.call(&req) {
+            Some(Resp::Selected(outcome)) => Ok(outcome),
+            Some(Resp::ChanErr(e)) => Err(e),
+            _ => Err(loss),
+        }
+    }
+}
+
+impl<I, M> Drop for SocketTransport<I, M> {
+    fn drop(&mut self) {
+        if let Some(conn) = self.state.lock().take() {
+            let _ = conn.stream.shutdown(Shutdown::Both);
+            conn.fail();
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Length-prefixed framing over a byte stream.
+//!
+//! Every message on a socket is one *frame*: a 4-byte big-endian length
+//! followed by that many payload bytes, capped at
+//! [`MAX_FRAME`](crate::wire::MAX_FRAME). The reader distinguishes a
+//! clean close (EOF on a frame boundary, `Ok(None)`) from a truncated
+//! frame (EOF mid-frame, `UnexpectedEof`) so peer loss can be told
+//! apart from protocol corruption.
+
+use std::io::{self, Read, Write};
+
+use crate::wire::MAX_FRAME;
+
+/// Writes one frame: length prefix, payload, flush.
+///
+/// # Errors
+///
+/// `InvalidInput` if the payload exceeds `MAX_FRAME`; otherwise any
+/// underlying I/O error.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds MAX_FRAME", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame.
+///
+/// Returns `Ok(None)` on a clean EOF at a frame boundary.
+///
+/// # Errors
+///
+/// `UnexpectedEof` if the stream ends mid-frame, `InvalidData` if the
+/// length prefix exceeds `MAX_FRAME`, otherwise any underlying I/O
+/// error.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    if !fill_or_eof(r, &mut len_buf)? {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Fills `buf` completely, or returns `Ok(false)` if the stream was
+/// already at EOF. EOF after a partial fill is `UnexpectedEof`.
+fn fill_or_eof(r: &mut impl Read, buf: &mut [u8]) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(false),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream ended mid-frame",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, b"world").unwrap();
+        let mut c = Cursor::new(buf);
+        assert_eq!(read_frame(&mut c).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut c).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut c).unwrap().unwrap(), b"world");
+        assert!(read_frame(&mut c).unwrap().is_none());
+    }
+
+    #[test]
+    fn eof_mid_frame_is_unexpected_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        for cut in 1..buf.len() {
+            let mut c = Cursor::new(&buf[..cut]);
+            let err = read_frame(&mut c).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut buf = (u32::MAX).to_be_bytes().to_vec();
+        buf.extend_from_slice(b"junk");
+        let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn oversized_payload_is_refused_at_write_time() {
+        let big = vec![0u8; MAX_FRAME + 1];
+        let mut sink = Vec::new();
+        let err = write_frame(&mut sink, &big).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(sink.is_empty(), "nothing written for a refused frame");
+    }
+}

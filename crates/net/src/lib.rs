@@ -1,0 +1,56 @@
+//! `script-net` — a socket-backed [`Transport`](script_chan::Transport)
+//! so one performance can span OS processes.
+//!
+//! # Architecture: hub and spokes
+//!
+//! One process hosts the **hub**: a [`TransportServer`] wrapping an
+//! ordinary in-process transport (a seeded
+//! [`ShardedTransport`](script_chan::ShardedTransport)). Every other
+//! process holds a [`SocketTransport`] **spoke** that forwards each
+//! [`Transport`](script_chan::Transport) operation to the hub as a
+//! framed RPC. All rendezvous, selection, termination, and
+//! fault-injection *semantics* therefore live in exactly one place —
+//! the hub's inner transport — which is what makes a chaos seed replay
+//! identically whether the participants share an address space or not:
+//! the [`FaultPlan`](script_chan::FaultPlan) decisions are pure
+//! functions of `(seed, edge, sequence)` evaluated at the hub's sending
+//! edge, and the schedule of operations is all that reaches it.
+//!
+//! # Wire format
+//!
+//! Frames are a 4-byte big-endian length prefix plus payload, capped at
+//! [`MAX_FRAME`]. Payloads are encoded by the [`Wire`] codec — a small
+//! hand-rolled, total decoder: malformed input yields
+//! [`WireError`], never a panic, and length fields are validated before
+//! any allocation proportional to them. Requests carry an id
+//! (`(req_id, Req)`); responses echo it (`(req_id, Resp)`); id 0
+//! ([`EVENT_REQ_ID`](proto::EVENT_REQ_ID)) marks unsolicited
+//! fault-event frames pushed to subscribed clients. Deadlines cross the
+//! wire as *remaining milliseconds*, so processes need no shared clock.
+//!
+//! # Peer loss
+//!
+//! The ids a connection activates are bound to it. When the connection
+//! drops — crash, kill, network partition — the hub finishes those ids,
+//! and every other participant observes the exact error a crashed
+//! in-process peer produces: pending messages drain first, then
+//! [`ChanError::Terminated`](script_chan::ChanError::Terminated).
+//! Spokes dial lazily and redial under a
+//! [`RetryPolicy`](script_core::RetryPolicy); a spoke whose retry
+//! budget is exhausted degrades the same way (sends report the target
+//! terminated, `activity()` freezes so watchdogs fire).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod client;
+pub mod frame;
+pub mod proto;
+pub mod server;
+pub mod wire;
+
+pub use client::SocketTransport;
+pub use frame::{read_frame, write_frame};
+pub use proto::EVENT_REQ_ID;
+pub use server::TransportServer;
+pub use wire::{Reader, Wire, WireError, MAX_FRAME};

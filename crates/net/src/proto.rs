@@ -1,0 +1,642 @@
+//! The RPC protocol spoken between [`SocketTransport`] and
+//! [`TransportServer`]: [`Wire`] encodings for the channel-layer types
+//! and the request/response envelope.
+//!
+//! Client → server frames carry `(req_id, Req)`; server → client frames
+//! carry `(req_id, Resp)`. Request ids start at 1; the reserved id
+//! [`EVENT_REQ_ID`] marks an unsolicited server push — currently only
+//! fault-observer events, a `FaultRecord` streamed to clients that sent
+//! [`Req::Subscribe`].
+//!
+//! [`SocketTransport`]: crate::SocketTransport
+//! [`TransportServer`]: crate::TransportServer
+
+use std::time::{Duration, Instant};
+
+use script_chan::{Arm, ChanError, FaultKind, FaultPlan, FaultRecord, Outcome, PeerState, Source};
+use script_core::RoleId;
+
+use crate::wire::{Reader, Wire, WireError};
+
+/// Request id reserved for unsolicited server → client event frames.
+pub const EVENT_REQ_ID: u64 = 0;
+
+/// One RPC request: a [`Transport`](script_chan::Transport) method call
+/// plus the connection-scoped `Bind`/`Subscribe` operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Req<I, M> {
+    /// Associates `I` with this connection: if the connection drops, the
+    /// server finishes the id, so remote process death surfaces to other
+    /// participants exactly like a crashed peer.
+    Bind(I),
+    /// `Transport::declare`.
+    Declare(I),
+    /// `Transport::activate` (also binds, like [`Req::Bind`]).
+    Activate(I),
+    /// `Transport::finish`.
+    Finish(I),
+    /// `Transport::seal`.
+    Seal,
+    /// `Transport::abort`.
+    Abort,
+    /// `Transport::is_aborted`.
+    IsAborted,
+    /// `Transport::peer_state`.
+    PeerStateOf(I),
+    /// `Transport::peers`.
+    Peers,
+    /// `Transport::activity`.
+    Activity,
+    /// `Transport::reseed`.
+    Reseed(u64),
+    /// `Transport::ensure_peer`.
+    EnsurePeer(I),
+    /// `Transport::has_pending_from`.
+    HasPendingFrom {
+        /// Receiving endpoint.
+        to: I,
+        /// Sending endpoint.
+        from: I,
+    },
+    /// `Transport::set_fault_plan` (duplication uses the hub's clone).
+    SetFaultPlan(FaultPlan),
+    /// `Transport::clear_fault_plan`.
+    ClearFaultPlan,
+    /// `Transport::fault_plan`.
+    GetFaultPlan,
+    /// `Transport::fault_log`.
+    FaultLog,
+    /// `Transport::take_fault_log`.
+    TakeFaultLog,
+    /// Starts streaming fault-observer events to this connection.
+    Subscribe,
+    /// `Transport::send`. Deadlines cross the wire as remaining
+    /// milliseconds (clocks are not shared between processes).
+    Send {
+        /// Sender.
+        from: I,
+        /// Receiver.
+        to: I,
+        /// Payload.
+        msg: M,
+        /// Remaining budget, `None` for no deadline.
+        timeout_ms: Option<u64>,
+    },
+    /// `Transport::try_recv`.
+    TryRecv {
+        /// Receiving endpoint.
+        me: I,
+        /// Sending endpoint.
+        from: I,
+    },
+    /// `Transport::select`.
+    Select {
+        /// Selecting endpoint.
+        me: I,
+        /// The guarded arms.
+        arms: Vec<Arm<I, M>>,
+        /// Remaining budget, `None` for no deadline.
+        timeout_ms: Option<u64>,
+    },
+}
+
+/// One RPC response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Resp<I, M> {
+    /// `Ok(())`.
+    Unit,
+    /// A boolean answer.
+    Bool(bool),
+    /// A peer's lifecycle state.
+    State(Option<PeerState>),
+    /// All peers and their states.
+    PeerList(Vec<(I, PeerState)>),
+    /// The activity counter.
+    Counter(u64),
+    /// `try_recv`'s optional message.
+    Msg(Option<M>),
+    /// A fired selection arm.
+    Selected(Outcome<I, M>),
+    /// The attached fault plan, if any.
+    Plan(Option<FaultPlan>),
+    /// A fault log snapshot.
+    Log(Vec<FaultRecord<I>>),
+    /// The operation failed with a channel error.
+    ChanErr(ChanError<I>),
+}
+
+/// Remaining-millisecond budget for a deadline, measured now. Saturates
+/// at zero: an already-expired deadline still crosses the wire and
+/// expires server-side.
+pub fn timeout_ms_of(deadline: Option<Instant>) -> Option<u64> {
+    deadline.map(|d| {
+        d.saturating_duration_since(Instant::now())
+            .as_millis()
+            .min(u64::MAX as u128) as u64
+    })
+}
+
+/// Re-derives a local deadline from a remaining-millisecond budget.
+pub fn deadline_of(timeout_ms: Option<u64>) -> Option<Instant> {
+    timeout_ms.map(|ms| Instant::now() + Duration::from_millis(ms))
+}
+
+impl Wire for PeerState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            PeerState::Expected => 0,
+            PeerState::Active => 1,
+            PeerState::Done => 2,
+        });
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(PeerState::Expected),
+            1 => Ok(PeerState::Active),
+            2 => Ok(PeerState::Done),
+            _ => Err(WireError::Invalid("peer-state tag")),
+        }
+    }
+}
+
+impl<I: Wire> Wire for Source<I> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Source::Of(p) => {
+                out.push(0);
+                p.encode(out);
+            }
+            Source::Any => out.push(1),
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(Source::Of(I::decode(r)?)),
+            1 => Ok(Source::Any),
+            _ => Err(WireError::Invalid("source tag")),
+        }
+    }
+}
+
+impl<I: Wire, M: Wire> Wire for Arm<I, M> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Arm::Recv(src) => {
+                out.push(0);
+                src.encode(out);
+            }
+            Arm::Send { to, msg } => {
+                out.push(1);
+                to.encode(out);
+                msg.encode(out);
+            }
+            Arm::Watch(p) => {
+                out.push(2);
+                p.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(Arm::Recv(Source::decode(r)?)),
+            1 => Ok(Arm::Send {
+                to: I::decode(r)?,
+                msg: M::decode(r)?,
+            }),
+            2 => Ok(Arm::Watch(I::decode(r)?)),
+            _ => Err(WireError::Invalid("arm tag")),
+        }
+    }
+}
+
+impl<I: Wire, M: Wire> Wire for Outcome<I, M> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Outcome::Received { arm, from, msg } => {
+                out.push(0);
+                arm.encode(out);
+                from.encode(out);
+                msg.encode(out);
+            }
+            Outcome::Sent { arm, to } => {
+                out.push(1);
+                arm.encode(out);
+                to.encode(out);
+            }
+            Outcome::Terminated { arm, peer } => {
+                out.push(2);
+                arm.encode(out);
+                peer.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(Outcome::Received {
+                arm: usize::decode(r)?,
+                from: I::decode(r)?,
+                msg: M::decode(r)?,
+            }),
+            1 => Ok(Outcome::Sent {
+                arm: usize::decode(r)?,
+                to: I::decode(r)?,
+            }),
+            2 => Ok(Outcome::Terminated {
+                arm: usize::decode(r)?,
+                peer: I::decode(r)?,
+            }),
+            _ => Err(WireError::Invalid("outcome tag")),
+        }
+    }
+}
+
+impl<I: Wire> Wire for ChanError<I> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ChanError::Terminated(p) => {
+                out.push(0);
+                p.encode(out);
+            }
+            ChanError::AllTerminated => out.push(1),
+            ChanError::Aborted => out.push(2),
+            ChanError::Timeout => out.push(3),
+            ChanError::Unknown(p) => {
+                out.push(4);
+                p.encode(out);
+            }
+            ChanError::Myself => out.push(5),
+            ChanError::EmptySelect => out.push(6),
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(ChanError::Terminated(I::decode(r)?)),
+            1 => Ok(ChanError::AllTerminated),
+            2 => Ok(ChanError::Aborted),
+            3 => Ok(ChanError::Timeout),
+            4 => Ok(ChanError::Unknown(I::decode(r)?)),
+            5 => Ok(ChanError::Myself),
+            6 => Ok(ChanError::EmptySelect),
+            _ => Err(WireError::Invalid("chan-error tag")),
+        }
+    }
+}
+
+impl Wire for FaultKind {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            FaultKind::Drop => 0,
+            FaultKind::Delay => 1,
+            FaultKind::Duplicate => 2,
+            FaultKind::Crash => 3,
+        });
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(FaultKind::Drop),
+            1 => Ok(FaultKind::Delay),
+            2 => Ok(FaultKind::Duplicate),
+            3 => Ok(FaultKind::Crash),
+            _ => Err(WireError::Invalid("fault-kind tag")),
+        }
+    }
+}
+
+impl<I: Wire> Wire for FaultRecord<I> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.kind.encode(out);
+        self.from.encode(out);
+        self.to.encode(out);
+        self.seq.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(FaultRecord {
+            kind: FaultKind::decode(r)?,
+            from: I::decode(r)?,
+            to: I::decode(r)?,
+            seq: u64::decode(r)?,
+        })
+    }
+}
+
+impl Wire for FaultPlan {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.seed().encode(out);
+        self.drop_probability().encode(out);
+        self.delay_probability().encode(out);
+        self.delay().encode(out);
+        self.duplicate_probability().encode(out);
+        self.crash_probability().encode(out);
+        self.crash_step().encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let seed = u64::decode(r)?;
+        let drop_p = f64::decode(r)?;
+        let delay_p = f64::decode(r)?;
+        let delay = Duration::decode(r)?;
+        let dup_p = f64::decode(r)?;
+        let crash_p = f64::decode(r)?;
+        let crash_step = u64::decode(r)?;
+        for p in [drop_p, delay_p, dup_p, crash_p] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(WireError::Invalid("fault probability out of range"));
+            }
+        }
+        let mut plan = FaultPlan::new(seed)
+            .with_drop(drop_p)
+            .with_delay(delay_p, delay)
+            .with_duplicate(dup_p);
+        if crash_step > 0 {
+            plan = plan.with_crash(crash_p, crash_step);
+        } else if crash_p != 0.0 {
+            return Err(WireError::Invalid("crash probability without a step"));
+        }
+        Ok(plan)
+    }
+}
+
+impl Wire for RoleId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.name().to_string().encode(out);
+        self.index().encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let name = String::decode(r)?;
+        Ok(match Option::<usize>::decode(r)? {
+            Some(i) => RoleId::indexed(name, i),
+            None => RoleId::new(name),
+        })
+    }
+}
+
+impl<I: Wire, M: Wire> Wire for Req<I, M> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Req::Bind(id) => {
+                out.push(0);
+                id.encode(out);
+            }
+            Req::Declare(id) => {
+                out.push(1);
+                id.encode(out);
+            }
+            Req::Activate(id) => {
+                out.push(2);
+                id.encode(out);
+            }
+            Req::Finish(id) => {
+                out.push(3);
+                id.encode(out);
+            }
+            Req::Seal => out.push(4),
+            Req::Abort => out.push(5),
+            Req::IsAborted => out.push(6),
+            Req::PeerStateOf(id) => {
+                out.push(7);
+                id.encode(out);
+            }
+            Req::Peers => out.push(8),
+            Req::Activity => out.push(9),
+            Req::Reseed(seed) => {
+                out.push(10);
+                seed.encode(out);
+            }
+            Req::EnsurePeer(id) => {
+                out.push(11);
+                id.encode(out);
+            }
+            Req::HasPendingFrom { to, from } => {
+                out.push(12);
+                to.encode(out);
+                from.encode(out);
+            }
+            Req::SetFaultPlan(plan) => {
+                out.push(13);
+                plan.encode(out);
+            }
+            Req::ClearFaultPlan => out.push(14),
+            Req::GetFaultPlan => out.push(15),
+            Req::FaultLog => out.push(16),
+            Req::TakeFaultLog => out.push(17),
+            Req::Subscribe => out.push(18),
+            Req::Send {
+                from,
+                to,
+                msg,
+                timeout_ms,
+            } => {
+                out.push(19);
+                from.encode(out);
+                to.encode(out);
+                msg.encode(out);
+                timeout_ms.encode(out);
+            }
+            Req::TryRecv { me, from } => {
+                out.push(20);
+                me.encode(out);
+                from.encode(out);
+            }
+            Req::Select {
+                me,
+                arms,
+                timeout_ms,
+            } => {
+                out.push(21);
+                me.encode(out);
+                arms.encode(out);
+                timeout_ms.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match u8::decode(r)? {
+            0 => Req::Bind(I::decode(r)?),
+            1 => Req::Declare(I::decode(r)?),
+            2 => Req::Activate(I::decode(r)?),
+            3 => Req::Finish(I::decode(r)?),
+            4 => Req::Seal,
+            5 => Req::Abort,
+            6 => Req::IsAborted,
+            7 => Req::PeerStateOf(I::decode(r)?),
+            8 => Req::Peers,
+            9 => Req::Activity,
+            10 => Req::Reseed(u64::decode(r)?),
+            11 => Req::EnsurePeer(I::decode(r)?),
+            12 => Req::HasPendingFrom {
+                to: I::decode(r)?,
+                from: I::decode(r)?,
+            },
+            13 => Req::SetFaultPlan(FaultPlan::decode(r)?),
+            14 => Req::ClearFaultPlan,
+            15 => Req::GetFaultPlan,
+            16 => Req::FaultLog,
+            17 => Req::TakeFaultLog,
+            18 => Req::Subscribe,
+            19 => Req::Send {
+                from: I::decode(r)?,
+                to: I::decode(r)?,
+                msg: M::decode(r)?,
+                timeout_ms: Option::<u64>::decode(r)?,
+            },
+            20 => Req::TryRecv {
+                me: I::decode(r)?,
+                from: I::decode(r)?,
+            },
+            21 => Req::Select {
+                me: I::decode(r)?,
+                arms: Vec::<Arm<I, M>>::decode(r)?,
+                timeout_ms: Option::<u64>::decode(r)?,
+            },
+            _ => return Err(WireError::Invalid("request tag")),
+        })
+    }
+}
+
+impl<I: Wire, M: Wire> Wire for Resp<I, M> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Resp::Unit => out.push(0),
+            Resp::Bool(b) => {
+                out.push(1);
+                b.encode(out);
+            }
+            Resp::State(s) => {
+                out.push(2);
+                s.encode(out);
+            }
+            Resp::PeerList(ps) => {
+                out.push(3);
+                ps.encode(out);
+            }
+            Resp::Counter(c) => {
+                out.push(4);
+                c.encode(out);
+            }
+            Resp::Msg(m) => {
+                out.push(5);
+                m.encode(out);
+            }
+            Resp::Selected(o) => {
+                out.push(6);
+                o.encode(out);
+            }
+            Resp::Plan(p) => {
+                out.push(7);
+                p.encode(out);
+            }
+            Resp::Log(l) => {
+                out.push(8);
+                l.encode(out);
+            }
+            Resp::ChanErr(e) => {
+                out.push(9);
+                e.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match u8::decode(r)? {
+            0 => Resp::Unit,
+            1 => Resp::Bool(bool::decode(r)?),
+            2 => Resp::State(Option::<PeerState>::decode(r)?),
+            3 => Resp::PeerList(Vec::<(I, PeerState)>::decode(r)?),
+            4 => Resp::Counter(u64::decode(r)?),
+            5 => Resp::Msg(Option::<M>::decode(r)?),
+            6 => Resp::Selected(Outcome::decode(r)?),
+            7 => Resp::Plan(Option::<FaultPlan>::decode(r)?),
+            8 => Resp::Log(Vec::<FaultRecord<I>>::decode(r)?),
+            9 => Resp::ChanErr(ChanError::decode(r)?),
+            _ => return Err(WireError::Invalid("response tag")),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        assert_eq!(T::from_bytes(&v.to_bytes()).unwrap(), v);
+    }
+
+    #[test]
+    fn chan_types_roundtrip() {
+        roundtrip(PeerState::Expected);
+        roundtrip(PeerState::Done);
+        roundtrip(Source::Of(String::from("a")));
+        roundtrip(Source::<String>::Any);
+        roundtrip(Outcome::<String, u64>::Received {
+            arm: 2,
+            from: String::from("a"),
+            msg: 7,
+        });
+        roundtrip(ChanError::Terminated(String::from("x")));
+        roundtrip(ChanError::<String>::AllTerminated);
+        roundtrip(FaultRecord {
+            kind: FaultKind::Duplicate,
+            from: String::from("a"),
+            to: String::from("b"),
+            seq: 11,
+        });
+        roundtrip(RoleId::new("sender"));
+        roundtrip(RoleId::indexed("recipient", 3));
+    }
+
+    #[test]
+    fn fault_plans_roundtrip_exactly() {
+        roundtrip(FaultPlan::new(7));
+        roundtrip(
+            FaultPlan::new(9)
+                .with_drop(0.25)
+                .with_delay(0.5, Duration::from_micros(300))
+                .with_duplicate(0.1)
+                .with_crash(0.75, 4),
+        );
+    }
+
+    #[test]
+    fn corrupt_fault_plans_are_rejected() {
+        let mut bytes = FaultPlan::new(1).with_drop(0.5).to_bytes();
+        // Overwrite the drop probability with 2.0 (bytes 8..16).
+        bytes[8..16].copy_from_slice(&2.0f64.to_bits().to_be_bytes());
+        assert!(matches!(
+            FaultPlan::from_bytes(&bytes),
+            Err(WireError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip(Req::<String, u64>::Bind(String::from("a")));
+        roundtrip(Req::<String, u64>::Seal);
+        roundtrip(Req::<String, u64>::Send {
+            from: String::from("a"),
+            to: String::from("b"),
+            msg: 9,
+            timeout_ms: Some(250),
+        });
+        roundtrip(Req::<String, u64>::Select {
+            me: String::from("a"),
+            arms: vec![
+                Arm::recv_any(),
+                Arm::send(String::from("b"), 3),
+                Arm::watch(String::from("c")),
+            ],
+            timeout_ms: None,
+        });
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip(Resp::<String, u64>::Unit);
+        roundtrip(Resp::<String, u64>::PeerList(vec![
+            (String::from("a"), PeerState::Active),
+            (String::from("b"), PeerState::Done),
+        ]));
+        roundtrip(Resp::<String, u64>::Selected(Outcome::Sent {
+            arm: 1,
+            to: String::from("b"),
+        }));
+        roundtrip(Resp::<String, u64>::ChanErr(ChanError::Timeout));
+    }
+}

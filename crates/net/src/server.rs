@@ -1,0 +1,366 @@
+//! The transport hub: serves an in-process [`Transport`] over TCP.
+//!
+//! A [`TransportServer`] owns no rendezvous logic of its own — it wraps
+//! an *inner* transport (normally a seeded
+//! [`ShardedTransport`](script_chan::ShardedTransport)) and executes
+//! decoded [`Req`]s against it, one accept loop per endpoint address.
+//! All semantics — matching, selection fairness, lifecycle, and in
+//! particular **fault injection at the sending edge** — happen in the
+//! inner transport exactly as they do in-process, which is what makes a
+//! chaos seed replay the identical fault log whether the participants
+//! are threads or processes.
+//!
+//! Blocking operations (`Send`, `Select`) run on a worker thread per
+//! request so one blocked rendezvous never stalls the connection;
+//! everything else executes inline on the connection's reader thread.
+//! Responses are written under a per-connection writer lock, so
+//! concurrent completions interleave at frame granularity.
+//!
+//! **Peer loss.** Each connection accumulates the ids it *bound*
+//! (explicitly via [`Req::Bind`], or implicitly by activating an id).
+//! When the connection drops — process death, network partition, or
+//! graceful close — the server finishes every bound id on the inner
+//! transport, so remaining participants observe the standard
+//! [`Terminated`](script_chan::ChanError::Terminated) error for a
+//! crashed peer, after draining anything it already deposited.
+
+use std::fmt;
+use std::hash::Hash;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::thread;
+
+use parking_lot::Mutex;
+
+use script_chan::{FaultRecord, Transport};
+
+use crate::frame::{read_frame, write_frame};
+use crate::proto::{deadline_of, Req, Resp, EVENT_REQ_ID};
+use crate::wire::{Reader, Wire};
+
+/// One registered client connection.
+struct ConnEntry {
+    id: u64,
+    /// Kept to force-close the socket on shutdown.
+    stream: TcpStream,
+    writer: Arc<Mutex<TcpStream>>,
+    subscribed: Arc<AtomicBool>,
+}
+
+struct ServerShared<I, M> {
+    inner: Arc<dyn Transport<I, M>>,
+    conns: Mutex<Vec<ConnEntry>>,
+    shutdown: AtomicBool,
+    next_conn: AtomicU64,
+}
+
+/// A TCP hub exposing an inner [`Transport`] to remote
+/// [`SocketTransport`](crate::SocketTransport) clients (see the module
+/// docs).
+pub struct TransportServer<I, M> {
+    shared: Arc<ServerShared<I, M>>,
+    addr: SocketAddr,
+}
+
+impl<I, M> fmt::Debug for TransportServer<I, M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TransportServer")
+            .field("addr", &self.addr)
+            .field("connections", &self.shared.conns.lock().len())
+            .finish()
+    }
+}
+
+impl<I, M> TransportServer<I, M>
+where
+    I: Wire + Clone + Eq + Hash + fmt::Debug + Send + Sync + 'static,
+    M: Wire + Clone + Send + Sync + 'static,
+{
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// serving `inner`. The hub registers itself as `inner`'s fault
+    /// observer to stream fault events to subscribed clients.
+    ///
+    /// # Errors
+    ///
+    /// Any socket-binding error.
+    pub fn bind<A: ToSocketAddrs>(addr: A, inner: Arc<dyn Transport<I, M>>) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(ServerShared {
+            inner,
+            conns: Mutex::new(Vec::new()),
+            shutdown: AtomicBool::new(false),
+            next_conn: AtomicU64::new(0),
+        });
+        // Weak: the inner transport must not keep the hub alive through
+        // its own observer slot.
+        let weak: Weak<ServerShared<I, M>> = Arc::downgrade(&shared);
+        shared.inner.set_fault_observer(Arc::new(move |rec| {
+            if let Some(sh) = weak.upgrade() {
+                sh.broadcast_event(rec);
+            }
+        }));
+        let accept_shared = Arc::clone(&shared);
+        thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                if let Ok(stream) = stream {
+                    accept_shared.spawn_conn(stream);
+                }
+            }
+        });
+        Ok(Self { shared, addr })
+    }
+
+    /// The bound address (with the ephemeral port resolved).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The transport the hub serves — hub-local participants use it
+    /// directly, with zero socket hops.
+    pub fn inner(&self) -> Arc<dyn Transport<I, M>> {
+        Arc::clone(&self.shared.inner)
+    }
+
+    /// Stops accepting and severs every client connection. Each severed
+    /// connection's bound participants are finished on the inner
+    /// transport, exactly as if their processes had died.
+    pub fn shutdown(&self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop; it re-checks the flag.
+        let _ = TcpStream::connect(self.addr);
+        for conn in self.shared.conns.lock().iter() {
+            let _ = conn.stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+impl<I, M> Drop for TransportServer<I, M> {
+    fn drop(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let _ = TcpStream::connect(self.addr);
+        for conn in self.shared.conns.lock().iter() {
+            let _ = conn.stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+impl<I, M> ServerShared<I, M>
+where
+    I: Wire + Clone + Eq + Hash + fmt::Debug + Send + Sync + 'static,
+    M: Wire + Clone + Send + Sync + 'static,
+{
+    fn spawn_conn(self: &Arc<Self>, stream: TcpStream) {
+        let _ = stream.set_nodelay(true);
+        let (reader, keeper, writer) = match (stream.try_clone(), stream.try_clone()) {
+            (Ok(a), Ok(b)) => (stream, a, b),
+            _ => return,
+        };
+        let writer = Arc::new(Mutex::new(writer));
+        let subscribed = Arc::new(AtomicBool::new(false));
+        let id = self.next_conn.fetch_add(1, Ordering::Relaxed);
+        self.conns.lock().push(ConnEntry {
+            id,
+            stream: keeper,
+            writer: Arc::clone(&writer),
+            subscribed: Arc::clone(&subscribed),
+        });
+        let shared = Arc::clone(self);
+        thread::spawn(move || {
+            shared.serve_conn(reader, writer, subscribed);
+            shared.conns.lock().retain(|c| c.id != id);
+        });
+    }
+
+    /// The connection's reader loop: decodes requests, dispatches them,
+    /// and on exit finishes every id the connection bound.
+    fn serve_conn(
+        self: &Arc<Self>,
+        mut stream: TcpStream,
+        writer: Arc<Mutex<TcpStream>>,
+        subscribed: Arc<AtomicBool>,
+    ) {
+        let mut bound: Vec<I> = Vec::new();
+        // Clean close, truncated frame, reset: all peer loss — exit.
+        while let Ok(Some(frame)) = read_frame(&mut stream) {
+            let mut r = Reader::new(&frame);
+            let (Ok(req_id), Ok(req)) = (u64::decode(&mut r), Req::<I, M>::decode(&mut r)) else {
+                break; // protocol corruption: sever the connection
+            };
+            match req {
+                Req::Bind(id) => {
+                    if !bound.contains(&id) {
+                        bound.push(id);
+                    }
+                    self.respond(&writer, req_id, &Resp::Unit);
+                }
+                Req::Declare(id) => {
+                    self.inner.declare(id);
+                    self.respond(&writer, req_id, &Resp::Unit);
+                }
+                Req::Activate(id) => {
+                    // The connection that animates a participant is the
+                    // one whose death must terminate it: activate binds.
+                    if !bound.contains(&id) {
+                        bound.push(id.clone());
+                    }
+                    self.inner.activate(id);
+                    self.respond(&writer, req_id, &Resp::Unit);
+                }
+                Req::Finish(id) => {
+                    bound.retain(|b| b != &id);
+                    self.inner.finish(id);
+                    self.respond(&writer, req_id, &Resp::Unit);
+                }
+                Req::Seal => {
+                    self.inner.seal();
+                    self.respond(&writer, req_id, &Resp::Unit);
+                }
+                Req::Abort => {
+                    self.inner.abort();
+                    self.respond(&writer, req_id, &Resp::Unit);
+                }
+                Req::IsAborted => {
+                    self.respond(&writer, req_id, &Resp::Bool(self.inner.is_aborted()));
+                }
+                Req::PeerStateOf(id) => {
+                    self.respond(&writer, req_id, &Resp::State(self.inner.peer_state(&id)));
+                }
+                Req::Peers => {
+                    self.respond(&writer, req_id, &Resp::PeerList(self.inner.peers()));
+                }
+                Req::Activity => {
+                    self.respond(&writer, req_id, &Resp::Counter(self.inner.activity()));
+                }
+                Req::Reseed(seed) => {
+                    self.inner.reseed(seed);
+                    self.respond(&writer, req_id, &Resp::Unit);
+                }
+                Req::EnsurePeer(id) => {
+                    let resp = match self.inner.ensure_peer(&id) {
+                        Ok(()) => Resp::Unit,
+                        Err(e) => Resp::ChanErr(e),
+                    };
+                    self.respond(&writer, req_id, &resp);
+                }
+                Req::HasPendingFrom { to, from } => {
+                    self.respond(
+                        &writer,
+                        req_id,
+                        &Resp::Bool(self.inner.has_pending_from(&to, &from)),
+                    );
+                }
+                Req::SetFaultPlan(plan) => {
+                    self.inner.set_fault_plan(plan, clone_of::<M>);
+                    self.respond(&writer, req_id, &Resp::Unit);
+                }
+                Req::ClearFaultPlan => {
+                    self.inner.clear_fault_plan();
+                    self.respond(&writer, req_id, &Resp::Unit);
+                }
+                Req::GetFaultPlan => {
+                    self.respond(&writer, req_id, &Resp::Plan(self.inner.fault_plan()));
+                }
+                Req::FaultLog => {
+                    self.respond(&writer, req_id, &Resp::Log(self.inner.fault_log()));
+                }
+                Req::TakeFaultLog => {
+                    self.respond(&writer, req_id, &Resp::Log(self.inner.take_fault_log()));
+                }
+                Req::Subscribe => {
+                    subscribed.store(true, Ordering::SeqCst);
+                    self.respond(&writer, req_id, &Resp::Unit);
+                }
+                Req::TryRecv { me, from } => {
+                    let resp = match self.inner.try_recv(&me, &from) {
+                        Ok(msg) => Resp::Msg(msg),
+                        Err(e) => Resp::ChanErr(e),
+                    };
+                    self.respond(&writer, req_id, &resp);
+                }
+                // Blocking operations get a worker thread each, so one
+                // parked rendezvous never blocks this reader loop.
+                Req::Send {
+                    from,
+                    to,
+                    msg,
+                    timeout_ms,
+                } => {
+                    let shared = Arc::clone(self);
+                    let writer = Arc::clone(&writer);
+                    thread::spawn(move || {
+                        let resp = match shared.inner.send(&from, &to, msg, deadline_of(timeout_ms))
+                        {
+                            Ok(()) => Resp::Unit,
+                            Err(e) => Resp::ChanErr(e),
+                        };
+                        shared.respond(&writer, req_id, &resp);
+                    });
+                }
+                Req::Select {
+                    me,
+                    arms,
+                    timeout_ms,
+                } => {
+                    let shared = Arc::clone(self);
+                    let writer = Arc::clone(&writer);
+                    thread::spawn(move || {
+                        let resp = match shared.inner.select(&me, arms, deadline_of(timeout_ms)) {
+                            Ok(outcome) => Resp::Selected(outcome),
+                            Err(e) => Resp::ChanErr(e),
+                        };
+                        shared.respond(&writer, req_id, &resp);
+                    });
+                }
+            }
+        }
+        // The connection is gone: every participant it animated is too.
+        for id in bound {
+            self.inner.finish(id);
+        }
+    }
+
+    /// Writes one `(req_id, resp)` frame; errors mean the connection is
+    /// dying and are surfaced by its reader loop, not here.
+    fn respond(&self, writer: &Mutex<TcpStream>, req_id: u64, resp: &Resp<I, M>) {
+        let mut payload = Vec::new();
+        req_id.encode(&mut payload);
+        resp.encode(&mut payload);
+        let mut w = writer.lock();
+        let _ = write_frame(&mut *w, &payload);
+    }
+
+    /// Pushes a fault event to every subscribed connection.
+    fn broadcast_event(&self, rec: &FaultRecord<I>) {
+        let targets: Vec<Arc<Mutex<TcpStream>>> = self
+            .conns
+            .lock()
+            .iter()
+            .filter(|c| c.subscribed.load(Ordering::SeqCst))
+            .map(|c| Arc::clone(&c.writer))
+            .collect();
+        if targets.is_empty() {
+            return;
+        }
+        let mut payload = Vec::new();
+        EVENT_REQ_ID.encode(&mut payload);
+        rec.encode(&mut payload);
+        for writer in targets {
+            let mut w = writer.lock();
+            let _ = write_frame(&mut *w, &payload);
+        }
+    }
+}
+
+fn clone_of<M: Clone>(m: &M) -> M {
+    m.clone()
+}

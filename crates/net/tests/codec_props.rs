@@ -1,0 +1,211 @@
+//! Property tests for the wire codec and frame layer.
+//!
+//! The invariants under test:
+//!
+//! 1. encode → decode is the identity for every value (round-trip);
+//! 2. every *strict prefix* of an encoding is rejected — decoding
+//!    consumption is prefix-determined, so truncation can never
+//!    silently succeed;
+//! 3. adversarial length fields (beyond [`MAX_FRAME`]) are rejected
+//!    before any proportional allocation;
+//! 4. arbitrary byte soup never panics the decoder or the frame
+//!    reader — errors only.
+
+use std::io::Cursor;
+use std::time::Duration;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use script_chan::{Arm, ChanError, FaultKind, FaultPlan, FaultRecord, Outcome};
+use script_net::proto::{Req, Resp};
+use script_net::{read_frame, write_frame, Wire, MAX_FRAME};
+
+/// A printable-ish string strategy (arbitrary bytes, lossily UTF-8).
+fn any_string() -> impl Strategy<Value = String> {
+    vec(any::<u8>(), 0..48).prop_map(|b| String::from_utf8_lossy(&b).into_owned())
+}
+
+/// A valid probability in `0.0..=1.0`.
+fn any_prob() -> impl Strategy<Value = f64> {
+    any::<u32>().prop_map(|n| f64::from(n) / f64::from(u32::MAX))
+}
+
+fn any_plan() -> impl Strategy<Value = FaultPlan> {
+    (
+        (any::<u64>(), any_prob(), any_prob(), 0u64..5_000),
+        (any_prob(), any_prob(), 1u64..1_000),
+    )
+        .prop_map(|((seed, drop, delay_p, delay_us), (dup, crash, step))| {
+            FaultPlan::new(seed)
+                .with_drop(drop)
+                .with_delay(delay_p, Duration::from_micros(delay_us))
+                .with_duplicate(dup)
+                .with_crash(crash, step)
+        })
+}
+
+fn any_record() -> impl Strategy<Value = FaultRecord<String>> {
+    (0u8..4, any_string(), any_string(), any::<u64>()).prop_map(|(k, from, to, seq)| {
+        let kind = match k {
+            0 => FaultKind::Drop,
+            1 => FaultKind::Delay,
+            2 => FaultKind::Duplicate,
+            _ => FaultKind::Crash,
+        };
+        FaultRecord {
+            kind,
+            from,
+            to,
+            seq,
+        }
+    })
+}
+
+/// A request covering every payload-bearing shape of the protocol.
+fn any_req() -> impl Strategy<Value = Req<String, u64>> {
+    (
+        0u8..8,
+        any_string(),
+        any_string(),
+        any::<u64>(),
+        proptest::option::of(0u64..100_000),
+        any_plan(),
+    )
+        .prop_map(|(pick, a, b, n, timeout_ms, plan)| match pick {
+            0 => Req::Bind(a),
+            1 => Req::Activate(a),
+            2 => Req::Send {
+                from: a,
+                to: b,
+                msg: n,
+                timeout_ms,
+            },
+            3 => Req::TryRecv { me: a, from: b },
+            4 => Req::Select {
+                me: a,
+                arms: vec![
+                    Arm::recv_from(b.clone()),
+                    Arm::recv_any(),
+                    Arm::send(b.clone(), n),
+                    Arm::watch(b),
+                ],
+                timeout_ms,
+            },
+            5 => Req::SetFaultPlan(plan),
+            6 => Req::HasPendingFrom { to: a, from: b },
+            _ => Req::Reseed(n),
+        })
+}
+
+/// A response covering every variant, including error payloads.
+fn any_resp() -> impl Strategy<Value = Resp<String, u64>> {
+    (0u8..8, any_string(), any::<u64>(), any_record()).prop_map(|(pick, s, n, rec)| match pick {
+        0 => Resp::Unit,
+        1 => Resp::Bool(n % 2 == 0),
+        2 => Resp::Counter(n),
+        3 => Resp::Msg(Some(n)),
+        4 => Resp::Selected(Outcome::Received {
+            arm: (n % 7) as usize,
+            from: s,
+            msg: n,
+        }),
+        5 => Resp::ChanErr(ChanError::Terminated(s)),
+        6 => Resp::Log(vec![rec]),
+        _ => Resp::ChanErr(ChanError::AllTerminated),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn primitives_roundtrip(
+        a in any::<u64>(),
+        b in any_string(),
+        c in vec(any::<u32>(), 0..32),
+        d in proptest::option::of(any::<u64>()),
+        e in any::<bool>(),
+    ) {
+        let v = (a, (b, (c, (d, e))));
+        let bytes = v.to_bytes();
+        prop_assert_eq!(Wire::from_bytes(&bytes), Ok(v));
+    }
+
+    #[test]
+    fn requests_roundtrip(req in any_req()) {
+        let bytes = req.to_bytes();
+        prop_assert_eq!(Wire::from_bytes(&bytes), Ok(req));
+    }
+
+    #[test]
+    fn responses_roundtrip(resp in any_resp()) {
+        let bytes = resp.to_bytes();
+        prop_assert_eq!(Wire::from_bytes(&bytes), Ok(resp));
+    }
+
+    #[test]
+    fn fault_plans_roundtrip_exactly(plan in any_plan()) {
+        let bytes = plan.to_bytes();
+        prop_assert_eq!(Wire::from_bytes(&bytes), Ok(plan));
+    }
+
+    #[test]
+    fn every_truncation_is_rejected(req in any_req(), frac in 0u32..1_000) {
+        let bytes = req.to_bytes();
+        prop_assume!(!bytes.is_empty());
+        let cut = (frac as usize * bytes.len()) / 1_000;
+        let res: Result<Req<String, u64>, _> = Wire::from_bytes(&bytes[..cut]);
+        prop_assert!(res.is_err(), "strict prefix of {} bytes decoded", cut);
+    }
+
+    #[test]
+    fn oversized_string_length_is_rejected(len in (MAX_FRAME as u64 + 1)..u64::MAX) {
+        // A String encoding whose length field promises more than any
+        // frame can carry: must error, must not allocate `len` bytes.
+        let bytes = len.to_bytes();
+        let res: Result<String, _> = Wire::from_bytes(&bytes);
+        prop_assert!(res.is_err());
+    }
+
+    #[test]
+    fn oversized_vec_count_is_rejected(count in (MAX_FRAME as u64 + 1)..u64::MAX) {
+        let bytes = count.to_bytes();
+        let res: Result<Vec<u64>, _> = Wire::from_bytes(&bytes);
+        prop_assert!(res.is_err());
+    }
+
+    #[test]
+    fn byte_soup_never_panics(soup in vec(any::<u8>(), 0..96)) {
+        // Totality: garbage in, error (or an accidental value) out —
+        // never a panic, for every decoder the protocol uses.
+        let _ = <Req<String, u64> as Wire>::from_bytes(&soup);
+        let _ = <Resp<String, u64> as Wire>::from_bytes(&soup);
+        let _ = <FaultPlan as Wire>::from_bytes(&soup);
+        let _ = <(u64, String) as Wire>::from_bytes(&soup);
+        let _ = read_frame(&mut Cursor::new(&soup));
+    }
+
+    #[test]
+    fn frames_roundtrip_payloads(payload in vec(any::<u8>(), 0..256)) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).expect("write");
+        let mut c = Cursor::new(buf);
+        prop_assert_eq!(read_frame(&mut c).expect("read"), Some(payload));
+        prop_assert_eq!(read_frame(&mut c).expect("eof"), None);
+    }
+
+    #[test]
+    fn frame_streams_survive_interleaving(payloads in vec(vec(any::<u8>(), 0..64), 0..8)) {
+        let mut buf = Vec::new();
+        for p in &payloads {
+            write_frame(&mut buf, p).expect("write");
+        }
+        let mut c = Cursor::new(buf);
+        for p in &payloads {
+            let got = read_frame(&mut c).expect("read");
+            prop_assert_eq!(got.as_ref(), Some(p));
+        }
+        prop_assert_eq!(read_frame(&mut c).expect("eof"), None);
+    }
+}

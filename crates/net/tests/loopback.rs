@@ -1,0 +1,128 @@
+//! Loopback smoke tests: one hub, socket spokes, rendezvous across a
+//! real TCP connection. The full contract is exercised by the
+//! workspace-level conformance suite; these tests pin the basics close
+//! to the crate so codec or connection regressions fail fast.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use script_chan::{Arm, ChanError, Outcome, ShardedTransport, Transport};
+use script_net::{SocketTransport, TransportServer};
+
+type Hub = TransportServer<String, u64>;
+
+fn hub() -> Hub {
+    let inner: Arc<dyn Transport<String, u64>> =
+        Arc::new(ShardedTransport::new(false, Some(0x5eed)));
+    TransportServer::bind("127.0.0.1:0", inner).expect("bind")
+}
+
+fn spoke(hub: &Hub) -> SocketTransport<String, u64> {
+    SocketTransport::connect(hub.local_addr()).expect("resolve")
+}
+
+fn far() -> Option<Instant> {
+    Some(Instant::now() + Duration::from_secs(10))
+}
+
+#[test]
+fn send_and_select_cross_the_socket() {
+    let server = hub();
+    let inner = server.inner();
+    let client = spoke(&server);
+
+    for id in ["a", "b"] {
+        inner.declare(id.to_string());
+    }
+    client.activate("a".to_string());
+    inner.activate("b".to_string());
+
+    let sender = thread::spawn(move || {
+        client
+            .send(&"a".to_string(), &"b".to_string(), 41, far())
+            .expect("send over socket");
+        client
+    });
+
+    let got = inner
+        .select(
+            &"b".to_string(),
+            vec![Arm::recv_from("a".to_string())],
+            far(),
+        )
+        .expect("receive hub-side");
+    match got {
+        Outcome::Received { from, msg, .. } => {
+            assert_eq!(from, "a");
+            assert_eq!(msg, 41);
+        }
+        other => panic!("unexpected outcome: {other:?}"),
+    }
+
+    let client = sender.join().expect("sender thread");
+
+    // And the reverse direction: hub-local sends, spoke selects.
+    let h = thread::spawn({
+        let inner = Arc::clone(&inner);
+        move || {
+            inner
+                .send(&"b".to_string(), &"a".to_string(), 17, far())
+                .expect("send hub-side")
+        }
+    });
+    let got = client
+        .select(&"a".to_string(), vec![Arm::recv_any()], far())
+        .expect("receive over socket");
+    assert!(matches!(got, Outcome::Received { msg: 17, .. }));
+    h.join().unwrap();
+}
+
+#[test]
+fn severed_connection_surfaces_as_terminated_peer() {
+    let server = hub();
+    let inner = server.inner();
+
+    for id in ["c", "d"] {
+        inner.declare(id.to_string());
+    }
+    let client = spoke(&server);
+    client.activate("c".to_string());
+    inner.activate("d".to_string());
+
+    // Sever without goodbye — what a crashed process looks like.
+    client.close();
+
+    // The hub notices the dead connection and finishes "c"; a blocked
+    // hub-side receive from it must surface Terminated, not hang.
+    let err = inner
+        .select(
+            &"d".to_string(),
+            vec![Arm::recv_from("c".to_string())],
+            Some(Instant::now() + Duration::from_secs(5)),
+        )
+        .expect_err("peer is gone");
+    assert_eq!(err, ChanError::Terminated("c".to_string()));
+}
+
+#[test]
+fn lost_hub_degrades_like_a_crashed_peer() {
+    let server = hub();
+    let client = spoke(&server);
+    server.inner().declare("e".to_string());
+    client.activate("e".to_string());
+    let before = client.activity();
+
+    server.shutdown();
+    // Give the spoke's reader thread a moment to observe the close.
+    thread::sleep(Duration::from_millis(50));
+
+    let err = client
+        .send(&"e".to_string(), &"f".to_string(), 1, far())
+        .expect_err("hub is gone");
+    assert_eq!(err, ChanError::Terminated("f".to_string()));
+    assert!(client.is_lost());
+    assert!(client.is_aborted(), "a lost hub cannot host operations");
+    // Activity freezes at the last observed value so watchdogs fire.
+    assert_eq!(client.activity(), before.max(client.activity()));
+}

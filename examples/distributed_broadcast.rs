@@ -1,0 +1,131 @@
+//! A broadcast performance spanning **two OS processes**.
+//!
+//! The parent process hosts the hub — a [`TransportServer`] wrapping
+//! the ordinary in-process transport — and animates the `caster`
+//! directly on the hub's inner transport (zero network hops). It then
+//! re-executes itself as a child process, which joins the *same
+//! performance* over TCP with a [`SocketTransport`] and animates both
+//! recipients.
+//!
+//! Every rendezvous below crosses a process boundary, yet the code is
+//! the same [`Transport`] API the in-process examples use: the hub owns
+//! all rendezvous state, so distribution is a deployment choice, not a
+//! programming model.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --example distributed_broadcast
+//! ```
+
+use std::process::Command;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use script::chan::{Arm, Outcome, ShardedTransport, Transport};
+use script::net::{SocketTransport, TransportServer};
+
+const RECIPIENTS: [&str; 2] = ["recipient-0", "recipient-1"];
+const ROUNDS: [u64; 3] = [10, 20, 30];
+/// A zero tells the recipients the broadcast is over.
+const GOODBYE: u64 = 0;
+
+fn far() -> Option<Instant> {
+    Some(Instant::now() + Duration::from_secs(30))
+}
+
+fn s(x: &str) -> String {
+    x.to_string()
+}
+
+/// The child half: connect to the hub, animate both recipients, ack
+/// every value until the goodbye.
+fn run_child(addr: &str) {
+    let t = SocketTransport::<String, u64>::connect(addr).expect("child: connect to hub");
+    for r in RECIPIENTS {
+        t.activate(s(r));
+    }
+    'rounds: loop {
+        // Receive the round's value at each recipient, then ack each —
+        // the same strict order the caster uses, so every rendezvous
+        // has a committed partner.
+        let mut got = [0u64; 2];
+        for (i, r) in RECIPIENTS.iter().enumerate() {
+            let outcome = t
+                .select(&s(r), vec![Arm::recv_from(s("caster"))], far())
+                .expect("child: receive broadcast");
+            let Outcome::Received { msg, .. } = outcome else {
+                panic!("child: unexpected outcome {outcome:?}");
+            };
+            got[i] = msg;
+        }
+        if got == [GOODBYE; 2] {
+            break 'rounds;
+        }
+        for (i, r) in RECIPIENTS.iter().enumerate() {
+            t.send(&s(r), &s("caster"), got[i] + 1, far())
+                .expect("child: ack");
+        }
+    }
+    for r in RECIPIENTS {
+        t.finish(s(r));
+    }
+    println!("child: done (pid {})", std::process::id());
+}
+
+fn main() {
+    // Child invocation: `distributed_broadcast --child <hub-addr>`.
+    let args: Vec<String> = std::env::args().collect();
+    if let [_, flag, addr] = args.as_slice() {
+        if flag == "--child" {
+            run_child(addr);
+            return;
+        }
+    }
+
+    // Parent: host the hub and perform the caster locally.
+    let inner: Arc<dyn Transport<String, u64>> = Arc::new(ShardedTransport::new(false, Some(7)));
+    let server = TransportServer::bind("127.0.0.1:0", Arc::clone(&inner)).expect("bind hub");
+    println!("parent: hub listening on {}", server.local_addr());
+
+    inner.declare(s("caster"));
+    for r in RECIPIENTS {
+        inner.declare(s(r));
+    }
+    inner.activate(s("caster"));
+
+    let exe = std::env::current_exe().expect("own executable path");
+    let mut child = Command::new(exe)
+        .args(["--child", &server.local_addr().to_string()])
+        .spawn()
+        .expect("spawn child process");
+    println!("parent: child process {} joining over TCP", child.id());
+
+    for v in ROUNDS {
+        for r in RECIPIENTS {
+            inner
+                .send(&s("caster"), &s(r), v, far())
+                .expect("parent: broadcast");
+        }
+        for r in RECIPIENTS {
+            let outcome = inner
+                .select(&s("caster"), vec![Arm::recv_from(s(r))], far())
+                .expect("parent: collect ack");
+            let Outcome::Received { from, msg, .. } = outcome else {
+                panic!("parent: unexpected outcome {outcome:?}");
+            };
+            assert_eq!(msg, v + 1, "each recipient acks value+1");
+            println!("parent: {from} acked {v} with {msg}");
+        }
+    }
+    for r in RECIPIENTS {
+        inner
+            .send(&s("caster"), &s(r), GOODBYE, far())
+            .expect("parent: goodbye");
+    }
+    inner.finish(s("caster"));
+
+    let status = child.wait().expect("wait for child");
+    assert!(status.success(), "child failed: {status:?}");
+    println!("parent: performance spanned 2 processes, 3 rounds, 2 recipients — ok");
+}

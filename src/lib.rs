@@ -17,6 +17,7 @@
 //! | [`ada`] | Ada substrate + the paper's script→Ada translation |
 //! | [`monitor`] | monitors with `WAIT UNTIL`, mailboxes, buffers |
 //! | [`chan`] | the rendezvous/guarded-selection kernel |
+//! | [`net`] | socket transport: performances spanning OS processes |
 //! | [`proto`] | global types, projection, monitored sessions (MPST bridge) |
 //!
 //! # Quickstart
@@ -54,4 +55,5 @@ pub use script_csp as csp;
 pub use script_lib as lib;
 pub use script_lockmgr as lockmgr;
 pub use script_monitor as monitor;
+pub use script_net as net;
 pub use script_proto as proto;

@@ -1,0 +1,163 @@
+//! The transport conformance suite, run against every transport the
+//! workspace ships:
+//!
+//! * the in-process [`ShardedTransport`] (the reference
+//!   implementation), and
+//! * the socket-backed [`SocketTransport`] speaking framed RPC to a
+//!   [`TransportServer`] hub over real TCP.
+//!
+//! Both must satisfy the identical contract (ordering, fairness,
+//! deadlines, termination, chaos determinism) — and a chaos seed must
+//! produce the *identical* fault log on both, because fault decisions
+//! are pure functions of `(seed, edge, sequence)` evaluated at the
+//! hub's sending edge regardless of where the participants live.
+//!
+//! One test is genuinely multi-process: the parent re-executes this
+//! test binary as a child process that joins the performance over TCP.
+
+use std::process::{Command, Stdio};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use script::chan::conformance::{self, ConformanceTransport};
+use script::chan::{Arm, Outcome, PeerState, ShardedTransport, Transport};
+use script::net::{SocketTransport, TransportServer};
+
+/// Environment variable carrying the hub address to the child process.
+const CHILD_ADDR_ENV: &str = "SCRIPT_NET_CHILD_ADDR";
+
+fn sharded(seed: u64) -> ConformanceTransport {
+    Arc::new(ShardedTransport::new(false, Some(seed)))
+}
+
+/// Hubs outlive the clients handed to the suite (dropping a
+/// [`TransportServer`] severs its spokes), so the factory parks them
+/// here for the lifetime of the test process.
+static SERVERS: Mutex<Vec<TransportServer<String, u64>>> = Mutex::new(Vec::new());
+
+fn socket(seed: u64) -> ConformanceTransport {
+    let inner: Arc<dyn Transport<String, u64>> = Arc::new(ShardedTransport::new(false, Some(seed)));
+    let server = TransportServer::bind("127.0.0.1:0", inner).expect("bind hub");
+    let client: ConformanceTransport =
+        Arc::new(SocketTransport::<String, u64>::connect(server.local_addr()).expect("resolve"));
+    SERVERS.lock().unwrap().push(server);
+    client
+}
+
+#[test]
+fn sharded_transport_conforms() {
+    conformance::run_all(&sharded);
+}
+
+#[test]
+fn socket_transport_conforms() {
+    conformance::run_all(&socket);
+}
+
+/// The acceptance criterion for chaos parity: one seed, one schedule,
+/// byte-identical fault logs whether the performance is in-process or
+/// crosses a socket.
+#[test]
+fn chaos_seed_produces_identical_fault_log_on_both_transports() {
+    let in_process = conformance::chaos_schedule_log(&sharded);
+    let over_socket = conformance::chaos_schedule_log(&socket);
+    assert!(
+        !in_process.is_empty(),
+        "the chaos schedule should inject at least one fault"
+    );
+    assert_eq!(
+        in_process, over_socket,
+        "fault logs diverged between in-process and socket transports"
+    );
+}
+
+/// Child half of the multi-process test. Under a normal `cargo test`
+/// run (no env var) this is a no-op; the parent test re-executes the
+/// test binary with `SCRIPT_NET_CHILD_ADDR` set, and this body then
+/// joins the performance over TCP as the `child` participant. Any
+/// panic here fails the child process, which the parent asserts on.
+#[test]
+fn child_echo_process() {
+    let Ok(addr) = std::env::var(CHILD_ADDR_ENV) else {
+        return;
+    };
+    let t = SocketTransport::<String, u64>::connect(addr.as_str()).expect("child connect");
+    t.activate("child".to_string());
+    let far = Some(Instant::now() + Duration::from_secs(30));
+    loop {
+        let got = t
+            .select(
+                &"child".to_string(),
+                vec![Arm::recv_from("parent".to_string())],
+                far,
+            )
+            .expect("child receive");
+        let Outcome::Received { msg, .. } = got else {
+            panic!("unexpected outcome: {got:?}");
+        };
+        if msg == 999 {
+            break;
+        }
+        t.send(&"child".to_string(), &"parent".to_string(), msg + 1, far)
+            .expect("child echo");
+    }
+    t.finish("child".to_string());
+}
+
+/// Two OS processes, one performance: the parent animates `parent`
+/// directly on the hub's inner transport (zero hops) while a spawned
+/// child process animates `child` over TCP.
+#[test]
+fn performance_spans_two_os_processes() {
+    let inner: Arc<dyn Transport<String, u64>> = Arc::new(ShardedTransport::new(false, Some(11)));
+    let server = TransportServer::bind("127.0.0.1:0", Arc::clone(&inner)).expect("bind hub");
+    for id in ["parent", "child"] {
+        inner.declare(id.to_string());
+    }
+    inner.activate("parent".to_string());
+
+    let exe = std::env::current_exe().expect("test binary path");
+    let mut child = Command::new(exe)
+        .args(["child_echo_process", "--exact", "--nocapture"])
+        .env(CHILD_ADDR_ENV, server.local_addr().to_string())
+        .stdout(Stdio::null())
+        .spawn()
+        .expect("spawn child process");
+
+    let far = Some(Instant::now() + Duration::from_secs(30));
+    for v in [1u64, 2, 3] {
+        inner
+            .send(&"parent".to_string(), &"child".to_string(), v, far)
+            .expect("parent send");
+        let got = inner
+            .select(
+                &"parent".to_string(),
+                vec![Arm::recv_from("child".to_string())],
+                far,
+            )
+            .expect("parent receive");
+        match got {
+            Outcome::Received { from, msg, .. } => {
+                assert_eq!(from, "child");
+                assert_eq!(msg, v + 1, "child echoes each value incremented");
+            }
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+    }
+    inner
+        .send(&"parent".to_string(), &"child".to_string(), 999, far)
+        .expect("parent goodbye");
+
+    let status = child.wait().expect("child wait");
+    assert!(status.success(), "child process failed: {status:?}");
+
+    // The child finished cleanly; its role must read Done on the hub.
+    let start = Instant::now();
+    while inner.peer_state(&"child".to_string()) != Some(PeerState::Done) {
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "child role never reached Done"
+        );
+        std::thread::yield_now();
+    }
+}
