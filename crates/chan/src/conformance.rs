@@ -32,7 +32,7 @@ use std::time::{Duration, Instant};
 use crate::fault::{FaultKind, FaultPlan};
 use crate::network::{Network, PeerState};
 use crate::select::{Arm, Outcome};
-use crate::transport::Transport;
+use crate::transport::{LatencyOp, Transport};
 use crate::ChanError;
 
 /// The concrete transport type the suite exercises.
@@ -461,6 +461,120 @@ pub fn chaos_schedule_log(factory: TransportFactory<'_>) -> Vec<String> {
     net.fault_log().iter().map(|r| r.to_string()).collect()
 }
 
+/// Latency reporting: a fresh transport has no samples; successful
+/// rendezvous produce `Send` and `Select` samples; `take_latency_samples`
+/// drains; and a plan-injected delay is visible in the recorded
+/// elapsed times (the watchdog's adaptive-window contract).
+pub fn check_latency_reporting(factory: TransportFactory<'_>) {
+    let net = net_of(factory(19));
+    net.activate(s("a"));
+    net.activate(s("b"));
+    assert!(
+        net.latency_samples().is_empty(),
+        "a fresh transport must report no latency samples"
+    );
+    let b = net.port(s("b")).unwrap();
+    let rx = thread::spawn(move || {
+        for _ in 0..8u64 {
+            b.select_deadline(vec![Arm::recv_from(s("a"))], far())
+                .unwrap();
+        }
+    });
+    let a = net.port(s("a")).unwrap();
+    for k in 0..8u64 {
+        a.send_deadline(&s("b"), k, far()).unwrap();
+    }
+    rx.join().unwrap();
+    let samples = net.latency_samples();
+    let sends = samples.iter().filter(|x| x.op == LatencyOp::Send).count();
+    let selects = samples.iter().filter(|x| x.op == LatencyOp::Select).count();
+    assert!(
+        sends >= 8,
+        "8 successful sends must each leave a Send sample, got {sends}"
+    );
+    assert!(
+        selects >= 8,
+        "8 successful selections must each leave a Select sample, got {selects}"
+    );
+    let drained = net.take_latency_samples();
+    assert_eq!(drained.len(), samples.len(), "take must drain every sample");
+    assert!(
+        net.latency_samples().is_empty(),
+        "after take, the sample log must be empty"
+    );
+    // A certain (probability-1) injected delay must show up in the
+    // observed latency of the operation that paid for it.
+    let delay = Duration::from_millis(20);
+    net.set_fault_plan(FaultPlan::new(31).with_delay(1.0, delay));
+    let b = net.port(s("b")).unwrap();
+    let rx = thread::spawn(move || b.recv_from_deadline(&s("a"), far()));
+    a.send_deadline(&s("b"), 99, far()).unwrap();
+    assert_eq!(rx.join().unwrap(), Ok(99));
+    let slow = net
+        .take_latency_samples()
+        .into_iter()
+        .map(|x| x.elapsed)
+        .max()
+        .expect("the delayed rendezvous leaves samples");
+    assert!(
+        slow >= delay,
+        "an injected {delay:?} delay must be visible in latency samples, max was {slow:?}"
+    );
+}
+
+/// Runs a fixed drop+delay chaos schedule — 16 sends on one edge, the
+/// receiver draining until the sender finishes — and returns the
+/// per-operation sample counts (sorted by op) plus the largest elapsed
+/// time observed.
+///
+/// Drop and delay decisions are pure functions of (seed, edge,
+/// sequence) and the schedule is fully sequential, so the *counts* are
+/// identical for any conforming transport; callers compare them across
+/// backends to prove both attribute latency to the same operations.
+/// (Duplication is deliberately excluded: redelivery is best-effort and
+/// timing-dependent, so it would make counts nondeterministic.)
+pub fn latency_sample_profile(
+    factory: TransportFactory<'_>,
+) -> (Vec<(LatencyOp, usize)>, Duration) {
+    let delay = Duration::from_millis(2);
+    let net = net_of(factory(37));
+    net.activate(s("a"));
+    net.activate(s("b"));
+    net.set_fault_plan(FaultPlan::new(41).with_drop(0.35).with_delay(1.0, delay));
+    let b = net.port(s("b")).unwrap();
+    let rx = thread::spawn(move || {
+        let mut got = 0u64;
+        while b.recv_from_deadline(&s("a"), far()).is_ok() {
+            got += 1;
+        }
+        got
+    });
+    let a = net.port(s("a")).unwrap();
+    for k in 0..16u64 {
+        a.send_deadline(&s("b"), k, far())
+            .expect("receiver drains continuously");
+    }
+    net.finish(s("a"));
+    let _ = rx.join().unwrap();
+    let samples = net.latency_samples();
+    let max = samples
+        .iter()
+        .map(|x| x.elapsed)
+        .max()
+        .unwrap_or(Duration::ZERO);
+    let mut counts: HashMap<LatencyOp, usize> = HashMap::new();
+    for sample in &samples {
+        *counts.entry(sample.op).or_insert(0) += 1;
+    }
+    let mut counts: Vec<(LatencyOp, usize)> = counts.into_iter().collect();
+    counts.sort();
+    assert!(
+        max >= delay,
+        "the certain injected delay must dominate the slowest sample"
+    );
+    (counts, max)
+}
+
 /// Runs every check in the suite against the factory.
 pub fn run_all(factory: TransportFactory<'_>) {
     check_lifecycle(factory);
@@ -475,6 +589,7 @@ pub fn run_all(factory: TransportFactory<'_>) {
     check_crash_surfacing(factory);
     check_fault_plan_roundtrip(factory);
     check_fault_determinism(factory);
+    check_latency_reporting(factory);
 }
 
 #[cfg(test)]

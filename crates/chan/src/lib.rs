@@ -58,4 +58,7 @@ pub use error::ChanError;
 pub use fault::{FaultKind, FaultPlan, FaultRecord};
 pub use network::{Network, PeerState, Port};
 pub use select::{Arm, Outcome, Source};
-pub use transport::{FaultObserver, ShardedTransport, Transport};
+pub use transport::{
+    FaultObserver, LatencyHooks, LatencyObserver, LatencyOp, LatencySample, ShardedTransport,
+    Transport,
+};

@@ -21,7 +21,7 @@ use std::time::Instant;
 
 use crate::fault::{FaultPlan, FaultRecord};
 use crate::select::{Arm, Outcome};
-use crate::transport::{ShardedTransport, Transport};
+use crate::transport::{LatencySample, ShardedTransport, Transport};
 use crate::ChanError;
 
 /// Lifecycle state of a network participant.
@@ -248,6 +248,27 @@ where
     /// Drains and returns the fault log.
     pub fn take_fault_log(&self) -> Vec<FaultRecord<I>> {
         self.transport.take_fault_log()
+    }
+
+    /// Registers a callback invoked synchronously, from the operating
+    /// thread, for every successful blocking operation with its
+    /// measured wall-clock latency (it must not block). Used by the
+    /// engine to feed each performance's watchdog latency estimator.
+    pub fn set_latency_observer<F>(&self, observer: F)
+    where
+        F: Fn(&LatencySample) + Send + Sync + 'static,
+    {
+        self.transport.set_latency_observer(Arc::new(observer));
+    }
+
+    /// A copy of the recent latency samples, oldest first (bounded).
+    pub fn latency_samples(&self) -> Vec<LatencySample> {
+        self.transport.latency_samples()
+    }
+
+    /// Drains and returns the recent latency samples.
+    pub fn take_latency_samples(&self) -> Vec<LatencySample> {
+        self.transport.take_latency_samples()
     }
 
     /// Obtains the communication capability for participant `me`.

@@ -35,12 +35,12 @@
 //! checked once per operation instead of consulting the plan per hop.
 
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 use rand::rngs::SmallRng;
@@ -55,6 +55,38 @@ use crate::ChanError;
 /// Callback invoked on every injected fault (see
 /// [`Network::set_fault_observer`](crate::Network::set_fault_observer)).
 pub type FaultObserver<I> = Arc<dyn Fn(&FaultRecord<I>) + Send + Sync>;
+
+/// Callback invoked on every recorded latency sample (see
+/// [`Network::set_latency_observer`](crate::Network::set_latency_observer)).
+pub type LatencyObserver = Arc<dyn Fn(&LatencySample) + Send + Sync>;
+
+/// Which blocking operation a [`LatencySample`] measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LatencyOp {
+    /// A synchronous send that completed its rendezvous.
+    Send,
+    /// A selection that fired a receive or send arm.
+    Select,
+    /// A non-blocking receive that took a deposited message.
+    TryRecv,
+}
+
+/// One *successful* operation's wall-clock latency, as observed by the
+/// participant that issued it.
+///
+/// Failed operations, empty polls, and lifecycle calls are not sampled:
+/// they measure control flow, not rendezvous cost, and tiny poll
+/// samples would drag the quantiles under what an actual rendezvous
+/// needs. For a remote transport the elapsed time includes the RPC
+/// round trip, so hub-side rendezvous time is attributed to the
+/// performance that paid for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LatencySample {
+    /// The operation measured.
+    pub op: LatencyOp,
+    /// Wall-clock time from issue to completion.
+    pub elapsed: Duration,
+}
 
 /// The blocking rendezvous substrate a [`Network`](crate::Network) runs
 /// on.
@@ -102,6 +134,11 @@ pub type FaultObserver<I> = Arc<dyn Fn(&FaultRecord<I>) + Send + Sync>;
 ///   schedule is identical across runs — and across transports. Remote
 ///   peer loss (a disconnected process) surfaces as the same
 ///   [`ChanError::Terminated`] a crashed peer produces.
+/// * **Latency.** Measuring backends record a [`LatencySample`] for
+///   every successful `send`, fired `select`, and non-empty `try_recv`
+///   — and only those — so the per-operation sample counts for a fixed
+///   communication schedule match across transports even though the
+///   elapsed times differ.
 pub trait Transport<I, M>: Send + Sync {
     /// Declares `id` as expected (idempotent, never downgrades).
     fn declare(&self, id: I);
@@ -141,6 +178,21 @@ pub trait Transport<I, M>: Send + Sync {
     fn fault_log(&self) -> Vec<FaultRecord<I>>;
     /// Drains and returns the fault log.
     fn take_fault_log(&self) -> Vec<FaultRecord<I>>;
+    /// Registers a callback invoked after every successful blocking
+    /// operation with its measured latency. Backends that do not
+    /// measure may ignore it (the default does).
+    fn set_latency_observer(&self, observer: LatencyObserver) {
+        let _ = observer;
+    }
+    /// A copy of the recent latency samples, oldest first (bounded:
+    /// implementations retain a fixed number of recent samples).
+    fn latency_samples(&self) -> Vec<LatencySample> {
+        Vec::new()
+    }
+    /// Drains and returns the recent latency samples.
+    fn take_latency_samples(&self) -> Vec<LatencySample> {
+        Vec::new()
+    }
     /// Synchronous send `from → to` (two-phase rendezvous).
     fn send(&self, from: &I, to: &I, msg: M, deadline: Option<Instant>)
         -> Result<(), ChanError<I>>;
@@ -230,6 +282,69 @@ struct FaultHooks<I, M> {
     log: Mutex<Vec<FaultRecord<I>>>,
 }
 
+/// Latency recording shared by measuring transports: a bounded ring of
+/// recent samples plus an optional observer, both fed after every
+/// successful blocking operation. Embed one and delegate the three
+/// latency methods of [`Transport`] to it.
+pub struct LatencyHooks {
+    log: Mutex<VecDeque<LatencySample>>,
+    observer: Mutex<Option<LatencyObserver>>,
+}
+
+/// Most recent latency samples retained per transport.
+const LATENCY_LOG_CAP: usize = 1024;
+
+impl fmt::Debug for LatencyHooks {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LatencyHooks")
+            .field("samples", &self.log.lock().len())
+            .finish()
+    }
+}
+
+impl Default for LatencyHooks {
+    fn default() -> Self {
+        Self {
+            log: Mutex::new(VecDeque::with_capacity(64)),
+            observer: Mutex::new(None),
+        }
+    }
+}
+
+impl LatencyHooks {
+    /// Appends a sample (evicting the oldest past the cap) and notifies
+    /// the observer, if any.
+    pub fn record(&self, op: LatencyOp, elapsed: Duration) {
+        let sample = LatencySample { op, elapsed };
+        {
+            let mut log = self.log.lock();
+            if log.len() == LATENCY_LOG_CAP {
+                log.pop_front();
+            }
+            log.push_back(sample);
+        }
+        let obs = self.observer.lock().clone();
+        if let Some(obs) = obs {
+            obs(&sample);
+        }
+    }
+
+    /// Installs (replacing) the observer callback.
+    pub fn set_observer(&self, observer: LatencyObserver) {
+        *self.observer.lock() = Some(observer);
+    }
+
+    /// A copy of the retained samples, oldest first.
+    pub fn samples(&self) -> Vec<LatencySample> {
+        self.log.lock().iter().copied().collect()
+    }
+
+    /// Drains and returns the retained samples.
+    pub fn take_samples(&self) -> Vec<LatencySample> {
+        self.log.lock().drain(..).collect()
+    }
+}
+
 /// The in-process sharded transport (see the module docs).
 pub struct ShardedTransport<I, M> {
     endpoints: RwLock<HashMap<I, Arc<Endpoint<I, M>>>>,
@@ -242,6 +357,7 @@ pub struct ShardedTransport<I, M> {
     /// Unique tokens for watcher registrations.
     next_token: AtomicU64,
     faults: FaultHooks<I, M>,
+    latency: LatencyHooks,
 }
 
 impl<I, M> fmt::Debug for ShardedTransport<I, M> {
@@ -289,6 +405,7 @@ where
                 observer: Mutex::new(None),
                 log: Mutex::new(Vec::new()),
             },
+            latency: LatencyHooks::default(),
         }
     }
 
@@ -606,7 +723,68 @@ where
         std::mem::take(&mut *self.faults.log.lock())
     }
 
+    fn set_latency_observer(&self, observer: LatencyObserver) {
+        self.latency.set_observer(observer);
+    }
+
+    fn latency_samples(&self) -> Vec<LatencySample> {
+        self.latency.samples()
+    }
+
+    fn take_latency_samples(&self) -> Vec<LatencySample> {
+        self.latency.take_samples()
+    }
+
     fn send(
+        &self,
+        from: &I,
+        to: &I,
+        msg: M,
+        deadline: Option<Instant>,
+    ) -> Result<(), ChanError<I>> {
+        let start = Instant::now();
+        let result = self.send_impl(from, to, msg, deadline);
+        if result.is_ok() {
+            self.latency.record(LatencyOp::Send, start.elapsed());
+        }
+        result
+    }
+
+    fn try_recv(&self, me: &I, from: &I) -> Result<Option<M>, ChanError<I>> {
+        let start = Instant::now();
+        let result = self.try_recv_impl(me, from);
+        if matches!(result, Ok(Some(_))) {
+            self.latency.record(LatencyOp::TryRecv, start.elapsed());
+        }
+        result
+    }
+
+    fn select(
+        &self,
+        me: &I,
+        arms: Vec<Arm<I, M>>,
+        deadline: Option<Instant>,
+    ) -> Result<Outcome<I, M>, ChanError<I>> {
+        let start = Instant::now();
+        let result = self.select_impl(me, arms, deadline);
+        if matches!(
+            result,
+            Ok(Outcome::Received { .. }) | Ok(Outcome::Sent { .. })
+        ) {
+            self.latency.record(LatencyOp::Select, start.elapsed());
+        }
+        result
+    }
+}
+
+impl<I, M> ShardedTransport<I, M>
+where
+    I: Clone + Eq + Hash + fmt::Debug + Send + Sync + 'static,
+    M: Send + 'static,
+{
+    /// [`Transport::send`] body; the trait method wraps it with latency
+    /// recording.
+    fn send_impl(
         &self,
         from: &I,
         to: &I,
@@ -720,7 +898,9 @@ where
         Ok(())
     }
 
-    fn try_recv(&self, me: &I, from: &I) -> Result<Option<M>, ChanError<I>> {
+    /// [`Transport::try_recv`] body; the trait method wraps it with
+    /// latency recording.
+    fn try_recv_impl(&self, me: &I, from: &I) -> Result<Option<M>, ChanError<I>> {
         if from == me {
             return Err(ChanError::Myself);
         }
@@ -749,7 +929,9 @@ where
         Ok(None)
     }
 
-    fn select(
+    /// [`Transport::select`] body; the trait method wraps it with
+    /// latency recording.
+    fn select_impl(
         &self,
         me: &I,
         arms: Vec<Arm<I, M>>,
@@ -811,13 +993,7 @@ where
         }
         result
     }
-}
 
-impl<I, M> ShardedTransport<I, M>
-where
-    I: Clone + Eq + Hash + fmt::Debug + Send + Sync + 'static,
-    M: Send + 'static,
-{
     /// The selection loop body (watcher registration handled by the
     /// caller). `reprs` pairs each arm with its resolved endpoint.
     #[allow(clippy::type_complexity)]

@@ -34,12 +34,18 @@ use parking_lot::{Condvar, Mutex};
 use script_chan::{FaultPlan, Network};
 
 use crate::ctx::RoleCtx;
+use crate::estimator::{LatencyEstimator, WindowFloor};
 use crate::matcher::{admissible, match_performance, Candidate};
 use crate::spec::{FamilySize, ScriptSpec};
 use crate::{
     Enrollment, Initiation, Partners, PerformanceId, ProcessId, RoleId, ScriptError, ScriptEvent,
-    Termination,
+    Termination, WatchdogPolicy,
 };
+
+/// Latency samples retained per performance when the watchdog policy
+/// does not specify a capacity of its own (i.e. [`WatchdogPolicy::Fixed`],
+/// where the estimator only feeds stall-event diagnostics).
+const DEFAULT_ESTIMATOR_CAPACITY: usize = 256;
 
 /// How an enrollment names its role: a concrete id, or "next free member"
 /// of an open family.
@@ -83,6 +89,10 @@ impl<M> PendingSlot<M> {
 pub(crate) struct PerfShard<M> {
     pub(crate) seq: u64,
     pub(crate) net: Network<RoleId, M>,
+    /// Streaming rendezvous-latency estimator, fed by the network's
+    /// latency observer; read by the watchdog to derive adaptive
+    /// quiescence windows (and stall-event diagnostics).
+    pub(crate) latency: Arc<LatencyEstimator>,
     state: Mutex<ShardState>,
     cond: Condvar,
 }
@@ -154,9 +164,10 @@ struct FrontEnd<M> {
     live: Vec<Arc<PerfShard<M>>>,
     pending: Vec<PendingSlot<M>>,
     closed: bool,
-    /// Quiescence window: performances making no communication progress
-    /// for this long are aborted by a monitor thread.
-    watchdog: Option<Duration>,
+    /// Quiescence policy: performances making no communication progress
+    /// for the (fixed or adaptively derived) window are aborted by a
+    /// monitor thread.
+    watchdog: Option<WatchdogPolicy>,
     /// Root seed for per-performance network RNGs (fault determinism).
     chaos_seed: Option<u64>,
     /// Fault plan attached (reseeded per performance) to every new
@@ -257,10 +268,10 @@ impl<M: Send + Clone + 'static> Engine<M> {
 
     /// Arms (or re-arms) the quiescence watchdog for future
     /// performances: a performance whose network makes no progress for
-    /// `window` is aborted with [`ScriptError::Stalled`].
-    pub(crate) fn set_watchdog(&self, window: Duration) {
-        assert!(window > Duration::ZERO, "watchdog window must be positive");
-        self.front.lock().watchdog = Some(window);
+    /// the policy's window is aborted with [`ScriptError::Stalled`].
+    pub(crate) fn set_watchdog_policy(&self, policy: WatchdogPolicy) {
+        policy.validate();
+        self.front.lock().watchdog = Some(policy);
     }
 
     /// Disarms the watchdog for future performances.
@@ -828,9 +839,22 @@ impl<M: Send + Clone + 'static> Engine<M> {
         for role in self.spec.fixed_role_ids() {
             net.declare(role);
         }
+        // Per-performance latency estimator: sized by the adaptive
+        // policy when one is armed, and attached whenever *any* policy
+        // is (so Fixed-policy stall events still carry an observed p99).
+        let estimator_capacity = match &fe.watchdog {
+            Some(WatchdogPolicy::Adaptive(adaptive)) => adaptive.capacity,
+            _ => DEFAULT_ESTIMATOR_CAPACITY,
+        };
+        let latency = Arc::new(LatencyEstimator::new(estimator_capacity));
+        if fe.watchdog.is_some() {
+            let est = Arc::clone(&latency);
+            net.set_latency_observer(move |sample| est.record(sample.elapsed));
+        }
         let shard = Arc::new(PerfShard {
             seq,
             net,
+            latency,
             state: Mutex::new(ShardState {
                 cast: Vec::new(),
                 running: HashSet::new(),
@@ -878,8 +902,8 @@ impl<M: Send + Clone + 'static> Engine<M> {
                 });
             }
         }
-        if let Some(window) = fe.watchdog {
-            self.spawn_watchdog(Arc::clone(&shard), window);
+        if let Some(policy) = fe.watchdog.clone() {
+            self.spawn_watchdog(Arc::clone(&shard), policy);
         }
         fe.live.push(Arc::clone(&shard));
         if !delayed {
@@ -895,13 +919,31 @@ impl<M: Send + Clone + 'static> Engine<M> {
     /// participant may be the one that is stuck. It holds the shard and
     /// only a weak engine reference, and exits as soon as the
     /// performance terminates or aborts.
-    fn spawn_watchdog(&self, shard: Arc<PerfShard<M>>, window: Duration) {
+    fn spawn_watchdog(&self, shard: Arc<PerfShard<M>>, policy: WatchdogPolicy) {
         let weak = self.weak.clone();
-        let poll = (window / 4).clamp(Duration::from_millis(1), Duration::from_millis(50));
         std::thread::spawn(move || {
             let mut last_activity = shard.net.activity();
             let mut last_progress = Instant::now();
+            // EWMA floor under adaptive policies: widens instantly with a
+            // slow regime, shrinks only geometrically afterwards, so a
+            // slow→fast transition cannot snap the window shut on a
+            // rendezvous armed under the old regime.
+            let mut floor = WindowFloor::default();
             loop {
+                // Re-derive the deadline every iteration: the estimator
+                // gains samples while the performance runs, so adaptive
+                // windows track the observed rendezvous-latency quantile.
+                let (window, observed_p99) = match &policy {
+                    WatchdogPolicy::Fixed(w) => (*w, shard.latency.quantile(0.99)),
+                    WatchdogPolicy::Adaptive(adaptive) => {
+                        let (raw, p99) = adaptive.window_for(&shard.latency);
+                        let smoothed = floor
+                            .apply(raw, adaptive.smoothing)
+                            .min(adaptive.max_window);
+                        (smoothed, p99)
+                    }
+                };
+                let poll = (window / 4).clamp(Duration::from_millis(1), Duration::from_millis(50));
                 std::thread::sleep(poll);
                 let Some(engine) = weak.upgrade() else { return };
                 {
@@ -931,6 +973,8 @@ impl<M: Send + Clone + 'static> Engine<M> {
                 shard.net.abort();
                 engine.emit(ScriptEvent::PerformanceStalled {
                     performance: PerformanceId(shard.seq),
+                    observed_p99,
+                    window,
                 });
                 engine.emit(ScriptEvent::PerformanceAborted {
                     performance: PerformanceId(shard.seq),

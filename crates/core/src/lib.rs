@@ -72,6 +72,7 @@ mod ctx;
 mod engine;
 mod enroll;
 mod error;
+mod estimator;
 mod handle;
 mod ids;
 mod matcher;
@@ -82,17 +83,21 @@ mod spec;
 use std::any::Any;
 use std::fmt;
 use std::sync::Arc;
+use std::time::Duration;
 
 pub use ctx::{Event, Guard, RoleCtx};
 pub use engine::{NetworkFactory, PerformanceNet};
 pub use enroll::{Enrollment, Partners, ProcessSel};
 pub use error::ScriptError;
+pub use estimator::{LatencyEstimator, WindowFloor};
 pub use retry::RetryPolicy;
 // Fault injection is configured with the channel-layer plan type.
 pub use handle::{FamilyHandle, RoleHandle};
 pub use ids::{PerformanceId, ProcessId, RoleId};
-pub use policy::{CriticalEntry, CriticalSet, Initiation, Termination};
-pub use script_chan::{FaultKind, FaultPlan, FaultRecord};
+pub use policy::{
+    AdaptiveWindow, CriticalEntry, CriticalSet, Initiation, Termination, WatchdogPolicy,
+};
+pub use script_chan::{FaultKind, FaultPlan, FaultRecord, LatencyOp, LatencySample};
 pub use spec::{FamilySize, ScriptBuilder};
 
 use engine::{Engine, RoleRef};
@@ -150,6 +155,13 @@ pub enum ScriptEvent {
     PerformanceStalled {
         /// The stalled performance.
         performance: PerformanceId,
+        /// The rendezvous-latency quantile the performance's estimator
+        /// had observed when the watchdog fired (`None` before any
+        /// rendezvous completed).
+        observed_p99: Option<Duration>,
+        /// The quiescence window the watchdog had armed — fixed or
+        /// adaptively derived (see [`WatchdogPolicy`]).
+        window: Duration,
     },
     /// The chaos layer injected a fault into the performance's network.
     /// Recorded when the performance completes, in schedule order.
@@ -488,13 +500,36 @@ impl<M: Send + Clone + 'static> Instance<M> {
     /// "Progress" means network activity — sends landing, receives
     /// completing, roles joining or finishing. A performance of roles
     /// that compute without communicating for longer than `window` will
-    /// be treated as hung; size the window accordingly.
+    /// be treated as hung; size the window accordingly — or let the
+    /// engine size it from observed latency with
+    /// [`Instance::set_watchdog_policy`] and
+    /// [`WatchdogPolicy::Adaptive`]. This method is shorthand for
+    /// [`WatchdogPolicy::Fixed`].
     ///
     /// # Panics
     ///
     /// Panics if `window` is zero.
-    pub fn set_watchdog(&self, window: std::time::Duration) {
-        self.engine.set_watchdog(window);
+    pub fn set_watchdog(&self, window: Duration) {
+        self.engine
+            .set_watchdog_policy(WatchdogPolicy::Fixed(window));
+    }
+
+    /// Arms the quiescence watchdog of **future** performances with an
+    /// explicit [`WatchdogPolicy`]. Under [`WatchdogPolicy::Adaptive`]
+    /// each performance's window is re-derived on every watchdog poll
+    /// from that performance's *own* observed rendezvous latency —
+    /// `max(min_window, multiplier × p99)` — so in-process performances
+    /// keep tight millisecond windows while socket-backed performances
+    /// widen to RPC latency without per-transport tuning. The chosen
+    /// window and the observed p99 are carried on any resulting
+    /// [`ScriptEvent::PerformanceStalled`] event.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid parameters (a zero window, `multiplier < 1`,
+    /// a quantile outside `(0, 1]`, zero sample capacity).
+    pub fn set_watchdog_policy(&self, policy: WatchdogPolicy) {
+        self.engine.set_watchdog_policy(policy);
     }
 
     /// Disarms the watchdog for future performances.
@@ -1106,9 +1141,12 @@ mod tests {
             .termination(Termination::Delayed);
         let script = b.build().unwrap();
         let inst = script.instance();
-        // Each 20 ms pause is well inside the 400 ms quiescence window
-        // (generous so a loaded test machine cannot fake a stall).
-        inst.set_watchdog(Duration::from_millis(400));
+        // Adaptive windows instead of a hard-coded margin: the cold
+        // performance is covered by the generous initial window, and
+        // once samples arrive the window is derived from the observed
+        // ~20 ms rendezvous latency — CI load stretches the samples and
+        // the window together, so it cannot fake a stall.
+        inst.set_watchdog_policy(WatchdogPolicy::adaptive());
         std::thread::scope(|s| {
             let i1 = inst.clone();
             let ping = ping.clone();

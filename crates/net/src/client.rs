@@ -37,7 +37,8 @@ use std::time::{Duration, Instant};
 use parking_lot::{Condvar, Mutex};
 
 use script_chan::{
-    Arm, ChanError, FaultObserver, FaultPlan, FaultRecord, Outcome, PeerState, Transport,
+    Arm, ChanError, FaultObserver, FaultPlan, FaultRecord, LatencyHooks, LatencyObserver,
+    LatencyOp, LatencySample, Outcome, PeerState, Transport,
 };
 use script_core::RetryPolicy;
 
@@ -125,6 +126,10 @@ pub struct SocketTransport<I, M> {
     /// Ids to re-bind when a fresh connection is established.
     bound: Mutex<Vec<I>>,
     subscribed: AtomicBool,
+    /// Client-side latency measurement: the RPC round trip *includes*
+    /// the hub-side rendezvous wait, so hub time is attributed to the
+    /// performance whose operation paid for it — no wire changes.
+    latency: LatencyHooks,
 }
 
 impl<I, M> fmt::Debug for SocketTransport<I, M> {
@@ -154,6 +159,7 @@ where
             observer: Arc::new(Mutex::new(None)),
             bound: Mutex::new(Vec::new()),
             subscribed: AtomicBool::new(false),
+            latency: LatencyHooks::default(),
         }
     }
 
@@ -466,6 +472,18 @@ where
         }
     }
 
+    fn set_latency_observer(&self, observer: LatencyObserver) {
+        self.latency.set_observer(observer);
+    }
+
+    fn latency_samples(&self) -> Vec<LatencySample> {
+        self.latency.samples()
+    }
+
+    fn take_latency_samples(&self) -> Vec<LatencySample> {
+        self.latency.take_samples()
+    }
+
     fn send(
         &self,
         from: &I,
@@ -479,24 +497,34 @@ where
             msg,
             timeout_ms: timeout_ms_of(deadline),
         };
-        match self.call(&req) {
+        let start = Instant::now();
+        let result = match self.call(&req) {
             Some(Resp::Unit) => Ok(()),
             Some(Resp::ChanErr(e)) => Err(e),
             // Hub loss = the receiving side is gone, the same error a
             // crashed peer produces.
             _ => Err(ChanError::Terminated(to.clone())),
+        };
+        if result.is_ok() {
+            self.latency.record(LatencyOp::Send, start.elapsed());
         }
+        result
     }
 
     fn try_recv(&self, me: &I, from: &I) -> Result<Option<M>, ChanError<I>> {
-        match self.call(&Req::TryRecv {
+        let start = Instant::now();
+        let result = match self.call(&Req::TryRecv {
             me: me.clone(),
             from: from.clone(),
         }) {
             Some(Resp::Msg(m)) => Ok(m),
             Some(Resp::ChanErr(e)) => Err(e),
             _ => Err(ChanError::Terminated(from.clone())),
+        };
+        if matches!(result, Ok(Some(_))) {
+            self.latency.record(LatencyOp::TryRecv, start.elapsed());
         }
+        result
     }
 
     fn select(
@@ -517,11 +545,19 @@ where
             arms,
             timeout_ms: timeout_ms_of(deadline),
         };
-        match self.call(&req) {
+        let start = Instant::now();
+        let result = match self.call(&req) {
             Some(Resp::Selected(outcome)) => Ok(outcome),
             Some(Resp::ChanErr(e)) => Err(e),
             _ => Err(loss),
+        };
+        if matches!(
+            result,
+            Ok(Outcome::Received { .. }) | Ok(Outcome::Sent { .. })
+        ) {
+            self.latency.record(LatencyOp::Select, start.elapsed());
         }
+        result
     }
 }
 

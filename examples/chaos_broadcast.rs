@@ -55,7 +55,7 @@ fn main() -> Result<(), ScriptError> {
             ScriptEvent::FaultInjected { performance, fault } => {
                 println!("  {performance:?}: {fault}");
             }
-            ScriptEvent::PerformanceStalled { performance } => {
+            ScriptEvent::PerformanceStalled { performance, .. } => {
                 println!("  {performance:?}: stalled, watchdog abort");
             }
             _ => {}

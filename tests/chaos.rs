@@ -101,7 +101,7 @@ fn chaos_log(seed: u64, rounds: u8) -> (Vec<String>, u32) {
             ScriptEvent::FaultInjected { performance, fault } => {
                 Some(format!("{performance:?} fault {fault}"))
             }
-            ScriptEvent::PerformanceStalled { performance } => {
+            ScriptEvent::PerformanceStalled { performance, .. } => {
                 Some(format!("{performance:?} stalled"))
             }
             ScriptEvent::PerformanceCompleted {

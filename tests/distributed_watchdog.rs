@@ -16,7 +16,7 @@ use std::time::{Duration, Instant};
 use script::chan::{Network, ShardedTransport, Transport};
 use script::core::{
     FamilyHandle, Initiation, NetworkFactory, PerformanceNet, RoleId, Script, ScriptError,
-    Termination,
+    Termination, WatchdogPolicy,
 };
 use script::net::{SocketTransport, TransportServer};
 
@@ -92,7 +92,10 @@ fn remote_peer_death_unblocks_blocked_role() {
     });
     let inst = script.instance();
     inst.set_network_factory(factory);
-    inst.set_watchdog(Duration::from_secs(2));
+    // Adaptive: no hand-tuned window for the socket transport — the
+    // 500 ms initial window bounds detection well inside the 10 s
+    // assertion below without guessing at RPC round-trip times.
+    inst.set_watchdog_policy(WatchdogPolicy::adaptive());
 
     let partner = std::thread::spawn(move || {
         remote
@@ -131,7 +134,11 @@ fn silent_remote_peer_trips_the_watchdog() {
     });
     let inst = script.instance();
     inst.set_network_factory(factory);
-    inst.set_watchdog(Duration::from_millis(300));
+    // Adaptive rather than a hard-coded 300 ms: the silent peer never
+    // completes a rendezvous, so the watchdog fires at the policy's
+    // initial window (500 ms) — still far inside the 5 s assertion —
+    // without baking transport timing into the test.
+    inst.set_watchdog_policy(WatchdogPolicy::adaptive());
 
     let start = Instant::now();
     let err = inst.enroll(&local, ()).unwrap_err();

@@ -4,10 +4,19 @@
 //! cargo test --release --test soak -- --ignored
 //! ```
 
+use std::sync::Arc;
+use std::time::Duration;
+
+use script::chan::{FaultPlan, Network, ShardedTransport, Transport};
+use script::core::{
+    Initiation, NetworkFactory, PerformanceNet, RoleId, Script, ScriptError, ScriptEvent,
+    Termination, WatchdogPolicy,
+};
 use script::lib::broadcast::{self, Order};
 use script::lockmgr::script::Cluster;
 use script::lockmgr::strategy::Strategy;
 use script::lockmgr::workload::{self, WorkloadSpec};
+use script::net::{SocketTransport, TransportServer};
 
 #[test]
 #[ignore = "soak test: run explicitly"]
@@ -19,6 +28,103 @@ fn thousand_broadcast_performances() {
         assert_eq!(got, vec![v; 4]);
     }
     assert_eq!(inst.completed_performances(), 1_000);
+}
+
+/// Regime-shift soak for adaptive watchdog windows: 200 healthy
+/// performances alternate — by performance-id parity — between the fast
+/// in-process transport and a slow socket transport (TCP hub plus a
+/// certain 2 ms injected delay per send). One untouched
+/// [`WatchdogPolicy::Adaptive`] setting must produce **zero** spurious
+/// stalls across every regime flip, then still detect one genuine
+/// deadlock per regime.
+#[test]
+#[ignore = "soak test: run explicitly"]
+fn adaptive_watchdog_regime_shift() {
+    let mut b = Script::<u64>::builder("regime_shift");
+    let ping = b.role("ping", |ctx, hang: bool| {
+        for k in 0..3u64 {
+            ctx.send(&RoleId::new("pong"), k)?;
+            ctx.recv_from(&RoleId::new("pong"))?;
+        }
+        if hang {
+            ctx.recv_from(&RoleId::new("pong"))?;
+        }
+        Ok(())
+    });
+    let pong = b.role("pong", |ctx, hang: bool| {
+        for _ in 0..3u64 {
+            let v = ctx.recv_from(&RoleId::new("ping"))?;
+            ctx.send(&RoleId::new("ping"), v + 1)?;
+        }
+        if hang {
+            ctx.recv_from(&RoleId::new("ping"))?;
+        }
+        Ok(())
+    });
+    b.initiation(Initiation::Delayed)
+        .termination(Termination::Delayed);
+    let script = b.build().unwrap();
+    let inst = script.instance();
+    inst.enable_event_log(8192);
+    inst.set_watchdog_policy(WatchdogPolicy::adaptive());
+
+    let inner: Arc<dyn Transport<RoleId, u64>> = Arc::new(ShardedTransport::new(false, None));
+    let server = TransportServer::bind("127.0.0.1:0", inner).expect("bind hub");
+    let addr = server.local_addr();
+    // Route by parity: even-numbered performances stay in-process,
+    // odd-numbered ones cross the TCP hub with a certain injected
+    // delay — so consecutive performances flip regimes every time.
+    let factory: Arc<NetworkFactory<u64>> = Arc::new(move |ctx: &PerformanceNet| {
+        if ctx.performance.0.is_multiple_of(2) {
+            Network::new()
+        } else {
+            let spoke: Arc<dyn Transport<RoleId, u64>> =
+                Arc::new(SocketTransport::<RoleId, u64>::connect(addr).expect("spoke connect"));
+            let net = Network::with_transport(spoke);
+            net.set_fault_plan(FaultPlan::new(7).with_delay(1.0, Duration::from_millis(2)));
+            net
+        }
+    });
+    inst.set_network_factory(factory);
+
+    let run = |hang: bool| -> (Result<(), ScriptError>, Result<(), ScriptError>) {
+        std::thread::scope(|s| {
+            let i = inst.clone();
+            let ping = ping.clone();
+            let h = s.spawn(move || i.enroll(&ping, hang));
+            let pong_result = inst.enroll(&pong, hang);
+            (h.join().unwrap(), pong_result)
+        })
+    };
+
+    for seq in 0..200u64 {
+        let (a, b) = run(false);
+        a.unwrap_or_else(|e| panic!("spurious failure on performance {seq} (ping): {e:?}"));
+        b.unwrap_or_else(|e| panic!("spurious failure on performance {seq} (pong): {e:?}"));
+    }
+
+    // One genuine deadlock per regime. Sequence numbers continue from
+    // the healthy run: 200 is even (in-process), 201 odd (socket). The
+    // socket deadlock goes last because aborting it poisons the shared
+    // hub for any performance after it.
+    let (a, b) = run(true);
+    assert_eq!(a.unwrap_err(), ScriptError::Stalled);
+    assert_eq!(b.unwrap_err(), ScriptError::Stalled);
+    let (a, b) = run(true);
+    assert_eq!(a.unwrap_err(), ScriptError::Stalled);
+    assert_eq!(b.unwrap_err(), ScriptError::Stalled);
+
+    let stalls = inst
+        .take_events()
+        .iter()
+        .filter(|e| matches!(e, ScriptEvent::PerformanceStalled { .. }))
+        .count();
+    assert_eq!(
+        stalls, 2,
+        "exactly the two seeded deadlocks may stall — anything more is spurious"
+    );
+    assert_eq!(inst.completed_performances(), 202);
+    drop(server);
 }
 
 #[test]

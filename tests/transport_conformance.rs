@@ -71,6 +71,31 @@ fn chaos_seed_produces_identical_fault_log_on_both_transports() {
     );
 }
 
+/// The latency half of chaos parity: the same seeded drop+delay
+/// schedule must leave the *same* per-operation sample counts on both
+/// transports (so adaptive watchdog windows see equivalent evidence
+/// wherever the performance lives), and the certain injected delay must
+/// dominate the slowest sample on each.
+#[test]
+fn latency_samples_report_equivalently_on_both_transports() {
+    let (in_process, in_process_max) = conformance::latency_sample_profile(&sharded);
+    let (over_socket, over_socket_max) = conformance::latency_sample_profile(&socket);
+    assert!(
+        !in_process.is_empty(),
+        "the latency schedule should record at least one sample"
+    );
+    assert_eq!(
+        in_process, over_socket,
+        "latency sample counts diverged between in-process and socket transports"
+    );
+    let delay = Duration::from_millis(2);
+    assert!(
+        in_process_max >= delay && over_socket_max >= delay,
+        "the seeded delay fault must be visible in both transports' samples \
+         (in-process max {in_process_max:?}, socket max {over_socket_max:?})"
+    );
+}
+
 /// Child half of the multi-process test. Under a normal `cargo test`
 /// run (no env var) this is a no-op; the parent test re-executes the
 /// test binary with `SCRIPT_NET_CHILD_ADDR` set, and this body then
