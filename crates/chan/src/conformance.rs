@@ -575,6 +575,77 @@ pub fn latency_sample_profile(
     (counts, max)
 }
 
+/// Runs a fixed delay-only chaos schedule — 16 serial sends on one edge
+/// with a 0.5-probability injected delay, the receiver draining until
+/// the sender finishes — and returns the merged *push-delivered* event
+/// stream: fault records and sender-side `Send` latency samples, in
+/// arrival order, rendered with timestamps elided.
+///
+/// The schedule is deliberately drop-free (the protocol never stalls)
+/// and fully serial on the sending side, and both the in-process
+/// transport and the socket transport deliver an operation's fault
+/// record *before* that operation's success sample (in process the same
+/// thread emits both; over TCP the hub writes the event push frame
+/// before the response, and the client's serial reader dispatches in
+/// frame order). Receiver-side samples are excluded: they race with the
+/// sender's. The stream is therefore identical for any conforming
+/// transport.
+pub fn merged_event_stream(factory: TransportFactory<'_>) -> Vec<String> {
+    let log = Arc::new(std::sync::Mutex::new(Vec::new()));
+    let net = net_of(factory(43));
+    net.activate(s("a"));
+    net.activate(s("b"));
+    {
+        let log = Arc::clone(&log);
+        net.set_fault_observer(move |rec| log.lock().unwrap().push(format!("fault {rec}")));
+    }
+    {
+        let log = Arc::clone(&log);
+        net.set_latency_observer(move |sample| {
+            if sample.op == LatencyOp::Send {
+                log.lock().unwrap().push(s("send ok"));
+            }
+        });
+    }
+    net.set_fault_plan(FaultPlan::new(47).with_delay(0.5, Duration::from_micros(200)));
+    let b = net.port(s("b")).unwrap();
+    let rx = thread::spawn(move || while b.recv_from_deadline(&s("a"), far()).is_ok() {});
+    let a = net.port(s("a")).unwrap();
+    for k in 0..16u64 {
+        a.send_deadline(&s("b"), k, far())
+            .expect("receiver drains continuously");
+    }
+    net.finish(s("a"));
+    rx.join().unwrap();
+    let stream = log.lock().unwrap().clone();
+    stream
+}
+
+/// Event-stream parity: the merged observer-delivered event stream of
+/// the reference delay schedule — fault records interleaved with send
+/// samples — is identical (modulo timestamps, which the rendering
+/// elides) across the two factories' transports.
+pub fn check_event_stream_parity(one: TransportFactory<'_>, two: TransportFactory<'_>) {
+    let a = merged_event_stream(one);
+    let b = merged_event_stream(two);
+    assert!(
+        !a.is_empty(),
+        "the reference delay schedule produces observer events"
+    );
+    assert!(
+        a.iter().any(|e| e.starts_with("fault")),
+        "the reference delay schedule streams at least one fault record: {a:?}"
+    );
+    assert!(
+        a.iter().any(|e| e == "send ok"),
+        "every successful send leaves a sample in the stream: {a:?}"
+    );
+    assert_eq!(
+        a, b,
+        "both transports must deliver the same merged event stream"
+    );
+}
+
 /// Runs every check in the suite against the factory.
 pub fn run_all(factory: TransportFactory<'_>) {
     check_lifecycle(factory);
@@ -590,6 +661,7 @@ pub fn run_all(factory: TransportFactory<'_>) {
     check_fault_plan_roundtrip(factory);
     check_fault_determinism(factory);
     check_latency_reporting(factory);
+    check_event_stream_parity(factory, factory);
 }
 
 #[cfg(test)]
@@ -609,5 +681,10 @@ mod tests {
     #[test]
     fn sharded_chaos_schedule_is_stable() {
         assert_eq!(chaos_schedule_log(&sharded), chaos_schedule_log(&sharded));
+    }
+
+    #[test]
+    fn sharded_event_stream_is_stable() {
+        check_event_stream_parity(&sharded, &sharded);
     }
 }

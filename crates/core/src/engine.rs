@@ -21,12 +21,25 @@
 //! claims it (the `completing` flag), reacquires the front end, and
 //! retires the shard there.
 //!
-//! Lock order: front end → shard → event log; never two shards at once.
+//! Lock order: front end → shard state → telemetry sink (per-shard
+//! sequence locks and observer internals are leaves); never two shards
+//! at once.
+//!
+//! # Telemetry
+//!
+//! Every engine decision is published through one [`TelemetrySink`]:
+//! an atomic `enabled` flag (loaded `Relaxed` on the hot path, exactly
+//! like the chaos layer's `FaultPlan` short-circuit) guards a composed
+//! [`Observer`] — the built-in ring log, a user subscriber, or a
+//! [`MultiObserver`] fan-out over both. Per-performance events are
+//! numbered under the owning shard's sequence lock, which is held
+//! *across* delivery so each performance's stream reaches observers
+//! gapless, strictly increasing, and in order.
 
 use std::any::Any;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
@@ -36,6 +49,7 @@ use script_chan::{FaultPlan, Network};
 use crate::ctx::RoleCtx;
 use crate::estimator::{LatencyEstimator, WindowFloor};
 use crate::matcher::{admissible, match_performance, Candidate};
+use crate::observer::{MultiObserver, Observer, RingObserver, TelemetryEvent, TelemetryPayload};
 use crate::spec::{FamilySize, ScriptSpec};
 use crate::{
     Enrollment, Initiation, Partners, PerformanceId, ProcessId, RoleId, ScriptError, ScriptEvent,
@@ -93,6 +107,15 @@ pub(crate) struct PerfShard<M> {
     /// latency observer; read by the watchdog to derive adaptive
     /// quiescence windows (and stall-event diagnostics).
     pub(crate) latency: Arc<LatencyEstimator>,
+    /// Next telemetry sequence number for this performance. Held across
+    /// observer delivery so the per-performance event stream is gapless
+    /// and arrives in sequence order (see [`TelemetrySink`]).
+    telemetry_seq: Mutex<u64>,
+    /// Whether fault records stream onto the telemetry plane as they
+    /// are injected (telemetry was enabled when the performance
+    /// opened). When false, [`Engine::finalize_shard`] drains the
+    /// network's fault log at completion instead, as before.
+    live_faults: bool,
     state: Mutex<ShardState>,
     cond: Condvar,
 }
@@ -212,9 +235,61 @@ fn mix_seed(root: u64, seq: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-struct EventBuf {
-    buf: VecDeque<ScriptEvent>,
-    capacity: usize,
+/// Subscriber composition: the built-in ring, the user observer, and
+/// the currently active combination of the two.
+struct SinkState {
+    /// The ring behind `enable_event_log`/`take_events`.
+    ring: Option<Arc<RingObserver>>,
+    /// The user-installed subscriber ([`Engine::set_observer`]).
+    user: Option<Arc<dyn Observer>>,
+    /// Pre-composed delivery target: the ring, the user observer, or a
+    /// [`MultiObserver`] over both. Re-derived on every change so the
+    /// emit path does one clone, not a case analysis.
+    current: Option<Arc<dyn Observer>>,
+}
+
+/// The engine half of the observability plane (see
+/// [`crate::observer`]): one composed subscriber behind an atomic
+/// short-circuit, plus the instance-scoped sequence counter.
+struct TelemetrySink {
+    /// Whether any observer is installed. Stored `SeqCst` on change,
+    /// loaded `Relaxed` on the emit path — the same short-circuit
+    /// pattern the chaos layer uses for zero-probability fault plans,
+    /// keeping disabled-telemetry cost to one atomic load.
+    enabled: AtomicBool,
+    state: Mutex<SinkState>,
+    /// Sequence counter for instance-scoped events (no performance).
+    instance_seq: Mutex<u64>,
+}
+
+impl TelemetrySink {
+    fn new() -> Self {
+        Self {
+            enabled: AtomicBool::new(false),
+            state: Mutex::new(SinkState {
+                ring: None,
+                user: None,
+                current: None,
+            }),
+            instance_seq: Mutex::new(0),
+        }
+    }
+
+    /// Re-derives `current` from `ring` and `user`, then publishes the
+    /// short-circuit flag.
+    fn recompose(&self, st: &mut SinkState) {
+        st.current = match (&st.ring, &st.user) {
+            (Some(ring), Some(user)) => {
+                let ring = Arc::clone(ring) as Arc<dyn Observer>;
+                Some(Arc::new(MultiObserver::with(vec![ring, Arc::clone(user)]))
+                    as Arc<dyn Observer>)
+            }
+            (Some(ring), None) => Some(Arc::clone(ring) as Arc<dyn Observer>),
+            (None, Some(user)) => Some(Arc::clone(user)),
+            (None, None) => None,
+        };
+        self.enabled.store(st.current.is_some(), Ordering::SeqCst);
+    }
 }
 
 pub(crate) struct Engine<M> {
@@ -223,9 +298,11 @@ pub(crate) struct Engine<M> {
     /// Wakes enrollment waiters only; per-performance signalling happens
     /// on each shard's own condvar.
     cond: Condvar,
-    /// Bounded event log, enabled on demand. Its own lock (last in the
-    /// order) so both the front end and shards can emit.
-    events: Mutex<Option<EventBuf>>,
+    /// The observability plane's engine end. Its locks are leaves (after
+    /// the front end and any shard state) so both can emit.
+    telemetry: TelemetrySink,
+    /// Timestamp origin for [`TelemetryEvent::timestamp`].
+    epoch: Instant,
     /// Count of fully terminated performances.
     completed: AtomicU64,
     /// Self-reference for watchdog threads (they must not keep the
@@ -250,20 +327,62 @@ impl<M: Send + Clone + 'static> Engine<M> {
                 net_factory: None,
             }),
             cond: Condvar::new(),
-            events: Mutex::new(None),
+            telemetry: TelemetrySink::new(),
+            epoch: Instant::now(),
             completed: AtomicU64::new(0),
             weak: weak.clone(),
         })
     }
 
-    fn emit(&self, event: ScriptEvent) {
-        let mut ev = self.events.lock();
-        if let Some(log) = ev.as_mut() {
-            if log.buf.len() == log.capacity {
-                log.buf.pop_front();
-            }
-            log.buf.push_back(event);
+    /// Whether any telemetry observer is installed (one relaxed atomic
+    /// load — the whole cost of the plane while disabled).
+    pub(crate) fn telemetry_on(&self) -> bool {
+        self.telemetry.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Numbers `payload` under `seq_lock` and delivers it to the
+    /// composed observer. The sequence lock is held across delivery so
+    /// events of one scope reach observers gapless and in order.
+    fn deliver(
+        &self,
+        performance: Option<PerformanceId>,
+        seq_lock: &Mutex<u64>,
+        payload: TelemetryPayload,
+    ) {
+        if !self.telemetry_on() {
+            return;
         }
+        let Some(observer) = self.telemetry.state.lock().current.clone() else {
+            return;
+        };
+        let mut seq = seq_lock.lock();
+        let event = TelemetryEvent {
+            seq: *seq,
+            performance,
+            timestamp: self.epoch.elapsed(),
+            payload,
+        };
+        *seq += 1;
+        observer.on_event(event);
+    }
+
+    /// Emits an instance-scoped event (no owning performance).
+    fn emit_instance(&self, payload: TelemetryPayload) {
+        self.deliver(None, &self.telemetry.instance_seq, payload);
+    }
+
+    /// Emits an event attributed to `shard`'s performance.
+    fn emit_shard(&self, shard: &PerfShard<M>, payload: TelemetryPayload) {
+        self.deliver(
+            Some(PerformanceId(shard.seq)),
+            &shard.telemetry_seq,
+            payload,
+        );
+    }
+
+    /// [`Engine::emit_shard`] for plain lifecycle events.
+    fn emit_script(&self, shard: &PerfShard<M>, event: ScriptEvent) {
+        self.emit_shard(shard, TelemetryPayload::Script(event));
     }
 
     /// Arms (or re-arms) the quiescence watchdog for future
@@ -311,22 +430,63 @@ impl<M: Send + Clone + 'static> Engine<M> {
         self.completed.load(Ordering::SeqCst)
     }
 
-    /// Enables (or resizes) the bounded event log.
+    /// Enables (or resizes, which clears) the bounded event log: a
+    /// fresh [`RingObserver`] on the telemetry plane. Resizing resets
+    /// the drop counters along with the buffer.
     pub(crate) fn enable_event_log(&self, capacity: usize) {
-        let mut ev = self.events.lock();
-        *ev = Some(EventBuf {
-            buf: VecDeque::with_capacity(capacity.min(1024)),
-            capacity: capacity.max(1),
-        });
+        let mut st = self.telemetry.state.lock();
+        st.ring = Some(Arc::new(RingObserver::new(capacity)));
+        self.telemetry.recompose(&mut st);
     }
 
-    /// Drains and returns the logged events.
+    /// Drains the ring log and returns its lifecycle events
+    /// ([`ScriptEvent`]), preserving the pre-plane API. Latency
+    /// samples, watchdog arms, and loss markers are dropped here; use
+    /// [`Engine::take_telemetry`] for the full stream.
     pub(crate) fn take_events(&self) -> Vec<ScriptEvent> {
-        let mut ev = self.events.lock();
-        match ev.as_mut() {
-            Some(log) => log.buf.drain(..).collect(),
+        self.take_telemetry()
+            .into_iter()
+            .filter_map(|e| match e.payload {
+                TelemetryPayload::Script(ev) => Some(ev),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Drains the ring log and returns the full telemetry stream,
+    /// including a [`TelemetryPayload::Lost`] marker if the ring
+    /// overflowed since the last drain.
+    pub(crate) fn take_telemetry(&self) -> Vec<TelemetryEvent> {
+        let ring = self.telemetry.state.lock().ring.clone();
+        match ring {
+            Some(ring) => ring.drain(),
             None => Vec::new(),
         }
+    }
+
+    /// Installs (replacing any previous) the user telemetry observer.
+    pub(crate) fn set_observer(&self, observer: Arc<dyn Observer>) {
+        let mut st = self.telemetry.state.lock();
+        st.user = Some(observer);
+        self.telemetry.recompose(&mut st);
+    }
+
+    /// Removes the user telemetry observer (the ring log, if enabled,
+    /// keeps receiving events).
+    pub(crate) fn clear_observer(&self) {
+        let mut st = self.telemetry.state.lock();
+        st.user = None;
+        self.telemetry.recompose(&mut st);
+    }
+
+    /// Lifetime count of events the ring log dropped to overflow.
+    fn events_dropped(&self) -> u64 {
+        self.telemetry
+            .state
+            .lock()
+            .ring
+            .as_ref()
+            .map_or(0, |ring| ring.dropped())
     }
 
     /// A diagnostic snapshot of the instance.
@@ -360,6 +520,7 @@ impl<M: Send + Clone + 'static> Engine<M> {
                 .count(),
             current: performances.first().cloned(),
             performances,
+            events_dropped: self.events_dropped(),
         }
     }
 
@@ -378,7 +539,7 @@ impl<M: Send + Clone + 'static> Engine<M> {
     pub(crate) fn close(&self) {
         let mut fe = self.front.lock();
         fe.closed = true;
-        self.emit(ScriptEvent::InstanceClosed);
+        self.emit_instance(TelemetryPayload::Script(ScriptEvent::InstanceClosed));
         for slot in &mut fe.pending {
             if matches!(slot.outcome, Outcome::Waiting) {
                 slot.outcome = Outcome::Rejected(ScriptError::InstanceClosed);
@@ -392,9 +553,12 @@ impl<M: Send + Clone + 'static> Engine<M> {
             if !ss.aborted {
                 ss.aborted = true;
                 shard.net.abort();
-                self.emit(ScriptEvent::PerformanceAborted {
-                    performance: PerformanceId(shard.seq),
-                });
+                self.emit_script(
+                    &shard,
+                    ScriptEvent::PerformanceAborted {
+                        performance: PerformanceId(shard.seq),
+                    },
+                );
             }
             let finalize = ss.is_ready() && !ss.completing;
             if finalize {
@@ -440,9 +604,12 @@ impl<M: Send + Clone + 'static> Engine<M> {
             return;
         }
         Self::freeze(&self.spec, &shard.net, &mut ss);
-        self.emit(ScriptEvent::CastFrozen {
-            performance: PerformanceId(shard.seq),
-        });
+        self.emit_script(
+            shard,
+            ScriptEvent::CastFrozen {
+                performance: PerformanceId(shard.seq),
+            },
+        );
         if let Some(g) = fe.gathering.as_ref() {
             if Arc::ptr_eq(g, shard) {
                 fe.gathering = None;
@@ -483,13 +650,13 @@ impl<M: Send + Clone + 'static> Engine<M> {
             }
             ticket = fe.next_ticket;
             fe.next_ticket += 1;
-            self.emit(ScriptEvent::EnrollmentQueued {
+            self.emit_instance(TelemetryPayload::Script(ScriptEvent::EnrollmentQueued {
                 role: match &role {
                     RoleRef::Concrete(id) => id.clone(),
                     RoleRef::NextOf(family) => RoleId::new(family.clone()),
                 },
                 process: process.clone(),
-            });
+            }));
             fe.pending.push(PendingSlot {
                 ticket,
                 role,
@@ -598,14 +765,20 @@ impl<M: Send + Clone + 'static> Engine<M> {
                 ss.aborted = true;
                 shard.net.abort();
             }
-            self.emit(ScriptEvent::RoleFinished {
-                performance: PerformanceId(seq),
-                role: role_id.clone(),
-            });
-            if panicked {
-                self.emit(ScriptEvent::PerformanceAborted {
+            self.emit_script(
+                &shard,
+                ScriptEvent::RoleFinished {
                     performance: PerformanceId(seq),
-                });
+                    role: role_id.clone(),
+                },
+            );
+            if panicked {
+                self.emit_script(
+                    &shard,
+                    ScriptEvent::PerformanceAborted {
+                        performance: PerformanceId(seq),
+                    },
+                );
             }
             let f = ss.is_ready() && !ss.completing;
             if f {
@@ -682,17 +855,27 @@ impl<M: Send + Clone + 'static> Engine<M> {
             ss.aborted
         };
         // Surface every fault the chaos layer injected, in schedule
-        // order, before the completion event.
-        for record in shard.net.take_fault_log() {
-            self.emit(ScriptEvent::FaultInjected {
-                performance: PerformanceId(shard.seq),
-                fault: record.to_string(),
-            });
+        // order, before the completion event — unless telemetry was
+        // live when the performance opened, in which case each record
+        // already streamed out at injection time.
+        if !shard.live_faults {
+            for record in shard.net.take_fault_log() {
+                self.emit_script(
+                    shard,
+                    ScriptEvent::FaultInjected {
+                        performance: PerformanceId(shard.seq),
+                        fault: record.to_string(),
+                    },
+                );
+            }
         }
-        self.emit(ScriptEvent::PerformanceCompleted {
-            performance: PerformanceId(shard.seq),
-            aborted,
-        });
+        self.emit_script(
+            shard,
+            ScriptEvent::PerformanceCompleted {
+                performance: PerformanceId(shard.seq),
+                aborted,
+            },
+        );
         fe.live.retain(|s| !Arc::ptr_eq(s, shard));
         if let Some(g) = fe.gathering.as_ref() {
             if Arc::ptr_eq(g, shard) {
@@ -739,18 +922,24 @@ impl<M: Send + Clone + 'static> Engine<M> {
                     false
                 };
                 for (role, process) in newly_admitted {
-                    self.emit(ScriptEvent::RoleAdmitted {
-                        performance: PerformanceId(seq),
-                        role,
-                        process,
-                    });
+                    self.emit_script(
+                        &shard,
+                        ScriptEvent::RoleAdmitted {
+                            performance: PerformanceId(seq),
+                            role,
+                            process,
+                        },
+                    );
                 }
                 if !froze {
                     return;
                 }
-                self.emit(ScriptEvent::CastFrozen {
-                    performance: PerformanceId(seq),
-                });
+                self.emit_script(
+                    &shard,
+                    ScriptEvent::CastFrozen {
+                        performance: PerformanceId(seq),
+                    },
+                );
                 // Detach: the frozen performance runs on its shard while
                 // the next enrollment gathers into a fresh one (overlap).
                 fe.gathering = None;
@@ -846,15 +1035,13 @@ impl<M: Send + Clone + 'static> Engine<M> {
             Some(WatchdogPolicy::Adaptive(adaptive)) => adaptive.capacity,
             _ => DEFAULT_ESTIMATOR_CAPACITY,
         };
-        let latency = Arc::new(LatencyEstimator::new(estimator_capacity));
-        if fe.watchdog.is_some() {
-            let est = Arc::clone(&latency);
-            net.set_latency_observer(move |sample| est.record(sample.elapsed));
-        }
+        let telemetry_live = self.telemetry_on();
         let shard = Arc::new(PerfShard {
             seq,
             net,
-            latency,
+            latency: Arc::new(LatencyEstimator::new(estimator_capacity)),
+            telemetry_seq: Mutex::new(0),
+            live_faults: telemetry_live,
             state: Mutex::new(ShardState {
                 cast: Vec::new(),
                 running: HashSet::new(),
@@ -868,9 +1055,43 @@ impl<M: Send + Clone + 'static> Engine<M> {
             }),
             cond: Condvar::new(),
         });
-        self.emit(ScriptEvent::PerformanceStarted {
-            performance: PerformanceId(seq),
-        });
+        // Transport observers carry weak references both ways (the
+        // network outlives neither the engine nor the shard it serves,
+        // and strong captures would cycle through `shard.net`).
+        if fe.watchdog.is_some() || telemetry_live {
+            let est = Arc::clone(&shard.latency);
+            let weak_engine = self.weak.clone();
+            let weak_shard = Arc::downgrade(&shard);
+            shard.net.set_latency_observer(move |sample| {
+                est.record(sample.elapsed);
+                if let (Some(engine), Some(shard)) = (weak_engine.upgrade(), weak_shard.upgrade()) {
+                    if engine.telemetry_on() {
+                        engine.emit_shard(&shard, TelemetryPayload::Latency(*sample));
+                    }
+                }
+            });
+        }
+        if telemetry_live {
+            let weak_engine = self.weak.clone();
+            let weak_shard = Arc::downgrade(&shard);
+            shard.net.set_fault_observer(move |record| {
+                if let (Some(engine), Some(shard)) = (weak_engine.upgrade(), weak_shard.upgrade()) {
+                    engine.emit_script(
+                        &shard,
+                        ScriptEvent::FaultInjected {
+                            performance: PerformanceId(shard.seq),
+                            fault: record.to_string(),
+                        },
+                    );
+                }
+            });
+        }
+        self.emit_script(
+            &shard,
+            ScriptEvent::PerformanceStarted {
+                performance: PerformanceId(seq),
+            },
+        );
         let delayed = !admitted.is_empty();
         {
             let mut ss = shard.state.lock();
@@ -889,17 +1110,23 @@ impl<M: Send + Clone + 'static> Engine<M> {
                     shard: Arc::clone(&shard),
                     role: role.clone(),
                 };
-                self.emit(ScriptEvent::RoleAdmitted {
-                    performance: PerformanceId(seq),
-                    role,
-                    process,
-                });
+                self.emit_script(
+                    &shard,
+                    ScriptEvent::RoleAdmitted {
+                        performance: PerformanceId(seq),
+                        role,
+                        process,
+                    },
+                );
             }
             if delayed {
                 Self::freeze(&self.spec, &shard.net, &mut ss);
-                self.emit(ScriptEvent::CastFrozen {
-                    performance: PerformanceId(seq),
-                });
+                self.emit_script(
+                    &shard,
+                    ScriptEvent::CastFrozen {
+                        performance: PerformanceId(seq),
+                    },
+                );
             }
         }
         if let Some(policy) = fe.watchdog.clone() {
@@ -929,6 +1156,10 @@ impl<M: Send + Clone + 'static> Engine<M> {
             // slow→fast transition cannot snap the window shut on a
             // rendezvous armed under the old regime.
             let mut floor = WindowFloor::default();
+            // Last window announced on the telemetry plane; re-announced
+            // only on a ≥ 1/8 relative move so adaptive policies do not
+            // flood the plane on every poll.
+            let mut announced: Option<Duration> = None;
             loop {
                 // Re-derive the deadline every iteration: the estimator
                 // gains samples while the performance runs, so adaptive
@@ -943,6 +1174,21 @@ impl<M: Send + Clone + 'static> Engine<M> {
                         (smoothed, p99)
                     }
                 };
+                if let Some(engine) = weak.upgrade() {
+                    if engine.telemetry_on() {
+                        let moved = announced.is_none_or(|prev| window.abs_diff(prev) * 8 >= prev);
+                        if moved {
+                            announced = Some(window);
+                            engine.emit_shard(
+                                &shard,
+                                TelemetryPayload::WatchdogArmed {
+                                    window,
+                                    observed_p99,
+                                },
+                            );
+                        }
+                    }
+                }
                 let poll = (window / 4).clamp(Duration::from_millis(1), Duration::from_millis(50));
                 std::thread::sleep(poll);
                 let Some(engine) = weak.upgrade() else { return };
@@ -971,14 +1217,20 @@ impl<M: Send + Clone + 'static> Engine<M> {
                 ss.aborted = true;
                 ss.stalled = true;
                 shard.net.abort();
-                engine.emit(ScriptEvent::PerformanceStalled {
-                    performance: PerformanceId(shard.seq),
-                    observed_p99,
-                    window,
-                });
-                engine.emit(ScriptEvent::PerformanceAborted {
-                    performance: PerformanceId(shard.seq),
-                });
+                engine.emit_script(
+                    &shard,
+                    ScriptEvent::PerformanceStalled {
+                        performance: PerformanceId(shard.seq),
+                        observed_p99,
+                        window,
+                    },
+                );
+                engine.emit_script(
+                    &shard,
+                    ScriptEvent::PerformanceAborted {
+                        performance: PerformanceId(shard.seq),
+                    },
+                );
                 let finalize = ss.is_ready() && !ss.completing;
                 if finalize {
                     ss.completing = true;

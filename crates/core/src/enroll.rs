@@ -186,7 +186,7 @@ impl Enrollment {
     /// blocking communication performed by the role body through its
     /// context. The budget is relative: each enrollment started from
     /// this option set (including every attempt under
-    /// [`enroll_with_retry`](crate::ScriptInstance::enroll_with_retry))
+    /// [`enroll_with_retry`](crate::Instance::enroll_with_retry))
     /// gets the full `timeout` from the moment it enrolls.
     pub fn timeout(mut self, timeout: Duration) -> Self {
         self.deadline = Some(DeadlineSpec::After(timeout));

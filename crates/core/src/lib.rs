@@ -76,6 +76,7 @@ mod estimator;
 mod handle;
 mod ids;
 mod matcher;
+pub mod observer;
 mod policy;
 mod retry;
 mod spec;
@@ -94,6 +95,10 @@ pub use retry::RetryPolicy;
 // Fault injection is configured with the channel-layer plan type.
 pub use handle::{FamilyHandle, RoleHandle};
 pub use ids::{PerformanceId, ProcessId, RoleId};
+pub use observer::{
+    InstanceMetrics, LatencyHistogram, MetricsObserver, MultiObserver, Observer,
+    PerformanceMetrics, RingObserver, TelemetryEvent, TelemetryPayload,
+};
 pub use policy::{
     AdaptiveWindow, CriticalEntry, CriticalSet, Initiation, Termination, WatchdogPolicy,
 };
@@ -164,7 +169,9 @@ pub enum ScriptEvent {
         window: Duration,
     },
     /// The chaos layer injected a fault into the performance's network.
-    /// Recorded when the performance completes, in schedule order.
+    /// Streamed at injection time when the performance opened with
+    /// telemetry enabled; otherwise recorded when the performance
+    /// completes, in schedule order.
     FaultInjected {
         /// The affected performance.
         performance: PerformanceId,
@@ -215,6 +222,12 @@ pub struct InstanceStatus {
     /// Every performance in progress, oldest first. Overlapping
     /// activations mean there can be more than one.
     pub performances: Vec<PerformanceStatus>,
+    /// Events the bounded event log has dropped to overflow over its
+    /// lifetime (see [`Instance::enable_event_log`]); 0 while no log
+    /// is enabled. Drops are also surfaced in-stream as a
+    /// [`TelemetryPayload::Lost`] marker on the next
+    /// [`Instance::take_telemetry`] drain.
+    pub events_dropped: u64,
 }
 
 /// An immutable, validated script declaration.
@@ -474,16 +487,60 @@ impl<M: Send + Clone + 'static> Instance<M> {
         self.engine.status()
     }
 
-    /// Enables a bounded in-memory event log ([`ScriptEvent`]); when
-    /// full, the oldest events are dropped. Calling it again resizes and
-    /// clears the log.
+    /// Enables a bounded in-memory event log — a built-in
+    /// [`RingObserver`] on the instance's telemetry plane. When full,
+    /// the oldest events are dropped, but no longer silently: the drop
+    /// count is surfaced via [`InstanceStatus::events_dropped`] and as
+    /// a [`TelemetryPayload::Lost`] marker on the next
+    /// [`Instance::take_telemetry`] drain. Calling it again resizes
+    /// and clears the log (including its drop counters).
     pub fn enable_event_log(&self, capacity: usize) {
         self.engine.enable_event_log(capacity);
     }
 
-    /// Drains and returns the logged events, in order.
+    /// Drains the event log and returns its lifecycle events
+    /// ([`ScriptEvent`]), in order. Latency samples, watchdog arms,
+    /// and loss markers also retained by the log are skipped here; use
+    /// [`Instance::take_telemetry`] for the full stream.
     pub fn take_events(&self) -> Vec<ScriptEvent> {
         self.engine.take_events()
+    }
+
+    /// Drains the event log and returns the full telemetry stream
+    /// ([`TelemetryEvent`]): lifecycle events, rendezvous latency
+    /// samples, watchdog window arms, and — if the log overflowed
+    /// since the last drain — a leading [`TelemetryPayload::Lost`]
+    /// marker.
+    pub fn take_telemetry(&self) -> Vec<TelemetryEvent> {
+        self.engine.take_telemetry()
+    }
+
+    /// Subscribes `observer` to the instance's telemetry plane,
+    /// replacing any previous subscriber. Every engine decision,
+    /// rendezvous latency sample, watchdog arm, and injected fault is
+    /// pushed to it as a [`TelemetryEvent`] at the moment it happens —
+    /// including hub-side faults of performances placed on a remote
+    /// transport, which arrive on the same per-performance sequence.
+    /// Composes with [`Instance::enable_event_log`]: when both are
+    /// installed the engine fans out to both (see [`MultiObserver`]).
+    ///
+    /// `on_event` runs synchronously on the producing thread, possibly
+    /// with engine locks held: observers must not block and must not
+    /// call back into this instance's API (see
+    /// [`observer`] module docs). Events of one
+    /// performance carry a gapless, strictly increasing `seq` and are
+    /// delivered in that order; fault streaming starts with the first
+    /// performance opened *after* an observer (or the event log) is
+    /// installed.
+    pub fn set_observer(&self, observer: std::sync::Arc<dyn Observer>) {
+        self.engine.set_observer(observer);
+    }
+
+    /// Unsubscribes the user observer installed by
+    /// [`Instance::set_observer`] (the event log, if enabled, keeps
+    /// receiving events).
+    pub fn clear_observer(&self) {
+        self.engine.clear_observer();
     }
 
     /// Closes the instance: pending and future enrollments fail with
@@ -547,8 +604,10 @@ impl<M: Send + Clone + 'static> Instance<M> {
     /// Injects the deterministic fault schedule described by `plan` into
     /// every future performance (each performance draws an independent
     /// schedule derived from the plan's seed). Injected faults surface
-    /// as [`ScriptEvent::FaultInjected`] entries when the performance
-    /// completes.
+    /// as [`ScriptEvent::FaultInjected`] telemetry: streamed live, at
+    /// injection time, for performances opened while an observer or
+    /// the event log was installed, and drained in schedule order at
+    /// completion otherwise.
     pub fn set_fault_plan(&self, plan: FaultPlan) {
         self.engine.set_fault_plan(plan);
     }
@@ -1260,6 +1319,126 @@ mod tests {
         // Exactly one performance in the common case; a burned near-deadline
         // round before the successful one is also acceptable.
         assert!(inst.completed_performances() >= 1);
+    }
+
+    /// Satellite regression: ring-log overflow must be counted and
+    /// surfaced, not silent.
+    #[test]
+    fn ring_overflow_is_counted_and_surfaced() {
+        let (script, sender, recipient) = star_script(2);
+        let inst = script.instance();
+        // One broadcast emits far more than 4 events (2 queued, start,
+        // 3 admissions, freeze, 3 finishes, completion, latency...).
+        inst.enable_event_log(4);
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for i in 0..2 {
+                let inst = &inst;
+                let recipient = &recipient;
+                handles.push(s.spawn(move || inst.enroll_member(recipient, i, ())));
+            }
+            inst.enroll(&sender, 1).unwrap();
+            for h in handles {
+                h.join().unwrap().unwrap();
+            }
+        });
+        let dropped = inst.status().events_dropped;
+        assert!(dropped > 0, "a 4-slot ring must overflow");
+        let telemetry = inst.take_telemetry();
+        assert_eq!(
+            telemetry.first().map(|e| &e.payload),
+            Some(&TelemetryPayload::Lost { count: dropped }),
+            "the drain is prefixed with the loss marker"
+        );
+        assert_eq!(telemetry.len(), 5, "marker plus the 4 retained events");
+        // The marker is accounting, not history: `take_events` keeps
+        // returning only lifecycle events.
+        assert!(inst.take_events().is_empty());
+        // Lifetime counter survives the drain; re-enabling resets it.
+        assert_eq!(inst.status().events_dropped, dropped);
+        inst.enable_event_log(4);
+        assert_eq!(inst.status().events_dropped, 0);
+    }
+
+    #[test]
+    fn metrics_observer_aggregates_a_performance() {
+        let (script, sender, recipient) = star_script(2);
+        let inst = script.instance();
+        let metrics = StdArc::new(MetricsObserver::new());
+        inst.set_observer(StdArc::clone(&metrics) as StdArc<dyn Observer>);
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for i in 0..2 {
+                let inst = &inst;
+                let recipient = &recipient;
+                handles.push(s.spawn(move || inst.enroll_member(recipient, i, ())));
+            }
+            inst.enroll(&sender, 5).unwrap();
+            for h in handles {
+                h.join().unwrap().unwrap();
+            }
+        });
+        let snap = metrics.snapshot();
+        assert_eq!(snap.enrollments_queued, 3);
+        assert_eq!(snap.performances_started, 1);
+        assert_eq!(snap.performances_completed, 1);
+        assert_eq!(snap.performances_aborted, 0);
+        assert_eq!(snap.roles_admitted, 3);
+        assert_eq!(snap.roles_finished, 3);
+        assert!(
+            snap.latency.count() >= 2,
+            "both rendezvous sends must be sampled, got {}",
+            snap.latency.count()
+        );
+        assert_eq!(snap.per_performance.len(), 1);
+        let (_, perf) = &snap.per_performance[0];
+        assert!(perf.completed && !perf.aborted && !perf.stalled);
+        assert!(perf.latency.count() >= 2);
+    }
+
+    /// Ring log and user observer see the same stream when both are
+    /// installed (the engine fans out through a `MultiObserver`).
+    #[test]
+    fn event_log_and_observer_compose() {
+        let (script, sender, recipient) = star_script(1);
+        let inst = script.instance();
+        let mirror = StdArc::new(RingObserver::new(256));
+        inst.enable_event_log(256);
+        inst.set_observer(StdArc::clone(&mirror) as StdArc<dyn Observer>);
+        std::thread::scope(|s| {
+            let i1 = inst.clone();
+            let r = recipient.clone();
+            let h = s.spawn(move || i1.enroll_member(&r, 0, ()));
+            inst.enroll(&sender, 2).unwrap();
+            h.join().unwrap().unwrap();
+        });
+        let built_in = inst.take_telemetry();
+        assert!(!built_in.is_empty());
+        assert_eq!(built_in, mirror.drain());
+        // Per-performance sequence numbers are gapless from 0.
+        let perf_seqs: Vec<u64> = built_in
+            .iter()
+            .filter(|e| e.performance.is_some())
+            .map(|e| e.seq)
+            .collect();
+        assert_eq!(perf_seqs, (0..perf_seqs.len() as u64).collect::<Vec<_>>());
+        let inst_seqs: Vec<u64> = built_in
+            .iter()
+            .filter(|e| e.performance.is_none())
+            .map(|e| e.seq)
+            .collect();
+        assert_eq!(inst_seqs, (0..inst_seqs.len() as u64).collect::<Vec<_>>());
+        // Clearing the user observer keeps the ring subscribed.
+        inst.clear_observer();
+        std::thread::scope(|s| {
+            let i1 = inst.clone();
+            let r = recipient.clone();
+            let h = s.spawn(move || i1.enroll_member(&r, 0, ()));
+            inst.enroll(&sender, 3).unwrap();
+            h.join().unwrap().unwrap();
+        });
+        assert!(!inst.take_telemetry().is_empty());
+        assert!(mirror.drain().is_empty());
     }
 
     #[test]

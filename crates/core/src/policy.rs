@@ -37,6 +37,12 @@ pub enum Termination {
 
 /// How the quiescence watchdog sizes a performance's window (see
 /// [`Instance::set_watchdog_policy`](crate::Instance::set_watchdog_policy)).
+///
+/// Whichever policy is installed, the window the watchdog actually
+/// arms — and, under [`WatchdogPolicy::Adaptive`], the observed p99 it
+/// was derived from — is reported on the telemetry plane as
+/// [`TelemetryPayload::WatchdogArmed`](crate::TelemetryPayload::WatchdogArmed)
+/// whenever it first arms or moves by ≥ 1/8 of its previous value.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum WatchdogPolicy {
     /// A constant window for every performance — the pre-adaptive

@@ -43,7 +43,7 @@ use script_chan::{
 use script_core::RetryPolicy;
 
 use crate::frame::{read_frame, write_frame};
-use crate::proto::{timeout_ms_of, Req, Resp, EVENT_REQ_ID};
+use crate::proto::{timeout_ms_of, Event, Req, Resp, EVENT_REQ_ID};
 use crate::wire::{Reader, Wire};
 
 /// Response slot for one in-flight request.
@@ -272,8 +272,11 @@ where
                     break;
                 };
                 if req_id == EVENT_REQ_ID {
-                    // Unsolicited push: a streamed fault event.
-                    if let Ok(rec) = FaultRecord::<I>::decode(&mut r) {
+                    // Unsolicited push: a tagged telemetry event. Frames
+                    // with a tag this build does not understand are
+                    // skipped so newer hubs can stream richer events to
+                    // older clients.
+                    if let Ok(Event::Fault(rec)) = Event::<I>::decode(&mut r) {
                         let obs = observer.lock().clone();
                         if let Some(obs) = obs {
                             obs(&rec);

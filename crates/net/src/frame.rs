@@ -2,7 +2,7 @@
 //!
 //! Every message on a socket is one *frame*: a 4-byte big-endian length
 //! followed by that many payload bytes, capped at
-//! [`MAX_FRAME`](crate::wire::MAX_FRAME). The reader distinguishes a
+//! [`MAX_FRAME`]. The reader distinguishes a
 //! clean close (EOF on a frame boundary, `Ok(None)`) from a truncated
 //! frame (EOF mid-frame, `UnexpectedEof`) so peer loss can be told
 //! apart from protocol corruption.

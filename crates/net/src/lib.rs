@@ -24,9 +24,12 @@
 //! [`WireError`], never a panic, and length fields are validated before
 //! any allocation proportional to them. Requests carry an id
 //! (`(req_id, Req)`); responses echo it (`(req_id, Resp)`); id 0
-//! ([`EVENT_REQ_ID`](proto::EVENT_REQ_ID)) marks unsolicited
-//! fault-event frames pushed to subscribed clients. Deadlines cross the
-//! wire as *remaining milliseconds*, so processes need no shared clock.
+//! ([`EVENT_REQ_ID`]) marks unsolicited telemetry
+//! frames pushed to subscribed clients, each carrying a tagged
+//! [`Event`](proto::Event) envelope whose unknown tags are skipped (so
+//! newer hubs can stream richer events to older clients). Deadlines
+//! cross the wire as *remaining milliseconds*, so processes need no
+//! shared clock.
 //!
 //! # Peer loss
 //!

@@ -4,9 +4,10 @@
 //!
 //! Client → server frames carry `(req_id, Req)`; server → client frames
 //! carry `(req_id, Resp)`. Request ids start at 1; the reserved id
-//! [`EVENT_REQ_ID`] marks an unsolicited server push — currently only
-//! fault-observer events, a `FaultRecord` streamed to clients that sent
-//! [`Req::Subscribe`].
+//! [`EVENT_REQ_ID`] marks an unsolicited server push carrying a tagged
+//! [`Event`] envelope, streamed to clients that sent
+//! [`Req::Subscribe`]. Clients skip event frames they cannot decode, so
+//! the envelope can grow new event kinds without breaking older spokes.
 //!
 //! [`SocketTransport`]: crate::SocketTransport
 //! [`TransportServer`]: crate::TransportServer
@@ -123,6 +124,20 @@ pub enum Resp<I, M> {
     Log(Vec<FaultRecord<I>>),
     /// The operation failed with a channel error.
     ChanErr(ChanError<I>),
+}
+
+/// An unsolicited hub → client push, carried on [`EVENT_REQ_ID`]
+/// frames to connections that subscribed with [`Req::Subscribe`].
+///
+/// The envelope is tagged so new event kinds append without
+/// renumbering; a client that does not know a tag skips the frame
+/// (forward compatibility). The hub forwards these for performances
+/// placed remotely, letting the owning engine keep one merged,
+/// causally consistent telemetry stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event<I> {
+    /// The hub's chaos layer injected a fault (tag 0).
+    Fault(FaultRecord<I>),
 }
 
 /// Remaining-millisecond budget for a deadline, measured now. Saturates
@@ -316,6 +331,24 @@ impl<I: Wire> Wire for FaultRecord<I> {
             to: I::decode(r)?,
             seq: u64::decode(r)?,
         })
+    }
+}
+
+impl<I: Wire> Wire for Event<I> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        // Append-only tag space: never renumber.
+        match self {
+            Event::Fault(record) => {
+                out.push(0);
+                record.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(Event::Fault(FaultRecord::decode(r)?)),
+            _ => Err(WireError::Invalid("event tag")),
+        }
     }
 }
 
@@ -580,6 +613,19 @@ mod tests {
         });
         roundtrip(RoleId::new("sender"));
         roundtrip(RoleId::indexed("recipient", 3));
+    }
+
+    #[test]
+    fn event_envelope_roundtrips_and_rejects_unknown_tags() {
+        roundtrip(Event::Fault(FaultRecord {
+            kind: FaultKind::Drop,
+            from: String::from("a"),
+            to: String::from("b"),
+            seq: 3,
+        }));
+        // A tag this build does not know must decode to an error (the
+        // client skips the frame), never panic.
+        assert!(Event::<String>::from_bytes(&[9]).is_err());
     }
 
     #[test]

@@ -37,7 +37,7 @@ use parking_lot::Mutex;
 use script_chan::{FaultRecord, Transport};
 
 use crate::frame::{read_frame, write_frame};
-use crate::proto::{deadline_of, Req, Resp, EVENT_REQ_ID};
+use crate::proto::{deadline_of, Event, Req, Resp, EVENT_REQ_ID};
 use crate::wire::{Reader, Wire};
 
 /// One registered client connection.
@@ -353,7 +353,7 @@ where
         }
         let mut payload = Vec::new();
         EVENT_REQ_ID.encode(&mut payload);
-        rec.encode(&mut payload);
+        Event::Fault(rec.clone()).encode(&mut payload);
         for writer in targets {
             let mut w = writer.lock();
             let _ = write_frame(&mut *w, &payload);

@@ -219,25 +219,17 @@ mod tests {
     #[test]
     fn no_deadlock_under_many_rounds() {
         // The classic symmetric protocol deadlocks almost immediately;
-        // the asymmetric one must survive a long dinner. A watchdog
-        // timeout guards the assertion.
+        // the asymmetric one must survive a long dinner. The engine's
+        // own adaptive watchdog guards the assertion: a deadlocked
+        // performance stops producing rendezvous, the watchdog declares
+        // it stalled and aborts it, and `run_on` surfaces the abort as
+        // an error instead of hanging the test.
         let d = dinner(5);
         let inst = d.script.instance();
-        let done = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
-        let done2 = std::sync::Arc::clone(&done);
-        let watchdog = std::thread::spawn(move || {
-            for _ in 0..600 {
-                if done2.load(std::sync::atomic::Ordering::SeqCst) {
-                    return;
-                }
-                std::thread::sleep(std::time::Duration::from_millis(100));
-            }
-            panic!("dining philosophers deadlocked");
-        });
-        let (meals, _) = run_on(&inst, &d, 25).unwrap();
-        done.store(true, std::sync::atomic::Ordering::SeqCst);
+        inst.set_watchdog_policy(script_core::WatchdogPolicy::adaptive());
+        let (meals, _) = run_on(&inst, &d, 25).expect("dinner must not stall");
         assert_eq!(meals, vec![25; 5]);
-        watchdog.join().unwrap();
+        assert_eq!(inst.completed_performances(), 1);
     }
 
     #[test]

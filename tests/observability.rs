@@ -1,0 +1,165 @@
+//! End-to-end check of the unified observability plane across every
+//! layer: an engine-local performance whose network is a socket spoke
+//! to a TCP hub, running under a chaos plan and an adaptive watchdog,
+//! must deliver ONE merged telemetry stream to a subscribed
+//! [`Observer`] — lifecycle events, rendezvous latency samples,
+//! watchdog arms, and the hub-side fault injections forwarded back over
+//! the wire — with gapless, strictly increasing per-performance
+//! sequence numbers (the acceptance criterion for the plane).
+
+use std::sync::{Arc, Mutex};
+
+use script::chan::{Network, ShardedTransport, Transport};
+use script::core::{
+    FaultPlan, Initiation, NetworkFactory, Observer, PerformanceNet, RoleId, Script, ScriptEvent,
+    TelemetryEvent, TelemetryPayload, Termination, WatchdogPolicy,
+};
+use script::net::{SocketTransport, TransportServer};
+
+use std::time::Duration;
+
+/// A subscriber that records the stream in arrival order.
+#[derive(Default)]
+struct Collect(Mutex<Vec<TelemetryEvent>>);
+
+impl Observer for Collect {
+    fn on_event(&self, event: TelemetryEvent) {
+        self.0.lock().unwrap().push(event);
+    }
+}
+
+/// A hub plus a factory routing every performance of an instance onto
+/// it over TCP (engine local, shard's network on the hub).
+fn hub() -> (TransportServer<RoleId, u64>, Arc<NetworkFactory<u64>>) {
+    let inner: Arc<dyn Transport<RoleId, u64>> = Arc::new(ShardedTransport::new(false, None));
+    let server = TransportServer::bind("127.0.0.1:0", inner).expect("bind hub");
+    let addr = server.local_addr();
+    let factory: Arc<NetworkFactory<u64>> = Arc::new(move |_ctx: &PerformanceNet| {
+        let spoke: Arc<dyn Transport<RoleId, u64>> =
+            Arc::new(SocketTransport::<RoleId, u64>::connect(addr).expect("spoke connect"));
+        Network::with_transport(spoke)
+    });
+    (server, factory)
+}
+
+#[test]
+fn distributed_performance_yields_one_gapless_merged_stream() {
+    const ROUNDS: u64 = 4;
+    let mut b = Script::<u64>::builder("obs_e2e");
+    let ping = b.role("ping", |ctx, ()| {
+        for k in 0..ROUNDS {
+            ctx.send(&RoleId::new("pong"), k)?;
+            assert_eq!(ctx.recv_from(&RoleId::new("pong"))?, k + 1);
+        }
+        Ok(0u64)
+    });
+    let pong = b.role("pong", |ctx, ()| {
+        for _ in 0..ROUNDS {
+            let v = ctx.recv_from(&RoleId::new("ping"))?;
+            ctx.send(&RoleId::new("ping"), v + 1)?;
+        }
+        Ok(0u64)
+    });
+    b.initiation(Initiation::Delayed)
+        .termination(Termination::Delayed);
+    let script = b.build().unwrap();
+
+    let (_server, factory) = hub();
+    let inst = script.instance();
+    inst.set_network_factory(factory);
+    inst.set_chaos_seed(11);
+    // A certain delay on every message: each rendezvous pays it at the
+    // hub, and each injection must stream back to this process.
+    inst.set_fault_plan(FaultPlan::new(13).with_delay(1.0, Duration::from_millis(2)));
+    inst.set_watchdog_policy(WatchdogPolicy::adaptive());
+    // Both a user subscriber and the built-in ring: the engine fans out.
+    let collect = Arc::new(Collect::default());
+    inst.set_observer(Arc::clone(&collect) as _);
+    inst.enable_event_log(1024);
+
+    std::thread::scope(|s| {
+        let h = s.spawn(|| inst.enroll(&pong, ()));
+        inst.enroll(&ping, ()).unwrap();
+        h.join().unwrap().unwrap();
+    });
+    assert_eq!(inst.completed_performances(), 1);
+
+    let stream = collect.0.lock().unwrap().clone();
+
+    // One merged stream: per-performance seqs are gapless and strictly
+    // increasing in arrival order (the events of the one performance
+    // interleave engine-thread emissions with hub-forwarded faults
+    // arriving on the socket reader thread), and instance-scoped
+    // events are numbered on their own gapless sequence.
+    let mut perf_ids: Vec<_> = stream.iter().filter_map(|e| e.performance).collect();
+    perf_ids.dedup();
+    assert_eq!(perf_ids.len(), 1, "one performance, one sequence");
+    let perf_seqs: Vec<u64> = stream
+        .iter()
+        .filter(|e| e.performance.is_some())
+        .map(|e| e.seq)
+        .collect();
+    assert!(
+        perf_seqs.iter().copied().eq(0..perf_seqs.len() as u64),
+        "per-performance seqs must be gapless from 0 in arrival order: {perf_seqs:?}"
+    );
+    let inst_seqs: Vec<u64> = stream
+        .iter()
+        .filter(|e| e.performance.is_none())
+        .map(|e| e.seq)
+        .collect();
+    assert!(
+        inst_seqs.iter().copied().eq(0..inst_seqs.len() as u64),
+        "instance-scoped seqs must be gapless from 0: {inst_seqs:?}"
+    );
+    // Timestamps of one performance's events never run backwards.
+    let stamps: Vec<_> = stream
+        .iter()
+        .filter(|e| e.performance.is_some())
+        .map(|e| e.timestamp)
+        .collect();
+    assert!(
+        stamps.windows(2).all(|w| w[0] <= w[1]),
+        "per-performance timestamps must be nondecreasing"
+    );
+
+    // Every layer reported in: engine lifecycle, transport latency,
+    // watchdog arming, and the hub's chaos layer.
+    assert!(
+        stream.iter().any(|e| matches!(
+            &e.payload,
+            TelemetryPayload::Script(ScriptEvent::PerformanceStarted { .. })
+        )),
+        "lifecycle events must be on the plane"
+    );
+    assert!(
+        stream
+            .iter()
+            .any(|e| matches!(&e.payload, TelemetryPayload::Latency(_))),
+        "socket-transport latency samples must be on the plane"
+    );
+    assert!(
+        stream.iter().any(
+            |e| matches!(&e.payload, TelemetryPayload::WatchdogArmed { window, .. } if *window > Duration::ZERO)
+        ),
+        "watchdog arms must be on the plane"
+    );
+    assert!(
+        stream.iter().any(|e| matches!(
+            &e.payload,
+            TelemetryPayload::Script(ScriptEvent::FaultInjected { fault, .. }) if fault.contains("delay")
+        )),
+        "hub-side fault injections must stream back into the merged plane: {stream:?}"
+    );
+
+    // The built-in ring saw the same traffic (fan-out), and the legacy
+    // lifecycle-only drain still works on top of the new plane.
+    let events = inst.take_events();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, ScriptEvent::PerformanceCompleted { .. })),
+        "take_events must still yield lifecycle events"
+    );
+    assert_eq!(inst.status().events_dropped, 0);
+}

@@ -96,6 +96,18 @@ fn latency_samples_report_equivalently_on_both_transports() {
     );
 }
 
+/// The observability half of chaos parity: one seeded delay schedule,
+/// one merged push-delivered event stream — fault records interleaved
+/// with send samples in arrival order — identical (modulo timestamps)
+/// whether the performance is in-process or crosses a socket. Over TCP
+/// the hub writes each event push frame before the operation's
+/// response, so the client observes the same interleaving the
+/// in-process transport produces.
+#[test]
+fn event_streams_merge_identically_on_both_transports() {
+    conformance::check_event_stream_parity(&sharded, &socket);
+}
+
 /// Child half of the multi-process test. Under a normal `cargo test`
 /// run (no env var) this is a no-op; the parent test re-executes the
 /// test binary with `SCRIPT_NET_CHILD_ADDR` set, and this body then
