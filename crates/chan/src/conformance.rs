@@ -461,6 +461,155 @@ pub fn chaos_schedule_log(factory: TransportFactory<'_>) -> Vec<String> {
     net.fault_log().iter().map(|r| r.to_string()).collect()
 }
 
+/// Session resumption: under a seeded sever schedule — where a
+/// connection-oriented transport's hub tears down the carrying
+/// connection mid-run and the spoke must reconnect, resume its session
+/// and replay un-acked requests — every message still arrives exactly
+/// once and in order, and the fault log is a deterministic function of
+/// the seed. On the in-process transport sever records are injected at
+/// the same points but enacting them is a no-op, so the check holds the
+/// two backends to the same observable contract.
+pub fn check_session_resumption(factory: TransportFactory<'_>) {
+    let run = || {
+        let net = net_of(factory(53));
+        net.activate(s("a"));
+        net.activate(s("b"));
+        net.set_fault_plan(FaultPlan::new(59).with_sever(0.25));
+        let b = net.port(s("b")).unwrap();
+        let rx = thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Ok(v) = b.recv_from_deadline(&s("a"), far()) {
+                got.push(v);
+            }
+            got
+        });
+        let a = net.port(s("a")).unwrap();
+        for k in 0..24u64 {
+            a.send_deadline(&s("b"), k, far())
+                .expect("sever within the lease must not lose the send");
+        }
+        net.finish(s("a"));
+        let got = rx.join().unwrap();
+        let log: Vec<String> = net.fault_log().iter().map(|r| r.to_string()).collect();
+        (got, log)
+    };
+    let (got, log) = run();
+    assert_eq!(
+        got,
+        (0..24).collect::<Vec<u64>>(),
+        "every message must arrive exactly once, in order, across severs"
+    );
+    assert!(
+        log.iter().any(|r| r.contains("sever")),
+        "the reference sever schedule must inject at least one sever: {log:?}"
+    );
+    let (got2, log2) = run();
+    assert_eq!(got, got2, "sever/resume delivery must be deterministic");
+    assert_eq!(log, log2, "the sever schedule must replay bit-for-bit");
+}
+
+/// Lease semantics must not mask real death: when the peer is already
+/// `Done`, a send that draws a sever must still surface
+/// [`ChanError::Terminated`] promptly — resumption recovers connections,
+/// never finished peers.
+pub fn check_lease_expiry(factory: TransportFactory<'_>) {
+    let net = net_of(factory(61));
+    net.activate(s("a"));
+    net.activate(s("b"));
+    net.set_fault_plan(FaultPlan::new(67).with_sever(1.0));
+    net.finish(s("b"));
+    let a = net.port(s("a")).unwrap();
+    let start = Instant::now();
+    let err = a
+        .send_deadline(&s("b"), 7, far())
+        .expect_err("the peer is finished; resumption must not revive it");
+    assert_eq!(err, ChanError::Terminated(s("b")));
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "termination must surface promptly, not wait out a lease"
+    );
+    assert!(
+        net.fault_log().iter().any(|r| r.kind == FaultKind::Sever),
+        "a certain sever plan must record the sever"
+    );
+}
+
+/// Runs the reference sever/resume schedule — 16 sequential sends on
+/// one edge under a certain-delay + seeded-sever plan — and returns the
+/// merged observer stream.
+///
+/// Unlike [`merged_event_stream`], the *full* interleaving of fault
+/// records and send samples is **not** compared across transports: over
+/// a socket a response write races the resumed session's event replay.
+/// Callers instead compare the fault-record subsequence (which is
+/// push-ordered and deduplicated by sequence number across resumes) and
+/// the count of successful sends.
+pub fn sever_resume_event_stream(factory: TransportFactory<'_>) -> Vec<String> {
+    let log = Arc::new(std::sync::Mutex::new(Vec::new()));
+    let net = net_of(factory(71));
+    net.activate(s("a"));
+    net.activate(s("b"));
+    {
+        let log = Arc::clone(&log);
+        net.set_fault_observer(move |rec| log.lock().unwrap().push(format!("fault {rec}")));
+    }
+    {
+        let log = Arc::clone(&log);
+        net.set_latency_observer(move |sample| {
+            if sample.op == LatencyOp::Send {
+                log.lock().unwrap().push(s("send ok"));
+            }
+        });
+    }
+    net.set_fault_plan(
+        FaultPlan::new(73)
+            .with_delay(1.0, Duration::from_micros(50))
+            .with_sever(0.3),
+    );
+    let b = net.port(s("b")).unwrap();
+    let rx = thread::spawn(move || while b.recv_from_deadline(&s("a"), far()).is_ok() {});
+    let a = net.port(s("a")).unwrap();
+    for k in 0..16u64 {
+        a.send_deadline(&s("b"), k, far())
+            .expect("receiver drains continuously across severs");
+    }
+    net.finish(s("a"));
+    rx.join().unwrap();
+    let stream = log.lock().unwrap().clone();
+    stream
+}
+
+/// Sever-stream parity: the fault-record subsequence of the reference
+/// sever/resume schedule — the part a resumed session must deliver
+/// gaplessly, exactly once — and the successful-send count are
+/// identical across the two factories' transports.
+pub fn check_sever_stream_parity(one: TransportFactory<'_>, two: TransportFactory<'_>) {
+    let a = sever_resume_event_stream(one);
+    let b = sever_resume_event_stream(two);
+    let faults_of = |st: &[String]| -> Vec<String> {
+        st.iter()
+            .filter(|e| e.starts_with("fault"))
+            .cloned()
+            .collect()
+    };
+    let sends_of = |st: &[String]| st.iter().filter(|e| *e == "send ok").count();
+    assert!(
+        faults_of(&a).iter().any(|e| e.contains("sever")),
+        "the reference sever schedule streams at least one sever record: {a:?}"
+    );
+    assert_eq!(
+        faults_of(&a),
+        faults_of(&b),
+        "fault records must stream identically — gapless and exactly once — across resumes"
+    );
+    assert_eq!(
+        sends_of(&a),
+        sends_of(&b),
+        "every send must succeed exactly once on both transports"
+    );
+    assert_eq!(sends_of(&a), 16, "all sixteen sends must complete");
+}
+
 /// Latency reporting: a fresh transport has no samples; successful
 /// rendezvous produce `Send` and `Select` samples; `take_latency_samples`
 /// drains; and a plan-injected delay is visible in the recorded
@@ -662,6 +811,9 @@ pub fn run_all(factory: TransportFactory<'_>) {
     check_fault_determinism(factory);
     check_latency_reporting(factory);
     check_event_stream_parity(factory, factory);
+    check_session_resumption(factory);
+    check_lease_expiry(factory);
+    check_sever_stream_parity(factory, factory);
 }
 
 #[cfg(test)]

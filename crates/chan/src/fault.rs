@@ -30,6 +30,18 @@ pub enum FaultKind {
     Duplicate,
     /// A peer was forcibly terminated at its configured operation step.
     Crash,
+    /// The sender's *connection* was severed mid-operation. Recorded at
+    /// the sending edge like every other decision; transports without
+    /// connections (in-process) record it as a semantic no-op, while a
+    /// connection-oriented transport enacts it by cutting the link the
+    /// sender lives on. Session-layer recovery (resume within the
+    /// lease) is expected to make the operation itself still succeed.
+    Sever,
+    /// Like [`FaultKind::Sever`], but the cut link additionally may not
+    /// be re-established for the plan's partition duration — a
+    /// short-lived network partition rather than a single dropped
+    /// connection.
+    Partition,
 }
 
 impl std::fmt::Display for FaultKind {
@@ -39,6 +51,8 @@ impl std::fmt::Display for FaultKind {
             FaultKind::Delay => write!(f, "delay"),
             FaultKind::Duplicate => write!(f, "duplicate"),
             FaultKind::Crash => write!(f, "crash"),
+            FaultKind::Sever => write!(f, "sever"),
+            FaultKind::Partition => write!(f, "partition"),
         }
     }
 }
@@ -96,6 +110,9 @@ pub struct FaultPlan {
     duplicate_prob: f64,
     crash_prob: f64,
     crash_step: u64,
+    sever_prob: f64,
+    partition_prob: f64,
+    partition: Duration,
 }
 
 impl FaultPlan {
@@ -109,6 +126,9 @@ impl FaultPlan {
             duplicate_prob: 0.0,
             crash_prob: 0.0,
             crash_step: 0,
+            sever_prob: 0.0,
+            partition_prob: 0.0,
+            partition: Duration::ZERO,
         }
     }
 
@@ -184,6 +204,41 @@ impl FaultPlan {
         self
     }
 
+    /// Severs the sender's connection with probability `p` as each
+    /// message enters the sending edge. The decision is recorded like
+    /// any other fault; only connection-oriented transports enact it
+    /// (the in-process transport has no connection to cut), and a
+    /// session layer with resumption makes the operation still succeed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `0.0..=1.0`.
+    #[must_use]
+    pub fn with_sever(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "sever probability out of range");
+        self.sever_prob = p;
+        self
+    }
+
+    /// Cuts the sender's connection with probability `p` and keeps it
+    /// unreconnectable for `duration` (a transient network partition).
+    /// When both a partition and a sever would fire on the same
+    /// message, the partition wins and only it is recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `0.0..=1.0`.
+    #[must_use]
+    pub fn with_partition(mut self, p: f64, duration: Duration) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "partition probability out of range"
+        );
+        self.partition_prob = p;
+        self.partition = duration;
+        self
+    }
+
     /// The configured per-hop delay.
     pub fn delay(&self) -> Duration {
         self.delay
@@ -214,9 +269,24 @@ impl FaultPlan {
         self.crash_step
     }
 
+    /// The configured sever probability.
+    pub fn sever_probability(&self) -> f64 {
+        self.sever_prob
+    }
+
+    /// The configured partition probability.
+    pub fn partition_probability(&self) -> f64 {
+        self.partition_prob
+    }
+
+    /// The configured partition duration.
+    pub fn partition_duration(&self) -> Duration {
+        self.partition
+    }
+
     /// True if no fault class is enabled.
     pub fn is_noop(&self) -> bool {
-        !self.has_message_faults() && !self.has_crashes()
+        !self.has_message_faults() && !self.has_crashes() && !self.has_connection_faults()
     }
 
     /// True if any per-message fault class (drop, delay, duplicate) can
@@ -228,6 +298,12 @@ impl FaultPlan {
     /// True if peer crashes can fire.
     pub fn has_crashes(&self) -> bool {
         self.crash_prob > 0.0 && self.crash_step > 0
+    }
+
+    /// True if any connection-level fault class (sever, partition) can
+    /// fire.
+    pub fn has_connection_faults(&self) -> bool {
+        self.sever_prob > 0.0 || self.partition_prob > 0.0
     }
 
     /// Should the `seq`-th message on edge `from → to` be dropped?
@@ -249,6 +325,18 @@ impl FaultPlan {
     /// operation [`FaultPlan::crash_step`].)
     pub fn decide_crash<I: Hash>(&self, peer: &I) -> bool {
         self.crash_step > 0 && self.decide(b"crash", peer, peer, 0, self.crash_prob)
+    }
+
+    /// Should the `seq`-th message on edge `from → to` sever the
+    /// sender's connection?
+    pub fn decide_sever<I: Hash>(&self, from: &I, to: &I, seq: u64) -> bool {
+        self.decide(b"sever", from, to, seq, self.sever_prob)
+    }
+
+    /// Should the `seq`-th message on edge `from → to` open a transient
+    /// partition on the sender's connection?
+    pub fn decide_partition<I: Hash>(&self, from: &I, to: &I, seq: u64) -> bool {
+        self.decide(b"part", from, to, seq, self.partition_prob)
     }
 
     /// Seeded Bernoulli draw from the (tag, edge, seq) key. FNV-1a is
@@ -374,6 +462,35 @@ mod tests {
     #[should_panic(expected = "1-based")]
     fn zero_crash_step_rejected() {
         let _ = FaultPlan::new(0).with_crash(0.5, 0);
+    }
+
+    #[test]
+    fn connection_faults_are_deterministic_and_distinct() {
+        let plan = FaultPlan::new(6)
+            .with_sever(0.5)
+            .with_partition(0.5, Duration::from_millis(40));
+        assert!(plan.has_connection_faults());
+        assert!(!plan.is_noop());
+        assert_eq!(plan.partition_duration(), Duration::from_millis(40));
+        let severs: Vec<bool> = (0..256).map(|s| plan.decide_sever(&"a", &"b", s)).collect();
+        let parts: Vec<bool> = (0..256)
+            .map(|s| plan.decide_partition(&"a", &"b", s))
+            .collect();
+        assert!(severs.iter().any(|&v| v) && !severs.iter().all(|&v| v));
+        // The two classes draw from distinct hash tags.
+        assert_ne!(severs, parts);
+        assert_eq!(
+            severs,
+            (0..256)
+                .map(|s| plan.decide_sever(&"a", &"b", s))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_sever_probability_rejected() {
+        let _ = FaultPlan::new(0).with_sever(-0.1);
     }
 
     #[test]

@@ -21,7 +21,7 @@ use std::time::Instant;
 
 use crate::fault::{FaultPlan, FaultRecord};
 use crate::select::{Arm, Outcome};
-use crate::transport::{LatencySample, ShardedTransport, Transport};
+use crate::transport::{LatencySample, SessionEvent, ShardedTransport, Transport};
 use crate::ChanError;
 
 /// Lifecycle state of a network participant.
@@ -259,6 +259,17 @@ where
         F: Fn(&LatencySample) + Send + Sync + 'static,
     {
         self.transport.set_latency_observer(Arc::new(observer));
+    }
+
+    /// Registers a callback invoked synchronously for every session
+    /// lifecycle transition (peer disconnected / resumed / lease
+    /// expired) the transport observes. Connection-oriented transports
+    /// emit these natively; the in-process transport emits none.
+    pub fn set_session_observer<F>(&self, observer: F)
+    where
+        F: Fn(&SessionEvent<I>) + Send + Sync + 'static,
+    {
+        self.transport.set_session_observer(Arc::new(observer));
     }
 
     /// A copy of the recent latency samples, oldest first (bounded).

@@ -60,6 +60,30 @@ pub type FaultObserver<I> = Arc<dyn Fn(&FaultRecord<I>) + Send + Sync>;
 /// [`Network::set_latency_observer`](crate::Network::set_latency_observer)).
 pub type LatencyObserver = Arc<dyn Fn(&LatencySample) + Send + Sync>;
 
+/// A connection-lifecycle transition observed by a session-aware
+/// transport (see
+/// [`Network::set_session_observer`](crate::Network::set_session_observer)).
+///
+/// The in-process transport has no connections and never emits these;
+/// a connection-oriented transport with a session layer emits them when
+/// a peer's link drops, when it resumes within its lease, and when its
+/// lease expires and the peer degrades to a crashed one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionEvent<I> {
+    /// `I`'s connection was severed; its session (and the performances
+    /// it is bound to) stay alive until the lease expires.
+    PeerDisconnected(I),
+    /// A severed peer presented its session id again within the lease
+    /// and resumed where it left off.
+    PeerResumed(I),
+    /// A severed peer's lease expired without a resume; it now degrades
+    /// exactly like a crashed peer (`Terminated`, watchdog `Stalled`).
+    LeaseExpired(I),
+}
+
+/// Callback invoked on every session-lifecycle transition.
+pub type SessionObserver<I> = Arc<dyn Fn(&SessionEvent<I>) + Send + Sync>;
+
 /// Which blocking operation a [`LatencySample`] measured.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum LatencyOp {
@@ -193,6 +217,19 @@ pub trait Transport<I, M>: Send + Sync {
     fn take_latency_samples(&self) -> Vec<LatencySample> {
         Vec::new()
     }
+    /// Registers a callback invoked on session-lifecycle transitions
+    /// (disconnect, resume, lease expiry). Backends without a session
+    /// layer never emit any and may ignore it (the default does).
+    fn set_session_observer(&self, observer: SessionObserver<I>) {
+        let _ = observer;
+    }
+    /// Feeds one session-lifecycle event to the registered observer.
+    /// A hub serving this transport over a network calls this so
+    /// participants local to the hub observe remote peers' lifecycle;
+    /// backends that store no observer ignore it (the default does).
+    fn note_session_event(&self, event: &SessionEvent<I>) {
+        let _ = event;
+    }
     /// Synchronous send `from → to` (two-phase rendezvous).
     fn send(&self, from: &I, to: &I, msg: M, deadline: Option<Instant>)
         -> Result<(), ChanError<I>>;
@@ -273,12 +310,15 @@ struct FaultConfig<M> {
 
 /// Cold-path fault state: hot paths read only the two booleans.
 struct FaultHooks<I, M> {
-    /// `plan.has_message_faults()`, readable without a lock.
+    /// `plan.has_message_faults() || plan.has_connection_faults()`,
+    /// readable without a lock (both classes decide per message at the
+    /// sending edge, so they share the per-send gate).
     msg_faults: AtomicBool,
     /// `plan.has_crashes()`, readable without a lock.
     crashes: AtomicBool,
     config: Mutex<Option<Arc<FaultConfig<M>>>>,
     observer: Mutex<Option<FaultObserver<I>>>,
+    session_observer: Mutex<Option<SessionObserver<I>>>,
     log: Mutex<Vec<FaultRecord<I>>>,
 }
 
@@ -356,6 +396,15 @@ pub struct ShardedTransport<I, M> {
     seed: Mutex<Option<u64>>,
     /// Unique tokens for watcher registrations.
     next_token: AtomicU64,
+    /// Peers currently severed but inside their session lease (a
+    /// session-aware hub reports them via
+    /// [`Transport::note_session_event`]). While any peer is suspended
+    /// the network is *reconfiguring*, not quiescent — see
+    /// [`ShardedTransport::activity`].
+    suspended: Mutex<Vec<I>>,
+    /// Per-read synthetic progress ticks handed out while a lease is
+    /// pending.
+    lease_ticks: AtomicU64,
     faults: FaultHooks<I, M>,
     latency: LatencyHooks,
 }
@@ -398,11 +447,14 @@ where
             activity: AtomicU64::new(0),
             seed: Mutex::new(seed),
             next_token: AtomicU64::new(0),
+            suspended: Mutex::new(Vec::new()),
+            lease_ticks: AtomicU64::new(0),
             faults: FaultHooks {
                 msg_faults: AtomicBool::new(false),
                 crashes: AtomicBool::new(false),
                 config: Mutex::new(None),
                 observer: Mutex::new(None),
+                session_observer: Mutex::new(None),
                 log: Mutex::new(Vec::new()),
             },
             latency: LatencyHooks::default(),
@@ -649,7 +701,19 @@ where
     }
 
     fn activity(&self) -> u64 {
-        self.activity.load(Ordering::Relaxed)
+        let base = self.activity.load(Ordering::Relaxed);
+        // Lease-aware watchdog interaction: while any peer is severed
+        // but still inside its session lease, the network has promised
+        // it may return — that window is reconfiguration, not
+        // quiescence. Hand every sampler a changing value so no
+        // watchdog declares a stall before the lease verdict is in;
+        // once the set empties (resume or expiry) the counter reverts
+        // to real progress and true stalls surface as before.
+        if self.suspended.lock().is_empty() {
+            base
+        } else {
+            base.wrapping_add(self.lease_ticks.fetch_add(1, Ordering::Relaxed) + 1)
+        }
     }
 
     fn reseed(&self, seed: u64) {
@@ -675,7 +739,7 @@ where
     }
 
     fn set_fault_plan(&self, plan: FaultPlan, clone_fn: fn(&M) -> M) {
-        let msg = plan.has_message_faults();
+        let msg = plan.has_message_faults() || plan.has_connection_faults();
         let crashes = plan.has_crashes();
         *self.faults.config.lock() = Some(Arc::new(FaultConfig { plan, clone_fn }));
         self.faults.log.lock().clear();
@@ -707,6 +771,30 @@ where
 
     fn set_fault_observer(&self, observer: FaultObserver<I>) {
         *self.faults.observer.lock() = Some(observer);
+    }
+
+    fn set_session_observer(&self, observer: SessionObserver<I>) {
+        *self.faults.session_observer.lock() = Some(observer);
+    }
+
+    fn note_session_event(&self, event: &SessionEvent<I>) {
+        {
+            let mut suspended = self.suspended.lock();
+            match event {
+                SessionEvent::PeerDisconnected(id) => {
+                    if !suspended.contains(id) {
+                        suspended.push(id.clone());
+                    }
+                }
+                SessionEvent::PeerResumed(id) | SessionEvent::LeaseExpired(id) => {
+                    suspended.retain(|s| s != id);
+                }
+            }
+        }
+        let obs = self.faults.session_observer.lock().clone();
+        if let Some(obs) = obs {
+            obs(event);
+        }
     }
 
     fn fault_log(&self) -> Vec<FaultRecord<I>> {
@@ -804,33 +892,46 @@ where
         let mut dup_info: Option<M> = None;
         if self.faults.msg_faults.load(Ordering::Relaxed) {
             if let Some(cfg) = self.chaos_cfg() {
-                if cfg.plan.has_message_faults() {
+                let has_msg = cfg.plan.has_message_faults();
+                if has_msg || cfg.plan.has_connection_faults() {
                     let seq = self.chaos_edge_seq(from, &to_ep);
-                    let delayed = cfg.plan.decide_delay(from, to, seq);
-                    let dropped = cfg.plan.decide_drop(from, to, seq);
-                    if !dropped && cfg.plan.decide_duplicate(from, to, seq) {
-                        // Recorded here, at decision time, so the fault
-                        // log is a pure function of the plan; the
-                        // redelivery below stays best-effort.
-                        self.record_fault(FaultKind::Duplicate, from, to, seq);
-                        dup_info = Some((cfg.clone_fn)(&msg));
+                    // Connection faults decide (and record) here at the
+                    // sending edge like every other class — that is what
+                    // keeps fault logs identical across transports — but
+                    // are *enacted* only by connection-oriented hubs
+                    // observing the record. In-process they are no-ops.
+                    if cfg.plan.decide_partition(from, to, seq) {
+                        self.record_fault(FaultKind::Partition, from, to, seq);
+                    } else if cfg.plan.decide_sever(from, to, seq) {
+                        self.record_fault(FaultKind::Sever, from, to, seq);
                     }
-                    if delayed {
-                        self.record_fault(FaultKind::Delay, from, to, seq);
-                        std::thread::sleep(cfg.plan.delay());
-                    }
-                    if dropped {
-                        // Lost on the wire *after* transmission: the
-                        // sender observes success (unless the peer is
-                        // already gone); the receiver never sees it.
-                        self.record_fault(FaultKind::Drop, from, to, seq);
-                        if self.aborted.load(Ordering::SeqCst) {
-                            return Err(ChanError::Aborted);
+                    if has_msg {
+                        let delayed = cfg.plan.decide_delay(from, to, seq);
+                        let dropped = cfg.plan.decide_drop(from, to, seq);
+                        if !dropped && cfg.plan.decide_duplicate(from, to, seq) {
+                            // Recorded here, at decision time, so the fault
+                            // log is a pure function of the plan; the
+                            // redelivery below stays best-effort.
+                            self.record_fault(FaultKind::Duplicate, from, to, seq);
+                            dup_info = Some((cfg.clone_fn)(&msg));
                         }
-                        return match life_of(to_ep.life.load(Ordering::SeqCst)) {
-                            PeerState::Done => Err(ChanError::Terminated(to.clone())),
-                            _ => Ok(()),
-                        };
+                        if delayed {
+                            self.record_fault(FaultKind::Delay, from, to, seq);
+                            std::thread::sleep(cfg.plan.delay());
+                        }
+                        if dropped {
+                            // Lost on the wire *after* transmission: the
+                            // sender observes success (unless the peer is
+                            // already gone); the receiver never sees it.
+                            self.record_fault(FaultKind::Drop, from, to, seq);
+                            if self.aborted.load(Ordering::SeqCst) {
+                                return Err(ChanError::Aborted);
+                            }
+                            return match life_of(to_ep.life.load(Ordering::SeqCst)) {
+                                PeerState::Done => Err(ChanError::Terminated(to.clone())),
+                                _ => Ok(()),
+                            };
+                        }
                     }
                 }
             }

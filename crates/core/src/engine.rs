@@ -44,7 +44,7 @@ use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
-use script_chan::{FaultPlan, Network};
+use script_chan::{FaultPlan, Network, SessionEvent};
 
 use crate::ctx::RoleCtx;
 use crate::estimator::{LatencyEstimator, WindowFloor};
@@ -1083,6 +1083,27 @@ impl<M: Send + Clone + 'static> Engine<M> {
                             fault: record.to_string(),
                         },
                     );
+                }
+            });
+            // Session lifecycle (connection-oriented transports only:
+            // the in-process transport never emits these) surfaces on
+            // the same plane, attributed to this performance.
+            let weak_engine = self.weak.clone();
+            let weak_shard = Arc::downgrade(&shard);
+            shard.net.set_session_observer(move |event| {
+                if let (Some(engine), Some(shard)) = (weak_engine.upgrade(), weak_shard.upgrade()) {
+                    let payload = match event {
+                        SessionEvent::PeerDisconnected(peer) => {
+                            TelemetryPayload::PeerDisconnected { peer: peer.clone() }
+                        }
+                        SessionEvent::PeerResumed(peer) => {
+                            TelemetryPayload::PeerResumed { peer: peer.clone() }
+                        }
+                        SessionEvent::LeaseExpired(peer) => {
+                            TelemetryPayload::LeaseExpired { peer: peer.clone() }
+                        }
+                    };
+                    engine.emit_shard(&shard, payload);
                 }
             });
         }

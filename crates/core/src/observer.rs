@@ -49,7 +49,7 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
-use crate::{LatencySample, PerformanceId, ScriptEvent};
+use crate::{LatencySample, PerformanceId, RoleId, ScriptEvent};
 
 /// A subscriber on the instance's telemetry plane.
 ///
@@ -104,6 +104,28 @@ pub enum TelemetryPayload {
     Lost {
         /// How many events were dropped.
         count: u64,
+    },
+    /// A session-aware transport reported `peer`'s connection severed;
+    /// its session — and the performances it animates — stays alive
+    /// until the lease expires. Only connection-oriented transports
+    /// emit this.
+    PeerDisconnected {
+        /// The role whose link dropped.
+        peer: RoleId,
+    },
+    /// A severed peer presented its session id within the lease and
+    /// resumed where it left off — queued operations replayed, event
+    /// stream gapless.
+    PeerResumed {
+        /// The role whose link came back.
+        peer: RoleId,
+    },
+    /// A severed peer's lease expired without a resume: from here it
+    /// degrades exactly like a crashed peer (`Terminated` errors,
+    /// watchdog `Stalled`).
+    LeaseExpired {
+        /// The role whose session lapsed.
+        peer: RoleId,
     },
 }
 
@@ -380,6 +402,15 @@ pub struct InstanceMetrics {
     /// Events a bounded subscriber reported lost
     /// ([`TelemetryPayload::Lost`]).
     pub events_lost: u64,
+    /// Peer connections reported severed within a live session lease
+    /// ([`TelemetryPayload::PeerDisconnected`]).
+    pub peer_disconnects: u64,
+    /// Severed peers that resumed their session within the lease
+    /// ([`TelemetryPayload::PeerResumed`]).
+    pub peer_resumes: u64,
+    /// Severed peers whose lease expired without a resume
+    /// ([`TelemetryPayload::LeaseExpired`]).
+    pub lease_expiries: u64,
     /// All observed rendezvous latencies.
     pub latency: LatencyHistogram,
     /// Per-performance aggregates, in performance order.
@@ -473,6 +504,9 @@ impl Observer for MetricsObserver {
             TelemetryPayload::Latency(sample) => totals.latency.record(sample.elapsed),
             TelemetryPayload::WatchdogArmed { .. } => totals.watchdog_arms += 1,
             TelemetryPayload::Lost { count } => totals.events_lost += count,
+            TelemetryPayload::PeerDisconnected { .. } => totals.peer_disconnects += 1,
+            TelemetryPayload::PeerResumed { .. } => totals.peer_resumes += 1,
+            TelemetryPayload::LeaseExpired { .. } => totals.lease_expiries += 1,
         }
     }
 }

@@ -1,4 +1,4 @@
-//! The socket-backed [`Transport`]: a framed RPC client.
+//! The socket-backed [`Transport`]: a framed RPC client with sessions.
 //!
 //! A [`SocketTransport`] implements the full [`Transport`] contract by
 //! forwarding every operation to a [`TransportServer`](crate::TransportServer)
@@ -12,17 +12,37 @@
 //! and deadlines travel as remaining-millisecond budgets so the two
 //! processes need no shared clock.
 //!
-//! **Peer loss** is surfaced as the contract requires — with the same
-//! errors a crashed peer produces. If the hub becomes unreachable and
-//! redialing exhausts the retry budget, a send reports
-//! [`ChanError::Terminated`] for its target, a selection reports
-//! `Terminated`/`AllTerminated` for its arms, lifecycle queries degrade
-//! to "gone" answers (`is_aborted` → true, `peers` → empty), and
-//! [`Transport::activity`] freezes at its last observed value so an
-//! engine watchdog sampling it sees a wedged performance and raises
-//! `Stalled`. Conversely the ids this client *activated* are bound to
-//! its connection hub-side, so this process dying surfaces as
-//! `Terminated` to everyone else.
+//! **Sessions.** The first dial opens a hub session ([`Req::HelloNew`])
+//! and records its id + lease. From then on a dropped connection is a
+//! *blip*, not a death: every durable request stays queued, a keeper
+//! thread redials, presents [`Req::HelloResume`], and replays the queue
+//! in request-id order. The hub answers anything it already applied
+//! from its replay cache, so a write whose ack was lost to the sever is
+//! **never applied twice** — the retry path and the reconnect path are
+//! one mechanism. A subscribed client resumes the sequenced event
+//! stream gaplessly from the last delivered sequence number
+//! ([`Req::SubscribeFrom`]), with exactly-once dispatch enforced
+//! client-side by a monotonic high-water mark. Heartbeats flow both
+//! ways: the keeper pings ([`Req::Heartbeat`]) every quarter-lease —
+//! which also prunes the hub's replay cache — and every hub answer
+//! carrying [`Resp::Session`] renews the client's view of the lease.
+//!
+//! During a blip, *fast* queries (lifecycle reads the engine's watchdog
+//! polls) do not queue: they answer degraded-but-live values, and
+//! [`Transport::activity`] returns a synthetic strictly-changing
+//! counter so a watchdog sampling it sees progress, not a stall.
+//!
+//! **Peer loss** is still surfaced exactly as the contract requires —
+//! but only when the session truly dies: the hub declares it expired
+//! ([`Resp::SessionExpired`]), the redial budget is exhausted, or the
+//! client is closed. Then a send reports [`ChanError::Terminated`] for
+//! its target, a selection reports `Terminated`/`AllTerminated` for its
+//! arms, lifecycle queries degrade to "gone" answers (`is_aborted` →
+//! true, `peers` → empty), and `activity` freezes at its last observed
+//! value so an engine watchdog raises `Stalled`. Conversely the ids
+//! this client *activated* live in its hub-side session, so this
+//! process dying surfaces as `Terminated` to everyone else once the
+//! lease lapses.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -30,7 +50,7 @@ use std::hash::Hash;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -38,7 +58,7 @@ use parking_lot::{Condvar, Mutex};
 
 use script_chan::{
     Arm, ChanError, FaultObserver, FaultPlan, FaultRecord, LatencyHooks, LatencyObserver,
-    LatencyOp, LatencySample, Outcome, PeerState, Transport,
+    LatencyOp, LatencySample, Outcome, PeerState, SessionEvent, SessionObserver, Transport,
 };
 use script_core::RetryPolicy;
 
@@ -55,7 +75,8 @@ struct Slot<I, M> {
 enum SlotState<I, M> {
     Waiting,
     Filled(Resp<I, M>),
-    /// The connection died before the response arrived.
+    /// The request will never be answered (session death, or a fast
+    /// query's connection dropped).
     Lost,
 }
 
@@ -75,7 +96,7 @@ impl<I, M> Slot<I, M> {
         }
     }
 
-    /// Blocks until filled; `None` means the connection was lost.
+    /// Blocks until filled; `None` means the request is lost.
     fn wait(&self) -> Option<Resp<I, M>> {
         let mut st = self.state.lock();
         loop {
@@ -88,44 +109,606 @@ impl<I, M> Slot<I, M> {
     }
 }
 
-/// One live connection: writer half plus the in-flight request table.
-struct ConnShared<I, M> {
+/// One queued request: the encoded frame is retained so a reconnect can
+/// replay it verbatim (same request id → hub-side replay cache dedups).
+struct PendingEntry<I, M> {
+    payload: Vec<u8>,
+    slot: Arc<Slot<I, M>>,
+    /// Fast queries are failed on connection loss instead of queued for
+    /// replay — their callers want a degraded answer *now*.
+    fast: bool,
+}
+
+/// One live connection; all durable state lives in [`Shared`].
+struct ConnShared {
     writer: Mutex<TcpStream>,
     /// Kept to sever the socket on close/drop.
     stream: TcpStream,
-    pending: Mutex<HashMap<u64, Arc<Slot<I, M>>>>,
     alive: AtomicBool,
 }
 
-impl<I, M> ConnShared<I, M> {
-    /// Marks the connection dead and fails every in-flight request.
-    fn fail(&self) {
-        self.alive.store(false, Ordering::SeqCst);
-        let drained: Vec<Arc<Slot<I, M>>> = self.pending.lock().drain().map(|(_, s)| s).collect();
-        for slot in drained {
-            slot.fill(SlotState::Lost);
+/// What a fast (non-queued) query observed.
+enum FastReply<I, M> {
+    Resp(Resp<I, M>),
+    /// Connection down or mid-redial: answer degraded-but-live.
+    Blip,
+    /// The session is dead: answer with crashed-hub semantics.
+    Dead,
+}
+
+/// State shared between the transport facade, its reader threads and
+/// the keeper thread.
+struct Shared<I, M> {
+    addr: SocketAddr,
+    retry: RetryPolicy,
+    state: Mutex<Option<Arc<ConnShared>>>,
+    /// Mirror of `dead` for the cheap public `is_lost` probe.
+    lost: AtomicBool,
+    /// Terminal: session expired, redial budget exhausted, or closed.
+    dead: AtomicBool,
+    /// Set by `close`/drop so background threads stop redialing.
+    closed: AtomicBool,
+    /// Last activity counter observed from the hub: frozen on death so
+    /// watchdogs detect the wedge; advanced synthetically during blips
+    /// so they do not.
+    last_activity: AtomicU64,
+    /// Synthetic activity ticks handed out while reconnecting.
+    blip_ticks: AtomicU64,
+    /// Last `is_aborted` answer, served during blips.
+    cached_aborted: AtomicBool,
+    /// Request ids start at 1; 0 is the event-frame marker.
+    next_req: AtomicU64,
+    /// Every un-acked request, keyed by id, replayed on reconnect.
+    pending: Mutex<HashMap<u64, PendingEntry<I, M>>>,
+    /// Hub-issued session id; 0 until the first handshake completes.
+    session: AtomicU64,
+    /// Hub-granted lease in milliseconds; paces the keeper.
+    lease_ms: AtomicU64,
+    /// High-water mark of delivered sequenced events: resume point for
+    /// `SubscribeFrom` and exactly-once dispatch guard.
+    last_event_seq: AtomicU64,
+    observer: Mutex<Option<FaultObserver<I>>>,
+    session_observer: Mutex<Option<SessionObserver<I>>>,
+    /// Ids to re-bind if the session (not just the connection) is new.
+    bound: Mutex<Vec<I>>,
+    /// Snapshot of `bound` taken when the connection died, so the
+    /// matching `PeerResumed`/`LeaseExpired` events announce exactly
+    /// the ids whose `PeerDisconnected` was announced — even if roles
+    /// finish (or activate) while severed.
+    severed: Mutex<Vec<I>>,
+    subscribed: AtomicBool,
+    keeper_started: AtomicBool,
+    keeper_wake: Mutex<bool>,
+    keeper_cond: Condvar,
+}
+
+/// How a handshake attempt ended.
+enum Handshake {
+    Ready(Arc<ConnShared>),
+    /// The hub no longer knows our session: terminal.
+    Expired,
+    /// Resume refused while a partition embargo holds: stand off.
+    Partitioned(Duration),
+    /// I/O failure mid-handshake: retriable.
+    Failed,
+}
+
+impl<I, M> Shared<I, M> {
+    /// Terminal transition: marks the session dead and fails every
+    /// queued request. Idempotent — close racing reconnect racing drop
+    /// resolves to exactly one death.
+    fn die(&self) {
+        if self.dead.swap(true, Ordering::SeqCst) {
+            return;
         }
+        self.lost.store(true, Ordering::SeqCst);
+        let drained: Vec<PendingEntry<I, M>> =
+            self.pending.lock().drain().map(|(_, e)| e).collect();
+        for e in drained {
+            e.slot.fill(SlotState::Lost);
+        }
+        self.wake_keeper();
+    }
+
+    fn wake_keeper(&self) {
+        let mut wake = self.keeper_wake.lock();
+        *wake = true;
+        self.keeper_cond.notify_all();
+    }
+
+    fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::SeqCst)
+    }
+
+    fn dispatch_fault(&self, rec: &FaultRecord<I>) {
+        let obs = self.observer.lock().clone();
+        if let Some(obs) = obs {
+            obs(rec);
+        }
+    }
+
+    /// Snapshots the bound set as severed and emits
+    /// [`SessionEvent::PeerDisconnected`] for every id in it.
+    fn emit_severed(&self)
+    where
+        I: Clone,
+    {
+        let snapshot = self.bound.lock().clone();
+        *self.severed.lock() = snapshot.clone();
+        let obs = self.session_observer.lock().clone();
+        let Some(obs) = obs else { return };
+        for id in snapshot {
+            obs(&SessionEvent::PeerDisconnected(id));
+        }
+    }
+
+    /// Takes the severed snapshot and emits `make(id)` for every id in
+    /// it — pairing each announced disconnect with exactly one resume
+    /// or expiry, regardless of how `bound` changed in between.
+    fn emit_healed(&self, make: fn(I) -> SessionEvent<I>)
+    where
+        I: Clone,
+    {
+        let snapshot = std::mem::take(&mut *self.severed.lock());
+        let obs = self.session_observer.lock().clone();
+        let Some(obs) = obs else { return };
+        for id in snapshot {
+            obs(&make(id));
+        }
+    }
+
+    /// Terminal transition caused by lease expiry specifically: also
+    /// surfaces [`SessionEvent::LeaseExpired`] for every severed id.
+    fn die_expired(&self)
+    where
+        I: Clone,
+    {
+        self.die();
+        self.emit_healed(SessionEvent::LeaseExpired);
+    }
+}
+
+impl<I, M> Shared<I, M>
+where
+    I: Wire + Clone + Eq + Hash + fmt::Debug + Send + Sync + 'static,
+    M: Wire + Send + Sync + 'static,
+{
+    /// Handles one unsolicited event frame. Sequenced events advance
+    /// the high-water mark and dispatch **exactly once** even when a
+    /// resume replay races a stale reader.
+    fn process_event(&self, ev: &Event<I>) {
+        match ev {
+            Event::Fault(rec) => self.dispatch_fault(rec),
+            Event::SeqFault { seq, record } => {
+                let prev = self.last_event_seq.fetch_max(*seq, Ordering::SeqCst);
+                if *seq > prev {
+                    self.dispatch_fault(record);
+                }
+            }
+        }
+    }
+
+    /// Allocates a request id and writes one `(req_id, req)` frame.
+    fn write_req(&self, w: &mut TcpStream, req: &Req<I, M>) -> Option<u64> {
+        let req_id = self.next_req.fetch_add(1, Ordering::Relaxed);
+        let mut payload = Vec::new();
+        req_id.encode(&mut payload);
+        req.encode(&mut payload);
+        write_frame(w, &payload).ok()?;
+        Some(req_id)
+    }
+
+    /// Reads frames until the answer for `want` arrives (used during
+    /// the handshake, before a reader thread owns the stream). Events
+    /// and answers to replayed requests that completed hub-side during
+    /// the outage are delivered along the way.
+    fn await_resp(&self, rd: &mut TcpStream, want: u64) -> Option<Resp<I, M>> {
+        loop {
+            let frame = read_frame(rd).ok()??;
+            let mut r = Reader::new(&frame);
+            let req_id = u64::decode(&mut r).ok()?;
+            if req_id == EVENT_REQ_ID {
+                if let Ok(ev) = Event::<I>::decode(&mut r) {
+                    self.process_event(&ev);
+                }
+                continue;
+            }
+            let resp = Resp::<I, M>::decode(&mut r).ok()?;
+            if let Resp::Session { lease_ms, .. } = &resp {
+                if *lease_ms > 0 {
+                    self.lease_ms.store(*lease_ms, Ordering::SeqCst);
+                }
+            }
+            if req_id == want {
+                return Some(resp);
+            }
+            let entry = self.pending.lock().remove(&req_id);
+            if let Some(e) = entry {
+                e.slot.fill(SlotState::Filled(resp));
+            }
+        }
+    }
+
+    /// One queued ("durable") RPC. The request survives connection loss:
+    /// it is replayed on reconnect and answered at most once by the hub
+    /// (replay-cache idempotence), so there is no separate retry loop —
+    /// session replay *is* the retry path. `None` only on session death.
+    fn call(self: &Arc<Self>, req: &Req<I, M>) -> Option<Resp<I, M>> {
+        if self.is_dead() {
+            return None;
+        }
+        let req_id = self.next_req.fetch_add(1, Ordering::Relaxed);
+        let slot = Arc::new(Slot::new());
+        let mut payload = Vec::new();
+        req_id.encode(&mut payload);
+        req.encode(&mut payload);
+        self.pending.lock().insert(
+            req_id,
+            PendingEntry {
+                payload: payload.clone(),
+                slot: Arc::clone(&slot),
+                fast: false,
+            },
+        );
+        // Death may have drained `pending` between the check above and
+        // the insert; re-checking after the insert closes the race.
+        if self.is_dead() {
+            self.pending.lock().remove(&req_id);
+            return None;
+        }
+        match self.ensure_conn() {
+            Some(conn) => {
+                // A failed write is not a failed request: the entry
+                // stays queued and the keeper's reconnect replays it.
+                if write_frame(&mut *conn.writer.lock(), &payload).is_err() {
+                    conn.alive.store(false, Ordering::SeqCst);
+                    self.wake_keeper();
+                }
+            }
+            None => {
+                self.pending.lock().remove(&req_id);
+                return None;
+            }
+        }
+        slot.wait()
+    }
+
+    /// One non-queued RPC for cheap lifecycle reads: never blocks on a
+    /// redial (a locked dial = [`FastReply::Blip`]) and never replays.
+    fn fast_call(self: &Arc<Self>, req: &Req<I, M>) -> FastReply<I, M> {
+        if self.is_dead() {
+            return FastReply::Dead;
+        }
+        let conn = {
+            let Some(guard) = self.state.try_lock() else {
+                return FastReply::Blip;
+            };
+            match guard.as_ref() {
+                Some(c) if c.alive.load(Ordering::SeqCst) => Arc::clone(c),
+                _ => return FastReply::Blip,
+            }
+        };
+        let req_id = self.next_req.fetch_add(1, Ordering::Relaxed);
+        let slot = Arc::new(Slot::new());
+        let mut payload = Vec::new();
+        req_id.encode(&mut payload);
+        req.encode(&mut payload);
+        self.pending.lock().insert(
+            req_id,
+            PendingEntry {
+                payload: payload.clone(),
+                slot: Arc::clone(&slot),
+                fast: true,
+            },
+        );
+        // The reader drains fast entries *after* flipping `alive`;
+        // re-checking after the insert guarantees ours is seen.
+        if !conn.alive.load(Ordering::SeqCst) || self.is_dead() {
+            self.pending.lock().remove(&req_id);
+            return if self.is_dead() {
+                FastReply::Dead
+            } else {
+                FastReply::Blip
+            };
+        }
+        if write_frame(&mut *conn.writer.lock(), &payload).is_err() {
+            self.pending.lock().remove(&req_id);
+            conn.alive.store(false, Ordering::SeqCst);
+            self.wake_keeper();
+            return FastReply::Blip;
+        }
+        match slot.wait() {
+            Some(resp) => FastReply::Resp(resp),
+            None if self.is_dead() => FastReply::Dead,
+            None => FastReply::Blip,
+        }
+    }
+
+    /// Returns the live connection, (re)dialing + resuming if needed.
+    /// `None` means the session is dead.
+    fn ensure_conn(self: &Arc<Self>) -> Option<Arc<ConnShared>> {
+        if self.is_dead() {
+            return None;
+        }
+        let mut guard = self.state.lock();
+        if let Some(c) = guard.as_ref() {
+            if c.alive.load(Ordering::SeqCst) {
+                return Some(Arc::clone(c));
+            }
+        }
+        if self.is_dead() {
+            return None;
+        }
+        match self.dial_and_handshake() {
+            Some(conn) => {
+                self.lost.store(false, Ordering::SeqCst);
+                *guard = Some(Arc::clone(&conn));
+                self.start_keeper();
+                Some(conn)
+            }
+            None => {
+                *guard = None;
+                drop(guard);
+                self.die();
+                None
+            }
+        }
+    }
+
+    /// Dials under the retry policy and completes the session
+    /// handshake, standing off and retrying while the hub reports a
+    /// partition embargo. Called with the `state` lock held — fast
+    /// queries observe the held lock as a blip.
+    fn dial_and_handshake(self: &Arc<Self>) -> Option<Arc<ConnShared>> {
+        for _ in 0..64 {
+            if self.closed.load(Ordering::SeqCst) || self.is_dead() {
+                return None;
+            }
+            let stream = self
+                .retry
+                .run_if(|_: &io::Error| true, |_| TcpStream::connect(self.addr))
+                .ok()?;
+            let _ = stream.set_nodelay(true);
+            match self.handshake(stream) {
+                Handshake::Ready(conn) => return Some(conn),
+                Handshake::Expired => {
+                    self.die_expired();
+                    return None;
+                }
+                Handshake::Partitioned(remaining) => {
+                    thread::sleep(
+                        remaining.clamp(Duration::from_millis(5), Duration::from_secs(1)),
+                    );
+                }
+                // The dial succeeded but the hub vanished mid-handshake:
+                // brief pause, then re-enter the dial loop.
+                Handshake::Failed => thread::sleep(Duration::from_millis(25)),
+            }
+        }
+        None
+    }
+
+    /// Runs the hello exchange on a fresh stream: new session or
+    /// resume, connection-scoped re-setup, and the pending replay.
+    fn handshake(self: &Arc<Self>, stream: TcpStream) -> Handshake {
+        let (mut rd, mut w) = match (stream.try_clone(), stream.try_clone()) {
+            (Ok(r), Ok(w)) => (r, w),
+            _ => return Handshake::Failed,
+        };
+        // Bounded handshake: a hub that accepts but never answers must
+        // not wedge the dial loop. Cleared before the reader takes over.
+        let _ = rd.set_read_timeout(Some(Duration::from_secs(5)));
+        let sid = self.session.load(Ordering::SeqCst);
+        let hello = if sid == 0 {
+            Req::HelloNew
+        } else {
+            Req::HelloResume(sid)
+        };
+        let Some(hello_id) = self.write_req(&mut w, &hello) else {
+            return Handshake::Failed;
+        };
+        match self.await_resp(&mut rd, hello_id) {
+            Some(Resp::Session { session, lease_ms }) => {
+                self.session.store(session, Ordering::SeqCst);
+                if lease_ms > 0 {
+                    self.lease_ms.store(lease_ms, Ordering::SeqCst);
+                }
+                if sid == 0 {
+                    // Event sequences are per-session: a fresh session
+                    // restarts them at 1.
+                    self.last_event_seq.store(0, Ordering::SeqCst);
+                }
+            }
+            Some(Resp::SessionExpired) => return Handshake::Expired,
+            Some(Resp::Partitioned { remaining_ms }) => {
+                return Handshake::Partitioned(Duration::from_millis(remaining_ms));
+            }
+            _ => return Handshake::Failed,
+        }
+        // A resumed session already holds its binds hub-side; only a
+        // brand-new session needs them installed.
+        if sid == 0 {
+            for id in self.bound.lock().clone() {
+                let Some(bind_id) = self.write_req(&mut w, &Req::Bind(id)) else {
+                    return Handshake::Failed;
+                };
+                if self.await_resp(&mut rd, bind_id).is_none() {
+                    return Handshake::Failed;
+                }
+            }
+        }
+        if self.subscribed.load(Ordering::SeqCst) {
+            // Resume the sequenced event stream from the last delivered
+            // seq; the hub replays the missed tail before acking, and
+            // `process_event`'s high-water mark dedups any overlap.
+            let sub = Req::SubscribeFrom {
+                seq: self.last_event_seq.load(Ordering::SeqCst),
+            };
+            let Some(sub_id) = self.write_req(&mut w, &sub) else {
+                return Handshake::Failed;
+            };
+            if self.await_resp(&mut rd, sub_id).is_none() {
+                return Handshake::Failed;
+            }
+        }
+        // Replay every queued request in id order. The hub answers
+        // anything it already applied from its replay cache, so a write
+        // whose ack was severed is never applied twice.
+        let replay: Vec<Vec<u8>> = {
+            let p = self.pending.lock();
+            let mut items: Vec<(u64, Vec<u8>)> = p
+                .iter()
+                .filter(|(_, e)| !e.fast)
+                .map(|(id, e)| (*id, e.payload.clone()))
+                .collect();
+            items.sort_unstable_by_key(|(id, _)| *id);
+            items.into_iter().map(|(_, payload)| payload).collect()
+        };
+        for payload in &replay {
+            if write_frame(&mut w, payload).is_err() {
+                return Handshake::Failed;
+            }
+        }
+        let _ = rd.set_read_timeout(None);
+        let conn = Arc::new(ConnShared {
+            writer: Mutex::new(w),
+            stream,
+            alive: AtomicBool::new(true),
+        });
+        Self::spawn_reader(self, Arc::clone(&conn), rd);
+        if sid != 0 {
+            self.emit_healed(SessionEvent::PeerResumed);
+        }
+        Handshake::Ready(conn)
+    }
+
+    fn spawn_reader(shared: &Arc<Self>, conn: Arc<ConnShared>, mut stream: TcpStream) {
+        let shared = Arc::clone(shared);
+        thread::spawn(move || {
+            while let Ok(Some(frame)) = read_frame(&mut stream) {
+                let mut r = Reader::new(&frame);
+                let Ok(req_id) = u64::decode(&mut r) else {
+                    break;
+                };
+                if req_id == EVENT_REQ_ID {
+                    // Unsolicited push: a tagged telemetry event. Frames
+                    // with a tag this build does not understand are
+                    // skipped so newer hubs can stream richer events to
+                    // older clients.
+                    if let Ok(ev) = Event::<I>::decode(&mut r) {
+                        shared.process_event(&ev);
+                    }
+                    continue;
+                }
+                let Ok(resp) = Resp::<I, M>::decode(&mut r) else {
+                    break;
+                };
+                // Any session answer — including the keeper's
+                // unmatched heartbeat acks — renews the lease view.
+                if let Resp::Session { lease_ms, .. } = &resp {
+                    if *lease_ms > 0 {
+                        shared.lease_ms.store(*lease_ms, Ordering::SeqCst);
+                    }
+                }
+                let entry = shared.pending.lock().remove(&req_id);
+                if let Some(e) = entry {
+                    e.slot.fill(SlotState::Filled(resp));
+                }
+            }
+            // Connection over. Fast queries parked on it get a degraded
+            // answer now; durable requests stay queued for the replay.
+            conn.alive.store(false, Ordering::SeqCst);
+            let drained: Vec<PendingEntry<I, M>> = {
+                let mut p = shared.pending.lock();
+                let ids: Vec<u64> = p
+                    .iter()
+                    .filter(|(_, e)| e.fast)
+                    .map(|(id, _)| *id)
+                    .collect();
+                ids.into_iter().filter_map(|id| p.remove(&id)).collect()
+            };
+            for e in drained {
+                e.slot.fill(SlotState::Lost);
+            }
+            if !shared.is_dead() && !shared.closed.load(Ordering::SeqCst) {
+                // Only the *current* connection's reader announces the
+                // disconnect: a stale reader outliving a completed
+                // resume must not emit out of order after PeerResumed.
+                let is_current = shared
+                    .state
+                    .lock()
+                    .as_ref()
+                    .is_some_and(|c| Arc::ptr_eq(c, &conn));
+                if is_current {
+                    shared.emit_severed();
+                }
+            }
+            shared.wake_keeper();
+        });
+    }
+
+    /// Spawns the keeper: heartbeats every quarter-lease while
+    /// connected (renewing the lease and pruning the hub's replay
+    /// cache), redials + replays when not. Holds only a weak reference
+    /// so it cannot outlive the transport's death.
+    fn start_keeper(self: &Arc<Self>) {
+        if self.keeper_started.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let weak: Weak<Self> = Arc::downgrade(self);
+        thread::spawn(move || loop {
+            let Some(shared) = weak.upgrade() else { return };
+            if shared.is_dead() || shared.closed.load(Ordering::SeqCst) {
+                return;
+            }
+            let tick = Duration::from_millis((shared.lease_ms.load(Ordering::SeqCst) / 4).max(25));
+            {
+                let mut wake = shared.keeper_wake.lock();
+                if !*wake {
+                    shared
+                        .keeper_cond
+                        .wait_until(&mut wake, Instant::now() + tick);
+                }
+                *wake = false;
+            }
+            if shared.is_dead() || shared.closed.load(Ordering::SeqCst) {
+                return;
+            }
+            shared.blip_ticks.fetch_add(1, Ordering::Relaxed);
+            let conn = {
+                let guard = shared.state.lock();
+                guard
+                    .as_ref()
+                    .filter(|c| c.alive.load(Ordering::SeqCst))
+                    .map(Arc::clone)
+            };
+            match conn {
+                Some(conn) => {
+                    // Fire-and-forget: the ack arrives as an unmatched
+                    // `Resp::Session` and renews the lease; `acked`
+                    // lets the hub prune replay answers below our
+                    // lowest still-pending request.
+                    let acked = {
+                        let p = shared.pending.lock();
+                        p.keys()
+                            .min()
+                            .copied()
+                            .unwrap_or_else(|| shared.next_req.load(Ordering::Relaxed))
+                    };
+                    let _ = shared.write_req(&mut conn.writer.lock(), &Req::Heartbeat { acked });
+                }
+                None => {
+                    let _ = shared.ensure_conn();
+                }
+            }
+        });
     }
 }
 
 /// A [`Transport`] speaking framed RPC to a remote hub (see the module
 /// docs).
 pub struct SocketTransport<I, M> {
-    addr: SocketAddr,
-    retry: RetryPolicy,
-    state: Mutex<Option<Arc<ConnShared<I, M>>>>,
-    /// Set when (re)dialing has definitively failed; cleared by a
-    /// successful reconnect.
-    lost: AtomicBool,
-    /// Last activity counter observed from the hub: frozen on loss so
-    /// watchdogs detect the wedge.
-    last_activity: AtomicU64,
-    /// Request ids start at 1; 0 is the event-frame marker.
-    next_req: AtomicU64,
-    observer: Arc<Mutex<Option<FaultObserver<I>>>>,
-    /// Ids to re-bind when a fresh connection is established.
-    bound: Mutex<Vec<I>>,
-    subscribed: AtomicBool,
+    shared: Arc<Shared<I, M>>,
     /// Client-side latency measurement: the RPC round trip *includes*
     /// the hub-side rendezvous wait, so hub time is attributed to the
     /// performance whose operation paid for it — no wire changes.
@@ -135,8 +718,9 @@ pub struct SocketTransport<I, M> {
 impl<I, M> fmt::Debug for SocketTransport<I, M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SocketTransport")
-            .field("addr", &self.addr)
-            .field("lost", &self.lost.load(Ordering::Relaxed))
+            .field("addr", &self.shared.addr)
+            .field("session", &self.shared.session.load(Ordering::Relaxed))
+            .field("lost", &self.shared.lost.load(Ordering::Relaxed))
             .finish()
     }
 }
@@ -150,15 +734,30 @@ where
     /// operation dials, retrying under `retry`.
     pub fn new(addr: SocketAddr, retry: RetryPolicy) -> Self {
         Self {
-            addr,
-            retry,
-            state: Mutex::new(None),
-            lost: AtomicBool::new(false),
-            last_activity: AtomicU64::new(0),
-            next_req: AtomicU64::new(EVENT_REQ_ID + 1),
-            observer: Arc::new(Mutex::new(None)),
-            bound: Mutex::new(Vec::new()),
-            subscribed: AtomicBool::new(false),
+            shared: Arc::new(Shared {
+                addr,
+                retry,
+                state: Mutex::new(None),
+                lost: AtomicBool::new(false),
+                dead: AtomicBool::new(false),
+                closed: AtomicBool::new(false),
+                last_activity: AtomicU64::new(0),
+                blip_ticks: AtomicU64::new(0),
+                cached_aborted: AtomicBool::new(false),
+                next_req: AtomicU64::new(EVENT_REQ_ID + 1),
+                pending: Mutex::new(HashMap::new()),
+                session: AtomicU64::new(0),
+                lease_ms: AtomicU64::new(1000),
+                last_event_seq: AtomicU64::new(0),
+                observer: Mutex::new(None),
+                session_observer: Mutex::new(None),
+                bound: Mutex::new(Vec::new()),
+                severed: Mutex::new(Vec::new()),
+                subscribed: AtomicBool::new(false),
+                keeper_started: AtomicBool::new(false),
+                keeper_wake: Mutex::new(false),
+                keeper_cond: Condvar::new(),
+            }),
             latency: LatencyHooks::default(),
         }
     }
@@ -184,162 +783,34 @@ where
 
     /// The hub address this client dials.
     pub fn peer_addr(&self) -> SocketAddr {
-        self.addr
+        self.shared.addr
     }
 
-    /// Whether the hub is currently unreachable (the last dial attempt
-    /// exhausted its retry budget, or the connection dropped mid-call).
+    /// Whether the session is dead (expired, redial budget exhausted,
+    /// or closed). A mere connection blip mid-resume does not count.
     pub fn is_lost(&self) -> bool {
-        self.lost.load(Ordering::SeqCst)
+        self.shared.lost.load(Ordering::SeqCst)
     }
 
     /// Severs the connection without telling the hub — exactly what a
-    /// process crash looks like from the other side. The hub finishes
-    /// every id this client activated; other participants observe
-    /// [`ChanError::Terminated`] for them.
+    /// process crash looks like from the other side. The hub keeps this
+    /// session's ids alive until the lease lapses, then finishes them;
+    /// other participants observe [`ChanError::Terminated`] for them.
+    /// Idempotent: double-close (or close racing drop or racing a
+    /// background reconnect) is a no-op the second time.
     pub fn close(&self) {
-        self.lost.store(true, Ordering::SeqCst);
-        if let Some(conn) = self.state.lock().take() {
-            let _ = conn.stream.shutdown(Shutdown::Both);
-            conn.fail();
-        }
+        close_shared(&self.shared);
     }
+}
 
-    /// Returns the live connection, (re)dialing if necessary.
-    fn conn(&self) -> Option<Arc<ConnShared<I, M>>> {
-        let mut guard = self.state.lock();
-        if let Some(c) = guard.as_ref() {
-            if c.alive.load(Ordering::SeqCst) {
-                return Some(Arc::clone(c));
-            }
-        }
-        match self.dial() {
-            Some(conn) => {
-                self.lost.store(false, Ordering::SeqCst);
-                *guard = Some(Arc::clone(&conn));
-                Some(conn)
-            }
-            None => {
-                self.lost.store(true, Ordering::SeqCst);
-                *guard = None;
-                None
-            }
-        }
-    }
-
-    /// Dials the hub under the retry policy and replays the
-    /// connection-scoped handshake (binds + subscription).
-    fn dial(&self) -> Option<Arc<ConnShared<I, M>>> {
-        let stream = self
-            .retry
-            .run_if(|_: &io::Error| true, |_| TcpStream::connect(self.addr))
-            .ok()?;
-        let _ = stream.set_nodelay(true);
-        let (reader, writer) = match (stream.try_clone(), stream.try_clone()) {
-            (Ok(r), Ok(w)) => (r, w),
-            _ => return None,
-        };
-        let conn = Arc::new(ConnShared {
-            writer: Mutex::new(writer),
-            stream,
-            pending: Mutex::new(HashMap::new()),
-            alive: AtomicBool::new(true),
-        });
-        Self::spawn_reader(Arc::clone(&conn), reader, Arc::clone(&self.observer));
-        // Replay connection-scoped state. A hub that saw the previous
-        // connection die has already finished these ids — re-binding is
-        // bookkeeping for *this* connection's eventual death, not a
-        // resurrection.
-        let binds: Vec<I> = self.bound.lock().clone();
-        for id in binds {
-            let _ = self.rpc_on(&conn, &Req::Bind(id));
-        }
-        if self.subscribed.load(Ordering::SeqCst) {
-            let _ = self.rpc_on(&conn, &Req::Subscribe);
-        }
-        Some(conn)
-    }
-
-    fn spawn_reader(
-        conn: Arc<ConnShared<I, M>>,
-        mut stream: TcpStream,
-        observer: Arc<Mutex<Option<FaultObserver<I>>>>,
-    ) {
-        thread::spawn(move || {
-            while let Ok(Some(frame)) = read_frame(&mut stream) {
-                let mut r = Reader::new(&frame);
-                let Ok(req_id) = u64::decode(&mut r) else {
-                    break;
-                };
-                if req_id == EVENT_REQ_ID {
-                    // Unsolicited push: a tagged telemetry event. Frames
-                    // with a tag this build does not understand are
-                    // skipped so newer hubs can stream richer events to
-                    // older clients.
-                    if let Ok(Event::Fault(rec)) = Event::<I>::decode(&mut r) {
-                        let obs = observer.lock().clone();
-                        if let Some(obs) = obs {
-                            obs(&rec);
-                        }
-                    }
-                    continue;
-                }
-                let Ok(resp) = Resp::<I, M>::decode(&mut r) else {
-                    break;
-                };
-                let slot = conn.pending.lock().remove(&req_id);
-                if let Some(slot) = slot {
-                    slot.fill(SlotState::Filled(resp));
-                }
-            }
-            conn.fail();
-        });
-    }
-
-    /// One RPC on a specific connection (used during the handshake,
-    /// where re-entering [`SocketTransport::conn`] would deadlock).
-    fn rpc_on(&self, conn: &Arc<ConnShared<I, M>>, req: &Req<I, M>) -> Option<Resp<I, M>> {
-        let req_id = self.next_req.fetch_add(1, Ordering::Relaxed);
-        let slot = Arc::new(Slot::new());
-        conn.pending.lock().insert(req_id, Arc::clone(&slot));
-        let mut payload = Vec::new();
-        req_id.encode(&mut payload);
-        req.encode(&mut payload);
-        let write_ok = write_frame(&mut *conn.writer.lock(), &payload).is_ok();
-        if !write_ok {
-            conn.pending.lock().remove(&req_id);
-            conn.fail();
-            return None;
-        }
-        slot.wait()
-    }
-
-    /// One RPC with reconnect: a failed *write* retries on a fresh
-    /// connection (the hub never saw the request), but once the request
-    /// is on the wire a lost connection surfaces as loss — the
-    /// operation is not idempotent.
-    fn call(&self, req: &Req<I, M>) -> Option<Resp<I, M>> {
-        for _ in 0..2 {
-            let conn = self.conn()?;
-            let req_id = self.next_req.fetch_add(1, Ordering::Relaxed);
-            let slot = Arc::new(Slot::new());
-            conn.pending.lock().insert(req_id, Arc::clone(&slot));
-            let mut payload = Vec::new();
-            req_id.encode(&mut payload);
-            req.encode(&mut payload);
-            let write_ok = write_frame(&mut *conn.writer.lock(), &payload).is_ok();
-            if !write_ok {
-                conn.pending.lock().remove(&req_id);
-                conn.fail();
-                continue;
-            }
-            match slot.wait() {
-                Some(resp) => return Some(resp),
-                None => break,
-            }
-        }
-        self.lost.store(true, Ordering::SeqCst);
-        None
+/// The shared close path (also the drop path, which has no trait
+/// bounds in scope).
+fn close_shared<I, M>(shared: &Arc<Shared<I, M>>) {
+    shared.closed.store(true, Ordering::SeqCst);
+    shared.die();
+    if let Some(conn) = shared.state.lock().take() {
+        conn.alive.store(false, Ordering::SeqCst);
+        let _ = conn.stream.shutdown(Shutdown::Both);
     }
 }
 
@@ -358,71 +829,87 @@ where
     M: Wire + Send + Sync + 'static,
 {
     fn declare(&self, id: I) {
-        let _ = self.call(&Req::Declare(id));
+        let _ = self.shared.call(&Req::Declare(id));
     }
 
     fn activate(&self, id: I) {
         {
-            let mut b = self.bound.lock();
+            let mut b = self.shared.bound.lock();
             if !b.contains(&id) {
                 b.push(id.clone());
             }
         }
-        let _ = self.call(&Req::Activate(id));
+        let _ = self.shared.call(&Req::Activate(id));
     }
 
     fn finish(&self, id: I) {
-        self.bound.lock().retain(|b| b != &id);
-        let _ = self.call(&Req::Finish(id));
+        self.shared.bound.lock().retain(|b| b != &id);
+        let _ = self.shared.call(&Req::Finish(id));
     }
 
     fn seal(&self) {
-        let _ = self.call(&Req::Seal);
+        let _ = self.shared.call(&Req::Seal);
     }
 
     fn abort(&self) {
-        let _ = self.call(&Req::Abort);
+        let _ = self.shared.call(&Req::Abort);
     }
 
     fn is_aborted(&self) -> bool {
-        match self.call(&Req::IsAborted) {
-            Some(Resp::Bool(b)) => b,
+        match self.shared.fast_call(&Req::IsAborted) {
+            FastReply::Resp(Resp::Bool(b)) => {
+                self.shared.cached_aborted.store(b, Ordering::Relaxed);
+                b
+            }
+            FastReply::Resp(_) => true,
+            // Mid-blip: the last confirmed answer, not a false alarm.
+            FastReply::Blip => self.shared.cached_aborted.load(Ordering::Relaxed),
             // An unreachable hub cannot host any further operation.
-            _ => true,
+            FastReply::Dead => true,
         }
     }
 
     fn peer_state(&self, id: &I) -> Option<PeerState> {
-        match self.call(&Req::PeerStateOf(id.clone())) {
-            Some(Resp::State(s)) => s,
+        match self.shared.fast_call(&Req::PeerStateOf(id.clone())) {
+            FastReply::Resp(Resp::State(s)) => s,
             _ => None,
         }
     }
 
     fn peers(&self) -> Vec<(I, PeerState)> {
-        match self.call(&Req::Peers) {
-            Some(Resp::PeerList(ps)) => ps,
+        match self.shared.fast_call(&Req::Peers) {
+            FastReply::Resp(Resp::PeerList(ps)) => ps,
             _ => Vec::new(),
         }
     }
 
     fn activity(&self) -> u64 {
-        match self.call(&Req::Activity) {
-            Some(Resp::Counter(c)) => {
-                self.last_activity.store(c, Ordering::Relaxed);
+        match self.shared.fast_call(&Req::Activity) {
+            FastReply::Resp(Resp::Counter(c)) => {
+                self.shared.last_activity.store(c, Ordering::Relaxed);
                 c
             }
-            // Frozen on loss: a sampling watchdog sees no progress.
-            _ => self.last_activity.load(Ordering::Relaxed),
+            // Mid-blip: a synthetic, strictly-changing counter — a
+            // sampling watchdog must see a *reconnecting* client as
+            // live, because the session still holds its lease.
+            FastReply::Blip | FastReply::Resp(_) => {
+                let ticks = self.shared.blip_ticks.fetch_add(1, Ordering::Relaxed) + 1;
+                self.shared
+                    .last_activity
+                    .load(Ordering::Relaxed)
+                    .wrapping_add(ticks)
+            }
+            // Frozen on death: a sampling watchdog sees no progress.
+            FastReply::Dead => self.shared.last_activity.load(Ordering::Relaxed),
         }
     }
 
     fn reseed(&self, seed: u64) {
-        let _ = self.call(&Req::Reseed(seed));
+        let _ = self.shared.call(&Req::Reseed(seed));
     }
 
     fn ensure_peer(&self, id: &I) -> Result<(), ChanError<I>> {
-        match self.call(&Req::EnsurePeer(id.clone())) {
+        match self.shared.call(&Req::EnsurePeer(id.clone())) {
             Some(Resp::Unit) => Ok(()),
             Some(Resp::ChanErr(e)) => Err(e),
             _ => Err(ChanError::Terminated(id.clone())),
@@ -430,46 +917,58 @@ where
     }
 
     fn has_pending_from(&self, to: &I, from: &I) -> bool {
-        match self.call(&Req::HasPendingFrom {
+        match self.shared.fast_call(&Req::HasPendingFrom {
             to: to.clone(),
             from: from.clone(),
         }) {
-            Some(Resp::Bool(b)) => b,
+            FastReply::Resp(Resp::Bool(b)) => b,
             _ => false,
         }
     }
 
     fn set_fault_plan(&self, plan: FaultPlan, _clone_fn: fn(&M) -> M) {
         // Duplicates are materialized hub-side with the hub's clone.
-        let _ = self.call(&Req::SetFaultPlan(plan));
+        let _ = self.shared.call(&Req::SetFaultPlan(plan));
     }
 
     fn clear_fault_plan(&self) {
-        let _ = self.call(&Req::ClearFaultPlan);
+        let _ = self.shared.call(&Req::ClearFaultPlan);
     }
 
     fn fault_plan(&self) -> Option<FaultPlan> {
-        match self.call(&Req::GetFaultPlan) {
+        match self.shared.call(&Req::GetFaultPlan) {
             Some(Resp::Plan(p)) => p,
             _ => None,
         }
     }
 
     fn set_fault_observer(&self, observer: FaultObserver<I>) {
-        *self.observer.lock() = Some(observer);
-        self.subscribed.store(true, Ordering::SeqCst);
-        let _ = self.call(&Req::Subscribe);
+        *self.shared.observer.lock() = Some(observer);
+        self.shared.subscribed.store(true, Ordering::SeqCst);
+        let seq = self.shared.last_event_seq.load(Ordering::SeqCst);
+        let _ = self.shared.call(&Req::SubscribeFrom { seq });
+    }
+
+    fn set_session_observer(&self, observer: SessionObserver<I>) {
+        *self.shared.session_observer.lock() = Some(observer);
+    }
+
+    fn note_session_event(&self, event: &SessionEvent<I>) {
+        let obs = self.shared.session_observer.lock().clone();
+        if let Some(obs) = obs {
+            obs(event);
+        }
     }
 
     fn fault_log(&self) -> Vec<FaultRecord<I>> {
-        match self.call(&Req::FaultLog) {
+        match self.shared.call(&Req::FaultLog) {
             Some(Resp::Log(l)) => l,
             _ => Vec::new(),
         }
     }
 
     fn take_fault_log(&self) -> Vec<FaultRecord<I>> {
-        match self.call(&Req::TakeFaultLog) {
+        match self.shared.call(&Req::TakeFaultLog) {
             Some(Resp::Log(l)) => l,
             _ => Vec::new(),
         }
@@ -498,14 +997,16 @@ where
             from: from.clone(),
             to: to.clone(),
             msg,
+            // The budget is computed once; a replay reuses the original
+            // frame, so hub-side the clock restarts on reconnect.
             timeout_ms: timeout_ms_of(deadline),
         };
         let start = Instant::now();
-        let result = match self.call(&req) {
+        let result = match self.shared.call(&req) {
             Some(Resp::Unit) => Ok(()),
             Some(Resp::ChanErr(e)) => Err(e),
-            // Hub loss = the receiving side is gone, the same error a
-            // crashed peer produces.
+            // Session death = the receiving side is gone, the same
+            // error a crashed peer produces.
             _ => Err(ChanError::Terminated(to.clone())),
         };
         if result.is_ok() {
@@ -516,7 +1017,7 @@ where
 
     fn try_recv(&self, me: &I, from: &I) -> Result<Option<M>, ChanError<I>> {
         let start = Instant::now();
-        let result = match self.call(&Req::TryRecv {
+        let result = match self.shared.call(&Req::TryRecv {
             me: me.clone(),
             from: from.clone(),
         }) {
@@ -549,7 +1050,7 @@ where
             timeout_ms: timeout_ms_of(deadline),
         };
         let start = Instant::now();
-        let result = match self.call(&req) {
+        let result = match self.shared.call(&req) {
             Some(Resp::Selected(outcome)) => Ok(outcome),
             Some(Resp::ChanErr(e)) => Err(e),
             _ => Err(loss),
@@ -566,9 +1067,6 @@ where
 
 impl<I, M> Drop for SocketTransport<I, M> {
     fn drop(&mut self) {
-        if let Some(conn) = self.state.lock().take() {
-            let _ = conn.stream.shutdown(Shutdown::Both);
-            conn.fail();
-        }
+        close_shared(&self.shared);
     }
 }

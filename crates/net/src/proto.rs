@@ -99,6 +99,33 @@ pub enum Req<I, M> {
         /// Remaining budget, `None` for no deadline.
         timeout_ms: Option<u64>,
     },
+    /// Opens a new session: the hub replies [`Resp::Session`] with a
+    /// fresh session id and lease. Sent exactly once, as the first
+    /// frame on a brand-new spoke's first connection.
+    HelloNew,
+    /// Resumes an existing session after a severed connection: the hub
+    /// replies [`Resp::Session`] (lease renewed, same id) if the lease
+    /// is still live, [`Resp::SessionExpired`] if it lapsed, or
+    /// [`Resp::Partitioned`] while a chaos-injected partition has the
+    /// edge embargoed.
+    HelloResume(u64),
+    /// Spoke → hub keepalive. `acked` is the lowest request id the
+    /// spoke may still replay; the hub prunes its replay-answer cache
+    /// below it and renews the lease, answering [`Resp::Session`]
+    /// (the hub → spoke half of the heartbeat).
+    Heartbeat {
+        /// Lowest un-acked request id; everything below is pruneable.
+        acked: u64,
+    },
+    /// Starts (or resumes) streaming sequenced event pushes to this
+    /// connection from the first event with sequence number strictly
+    /// greater than `seq` — `0` for a fresh subscription, the last
+    /// delivered sequence number on resume, making the merged stream
+    /// gapless across severs.
+    SubscribeFrom {
+        /// Last event sequence number already delivered to this spoke.
+        seq: u64,
+    },
 }
 
 /// One RPC response.
@@ -124,6 +151,26 @@ pub enum Resp<I, M> {
     Log(Vec<FaultRecord<I>>),
     /// The operation failed with a channel error.
     ChanErr(ChanError<I>),
+    /// Session granted or renewed: the spoke's session id plus the
+    /// lease duration in milliseconds. Answers [`Req::HelloNew`],
+    /// [`Req::HelloResume`] and [`Req::Heartbeat`].
+    Session {
+        /// The session id to present on future resumes.
+        session: u64,
+        /// Lease duration in milliseconds; the hub keeps the session's
+        /// state alive this long after the connection drops.
+        lease_ms: u64,
+    },
+    /// The presented session's lease lapsed; its bound ids were
+    /// finished hub-side and its state discarded. The spoke must
+    /// degrade to crashed-peer semantics.
+    SessionExpired,
+    /// A chaos-injected partition currently embargoes this spoke's
+    /// edge; retry the resume after roughly `remaining_ms`.
+    Partitioned {
+        /// Milliseconds until the partition heals.
+        remaining_ms: u64,
+    },
 }
 
 /// An unsolicited hub → client push, carried on [`EVENT_REQ_ID`]
@@ -136,8 +183,19 @@ pub enum Resp<I, M> {
 /// causally consistent telemetry stream.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Event<I> {
-    /// The hub's chaos layer injected a fault (tag 0).
+    /// The hub's chaos layer injected a fault (tag 0). Legacy
+    /// unsequenced form, kept for spokes that subscribed with a plain
+    /// [`Req::Subscribe`].
     Fault(FaultRecord<I>),
+    /// A sequenced fault push (tag 1): `seq` numbers the hub's event
+    /// stream per session, strictly increasing from 1, so a resumed
+    /// spoke can both detect gaps and discard replayed duplicates.
+    SeqFault {
+        /// Position in the session's event stream.
+        seq: u64,
+        /// The injected fault.
+        record: FaultRecord<I>,
+    },
 }
 
 /// Remaining-millisecond budget for a deadline, measured now. Saturates
@@ -304,6 +362,8 @@ impl Wire for FaultKind {
             FaultKind::Delay => 1,
             FaultKind::Duplicate => 2,
             FaultKind::Crash => 3,
+            FaultKind::Sever => 4,
+            FaultKind::Partition => 5,
         });
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
@@ -312,6 +372,8 @@ impl Wire for FaultKind {
             1 => Ok(FaultKind::Delay),
             2 => Ok(FaultKind::Duplicate),
             3 => Ok(FaultKind::Crash),
+            4 => Ok(FaultKind::Sever),
+            5 => Ok(FaultKind::Partition),
             _ => Err(WireError::Invalid("fault-kind tag")),
         }
     }
@@ -342,11 +404,20 @@ impl<I: Wire> Wire for Event<I> {
                 out.push(0);
                 record.encode(out);
             }
+            Event::SeqFault { seq, record } => {
+                out.push(1);
+                seq.encode(out);
+                record.encode(out);
+            }
         }
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         match u8::decode(r)? {
             0 => Ok(Event::Fault(FaultRecord::decode(r)?)),
+            1 => Ok(Event::SeqFault {
+                seq: u64::decode(r)?,
+                record: FaultRecord::decode(r)?,
+            }),
             _ => Err(WireError::Invalid("event tag")),
         }
     }
@@ -361,6 +432,11 @@ impl Wire for FaultPlan {
         self.duplicate_probability().encode(out);
         self.crash_probability().encode(out);
         self.crash_step().encode(out);
+        // Connection-fault fields append after every message-fault
+        // field so offsets of the original layout never move.
+        self.sever_probability().encode(out);
+        self.partition_probability().encode(out);
+        self.partition_duration().encode(out);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         let seed = u64::decode(r)?;
@@ -370,7 +446,10 @@ impl Wire for FaultPlan {
         let dup_p = f64::decode(r)?;
         let crash_p = f64::decode(r)?;
         let crash_step = u64::decode(r)?;
-        for p in [drop_p, delay_p, dup_p, crash_p] {
+        let sever_p = f64::decode(r)?;
+        let partition_p = f64::decode(r)?;
+        let partition = Duration::decode(r)?;
+        for p in [drop_p, delay_p, dup_p, crash_p, sever_p, partition_p] {
             if !(0.0..=1.0).contains(&p) {
                 return Err(WireError::Invalid("fault probability out of range"));
             }
@@ -378,7 +457,9 @@ impl Wire for FaultPlan {
         let mut plan = FaultPlan::new(seed)
             .with_drop(drop_p)
             .with_delay(delay_p, delay)
-            .with_duplicate(dup_p);
+            .with_duplicate(dup_p)
+            .with_sever(sever_p)
+            .with_partition(partition_p, partition);
         if crash_step > 0 {
             plan = plan.with_crash(crash_p, crash_step);
         } else if crash_p != 0.0 {
@@ -479,6 +560,19 @@ impl<I: Wire, M: Wire> Wire for Req<I, M> {
                 arms.encode(out);
                 timeout_ms.encode(out);
             }
+            Req::HelloNew => out.push(22),
+            Req::HelloResume(session) => {
+                out.push(23);
+                session.encode(out);
+            }
+            Req::Heartbeat { acked } => {
+                out.push(24);
+                acked.encode(out);
+            }
+            Req::SubscribeFrom { seq } => {
+                out.push(25);
+                seq.encode(out);
+            }
         }
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
@@ -519,6 +613,14 @@ impl<I: Wire, M: Wire> Wire for Req<I, M> {
                 me: I::decode(r)?,
                 arms: Vec::<Arm<I, M>>::decode(r)?,
                 timeout_ms: Option::<u64>::decode(r)?,
+            },
+            22 => Req::HelloNew,
+            23 => Req::HelloResume(u64::decode(r)?),
+            24 => Req::Heartbeat {
+                acked: u64::decode(r)?,
+            },
+            25 => Req::SubscribeFrom {
+                seq: u64::decode(r)?,
             },
             _ => return Err(WireError::Invalid("request tag")),
         })
@@ -565,6 +667,16 @@ impl<I: Wire, M: Wire> Wire for Resp<I, M> {
                 out.push(9);
                 e.encode(out);
             }
+            Resp::Session { session, lease_ms } => {
+                out.push(10);
+                session.encode(out);
+                lease_ms.encode(out);
+            }
+            Resp::SessionExpired => out.push(11),
+            Resp::Partitioned { remaining_ms } => {
+                out.push(12);
+                remaining_ms.encode(out);
+            }
         }
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
@@ -579,6 +691,14 @@ impl<I: Wire, M: Wire> Wire for Resp<I, M> {
             7 => Resp::Plan(Option::<FaultPlan>::decode(r)?),
             8 => Resp::Log(Vec::<FaultRecord<I>>::decode(r)?),
             9 => Resp::ChanErr(ChanError::decode(r)?),
+            10 => Resp::Session {
+                session: u64::decode(r)?,
+                lease_ms: u64::decode(r)?,
+            },
+            11 => Resp::SessionExpired,
+            12 => Resp::Partitioned {
+                remaining_ms: u64::decode(r)?,
+            },
             _ => return Err(WireError::Invalid("response tag")),
         })
     }
@@ -611,6 +731,18 @@ mod tests {
             to: String::from("b"),
             seq: 11,
         });
+        roundtrip(FaultRecord {
+            kind: FaultKind::Sever,
+            from: String::from("a"),
+            to: String::from("b"),
+            seq: 4,
+        });
+        roundtrip(FaultRecord {
+            kind: FaultKind::Partition,
+            from: String::from("b"),
+            to: String::from("a"),
+            seq: 5,
+        });
         roundtrip(RoleId::new("sender"));
         roundtrip(RoleId::indexed("recipient", 3));
     }
@@ -623,6 +755,15 @@ mod tests {
             to: String::from("b"),
             seq: 3,
         }));
+        roundtrip(Event::SeqFault {
+            seq: 42,
+            record: FaultRecord {
+                kind: FaultKind::Sever,
+                from: String::from("a"),
+                to: String::from("b"),
+                seq: 3,
+            },
+        });
         // A tag this build does not know must decode to an error (the
         // client skips the frame), never panic.
         assert!(Event::<String>::from_bytes(&[9]).is_err());
@@ -638,6 +779,11 @@ mod tests {
                 .with_duplicate(0.1)
                 .with_crash(0.75, 4),
         );
+        roundtrip(
+            FaultPlan::new(12)
+                .with_sever(0.2)
+                .with_partition(0.1, Duration::from_millis(40)),
+        );
     }
 
     #[test]
@@ -649,6 +795,37 @@ mod tests {
             FaultPlan::from_bytes(&bytes),
             Err(WireError::Invalid(_))
         ));
+    }
+
+    #[test]
+    fn corrupt_sever_probability_is_rejected() {
+        let plan = FaultPlan::new(2).with_sever(0.5);
+        let mut bytes = plan.to_bytes();
+        // The sever probability sits right after the crash step: seed
+        // (8) + drop (8) + delay_p (8) + delay Duration + dup_p (8) +
+        // crash_p (8) + crash_step (8). Locate it from the end instead:
+        // sever_p then partition_p then partition Duration.
+        let dur_len = Duration::from_millis(0).to_bytes().len();
+        let off = bytes.len() - dur_len - 16;
+        bytes[off..off + 8].copy_from_slice(&2.0f64.to_bits().to_be_bytes());
+        assert!(matches!(
+            FaultPlan::from_bytes(&bytes),
+            Err(WireError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn session_frames_roundtrip() {
+        roundtrip(Req::<String, u64>::HelloNew);
+        roundtrip(Req::<String, u64>::HelloResume(17));
+        roundtrip(Req::<String, u64>::Heartbeat { acked: 23 });
+        roundtrip(Req::<String, u64>::SubscribeFrom { seq: 9 });
+        roundtrip(Resp::<String, u64>::Session {
+            session: 17,
+            lease_ms: 1000,
+        });
+        roundtrip(Resp::<String, u64>::SessionExpired);
+        roundtrip(Resp::<String, u64>::Partitioned { remaining_ms: 35 });
     }
 
     #[test]

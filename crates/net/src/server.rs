@@ -16,14 +16,37 @@
 //! Responses are written under a per-connection writer lock, so
 //! concurrent completions interleave at frame granularity.
 //!
-//! **Peer loss.** Each connection accumulates the ids it *bound*
-//! (explicitly via [`Req::Bind`], or implicitly by activating an id).
-//! When the connection drops — process death, network partition, or
-//! graceful close — the server finishes every bound id on the inner
-//! transport, so remaining participants observe the standard
-//! [`Terminated`](script_chan::ChanError::Terminated) error for a
-//! crashed peer, after draining anything it already deposited.
+//! **Sessions.** A spoke that opens with [`Req::HelloNew`] gets a
+//! session id and a lease. The session — its bound ids, its replay
+//! answer cache, its sequenced event buffer — outlives any one TCP
+//! connection: when the connection drops, the hub parks the session
+//! and keeps every bound performance alive until the lease lapses. A
+//! reconnect presenting [`Req::HelloResume`] re-attaches, answers
+//! replayed requests from the cache (a request the hub already applied
+//! is **never** applied twice; its recorded answer is rewritten
+//! verbatim), and resumes the sequenced event stream from wherever the
+//! spoke left off. [`Req::Heartbeat`] renews the lease and prunes the
+//! cache; only lease expiry degrades to crashed-peer semantics: the
+//! sweeper finishes every bound id, so remaining participants observe
+//! the standard [`Terminated`](script_chan::ChanError::Terminated)
+//! error exactly as before sessions existed.
+//!
+//! **Connection faults.** The hub registers itself as the inner
+//! transport's fault observer. Chaos-injected
+//! [`Sever`](script_chan::FaultKind::Sever) and
+//! [`Partition`](script_chan::FaultKind::Partition) records — decided
+//! deterministically at the sending edge like every other fault class —
+//! are *enacted* here: the session carrying the faulted edge has its
+//! connection torn down, and a partition additionally embargoes resume
+//! attempts until the configured duration elapses. Because decision and
+//! log live in the inner transport, the fault log still replays
+//! bit-for-bit on any transport; only the enactment is hub-specific.
+//!
+//! **Peer loss (legacy connections).** A connection that never opens a
+//! session keeps the pre-session contract: the ids it bound are
+//! finished the moment the connection drops.
 
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::hash::Hash;
 use std::io;
@@ -31,14 +54,24 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::thread;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use script_chan::{FaultRecord, Transport};
+use script_chan::{FaultKind, FaultRecord, SessionEvent, Transport};
 
 use crate::frame::{read_frame, write_frame};
 use crate::proto::{deadline_of, Event, Req, Resp, EVENT_REQ_ID};
 use crate::wire::{Reader, Wire};
+
+/// Default session lease: how long a severed session's bound
+/// performances stay alive awaiting a resume.
+pub const DEFAULT_LEASE: Duration = Duration::from_secs(1);
+
+/// Cap on buffered sequenced events retained per session for resume
+/// replay; beyond it the oldest events are dropped (a resume that far
+/// behind would gap anyway).
+const EVENT_BUFFER_CAP: usize = 8192;
 
 /// One registered client connection.
 struct ConnEntry {
@@ -46,14 +79,57 @@ struct ConnEntry {
     /// Kept to force-close the socket on shutdown.
     stream: TcpStream,
     writer: Arc<Mutex<TcpStream>>,
+    /// Legacy (non-session) event subscription flag.
     subscribed: Arc<AtomicBool>,
+}
+
+/// One spoke session: state that must survive connection loss.
+struct Session<I> {
+    id: u64,
+    state: Mutex<SessionState<I>>,
+}
+
+struct SessionState<I> {
+    /// Ids this session animates; finished only at lease expiry or hub
+    /// shutdown, never on mere connection loss.
+    bound: Vec<I>,
+    /// Whether the spoke subscribed to the sequenced event stream.
+    subscribed: bool,
+    /// Writer of the currently attached connection; `None` while
+    /// severed (answers are cached instead of written).
+    writer: Option<Arc<Mutex<TcpStream>>>,
+    /// Raw stream of the attached connection, kept to force-sever it
+    /// when a chaos fault or a stale-resume demands it.
+    stream: Option<TcpStream>,
+    /// Bumped on every attach so a stale reader's exit cannot detach a
+    /// newer connection.
+    epoch: u64,
+    /// Lease clock: any traffic (or a rejected-but-alive resume
+    /// attempt) refreshes it.
+    last_seen: Instant,
+    /// While set in the future, resume attempts are refused with
+    /// [`Resp::Partitioned`].
+    partitioned_until: Option<Instant>,
+    /// Replay answer cache: request id → fully encoded response frame.
+    /// A replayed request is answered from here, never re-applied.
+    done: HashMap<u64, Vec<u8>>,
+    /// Blocking requests currently running on a worker thread; a
+    /// replayed duplicate is ignored rather than double-spawned.
+    in_flight: HashSet<u64>,
+    /// Sequence number of the last event pushed to this session.
+    next_event_seq: u64,
+    /// Buffered `(seq, frame)` events for gapless resume replay.
+    events: VecDeque<(u64, Vec<u8>)>,
 }
 
 struct ServerShared<I, M> {
     inner: Arc<dyn Transport<I, M>>,
     conns: Mutex<Vec<ConnEntry>>,
+    sessions: Mutex<HashMap<u64, Arc<Session<I>>>>,
     shutdown: AtomicBool,
     next_conn: AtomicU64,
+    next_session: AtomicU64,
+    lease: Duration,
 }
 
 /// A TCP hub exposing an inner [`Transport`] to remote
@@ -69,6 +145,7 @@ impl<I, M> fmt::Debug for TransportServer<I, M> {
         f.debug_struct("TransportServer")
             .field("addr", &self.addr)
             .field("connections", &self.shared.conns.lock().len())
+            .field("sessions", &self.shared.sessions.lock().len())
             .finish()
     }
 }
@@ -79,27 +156,46 @@ where
     M: Wire + Clone + Send + Sync + 'static,
 {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts
-    /// serving `inner`. The hub registers itself as `inner`'s fault
-    /// observer to stream fault events to subscribed clients.
+    /// serving `inner` with the [`DEFAULT_LEASE`]. The hub registers
+    /// itself as `inner`'s fault observer to stream fault events to
+    /// subscribed clients and to enact connection faults.
     ///
     /// # Errors
     ///
     /// Any socket-binding error.
     pub fn bind<A: ToSocketAddrs>(addr: A, inner: Arc<dyn Transport<I, M>>) -> io::Result<Self> {
+        Self::bind_with_lease(addr, inner, DEFAULT_LEASE)
+    }
+
+    /// [`TransportServer::bind`] with an explicit session lease: how
+    /// long a severed session's bound performances survive awaiting a
+    /// resume before degrading to crashed-peer semantics.
+    ///
+    /// # Errors
+    ///
+    /// Any socket-binding error.
+    pub fn bind_with_lease<A: ToSocketAddrs>(
+        addr: A,
+        inner: Arc<dyn Transport<I, M>>,
+        lease: Duration,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(ServerShared {
             inner,
             conns: Mutex::new(Vec::new()),
+            sessions: Mutex::new(HashMap::new()),
             shutdown: AtomicBool::new(false),
             next_conn: AtomicU64::new(0),
+            next_session: AtomicU64::new(0),
+            lease,
         });
         // Weak: the inner transport must not keep the hub alive through
         // its own observer slot.
         let weak: Weak<ServerShared<I, M>> = Arc::downgrade(&shared);
         shared.inner.set_fault_observer(Arc::new(move |rec| {
             if let Some(sh) = weak.upgrade() {
-                sh.broadcast_event(rec);
+                sh.handle_fault(rec);
             }
         }));
         let accept_shared = Arc::clone(&shared);
@@ -113,6 +209,18 @@ where
                 }
             }
         });
+        // Lease sweeper: holds only a weak reference so a dropped hub's
+        // sweeper exits on its next tick.
+        let sweep: Weak<ServerShared<I, M>> = Arc::downgrade(&shared);
+        let tick = (lease / 4).clamp(Duration::from_millis(5), Duration::from_millis(250));
+        thread::spawn(move || loop {
+            thread::sleep(tick);
+            let Some(sh) = sweep.upgrade() else { return };
+            if sh.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            sh.sweep_expired();
+        });
         Ok(Self { shared, addr })
     }
 
@@ -121,35 +229,61 @@ where
         self.addr
     }
 
+    /// The session lease this hub grants.
+    pub fn lease(&self) -> Duration {
+        self.shared.lease
+    }
+
     /// The transport the hub serves — hub-local participants use it
     /// directly, with zero socket hops.
     pub fn inner(&self) -> Arc<dyn Transport<I, M>> {
         Arc::clone(&self.shared.inner)
     }
 
-    /// Stops accepting and severs every client connection. Each severed
-    /// connection's bound participants are finished on the inner
-    /// transport, exactly as if their processes had died.
+    /// Stops accepting, severs every client connection and discards
+    /// every session, finishing its bound participants on the inner
+    /// transport exactly as if their processes had died. Idempotent:
+    /// repeated calls (or a close racing a drop) are no-ops.
     pub fn shutdown(&self) {
-        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
-            return;
-        }
-        // Unblock the accept loop; it re-checks the flag.
-        let _ = TcpStream::connect(self.addr);
-        for conn in self.shared.conns.lock().iter() {
-            let _ = conn.stream.shutdown(Shutdown::Both);
-        }
+        self.shared.shutdown_hub(self.addr);
     }
 }
 
 impl<I, M> Drop for TransportServer<I, M> {
     fn drop(&mut self) {
-        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+        self.shared.shutdown_hub(self.addr);
+    }
+}
+
+impl<I, M> ServerShared<I, M> {
+    fn lease_ms(&self) -> u64 {
+        self.lease.as_millis().min(u64::MAX as u128) as u64
+    }
+
+    fn shutdown_hub(&self, addr: SocketAddr) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        let _ = TcpStream::connect(self.addr);
-        for conn in self.shared.conns.lock().iter() {
+        // Unblock the accept loop; it re-checks the flag.
+        let _ = TcpStream::connect(addr);
+        for conn in self.conns.lock().iter() {
             let _ = conn.stream.shutdown(Shutdown::Both);
+        }
+        // Hub death is final for every session: finish the bound ids so
+        // hub-local participants observe crashed peers, not a hang.
+        let sessions: Vec<Arc<Session<I>>> = self.sessions.lock().drain().map(|(_, s)| s).collect();
+        for sess in sessions {
+            let bound = {
+                let mut st = sess.state.lock();
+                if let Some(stream) = st.stream.take() {
+                    let _ = stream.shutdown(Shutdown::Both);
+                }
+                st.writer = None;
+                std::mem::take(&mut st.bound)
+            };
+            for id in bound {
+                self.inner.finish(id);
+            }
         }
     }
 }
@@ -181,22 +315,388 @@ where
         });
     }
 
-    /// The connection's reader loop: decodes requests, dispatches them,
-    /// and on exit finishes every id the connection bound.
+    /// Reads the connection's first frame and routes it: a session
+    /// handshake attaches (or creates) a session; anything else serves
+    /// the legacy connection-scoped contract.
     fn serve_conn(
         self: &Arc<Self>,
         mut stream: TcpStream,
         writer: Arc<Mutex<TcpStream>>,
         subscribed: Arc<AtomicBool>,
     ) {
-        let mut bound: Vec<I> = Vec::new();
-        // Clean close, truncated frame, reset: all peer loss — exit.
+        let Ok(Some(frame)) = read_frame(&mut stream) else {
+            return;
+        };
+        let mut r = Reader::new(&frame);
+        let (Ok(req_id), Ok(req)) = (u64::decode(&mut r), Req::<I, M>::decode(&mut r)) else {
+            return; // protocol corruption: sever the connection
+        };
+        match req {
+            Req::HelloNew => {
+                if self.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let sid = self.next_session.fetch_add(1, Ordering::Relaxed) + 1;
+                let sess = Arc::new(Session {
+                    id: sid,
+                    state: Mutex::new(SessionState {
+                        bound: Vec::new(),
+                        subscribed: false,
+                        writer: Some(Arc::clone(&writer)),
+                        stream: stream.try_clone().ok(),
+                        epoch: 1,
+                        last_seen: Instant::now(),
+                        partitioned_until: None,
+                        done: HashMap::new(),
+                        in_flight: HashSet::new(),
+                        next_event_seq: 0,
+                        events: VecDeque::new(),
+                    }),
+                });
+                self.sessions.lock().insert(sid, Arc::clone(&sess));
+                self.session_respond(
+                    &sess,
+                    req_id,
+                    &Resp::Session {
+                        session: sid,
+                        lease_ms: self.lease_ms(),
+                    },
+                );
+                self.serve_session(stream, &sess, 1);
+            }
+            Req::HelloResume(sid) => {
+                let sess = self.sessions.lock().get(&sid).cloned();
+                let Some(sess) = sess else {
+                    // Expired (or never existed): the spoke must degrade
+                    // to crashed-peer semantics.
+                    self.respond(&writer, req_id, &Resp::SessionExpired);
+                    return;
+                };
+                let epoch = {
+                    let mut st = sess.state.lock();
+                    let now = Instant::now();
+                    if let Some(until) = st.partitioned_until {
+                        if until > now {
+                            // The spoke is provably alive — keep its
+                            // lease warm while the partition embargo
+                            // holds, but refuse the attach.
+                            st.last_seen = now;
+                            let remaining_ms = (until - now).as_millis().min(u64::MAX as u128);
+                            drop(st);
+                            self.respond(
+                                &writer,
+                                req_id,
+                                &Resp::Partitioned {
+                                    remaining_ms: remaining_ms as u64,
+                                },
+                            );
+                            return;
+                        }
+                        st.partitioned_until = None;
+                    }
+                    // A stale connection still attached loses to the
+                    // newcomer; its reader observes the bumped epoch.
+                    if let Some(old) = st.stream.take() {
+                        let _ = old.shutdown(Shutdown::Both);
+                    }
+                    st.epoch += 1;
+                    st.writer = Some(Arc::clone(&writer));
+                    st.stream = stream.try_clone().ok();
+                    st.last_seen = now;
+                    st.epoch
+                };
+                self.session_respond(
+                    &sess,
+                    req_id,
+                    &Resp::Session {
+                        session: sid,
+                        lease_ms: self.lease_ms(),
+                    },
+                );
+                let bound = sess.state.lock().bound.clone();
+                for id in bound {
+                    self.inner
+                        .note_session_event(&SessionEvent::PeerResumed(id));
+                }
+                self.serve_session(stream, &sess, epoch);
+            }
+            first => self.serve_legacy(stream, writer, subscribed, Some((req_id, first))),
+        }
+    }
+
+    /// The session-mode reader loop: every request is answered through
+    /// the replay cache (idempotent by request id), blocking operations
+    /// go to workers that respond to whatever connection is attached
+    /// when they complete, and exit detaches — never finishes — the
+    /// session.
+    fn serve_session(self: &Arc<Self>, mut stream: TcpStream, sess: &Arc<Session<I>>, epoch: u64) {
         while let Ok(Some(frame)) = read_frame(&mut stream) {
             let mut r = Reader::new(&frame);
             let (Ok(req_id), Ok(req)) = (u64::decode(&mut r), Req::<I, M>::decode(&mut r)) else {
                 break; // protocol corruption: sever the connection
             };
+            {
+                let mut st = sess.state.lock();
+                st.last_seen = Instant::now();
+                if let Some(cached) = st.done.get(&req_id) {
+                    // Replayed and already applied: rewrite the recorded
+                    // answer verbatim; never apply twice.
+                    let payload = cached.clone();
+                    write_to_session(&mut st, &payload);
+                    continue;
+                }
+                if st.in_flight.contains(&req_id) {
+                    // Replayed while a worker still computes the answer;
+                    // it will respond to the current connection.
+                    continue;
+                }
+            }
             match req {
+                // A second handshake mid-session is protocol corruption.
+                Req::HelloNew | Req::HelloResume(_) => break,
+                Req::Heartbeat { acked } => {
+                    {
+                        let mut st = sess.state.lock();
+                        st.done.retain(|k, _| *k >= acked);
+                    }
+                    // Uncached: heartbeats are never replayed, and the
+                    // answer doubles as the hub → spoke lease renewal.
+                    self.session_write_uncached(
+                        sess,
+                        req_id,
+                        &Resp::Session {
+                            session: sess.id,
+                            lease_ms: self.lease_ms(),
+                        },
+                    );
+                }
+                Req::SubscribeFrom { seq } => {
+                    // Atomically: mark subscribed, replay the buffered
+                    // tail, ack — all under the state lock, so no event
+                    // broadcast can interleave and break gaplessness.
+                    let mut st = sess.state.lock();
+                    st.subscribed = true;
+                    let tail: Vec<Vec<u8>> = st
+                        .events
+                        .iter()
+                        .filter(|(s, _)| *s > seq)
+                        .map(|(_, p)| p.clone())
+                        .collect();
+                    for payload in &tail {
+                        write_to_session(&mut st, payload);
+                    }
+                    let mut payload = Vec::new();
+                    req_id.encode(&mut payload);
+                    Resp::<I, M>::Unit.encode(&mut payload);
+                    write_to_session(&mut st, &payload);
+                }
+                Req::Subscribe => {
+                    let mut st = sess.state.lock();
+                    st.subscribed = true;
+                    drop(st);
+                    self.session_respond(sess, req_id, &Resp::Unit);
+                }
+                Req::Bind(id) => {
+                    let mut st = sess.state.lock();
+                    if !st.bound.contains(&id) {
+                        st.bound.push(id);
+                    }
+                    drop(st);
+                    self.session_respond(sess, req_id, &Resp::Unit);
+                }
+                Req::Activate(id) => {
+                    {
+                        let mut st = sess.state.lock();
+                        if !st.bound.contains(&id) {
+                            st.bound.push(id.clone());
+                        }
+                    }
+                    self.inner.activate(id);
+                    self.session_respond(sess, req_id, &Resp::Unit);
+                }
+                Req::Finish(id) => {
+                    sess.state.lock().bound.retain(|b| b != &id);
+                    self.inner.finish(id);
+                    self.session_respond(sess, req_id, &Resp::Unit);
+                }
+                Req::Declare(id) => {
+                    self.inner.declare(id);
+                    self.session_respond(sess, req_id, &Resp::Unit);
+                }
+                Req::Seal => {
+                    self.inner.seal();
+                    self.session_respond(sess, req_id, &Resp::Unit);
+                }
+                Req::Abort => {
+                    self.inner.abort();
+                    self.session_respond(sess, req_id, &Resp::Unit);
+                }
+                Req::IsAborted => {
+                    let resp = Resp::Bool(self.inner.is_aborted());
+                    self.session_respond(sess, req_id, &resp);
+                }
+                Req::PeerStateOf(id) => {
+                    let resp = Resp::State(self.inner.peer_state(&id));
+                    self.session_respond(sess, req_id, &resp);
+                }
+                Req::Peers => {
+                    let resp = Resp::PeerList(self.inner.peers());
+                    self.session_respond(sess, req_id, &resp);
+                }
+                Req::Activity => {
+                    let resp = Resp::Counter(self.inner.activity());
+                    self.session_respond(sess, req_id, &resp);
+                }
+                Req::Reseed(seed) => {
+                    self.inner.reseed(seed);
+                    self.session_respond(sess, req_id, &Resp::Unit);
+                }
+                Req::EnsurePeer(id) => {
+                    let resp = match self.inner.ensure_peer(&id) {
+                        Ok(()) => Resp::Unit,
+                        Err(e) => Resp::ChanErr(e),
+                    };
+                    self.session_respond(sess, req_id, &resp);
+                }
+                Req::HasPendingFrom { to, from } => {
+                    let resp = Resp::Bool(self.inner.has_pending_from(&to, &from));
+                    self.session_respond(sess, req_id, &resp);
+                }
+                Req::SetFaultPlan(plan) => {
+                    self.inner.set_fault_plan(plan, clone_of::<M>);
+                    self.session_respond(sess, req_id, &Resp::Unit);
+                }
+                Req::ClearFaultPlan => {
+                    self.inner.clear_fault_plan();
+                    self.session_respond(sess, req_id, &Resp::Unit);
+                }
+                Req::GetFaultPlan => {
+                    let resp = Resp::Plan(self.inner.fault_plan());
+                    self.session_respond(sess, req_id, &resp);
+                }
+                Req::FaultLog => {
+                    let resp = Resp::Log(self.inner.fault_log());
+                    self.session_respond(sess, req_id, &resp);
+                }
+                Req::TakeFaultLog => {
+                    let resp = Resp::Log(self.inner.take_fault_log());
+                    self.session_respond(sess, req_id, &resp);
+                }
+                Req::TryRecv { me, from } => {
+                    let resp = match self.inner.try_recv(&me, &from) {
+                        Ok(msg) => Resp::Msg(msg),
+                        Err(e) => Resp::ChanErr(e),
+                    };
+                    self.session_respond(sess, req_id, &resp);
+                }
+                // Blocking operations get a worker thread each, so one
+                // parked rendezvous never blocks this reader loop. The
+                // worker answers whatever connection is attached when
+                // the rendezvous completes — possibly none, in which
+                // case the cached answer waits for the replay.
+                Req::Send {
+                    from,
+                    to,
+                    msg,
+                    timeout_ms,
+                } => {
+                    sess.state.lock().in_flight.insert(req_id);
+                    let shared = Arc::clone(self);
+                    let sess = Arc::clone(sess);
+                    thread::spawn(move || {
+                        let resp = match shared.inner.send(&from, &to, msg, deadline_of(timeout_ms))
+                        {
+                            Ok(()) => Resp::Unit,
+                            Err(e) => Resp::ChanErr(e),
+                        };
+                        shared.session_respond(&sess, req_id, &resp);
+                    });
+                }
+                Req::Select {
+                    me,
+                    arms,
+                    timeout_ms,
+                } => {
+                    sess.state.lock().in_flight.insert(req_id);
+                    let shared = Arc::clone(self);
+                    let sess = Arc::clone(sess);
+                    thread::spawn(move || {
+                        let resp = match shared.inner.select(&me, arms, deadline_of(timeout_ms)) {
+                            Ok(outcome) => Resp::Selected(outcome),
+                            Err(e) => Resp::ChanErr(e),
+                        };
+                        shared.session_respond(&sess, req_id, &resp);
+                    });
+                }
+            }
+        }
+        // Detach, not death: the session (and its bound performances)
+        // stays alive until the lease expires or a resume re-attaches.
+        let mut st = sess.state.lock();
+        if st.epoch == epoch {
+            st.writer = None;
+            st.stream = None;
+            st.last_seen = Instant::now();
+            let bound = st.bound.clone();
+            drop(st);
+            if !self.shutdown.load(Ordering::SeqCst) {
+                for id in bound {
+                    self.inner
+                        .note_session_event(&SessionEvent::PeerDisconnected(id));
+                }
+            }
+        }
+    }
+
+    /// The pre-session reader loop, byte-for-byte today's contract: the
+    /// connection's bound ids are finished the moment it drops.
+    fn serve_legacy(
+        self: &Arc<Self>,
+        mut stream: TcpStream,
+        writer: Arc<Mutex<TcpStream>>,
+        subscribed: Arc<AtomicBool>,
+        first: Option<(u64, Req<I, M>)>,
+    ) {
+        let mut bound: Vec<I> = Vec::new();
+        let mut pending = first;
+        // Clean close, truncated frame, reset: all peer loss — exit.
+        loop {
+            let (req_id, req) = match pending.take() {
+                Some(x) => x,
+                None => {
+                    let Ok(Some(frame)) = read_frame(&mut stream) else {
+                        break;
+                    };
+                    let mut r = Reader::new(&frame);
+                    let (Ok(req_id), Ok(req)) = (u64::decode(&mut r), Req::<I, M>::decode(&mut r))
+                    else {
+                        break; // protocol corruption: sever the connection
+                    };
+                    (req_id, req)
+                }
+            };
+            match req {
+                // A session handshake is only legal as the very first
+                // frame of a connection.
+                Req::HelloNew | Req::HelloResume(_) => break,
+                Req::Heartbeat { .. } => {
+                    // No session to renew: answer the null session so a
+                    // confused spoke can tell.
+                    self.respond(
+                        &writer,
+                        req_id,
+                        &Resp::Session {
+                            session: 0,
+                            lease_ms: 0,
+                        },
+                    );
+                }
+                Req::SubscribeFrom { .. } => {
+                    // No event buffer on a legacy connection: subscribe
+                    // from now.
+                    subscribed.store(true, Ordering::SeqCst);
+                    self.respond(&writer, req_id, &Resp::Unit);
+                }
                 Req::Bind(id) => {
                     if !bound.contains(&id) {
                         bound.push(id);
@@ -339,25 +839,150 @@ where
         let _ = write_frame(&mut *w, &payload);
     }
 
-    /// Pushes a fault event to every subscribed connection.
-    fn broadcast_event(&self, rec: &FaultRecord<I>) {
-        let targets: Vec<Arc<Mutex<TcpStream>>> = self
+    /// Records `resp` in the session's replay cache, then writes it to
+    /// the currently attached connection, if any. A severed session
+    /// simply accumulates answers for the eventual replay.
+    fn session_respond(&self, sess: &Session<I>, req_id: u64, resp: &Resp<I, M>) {
+        let mut payload = Vec::new();
+        req_id.encode(&mut payload);
+        resp.encode(&mut payload);
+        let mut st = sess.state.lock();
+        st.in_flight.remove(&req_id);
+        st.done.insert(req_id, payload.clone());
+        write_to_session(&mut st, &payload);
+    }
+
+    /// Writes a response without caching it (heartbeats: never
+    /// replayed, pruned nowhere).
+    fn session_write_uncached(&self, sess: &Session<I>, req_id: u64, resp: &Resp<I, M>) {
+        let mut payload = Vec::new();
+        req_id.encode(&mut payload);
+        resp.encode(&mut payload);
+        let mut st = sess.state.lock();
+        write_to_session(&mut st, &payload);
+    }
+
+    /// The inner transport's fault observer: streams the record to
+    /// every subscriber (legacy and sequenced), then *enacts*
+    /// connection faults by severing the session carrying the faulted
+    /// edge.
+    fn handle_fault(&self, rec: &FaultRecord<I>) {
+        // Legacy push: unsequenced, best-effort, to subscribed
+        // connections that never opened a session.
+        let legacy: Vec<Arc<Mutex<TcpStream>>> = self
             .conns
             .lock()
             .iter()
             .filter(|c| c.subscribed.load(Ordering::SeqCst))
             .map(|c| Arc::clone(&c.writer))
             .collect();
-        if targets.is_empty() {
-            return;
+        if !legacy.is_empty() {
+            let mut payload = Vec::new();
+            EVENT_REQ_ID.encode(&mut payload);
+            Event::Fault(rec.clone()).encode(&mut payload);
+            for writer in legacy {
+                let mut w = writer.lock();
+                let _ = write_frame(&mut *w, &payload);
+            }
         }
-        let mut payload = Vec::new();
-        EVENT_REQ_ID.encode(&mut payload);
-        Event::Fault(rec.clone()).encode(&mut payload);
-        for writer in targets {
-            let mut w = writer.lock();
-            let _ = write_frame(&mut *w, &payload);
+        // Sequenced push per subscribed session, buffered for gapless
+        // resume replay. Sequencing and writing happen under the state
+        // lock so concurrent faults cannot reorder on the wire.
+        let sessions: Vec<Arc<Session<I>>> = self.sessions.lock().values().cloned().collect();
+        for sess in &sessions {
+            let mut st = sess.state.lock();
+            if !st.subscribed {
+                continue;
+            }
+            st.next_event_seq += 1;
+            let seq = st.next_event_seq;
+            let mut payload = Vec::new();
+            EVENT_REQ_ID.encode(&mut payload);
+            Event::SeqFault {
+                seq,
+                record: rec.clone(),
+            }
+            .encode(&mut payload);
+            st.events.push_back((seq, payload.clone()));
+            if st.events.len() > EVENT_BUFFER_CAP {
+                st.events.pop_front();
+            }
+            write_to_session(&mut st, &payload);
         }
+        // Enact connection faults: tear down the connection of the
+        // session animating the faulted edge (sender side first; a
+        // hub-local sender severs the remote receiver instead). The
+        // *decision* already lives in the inner transport's log, so the
+        // chaos schedule replays identically on any transport — only
+        // the enactment is connection-specific.
+        if matches!(rec.kind, FaultKind::Sever | FaultKind::Partition) {
+            let target = sessions
+                .iter()
+                .find(|s| s.state.lock().bound.contains(&rec.from))
+                .or_else(|| {
+                    sessions
+                        .iter()
+                        .find(|s| s.state.lock().bound.contains(&rec.to))
+                });
+            if let Some(sess) = target {
+                let mut st = sess.state.lock();
+                if rec.kind == FaultKind::Partition {
+                    let dur = self
+                        .inner
+                        .fault_plan()
+                        .map(|p| p.partition_duration())
+                        .unwrap_or_default();
+                    st.partitioned_until = Some(Instant::now() + dur);
+                }
+                st.last_seen = Instant::now();
+                st.writer = None;
+                if let Some(stream) = st.stream.take() {
+                    let _ = stream.shutdown(Shutdown::Both);
+                }
+            }
+        }
+    }
+
+    /// Expires sessions whose lease lapsed while severed: their bound
+    /// ids are finished — the pre-session crashed-peer semantics —
+    /// and the expiry is surfaced to hub-local session observers.
+    fn sweep_expired(&self) {
+        let now = Instant::now();
+        let expired: Vec<Arc<Session<I>>> = {
+            let mut sessions = self.sessions.lock();
+            let ids: Vec<u64> = sessions
+                .iter()
+                .filter(|(_, s)| {
+                    let st = s.state.lock();
+                    st.writer.is_none()
+                        && st.partitioned_until.is_none_or(|t| t <= now)
+                        && now.duration_since(st.last_seen) > self.lease
+                })
+                .map(|(id, _)| *id)
+                .collect();
+            ids.iter().filter_map(|id| sessions.remove(id)).collect()
+        };
+        for sess in expired {
+            let bound = sess.state.lock().bound.clone();
+            for id in bound {
+                // Event before effect: anyone unblocked by the finish
+                // (Terminated errors surfacing) must already be able to
+                // observe the expiry on the session-event plane.
+                self.inner
+                    .note_session_event(&SessionEvent::LeaseExpired(id.clone()));
+                self.inner.finish(id);
+            }
+        }
+    }
+}
+
+/// Writes `payload` to the session's attached connection, if any. Write
+/// errors are ignored: the reader loop notices the dying connection and
+/// the replay cache already holds the answer.
+fn write_to_session<I>(st: &mut SessionState<I>, payload: &[u8]) {
+    if let Some(w) = st.writer.as_ref() {
+        let mut w = w.lock();
+        let _ = write_frame(&mut *w, payload);
     }
 }
 

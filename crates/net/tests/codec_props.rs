@@ -35,22 +35,29 @@ fn any_plan() -> impl Strategy<Value = FaultPlan> {
     (
         (any::<u64>(), any_prob(), any_prob(), 0u64..5_000),
         (any_prob(), any_prob(), 1u64..1_000),
+        (any_prob(), any_prob(), 0u64..5_000),
     )
-        .prop_map(|((seed, drop, delay_p, delay_us), (dup, crash, step))| {
-            FaultPlan::new(seed)
-                .with_drop(drop)
-                .with_delay(delay_p, Duration::from_micros(delay_us))
-                .with_duplicate(dup)
-                .with_crash(crash, step)
-        })
+        .prop_map(
+            |((seed, drop, delay_p, delay_us), (dup, crash, step), (sever, part, part_ms))| {
+                FaultPlan::new(seed)
+                    .with_drop(drop)
+                    .with_delay(delay_p, Duration::from_micros(delay_us))
+                    .with_duplicate(dup)
+                    .with_crash(crash, step)
+                    .with_sever(sever)
+                    .with_partition(part, Duration::from_millis(part_ms))
+            },
+        )
 }
 
 fn any_record() -> impl Strategy<Value = FaultRecord<String>> {
-    (0u8..4, any_string(), any_string(), any::<u64>()).prop_map(|(k, from, to, seq)| {
+    (0u8..6, any_string(), any_string(), any::<u64>()).prop_map(|(k, from, to, seq)| {
         let kind = match k {
             0 => FaultKind::Drop,
             1 => FaultKind::Delay,
             2 => FaultKind::Duplicate,
+            3 => FaultKind::Sever,
+            4 => FaultKind::Partition,
             _ => FaultKind::Crash,
         };
         FaultRecord {
@@ -65,7 +72,7 @@ fn any_record() -> impl Strategy<Value = FaultRecord<String>> {
 /// A request covering every payload-bearing shape of the protocol.
 fn any_req() -> impl Strategy<Value = Req<String, u64>> {
     (
-        0u8..8,
+        0u8..11,
         any_string(),
         any_string(),
         any::<u64>(),
@@ -94,13 +101,16 @@ fn any_req() -> impl Strategy<Value = Req<String, u64>> {
             },
             5 => Req::SetFaultPlan(plan),
             6 => Req::HasPendingFrom { to: a, from: b },
+            7 => Req::HelloResume(n),
+            8 => Req::Heartbeat { acked: n },
+            9 => Req::SubscribeFrom { seq: n },
             _ => Req::Reseed(n),
         })
 }
 
 /// A response covering every variant, including error payloads.
 fn any_resp() -> impl Strategy<Value = Resp<String, u64>> {
-    (0u8..8, any_string(), any::<u64>(), any_record()).prop_map(|(pick, s, n, rec)| match pick {
+    (0u8..11, any_string(), any::<u64>(), any_record()).prop_map(|(pick, s, n, rec)| match pick {
         0 => Resp::Unit,
         1 => Resp::Bool(n % 2 == 0),
         2 => Resp::Counter(n),
@@ -112,6 +122,12 @@ fn any_resp() -> impl Strategy<Value = Resp<String, u64>> {
         }),
         5 => Resp::ChanErr(ChanError::Terminated(s)),
         6 => Resp::Log(vec![rec]),
+        7 => Resp::Session {
+            session: n,
+            lease_ms: n.rotate_left(17),
+        },
+        8 => Resp::SessionExpired,
+        9 => Resp::Partitioned { remaining_ms: n },
         _ => Resp::ChanErr(ChanError::AllTerminated),
     })
 }

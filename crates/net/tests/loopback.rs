@@ -7,7 +7,7 @@ use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use script_chan::{Arm, ChanError, Outcome, ShardedTransport, Transport};
+use script_chan::{Arm, ChanError, FaultKind, FaultPlan, Outcome, ShardedTransport, Transport};
 use script_net::{SocketTransport, TransportServer};
 
 type Hub = TransportServer<String, u64>;
@@ -103,6 +103,108 @@ fn severed_connection_surfaces_as_terminated_peer() {
         )
         .expect_err("peer is gone");
     assert_eq!(err, ChanError::Terminated("c".to_string()));
+}
+
+/// Satellite regression for the unified retry path: a send the hub
+/// *applied* whose ack was lost to a chaos sever must complete exactly
+/// once — the reconnect replays the request, the hub answers it from
+/// its session cache, and the receiver never sees a duplicate.
+#[test]
+fn write_applied_but_ack_severed_is_not_double_applied() {
+    let server = hub();
+    let inner = server.inner();
+
+    for id in ["g", "h"] {
+        inner.declare(id.to_string());
+    }
+    let client = spoke(&server);
+    client.activate("g".to_string());
+    inner.activate("h".to_string());
+
+    // Every send decision severs the sending edge's connection. The
+    // rendezvous itself still completes hub-side; only the ack dies.
+    inner.set_fault_plan(FaultPlan::new(9).with_sever(1.0), |m| *m);
+
+    let sender = thread::spawn(move || {
+        client
+            .send(&"g".to_string(), &"h".to_string(), 5, far())
+            .expect("severed ack must not lose the applied send");
+        client
+    });
+
+    let got = inner
+        .select(
+            &"h".to_string(),
+            vec![Arm::recv_from("g".to_string())],
+            far(),
+        )
+        .expect("receive hub-side");
+    assert!(matches!(got, Outcome::Received { msg: 5, .. }));
+    let client = sender.join().expect("sender thread");
+
+    // Exactly once: the replayed request was answered from the cache,
+    // so no second message can ever materialize.
+    let err = inner
+        .select(
+            &"h".to_string(),
+            vec![Arm::recv_from("g".to_string())],
+            Some(Instant::now() + Duration::from_millis(300)),
+        )
+        .expect_err("no duplicate delivery");
+    assert_eq!(err, ChanError::Timeout);
+
+    let log = inner.fault_log();
+    assert!(
+        log.iter().any(|r| r.kind == FaultKind::Sever),
+        "the chaos layer recorded the sever: {log:?}"
+    );
+    assert!(!client.is_lost(), "the session resumed within its lease");
+}
+
+/// Satellite: shutdown paths are idempotent and panic-free — double
+/// close, close racing drop, double hub shutdown, shutdown racing drop.
+#[test]
+fn close_and_shutdown_are_idempotent() {
+    let server = hub();
+    let client = spoke(&server);
+    client.activate("i".to_string());
+
+    client.close();
+    client.close(); // second close: a no-op, not a panic
+    drop(client); // drop after close: also a no-op
+
+    server.shutdown();
+    server.shutdown(); // idempotent
+    drop(server); // drop after shutdown: idempotent
+}
+
+/// Satellite: closing a client *while* it is mid-reconnect must not
+/// panic or hang — the dial loop observes the close and gives up, and
+/// the queued operation fails with peer-loss semantics.
+#[test]
+fn close_during_reconnect_is_clean() {
+    let server = hub();
+    let client = Arc::new(spoke(&server));
+    client.activate("j".to_string());
+
+    // Kill the hub so the next operation enters the redial loop.
+    server.shutdown();
+    drop(server);
+
+    let sender = thread::spawn({
+        let client = Arc::clone(&client);
+        move || {
+            client
+                .send(&"j".to_string(), &"k".to_string(), 1, far())
+                .expect_err("hub is gone")
+        }
+    });
+    // Let the send reach the dial loop, then close underneath it.
+    thread::sleep(Duration::from_millis(50));
+    client.close();
+    let err = sender.join().expect("no panic while closing mid-dial");
+    assert_eq!(err, ChanError::Terminated("k".to_string()));
+    assert!(client.is_lost());
 }
 
 #[test]

@@ -4,13 +4,14 @@
 //! cargo test --release --test soak -- --ignored
 //! ```
 
-use std::sync::Arc;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use script::chan::{FaultPlan, Network, ShardedTransport, Transport};
 use script::core::{
-    Initiation, NetworkFactory, PerformanceNet, RoleId, Script, ScriptError, ScriptEvent,
-    Termination, WatchdogPolicy,
+    Initiation, NetworkFactory, Observer, PerformanceNet, RoleId, Script, ScriptError, ScriptEvent,
+    TelemetryEvent, TelemetryPayload, Termination, WatchdogPolicy,
 };
 use script::lib::broadcast::{self, Order};
 use script::lockmgr::script::Cluster;
@@ -125,6 +126,135 @@ fn adaptive_watchdog_regime_shift() {
     );
     assert_eq!(inst.completed_performances(), 202);
     drop(server);
+}
+
+/// A telemetry collector for the reconnect-storm tests: records every
+/// event so the caller can audit per-performance sequence gaplessness
+/// and session-lifecycle pairing after the storm.
+struct Collect(Mutex<Vec<TelemetryEvent>>);
+
+impl Observer for Collect {
+    fn on_event(&self, event: TelemetryEvent) {
+        self.0.lock().unwrap().push(event);
+    }
+}
+
+/// The reconnect storm: `performances` sequential ping/pong
+/// performances, every one animated over a TCP spoke against a hub
+/// whose chaos plan severs connections and imposes short partitions.
+/// Every sever must heal by session resumption inside the lease —
+/// zero lost or duplicated rendezvous (the role bodies verify every
+/// echoed value), zero telemetry gaps (per-performance `seq` audited
+/// to be contiguous from 0), zero lease expiries, and every
+/// disconnect paired with a resume.
+fn reconnect_storm(performances: u64) {
+    let mut b = Script::<u64>::builder("reconnect_storm");
+    let ping = b.role("ping", |ctx, base: u64| {
+        for k in 0..3u64 {
+            ctx.send(&RoleId::new("pong"), base + k)?;
+            let v = ctx.recv_from(&RoleId::new("pong"))?;
+            assert_eq!(v, base + k + 1, "lost or duplicated rendezvous");
+        }
+        Ok(())
+    });
+    let pong = b.role("pong", |ctx, base: u64| {
+        for k in 0..3u64 {
+            let v = ctx.recv_from(&RoleId::new("ping"))?;
+            assert_eq!(v, base + k, "lost or duplicated rendezvous");
+            ctx.send(&RoleId::new("ping"), v + 1)?;
+        }
+        Ok(())
+    });
+    b.initiation(Initiation::Delayed)
+        .termination(Termination::Delayed);
+    let script = b.build().unwrap();
+    let inst = script.instance();
+    inst.set_watchdog_policy(WatchdogPolicy::adaptive());
+    let collect = Arc::new(Collect(Mutex::new(Vec::new())));
+    inst.set_observer(Arc::clone(&collect) as Arc<dyn Observer>);
+
+    let inner: Arc<dyn Transport<RoleId, u64>> = Arc::new(ShardedTransport::new(false, None));
+    let server = TransportServer::bind("127.0.0.1:0", Arc::clone(&inner)).expect("bind hub");
+    let addr = server.local_addr();
+    // Every send decision has a 35% chance of severing the sending
+    // session's connection and a 15% chance of a 40 ms partition that
+    // stonewalls the reconnect — both well inside the 1 s lease.
+    inner.set_fault_plan(
+        FaultPlan::new(0x5708)
+            .with_sever(0.35)
+            .with_partition(0.15, Duration::from_millis(40)),
+        |m| *m,
+    );
+    let factory: Arc<NetworkFactory<u64>> = Arc::new(move |_ctx: &PerformanceNet| {
+        let spoke: Arc<dyn Transport<RoleId, u64>> =
+            Arc::new(SocketTransport::<RoleId, u64>::connect(addr).expect("spoke connect"));
+        Network::with_transport(spoke)
+    });
+    inst.set_network_factory(factory);
+
+    for seq in 0..performances {
+        let base = seq * 100;
+        let (a, b) = std::thread::scope(|s| {
+            let i = inst.clone();
+            let ping = ping.clone();
+            let h = s.spawn(move || i.enroll(&ping, base));
+            let pong_result = inst.enroll(&pong, base);
+            (h.join().unwrap(), pong_result)
+        });
+        a.unwrap_or_else(|e| panic!("performance {seq} lost (ping): {e:?}"));
+        b.unwrap_or_else(|e| panic!("performance {seq} lost (pong): {e:?}"));
+    }
+    assert_eq!(inst.completed_performances(), performances);
+
+    let events = collect.0.lock().unwrap();
+    let mut disconnects = 0u64;
+    let mut resumes = 0u64;
+    let mut streams: BTreeMap<_, Vec<u64>> = BTreeMap::new();
+    for e in events.iter() {
+        streams.entry(e.performance).or_default().push(e.seq);
+        match &e.payload {
+            TelemetryPayload::PeerDisconnected { .. } => disconnects += 1,
+            TelemetryPayload::PeerResumed { .. } => resumes += 1,
+            TelemetryPayload::LeaseExpired { peer } => {
+                panic!("lease expired for {peer:?} — a resume was lost")
+            }
+            TelemetryPayload::Script(ScriptEvent::PerformanceStalled { .. }) => {
+                panic!("spurious stall during the storm")
+            }
+            _ => {}
+        }
+    }
+    // Zero telemetry gaps: within every stream (per performance, plus
+    // the instance-scoped stream) `seq` is contiguous from 0.
+    for (perf, seqs) in &streams {
+        for (i, s) in seqs.iter().enumerate() {
+            assert_eq!(*s, i as u64, "telemetry gap in stream {perf:?}");
+        }
+    }
+    assert!(
+        disconnects > 0,
+        "the storm never severed a connection — the plan is inert"
+    );
+    assert_eq!(
+        disconnects, resumes,
+        "every disconnect must pair with exactly one resume"
+    );
+    drop(server);
+}
+
+/// CI-sized storm: a handful of performances, same invariants.
+#[test]
+fn reconnect_storm_smoke() {
+    reconnect_storm(10);
+}
+
+/// The full storm from the robustness acceptance criteria: 100
+/// performances under sever+partition chaos, zero lost or duplicated
+/// rendezvous, zero telemetry gaps.
+#[test]
+#[ignore = "soak test: run explicitly"]
+fn reconnect_storm_soak() {
+    reconnect_storm(100);
 }
 
 #[test]

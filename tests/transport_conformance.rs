@@ -20,11 +20,15 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use script::chan::conformance::{self, ConformanceTransport};
-use script::chan::{Arm, Outcome, PeerState, ShardedTransport, Transport};
+use script::chan::{Arm, ChanError, Outcome, PeerState, SessionEvent, ShardedTransport, Transport};
 use script::net::{SocketTransport, TransportServer};
 
 /// Environment variable carrying the hub address to the child process.
 const CHILD_ADDR_ENV: &str = "SCRIPT_NET_CHILD_ADDR";
+
+/// Environment variable carrying the hub address to the child that dies
+/// without a goodbye (the lease-expiry end-to-end test).
+const MORTAL_ADDR_ENV: &str = "SCRIPT_NET_MORTAL_ADDR";
 
 fn sharded(seed: u64) -> ConformanceTransport {
     Arc::new(ShardedTransport::new(false, Some(seed)))
@@ -106,6 +110,18 @@ fn latency_samples_report_equivalently_on_both_transports() {
 #[test]
 fn event_streams_merge_identically_on_both_transports() {
     conformance::check_event_stream_parity(&sharded, &socket);
+}
+
+/// The partition-tolerance half of chaos parity: one seeded schedule
+/// that severs a connection mid-performance, one resumed session — the
+/// fault-record subsequence of the merged event stream (and the set of
+/// completed rendezvous) must be identical whether the performance is
+/// in-process (where a sever is recorded but there is no connection to
+/// cut) or crosses a socket (where the hub enacts it and the spoke
+/// reconnects within its lease).
+#[test]
+fn sever_and_resume_preserve_stream_parity_across_transports() {
+    conformance::check_sever_stream_parity(&sharded, &socket);
 }
 
 /// Child half of the multi-process test. Under a normal `cargo test`
@@ -197,4 +213,100 @@ fn performance_spans_two_os_processes() {
         );
         std::thread::yield_now();
     }
+}
+
+/// Child half of the lease-expiry test: joins over TCP, completes one
+/// rendezvous, then exits the process *without* finishing or closing —
+/// exactly what a crashed participant looks like from the hub.
+#[test]
+fn child_mortal_process() {
+    let Ok(addr) = std::env::var(MORTAL_ADDR_ENV) else {
+        return;
+    };
+    let t = SocketTransport::<String, u64>::connect(addr.as_str()).expect("mortal connect");
+    t.activate("mortal".to_string());
+    let far = Some(Instant::now() + Duration::from_secs(30));
+    t.send(&"mortal".to_string(), &"parent".to_string(), 7, far)
+        .expect("mortal send");
+    // Die without a goodbye: no finish, no close, no session teardown.
+    std::process::exit(0);
+}
+
+/// Two OS processes, one crash: a child joins over TCP, rendezvouses
+/// once, then dies without finishing. The hub must hold the session
+/// open for exactly one lease (no premature degradation), then expire
+/// it — surfacing `Terminated` to the blocked hub-side receiver and
+/// emitting the `PeerDisconnected` → `LeaseExpired` lifecycle events.
+#[test]
+fn lease_expiry_degrades_to_crashed_peer_across_os_processes() {
+    let lease = Duration::from_millis(400);
+    let inner: Arc<dyn Transport<String, u64>> = Arc::new(ShardedTransport::new(false, Some(13)));
+    let server = TransportServer::bind_with_lease("127.0.0.1:0", Arc::clone(&inner), lease)
+        .expect("bind hub");
+    for id in ["parent", "mortal"] {
+        inner.declare(id.to_string());
+    }
+    inner.activate("parent".to_string());
+
+    let events: Arc<Mutex<Vec<SessionEvent<String>>>> = Arc::new(Mutex::new(Vec::new()));
+    inner.set_session_observer({
+        let events = Arc::clone(&events);
+        Arc::new(move |e: &SessionEvent<String>| events.lock().unwrap().push(e.clone()))
+    });
+
+    let exe = std::env::current_exe().expect("test binary path");
+    let mut child = Command::new(exe)
+        .args(["child_mortal_process", "--exact", "--nocapture"])
+        .env(MORTAL_ADDR_ENV, server.local_addr().to_string())
+        .stdout(Stdio::null())
+        .spawn()
+        .expect("spawn child process");
+
+    let far = Some(Instant::now() + Duration::from_secs(30));
+    let got = inner
+        .select(
+            &"parent".to_string(),
+            vec![Arm::recv_from("mortal".to_string())],
+            far,
+        )
+        .expect("parent receive");
+    assert!(matches!(got, Outcome::Received { msg: 7, .. }));
+    let seen = Instant::now();
+
+    let status = child.wait().expect("child wait");
+    assert!(status.success(), "child process failed: {status:?}");
+
+    // The child is dead but its lease is not: the blocked receive must
+    // outwait the lease window, then degrade to crashed-peer semantics.
+    let err = inner
+        .select(
+            &"parent".to_string(),
+            vec![Arm::recv_from("mortal".to_string())],
+            Some(Instant::now() + Duration::from_secs(10)),
+        )
+        .expect_err("mortal never resumes");
+    assert_eq!(err, ChanError::Terminated("mortal".to_string()));
+    let elapsed = seen.elapsed();
+    assert!(
+        elapsed >= lease / 2,
+        "termination surfaced before the lease could have expired: {elapsed:?}"
+    );
+    assert_eq!(
+        inner.peer_state(&"mortal".to_string()),
+        Some(PeerState::Done)
+    );
+
+    let log = events.lock().unwrap();
+    assert!(
+        log.contains(&SessionEvent::PeerDisconnected("mortal".to_string())),
+        "missing PeerDisconnected: {log:?}"
+    );
+    assert!(
+        log.contains(&SessionEvent::LeaseExpired("mortal".to_string())),
+        "missing LeaseExpired: {log:?}"
+    );
+    assert!(
+        !log.contains(&SessionEvent::PeerResumed("mortal".to_string())),
+        "a dead child cannot resume: {log:?}"
+    );
 }
