@@ -795,6 +795,64 @@ pub fn check_event_stream_parity(one: TransportFactory<'_>, two: TransportFactor
     );
 }
 
+/// Pipelining: one transport instance carries many concurrent blocking
+/// operations at once — several sender roles each with a deep stream of
+/// sends in flight, plus interleaved selections — and every rendezvous
+/// completes exactly once. On a socket transport this is the
+/// many-outstanding-requests-per-connection path: correlation ids must
+/// route out-of-order hub answers back to the right callers.
+pub fn check_pipelined_calls(factory: TransportFactory<'_>) {
+    const SENDERS: u64 = 8;
+    const PER_SENDER: u64 = 24;
+    let t = factory(31);
+    t.declare(s("sink"));
+    t.activate(s("sink"));
+    for i in 0..SENDERS {
+        t.declare(s(&format!("p{i}")));
+        t.activate(s(&format!("p{i}")));
+    }
+    thread::scope(|scope| {
+        for i in 0..SENDERS {
+            let t = Arc::clone(&t);
+            scope.spawn(move || {
+                let me = s(&format!("p{i}"));
+                for k in 0..PER_SENDER {
+                    // Alternate plain sends and send-arm selections so
+                    // both blocking entry points pipeline.
+                    if k % 2 == 0 {
+                        t.send(&me, &s("sink"), i * PER_SENDER + k, far()).unwrap();
+                    } else {
+                        let got = t
+                            .select(&me, vec![Arm::send(s("sink"), i * PER_SENDER + k)], far())
+                            .unwrap();
+                        assert!(matches!(got, Outcome::Sent { .. }));
+                    }
+                }
+            });
+        }
+        let t = Arc::clone(&t);
+        scope.spawn(move || {
+            let mut seen: HashMap<String, Vec<u64>> = HashMap::new();
+            for _ in 0..SENDERS * PER_SENDER {
+                match t.select(&s("sink"), vec![Arm::recv_any()], far()).unwrap() {
+                    Outcome::Received { from, msg, .. } => {
+                        seen.entry(from).or_default().push(msg);
+                    }
+                    other => panic!("pipelined sink: unexpected outcome {other:?}"),
+                }
+            }
+            for i in 0..SENDERS {
+                let vals = &seen[&s(&format!("p{i}"))];
+                let want: Vec<u64> = (0..PER_SENDER).map(|k| i * PER_SENDER + k).collect();
+                assert_eq!(
+                    vals, &want,
+                    "pipelined sends from p{i} must arrive exactly once, in order"
+                );
+            }
+        });
+    });
+}
+
 /// Runs every check in the suite against the factory.
 pub fn run_all(factory: TransportFactory<'_>) {
     check_lifecycle(factory);
@@ -814,6 +872,7 @@ pub fn run_all(factory: TransportFactory<'_>) {
     check_session_resumption(factory);
     check_lease_expiry(factory);
     check_sever_stream_parity(factory, factory);
+    check_pipelined_calls(factory);
 }
 
 #[cfg(test)]

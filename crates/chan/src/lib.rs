@@ -59,6 +59,6 @@ pub use fault::{FaultKind, FaultPlan, FaultRecord};
 pub use network::{Network, PeerState, Port};
 pub use select::{Arm, Outcome, Source};
 pub use transport::{
-    FaultObserver, LatencyHooks, LatencyObserver, LatencyOp, LatencySample, SessionEvent,
-    SessionObserver, ShardedTransport, Transport,
+    FaultObserver, LatencyHooks, LatencyObserver, LatencyOp, LatencySample, SelectDone, SendDone,
+    SessionEvent, SessionObserver, ShardedTransport, Transport,
 };

@@ -34,12 +34,13 @@
 //! corresponding hot path is gated by a single relaxed boolean load,
 //! checked once per operation instead of consulting the plan per hop.
 
+use std::cmp::Reverse;
 use std::collections::hash_map::DefaultHasher;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
-use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard, Weak};
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
@@ -83,6 +84,16 @@ pub enum SessionEvent<I> {
 
 /// Callback invoked on every session-lifecycle transition.
 pub type SessionObserver<I> = Arc<dyn Fn(&SessionEvent<I>) + Send + Sync>;
+
+/// Completion callback for [`Transport::submit_send`]: invoked exactly
+/// once with the result the blocking [`Transport::send`] would have
+/// returned.
+pub type SendDone<I> = Box<dyn FnOnce(Result<(), ChanError<I>>) + Send>;
+
+/// Completion callback for [`Transport::submit_select`]: invoked
+/// exactly once with the result the blocking [`Transport::select`]
+/// would have returned.
+pub type SelectDone<I, M> = Box<dyn FnOnce(Result<Outcome<I, M>, ChanError<I>>) + Send>;
 
 /// Which blocking operation a [`LatencySample`] measured.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -242,6 +253,42 @@ pub trait Transport<I, M>: Send + Sync {
         arms: Vec<Arm<I, M>>,
         deadline: Option<Instant>,
     ) -> Result<Outcome<I, M>, ChanError<I>>;
+    /// Submits a send for *asynchronous* completion: the implementation
+    /// calls `done` exactly once — possibly before returning — with the
+    /// result the blocking [`Transport::send`] would have produced, and
+    /// the calling thread never blocks on the rendezvous. An
+    /// event-driven hub multiplexes thousands of in-flight sends onto
+    /// one scheduler this way. Backends without a native nonblocking
+    /// core hand the message and callback straight back (the default),
+    /// telling the caller to fall back to a thread driving the blocking
+    /// path.
+    fn submit_send(
+        self: Arc<Self>,
+        from: &I,
+        to: &I,
+        msg: M,
+        deadline: Option<Instant>,
+        done: SendDone<I>,
+    ) -> Result<(), (M, SendDone<I>)> {
+        let _ = (from, to, deadline);
+        Err((msg, done))
+    }
+    /// Submits a selection for *asynchronous* completion, with the same
+    /// contract as [`Transport::submit_send`]: `done` fires exactly
+    /// once with the blocking [`Transport::select`]'s result, and the
+    /// unsupported default hands the arms and callback back to the
+    /// caller.
+    #[allow(clippy::type_complexity)]
+    fn submit_select(
+        self: Arc<Self>,
+        me: &I,
+        arms: Vec<Arm<I, M>>,
+        deadline: Option<Instant>,
+        done: SelectDone<I, M>,
+    ) -> Result<(), (Vec<Arm<I, M>>, SelectDone<I, M>)> {
+        let _ = (me, deadline);
+        Err((arms, done))
+    }
 }
 
 const LIFE_EXPECTED: u8 = 0;
@@ -300,6 +347,27 @@ struct EpState<I, M> {
     chaos_in_seqs: HashMap<I, u64>,
     /// My operation counter driving crash-at-step-*k*.
     chaos_steps: u64,
+    /// Asynchronous operations parked on this endpoint: single-shot
+    /// `(op token, scheduler)` registrations drained — each token pushed
+    /// onto its scheduler's ready queue — whenever the eventcount bumps.
+    op_waiters: Vec<(u64, Arc<SchedShared<I, M>>)>,
+}
+
+impl<I, M> EpState<I, M> {
+    /// Bumps the eventcount and hands every parked asynchronous
+    /// operation to its scheduler. Every mutation a sleeper on the
+    /// endpoint's condvar could care about must go through here, so the
+    /// poll-based state machines observe exactly the wakeups the
+    /// blocking loops do. Lock order is endpoint → scheduler queue; the
+    /// scheduler never takes an endpoint lock while holding its queue.
+    fn bump_signal(&mut self) {
+        self.signal += 1;
+        for (token, sched) in self.op_waiters.drain(..) {
+            let mut q = sched.queue.lock();
+            q.ready.push_back(token);
+            sched.cond.notify_one();
+        }
+    }
 }
 
 /// Chaos configuration, shared read-only once attached.
@@ -405,8 +473,25 @@ pub struct ShardedTransport<I, M> {
     /// Per-read synthetic progress ticks handed out while a lease is
     /// pending.
     lease_ticks: AtomicU64,
+    /// The lazily-started scheduler driving asynchronous operations
+    /// ([`Transport::submit_send`]/[`Transport::submit_select`]): one
+    /// thread for the whole transport, regardless of how many ops are
+    /// in flight.
+    sched: Mutex<Option<Arc<SchedShared<I, M>>>>,
     faults: FaultHooks<I, M>,
     latency: LatencyHooks,
+}
+
+impl<I, M> Drop for ShardedTransport<I, M> {
+    fn drop(&mut self) {
+        // Release the scheduler thread (it holds only a weak reference
+        // back to the transport, so this is the last liveness signal it
+        // gets).
+        if let Some(sched) = self.sched.lock().take() {
+            sched.queue.lock().shutdown = true;
+            sched.cond.notify_all();
+        }
+    }
 }
 
 impl<I, M> fmt::Debug for ShardedTransport<I, M> {
@@ -449,6 +534,7 @@ where
             next_token: AtomicU64::new(0),
             suspended: Mutex::new(Vec::new()),
             lease_ticks: AtomicU64::new(0),
+            sched: Mutex::new(None),
             faults: FaultHooks {
                 msg_faults: AtomicBool::new(false),
                 crashes: AtomicBool::new(false),
@@ -477,6 +563,7 @@ where
                 rng,
                 chaos_in_seqs: HashMap::new(),
                 chaos_steps: 0,
+                op_waiters: Vec::new(),
             }),
             cond: Condvar::new(),
         })
@@ -537,7 +624,7 @@ where
     fn broadcast(&self) {
         let eps: Vec<Arc<Endpoint<I, M>>> = self.registry().values().cloned().collect();
         for ep in eps {
-            ep.state.lock().signal += 1;
+            ep.state.lock().bump_signal();
             ep.cond.notify_all();
         }
     }
@@ -547,7 +634,7 @@ where
     /// `ep`'s lock.
     fn wake_watchers(watchers: Vec<(u64, Arc<Endpoint<I, M>>)>) {
         for (_, w) in watchers {
-            w.state.lock().signal += 1;
+            w.state.lock().bump_signal();
             w.cond.notify_all();
         }
     }
@@ -608,7 +695,7 @@ where
     fn take_from(&self, st: &mut EpState<I, M>, from: &I) -> Option<M> {
         let msg = st.inbox.remove(from)?;
         *st.acks.entry(from.clone()).or_insert(0) += 1;
-        st.signal += 1;
+        st.bump_signal();
         self.activity.fetch_add(1, Ordering::Relaxed);
         Some(msg)
     }
@@ -863,6 +950,29 @@ where
         }
         result
     }
+
+    fn submit_send(
+        self: Arc<Self>,
+        from: &I,
+        to: &I,
+        msg: M,
+        deadline: Option<Instant>,
+        done: SendDone<I>,
+    ) -> Result<(), (M, SendDone<I>)> {
+        self.submit_send_native(from, to, msg, deadline, done);
+        Ok(())
+    }
+
+    fn submit_select(
+        self: Arc<Self>,
+        me: &I,
+        arms: Vec<Arm<I, M>>,
+        deadline: Option<Instant>,
+        done: SelectDone<I, M>,
+    ) -> Result<(), (Vec<Arm<I, M>>, SelectDone<I, M>)> {
+        self.submit_select_native(me, arms, deadline, done);
+        Ok(())
+    }
 }
 
 impl<I, M> ShardedTransport<I, M>
@@ -958,7 +1068,7 @@ where
             }
         }
         st.inbox.insert(from.clone(), msg);
-        st.signal += 1;
+        st.bump_signal();
         self.activity.fetch_add(1, Ordering::Relaxed);
         let target = st.acks.get(from).copied().unwrap_or(0) + 1;
 
@@ -990,7 +1100,7 @@ where
         if let Some(copy) = dup_info {
             if !st.inbox.contains_key(from) && to_ep.life.load(Ordering::SeqCst) == LIFE_ACTIVE {
                 st.inbox.insert(from.clone(), copy);
-                st.signal += 1;
+                st.bump_signal();
                 self.activity.fetch_add(1, Ordering::Relaxed);
                 drop(st);
                 to_ep.cond.notify_all();
@@ -1038,12 +1148,35 @@ where
         arms: Vec<Arm<I, M>>,
         deadline: Option<Instant>,
     ) -> Result<Outcome<I, M>, ChanError<I>> {
+        let (me_ep, mut reprs) = self.prepare_select(me, arms)?;
+        let token = self.next_token.fetch_add(1, Ordering::Relaxed);
+        let watched = Self::register_watchers(token, &me_ep, &reprs);
+        let result = self.select_loop(me, &me_ep, &mut reprs, deadline);
+        Self::deregister_watchers(token, watched);
+        result
+    }
+
+    /// Validates and resolves a selection's arms: the internal
+    /// representation makes send messages take-able and resolves every
+    /// named peer's endpoint once up front. Also counts the selection
+    /// toward crash-at-step-*k*. Shared by the blocking and
+    /// asynchronous paths.
+    #[allow(clippy::type_complexity)]
+    fn prepare_select(
+        &self,
+        me: &I,
+        arms: Vec<Arm<I, M>>,
+    ) -> Result<
+        (
+            Arc<Endpoint<I, M>>,
+            Vec<(SelRepr<I, M>, Option<Arc<Endpoint<I, M>>>)>,
+        ),
+        ChanError<I>,
+    > {
         if arms.is_empty() {
             return Err(ChanError::EmptySelect);
         }
         let me_ep = self.ensure(me)?;
-        // Internal representation: send messages become take-able, and
-        // every named peer's endpoint is resolved once up front.
         type ArmRepr<I, M> = (SelRepr<I, M>, Option<Arc<Endpoint<I, M>>>);
         let mut reprs: Vec<ArmRepr<I, M>> = Vec::with_capacity(arms.len());
         for arm in arms {
@@ -1074,13 +1207,21 @@ where
         if self.faults.crashes.load(Ordering::Relaxed) {
             self.chaos_step(me, &me_ep)?;
         }
+        Ok((me_ep, reprs))
+    }
 
-        // Register as a send watcher on every send-arm target, so their
-        // offer publications and slot releases wake us. Deregistered on
-        // every exit path below.
-        let token = self.next_token.fetch_add(1, Ordering::Relaxed);
+    /// Registers `me` as a send watcher on every send-arm target, so
+    /// their offer publications and slot releases wake us. Every
+    /// selection exit path must pass the returned endpoints to
+    /// [`Self::deregister_watchers`].
+    #[allow(clippy::type_complexity)]
+    fn register_watchers(
+        token: u64,
+        me_ep: &Arc<Endpoint<I, M>>,
+        reprs: &[(SelRepr<I, M>, Option<Arc<Endpoint<I, M>>>)],
+    ) -> Vec<Arc<Endpoint<I, M>>> {
         let mut watched: Vec<Arc<Endpoint<I, M>>> = Vec::new();
-        for (repr, ep) in &reprs {
+        for (repr, ep) in reprs {
             if let (SelRepr::Send { .. }, Some(t_ep)) = (repr, ep) {
                 if !watched.iter().any(|w| Arc::ptr_eq(w, t_ep)) {
                     t_ep.state.lock().watchers.push((token, me_ep.clone()));
@@ -1088,15 +1229,21 @@ where
                 }
             }
         }
-        let result = self.select_loop(me, &me_ep, &mut reprs, deadline);
+        watched
+    }
+
+    fn deregister_watchers(token: u64, watched: Vec<Arc<Endpoint<I, M>>>) {
         for t_ep in watched {
             t_ep.state.lock().watchers.retain(|(t, _)| *t != token);
         }
-        result
     }
 
     /// The selection loop body (watcher registration handled by the
     /// caller). `reprs` pairs each arm with its resolved endpoint.
+    ///
+    /// The loop shares its machinery — [`Self::take_claim`],
+    /// [`Self::scan_arms`], [`Self::publish_offers`] — with the
+    /// poll-based asynchronous selection, so the two paths cannot drift.
     #[allow(clippy::type_complexity)]
     fn select_loop(
         &self,
@@ -1106,42 +1253,115 @@ where
         deadline: Option<Instant>,
     ) -> Result<Outcome<I, M>, ChanError<I>> {
         loop {
-            // Loop head, under my own lock: honor a claim left over from
-            // a previous sleep (priority even over aborts — the claiming
-            // sender already returned success), withdraw any published
-            // offers so no claim can land mid-scan, and snapshot the
-            // eventcount.
-            let sig0;
-            {
-                let mut st = me_ep.state.lock();
-                sig0 = st.signal;
-                if let Some(entry) = st.wait.take() {
-                    if let Some(from) = entry.resolved {
-                        let msg = self
-                            .take_from(&mut st, &from)
-                            .expect("claim implies a deposited message");
-                        let watchers = st.watchers.clone();
-                        drop(st);
-                        me_ep.cond.notify_all();
-                        Self::wake_watchers(watchers);
-                        let arm = reprs
-                            .iter()
-                            .position(|(r, _)| match r {
-                                SelRepr::Recv(Source::Any) => true,
-                                SelRepr::Recv(Source::Of(p)) => *p == from,
-                                _ => false,
-                            })
-                            .expect("claim matched an offered receive arm");
-                        return Ok(Outcome::Received { arm, from, msg });
-                    }
-                }
+            let (sig0, claimed) = self.take_claim(me_ep, reprs);
+            if let Some(outcome) = claimed {
+                return Ok(outcome);
             }
             if self.aborted.load(Ordering::SeqCst) {
                 return Err(ChanError::Aborted);
             }
+            if let Some(outcome) = self.scan_arms(me, me_ep, reprs)? {
+                return Ok(outcome);
+            }
+            self.publish_offers(me_ep, reprs);
+            // Sleep — unless the eventcount moved since the scan
+            // started, in which case something changed mid-scan and we
+            // rescan.
+            let mut st = me_ep.state.lock();
+            if st.signal != sig0 {
+                continue;
+            }
+            if Self::wait_on(me_ep, &mut st, deadline) {
+                // Deadline expired — unless a claim raced in, in which
+                // case the loop head will honor it.
+                let resolved = st
+                    .wait
+                    .as_ref()
+                    .map(|w| w.resolved.is_some())
+                    .unwrap_or(false);
+                if !resolved {
+                    st.wait = None;
+                    return Err(ChanError::Timeout);
+                }
+            }
+        }
+    }
 
-            // Scan arms in random order for a ready one, locking only
-            // the endpoint each arm concerns (never two at once).
+    /// Loop head of a selection, under `me`'s own lock: snapshots the
+    /// eventcount, withdraws any published offers so no claim can land
+    /// mid-scan, and honors a claim left by a sender while we slept
+    /// (priority even over aborts — the claiming sender already
+    /// returned success).
+    #[allow(clippy::type_complexity)]
+    fn take_claim(
+        &self,
+        me_ep: &Arc<Endpoint<I, M>>,
+        reprs: &[(SelRepr<I, M>, Option<Arc<Endpoint<I, M>>>)],
+    ) -> (u64, Option<Outcome<I, M>>) {
+        let mut st = me_ep.state.lock();
+        let sig0 = st.signal;
+        if let Some(entry) = st.wait.take() {
+            if let Some(from) = entry.resolved {
+                let msg = self
+                    .take_from(&mut st, &from)
+                    .expect("claim implies a deposited message");
+                let watchers = st.watchers.clone();
+                drop(st);
+                me_ep.cond.notify_all();
+                Self::wake_watchers(watchers);
+                let arm = reprs
+                    .iter()
+                    .position(|(r, _)| match r {
+                        SelRepr::Recv(Source::Any) => true,
+                        SelRepr::Recv(Source::Of(p)) => *p == from,
+                        _ => false,
+                    })
+                    .expect("claim matched an offered receive arm");
+                return (sig0, Some(Outcome::Received { arm, from, msg }));
+            }
+        }
+        (sig0, None)
+    }
+
+    /// Publishes `me`'s receive offers so send arms elsewhere can claim
+    /// us, then wakes the selectors watching us.
+    #[allow(clippy::type_complexity)]
+    fn publish_offers(
+        &self,
+        me_ep: &Arc<Endpoint<I, M>>,
+        reprs: &[(SelRepr<I, M>, Option<Arc<Endpoint<I, M>>>)],
+    ) {
+        let offers: Vec<Source<I>> = reprs
+            .iter()
+            .filter_map(|(r, _)| match r {
+                SelRepr::Recv(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        let watchers;
+        {
+            let mut st = me_ep.state.lock();
+            st.wait = Some(WaitEntry {
+                offers,
+                resolved: None,
+            });
+            watchers = st.watchers.clone();
+        }
+        Self::wake_watchers(watchers);
+    }
+
+    /// One fairness-shuffled pass over the arms, locking only the
+    /// endpoint each arm concerns (never two at once). `Ok(Some(..))`:
+    /// an arm fired. `Ok(None)`: nothing ready, but something may yet
+    /// fire. `Err(..)`: every arm is permanently unfireable.
+    #[allow(clippy::type_complexity)]
+    fn scan_arms(
+        &self,
+        me: &I,
+        me_ep: &Arc<Endpoint<I, M>>,
+        reprs: &mut [(SelRepr<I, M>, Option<Arc<Endpoint<I, M>>>)],
+    ) -> Result<Option<Outcome<I, M>>, ChanError<I>> {
+        {
             let mut order: Vec<usize> = (0..reprs.len()).collect();
             order.shuffle(&mut me_ep.state.lock().rng);
             let mut any_live = false;
@@ -1156,11 +1376,11 @@ where
                             drop(st);
                             me_ep.cond.notify_all();
                             Self::wake_watchers(watchers);
-                            return Ok(Outcome::Received {
+                            return Ok(Some(Outcome::Received {
                                 arm: idx,
                                 from: p,
                                 msg,
-                            });
+                            }));
                         }
                         drop(st);
                         let p_ep = arm_ep.as_ref().expect("named arm resolved");
@@ -1179,11 +1399,11 @@ where
                             drop(st);
                             me_ep.cond.notify_all();
                             Self::wake_watchers(watchers);
-                            return Ok(Outcome::Received {
+                            return Ok(Some(Outcome::Received {
                                 arm: idx,
                                 from,
                                 msg,
-                            });
+                            }));
                         }
                         drop(st);
                         if self.any_possible_sender(me) {
@@ -1226,7 +1446,10 @@ where
                                                         &to,
                                                         seq,
                                                     );
-                                                    return Ok(Outcome::Sent { arm: idx, to });
+                                                    return Ok(Some(Outcome::Sent {
+                                                        arm: idx,
+                                                        to,
+                                                    }));
                                                 }
                                             }
                                         }
@@ -1234,11 +1457,11 @@ where
                                     ts.inbox.insert(me.clone(), m);
                                     ts.wait.as_mut().expect("checked above").resolved =
                                         Some(me.clone());
-                                    ts.signal += 1;
+                                    ts.bump_signal();
                                     self.activity.fetch_add(1, Ordering::Relaxed);
                                     drop(ts);
                                     t_ep.cond.notify_all();
-                                    return Ok(Outcome::Sent { arm: idx, to });
+                                    return Ok(Some(Outcome::Sent { arm: idx, to }));
                                 }
                             }
                         }
@@ -1249,7 +1472,7 @@ where
                         if p_ep.life.load(Ordering::SeqCst) == LIFE_DONE {
                             let pending = me_ep.state.lock().inbox.contains_key(&p);
                             if !pending {
-                                return Ok(Outcome::Terminated { arm: idx, peer: p });
+                                return Ok(Some(Outcome::Terminated { arm: idx, peer: p }));
                             }
                             // A message from the dead peer is still
                             // pending: a recv arm must drain it first;
@@ -1273,46 +1496,8 @@ where
                 }
                 return Err(ChanError::AllTerminated);
             }
-
-            // Publish our receive offers so send arms elsewhere can
-            // claim us, wake the selectors watching us, then sleep —
-            // unless the eventcount moved since the scan started, in
-            // which case something changed mid-scan and we rescan.
-            let offers: Vec<Source<I>> = reprs
-                .iter()
-                .filter_map(|(r, _)| match r {
-                    SelRepr::Recv(s) => Some(s.clone()),
-                    _ => None,
-                })
-                .collect();
-            let watchers;
-            {
-                let mut st = me_ep.state.lock();
-                st.wait = Some(WaitEntry {
-                    offers,
-                    resolved: None,
-                });
-                watchers = st.watchers.clone();
-            }
-            Self::wake_watchers(watchers);
-            let mut st = me_ep.state.lock();
-            if st.signal != sig0 {
-                continue;
-            }
-            if Self::wait_on(me_ep, &mut st, deadline) {
-                // Deadline expired — unless a claim raced in, in which
-                // case the loop head will honor it.
-                let resolved = st
-                    .wait
-                    .as_ref()
-                    .map(|w| w.resolved.is_some())
-                    .unwrap_or(false);
-                if !resolved {
-                    st.wait = None;
-                    return Err(ChanError::Timeout);
-                }
-            }
         }
+        Ok(None)
     }
 }
 
@@ -1322,4 +1507,472 @@ enum SelRepr<I, M> {
     Recv(Source<I>),
     Send { to: I, msg: Option<M> },
     Watch(I),
+}
+
+// ---------------------------------------------------------------------
+// Asynchronous operations: nonblocking state machines for send/select,
+// driven by one scheduler thread per transport.
+//
+// The blocking paths above park a caller thread on an endpoint condvar;
+// the machines below park a *token* on the endpoint instead
+// (`EpState::op_waiters`) and re-poll when the eventcount bumps. The
+// two paths share the same scan/claim/deposit code, so a hub serving
+// thousands of spokes multiplexes every blocked rendezvous onto a
+// single thread without any change in observable semantics.
+// ---------------------------------------------------------------------
+
+/// Shared handle between the transport, its scheduler thread, and the
+/// endpoints that park asynchronous operations.
+struct SchedShared<I, M> {
+    queue: Mutex<SchedState<I, M>>,
+    cond: Condvar,
+}
+
+/// The scheduler's run state: parked op state machines, tokens due for
+/// a poll, and the timer heap (deadlines and chaos-delay gates),
+/// earliest first.
+struct SchedState<I, M> {
+    ready: VecDeque<u64>,
+    timers: BinaryHeap<Reverse<(Instant, u64)>>,
+    ops: HashMap<u64, AsyncOp<I, M>>,
+    shutdown: bool,
+}
+
+/// A parked asynchronous operation.
+enum AsyncOp<I, M> {
+    Send(SendOp<I, M>),
+    Select(SelectOp<I, M>),
+}
+
+/// The nonblocking counterpart of `send_impl`'s two-phase rendezvous.
+struct SendOp<I, M> {
+    from: I,
+    to: I,
+    to_ep: Arc<Endpoint<I, M>>,
+    /// Taken at deposit (the phase 1 → 2 transition).
+    msg: Option<M>,
+    /// Chaos duplicate, redelivered best-effort after pickup.
+    dup: Option<M>,
+    /// The `acks[from]` level that proves pickup; `Some` once deposited.
+    ack_target: Option<u64>,
+    /// Chaos-delay gate: the machine does not run before this (the
+    /// blocking path sleeps here; the nonblocking one arms a timer).
+    ready_at: Option<Instant>,
+    deadline: Option<Instant>,
+    started: Instant,
+    done: Option<SendDone<I>>,
+}
+
+/// The nonblocking counterpart of `select_loop`.
+struct SelectOp<I, M> {
+    me: I,
+    me_ep: Arc<Endpoint<I, M>>,
+    #[allow(clippy::type_complexity)]
+    reprs: Vec<(SelRepr<I, M>, Option<Arc<Endpoint<I, M>>>)>,
+    /// Send-arm targets we registered as a watcher on.
+    watched: Vec<Arc<Endpoint<I, M>>>,
+    /// Watcher-registration token (also the op's scheduler token).
+    wtoken: u64,
+    deadline: Option<Instant>,
+    started: Instant,
+    done: Option<SelectDone<I, M>>,
+}
+
+/// The scheduler thread: pops runnable op tokens (readiness wakeups
+/// first, then due timers), polls each op's state machine outside the
+/// queue lock, and completes or re-parks it. One thread serves every
+/// in-flight asynchronous operation on the transport; it exits when
+/// the transport is dropped.
+fn scheduler_loop<I, M>(transport: Weak<ShardedTransport<I, M>>, sched: Arc<SchedShared<I, M>>)
+where
+    I: Clone + Eq + Hash + fmt::Debug + Send + Sync + 'static,
+    M: Send + 'static,
+{
+    loop {
+        let token = {
+            let mut q = sched.queue.lock();
+            loop {
+                if q.shutdown {
+                    q.ops.clear();
+                    return;
+                }
+                if let Some(t) = q.ready.pop_front() {
+                    break t;
+                }
+                match q.timers.peek().copied() {
+                    Some(Reverse((at, t))) => {
+                        if at <= Instant::now() {
+                            q.timers.pop();
+                            break t;
+                        }
+                        sched.cond.wait_until(&mut q, at);
+                    }
+                    None => {
+                        sched.cond.wait(&mut q);
+                    }
+                }
+            }
+        };
+        let Some(t) = transport.upgrade() else {
+            sched.queue.lock().ops.clear();
+            return;
+        };
+        // A token may outlive its op (stale waiter or timer): skip.
+        let Some(op) = sched.queue.lock().ops.remove(&token) else {
+            continue;
+        };
+        t.drive_op(token, op, &sched);
+    }
+}
+
+impl<I, M> ShardedTransport<I, M>
+where
+    I: Clone + Eq + Hash + fmt::Debug + Send + Sync + 'static,
+    M: Send + 'static,
+{
+    /// The transport's scheduler, started on first use. The thread
+    /// holds only a weak reference back, so it cannot keep the
+    /// transport alive; [`ShardedTransport`]'s `Drop` releases it.
+    fn scheduler(this: &Arc<Self>) -> Arc<SchedShared<I, M>> {
+        let mut guard = this.sched.lock();
+        if let Some(s) = guard.as_ref() {
+            return s.clone();
+        }
+        let sched = Arc::new(SchedShared {
+            queue: Mutex::new(SchedState {
+                ready: VecDeque::new(),
+                timers: BinaryHeap::new(),
+                ops: HashMap::new(),
+                shutdown: false,
+            }),
+            cond: Condvar::new(),
+        });
+        let weak = Arc::downgrade(this);
+        let handle = Arc::clone(&sched);
+        std::thread::Builder::new()
+            .name("chan-async-sched".into())
+            .spawn(move || scheduler_loop(weak, handle))
+            .expect("spawn async-op scheduler");
+        *guard = Some(Arc::clone(&sched));
+        sched
+    }
+
+    /// Parks a new op with the scheduler: arms its deadline (and
+    /// chaos-delay) timers and queues its first poll.
+    fn enqueue_op(this: &Arc<Self>, token: u64, op: AsyncOp<I, M>, ready_at: Option<Instant>) {
+        let deadline = match &op {
+            AsyncOp::Send(s) => s.deadline,
+            AsyncOp::Select(s) => s.deadline,
+        };
+        let sched = Self::scheduler(this);
+        let mut q = sched.queue.lock();
+        q.ops.insert(token, op);
+        if let Some(d) = deadline {
+            q.timers.push(Reverse((d, token)));
+        }
+        match ready_at {
+            Some(at) => q.timers.push(Reverse((at, token))),
+            None => q.ready.push_back(token),
+        }
+        drop(q);
+        sched.cond.notify_one();
+    }
+
+    /// Polls `op` once; on completion runs its callback (with latency
+    /// recording), otherwise re-parks it.
+    fn drive_op(&self, token: u64, mut op: AsyncOp<I, M>, sched: &Arc<SchedShared<I, M>>) {
+        match op {
+            AsyncOp::Send(ref mut s) => match self.poll_send(token, s, sched) {
+                Some(result) => {
+                    let started = s.started;
+                    let done = s.done.take().expect("send completes once");
+                    self.finish_send(done, started, result);
+                }
+                None => {
+                    sched.queue.lock().ops.insert(token, op);
+                }
+            },
+            AsyncOp::Select(ref mut s) => match self.poll_select(token, s, sched) {
+                Some(result) => {
+                    let wtoken = s.wtoken;
+                    Self::deregister_watchers(wtoken, std::mem::take(&mut s.watched));
+                    let started = s.started;
+                    let done = s.done.take().expect("select completes once");
+                    self.finish_select(done, started, result);
+                }
+                None => {
+                    sched.queue.lock().ops.insert(token, op);
+                }
+            },
+        }
+    }
+
+    /// Completes an asynchronous send: records latency on success, as
+    /// the blocking wrapper does, then fires the callback.
+    fn finish_send(&self, done: SendDone<I>, started: Instant, result: Result<(), ChanError<I>>) {
+        if result.is_ok() {
+            self.latency.record(LatencyOp::Send, started.elapsed());
+        }
+        done(result);
+    }
+
+    /// Completes an asynchronous selection, recording latency on a
+    /// fired arm as the blocking wrapper does.
+    fn finish_select(
+        &self,
+        done: SelectDone<I, M>,
+        started: Instant,
+        result: Result<Outcome<I, M>, ChanError<I>>,
+    ) {
+        if matches!(
+            result,
+            Ok(Outcome::Received { .. }) | Ok(Outcome::Sent { .. })
+        ) {
+            self.latency.record(LatencyOp::Select, started.elapsed());
+        }
+        done(result);
+    }
+
+    /// [`Transport::submit_send`] body. Chaos decisions happen here,
+    /// synchronously at submission, exactly where the blocking path
+    /// makes them — so fault records (and any observer-driven push
+    /// frames) always precede the operation's completion.
+    fn submit_send_native(
+        self: Arc<Self>,
+        from: &I,
+        to: &I,
+        msg: M,
+        deadline: Option<Instant>,
+        done: SendDone<I>,
+    ) {
+        let started = Instant::now();
+        if to == from {
+            return self.finish_send(done, started, Err(ChanError::Myself));
+        }
+        let to_ep = match self.ensure(to) {
+            Ok(ep) => ep,
+            Err(e) => return self.finish_send(done, started, Err(e)),
+        };
+        let from_ep = match self.ensure(from) {
+            Ok(ep) => ep,
+            Err(e) => return self.finish_send(done, started, Err(e)),
+        };
+        if self.faults.crashes.load(Ordering::Relaxed) {
+            if let Err(e) = self.chaos_step(from, &from_ep) {
+                return self.finish_send(done, started, Err(e));
+            }
+        }
+        let mut dup: Option<M> = None;
+        let mut ready_at: Option<Instant> = None;
+        if self.faults.msg_faults.load(Ordering::Relaxed) {
+            if let Some(cfg) = self.chaos_cfg() {
+                let has_msg = cfg.plan.has_message_faults();
+                if has_msg || cfg.plan.has_connection_faults() {
+                    let seq = self.chaos_edge_seq(from, &to_ep);
+                    if cfg.plan.decide_partition(from, to, seq) {
+                        self.record_fault(FaultKind::Partition, from, to, seq);
+                    } else if cfg.plan.decide_sever(from, to, seq) {
+                        self.record_fault(FaultKind::Sever, from, to, seq);
+                    }
+                    if has_msg {
+                        let delayed = cfg.plan.decide_delay(from, to, seq);
+                        let dropped = cfg.plan.decide_drop(from, to, seq);
+                        if !dropped && cfg.plan.decide_duplicate(from, to, seq) {
+                            self.record_fault(FaultKind::Duplicate, from, to, seq);
+                            dup = Some((cfg.clone_fn)(&msg));
+                        }
+                        if delayed {
+                            self.record_fault(FaultKind::Delay, from, to, seq);
+                            ready_at = Some(Instant::now() + cfg.plan.delay());
+                        }
+                        if dropped {
+                            self.record_fault(FaultKind::Drop, from, to, seq);
+                            let result = if self.aborted.load(Ordering::SeqCst) {
+                                Err(ChanError::Aborted)
+                            } else {
+                                match life_of(to_ep.life.load(Ordering::SeqCst)) {
+                                    PeerState::Done => Err(ChanError::Terminated(to.clone())),
+                                    _ => Ok(()),
+                                }
+                            };
+                            return self.finish_send(done, started, result);
+                        }
+                    }
+                }
+            }
+        }
+        let token = self.next_token.fetch_add(1, Ordering::Relaxed);
+        let op = AsyncOp::Send(SendOp {
+            from: from.clone(),
+            to: to.clone(),
+            to_ep,
+            msg: Some(msg),
+            dup,
+            ack_target: None,
+            ready_at,
+            deadline,
+            started,
+            done: Some(done),
+        });
+        Self::enqueue_op(&self, token, op, ready_at);
+    }
+
+    /// [`Transport::submit_select`] body: validation, chaos, and
+    /// watcher registration happen synchronously at submission; the
+    /// scan runs on the scheduler.
+    fn submit_select_native(
+        self: Arc<Self>,
+        me: &I,
+        arms: Vec<Arm<I, M>>,
+        deadline: Option<Instant>,
+        done: SelectDone<I, M>,
+    ) {
+        let started = Instant::now();
+        match self.prepare_select(me, arms) {
+            Err(e) => self.finish_select(done, started, Err(e)),
+            Ok((me_ep, reprs)) => {
+                let token = self.next_token.fetch_add(1, Ordering::Relaxed);
+                let watched = Self::register_watchers(token, &me_ep, &reprs);
+                let op = AsyncOp::Select(SelectOp {
+                    me: me.clone(),
+                    me_ep,
+                    reprs,
+                    watched,
+                    wtoken: token,
+                    deadline,
+                    started,
+                    done: Some(done),
+                });
+                Self::enqueue_op(&self, token, op, None);
+            }
+        }
+    }
+
+    /// One poll of an asynchronous send. `Some(result)`: complete.
+    /// `None`: parked (a waiter is registered on the receiver's
+    /// endpoint, or the chaos-delay timer was re-armed).
+    ///
+    /// Mirrors `send_impl`'s two blocking loops phase for phase; the
+    /// only divergence is that waiting registers the op token on the
+    /// receiver's endpoint instead of sleeping on its condvar.
+    fn poll_send(
+        &self,
+        token: u64,
+        op: &mut SendOp<I, M>,
+        sched: &Arc<SchedShared<I, M>>,
+    ) -> Option<Result<(), ChanError<I>>> {
+        let now = Instant::now();
+        if let Some(at) = op.ready_at {
+            if now < at {
+                sched.queue.lock().timers.push(Reverse((at, token)));
+                return None;
+            }
+            op.ready_at = None;
+        }
+        let to_ep = Arc::clone(&op.to_ep);
+        let mut st = to_ep.state.lock();
+        loop {
+            match op.ack_target {
+                None => {
+                    // Phase 1: deposit once the receiver is active with
+                    // a free slot.
+                    if self.aborted.load(Ordering::SeqCst) {
+                        return Some(Err(ChanError::Aborted));
+                    }
+                    match life_of(to_ep.life.load(Ordering::SeqCst)) {
+                        PeerState::Done => {
+                            return Some(Err(ChanError::Terminated(op.to.clone())));
+                        }
+                        PeerState::Active if !st.inbox.contains_key(&op.from) => {
+                            let msg = op.msg.take().expect("message deposited once");
+                            st.inbox.insert(op.from.clone(), msg);
+                            st.bump_signal();
+                            self.activity.fetch_add(1, Ordering::Relaxed);
+                            op.ack_target = Some(st.acks.get(&op.from).copied().unwrap_or(0) + 1);
+                            to_ep.cond.notify_all();
+                            continue;
+                        }
+                        _ => {}
+                    }
+                }
+                Some(target) => {
+                    // Phase 2: await pickup.
+                    if st.acks.get(&op.from).copied().unwrap_or(0) >= target {
+                        // Rendezvous complete; best-effort duplicate.
+                        if let Some(copy) = op.dup.take() {
+                            if !st.inbox.contains_key(&op.from)
+                                && to_ep.life.load(Ordering::SeqCst) == LIFE_ACTIVE
+                            {
+                                st.inbox.insert(op.from.clone(), copy);
+                                st.bump_signal();
+                                self.activity.fetch_add(1, Ordering::Relaxed);
+                                drop(st);
+                                to_ep.cond.notify_all();
+                                return Some(Ok(()));
+                            }
+                        }
+                        return Some(Ok(()));
+                    }
+                    if self.aborted.load(Ordering::SeqCst) {
+                        return Some(Err(ChanError::Aborted));
+                    }
+                    if to_ep.life.load(Ordering::SeqCst) == LIFE_DONE {
+                        // Receiver finished without taking it: reclaim.
+                        st.inbox.remove(&op.from);
+                        return Some(Err(ChanError::Terminated(op.to.clone())));
+                    }
+                }
+            }
+            // Not ready: past the deadline time out (reclaiming an
+            // un-picked-up deposit), else park on the receiver.
+            if op.deadline.is_some_and(|d| now >= d) {
+                if op.ack_target.is_some() {
+                    st.inbox.remove(&op.from);
+                }
+                return Some(Err(ChanError::Timeout));
+            }
+            st.op_waiters.push((token, Arc::clone(sched)));
+            return None;
+        }
+    }
+
+    /// One poll of an asynchronous selection, via the same
+    /// claim/scan/publish helpers the blocking loop uses. `Some`:
+    /// complete. `None`: parked on `me`'s endpoint with offers
+    /// published.
+    fn poll_select(
+        &self,
+        token: u64,
+        op: &mut SelectOp<I, M>,
+        sched: &Arc<SchedShared<I, M>>,
+    ) -> Option<Result<Outcome<I, M>, ChanError<I>>> {
+        loop {
+            let (sig0, claimed) = self.take_claim(&op.me_ep, &op.reprs);
+            if let Some(outcome) = claimed {
+                return Some(Ok(outcome));
+            }
+            if self.aborted.load(Ordering::SeqCst) {
+                return Some(Err(ChanError::Aborted));
+            }
+            match self.scan_arms(&op.me, &op.me_ep, &mut op.reprs) {
+                Ok(Some(outcome)) => return Some(Ok(outcome)),
+                Ok(None) => {}
+                Err(e) => return Some(Err(e)),
+            }
+            self.publish_offers(&op.me_ep, &op.reprs);
+            let mut st = op.me_ep.state.lock();
+            if st.signal != sig0 {
+                continue;
+            }
+            if op.deadline.is_some_and(|d| Instant::now() >= d) {
+                // The eventcount is unmoved, so no claim can have
+                // landed: withdraw the offers and time out, exactly as
+                // the blocking loop does on a pure deadline expiry.
+                st.wait = None;
+                return Some(Err(ChanError::Timeout));
+            }
+            st.op_waiters.push((token, Arc::clone(sched)));
+            return None;
+        }
+    }
 }

@@ -1,4 +1,5 @@
-//! The socket-backed [`Transport`]: a framed RPC client with sessions.
+//! The socket-backed [`Transport`]: a pipelined framed-RPC client with
+//! sessions.
 //!
 //! A [`SocketTransport`] implements the full [`Transport`] contract by
 //! forwarding every operation to a [`TransportServer`](crate::TransportServer)
@@ -7,6 +8,22 @@
 //! by a [`RetryPolicy`] (exponential backoff + decorrelated jitter), so
 //! a client may be constructed before its hub is listening.
 //!
+//! **Pipelining.** Every request carries a correlation id and parks in
+//! a `pending` map; any number of requests ride the connection
+//! concurrently and the hub answers them in whatever order its
+//! rendezvous fire. The write path coalesces: producers append frames
+//! to one shared [`WriteBuf`] and whoever flushes writes *everything*
+//! queued since the last flush as a single syscall, so N threads
+//! pipelining N requests cost far fewer writes than N.
+//!
+//! **One background thread.** A single *driver* thread per transport
+//! owns the read side: it decodes answer frames through a
+//! [`FrameDecoder`] (partial frames survive across read timeouts),
+//! emits the quarter-lease heartbeat whenever its read timeout lapses,
+//! and — when the connection dies — redials, resumes, and replays
+//! itself, so parked callers never have to. The keeper thread of the
+//! previous design is gone; its duties folded into the reader loop.
+//!
 //! Blocking semantics cross the wire unchanged: a `send` or `select`
 //! RPC simply does not answer until the rendezvous fires server-side,
 //! and deadlines travel as remaining-millisecond budgets so the two
@@ -14,16 +31,17 @@
 //!
 //! **Sessions.** The first dial opens a hub session ([`Req::HelloNew`])
 //! and records its id + lease. From then on a dropped connection is a
-//! *blip*, not a death: every durable request stays queued, a keeper
-//! thread redials, presents [`Req::HelloResume`], and replays the queue
-//! in request-id order. The hub answers anything it already applied
-//! from its replay cache, so a write whose ack was lost to the sever is
+//! *blip*, not a death: every durable request stays queued, the driver
+//! redials, presents [`Req::HelloResume`], and replays the queue in
+//! request-id order. The hub answers anything it already applied from
+//! its replay cache, so a write whose ack was lost to the sever is
 //! **never applied twice** — the retry path and the reconnect path are
 //! one mechanism. A subscribed client resumes the sequenced event
 //! stream gaplessly from the last delivered sequence number
-//! ([`Req::SubscribeFrom`]), with exactly-once dispatch enforced
+//! ([`Req::SubscribeFrom`]); the missed tail arrives as one batched
+//! [`Event::SeqFaults`] frame, with exactly-once dispatch enforced
 //! client-side by a monotonic high-water mark. Heartbeats flow both
-//! ways: the keeper pings ([`Req::Heartbeat`]) every quarter-lease —
+//! ways: the driver pings ([`Req::Heartbeat`]) every quarter-lease —
 //! which also prunes the hub's replay cache — and every hub answer
 //! carrying [`Resp::Session`] renews the client's view of the lease.
 //!
@@ -34,15 +52,17 @@
 //!
 //! **Peer loss** is still surfaced exactly as the contract requires —
 //! but only when the session truly dies: the hub declares it expired
-//! ([`Resp::SessionExpired`]), the redial budget is exhausted, or the
-//! client is closed. Then a send reports [`ChanError::Terminated`] for
-//! its target, a selection reports `Terminated`/`AllTerminated` for its
-//! arms, lifecycle queries degrade to "gone" answers (`is_aborted` →
-//! true, `peers` → empty), and `activity` freezes at its last observed
-//! value so an engine watchdog raises `Stalled`. Conversely the ids
-//! this client *activated* live in its hub-side session, so this
-//! process dying surfaces as `Terminated` to everyone else once the
-//! lease lapses.
+//! ([`Resp::SessionExpired`]), announces its own shutdown
+//! ([`Event::Closing`] — the spoke fails fast instead of burning its
+//! redial budget against a dead address), the redial budget is
+//! exhausted, or the client is closed. Then a send reports
+//! [`ChanError::Terminated`] for its target, a selection reports
+//! `Terminated`/`AllTerminated` for its arms, lifecycle queries degrade
+//! to "gone" answers (`is_aborted` → true, `peers` → empty), and
+//! `activity` freezes at its last observed value so an engine watchdog
+//! raises `Stalled`. Conversely the ids this client *activated* live in
+//! its hub-side session, so this process dying surfaces as `Terminated`
+//! to everyone else once the lease lapses.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -62,7 +82,7 @@ use script_chan::{
 };
 use script_core::RetryPolicy;
 
-use crate::frame::{read_frame, write_frame};
+use crate::frame::{read_frame, FrameDecoder, ReadStatus, WriteBuf};
 use crate::proto::{timeout_ms_of, Event, Req, Resp, EVENT_REQ_ID};
 use crate::wire::{Reader, Wire};
 
@@ -119,10 +139,59 @@ struct PendingEntry<I, M> {
     fast: bool,
 }
 
+/// The coalescing write side of one connection: producers append frames
+/// under the buffer lock, and whoever wins the flush lock writes
+/// *everything* accumulated — theirs and every other producer's — in
+/// one syscall. Losers of the flush race find the buffer already empty
+/// and return without writing at all.
+struct ConnTx {
+    /// Write handle (blocking mode); reads use a separate clone.
+    stream: TcpStream,
+    buf: Mutex<WriteBuf>,
+    /// Serializes actual socket writes; deliberately distinct from
+    /// `buf` so producers can keep queueing while a flush is on the
+    /// wire.
+    flush: Mutex<()>,
+}
+
+impl ConnTx {
+    /// Queues one encoded `(req_id, req)` frame and flushes whatever
+    /// the buffer holds. Returns `false` on write failure — the
+    /// connection is done for.
+    fn send_payload(&self, payload: &[u8]) -> bool {
+        if self.buf.lock().push_frame(payload).is_err() {
+            return false;
+        }
+        let _g = self.flush.lock();
+        loop {
+            let mut local = {
+                let mut b = self.buf.lock();
+                if b.is_empty() {
+                    // A racing producer flushed our frame along with
+                    // its own: one combined write covered both.
+                    return true;
+                }
+                std::mem::take(&mut *b)
+            };
+            let mut w = &self.stream;
+            loop {
+                match local.flush_to(&mut w) {
+                    Ok(true) => break,
+                    // Blocking socket: a spurious WouldBlock just means
+                    // go around again; bytes stay queued in `local`.
+                    Ok(false) => {}
+                    Err(_) => return false,
+                }
+            }
+        }
+    }
+}
+
 /// One live connection; all durable state lives in [`Shared`].
 struct ConnShared {
-    writer: Mutex<TcpStream>,
-    /// Kept to sever the socket on close/drop.
+    tx: ConnTx,
+    /// Kept to sever the socket on close/drop (and to kick the driver
+    /// out of its read when a writer discovers the death first).
     stream: TcpStream,
     alive: AtomicBool,
 }
@@ -136,8 +205,7 @@ enum FastReply<I, M> {
     Dead,
 }
 
-/// State shared between the transport facade, its reader threads and
-/// the keeper thread.
+/// State shared between the transport facade and its driver thread.
 struct Shared<I, M> {
     addr: SocketAddr,
     retry: RetryPolicy,
@@ -146,8 +214,11 @@ struct Shared<I, M> {
     lost: AtomicBool,
     /// Terminal: session expired, redial budget exhausted, or closed.
     dead: AtomicBool,
-    /// Set by `close`/drop so background threads stop redialing.
+    /// Set by `close`/drop so the driver stops redialing.
     closed: AtomicBool,
+    /// The hub announced shutdown ([`Event::Closing`]): terminal once
+    /// the connection drains — no redial storm against a dead address.
+    closing: AtomicBool,
     /// Last activity counter observed from the hub: frozen on death so
     /// watchdogs detect the wedge; advanced synthetically during blips
     /// so they do not.
@@ -162,7 +233,7 @@ struct Shared<I, M> {
     pending: Mutex<HashMap<u64, PendingEntry<I, M>>>,
     /// Hub-issued session id; 0 until the first handshake completes.
     session: AtomicU64,
-    /// Hub-granted lease in milliseconds; paces the keeper.
+    /// Hub-granted lease in milliseconds; paces the heartbeat.
     lease_ms: AtomicU64,
     /// High-water mark of delivered sequenced events: resume point for
     /// `SubscribeFrom` and exactly-once dispatch guard.
@@ -177,9 +248,10 @@ struct Shared<I, M> {
     /// finish (or activate) while severed.
     severed: Mutex<Vec<I>>,
     subscribed: AtomicBool,
-    keeper_started: AtomicBool,
-    keeper_wake: Mutex<bool>,
-    keeper_cond: Condvar,
+    driver_started: AtomicBool,
+    /// A fresh handshake deposits the connection + its read stream
+    /// here; the driver picks them up and serves the connection.
+    reader_slot: Mutex<Option<(Arc<ConnShared>, TcpStream)>>,
 }
 
 /// How a handshake attempt ended.
@@ -207,13 +279,6 @@ impl<I, M> Shared<I, M> {
         for e in drained {
             e.slot.fill(SlotState::Lost);
         }
-        self.wake_keeper();
-    }
-
-    fn wake_keeper(&self) {
-        let mut wake = self.keeper_wake.lock();
-        *wake = true;
-        self.keeper_cond.notify_all();
     }
 
     fn is_dead(&self) -> bool {
@@ -275,7 +340,7 @@ where
 {
     /// Handles one unsolicited event frame. Sequenced events advance
     /// the high-water mark and dispatch **exactly once** even when a
-    /// resume replay races a stale reader.
+    /// resume replay races a stale delivery.
     fn process_event(&self, ev: &Event<I>) {
         match ev {
             Event::Fault(rec) => self.dispatch_fault(rec),
@@ -285,23 +350,48 @@ where
                     self.dispatch_fault(record);
                 }
             }
+            Event::SeqFaults { first_seq, records } => {
+                // A batched resume-replay tail: record `i` sits at
+                // stream position `first_seq + i`. Each record passes
+                // the same high-water dedup as a live push would.
+                for (i, record) in records.iter().enumerate() {
+                    let seq = first_seq + i as u64;
+                    let prev = self.last_event_seq.fetch_max(seq, Ordering::SeqCst);
+                    if seq > prev {
+                        self.dispatch_fault(record);
+                    }
+                }
+            }
+            Event::Closing => {
+                // Fail fast: the hub is gone for good, so once the
+                // connection drains the driver dies instead of
+                // redialing.
+                self.closing.store(true, Ordering::SeqCst);
+            }
         }
     }
 
-    /// Allocates a request id and writes one `(req_id, req)` frame.
-    fn write_req(&self, w: &mut TcpStream, req: &Req<I, M>) -> Option<u64> {
+    /// Allocates a request id and encodes one `(req_id, req)` frame.
+    fn encode_req(&self, req: &Req<I, M>) -> (u64, Vec<u8>) {
         let req_id = self.next_req.fetch_add(1, Ordering::Relaxed);
         let mut payload = Vec::new();
         req_id.encode(&mut payload);
         req.encode(&mut payload);
-        write_frame(w, &payload).ok()?;
+        (req_id, payload)
+    }
+
+    /// Writes one `(req_id, req)` frame directly to a handshake-time
+    /// stream (no connection object exists yet).
+    fn write_req(&self, w: &mut TcpStream, req: &Req<I, M>) -> Option<u64> {
+        let (req_id, payload) = self.encode_req(req);
+        crate::frame::write_frame(w, &payload).ok()?;
         Some(req_id)
     }
 
     /// Reads frames until the answer for `want` arrives (used during
-    /// the handshake, before a reader thread owns the stream). Events
-    /// and answers to replayed requests that completed hub-side during
-    /// the outage are delivered along the way.
+    /// the handshake, before the driver owns the stream). Events and
+    /// answers to replayed requests that completed hub-side during the
+    /// outage are delivered along the way.
     fn await_resp(&self, rd: &mut TcpStream, want: u64) -> Option<Resp<I, M>> {
         loop {
             let frame = read_frame(rd).ok()??;
@@ -337,11 +427,8 @@ where
         if self.is_dead() {
             return None;
         }
-        let req_id = self.next_req.fetch_add(1, Ordering::Relaxed);
+        let (req_id, payload) = self.encode_req(req);
         let slot = Arc::new(Slot::new());
-        let mut payload = Vec::new();
-        req_id.encode(&mut payload);
-        req.encode(&mut payload);
         self.pending.lock().insert(
             req_id,
             PendingEntry {
@@ -359,10 +446,11 @@ where
         match self.ensure_conn() {
             Some(conn) => {
                 // A failed write is not a failed request: the entry
-                // stays queued and the keeper's reconnect replays it.
-                if write_frame(&mut *conn.writer.lock(), &payload).is_err() {
+                // stays queued, and shutting the socket kicks the
+                // driver into its redial-and-replay path.
+                if !conn.tx.send_payload(&payload) {
                     conn.alive.store(false, Ordering::SeqCst);
-                    self.wake_keeper();
+                    let _ = conn.stream.shutdown(Shutdown::Both);
                 }
             }
             None => {
@@ -388,11 +476,8 @@ where
                 _ => return FastReply::Blip,
             }
         };
-        let req_id = self.next_req.fetch_add(1, Ordering::Relaxed);
+        let (req_id, payload) = self.encode_req(req);
         let slot = Arc::new(Slot::new());
-        let mut payload = Vec::new();
-        req_id.encode(&mut payload);
-        req.encode(&mut payload);
         self.pending.lock().insert(
             req_id,
             PendingEntry {
@@ -401,7 +486,7 @@ where
                 fast: true,
             },
         );
-        // The reader drains fast entries *after* flipping `alive`;
+        // The driver drains fast entries *after* flipping `alive`;
         // re-checking after the insert guarantees ours is seen.
         if !conn.alive.load(Ordering::SeqCst) || self.is_dead() {
             self.pending.lock().remove(&req_id);
@@ -411,10 +496,10 @@ where
                 FastReply::Blip
             };
         }
-        if write_frame(&mut *conn.writer.lock(), &payload).is_err() {
+        if !conn.tx.send_payload(&payload) {
             self.pending.lock().remove(&req_id);
             conn.alive.store(false, Ordering::SeqCst);
-            self.wake_keeper();
+            let _ = conn.stream.shutdown(Shutdown::Both);
             return FastReply::Blip;
         }
         match slot.wait() {
@@ -443,7 +528,7 @@ where
             Some(conn) => {
                 self.lost.store(false, Ordering::SeqCst);
                 *guard = Some(Arc::clone(&conn));
-                self.start_keeper();
+                self.start_driver();
                 Some(conn)
             }
             None => {
@@ -461,7 +546,10 @@ where
     /// queries observe the held lock as a blip.
     fn dial_and_handshake(self: &Arc<Self>) -> Option<Arc<ConnShared>> {
         for _ in 0..64 {
-            if self.closed.load(Ordering::SeqCst) || self.is_dead() {
+            if self.closed.load(Ordering::SeqCst)
+                || self.closing.load(Ordering::SeqCst)
+                || self.is_dead()
+            {
                 return None;
             }
             let stream = self
@@ -489,14 +577,16 @@ where
     }
 
     /// Runs the hello exchange on a fresh stream: new session or
-    /// resume, connection-scoped re-setup, and the pending replay.
+    /// resume, connection-scoped re-setup, and the pending replay. On
+    /// success the read stream is deposited for the driver to serve.
     fn handshake(self: &Arc<Self>, stream: TcpStream) -> Handshake {
         let (mut rd, mut w) = match (stream.try_clone(), stream.try_clone()) {
             (Ok(r), Ok(w)) => (r, w),
             _ => return Handshake::Failed,
         };
         // Bounded handshake: a hub that accepts but never answers must
-        // not wedge the dial loop. Cleared before the reader takes over.
+        // not wedge the dial loop. The driver sets its own timeout once
+        // it takes over.
         let _ = rd.set_read_timeout(Some(Duration::from_secs(5)));
         let sid = self.session.load(Ordering::SeqCst);
         let hello = if sid == 0 {
@@ -565,143 +655,188 @@ where
             items.into_iter().map(|(_, payload)| payload).collect()
         };
         for payload in &replay {
-            if write_frame(&mut w, payload).is_err() {
+            if crate::frame::write_frame(&mut w, payload).is_err() {
                 return Handshake::Failed;
             }
         }
-        let _ = rd.set_read_timeout(None);
         let conn = Arc::new(ConnShared {
-            writer: Mutex::new(w),
+            tx: ConnTx {
+                stream: w,
+                buf: Mutex::new(WriteBuf::new()),
+                flush: Mutex::new(()),
+            },
             stream,
             alive: AtomicBool::new(true),
         });
-        Self::spawn_reader(self, Arc::clone(&conn), rd);
+        *self.reader_slot.lock() = Some((Arc::clone(&conn), rd));
         if sid != 0 {
             self.emit_healed(SessionEvent::PeerResumed);
         }
         Handshake::Ready(conn)
     }
 
-    fn spawn_reader(shared: &Arc<Self>, conn: Arc<ConnShared>, mut stream: TcpStream) {
-        let shared = Arc::clone(shared);
-        thread::spawn(move || {
-            while let Ok(Some(frame)) = read_frame(&mut stream) {
-                let mut r = Reader::new(&frame);
-                let Ok(req_id) = u64::decode(&mut r) else {
-                    break;
-                };
-                if req_id == EVENT_REQ_ID {
-                    // Unsolicited push: a tagged telemetry event. Frames
-                    // with a tag this build does not understand are
-                    // skipped so newer hubs can stream richer events to
-                    // older clients.
-                    if let Ok(ev) = Event::<I>::decode(&mut r) {
-                        shared.process_event(&ev);
-                    }
-                    continue;
-                }
-                let Ok(resp) = Resp::<I, M>::decode(&mut r) else {
-                    break;
-                };
-                // Any session answer — including the keeper's
-                // unmatched heartbeat acks — renews the lease view.
-                if let Resp::Session { lease_ms, .. } = &resp {
-                    if *lease_ms > 0 {
-                        shared.lease_ms.store(*lease_ms, Ordering::SeqCst);
-                    }
-                }
-                let entry = shared.pending.lock().remove(&req_id);
-                if let Some(e) = entry {
-                    e.slot.fill(SlotState::Filled(resp));
-                }
-            }
-            // Connection over. Fast queries parked on it get a degraded
-            // answer now; durable requests stay queued for the replay.
-            conn.alive.store(false, Ordering::SeqCst);
-            let drained: Vec<PendingEntry<I, M>> = {
-                let mut p = shared.pending.lock();
-                let ids: Vec<u64> = p
-                    .iter()
-                    .filter(|(_, e)| e.fast)
-                    .map(|(id, _)| *id)
-                    .collect();
-                ids.into_iter().filter_map(|id| p.remove(&id)).collect()
-            };
-            for e in drained {
-                e.slot.fill(SlotState::Lost);
-            }
-            if !shared.is_dead() && !shared.closed.load(Ordering::SeqCst) {
-                // Only the *current* connection's reader announces the
-                // disconnect: a stale reader outliving a completed
-                // resume must not emit out of order after PeerResumed.
-                let is_current = shared
-                    .state
-                    .lock()
-                    .as_ref()
-                    .is_some_and(|c| Arc::ptr_eq(c, &conn));
-                if is_current {
-                    shared.emit_severed();
-                }
-            }
-            shared.wake_keeper();
-        });
-    }
-
-    /// Spawns the keeper: heartbeats every quarter-lease while
-    /// connected (renewing the lease and pruning the hub's replay
-    /// cache), redials + replays when not. Holds only a weak reference
+    /// Spawns the driver: the transport's one background thread. It
+    /// serves the current connection's read side (decoding answers,
+    /// heartbeating every quarter-lease) and, when the connection dies,
+    /// redials + resumes + replays itself — parked durable callers
+    /// never have to. Holds only a weak reference between connections
     /// so it cannot outlive the transport's death.
-    fn start_keeper(self: &Arc<Self>) {
-        if self.keeper_started.swap(true, Ordering::SeqCst) {
+    fn start_driver(self: &Arc<Self>) {
+        if self.driver_started.swap(true, Ordering::SeqCst) {
             return;
         }
         let weak: Weak<Self> = Arc::downgrade(self);
-        thread::spawn(move || loop {
-            let Some(shared) = weak.upgrade() else { return };
-            if shared.is_dead() || shared.closed.load(Ordering::SeqCst) {
-                return;
-            }
-            let tick = Duration::from_millis((shared.lease_ms.load(Ordering::SeqCst) / 4).max(25));
-            {
-                let mut wake = shared.keeper_wake.lock();
-                if !*wake {
-                    shared
-                        .keeper_cond
-                        .wait_until(&mut wake, Instant::now() + tick);
+        let spawned = thread::Builder::new()
+            .name("script-net-spoke".into())
+            .spawn(move || loop {
+                let Some(shared) = weak.upgrade() else { return };
+                if shared.is_dead() || shared.closed.load(Ordering::SeqCst) {
+                    return;
                 }
-                *wake = false;
+                let taken = shared.reader_slot.lock().take();
+                match taken {
+                    Some((conn, rd)) => shared.run_conn(&conn, rd),
+                    None => {
+                        if shared.closing.load(Ordering::SeqCst) {
+                            shared.die();
+                            return;
+                        }
+                        // Redial on behalf of parked callers; a fresh
+                        // handshake deposits the next reader for the
+                        // loop to take. `None` = die() already ran.
+                        if shared.ensure_conn().is_none() {
+                            return;
+                        }
+                    }
+                }
+            });
+        spawned.expect("spawn spoke driver");
+    }
+
+    /// Serves one connection until it dies: decodes frames, routes
+    /// answers to their slots, dispatches event pushes, and emits the
+    /// quarter-lease heartbeat whenever the read timeout lapses. The
+    /// [`FrameDecoder`] keeps partial frames across timeouts, so the
+    /// heartbeat clock cannot corrupt the stream.
+    fn run_conn(self: &Arc<Self>, conn: &Arc<ConnShared>, mut rd: TcpStream) {
+        let mut dec = FrameDecoder::new();
+        let quarter =
+            |s: &Self| Duration::from_millis((s.lease_ms.load(Ordering::SeqCst) / 4).max(25));
+        let mut next_hb = Instant::now() + quarter(self);
+        'conn: loop {
+            if self.is_dead() || self.closed.load(Ordering::SeqCst) {
+                break;
             }
-            if shared.is_dead() || shared.closed.load(Ordering::SeqCst) {
-                return;
+            let now = Instant::now();
+            if now >= next_hb {
+                self.blip_ticks.fetch_add(1, Ordering::Relaxed);
+                // Fire-and-forget: the ack arrives as an unmatched
+                // `Resp::Session` and renews the lease; `acked` lets
+                // the hub prune replay answers below our lowest
+                // still-pending request.
+                let acked = {
+                    let p = self.pending.lock();
+                    p.keys()
+                        .min()
+                        .copied()
+                        .unwrap_or_else(|| self.next_req.load(Ordering::Relaxed))
+                };
+                let (_, payload) = self.encode_req(&Req::Heartbeat { acked });
+                if !conn.tx.send_payload(&payload) {
+                    break;
+                }
+                next_hb = now + quarter(self);
             }
-            shared.blip_ticks.fetch_add(1, Ordering::Relaxed);
-            let conn = {
-                let guard = shared.state.lock();
-                guard
-                    .as_ref()
-                    .filter(|c| c.alive.load(Ordering::SeqCst))
-                    .map(Arc::clone)
+            let wait = next_hb
+                .saturating_duration_since(Instant::now())
+                .max(Duration::from_millis(5));
+            let _ = rd.set_read_timeout(Some(wait));
+            let status = match dec.read_once_from(&mut rd) {
+                Ok(s) => s,
+                Err(_) => break,
             };
-            match conn {
-                Some(conn) => {
-                    // Fire-and-forget: the ack arrives as an unmatched
-                    // `Resp::Session` and renews the lease; `acked`
-                    // lets the hub prune replay answers below our
-                    // lowest still-pending request.
-                    let acked = {
-                        let p = shared.pending.lock();
-                        p.keys()
-                            .min()
-                            .copied()
-                            .unwrap_or_else(|| shared.next_req.load(Ordering::Relaxed))
-                    };
-                    let _ = shared.write_req(&mut conn.writer.lock(), &Req::Heartbeat { acked });
-                }
-                None => {
-                    let _ = shared.ensure_conn();
+            loop {
+                match dec.next_frame() {
+                    Ok(Some(frame)) => {
+                        if !self.on_frame(&frame) {
+                            break 'conn;
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(_) => break 'conn,
                 }
             }
-        });
+            if status == ReadStatus::Eof {
+                break;
+            }
+        }
+        // Connection over. Fast queries parked on it get a degraded
+        // answer now; durable requests stay queued for the replay.
+        conn.alive.store(false, Ordering::SeqCst);
+        let _ = conn.stream.shutdown(Shutdown::Both);
+        let drained: Vec<PendingEntry<I, M>> = {
+            let mut p = self.pending.lock();
+            let ids: Vec<u64> = p
+                .iter()
+                .filter(|(_, e)| e.fast)
+                .map(|(id, _)| *id)
+                .collect();
+            ids.into_iter().filter_map(|id| p.remove(&id)).collect()
+        };
+        for e in drained {
+            e.slot.fill(SlotState::Lost);
+        }
+        if !self.is_dead() && !self.closed.load(Ordering::SeqCst) {
+            // Only the *current* connection's server announces the
+            // disconnect: a stale connection outliving a completed
+            // resume must not emit out of order after PeerResumed.
+            let is_current = self
+                .state
+                .lock()
+                .as_ref()
+                .is_some_and(|c| Arc::ptr_eq(c, conn));
+            if is_current {
+                self.emit_severed();
+            }
+        }
+        if self.closing.load(Ordering::SeqCst) {
+            // The hub said goodbye before the socket closed: terminal.
+            self.die();
+        }
+    }
+
+    /// Routes one inbound frame: an event push or a pending answer.
+    /// Returns `false` on protocol corruption (the connection is torn
+    /// down).
+    fn on_frame(&self, frame: &[u8]) -> bool {
+        let mut r = Reader::new(frame);
+        let Ok(req_id) = u64::decode(&mut r) else {
+            return false;
+        };
+        if req_id == EVENT_REQ_ID {
+            // Unsolicited push: a tagged telemetry event. Frames with a
+            // tag this build does not understand are skipped so newer
+            // hubs can stream richer events to older clients.
+            if let Ok(ev) = Event::<I>::decode(&mut r) {
+                self.process_event(&ev);
+            }
+            return true;
+        }
+        let Ok(resp) = Resp::<I, M>::decode(&mut r) else {
+            return false;
+        };
+        // Any session answer — including the driver's unmatched
+        // heartbeat acks — renews the lease view.
+        if let Resp::Session { lease_ms, .. } = &resp {
+            if *lease_ms > 0 {
+                self.lease_ms.store(*lease_ms, Ordering::SeqCst);
+            }
+        }
+        let entry = self.pending.lock().remove(&req_id);
+        if let Some(e) = entry {
+            e.slot.fill(SlotState::Filled(resp));
+        }
+        true
     }
 }
 
@@ -741,6 +876,7 @@ where
                 lost: AtomicBool::new(false),
                 dead: AtomicBool::new(false),
                 closed: AtomicBool::new(false),
+                closing: AtomicBool::new(false),
                 last_activity: AtomicU64::new(0),
                 blip_ticks: AtomicU64::new(0),
                 cached_aborted: AtomicBool::new(false),
@@ -754,9 +890,8 @@ where
                 bound: Mutex::new(Vec::new()),
                 severed: Mutex::new(Vec::new()),
                 subscribed: AtomicBool::new(false),
-                keeper_started: AtomicBool::new(false),
-                keeper_wake: Mutex::new(false),
-                keeper_cond: Condvar::new(),
+                driver_started: AtomicBool::new(false),
+                reader_slot: Mutex::new(None),
             }),
             latency: LatencyHooks::default(),
         }
@@ -787,7 +922,8 @@ where
     }
 
     /// Whether the session is dead (expired, redial budget exhausted,
-    /// or closed). A mere connection blip mid-resume does not count.
+    /// hub shut down, or closed). A mere connection blip mid-resume
+    /// does not count.
     pub fn is_lost(&self) -> bool {
         self.shared.lost.load(Ordering::SeqCst)
     }
@@ -811,6 +947,12 @@ fn close_shared<I, M>(shared: &Arc<Shared<I, M>>) {
     if let Some(conn) = shared.state.lock().take() {
         conn.alive.store(false, Ordering::SeqCst);
         let _ = conn.stream.shutdown(Shutdown::Both);
+    }
+    // A handshake that deposited its reader before anyone served it
+    // still owns a socket; release it.
+    if let Some((conn, rd)) = shared.reader_slot.lock().take() {
+        conn.alive.store(false, Ordering::SeqCst);
+        let _ = rd.shutdown(Shutdown::Both);
     }
 }
 

@@ -6,6 +6,17 @@
 //! clean close (EOF on a frame boundary, `Ok(None)`) from a truncated
 //! frame (EOF mid-frame, `UnexpectedEof`) so peer loss can be told
 //! apart from protocol corruption.
+//!
+//! Two APIs share the format:
+//!
+//! * [`read_frame`]/[`write_frame`] — blocking, one frame per call, for
+//!   code that owns a dedicated thread per stream;
+//! * [`FrameDecoder`]/[`WriteBuf`] — incremental state machines for
+//!   nonblocking sockets: a decoder accumulates whatever bytes a
+//!   readiness wakeup delivered and yields every complete frame, a
+//!   write buffer coalesces any number of queued frames into one
+//!   contiguous flush (the reactor's writev-style single write per
+//!   wakeup).
 
 use std::io::{self, Read, Write};
 
@@ -76,6 +87,218 @@ fn fill_or_eof(r: &mut impl Read, buf: &mut [u8]) -> io::Result<bool> {
     Ok(true)
 }
 
+/// Incremental frame decoder for nonblocking streams.
+///
+/// Feed it bytes with [`FrameDecoder::read_from`] (which loops until
+/// the socket would block) or [`FrameDecoder::extend`], then drain
+/// complete frames with [`FrameDecoder::next_frame`]. Partial frames —
+/// even a split length prefix — persist across calls, so a readiness
+/// loop can hand it arbitrary byte fragments.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted once it outgrows the tail.
+    pos: usize,
+}
+
+/// What one [`FrameDecoder::read_from`] pass observed on the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadStatus {
+    /// The socket has no more bytes for now (`WouldBlock`).
+    Blocked,
+    /// The peer closed the stream (EOF).
+    Eof,
+}
+
+impl FrameDecoder {
+    /// A fresh decoder with no buffered bytes.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw bytes to the internal buffer.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Reads from `r` until it would block or closes, buffering
+    /// everything received.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error other than `WouldBlock`/`Interrupted`.
+    pub fn read_from(&mut self, r: &mut impl Read) -> io::Result<ReadStatus> {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match r.read(&mut chunk) {
+                Ok(0) => return Ok(ReadStatus::Eof),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Ok(ReadStatus::Blocked);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// One read call from `r`, buffering whatever arrives. For
+    /// *blocking* sockets with a read timeout: unlike
+    /// [`FrameDecoder::read_from`], this returns as soon as any bytes
+    /// land instead of issuing another read that would sleep out the
+    /// rest of the timeout.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error other than `WouldBlock`/`TimedOut`/`Interrupted`.
+    pub fn read_once_from(&mut self, r: &mut impl Read) -> io::Result<ReadStatus> {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match r.read(&mut chunk) {
+                Ok(0) => return Ok(ReadStatus::Eof),
+                Ok(n) => {
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    return Ok(ReadStatus::Blocked);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Ok(ReadStatus::Blocked);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Extracts the next complete frame, if one is buffered.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` if a length prefix exceeds [`MAX_FRAME`] (protocol
+    /// corruption: the caller severs the connection).
+    pub fn next_frame(&mut self) -> io::Result<Option<Vec<u8>>> {
+        let avail = self.buf.len() - self.pos;
+        if avail < 4 {
+            self.compact();
+            return Ok(None);
+        }
+        let len_bytes: [u8; 4] = self.buf[self.pos..self.pos + 4].try_into().unwrap();
+        let len = u32::from_be_bytes(len_bytes) as usize;
+        if len > MAX_FRAME {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame length {len} exceeds MAX_FRAME"),
+            ));
+        }
+        if avail < 4 + len {
+            self.compact();
+            return Ok(None);
+        }
+        let frame = self.buf[self.pos + 4..self.pos + 4 + len].to_vec();
+        self.pos += 4 + len;
+        Ok(Some(frame))
+    }
+
+    /// Whether a partial frame is buffered — an EOF here is a
+    /// truncation, not a clean close.
+    pub fn mid_frame(&self) -> bool {
+        self.buf.len() > self.pos
+    }
+
+    fn compact(&mut self) {
+        if self.pos > 0 && self.pos >= self.buf.len() / 2 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+}
+
+/// An outbound frame buffer: any number of frames queued by any number
+/// of producers, flushed as one contiguous byte range per wakeup.
+#[derive(Debug, Default)]
+pub struct WriteBuf {
+    buf: Vec<u8>,
+    /// Flushed prefix of `buf` (a partial nonblocking write stops
+    /// mid-range; the next flush resumes here).
+    start: usize,
+}
+
+impl WriteBuf {
+    /// A fresh, empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues one frame (length prefix + payload).
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` if the payload exceeds [`MAX_FRAME`].
+    pub fn push_frame(&mut self, payload: &[u8]) -> io::Result<()> {
+        if payload.len() > MAX_FRAME {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("frame of {} bytes exceeds MAX_FRAME", payload.len()),
+            ));
+        }
+        self.buf
+            .extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        self.buf.extend_from_slice(payload);
+        Ok(())
+    }
+
+    /// Whether any unflushed bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.buf.len()
+    }
+
+    /// Writes as much of the queued bytes as `w` accepts right now —
+    /// every queued frame goes out in a single coalesced write when the
+    /// socket cooperates. Returns whether the buffer fully drained
+    /// (`false` = the socket blocked mid-buffer; keep write interest).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error other than `WouldBlock`/`Interrupted`.
+    pub fn flush_to(&mut self, w: &mut impl Write) -> io::Result<bool> {
+        while self.start < self.buf.len() {
+            match w.write(&self.buf[self.start..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "stream refused queued frames",
+                    ));
+                }
+                Ok(n) => self.start += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    self.compact();
+                    return Ok(false);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        self.buf.clear();
+        self.start = 0;
+        Ok(true)
+    }
+
+    fn compact(&mut self) {
+        if self.start > 0 && self.start >= self.buf.len() / 2 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,5 +343,87 @@ mod tests {
         let err = write_frame(&mut sink, &big).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
         assert!(sink.is_empty(), "nothing written for a refused frame");
+    }
+
+    #[test]
+    fn decoder_reassembles_one_byte_fragments() {
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, b"hello").unwrap();
+        write_frame(&mut bytes, b"").unwrap();
+        write_frame(&mut bytes, &vec![7u8; 1000]).unwrap();
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for b in &bytes {
+            dec.extend(std::slice::from_ref(b));
+            while let Some(f) = dec.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0], b"hello");
+        assert_eq!(got[1], b"");
+        assert_eq!(got[2], vec![7u8; 1000]);
+        assert!(!dec.mid_frame(), "no residue after complete frames");
+    }
+
+    #[test]
+    fn decoder_rejects_oversized_prefix() {
+        let mut dec = FrameDecoder::new();
+        dec.extend(&u32::MAX.to_be_bytes());
+        assert!(dec.next_frame().is_err());
+    }
+
+    #[test]
+    fn decoder_tracks_mid_frame_residue() {
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, b"abcdef").unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.extend(&bytes[..bytes.len() - 1]);
+        assert!(dec.next_frame().unwrap().is_none());
+        assert!(dec.mid_frame(), "truncated frame leaves residue");
+    }
+
+    #[test]
+    fn write_buf_coalesces_and_resumes_partial_writes() {
+        let mut wb = WriteBuf::new();
+        wb.push_frame(b"one").unwrap();
+        wb.push_frame(b"two-longer").unwrap();
+        assert!(!wb.is_empty());
+
+        // A writer that accepts 5 bytes then blocks, alternating.
+        struct Dribble {
+            out: Vec<u8>,
+            open: bool,
+        }
+        impl Write for Dribble {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                if self.open {
+                    self.open = false;
+                    let n = buf.len().min(5);
+                    self.out.extend_from_slice(&buf[..n]);
+                    Ok(n)
+                } else {
+                    self.open = true;
+                    Err(io::Error::from(io::ErrorKind::WouldBlock))
+                }
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut w = Dribble {
+            out: Vec::new(),
+            open: true,
+        };
+        let mut rounds = 0;
+        while !wb.flush_to(&mut w).unwrap() {
+            rounds += 1;
+            assert!(rounds < 32, "flush must make progress");
+        }
+        assert!(wb.is_empty());
+        let mut c = Cursor::new(w.out);
+        assert_eq!(read_frame(&mut c).unwrap().unwrap(), b"one");
+        assert_eq!(read_frame(&mut c).unwrap().unwrap(), b"two-longer");
+        assert!(read_frame(&mut c).unwrap().is_none());
     }
 }

@@ -196,6 +196,20 @@ pub enum Event<I> {
         /// The injected fault.
         record: FaultRecord<I>,
     },
+    /// The hub is shutting down for good (tag 2). A spoke receiving
+    /// this fails fast — its session cannot be resumed, so redialing
+    /// would only burn the retry budget against a dead address.
+    Closing,
+    /// A batch of consecutive sequenced fault pushes (tag 3): record
+    /// `i` carries stream sequence `first_seq + i`. Emitted on resume
+    /// ([`Req::SubscribeFrom`]) to replay the missed tail as a single
+    /// frame instead of one frame per event.
+    SeqFaults {
+        /// Stream sequence of `records[0]`.
+        first_seq: u64,
+        /// The consecutive fault records.
+        records: Vec<FaultRecord<I>>,
+    },
 }
 
 /// Remaining-millisecond budget for a deadline, measured now. Saturates
@@ -409,6 +423,12 @@ impl<I: Wire> Wire for Event<I> {
                 seq.encode(out);
                 record.encode(out);
             }
+            Event::Closing => out.push(2),
+            Event::SeqFaults { first_seq, records } => {
+                out.push(3);
+                first_seq.encode(out);
+                records.encode(out);
+            }
         }
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
@@ -417,6 +437,11 @@ impl<I: Wire> Wire for Event<I> {
             1 => Ok(Event::SeqFault {
                 seq: u64::decode(r)?,
                 record: FaultRecord::decode(r)?,
+            }),
+            2 => Ok(Event::Closing),
+            3 => Ok(Event::SeqFaults {
+                first_seq: u64::decode(r)?,
+                records: Vec::<FaultRecord<I>>::decode(r)?,
             }),
             _ => Err(WireError::Invalid("event tag")),
         }

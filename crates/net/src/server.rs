@@ -3,18 +3,34 @@
 //! A [`TransportServer`] owns no rendezvous logic of its own — it wraps
 //! an *inner* transport (normally a seeded
 //! [`ShardedTransport`](script_chan::ShardedTransport)) and executes
-//! decoded [`Req`]s against it, one accept loop per endpoint address.
-//! All semantics — matching, selection fairness, lifecycle, and in
+//! decoded [`Req`]s against it, one hub per endpoint address. All
+//! semantics — matching, selection fairness, lifecycle, and in
 //! particular **fault injection at the sending edge** — happen in the
 //! inner transport exactly as they do in-process, which is what makes a
 //! chaos seed replay the identical fault log whether the participants
 //! are threads or processes.
 //!
-//! Blocking operations (`Send`, `Select`) run on a worker thread per
-//! request so one blocked rendezvous never stalls the connection;
-//! everything else executes inline on the connection's reader thread.
-//! Responses are written under a per-connection writer lock, so
-//! concurrent completions interleave at frame granularity.
+//! # The reactor
+//!
+//! The hub is a single **event loop** ([`reactor`](crate::reactor)):
+//! one thread owns the nonblocking listener, every spoke connection's
+//! read buffer ([`FrameDecoder`]), every connection's coalescing output
+//! buffer ([`WriteBuf`] behind a `ConnTx`), and the lease-sweep
+//! timer. Accepts, request decoding, and response flushing all happen
+//! on that one thread — the hub's thread count is O(1) in the number
+//! of connected spokes, where the previous design spent a thread per
+//! connection plus a thread per parked rendezvous plus a sweeper.
+//!
+//! Blocking operations (`Send`, `Select`) are **submitted, not
+//! awaited**: the reactor hands them to the inner transport's
+//! asynchronous entry points ([`Transport::submit_send`] /
+//! [`Transport::submit_select`]) with a completion callback that
+//! encodes the response into the owning connection's output buffer and
+//! wakes the reactor to flush it — the hub answers out of order, as
+//! many requests deep as the spokes care to pipeline. An inner
+//! transport that does not support submission (the default trait
+//! methods decline) falls back to one worker thread per operation,
+//! counted in [`TransportServer::worker_threads`].
 //!
 //! **Sessions.** A spoke that opens with [`Req::HelloNew`] gets a
 //! session id and a lease. The session — its bound ids, its replay
@@ -25,11 +41,13 @@
 //! replayed requests from the cache (a request the hub already applied
 //! is **never** applied twice; its recorded answer is rewritten
 //! verbatim), and resumes the sequenced event stream from wherever the
-//! spoke left off. [`Req::Heartbeat`] renews the lease and prunes the
-//! cache; only lease expiry degrades to crashed-peer semantics: the
-//! sweeper finishes every bound id, so remaining participants observe
-//! the standard [`Terminated`](script_chan::ChanError::Terminated)
-//! error exactly as before sessions existed.
+//! spoke left off — the missed tail travels as one batched
+//! [`Event::SeqFaults`] frame. [`Req::Heartbeat`] renews the lease and
+//! prunes the cache; only lease expiry degrades to crashed-peer
+//! semantics: the reactor's sweep timer finishes every bound id, so
+//! remaining participants observe the standard
+//! [`Terminated`](script_chan::ChanError::Terminated) error exactly as
+//! before sessions existed.
 //!
 //! **Connection faults.** The hub registers itself as the inner
 //! transport's fault observer. Chaos-injected
@@ -45,6 +63,10 @@
 //! **Peer loss (legacy connections).** A connection that never opens a
 //! session keeps the pre-session contract: the ids it bound are
 //! finished the moment the connection drops.
+//!
+//! **Shutdown** pushes [`Event::Closing`] to every connection before
+//! the sockets close, so spokes fail fast instead of burning their
+//! redial budget against a dead address.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
@@ -60,8 +82,9 @@ use parking_lot::Mutex;
 
 use script_chan::{FaultKind, FaultRecord, SessionEvent, Transport};
 
-use crate::frame::{read_frame, write_frame};
+use crate::frame::{FrameDecoder, ReadStatus, WriteBuf};
 use crate::proto::{deadline_of, Event, Req, Resp, EVENT_REQ_ID};
+use crate::reactor::{fd_of, Poller, Waker};
 use crate::wire::{Reader, Wire};
 
 /// Default session lease: how long a severed session's bound
@@ -73,12 +96,31 @@ pub const DEFAULT_LEASE: Duration = Duration::from_secs(1);
 /// behind would gap anyway).
 const EVENT_BUFFER_CAP: usize = 8192;
 
-/// One registered client connection.
+/// A connection's shared output side: any thread — the reactor, an
+/// inner-transport completion callback, the fault observer — queues
+/// frames here; the reactor coalesces everything queued since its last
+/// wakeup into one flush.
+struct ConnTx {
+    buf: Mutex<WriteBuf>,
+    waker: Arc<Waker>,
+}
+
+impl ConnTx {
+    /// Queues one already-encoded `(req_id, payload)` frame and wakes
+    /// the reactor to flush it. Oversized payloads cannot occur (every
+    /// response is hub-built) and are dropped defensively.
+    fn push(&self, payload: &[u8]) {
+        let _ = self.buf.lock().push_frame(payload);
+        self.waker.wake();
+    }
+}
+
+/// Cross-thread view of one registered client connection (the fault
+/// observer streams legacy events through it; shutdown pushes
+/// [`Event::Closing`]).
 struct ConnEntry {
     id: u64,
-    /// Kept to force-close the socket on shutdown.
-    stream: TcpStream,
-    writer: Arc<Mutex<TcpStream>>,
+    tx: Arc<ConnTx>,
     /// Legacy (non-session) event subscription flag.
     subscribed: Arc<AtomicBool>,
 }
@@ -95,14 +137,14 @@ struct SessionState<I> {
     bound: Vec<I>,
     /// Whether the spoke subscribed to the sequenced event stream.
     subscribed: bool,
-    /// Writer of the currently attached connection; `None` while
-    /// severed (answers are cached instead of written).
-    writer: Option<Arc<Mutex<TcpStream>>>,
+    /// Output buffer of the currently attached connection; `None`
+    /// while severed (answers are cached instead of written).
+    writer: Option<Arc<ConnTx>>,
     /// Raw stream of the attached connection, kept to force-sever it
     /// when a chaos fault or a stale-resume demands it.
     stream: Option<TcpStream>,
-    /// Bumped on every attach so a stale reader's exit cannot detach a
-    /// newer connection.
+    /// Bumped on every attach so a stale connection's teardown cannot
+    /// detach a newer one.
     epoch: u64,
     /// Lease clock: any traffic (or a rejected-but-alive resume
     /// attempt) refreshes it.
@@ -113,13 +155,13 @@ struct SessionState<I> {
     /// Replay answer cache: request id → fully encoded response frame.
     /// A replayed request is answered from here, never re-applied.
     done: HashMap<u64, Vec<u8>>,
-    /// Blocking requests currently running on a worker thread; a
-    /// replayed duplicate is ignored rather than double-spawned.
+    /// Blocking requests currently submitted to the inner transport; a
+    /// replayed duplicate is ignored rather than double-submitted.
     in_flight: HashSet<u64>,
     /// Sequence number of the last event pushed to this session.
     next_event_seq: u64,
-    /// Buffered `(seq, frame)` events for gapless resume replay.
-    events: VecDeque<(u64, Vec<u8>)>,
+    /// Buffered `(seq, record)` events for gapless resume replay.
+    events: VecDeque<(u64, FaultRecord<I>)>,
 }
 
 struct ServerShared<I, M> {
@@ -130,6 +172,10 @@ struct ServerShared<I, M> {
     next_conn: AtomicU64,
     next_session: AtomicU64,
     lease: Duration,
+    waker: Arc<Waker>,
+    /// Live fallback worker threads (inner transports without
+    /// submission support only).
+    workers: AtomicU64,
 }
 
 /// A TCP hub exposing an inner [`Transport`] to remote
@@ -180,7 +226,9 @@ where
         lease: Duration,
     ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let waker = Arc::new(Waker::new()?);
         let shared = Arc::new(ServerShared {
             inner,
             conns: Mutex::new(Vec::new()),
@@ -189,6 +237,8 @@ where
             next_conn: AtomicU64::new(0),
             next_session: AtomicU64::new(0),
             lease,
+            waker,
+            workers: AtomicU64::new(0),
         });
         // Weak: the inner transport must not keep the hub alive through
         // its own observer slot.
@@ -198,29 +248,11 @@ where
                 sh.handle_fault(rec);
             }
         }));
-        let accept_shared = Arc::clone(&shared);
-        thread::spawn(move || {
-            for stream in listener.incoming() {
-                if accept_shared.shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-                if let Ok(stream) = stream {
-                    accept_shared.spawn_conn(stream);
-                }
-            }
-        });
-        // Lease sweeper: holds only a weak reference so a dropped hub's
-        // sweeper exits on its next tick.
-        let sweep: Weak<ServerShared<I, M>> = Arc::downgrade(&shared);
-        let tick = (lease / 4).clamp(Duration::from_millis(5), Duration::from_millis(250));
-        thread::spawn(move || loop {
-            thread::sleep(tick);
-            let Some(sh) = sweep.upgrade() else { return };
-            if sh.shutdown.load(Ordering::SeqCst) {
-                return;
-            }
-            sh.sweep_expired();
-        });
+        let reactor_shared = Arc::clone(&shared);
+        thread::Builder::new()
+            .name("script-net-hub".into())
+            .spawn(move || Reactor::new(reactor_shared, listener).run())
+            .expect("spawn hub reactor");
         Ok(Self { shared, addr })
     }
 
@@ -240,18 +272,27 @@ where
         Arc::clone(&self.shared.inner)
     }
 
-    /// Stops accepting, severs every client connection and discards
-    /// every session, finishing its bound participants on the inner
-    /// transport exactly as if their processes had died. Idempotent:
-    /// repeated calls (or a close racing a drop) are no-ops.
+    /// Live fallback worker threads: zero whenever the inner transport
+    /// supports asynchronous submission (as
+    /// [`ShardedTransport`](script_chan::ShardedTransport) does), in
+    /// which case the hub's only thread is its reactor.
+    pub fn worker_threads(&self) -> u64 {
+        self.shared.workers.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting, notifies every spoke with [`Event::Closing`],
+    /// severs every client connection and discards every session,
+    /// finishing its bound participants on the inner transport exactly
+    /// as if their processes had died. Idempotent: repeated calls (or
+    /// a close racing a drop) are no-ops.
     pub fn shutdown(&self) {
-        self.shared.shutdown_hub(self.addr);
+        self.shared.shutdown_hub();
     }
 }
 
 impl<I, M> Drop for TransportServer<I, M> {
     fn drop(&mut self) {
-        self.shared.shutdown_hub(self.addr);
+        self.shared.shutdown_hub();
     }
 }
 
@@ -260,25 +301,28 @@ impl<I, M> ServerShared<I, M> {
         self.lease.as_millis().min(u64::MAX as u128) as u64
     }
 
-    fn shutdown_hub(&self, addr: SocketAddr) {
+    fn shutdown_hub(&self) {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Unblock the accept loop; it re-checks the flag.
-        let _ = TcpStream::connect(addr);
+        // Best-effort shutdown notice: the reactor flushes these before
+        // it closes the sockets, so spokes fail fast instead of
+        // entering their redial loops.
+        let mut closing = Vec::new();
+        EVENT_REQ_ID.encode(&mut closing);
+        Event::<u64>::Closing.encode(&mut closing);
         for conn in self.conns.lock().iter() {
-            let _ = conn.stream.shutdown(Shutdown::Both);
+            conn.tx.push(&closing);
         }
+        self.waker.wake();
         // Hub death is final for every session: finish the bound ids so
         // hub-local participants observe crashed peers, not a hang.
         let sessions: Vec<Arc<Session<I>>> = self.sessions.lock().drain().map(|(_, s)| s).collect();
         for sess in sessions {
             let bound = {
                 let mut st = sess.state.lock();
-                if let Some(stream) = st.stream.take() {
-                    let _ = stream.shutdown(Shutdown::Both);
-                }
                 st.writer = None;
+                st.stream = None;
                 std::mem::take(&mut st.bound)
             };
             for id in bound {
@@ -288,62 +332,235 @@ impl<I, M> ServerShared<I, M> {
     }
 }
 
-impl<I, M> ServerShared<I, M>
+/// Per-connection routing state on the reactor.
+enum ConnMode<I> {
+    /// No frame seen yet: the first one routes to a session handshake
+    /// or the legacy contract.
+    Fresh,
+    /// Pre-session contract: `bound` dies with the connection.
+    Legacy { bound: Vec<I> },
+    /// Attached to a session at a given epoch.
+    Session { sess: Arc<Session<I>>, epoch: u64 },
+}
+
+/// One connection owned by the reactor.
+struct Conn<I> {
+    stream: TcpStream,
+    dec: FrameDecoder,
+    tx: Arc<ConnTx>,
+    subscribed: Arc<AtomicBool>,
+    mode: ConnMode<I>,
+    /// Close once the output buffer drains (rejected handshakes answer
+    /// before the socket goes).
+    closing: bool,
+}
+
+/// The hub's event loop (see the module docs).
+struct Reactor<I, M> {
+    shared: Arc<ServerShared<I, M>>,
+    listener: TcpListener,
+    conns: HashMap<u64, Conn<I>>,
+    poller: Poller,
+    next_sweep: Instant,
+    sweep_tick: Duration,
+}
+
+impl<I, M> Reactor<I, M>
 where
     I: Wire + Clone + Eq + Hash + fmt::Debug + Send + Sync + 'static,
     M: Wire + Clone + Send + Sync + 'static,
 {
-    fn spawn_conn(self: &Arc<Self>, stream: TcpStream) {
-        let _ = stream.set_nodelay(true);
-        let (reader, keeper, writer) = match (stream.try_clone(), stream.try_clone()) {
-            (Ok(a), Ok(b)) => (stream, a, b),
-            _ => return,
-        };
-        let writer = Arc::new(Mutex::new(writer));
-        let subscribed = Arc::new(AtomicBool::new(false));
-        let id = self.next_conn.fetch_add(1, Ordering::Relaxed);
-        self.conns.lock().push(ConnEntry {
-            id,
-            stream: keeper,
-            writer: Arc::clone(&writer),
-            subscribed: Arc::clone(&subscribed),
-        });
-        let shared = Arc::clone(self);
-        thread::spawn(move || {
-            shared.serve_conn(reader, writer, subscribed);
-            shared.conns.lock().retain(|c| c.id != id);
-        });
+    fn new(shared: Arc<ServerShared<I, M>>, listener: TcpListener) -> Self {
+        let sweep_tick =
+            (shared.lease / 4).clamp(Duration::from_millis(5), Duration::from_millis(250));
+        Self {
+            shared,
+            listener,
+            conns: HashMap::new(),
+            poller: Poller::new(),
+            next_sweep: Instant::now() + sweep_tick,
+            sweep_tick,
+        }
     }
 
-    /// Reads the connection's first frame and routes it: a session
-    /// handshake attaches (or creates) a session; anything else serves
-    /// the legacy connection-scoped contract.
-    fn serve_conn(
-        self: &Arc<Self>,
-        mut stream: TcpStream,
-        writer: Arc<Mutex<TcpStream>>,
-        subscribed: Arc<AtomicBool>,
-    ) {
-        let Ok(Some(frame)) = read_frame(&mut stream) else {
-            return;
+    fn run(mut self) {
+        loop {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                self.drain_and_close();
+                return;
+            }
+            // Interest set: listener + waker always readable; each
+            // connection readable, plus writable while output waits.
+            self.poller.clear();
+            let listener_idx = self.poller.push(fd_of(&self.listener), true, false);
+            let waker_idx = self.poller.push(self.shared.waker.read_fd(), true, false);
+            let mut slots: Vec<(u64, usize)> = Vec::with_capacity(self.conns.len());
+            for (id, conn) in &self.conns {
+                let want_write = !conn.tx.buf.lock().is_empty();
+                let idx = self.poller.push(fd_of(&conn.stream), true, want_write);
+                slots.push((*id, idx));
+            }
+            let timeout = self.next_sweep.saturating_duration_since(Instant::now());
+            if self.poller.wait(Some(timeout)).is_err() {
+                // A torn-down fd raced into the set; rebuild next turn.
+                thread::yield_now();
+            }
+            self.shared.waker.drain();
+            let _ = waker_idx;
+            if Instant::now() >= self.next_sweep {
+                self.shared.sweep_expired();
+                self.next_sweep = Instant::now() + self.sweep_tick;
+            }
+            if self.poller.readiness(listener_idx).readable {
+                self.accept_ready();
+            }
+            // Reads: drain every readable connection and route its
+            // complete frames.
+            let mut dead: Vec<u64> = Vec::new();
+            for &(id, idx) in &slots {
+                let r = self.poller.readiness(idx);
+                if !(r.readable || r.hangup) {
+                    continue;
+                }
+                if !self.service_read(id) {
+                    dead.push(id);
+                }
+            }
+            // Writes: one coalesced flush per connection with queued
+            // output (readiness is rechecked implicitly — a nonblocking
+            // partial write just leaves the rest for the next wakeup).
+            let flush_ids: Vec<u64> = self.conns.keys().copied().collect();
+            for id in flush_ids {
+                if !self.flush_conn(id) {
+                    dead.push(id);
+                }
+            }
+            for id in dead {
+                self.teardown(id);
+            }
+        }
+    }
+
+    /// Accepts every pending connection.
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let id = self.shared.next_conn.fetch_add(1, Ordering::Relaxed);
+                    let tx = Arc::new(ConnTx {
+                        buf: Mutex::new(WriteBuf::new()),
+                        waker: Arc::clone(&self.shared.waker),
+                    });
+                    let subscribed = Arc::new(AtomicBool::new(false));
+                    self.shared.conns.lock().push(ConnEntry {
+                        id,
+                        tx: Arc::clone(&tx),
+                        subscribed: Arc::clone(&subscribed),
+                    });
+                    self.conns.insert(
+                        id,
+                        Conn {
+                            stream,
+                            dec: FrameDecoder::new(),
+                            tx,
+                            subscribed,
+                            mode: ConnMode::Fresh,
+                            closing: false,
+                        },
+                    );
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Reads whatever the socket has and routes every complete frame.
+    /// Returns `false` once the connection is finished (EOF, I/O error,
+    /// or protocol corruption).
+    fn service_read(&mut self, id: u64) -> bool {
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return true;
         };
-        let mut r = Reader::new(&frame);
+        let status = match conn.dec.read_from(&mut conn.stream) {
+            Ok(s) => s,
+            Err(_) => ReadStatus::Eof,
+        };
+        loop {
+            let frame = {
+                let Some(conn) = self.conns.get_mut(&id) else {
+                    return true;
+                };
+                match conn.dec.next_frame() {
+                    Ok(Some(f)) => f,
+                    Ok(None) => break,
+                    Err(_) => return false, // oversized prefix: corruption
+                }
+            };
+            if !self.handle_frame(id, &frame) {
+                return false;
+            }
+        }
+        status == ReadStatus::Blocked
+    }
+
+    /// Flushes a connection's queued output. Returns `false` if the
+    /// connection should be torn down (write failure, or a drained
+    /// close-after-flush).
+    fn flush_conn(&mut self, id: u64) -> bool {
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return true;
+        };
+        let mut buf = conn.tx.buf.lock();
+        match buf.flush_to(&mut conn.stream) {
+            Ok(drained) => !(conn.closing && drained),
+            Err(_) => false,
+        }
+    }
+
+    /// Routes one decoded frame according to the connection's mode.
+    /// Returns `false` to sever the connection.
+    fn handle_frame(&mut self, id: u64, frame: &[u8]) -> bool {
+        let mut r = Reader::new(frame);
         let (Ok(req_id), Ok(req)) = (u64::decode(&mut r), Req::<I, M>::decode(&mut r)) else {
-            return; // protocol corruption: sever the connection
+            return false; // protocol corruption: sever the connection
         };
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return true;
+        };
+        if conn.closing {
+            // A rejected handshake's connection takes no further
+            // requests; it is only waiting for its answer to flush.
+            return true;
+        }
+        match &conn.mode {
+            ConnMode::Fresh => self.handle_first(id, req_id, req),
+            ConnMode::Legacy { .. } => self.handle_legacy(id, req_id, req),
+            ConnMode::Session { .. } => self.handle_session(id, req_id, req),
+        }
+    }
+
+    /// The connection's first frame: session handshake or legacy entry.
+    fn handle_first(&mut self, id: u64, req_id: u64, req: Req<I, M>) -> bool {
         match req {
             Req::HelloNew => {
-                if self.shutdown.load(Ordering::SeqCst) {
-                    return;
+                if self.shared.shutdown.load(Ordering::SeqCst) {
+                    return false;
                 }
-                let sid = self.next_session.fetch_add(1, Ordering::Relaxed) + 1;
+                let conn = self.conns.get_mut(&id).expect("routed conn");
+                let sid = self.shared.next_session.fetch_add(1, Ordering::Relaxed) + 1;
                 let sess = Arc::new(Session {
                     id: sid,
                     state: Mutex::new(SessionState {
                         bound: Vec::new(),
                         subscribed: false,
-                        writer: Some(Arc::clone(&writer)),
-                        stream: stream.try_clone().ok(),
+                        writer: Some(Arc::clone(&conn.tx)),
+                        stream: conn.stream.try_clone().ok(),
                         epoch: 1,
                         last_seen: Instant::now(),
                         partitioned_until: None,
@@ -353,493 +570,519 @@ where
                         events: VecDeque::new(),
                     }),
                 });
-                self.sessions.lock().insert(sid, Arc::clone(&sess));
-                self.session_respond(
+                self.shared.sessions.lock().insert(sid, Arc::clone(&sess));
+                conn.mode = ConnMode::Session {
+                    sess: Arc::clone(&sess),
+                    epoch: 1,
+                };
+                self.shared.session_respond(
                     &sess,
                     req_id,
                     &Resp::Session {
                         session: sid,
-                        lease_ms: self.lease_ms(),
+                        lease_ms: self.shared.lease_ms(),
                     },
                 );
-                self.serve_session(stream, &sess, 1);
+                true
             }
-            Req::HelloResume(sid) => {
-                let sess = self.sessions.lock().get(&sid).cloned();
-                let Some(sess) = sess else {
-                    // Expired (or never existed): the spoke must degrade
-                    // to crashed-peer semantics.
-                    self.respond(&writer, req_id, &Resp::SessionExpired);
-                    return;
-                };
-                let epoch = {
-                    let mut st = sess.state.lock();
-                    let now = Instant::now();
-                    if let Some(until) = st.partitioned_until {
-                        if until > now {
-                            // The spoke is provably alive — keep its
-                            // lease warm while the partition embargo
-                            // holds, but refuse the attach.
-                            st.last_seen = now;
-                            let remaining_ms = (until - now).as_millis().min(u64::MAX as u128);
-                            drop(st);
-                            self.respond(
-                                &writer,
-                                req_id,
-                                &Resp::Partitioned {
-                                    remaining_ms: remaining_ms as u64,
-                                },
-                            );
-                            return;
-                        }
-                        st.partitioned_until = None;
-                    }
-                    // A stale connection still attached loses to the
-                    // newcomer; its reader observes the bumped epoch.
-                    if let Some(old) = st.stream.take() {
-                        let _ = old.shutdown(Shutdown::Both);
-                    }
-                    st.epoch += 1;
-                    st.writer = Some(Arc::clone(&writer));
-                    st.stream = stream.try_clone().ok();
+            Req::HelloResume(sid) => self.handle_resume(id, req_id, sid),
+            first => {
+                let conn = self.conns.get_mut(&id).expect("routed conn");
+                conn.mode = ConnMode::Legacy { bound: Vec::new() };
+                self.handle_legacy(id, req_id, first)
+            }
+        }
+    }
+
+    fn handle_resume(&mut self, id: u64, req_id: u64, sid: u64) -> bool {
+        let conn = self.conns.get_mut(&id).expect("routed conn");
+        let sess = self.shared.sessions.lock().get(&sid).cloned();
+        let Some(sess) = sess else {
+            // Expired (or never existed): the spoke must degrade to
+            // crashed-peer semantics. Answer, flush, then close.
+            self.shared
+                .respond(&conn.tx, req_id, &Resp::<I, M>::SessionExpired);
+            conn.closing = true;
+            return true;
+        };
+        let epoch = {
+            let mut st = sess.state.lock();
+            let now = Instant::now();
+            if let Some(until) = st.partitioned_until {
+                if until > now {
+                    // The spoke is provably alive — keep its lease warm
+                    // while the partition embargo holds, but refuse the
+                    // attach.
                     st.last_seen = now;
-                    st.epoch
-                };
-                self.session_respond(
+                    let remaining_ms = (until - now).as_millis().min(u64::MAX as u128);
+                    drop(st);
+                    self.shared.respond(
+                        &conn.tx,
+                        req_id,
+                        &Resp::<I, M>::Partitioned {
+                            remaining_ms: remaining_ms as u64,
+                        },
+                    );
+                    conn.closing = true;
+                    return true;
+                }
+                st.partitioned_until = None;
+            }
+            // A stale connection still attached loses to the newcomer;
+            // its teardown observes the bumped epoch and leaves the
+            // session alone.
+            if let Some(old) = st.stream.take() {
+                let _ = old.shutdown(Shutdown::Both);
+            }
+            st.epoch += 1;
+            st.writer = Some(Arc::clone(&conn.tx));
+            st.stream = conn.stream.try_clone().ok();
+            st.last_seen = now;
+            st.epoch
+        };
+        conn.mode = ConnMode::Session {
+            sess: Arc::clone(&sess),
+            epoch,
+        };
+        self.shared.session_respond(
+            &sess,
+            req_id,
+            &Resp::Session {
+                session: sid,
+                lease_ms: self.shared.lease_ms(),
+            },
+        );
+        let bound = sess.state.lock().bound.clone();
+        for bid in bound {
+            self.shared
+                .inner
+                .note_session_event(&SessionEvent::PeerResumed(bid));
+        }
+        true
+    }
+
+    /// One request on a session connection: every answer flows through
+    /// the replay cache (idempotent by request id); blocking operations
+    /// are submitted to the inner transport and answered by completion
+    /// callbacks to whatever connection is attached then.
+    fn handle_session(&mut self, id: u64, req_id: u64, req: Req<I, M>) -> bool {
+        let ConnMode::Session { sess, .. } = (match self.conns.get(&id) {
+            Some(c) => &c.mode,
+            None => return true,
+        }) else {
+            return true;
+        };
+        let sess = Arc::clone(sess);
+        let shared = &self.shared;
+        {
+            let mut st = sess.state.lock();
+            st.last_seen = Instant::now();
+            if let Some(cached) = st.done.get(&req_id) {
+                // Replayed and already applied: rewrite the recorded
+                // answer verbatim; never apply twice.
+                let payload = cached.clone();
+                write_to_session(&mut st, &payload);
+                return true;
+            }
+            if st.in_flight.contains(&req_id) {
+                // Replayed while the submitted operation still runs; it
+                // will answer the current connection on completion.
+                return true;
+            }
+        }
+        match req {
+            // A second handshake mid-session is protocol corruption.
+            Req::HelloNew | Req::HelloResume(_) => return false,
+            Req::Heartbeat { acked } => {
+                {
+                    let mut st = sess.state.lock();
+                    st.done.retain(|k, _| *k >= acked);
+                }
+                // Uncached: heartbeats are never replayed, and the
+                // answer doubles as the hub → spoke lease renewal.
+                shared.session_write_uncached(
                     &sess,
                     req_id,
                     &Resp::Session {
-                        session: sid,
-                        lease_ms: self.lease_ms(),
+                        session: sess.id,
+                        lease_ms: shared.lease_ms(),
                     },
                 );
-                let bound = sess.state.lock().bound.clone();
-                for id in bound {
-                    self.inner
-                        .note_session_event(&SessionEvent::PeerResumed(id));
-                }
-                self.serve_session(stream, &sess, epoch);
             }
-            first => self.serve_legacy(stream, writer, subscribed, Some((req_id, first))),
+            Req::SubscribeFrom { seq } => {
+                // Atomically: mark subscribed, replay the buffered tail
+                // as one batched frame, ack — all under the state lock,
+                // so no event broadcast can interleave and break
+                // gaplessness.
+                let mut st = sess.state.lock();
+                st.subscribed = true;
+                let records: Vec<FaultRecord<I>> = st
+                    .events
+                    .iter()
+                    .filter(|(s, _)| *s > seq)
+                    .map(|(_, rec)| rec.clone())
+                    .collect();
+                if let Some(first_seq) = st.events.iter().find(|(s, _)| *s > seq).map(|(s, _)| *s) {
+                    let mut payload = Vec::new();
+                    EVENT_REQ_ID.encode(&mut payload);
+                    Event::SeqFaults { first_seq, records }.encode(&mut payload);
+                    write_to_session(&mut st, &payload);
+                }
+                let mut payload = Vec::new();
+                req_id.encode(&mut payload);
+                Resp::<I, M>::Unit.encode(&mut payload);
+                write_to_session(&mut st, &payload);
+            }
+            Req::Subscribe => {
+                sess.state.lock().subscribed = true;
+                shared.session_respond(&sess, req_id, &Resp::Unit);
+            }
+            Req::Bind(bid) => {
+                let mut st = sess.state.lock();
+                if !st.bound.contains(&bid) {
+                    st.bound.push(bid);
+                }
+                drop(st);
+                shared.session_respond(&sess, req_id, &Resp::Unit);
+            }
+            Req::Activate(bid) => {
+                {
+                    let mut st = sess.state.lock();
+                    if !st.bound.contains(&bid) {
+                        st.bound.push(bid.clone());
+                    }
+                }
+                shared.inner.activate(bid);
+                shared.session_respond(&sess, req_id, &Resp::Unit);
+            }
+            Req::Finish(bid) => {
+                sess.state.lock().bound.retain(|b| b != &bid);
+                shared.inner.finish(bid);
+                shared.session_respond(&sess, req_id, &Resp::Unit);
+            }
+            Req::Send {
+                from,
+                to,
+                msg,
+                timeout_ms,
+            } => {
+                sess.state.lock().in_flight.insert(req_id);
+                let shared = Arc::clone(&self.shared);
+                let done_shared = Arc::clone(&self.shared);
+                let done_sess = Arc::clone(&sess);
+                let done: script_chan::SendDone<I> = Box::new(move |result| {
+                    let resp = match result {
+                        Ok(()) => Resp::Unit,
+                        Err(e) => Resp::ChanErr(e),
+                    };
+                    done_shared.session_respond(&done_sess, req_id, &resp);
+                });
+                if let Err((msg, done)) = Arc::clone(&shared.inner).submit_send(
+                    &from,
+                    &to,
+                    msg,
+                    deadline_of(timeout_ms),
+                    done,
+                ) {
+                    shared.spawn_worker(move |sh| {
+                        done(sh.inner.send(&from, &to, msg, deadline_of(timeout_ms)));
+                    });
+                }
+            }
+            Req::Select {
+                me,
+                arms,
+                timeout_ms,
+            } => {
+                sess.state.lock().in_flight.insert(req_id);
+                let shared = Arc::clone(&self.shared);
+                let done_shared = Arc::clone(&self.shared);
+                let done_sess = Arc::clone(&sess);
+                let done: script_chan::SelectDone<I, M> = Box::new(move |result| {
+                    let resp = match result {
+                        Ok(outcome) => Resp::Selected(outcome),
+                        Err(e) => Resp::ChanErr(e),
+                    };
+                    done_shared.session_respond(&done_sess, req_id, &resp);
+                });
+                if let Err((arms, done)) = Arc::clone(&shared.inner).submit_select(
+                    &me,
+                    arms,
+                    deadline_of(timeout_ms),
+                    done,
+                ) {
+                    shared.spawn_worker(move |sh| {
+                        done(sh.inner.select(&me, arms, deadline_of(timeout_ms)));
+                    });
+                }
+            }
+            other => {
+                let resp = shared.apply_simple(other);
+                shared.session_respond(&sess, req_id, &resp);
+            }
         }
+        true
     }
 
-    /// The session-mode reader loop: every request is answered through
-    /// the replay cache (idempotent by request id), blocking operations
-    /// go to workers that respond to whatever connection is attached
-    /// when they complete, and exit detaches — never finishes — the
-    /// session.
-    fn serve_session(self: &Arc<Self>, mut stream: TcpStream, sess: &Arc<Session<I>>, epoch: u64) {
-        while let Ok(Some(frame)) = read_frame(&mut stream) {
-            let mut r = Reader::new(&frame);
-            let (Ok(req_id), Ok(req)) = (u64::decode(&mut r), Req::<I, M>::decode(&mut r)) else {
-                break; // protocol corruption: sever the connection
-            };
-            {
-                let mut st = sess.state.lock();
-                st.last_seen = Instant::now();
-                if let Some(cached) = st.done.get(&req_id) {
-                    // Replayed and already applied: rewrite the recorded
-                    // answer verbatim; never apply twice.
-                    let payload = cached.clone();
-                    write_to_session(&mut st, &payload);
-                    continue;
+    /// One request on a pre-session connection — byte-for-byte the old
+    /// contract: the connection's bound ids are finished the moment it
+    /// drops.
+    fn handle_legacy(&mut self, id: u64, req_id: u64, req: Req<I, M>) -> bool {
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return true;
+        };
+        let tx = Arc::clone(&conn.tx);
+        let subscribed = Arc::clone(&conn.subscribed);
+        let ConnMode::Legacy { bound } = &mut conn.mode else {
+            return true;
+        };
+        match req {
+            // A session handshake is only legal as the very first
+            // frame of a connection.
+            Req::HelloNew | Req::HelloResume(_) => return false,
+            Req::Heartbeat { .. } => {
+                // No session to renew: answer the null session so a
+                // confused spoke can tell.
+                self.shared.respond(
+                    &tx,
+                    req_id,
+                    &Resp::<I, M>::Session {
+                        session: 0,
+                        lease_ms: 0,
+                    },
+                );
+            }
+            Req::Subscribe | Req::SubscribeFrom { .. } => {
+                // No event buffer on a legacy connection: subscribe
+                // from now.
+                subscribed.store(true, Ordering::SeqCst);
+                self.shared.respond(&tx, req_id, &Resp::<I, M>::Unit);
+            }
+            Req::Bind(bid) => {
+                if !bound.contains(&bid) {
+                    bound.push(bid);
                 }
-                if st.in_flight.contains(&req_id) {
-                    // Replayed while a worker still computes the answer;
-                    // it will respond to the current connection.
-                    continue;
+                self.shared.respond(&tx, req_id, &Resp::<I, M>::Unit);
+            }
+            Req::Activate(bid) => {
+                // The connection that animates a participant is the one
+                // whose death must terminate it: activate binds.
+                if !bound.contains(&bid) {
+                    bound.push(bid.clone());
+                }
+                self.shared.inner.activate(bid);
+                self.shared.respond(&tx, req_id, &Resp::<I, M>::Unit);
+            }
+            Req::Finish(bid) => {
+                bound.retain(|b| b != &bid);
+                self.shared.inner.finish(bid);
+                self.shared.respond(&tx, req_id, &Resp::<I, M>::Unit);
+            }
+            Req::Send {
+                from,
+                to,
+                msg,
+                timeout_ms,
+            } => {
+                let done_shared = Arc::clone(&self.shared);
+                let done: script_chan::SendDone<I> = Box::new(move |result| {
+                    let resp = match result {
+                        Ok(()) => Resp::<I, M>::Unit,
+                        Err(e) => Resp::ChanErr(e),
+                    };
+                    done_shared.respond(&tx, req_id, &resp);
+                });
+                if let Err((msg, done)) = Arc::clone(&self.shared.inner).submit_send(
+                    &from,
+                    &to,
+                    msg,
+                    deadline_of(timeout_ms),
+                    done,
+                ) {
+                    self.shared.spawn_worker(move |sh| {
+                        done(sh.inner.send(&from, &to, msg, deadline_of(timeout_ms)));
+                    });
                 }
             }
-            match req {
-                // A second handshake mid-session is protocol corruption.
-                Req::HelloNew | Req::HelloResume(_) => break,
-                Req::Heartbeat { acked } => {
-                    {
-                        let mut st = sess.state.lock();
-                        st.done.retain(|k, _| *k >= acked);
-                    }
-                    // Uncached: heartbeats are never replayed, and the
-                    // answer doubles as the hub → spoke lease renewal.
-                    self.session_write_uncached(
-                        sess,
-                        req_id,
-                        &Resp::Session {
-                            session: sess.id,
-                            lease_ms: self.lease_ms(),
-                        },
-                    );
+            Req::Select {
+                me,
+                arms,
+                timeout_ms,
+            } => {
+                let done_shared = Arc::clone(&self.shared);
+                let done: script_chan::SelectDone<I, M> = Box::new(move |result| {
+                    let resp = match result {
+                        Ok(outcome) => Resp::Selected(outcome),
+                        Err(e) => Resp::ChanErr(e),
+                    };
+                    done_shared.respond(&tx, req_id, &resp);
+                });
+                if let Err((arms, done)) = Arc::clone(&self.shared.inner).submit_select(
+                    &me,
+                    arms,
+                    deadline_of(timeout_ms),
+                    done,
+                ) {
+                    self.shared.spawn_worker(move |sh| {
+                        done(sh.inner.select(&me, arms, deadline_of(timeout_ms)));
+                    });
                 }
-                Req::SubscribeFrom { seq } => {
-                    // Atomically: mark subscribed, replay the buffered
-                    // tail, ack — all under the state lock, so no event
-                    // broadcast can interleave and break gaplessness.
-                    let mut st = sess.state.lock();
-                    st.subscribed = true;
-                    let tail: Vec<Vec<u8>> = st
-                        .events
-                        .iter()
-                        .filter(|(s, _)| *s > seq)
-                        .map(|(_, p)| p.clone())
-                        .collect();
-                    for payload in &tail {
-                        write_to_session(&mut st, payload);
-                    }
-                    let mut payload = Vec::new();
-                    req_id.encode(&mut payload);
-                    Resp::<I, M>::Unit.encode(&mut payload);
-                    write_to_session(&mut st, &payload);
+            }
+            other => {
+                let resp = self.shared.apply_simple(other);
+                self.shared.respond(&tx, req_id, &resp);
+            }
+        }
+        true
+    }
+
+    /// Removes a connection, applying its mode's death semantics:
+    /// legacy binds die with the connection; a session merely detaches
+    /// and awaits resume or lease expiry.
+    fn teardown(&mut self, id: u64) {
+        let Some(conn) = self.conns.remove(&id) else {
+            return;
+        };
+        self.shared.conns.lock().retain(|c| c.id != id);
+        let _ = conn.stream.shutdown(Shutdown::Both);
+        match conn.mode {
+            ConnMode::Fresh => {}
+            ConnMode::Legacy { bound } => {
+                // The connection is gone: every participant it animated
+                // is too.
+                for bid in bound {
+                    self.shared.inner.finish(bid);
                 }
-                Req::Subscribe => {
-                    let mut st = sess.state.lock();
-                    st.subscribed = true;
+            }
+            ConnMode::Session { sess, epoch } => {
+                // Detach, not death: the session (and its bound
+                // performances) stays alive until the lease expires or
+                // a resume re-attaches.
+                let mut st = sess.state.lock();
+                if st.epoch == epoch {
+                    st.writer = None;
+                    st.stream = None;
+                    st.last_seen = Instant::now();
+                    let bound = st.bound.clone();
                     drop(st);
-                    self.session_respond(sess, req_id, &Resp::Unit);
-                }
-                Req::Bind(id) => {
-                    let mut st = sess.state.lock();
-                    if !st.bound.contains(&id) {
-                        st.bound.push(id);
-                    }
-                    drop(st);
-                    self.session_respond(sess, req_id, &Resp::Unit);
-                }
-                Req::Activate(id) => {
-                    {
-                        let mut st = sess.state.lock();
-                        if !st.bound.contains(&id) {
-                            st.bound.push(id.clone());
+                    if !self.shared.shutdown.load(Ordering::SeqCst) {
+                        for bid in bound {
+                            self.shared
+                                .inner
+                                .note_session_event(&SessionEvent::PeerDisconnected(bid));
                         }
                     }
-                    self.inner.activate(id);
-                    self.session_respond(sess, req_id, &Resp::Unit);
-                }
-                Req::Finish(id) => {
-                    sess.state.lock().bound.retain(|b| b != &id);
-                    self.inner.finish(id);
-                    self.session_respond(sess, req_id, &Resp::Unit);
-                }
-                Req::Declare(id) => {
-                    self.inner.declare(id);
-                    self.session_respond(sess, req_id, &Resp::Unit);
-                }
-                Req::Seal => {
-                    self.inner.seal();
-                    self.session_respond(sess, req_id, &Resp::Unit);
-                }
-                Req::Abort => {
-                    self.inner.abort();
-                    self.session_respond(sess, req_id, &Resp::Unit);
-                }
-                Req::IsAborted => {
-                    let resp = Resp::Bool(self.inner.is_aborted());
-                    self.session_respond(sess, req_id, &resp);
-                }
-                Req::PeerStateOf(id) => {
-                    let resp = Resp::State(self.inner.peer_state(&id));
-                    self.session_respond(sess, req_id, &resp);
-                }
-                Req::Peers => {
-                    let resp = Resp::PeerList(self.inner.peers());
-                    self.session_respond(sess, req_id, &resp);
-                }
-                Req::Activity => {
-                    let resp = Resp::Counter(self.inner.activity());
-                    self.session_respond(sess, req_id, &resp);
-                }
-                Req::Reseed(seed) => {
-                    self.inner.reseed(seed);
-                    self.session_respond(sess, req_id, &Resp::Unit);
-                }
-                Req::EnsurePeer(id) => {
-                    let resp = match self.inner.ensure_peer(&id) {
-                        Ok(()) => Resp::Unit,
-                        Err(e) => Resp::ChanErr(e),
-                    };
-                    self.session_respond(sess, req_id, &resp);
-                }
-                Req::HasPendingFrom { to, from } => {
-                    let resp = Resp::Bool(self.inner.has_pending_from(&to, &from));
-                    self.session_respond(sess, req_id, &resp);
-                }
-                Req::SetFaultPlan(plan) => {
-                    self.inner.set_fault_plan(plan, clone_of::<M>);
-                    self.session_respond(sess, req_id, &Resp::Unit);
-                }
-                Req::ClearFaultPlan => {
-                    self.inner.clear_fault_plan();
-                    self.session_respond(sess, req_id, &Resp::Unit);
-                }
-                Req::GetFaultPlan => {
-                    let resp = Resp::Plan(self.inner.fault_plan());
-                    self.session_respond(sess, req_id, &resp);
-                }
-                Req::FaultLog => {
-                    let resp = Resp::Log(self.inner.fault_log());
-                    self.session_respond(sess, req_id, &resp);
-                }
-                Req::TakeFaultLog => {
-                    let resp = Resp::Log(self.inner.take_fault_log());
-                    self.session_respond(sess, req_id, &resp);
-                }
-                Req::TryRecv { me, from } => {
-                    let resp = match self.inner.try_recv(&me, &from) {
-                        Ok(msg) => Resp::Msg(msg),
-                        Err(e) => Resp::ChanErr(e),
-                    };
-                    self.session_respond(sess, req_id, &resp);
-                }
-                // Blocking operations get a worker thread each, so one
-                // parked rendezvous never blocks this reader loop. The
-                // worker answers whatever connection is attached when
-                // the rendezvous completes — possibly none, in which
-                // case the cached answer waits for the replay.
-                Req::Send {
-                    from,
-                    to,
-                    msg,
-                    timeout_ms,
-                } => {
-                    sess.state.lock().in_flight.insert(req_id);
-                    let shared = Arc::clone(self);
-                    let sess = Arc::clone(sess);
-                    thread::spawn(move || {
-                        let resp = match shared.inner.send(&from, &to, msg, deadline_of(timeout_ms))
-                        {
-                            Ok(()) => Resp::Unit,
-                            Err(e) => Resp::ChanErr(e),
-                        };
-                        shared.session_respond(&sess, req_id, &resp);
-                    });
-                }
-                Req::Select {
-                    me,
-                    arms,
-                    timeout_ms,
-                } => {
-                    sess.state.lock().in_flight.insert(req_id);
-                    let shared = Arc::clone(self);
-                    let sess = Arc::clone(sess);
-                    thread::spawn(move || {
-                        let resp = match shared.inner.select(&me, arms, deadline_of(timeout_ms)) {
-                            Ok(outcome) => Resp::Selected(outcome),
-                            Err(e) => Resp::ChanErr(e),
-                        };
-                        shared.session_respond(&sess, req_id, &resp);
-                    });
-                }
-            }
-        }
-        // Detach, not death: the session (and its bound performances)
-        // stays alive until the lease expires or a resume re-attaches.
-        let mut st = sess.state.lock();
-        if st.epoch == epoch {
-            st.writer = None;
-            st.stream = None;
-            st.last_seen = Instant::now();
-            let bound = st.bound.clone();
-            drop(st);
-            if !self.shutdown.load(Ordering::SeqCst) {
-                for id in bound {
-                    self.inner
-                        .note_session_event(&SessionEvent::PeerDisconnected(id));
                 }
             }
         }
     }
 
-    /// The pre-session reader loop, byte-for-byte today's contract: the
-    /// connection's bound ids are finished the moment it drops.
-    fn serve_legacy(
-        self: &Arc<Self>,
-        mut stream: TcpStream,
-        writer: Arc<Mutex<TcpStream>>,
-        subscribed: Arc<AtomicBool>,
-        first: Option<(u64, Req<I, M>)>,
-    ) {
-        let mut bound: Vec<I> = Vec::new();
-        let mut pending = first;
-        // Clean close, truncated frame, reset: all peer loss — exit.
-        loop {
-            let (req_id, req) = match pending.take() {
-                Some(x) => x,
-                None => {
-                    let Ok(Some(frame)) = read_frame(&mut stream) else {
-                        break;
-                    };
-                    let mut r = Reader::new(&frame);
-                    let (Ok(req_id), Ok(req)) = (u64::decode(&mut r), Req::<I, M>::decode(&mut r))
-                    else {
-                        break; // protocol corruption: sever the connection
-                    };
-                    (req_id, req)
-                }
-            };
-            match req {
-                // A session handshake is only legal as the very first
-                // frame of a connection.
-                Req::HelloNew | Req::HelloResume(_) => break,
-                Req::Heartbeat { .. } => {
-                    // No session to renew: answer the null session so a
-                    // confused spoke can tell.
-                    self.respond(
-                        &writer,
-                        req_id,
-                        &Resp::Session {
-                            session: 0,
-                            lease_ms: 0,
-                        },
-                    );
-                }
-                Req::SubscribeFrom { .. } => {
-                    // No event buffer on a legacy connection: subscribe
-                    // from now.
-                    subscribed.store(true, Ordering::SeqCst);
-                    self.respond(&writer, req_id, &Resp::Unit);
-                }
-                Req::Bind(id) => {
-                    if !bound.contains(&id) {
-                        bound.push(id);
-                    }
-                    self.respond(&writer, req_id, &Resp::Unit);
-                }
-                Req::Declare(id) => {
-                    self.inner.declare(id);
-                    self.respond(&writer, req_id, &Resp::Unit);
-                }
-                Req::Activate(id) => {
-                    // The connection that animates a participant is the
-                    // one whose death must terminate it: activate binds.
-                    if !bound.contains(&id) {
-                        bound.push(id.clone());
-                    }
-                    self.inner.activate(id);
-                    self.respond(&writer, req_id, &Resp::Unit);
-                }
-                Req::Finish(id) => {
-                    bound.retain(|b| b != &id);
-                    self.inner.finish(id);
-                    self.respond(&writer, req_id, &Resp::Unit);
-                }
-                Req::Seal => {
-                    self.inner.seal();
-                    self.respond(&writer, req_id, &Resp::Unit);
-                }
-                Req::Abort => {
-                    self.inner.abort();
-                    self.respond(&writer, req_id, &Resp::Unit);
-                }
-                Req::IsAborted => {
-                    self.respond(&writer, req_id, &Resp::Bool(self.inner.is_aborted()));
-                }
-                Req::PeerStateOf(id) => {
-                    self.respond(&writer, req_id, &Resp::State(self.inner.peer_state(&id)));
-                }
-                Req::Peers => {
-                    self.respond(&writer, req_id, &Resp::PeerList(self.inner.peers()));
-                }
-                Req::Activity => {
-                    self.respond(&writer, req_id, &Resp::Counter(self.inner.activity()));
-                }
-                Req::Reseed(seed) => {
-                    self.inner.reseed(seed);
-                    self.respond(&writer, req_id, &Resp::Unit);
-                }
-                Req::EnsurePeer(id) => {
-                    let resp = match self.inner.ensure_peer(&id) {
-                        Ok(()) => Resp::Unit,
-                        Err(e) => Resp::ChanErr(e),
-                    };
-                    self.respond(&writer, req_id, &resp);
-                }
-                Req::HasPendingFrom { to, from } => {
-                    self.respond(
-                        &writer,
-                        req_id,
-                        &Resp::Bool(self.inner.has_pending_from(&to, &from)),
-                    );
-                }
-                Req::SetFaultPlan(plan) => {
-                    self.inner.set_fault_plan(plan, clone_of::<M>);
-                    self.respond(&writer, req_id, &Resp::Unit);
-                }
-                Req::ClearFaultPlan => {
-                    self.inner.clear_fault_plan();
-                    self.respond(&writer, req_id, &Resp::Unit);
-                }
-                Req::GetFaultPlan => {
-                    self.respond(&writer, req_id, &Resp::Plan(self.inner.fault_plan()));
-                }
-                Req::FaultLog => {
-                    self.respond(&writer, req_id, &Resp::Log(self.inner.fault_log()));
-                }
-                Req::TakeFaultLog => {
-                    self.respond(&writer, req_id, &Resp::Log(self.inner.take_fault_log()));
-                }
-                Req::Subscribe => {
-                    subscribed.store(true, Ordering::SeqCst);
-                    self.respond(&writer, req_id, &Resp::Unit);
-                }
-                Req::TryRecv { me, from } => {
-                    let resp = match self.inner.try_recv(&me, &from) {
-                        Ok(msg) => Resp::Msg(msg),
-                        Err(e) => Resp::ChanErr(e),
-                    };
-                    self.respond(&writer, req_id, &resp);
-                }
-                // Blocking operations get a worker thread each, so one
-                // parked rendezvous never blocks this reader loop.
-                Req::Send {
-                    from,
-                    to,
-                    msg,
-                    timeout_ms,
-                } => {
-                    let shared = Arc::clone(self);
-                    let writer = Arc::clone(&writer);
-                    thread::spawn(move || {
-                        let resp = match shared.inner.send(&from, &to, msg, deadline_of(timeout_ms))
-                        {
-                            Ok(()) => Resp::Unit,
-                            Err(e) => Resp::ChanErr(e),
-                        };
-                        shared.respond(&writer, req_id, &resp);
-                    });
-                }
-                Req::Select {
-                    me,
-                    arms,
-                    timeout_ms,
-                } => {
-                    let shared = Arc::clone(self);
-                    let writer = Arc::clone(&writer);
-                    thread::spawn(move || {
-                        let resp = match shared.inner.select(&me, arms, deadline_of(timeout_ms)) {
-                            Ok(outcome) => Resp::Selected(outcome),
-                            Err(e) => Resp::ChanErr(e),
-                        };
-                        shared.respond(&writer, req_id, &resp);
-                    });
-                }
+    /// Shutdown path: briefly re-enable blocking writes to deliver the
+    /// queued [`Event::Closing`] notices, then close everything.
+    fn drain_and_close(&mut self) {
+        let ids: Vec<u64> = self.conns.keys().copied().collect();
+        for id in &ids {
+            if let Some(conn) = self.conns.get_mut(id) {
+                let _ = conn.stream.set_nonblocking(false);
+                let _ = conn
+                    .stream
+                    .set_write_timeout(Some(Duration::from_millis(100)));
+                let mut buf = conn.tx.buf.lock();
+                let _ = buf.flush_to(&mut conn.stream);
             }
         }
-        // The connection is gone: every participant it animated is too.
-        for id in bound {
-            self.inner.finish(id);
+        for id in ids {
+            self.teardown(id);
+        }
+    }
+}
+
+impl<I, M> ServerShared<I, M>
+where
+    I: Wire + Clone + Eq + Hash + fmt::Debug + Send + Sync + 'static,
+    M: Wire + Clone + Send + Sync + 'static,
+{
+    /// Executes one of the nonblocking, connection-agnostic requests.
+    /// Blocking ops, handshakes and connection-scoped requests never
+    /// reach here.
+    fn apply_simple(&self, req: Req<I, M>) -> Resp<I, M> {
+        match req {
+            Req::Declare(id) => {
+                self.inner.declare(id);
+                Resp::Unit
+            }
+            Req::Seal => {
+                self.inner.seal();
+                Resp::Unit
+            }
+            Req::Abort => {
+                self.inner.abort();
+                Resp::Unit
+            }
+            Req::IsAborted => Resp::Bool(self.inner.is_aborted()),
+            Req::PeerStateOf(id) => Resp::State(self.inner.peer_state(&id)),
+            Req::Peers => Resp::PeerList(self.inner.peers()),
+            Req::Activity => Resp::Counter(self.inner.activity()),
+            Req::Reseed(seed) => {
+                self.inner.reseed(seed);
+                Resp::Unit
+            }
+            Req::EnsurePeer(id) => match self.inner.ensure_peer(&id) {
+                Ok(()) => Resp::Unit,
+                Err(e) => Resp::ChanErr(e),
+            },
+            Req::HasPendingFrom { to, from } => Resp::Bool(self.inner.has_pending_from(&to, &from)),
+            Req::SetFaultPlan(plan) => {
+                self.inner.set_fault_plan(plan, clone_of::<M>);
+                Resp::Unit
+            }
+            Req::ClearFaultPlan => {
+                self.inner.clear_fault_plan();
+                Resp::Unit
+            }
+            Req::GetFaultPlan => Resp::Plan(self.inner.fault_plan()),
+            Req::FaultLog => Resp::Log(self.inner.fault_log()),
+            Req::TakeFaultLog => Resp::Log(self.inner.take_fault_log()),
+            Req::TryRecv { me, from } => match self.inner.try_recv(&me, &from) {
+                Ok(msg) => Resp::Msg(msg),
+                Err(e) => Resp::ChanErr(e),
+            },
+            // Routed before apply_simple; answering Unit would be a
+            // protocol lie, so make the bug loud.
+            Req::Bind(_)
+            | Req::Activate(_)
+            | Req::Finish(_)
+            | Req::Subscribe
+            | Req::SubscribeFrom { .. }
+            | Req::Send { .. }
+            | Req::Select { .. }
+            | Req::HelloNew
+            | Req::HelloResume(_)
+            | Req::Heartbeat { .. } => unreachable!("request routed before apply_simple"),
         }
     }
 
-    /// Writes one `(req_id, resp)` frame; errors mean the connection is
-    /// dying and are surfaced by its reader loop, not here.
-    fn respond(&self, writer: &Mutex<TcpStream>, req_id: u64, resp: &Resp<I, M>) {
+    /// Fallback for inner transports without submission support: one
+    /// counted worker thread per blocking operation.
+    fn spawn_worker(self: &Arc<Self>, job: impl FnOnce(&Arc<Self>) + Send + 'static) {
+        let shared = Arc::clone(self);
+        shared.workers.fetch_add(1, Ordering::SeqCst);
+        thread::spawn(move || {
+            job(&shared);
+            shared.workers.fetch_sub(1, Ordering::SeqCst);
+        });
+    }
+
+    /// Queues one `(req_id, resp)` frame on a connection's output
+    /// buffer; the reactor flushes it on its next wakeup.
+    fn respond(&self, tx: &ConnTx, req_id: u64, resp: &Resp<I, M>) {
         let mut payload = Vec::new();
         req_id.encode(&mut payload);
         resp.encode(&mut payload);
-        let mut w = writer.lock();
-        let _ = write_frame(&mut *w, &payload);
+        tx.push(&payload);
     }
 
-    /// Records `resp` in the session's replay cache, then writes it to
+    /// Records `resp` in the session's replay cache, then queues it on
     /// the currently attached connection, if any. A severed session
     /// simply accumulates answers for the eventual replay.
     fn session_respond(&self, sess: &Session<I>, req_id: u64, resp: &Resp<I, M>) {
@@ -865,28 +1108,30 @@ where
     /// The inner transport's fault observer: streams the record to
     /// every subscriber (legacy and sequenced), then *enacts*
     /// connection faults by severing the session carrying the faulted
-    /// edge.
+    /// edge. Runs on whatever thread injected the fault — the reactor
+    /// itself for spoke-submitted operations — so it only touches the
+    /// cross-thread state ([`ConnTx`], session state, raw stream
+    /// handles), never the reactor's own maps.
     fn handle_fault(&self, rec: &FaultRecord<I>) {
         // Legacy push: unsequenced, best-effort, to subscribed
         // connections that never opened a session.
-        let legacy: Vec<Arc<Mutex<TcpStream>>> = self
+        let legacy: Vec<Arc<ConnTx>> = self
             .conns
             .lock()
             .iter()
             .filter(|c| c.subscribed.load(Ordering::SeqCst))
-            .map(|c| Arc::clone(&c.writer))
+            .map(|c| Arc::clone(&c.tx))
             .collect();
         if !legacy.is_empty() {
             let mut payload = Vec::new();
             EVENT_REQ_ID.encode(&mut payload);
             Event::Fault(rec.clone()).encode(&mut payload);
-            for writer in legacy {
-                let mut w = writer.lock();
-                let _ = write_frame(&mut *w, &payload);
+            for tx in legacy {
+                tx.push(&payload);
             }
         }
         // Sequenced push per subscribed session, buffered for gapless
-        // resume replay. Sequencing and writing happen under the state
+        // resume replay. Sequencing and queueing happen under the state
         // lock so concurrent faults cannot reorder on the wire.
         let sessions: Vec<Arc<Session<I>>> = self.sessions.lock().values().cloned().collect();
         for sess in &sessions {
@@ -903,7 +1148,7 @@ where
                 record: rec.clone(),
             }
             .encode(&mut payload);
-            st.events.push_back((seq, payload.clone()));
+            st.events.push_back((seq, rec.clone()));
             if st.events.len() > EVENT_BUFFER_CAP {
                 st.events.pop_front();
             }
@@ -976,13 +1221,10 @@ where
     }
 }
 
-/// Writes `payload` to the session's attached connection, if any. Write
-/// errors are ignored: the reader loop notices the dying connection and
-/// the replay cache already holds the answer.
+/// Queues `payload` on the session's attached connection, if any.
 fn write_to_session<I>(st: &mut SessionState<I>, payload: &[u8]) {
-    if let Some(w) = st.writer.as_ref() {
-        let mut w = w.lock();
-        let _ = write_frame(&mut *w, payload);
+    if let Some(tx) = st.writer.as_ref() {
+        tx.push(payload);
     }
 }
 

@@ -18,7 +18,7 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 
 use script_chan::{Arm, ChanError, FaultKind, FaultPlan, FaultRecord, Outcome};
-use script_net::proto::{Req, Resp};
+use script_net::proto::{Event, Req, Resp};
 use script_net::{read_frame, write_frame, Wire, MAX_FRAME};
 
 /// A printable-ish string strategy (arbitrary bytes, lossily UTF-8).
@@ -108,6 +108,22 @@ fn any_req() -> impl Strategy<Value = Req<String, u64>> {
         })
 }
 
+/// An event push covering every tag, including the hub-shutdown notice
+/// and the batched resume-replay form.
+fn any_event() -> impl Strategy<Value = Event<String>> {
+    (0u8..4, any_record(), vec(any_record(), 0..5), any::<u64>()).prop_map(
+        |(pick, record, records, n)| match pick {
+            0 => Event::Fault(record),
+            1 => Event::SeqFault { seq: n, record },
+            2 => Event::Closing,
+            _ => Event::SeqFaults {
+                first_seq: n,
+                records,
+            },
+        },
+    )
+}
+
 /// A response covering every variant, including error payloads.
 fn any_resp() -> impl Strategy<Value = Resp<String, u64>> {
     (0u8..11, any_string(), any::<u64>(), any_record()).prop_map(|(pick, s, n, rec)| match pick {
@@ -161,6 +177,21 @@ proptest! {
     }
 
     #[test]
+    fn events_roundtrip(ev in any_event()) {
+        let bytes = ev.to_bytes();
+        prop_assert_eq!(Wire::from_bytes(&bytes), Ok(ev));
+    }
+
+    #[test]
+    fn event_truncations_are_rejected(ev in any_event(), frac in 0u32..1_000) {
+        let bytes = ev.to_bytes();
+        prop_assume!(!bytes.is_empty());
+        let cut = (frac as usize * bytes.len()) / 1_000;
+        let res: Result<Event<String>, _> = Wire::from_bytes(&bytes[..cut]);
+        prop_assert!(res.is_err(), "strict prefix of {} bytes decoded", cut);
+    }
+
+    #[test]
     fn fault_plans_roundtrip_exactly(plan in any_plan()) {
         let bytes = plan.to_bytes();
         prop_assert_eq!(Wire::from_bytes(&bytes), Ok(plan));
@@ -197,6 +228,7 @@ proptest! {
         // never a panic, for every decoder the protocol uses.
         let _ = <Req<String, u64> as Wire>::from_bytes(&soup);
         let _ = <Resp<String, u64> as Wire>::from_bytes(&soup);
+        let _ = <Event<String> as Wire>::from_bytes(&soup);
         let _ = <FaultPlan as Wire>::from_bytes(&soup);
         let _ = <(u64, String) as Wire>::from_bytes(&soup);
         let _ = read_frame(&mut Cursor::new(&soup));
