@@ -1,0 +1,151 @@
+//! E20: cost of runtime protocol conformance monitoring.
+//!
+//! Four arms run the same `ROUNDS`-round labeled ping-pong performance
+//! on the engine, crossed over transport and monitoring:
+//!
+//! * `sharded/unmonitored` — no subscriber at all: the no-subscriber
+//!   fast path, one relaxed atomic load per would-be rendezvous event
+//!   (the `micro_kernel` discipline; must match E17's `disabled`).
+//! * `sharded/monitored` — a [`ConformanceMonitor`] subscribed: every
+//!   rendezvous is labeled, mapped onto two local-monitor advances,
+//!   and checked against the projected global type.
+//! * `socket/unmonitored` / `socket/monitored` — the same two arms
+//!   with the performance's network on a loopback TCP hub
+//!   (hub-side labeling, rendezvous records streamed back to the
+//!   spoke's observer plane).
+//!
+//! The acceptance bar (EXPERIMENTS.md E20): the unmonitored arms stay
+//! within noise of their E17/E19 baselines — wiring the monitor seam
+//! must cost nothing when nobody watches — and monitoring adds only
+//! per-event constant work on top of the subscribed plane.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use script_chan::{Network, ShardedTransport, Transport};
+use script_core::{
+    Initiation, Instance, NetworkFactory, PerformanceNet, RoleId, Script, Termination,
+};
+use script_net::{SocketTransport, TransportServer};
+use script_proto::{ConformanceMonitor, GlobalType};
+
+const ROUNDS: u64 = 8;
+
+type Role = script_core::RoleHandle<u64, (), ()>;
+
+/// Ping sends even values, pong replies odd: the labeler the monitor
+/// matches against.
+fn label_of(m: &u64) -> Option<String> {
+    Some(if m.is_multiple_of(2) { "ping" } else { "pong" }.to_string())
+}
+
+fn ping_pong_type() -> GlobalType {
+    (0..ROUNDS).rev().fold(GlobalType::End, |acc, _| {
+        GlobalType::msg(
+            "ping",
+            "pong",
+            "ping",
+            GlobalType::msg("pong", "ping", "pong", acc),
+        )
+    })
+}
+
+fn ping_pong() -> (Script<u64>, Role, Role) {
+    let mut b = Script::<u64>::builder("e20");
+    let ping = b.role("ping", |ctx, ()| {
+        for k in 0..ROUNDS {
+            ctx.send(&RoleId::new("pong"), 2 * k)?;
+            ctx.recv_from(&RoleId::new("pong"))?;
+        }
+        Ok(())
+    });
+    let pong = b.role("pong", |ctx, ()| {
+        for _ in 0..ROUNDS {
+            let v = ctx.recv_from(&RoleId::new("ping"))?;
+            ctx.send(&RoleId::new("ping"), v + 1)?;
+        }
+        Ok(())
+    });
+    b.initiation(Initiation::Delayed)
+        .termination(Termination::Delayed);
+    (b.build().unwrap(), ping, pong)
+}
+
+/// Builds a hub and a factory routing every performance onto it.
+fn hub() -> (TransportServer<RoleId, u64>, Arc<NetworkFactory<u64>>) {
+    let inner: Arc<dyn Transport<RoleId, u64>> = Arc::new(ShardedTransport::new(false, None));
+    let server = TransportServer::bind("127.0.0.1:0", inner).expect("bind hub");
+    server.set_message_labeler(label_of);
+    let addr = server.local_addr();
+    let factory: Arc<NetworkFactory<u64>> = Arc::new(move |_ctx: &PerformanceNet| {
+        let spoke: Arc<dyn Transport<RoleId, u64>> =
+            Arc::new(SocketTransport::<RoleId, u64>::connect(addr).expect("spoke connect"));
+        Network::with_transport(spoke)
+    });
+    (server, factory)
+}
+
+fn install_monitor(inst: &Instance<u64>) -> Arc<ConformanceMonitor> {
+    inst.set_message_labeler(label_of);
+    let monitor = Arc::new(ConformanceMonitor::new(&ping_pong_type()).expect("projects"));
+    inst.set_observer(Arc::clone(&monitor) as _);
+    monitor
+}
+
+fn run_once(inst: &Instance<u64>, ping: &Role, pong: &Role) {
+    std::thread::scope(|s| {
+        let i = inst.clone();
+        let ping = ping.clone();
+        let h = s.spawn(move || i.enroll(&ping, ()));
+        inst.enroll(pong, ()).unwrap();
+        h.join().unwrap().unwrap();
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e20_conformance_monitor");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_millis(1600));
+    // Each performance completes 2 * ROUNDS rendezvous.
+    group.throughput(Throughput::Elements(2 * ROUNDS));
+
+    for transport in ["sharded", "socket"] {
+        for monitored in [false, true] {
+            let arm = if monitored {
+                "monitored"
+            } else {
+                "unmonitored"
+            };
+            group.bench_with_input(
+                BenchmarkId::new(transport, arm),
+                &(transport, monitored),
+                |b, &(transport, monitored)| {
+                    let (script, ping, pong) = ping_pong();
+                    let inst = script.instance();
+                    let _server = if transport == "socket" {
+                        let (server, factory) = hub();
+                        inst.set_network_factory(factory);
+                        Some(server)
+                    } else {
+                        None
+                    };
+                    let monitor = monitored.then(|| install_monitor(&inst));
+                    b.iter(|| run_once(&inst, &ping, &pong));
+                    if let Some(m) = monitor {
+                        assert!(
+                            m.verdicts().is_empty(),
+                            "the bench workload conforms: {:?}",
+                            m.verdicts()
+                        );
+                    }
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

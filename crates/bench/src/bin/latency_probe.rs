@@ -1,0 +1,126 @@
+//! Per-call rendezvous latency probe (the Ada `CALENDAR.CLOCK`
+//! rendezvous timing harness, ported to the socket transport).
+//!
+//! Where E19 reports throughput, this harness reports the *per-RPC
+//! latency distribution*: each sender role timestamps every individual
+//! `send` (which completes only at pickup — one full rendezvous), and
+//! the probe prints min/p50/p90/p99/max per arm. Arms are the cross of
+//! transport {sharded, socket} × pipeline depth {1, 64}; depth-64
+//! latency shows what an individual rendezvous *costs* while 64 are in
+//! flight on one connection — the tail the E19 throughput numbers hide.
+//!
+//! ```sh
+//! cargo run --release -p script-bench --bin latency_probe
+//! ```
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use script_chan::{Arm, Outcome, ShardedTransport, Transport};
+use script_net::{SocketTransport, TransportServer};
+
+/// Messages each sender role streams per arm.
+const PER_SENDER: u64 = 200;
+
+fn far() -> Option<Instant> {
+    Some(Instant::now() + Duration::from_secs(60))
+}
+
+fn sender_id(i: usize) -> String {
+    format!("s{i}")
+}
+
+/// Runs `depth` concurrent senders through `spokes` into a hub-local
+/// sink on `inner`, returning every individual send's latency.
+fn probe(
+    inner: &Arc<dyn Transport<String, u64>>,
+    spokes: &Arc<dyn Transport<String, u64>>,
+    depth: usize,
+) -> Vec<Duration> {
+    inner.declare("sink".to_string());
+    inner.activate("sink".to_string());
+    for i in 0..depth {
+        inner.declare(sender_id(i));
+        spokes.activate(sender_id(i));
+    }
+    let total = depth as u64 * PER_SENDER;
+    let mut lat = Vec::with_capacity(total as usize);
+    std::thread::scope(|s| {
+        let sink_inner = Arc::clone(inner);
+        s.spawn(move || {
+            for _ in 0..total {
+                let got = sink_inner
+                    .select(&"sink".to_string(), vec![Arm::recv_any()], far())
+                    .expect("sink receive");
+                assert!(matches!(got, Outcome::Received { .. }));
+            }
+        });
+        let handles: Vec<_> = (0..depth)
+            .map(|i| {
+                let t = Arc::clone(spokes);
+                s.spawn(move || {
+                    let me = sender_id(i);
+                    let mut mine = Vec::with_capacity(PER_SENDER as usize);
+                    for v in 0..PER_SENDER {
+                        let t0 = Instant::now();
+                        t.send(&me, &"sink".to_string(), v, far()).expect("send");
+                        mine.push(t0.elapsed());
+                    }
+                    mine
+                })
+            })
+            .collect();
+        for h in handles {
+            lat.extend(h.join().expect("sender"));
+        }
+    });
+    lat
+}
+
+fn pct(sorted: &[Duration], p: f64) -> Duration {
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn us(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+fn report(arm: &str, mut lat: Vec<Duration>) {
+    lat.sort_unstable();
+    println!(
+        "| `{arm}` | {} | {:.1} | {:.1} | {:.1} | {:.1} | {:.1} |",
+        lat.len(),
+        us(lat[0]),
+        us(pct(&lat, 0.50)),
+        us(pct(&lat, 0.90)),
+        us(pct(&lat, 0.99)),
+        us(*lat.last().unwrap()),
+    );
+}
+
+fn main() {
+    println!("Per-RPC rendezvous latency (µs); send completes at pickup.");
+    println!("| arm | calls | min | p50 | p90 | p99 | max |");
+    println!("|---|---|---|---|---|---|---|");
+    for depth in [1usize, 64] {
+        let inner: Arc<dyn Transport<String, u64>> =
+            Arc::new(ShardedTransport::new(false, Some(19)));
+        report(
+            &format!("sharded/depth_{depth}"),
+            probe(&inner, &inner, depth),
+        );
+
+        let inner: Arc<dyn Transport<String, u64>> =
+            Arc::new(ShardedTransport::new(false, Some(19)));
+        let server = TransportServer::bind("127.0.0.1:0", Arc::clone(&inner)).expect("bind");
+        let client: Arc<dyn Transport<String, u64>> = Arc::new(
+            SocketTransport::<String, u64>::connect(server.local_addr()).expect("connect"),
+        );
+        report(
+            &format!("socket/depth_{depth}"),
+            probe(&inner, &client, depth),
+        );
+        drop(server);
+    }
+}

@@ -853,6 +853,174 @@ pub fn check_pipelined_calls(factory: TransportFactory<'_>) {
     });
 }
 
+/// The reference message labeler of the monitored-protocol schedule:
+/// even payloads are `ping`s, odd payloads are `pong`s.
+///
+/// A plain `fn` so it crosses the transport seam; a hub-backed factory
+/// must install the *same* labeler on its server
+/// (`TransportServer::set_message_labeler`) — spokes forward opaque
+/// messages, so labels are extracted where delivery happens.
+pub fn reference_label(m: &u64) -> Option<String> {
+    Some(if m.is_multiple_of(2) { "ping" } else { "pong" }.to_string())
+}
+
+/// How the reference monitored-protocol schedule deviates from its
+/// protocol, if at all. Each variant is one of the classic misbehaving
+/// roles a runtime conformance monitor must flag: a message to the
+/// wrong peer, a mislabeled message, a message the protocol never
+/// prescribed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Misbehavior {
+    /// Follow the protocol exactly.
+    None,
+    /// The final `ping` goes to `b` instead of `c`.
+    WrongPeer,
+    /// The final `ping` is sent with a `pong` payload.
+    WrongLabel,
+    /// A fifth exchange the protocol does not contain.
+    ExtraSend,
+}
+
+/// The rendezvous trace the conforming reference schedule must
+/// produce, in observation order, with per-edge delivery counters.
+pub const REFERENCE_TRACE: [&str; 6] = [
+    "rendezvous \"a\" -> \"b\" [ping] #0",
+    "rendezvous \"b\" -> \"a\" [pong] #0",
+    "rendezvous \"a\" -> \"b\" [ping] #1",
+    "rendezvous \"b\" -> \"a\" [pong] #1",
+    "rendezvous \"a\" -> \"c\" [ping] #0",
+    "rendezvous \"c\" -> \"a\" [pong] #0",
+];
+
+/// Runs the reference monitored-protocol schedule — a strictly serial
+/// ping/pong protocol (two rounds with `b`, one with `c`), optionally
+/// deviating per `misbehavior` — and returns the rendered rendezvous
+/// record stream in observation order.
+///
+/// The schedule is serial (role `a` never starts an exchange before
+/// the previous one completed) and records are emitted at pickup,
+/// under the receiving endpoint's lock, *before* the sender's blocked
+/// operation returns — so the global observation order is a pure
+/// function of the schedule: identical across runs and across
+/// conforming transports. That is what lets a conformance monitor
+/// report the same first-divergence position everywhere.
+pub fn monitored_rendezvous_trace(
+    factory: TransportFactory<'_>,
+    misbehavior: Misbehavior,
+) -> Vec<String> {
+    let log = Arc::new(std::sync::Mutex::new(Vec::new()));
+    let net = net_of(factory(79));
+    for id in ["a", "b", "c"] {
+        net.activate(s(id));
+    }
+    {
+        let log = Arc::clone(&log);
+        net.set_rendezvous_observer(
+            move |rec| log.lock().unwrap().push(rec.to_string()),
+            reference_label,
+        );
+    }
+    let responder = |who: &str| {
+        let p = net.port(s(who)).unwrap();
+        thread::spawn(move || {
+            while let Ok(v) = p.recv_from_deadline(&s("a"), far()) {
+                p.send_deadline(&s("a"), v + 1, far()).unwrap();
+            }
+        })
+    };
+    let hb = responder("b");
+    let hc = responder("c");
+    let a = net.port(s("a")).unwrap();
+    let exchange = |peer: &str, msg: u64| {
+        a.send_deadline(&s(peer), msg, far()).unwrap();
+        a.recv_from_deadline(&s(peer), far()).unwrap();
+    };
+    exchange("b", 0);
+    exchange("b", 2);
+    match misbehavior {
+        Misbehavior::None => exchange("c", 4),
+        Misbehavior::WrongPeer => exchange("b", 4),
+        Misbehavior::WrongLabel => exchange("c", 5),
+        Misbehavior::ExtraSend => {
+            exchange("c", 4);
+            exchange("b", 6);
+        }
+    }
+    net.finish(s("a"));
+    hb.join().unwrap();
+    hc.join().unwrap();
+    let trace = log.lock().unwrap().clone();
+    trace
+}
+
+/// Index of the first position where `got` deviates from the
+/// conforming [`REFERENCE_TRACE`] — the chan-level analogue of a
+/// conformance monitor's first-divergence verdict.
+pub fn first_divergence(got: &[String]) -> Option<usize> {
+    (0..got.len().max(REFERENCE_TRACE.len()))
+        .find(|&i| got.get(i).map(String::as_str) != REFERENCE_TRACE.get(i).copied())
+}
+
+/// Protocol monitoring: the rendezvous observer reports every
+/// completed rendezvous exactly once, in schedule order, with gapless
+/// per-edge delivery counters and labeler-extracted labels — and each
+/// reference misbehavior (wrong peer, wrong label, extra send)
+/// diverges from the conforming trace at a fixed, reproducible
+/// position. This is the contract `script-proto`'s runtime
+/// `ConformanceMonitor` builds its verdicts on.
+pub fn check_protocol_monitoring(factory: TransportFactory<'_>) {
+    let conforming = monitored_rendezvous_trace(factory, Misbehavior::None);
+    assert_eq!(
+        conforming,
+        REFERENCE_TRACE.map(str::to_string).to_vec(),
+        "the conforming schedule must observe exactly the reference trace"
+    );
+    assert_eq!(first_divergence(&conforming), None);
+    for (misbehavior, want) in [
+        (Misbehavior::WrongPeer, 4),
+        (Misbehavior::WrongLabel, 4),
+        (Misbehavior::ExtraSend, 6),
+    ] {
+        let got = monitored_rendezvous_trace(factory, misbehavior);
+        assert_eq!(
+            first_divergence(&got),
+            Some(want),
+            "{misbehavior:?} must diverge first at position {want}: {got:?}"
+        );
+        let again = monitored_rendezvous_trace(factory, misbehavior);
+        assert_eq!(
+            got, again,
+            "{misbehavior:?} must observe the same trace on every run"
+        );
+    }
+}
+
+/// Monitoring parity: for the conforming schedule and every reference
+/// misbehavior, the two factories' transports observe byte-identical
+/// rendezvous traces — so a conformance monitor reaches the same
+/// verdict, at the same first-divergence position, wherever the
+/// performance runs.
+pub fn check_monitoring_parity(one: TransportFactory<'_>, two: TransportFactory<'_>) {
+    for misbehavior in [
+        Misbehavior::None,
+        Misbehavior::WrongPeer,
+        Misbehavior::WrongLabel,
+        Misbehavior::ExtraSend,
+    ] {
+        let a = monitored_rendezvous_trace(one, misbehavior);
+        let b = monitored_rendezvous_trace(two, misbehavior);
+        assert_eq!(
+            first_divergence(&a),
+            first_divergence(&b),
+            "{misbehavior:?}: both transports must diverge at the same position"
+        );
+        assert_eq!(
+            a, b,
+            "{misbehavior:?}: both transports must observe the same rendezvous trace"
+        );
+    }
+}
+
 /// Runs every check in the suite against the factory.
 pub fn run_all(factory: TransportFactory<'_>) {
     check_lifecycle(factory);
@@ -873,6 +1041,7 @@ pub fn run_all(factory: TransportFactory<'_>) {
     check_lease_expiry(factory);
     check_sever_stream_parity(factory, factory);
     check_pipelined_calls(factory);
+    check_protocol_monitoring(factory);
 }
 
 #[cfg(test)]

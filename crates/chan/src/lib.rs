@@ -59,6 +59,7 @@ pub use fault::{FaultKind, FaultPlan, FaultRecord};
 pub use network::{Network, PeerState, Port};
 pub use select::{Arm, Outcome, Source};
 pub use transport::{
-    FaultObserver, LatencyHooks, LatencyObserver, LatencyOp, LatencySample, SelectDone, SendDone,
-    SessionEvent, SessionObserver, ShardedTransport, Transport,
+    FaultObserver, LabelFn, LatencyHooks, LatencyObserver, LatencyOp, LatencySample,
+    RendezvousObserver, RendezvousRecord, SelectDone, SendDone, SessionEvent, SessionObserver,
+    ShardedTransport, Transport,
 };

@@ -239,6 +239,20 @@ where
         self.transport.set_fault_observer(Arc::new(observer));
     }
 
+    /// Registers a callback invoked synchronously, from the receiving
+    /// thread, for every *completed* rendezvous (message pickup), with
+    /// `label_of` extracting each message's protocol label. The
+    /// callback runs inside the delivery path and must not call back
+    /// into this network. Used by the engine to surface rendezvous as
+    /// script events for runtime protocol conformance monitoring.
+    pub fn set_rendezvous_observer<F>(&self, observer: F, label_of: crate::LabelFn<M>)
+    where
+        F: Fn(&crate::RendezvousRecord<I>) + Send + Sync + 'static,
+    {
+        self.transport
+            .set_rendezvous_observer(Arc::new(observer), label_of);
+    }
+
     /// A copy of the fault log: every fault injected so far, in
     /// injection order.
     pub fn fault_log(&self) -> Vec<FaultRecord<I>> {

@@ -57,6 +57,50 @@ use crate::ChanError;
 /// [`Network::set_fault_observer`](crate::Network::set_fault_observer)).
 pub type FaultObserver<I> = Arc<dyn Fn(&FaultRecord<I>) + Send + Sync>;
 
+/// One completed rendezvous, observed at pickup on the receiving
+/// endpoint (see
+/// [`Network::set_rendezvous_observer`](crate::Network::set_rendezvous_observer)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RendezvousRecord<I> {
+    /// The sending participant.
+    pub from: I,
+    /// The receiving participant.
+    pub to: I,
+    /// The message's protocol label, if the installed labeler produced
+    /// one.
+    pub label: Option<String>,
+    /// Zero-based delivery counter for the directed edge `from → to`:
+    /// a pure function of the communication schedule, so it is
+    /// identical across runs — and across transports.
+    pub seq: u64,
+}
+
+impl<I: fmt::Debug> fmt::Display for RendezvousRecord<I> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.label {
+            Some(l) => write!(
+                f,
+                "rendezvous {:?} -> {:?} [{l}] #{}",
+                self.from, self.to, self.seq
+            ),
+            None => write!(
+                f,
+                "rendezvous {:?} -> {:?} #{}",
+                self.from, self.to, self.seq
+            ),
+        }
+    }
+}
+
+/// Callback invoked on every completed rendezvous (see
+/// [`Network::set_rendezvous_observer`](crate::Network::set_rendezvous_observer)).
+pub type RendezvousObserver<I> = Arc<dyn Fn(&RendezvousRecord<I>) + Send + Sync>;
+
+/// Extracts a protocol label from a message. Kept a plain `fn` pointer
+/// — like `set_fault_plan`'s `clone_fn` — so [`Transport`] itself needs
+/// no extra bounds on `M`.
+pub type LabelFn<M> = fn(&M) -> Option<String>;
+
 /// Callback invoked on every recorded latency sample (see
 /// [`Network::set_latency_observer`](crate::Network::set_latency_observer)).
 pub type LatencyObserver = Arc<dyn Fn(&LatencySample) + Send + Sync>;
@@ -209,6 +253,15 @@ pub trait Transport<I, M>: Send + Sync {
     fn fault_plan(&self) -> Option<FaultPlan>;
     /// Registers the fault observer callback.
     fn set_fault_observer(&self, observer: FaultObserver<I>);
+    /// Registers a callback invoked on every *completed* rendezvous —
+    /// at message pickup, on the receiving side — with `label_of`
+    /// extracting each message's protocol label. Observers run inside
+    /// the delivery path and must not call back into the transport.
+    /// Backends that do not observe rendezvous may ignore it (the
+    /// default does).
+    fn set_rendezvous_observer(&self, observer: RendezvousObserver<I>, label_of: LabelFn<M>) {
+        let _ = (observer, label_of);
+    }
     /// A copy of the fault log.
     fn fault_log(&self) -> Vec<FaultRecord<I>>;
     /// Drains and returns the fault log.
@@ -345,6 +398,9 @@ struct EpState<I, M> {
     rng: SmallRng,
     /// Per-edge send counters for edges *into* me (chaos decisions).
     chaos_in_seqs: HashMap<I, u64>,
+    /// Per-edge *delivery* counters for edges into me, advanced only
+    /// while a rendezvous observer is installed.
+    rdv_in_seqs: HashMap<I, u64>,
     /// My operation counter driving crash-at-step-*k*.
     chaos_steps: u64,
     /// Asynchronous operations parked on this endpoint: single-shot
@@ -388,6 +444,15 @@ struct FaultHooks<I, M> {
     observer: Mutex<Option<FaultObserver<I>>>,
     session_observer: Mutex<Option<SessionObserver<I>>>,
     log: Mutex<Vec<FaultRecord<I>>>,
+}
+
+/// Cold-path rendezvous observation state: the no-observer pickup path
+/// reads only the boolean — one relaxed load per delivery.
+struct RendezvousHooks<I, M> {
+    /// Whether an observer is installed, readable without a lock.
+    enabled: AtomicBool,
+    observer: Mutex<Option<RendezvousObserver<I>>>,
+    label_of: Mutex<Option<LabelFn<M>>>,
 }
 
 /// Latency recording shared by measuring transports: a bounded ring of
@@ -479,6 +544,7 @@ pub struct ShardedTransport<I, M> {
     /// in flight.
     sched: Mutex<Option<Arc<SchedShared<I, M>>>>,
     faults: FaultHooks<I, M>,
+    rendezvous: RendezvousHooks<I, M>,
     latency: LatencyHooks,
 }
 
@@ -543,6 +609,11 @@ where
                 session_observer: Mutex::new(None),
                 log: Mutex::new(Vec::new()),
             },
+            rendezvous: RendezvousHooks {
+                enabled: AtomicBool::new(false),
+                observer: Mutex::new(None),
+                label_of: Mutex::new(None),
+            },
             latency: LatencyHooks::default(),
         }
     }
@@ -562,6 +633,7 @@ where
                 watchers: Vec::new(),
                 rng,
                 chaos_in_seqs: HashMap::new(),
+                rdv_in_seqs: HashMap::new(),
                 chaos_steps: 0,
                 op_waiters: Vec::new(),
             }),
@@ -691,13 +763,43 @@ where
         s
     }
 
-    /// Takes the message from `from` out of `st`'s inbox, acking it.
-    fn take_from(&self, st: &mut EpState<I, M>, from: &I) -> Option<M> {
+    /// Takes the message from `from` out of `me`'s inbox (`st` is
+    /// `me`'s state), acking it. Every delivery path — blocking and
+    /// asynchronous receives, selections, and claimed send arms — funnels
+    /// through here, so this is the single point where a completed
+    /// rendezvous becomes observable.
+    fn take_from(&self, st: &mut EpState<I, M>, me: &I, from: &I) -> Option<M> {
         let msg = st.inbox.remove(from)?;
         *st.acks.entry(from.clone()).or_insert(0) += 1;
         st.bump_signal();
         self.activity.fetch_add(1, Ordering::Relaxed);
+        if self.rendezvous.enabled.load(Ordering::Relaxed) {
+            self.record_rendezvous(st, me, from, &msg);
+        }
         Some(msg)
+    }
+
+    /// Records one completed rendezvous: assigns the per-edge delivery
+    /// seq and invokes the observer, all under the receiver's endpoint
+    /// lock — so observer call order can never invert against pickup
+    /// order on any edge into this endpoint (a sequencing hub relies on
+    /// that for gapless replay). The lock order is endpoint → observer
+    /// internals; observers must therefore never call back into the
+    /// transport.
+    fn record_rendezvous(&self, st: &mut EpState<I, M>, me: &I, from: &I, msg: &M) {
+        let c = st.rdv_in_seqs.entry(from.clone()).or_insert(0);
+        let seq = *c;
+        *c += 1;
+        let label_of = *self.rendezvous.label_of.lock();
+        let obs = self.rendezvous.observer.lock().clone();
+        if let Some(obs) = obs {
+            obs(&RendezvousRecord {
+                from: from.clone(),
+                to: me.clone(),
+                label: label_of.and_then(|f| f(msg)),
+                seq,
+            });
+        }
     }
 
     /// Any peer other than `me` that could still produce a message?
@@ -858,6 +960,14 @@ where
 
     fn set_fault_observer(&self, observer: FaultObserver<I>) {
         *self.faults.observer.lock() = Some(observer);
+    }
+
+    fn set_rendezvous_observer(&self, observer: RendezvousObserver<I>, label_of: LabelFn<M>) {
+        *self.rendezvous.label_of.lock() = Some(label_of);
+        *self.rendezvous.observer.lock() = Some(observer);
+        // Flag last: a racing pickup that sees it set finds both the
+        // observer and the labeler already in place.
+        self.rendezvous.enabled.store(true, Ordering::SeqCst);
     }
 
     fn set_session_observer(&self, observer: SessionObserver<I>) {
@@ -1124,7 +1234,7 @@ where
             return Err(ChanError::Aborted);
         }
         let mut st = me_ep.state.lock();
-        if let Some(msg) = self.take_from(&mut st, from) {
+        if let Some(msg) = self.take_from(&mut st, me, from) {
             let watchers = st.watchers.clone();
             drop(st);
             // The sender's phase 2 sleeps on *my* condvar; watchers may
@@ -1253,7 +1363,7 @@ where
         deadline: Option<Instant>,
     ) -> Result<Outcome<I, M>, ChanError<I>> {
         loop {
-            let (sig0, claimed) = self.take_claim(me_ep, reprs);
+            let (sig0, claimed) = self.take_claim(me, me_ep, reprs);
             if let Some(outcome) = claimed {
                 return Ok(outcome);
             }
@@ -1295,6 +1405,7 @@ where
     #[allow(clippy::type_complexity)]
     fn take_claim(
         &self,
+        me: &I,
         me_ep: &Arc<Endpoint<I, M>>,
         reprs: &[(SelRepr<I, M>, Option<Arc<Endpoint<I, M>>>)],
     ) -> (u64, Option<Outcome<I, M>>) {
@@ -1303,7 +1414,7 @@ where
         if let Some(entry) = st.wait.take() {
             if let Some(from) = entry.resolved {
                 let msg = self
-                    .take_from(&mut st, &from)
+                    .take_from(&mut st, me, &from)
                     .expect("claim implies a deposited message");
                 let watchers = st.watchers.clone();
                 drop(st);
@@ -1371,7 +1482,7 @@ where
                     SelRepr::Recv(Source::Of(p)) => {
                         let p = p.clone();
                         let mut st = me_ep.state.lock();
-                        if let Some(msg) = self.take_from(&mut st, &p) {
+                        if let Some(msg) = self.take_from(&mut st, me, &p) {
                             let watchers = st.watchers.clone();
                             drop(st);
                             me_ep.cond.notify_all();
@@ -1393,7 +1504,7 @@ where
                         let senders: Vec<I> = st.inbox.keys().cloned().collect();
                         if let Some(from) = senders.choose(&mut st.rng).cloned() {
                             let msg = self
-                                .take_from(&mut st, &from)
+                                .take_from(&mut st, me, &from)
                                 .expect("chosen sender has a message");
                             let watchers = st.watchers.clone();
                             drop(st);
@@ -1947,7 +2058,7 @@ where
         sched: &Arc<SchedShared<I, M>>,
     ) -> Option<Result<Outcome<I, M>, ChanError<I>>> {
         loop {
-            let (sig0, claimed) = self.take_claim(&op.me_ep, &op.reprs);
+            let (sig0, claimed) = self.take_claim(&op.me, &op.me_ep, &op.reprs);
             if let Some(outcome) = claimed {
                 return Some(Ok(outcome));
             }

@@ -199,6 +199,9 @@ struct FrontEnd<M> {
     /// Custom network constructor for future performances (distribution
     /// seam); `None` builds the default in-process network.
     net_factory: Option<Arc<NetworkFactory<M>>>,
+    /// Message labeler attached to every future performance's
+    /// rendezvous observer; `None` leaves rendezvous events unlabeled.
+    labeler: Option<script_chan::LabelFn<M>>,
 }
 
 /// What a [`NetworkFactory`] is told about the performance whose network
@@ -223,6 +226,12 @@ pub struct PerformanceNet {
 /// processes). The factory is called once per performance, before any
 /// role is admitted.
 pub type NetworkFactory<M> = dyn Fn(&PerformanceNet) -> Network<RoleId, M> + Send + Sync;
+
+/// Default message labeler: no label. A named `fn` (not a closure) so
+/// it coerces to [`script_chan::LabelFn`].
+fn unlabeled<M>(_: &M) -> Option<String> {
+    None
+}
 
 /// SplitMix64 finalizer: derives per-performance seeds from a root seed
 /// so distinct performances draw independent, reproducible schedules.
@@ -325,6 +334,7 @@ impl<M: Send + Clone + 'static> Engine<M> {
                 chaos_seed: None,
                 fault_plan: None,
                 net_factory: None,
+                labeler: None,
             }),
             cond: Condvar::new(),
             telemetry: TelemetrySink::new(),
@@ -413,6 +423,10 @@ impl<M: Send + Clone + 'static> Engine<M> {
     /// Stops injecting faults into future performances.
     pub(crate) fn clear_fault_plan(&self) {
         self.front.lock().fault_plan = None;
+    }
+
+    pub(crate) fn set_message_labeler(&self, label_of: script_chan::LabelFn<M>) {
+        self.front.lock().labeler = Some(label_of);
     }
 
     /// Routes every future performance's network through `factory`.
@@ -1085,6 +1099,32 @@ impl<M: Send + Clone + 'static> Engine<M> {
                     );
                 }
             });
+            // Every completed rendezvous surfaces as a ScriptEvent on
+            // the same per-performance sequence — the communication
+            // trace a conformance monitor checks. The transport emits
+            // under the receiving endpoint's lock, so observation
+            // order here cannot invert against pickup order.
+            let weak_engine = self.weak.clone();
+            let weak_shard = Arc::downgrade(&shard);
+            shard.net.set_rendezvous_observer(
+                move |rec| {
+                    if let (Some(engine), Some(shard)) =
+                        (weak_engine.upgrade(), weak_shard.upgrade())
+                    {
+                        engine.emit_script(
+                            &shard,
+                            ScriptEvent::Rendezvous {
+                                performance: PerformanceId(shard.seq),
+                                from: rec.from.clone(),
+                                to: rec.to.clone(),
+                                label: rec.label.clone(),
+                                seq: rec.seq,
+                            },
+                        );
+                    }
+                },
+                fe.labeler.unwrap_or(unlabeled::<M>),
+            );
             // Session lifecycle (connection-oriented transports only:
             // the in-process transport never emits these) surfaces on
             // the same plane, attributed to this performance.

@@ -102,7 +102,7 @@ pub use observer::{
 pub use policy::{
     AdaptiveWindow, CriticalEntry, CriticalSet, Initiation, Termination, WatchdogPolicy,
 };
-pub use script_chan::{FaultKind, FaultPlan, FaultRecord, LatencyOp, LatencySample};
+pub use script_chan::{FaultKind, FaultPlan, FaultRecord, LabelFn, LatencyOp, LatencySample};
 pub use spec::{FamilySize, ScriptBuilder};
 
 use engine::{Engine, RoleRef};
@@ -177,6 +177,29 @@ pub enum ScriptEvent {
         performance: PerformanceId,
         /// Human-readable fault record (`kind from->to #seq`).
         fault: String,
+    },
+    /// A rendezvous completed: `from`'s message was picked up by `to`.
+    /// Observed at delivery on the performance's transport, so the
+    /// stream of these events *is* the performance's communication
+    /// trace — the input a protocol conformance monitor checks against
+    /// a projected global type (`script_proto::monitor`). Only emitted
+    /// while a subscriber is installed; the no-subscriber cost stays
+    /// one relaxed atomic load on the transport's delivery path.
+    Rendezvous {
+        /// The performance the rendezvous belongs to.
+        performance: PerformanceId,
+        /// The sending role.
+        from: RoleId,
+        /// The receiving role.
+        to: RoleId,
+        /// The message label, when a labeler is installed
+        /// ([`Instance::set_message_labeler`]); `None` otherwise.
+        label: Option<String>,
+        /// Zero-based delivery counter of the directed edge
+        /// `from -> to` within this performance — deterministic across
+        /// runs and transports, so duplicate or reordered observations
+        /// are detectable.
+        seq: u64,
     },
     /// Every role of the performance terminated.
     PerformanceCompleted {
@@ -615,6 +638,24 @@ impl<M: Send + Clone + 'static> Instance<M> {
     /// Stops injecting faults into future performances.
     pub fn clear_fault_plan(&self) {
         self.engine.clear_fault_plan();
+    }
+
+    /// Installs a message labeler for every **future** performance:
+    /// [`ScriptEvent::Rendezvous`] telemetry of those performances
+    /// carries `label_of(&message)` as its label, letting a protocol
+    /// conformance monitor (`script_proto::monitor`) distinguish
+    /// message kinds. A plain `fn` pointer (not a closure) so the
+    /// labeler can cross the transport seam without adding bounds;
+    /// it runs on the delivery path under transport locks and must be
+    /// pure and fast. Without a labeler, rendezvous events carry
+    /// `label: None`.
+    ///
+    /// On a hub-backed network the labels observed by spokes are
+    /// extracted *hub-side* (the hub owns the rendezvous state); use
+    /// `TransportServer::set_message_labeler` there — this instance
+    /// labeler applies to networks whose delivery happens in-process.
+    pub fn set_message_labeler(&self, label_of: script_chan::LabelFn<M>) {
+        self.engine.set_message_labeler(label_of);
     }
 
     /// Routes every **future** performance's network through `factory`

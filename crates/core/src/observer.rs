@@ -127,6 +127,26 @@ pub enum TelemetryPayload {
         /// The role whose session lapsed.
         peer: RoleId,
     },
+    /// A runtime conformance monitor (`script_proto::monitor`) found
+    /// the performance's observed communication trace diverging from
+    /// its protocol — the **first** divergence per performance is
+    /// reported, then checking for that performance stops.
+    /// Synthesized by the monitor and forwarded to its downstream
+    /// subscriber; the engine itself never emits this.
+    ProtocolViolation {
+        /// The role whose local protocol was violated.
+        role: RoleId,
+        /// What the role's local type expected next
+        /// (human-readable, e.g. `B!ack`).
+        expected: String,
+        /// The rendezvous actually observed (e.g. `C!ack`).
+        observed: String,
+        /// `seq` of the [`ScriptEvent::Rendezvous`] telemetry event
+        /// that diverged — identifies the exact point in the
+        /// performance's gapless stream, comparable across
+        /// transports.
+        at_seq: u64,
+    },
 }
 
 /// State shared by every [`RingObserver`] accessor.
@@ -359,6 +379,12 @@ impl fmt::Debug for LatencyHistogram {
 pub struct PerformanceMetrics {
     /// Telemetry events attributed to this performance.
     pub events: u64,
+    /// Rendezvous completed on its network
+    /// ([`ScriptEvent::Rendezvous`]).
+    pub rendezvous: u64,
+    /// Protocol divergences a conformance monitor reported against it
+    /// ([`TelemetryPayload::ProtocolViolation`]).
+    pub protocol_violations: u64,
     /// Faults the chaos layer injected into its network.
     pub faults_injected: u64,
     /// Its observed rendezvous latencies.
@@ -411,6 +437,11 @@ pub struct InstanceMetrics {
     /// Severed peers whose lease expired without a resume
     /// ([`TelemetryPayload::LeaseExpired`]).
     pub lease_expiries: u64,
+    /// Rendezvous completed ([`ScriptEvent::Rendezvous`]).
+    pub rendezvous: u64,
+    /// Protocol divergences reported by a conformance monitor
+    /// ([`TelemetryPayload::ProtocolViolation`]).
+    pub protocol_violations: u64,
     /// All observed rendezvous latencies.
     pub latency: LatencyHistogram,
     /// Per-performance aggregates, in performance order.
@@ -470,6 +501,8 @@ impl Observer for MetricsObserver {
         if let Some(p) = perf {
             p.events += 1;
             match &event.payload {
+                TelemetryPayload::Script(ScriptEvent::Rendezvous { .. }) => p.rendezvous += 1,
+                TelemetryPayload::ProtocolViolation { .. } => p.protocol_violations += 1,
                 TelemetryPayload::Script(ScriptEvent::FaultInjected { .. }) => {
                     p.faults_injected += 1
                 }
@@ -498,6 +531,7 @@ impl Observer for MetricsObserver {
                 ScriptEvent::PerformanceAborted { .. } => totals.performances_aborted += 1,
                 ScriptEvent::PerformanceStalled { .. } => totals.performances_stalled += 1,
                 ScriptEvent::FaultInjected { .. } => totals.faults_injected += 1,
+                ScriptEvent::Rendezvous { .. } => totals.rendezvous += 1,
                 ScriptEvent::PerformanceCompleted { .. } => totals.performances_completed += 1,
                 ScriptEvent::InstanceClosed => {}
             },
@@ -507,6 +541,7 @@ impl Observer for MetricsObserver {
             TelemetryPayload::PeerDisconnected { .. } => totals.peer_disconnects += 1,
             TelemetryPayload::PeerResumed { .. } => totals.peer_resumes += 1,
             TelemetryPayload::LeaseExpired { .. } => totals.lease_expiries += 1,
+            TelemetryPayload::ProtocolViolation { .. } => totals.protocol_violations += 1,
         }
     }
 }

@@ -77,13 +77,14 @@ use std::time::{Duration, Instant};
 use parking_lot::{Condvar, Mutex};
 
 use script_chan::{
-    Arm, ChanError, FaultObserver, FaultPlan, FaultRecord, LatencyHooks, LatencyObserver,
-    LatencyOp, LatencySample, Outcome, PeerState, SessionEvent, SessionObserver, Transport,
+    Arm, ChanError, FaultObserver, FaultPlan, FaultRecord, LabelFn, LatencyHooks, LatencyObserver,
+    LatencyOp, LatencySample, Outcome, PeerState, RendezvousObserver, RendezvousRecord,
+    SessionEvent, SessionObserver, Transport,
 };
 use script_core::RetryPolicy;
 
 use crate::frame::{read_frame, FrameDecoder, ReadStatus, WriteBuf};
-use crate::proto::{timeout_ms_of, Event, Req, Resp, EVENT_REQ_ID};
+use crate::proto::{timeout_ms_of, Event, Req, Resp, StreamItem, EVENT_REQ_ID};
 use crate::wire::{Reader, Wire};
 
 /// Response slot for one in-flight request.
@@ -239,6 +240,7 @@ struct Shared<I, M> {
     /// `SubscribeFrom` and exactly-once dispatch guard.
     last_event_seq: AtomicU64,
     observer: Mutex<Option<FaultObserver<I>>>,
+    rendezvous_observer: Mutex<Option<RendezvousObserver<I>>>,
     session_observer: Mutex<Option<SessionObserver<I>>>,
     /// Ids to re-bind if the session (not just the connection) is new.
     bound: Mutex<Vec<I>>,
@@ -287,6 +289,13 @@ impl<I, M> Shared<I, M> {
 
     fn dispatch_fault(&self, rec: &FaultRecord<I>) {
         let obs = self.observer.lock().clone();
+        if let Some(obs) = obs {
+            obs(rec);
+        }
+    }
+
+    fn dispatch_rendezvous(&self, rec: &RendezvousRecord<I>) {
+        let obs = self.rendezvous_observer.lock().clone();
         if let Some(obs) = obs {
             obs(rec);
         }
@@ -359,6 +368,26 @@ where
                     let prev = self.last_event_seq.fetch_max(seq, Ordering::SeqCst);
                     if seq > prev {
                         self.dispatch_fault(record);
+                    }
+                }
+            }
+            Event::SeqRendezvous { seq, record } => {
+                let prev = self.last_event_seq.fetch_max(*seq, Ordering::SeqCst);
+                if *seq > prev {
+                    self.dispatch_rendezvous(record);
+                }
+            }
+            Event::SeqStream { first_seq, items } => {
+                // The mixed-kind resume-replay tail: item `i` sits at
+                // stream position `first_seq + i`, same dedup as live.
+                for (i, item) in items.iter().enumerate() {
+                    let seq = first_seq + i as u64;
+                    let prev = self.last_event_seq.fetch_max(seq, Ordering::SeqCst);
+                    if seq > prev {
+                        match item {
+                            StreamItem::Fault(record) => self.dispatch_fault(record),
+                            StreamItem::Rendezvous(record) => self.dispatch_rendezvous(record),
+                        }
                     }
                 }
             }
@@ -886,6 +915,7 @@ where
                 lease_ms: AtomicU64::new(1000),
                 last_event_seq: AtomicU64::new(0),
                 observer: Mutex::new(None),
+                rendezvous_observer: Mutex::new(None),
                 session_observer: Mutex::new(None),
                 bound: Mutex::new(Vec::new()),
                 severed: Mutex::new(Vec::new()),
@@ -1086,6 +1116,17 @@ where
 
     fn set_fault_observer(&self, observer: FaultObserver<I>) {
         *self.shared.observer.lock() = Some(observer);
+        self.shared.subscribed.store(true, Ordering::SeqCst);
+        let seq = self.shared.last_event_seq.load(Ordering::SeqCst);
+        let _ = self.shared.call(&Req::SubscribeFrom { seq });
+    }
+
+    fn set_rendezvous_observer(&self, observer: RendezvousObserver<I>, label_of: LabelFn<M>) {
+        // Labels are extracted hub-side, where rendezvous complete (see
+        // [`TransportServer::set_message_labeler`](crate::TransportServer::set_message_labeler));
+        // a spoke-supplied labeler has nothing local to label.
+        let _ = label_of;
+        *self.shared.rendezvous_observer.lock() = Some(observer);
         self.shared.subscribed.store(true, Ordering::SeqCst);
         let seq = self.shared.last_event_seq.load(Ordering::SeqCst);
         let _ = self.shared.call(&Req::SubscribeFrom { seq });

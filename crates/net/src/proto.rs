@@ -14,7 +14,9 @@
 
 use std::time::{Duration, Instant};
 
-use script_chan::{Arm, ChanError, FaultKind, FaultPlan, FaultRecord, Outcome, PeerState, Source};
+use script_chan::{
+    Arm, ChanError, FaultKind, FaultPlan, FaultRecord, Outcome, PeerState, RendezvousRecord, Source,
+};
 use script_core::RoleId;
 
 use crate::wire::{Reader, Wire, WireError};
@@ -210,6 +212,37 @@ pub enum Event<I> {
         /// The consecutive fault records.
         records: Vec<FaultRecord<I>>,
     },
+    /// A sequenced rendezvous push (tag 4): a completed rendezvous on
+    /// the hub, numbered in the *same* per-session stream as
+    /// [`Event::SeqFault`] — faults and rendezvous share one gapless
+    /// sequence so a single high-water mark dedups both.
+    SeqRendezvous {
+        /// Position in the session's event stream.
+        seq: u64,
+        /// The completed rendezvous.
+        record: RendezvousRecord<I>,
+    },
+    /// A batch of consecutive sequenced stream items (tag 5): item `i`
+    /// carries stream sequence `first_seq + i`. Supersedes
+    /// [`Event::SeqFaults`] for resume replay once rendezvous records
+    /// ride the stream; the older batch form stays decodable.
+    SeqStream {
+        /// Stream sequence of `items[0]`.
+        first_seq: u64,
+        /// The consecutive stream items.
+        items: Vec<StreamItem<I>>,
+    },
+}
+
+/// One item of a session's sequenced event stream: the tagged union
+/// buffered hub-side for gapless resume replay. Append-only tag space,
+/// like [`Event`] itself.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamItem<I> {
+    /// An injected fault (tag 0).
+    Fault(FaultRecord<I>),
+    /// A completed rendezvous (tag 1).
+    Rendezvous(RendezvousRecord<I>),
 }
 
 /// Remaining-millisecond budget for a deadline, measured now. Saturates
@@ -410,6 +443,45 @@ impl<I: Wire> Wire for FaultRecord<I> {
     }
 }
 
+impl<I: Wire> Wire for RendezvousRecord<I> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.from.encode(out);
+        self.to.encode(out);
+        self.label.encode(out);
+        self.seq.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(RendezvousRecord {
+            from: I::decode(r)?,
+            to: I::decode(r)?,
+            label: Option::<String>::decode(r)?,
+            seq: u64::decode(r)?,
+        })
+    }
+}
+
+impl<I: Wire> Wire for StreamItem<I> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            StreamItem::Fault(record) => {
+                out.push(0);
+                record.encode(out);
+            }
+            StreamItem::Rendezvous(record) => {
+                out.push(1);
+                record.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(StreamItem::Fault(FaultRecord::decode(r)?)),
+            1 => Ok(StreamItem::Rendezvous(RendezvousRecord::decode(r)?)),
+            _ => Err(WireError::Invalid("stream-item tag")),
+        }
+    }
+}
+
 impl<I: Wire> Wire for Event<I> {
     fn encode(&self, out: &mut Vec<u8>) {
         // Append-only tag space: never renumber.
@@ -429,6 +501,16 @@ impl<I: Wire> Wire for Event<I> {
                 first_seq.encode(out);
                 records.encode(out);
             }
+            Event::SeqRendezvous { seq, record } => {
+                out.push(4);
+                seq.encode(out);
+                record.encode(out);
+            }
+            Event::SeqStream { first_seq, items } => {
+                out.push(5);
+                first_seq.encode(out);
+                items.encode(out);
+            }
         }
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
@@ -442,6 +524,14 @@ impl<I: Wire> Wire for Event<I> {
             3 => Ok(Event::SeqFaults {
                 first_seq: u64::decode(r)?,
                 records: Vec::<FaultRecord<I>>::decode(r)?,
+            }),
+            4 => Ok(Event::SeqRendezvous {
+                seq: u64::decode(r)?,
+                record: RendezvousRecord::decode(r)?,
+            }),
+            5 => Ok(Event::SeqStream {
+                first_seq: u64::decode(r)?,
+                items: Vec::<StreamItem<I>>::decode(r)?,
             }),
             _ => Err(WireError::Invalid("event tag")),
         }
@@ -789,9 +879,36 @@ mod tests {
                 seq: 3,
             },
         });
+        roundtrip(Event::SeqRendezvous {
+            seq: 7,
+            record: RendezvousRecord {
+                from: String::from("a"),
+                to: String::from("b"),
+                label: Some(String::from("ping")),
+                seq: 2,
+            },
+        });
+        roundtrip(Event::SeqStream {
+            first_seq: 11,
+            items: vec![
+                StreamItem::Fault(FaultRecord {
+                    kind: FaultKind::Delay,
+                    from: String::from("a"),
+                    to: String::from("b"),
+                    seq: 0,
+                }),
+                StreamItem::Rendezvous(RendezvousRecord {
+                    from: String::from("b"),
+                    to: String::from("a"),
+                    label: None,
+                    seq: 1,
+                }),
+            ],
+        });
         // A tag this build does not know must decode to an error (the
         // client skips the frame), never panic.
         assert!(Event::<String>::from_bytes(&[9]).is_err());
+        assert!(StreamItem::<String>::from_bytes(&[7]).is_err());
     }
 
     #[test]

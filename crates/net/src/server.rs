@@ -80,10 +80,10 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use script_chan::{FaultKind, FaultRecord, SessionEvent, Transport};
+use script_chan::{FaultKind, FaultRecord, RendezvousRecord, SessionEvent, Transport};
 
 use crate::frame::{FrameDecoder, ReadStatus, WriteBuf};
-use crate::proto::{deadline_of, Event, Req, Resp, EVENT_REQ_ID};
+use crate::proto::{deadline_of, Event, Req, Resp, StreamItem, EVENT_REQ_ID};
 use crate::reactor::{fd_of, Poller, Waker};
 use crate::wire::{Reader, Wire};
 
@@ -137,6 +137,14 @@ struct SessionState<I> {
     bound: Vec<I>,
     /// Whether the spoke subscribed to the sequenced event stream.
     subscribed: bool,
+    /// Set while a resumed subscriber has not yet re-synced with
+    /// `SubscribeFrom`: live event pushes are sequenced and buffered
+    /// but **not written**, so the replay is always the first event
+    /// traffic on a fresh connection. Without this, a live push can
+    /// carry a seq past the un-replayed tail, and the spoke's
+    /// high-water dedup would then skip the tail as already-seen —
+    /// a permanent gap.
+    event_resync: bool,
     /// Output buffer of the currently attached connection; `None`
     /// while severed (answers are cached instead of written).
     writer: Option<Arc<ConnTx>>,
@@ -160,8 +168,10 @@ struct SessionState<I> {
     in_flight: HashSet<u64>,
     /// Sequence number of the last event pushed to this session.
     next_event_seq: u64,
-    /// Buffered `(seq, record)` events for gapless resume replay.
-    events: VecDeque<(u64, FaultRecord<I>)>,
+    /// Buffered `(seq, item)` events for gapless resume replay. Faults
+    /// and rendezvous share this one stream (and its sequence space),
+    /// so a spoke's single high-water mark dedups both.
+    events: VecDeque<(u64, StreamItem<I>)>,
 }
 
 struct ServerShared<I, M> {
@@ -248,6 +258,18 @@ where
                 sh.handle_fault(rec);
             }
         }));
+        // Rendezvous observation: the hub-side labeler is authoritative
+        // (spokes forward opaque messages), starting label-less until
+        // [`TransportServer::set_message_labeler`] installs one.
+        let weak: Weak<ServerShared<I, M>> = Arc::downgrade(&shared);
+        shared.inner.set_rendezvous_observer(
+            Arc::new(move |rec| {
+                if let Some(sh) = weak.upgrade() {
+                    sh.handle_rendezvous(rec);
+                }
+            }),
+            no_label::<M>,
+        );
         let reactor_shared = Arc::clone(&shared);
         thread::Builder::new()
             .name("script-net-hub".into())
@@ -270,6 +292,23 @@ where
     /// directly, with zero socket hops.
     pub fn inner(&self) -> Arc<dyn Transport<I, M>> {
         Arc::clone(&self.shared.inner)
+    }
+
+    /// Installs the hub-side message labeler: every rendezvous record
+    /// streamed to spokes (and observed hub-locally) carries the label
+    /// `label_of` extracts from the delivered message. The hub is the
+    /// one place the plaintext message is guaranteed to exist, so its
+    /// labeler is authoritative for the whole performance.
+    pub fn set_message_labeler(&self, label_of: script_chan::LabelFn<M>) {
+        let weak: Weak<ServerShared<I, M>> = Arc::downgrade(&self.shared);
+        self.shared.inner.set_rendezvous_observer(
+            Arc::new(move |rec| {
+                if let Some(sh) = weak.upgrade() {
+                    sh.handle_rendezvous(rec);
+                }
+            }),
+            label_of,
+        );
     }
 
     /// Live fallback worker threads: zero whenever the inner transport
@@ -559,6 +598,7 @@ where
                     state: Mutex::new(SessionState {
                         bound: Vec::new(),
                         subscribed: false,
+                        event_resync: false,
                         writer: Some(Arc::clone(&conn.tx)),
                         stream: conn.stream.try_clone().ok(),
                         epoch: 1,
@@ -638,6 +678,9 @@ where
             st.writer = Some(Arc::clone(&conn.tx));
             st.stream = conn.stream.try_clone().ok();
             st.last_seen = now;
+            // A resumed subscriber holds event writes until its
+            // `SubscribeFrom` replay re-syncs the stream.
+            st.event_resync = st.subscribed;
             st.epoch
         };
         conn.mode = ConnMode::Session {
@@ -716,16 +759,17 @@ where
                 // gaplessness.
                 let mut st = sess.state.lock();
                 st.subscribed = true;
-                let records: Vec<FaultRecord<I>> = st
+                st.event_resync = false;
+                let items: Vec<StreamItem<I>> = st
                     .events
                     .iter()
                     .filter(|(s, _)| *s > seq)
-                    .map(|(_, rec)| rec.clone())
+                    .map(|(_, item)| item.clone())
                     .collect();
                 if let Some(first_seq) = st.events.iter().find(|(s, _)| *s > seq).map(|(s, _)| *s) {
                     let mut payload = Vec::new();
                     EVENT_REQ_ID.encode(&mut payload);
-                    Event::SeqFaults { first_seq, records }.encode(&mut payload);
+                    Event::SeqStream { first_seq, items }.encode(&mut payload);
                     write_to_session(&mut st, &payload);
                 }
                 let mut payload = Vec::new();
@@ -734,7 +778,11 @@ where
                 write_to_session(&mut st, &payload);
             }
             Req::Subscribe => {
-                sess.state.lock().subscribed = true;
+                {
+                    let mut st = sess.state.lock();
+                    st.subscribed = true;
+                    st.event_resync = false;
+                }
                 shared.session_respond(&sess, req_id, &Resp::Unit);
             }
             Req::Bind(bid) => {
@@ -1148,11 +1196,13 @@ where
                 record: rec.clone(),
             }
             .encode(&mut payload);
-            st.events.push_back((seq, rec.clone()));
+            st.events.push_back((seq, StreamItem::Fault(rec.clone())));
             if st.events.len() > EVENT_BUFFER_CAP {
                 st.events.pop_front();
             }
-            write_to_session(&mut st, &payload);
+            if !st.event_resync {
+                write_to_session(&mut st, &payload);
+            }
         }
         // Enact connection faults: tear down the connection of the
         // session animating the faulted edge (sender side first; a
@@ -1184,6 +1234,39 @@ where
                 if let Some(stream) = st.stream.take() {
                     let _ = stream.shutdown(Shutdown::Both);
                 }
+            }
+        }
+    }
+
+    /// The inner transport's rendezvous observer: streams the record,
+    /// sequenced, to every subscribed session, buffered alongside
+    /// faults for gapless resume replay. Runs on the delivering thread
+    /// *under the receiving endpoint's lock*, which is exactly what
+    /// guarantees the stream order matches pickup order; it must
+    /// therefore never call back into the inner transport.
+    fn handle_rendezvous(&self, rec: &RendezvousRecord<I>) {
+        let sessions: Vec<Arc<Session<I>>> = self.sessions.lock().values().cloned().collect();
+        for sess in &sessions {
+            let mut st = sess.state.lock();
+            if !st.subscribed {
+                continue;
+            }
+            st.next_event_seq += 1;
+            let seq = st.next_event_seq;
+            let mut payload = Vec::new();
+            EVENT_REQ_ID.encode(&mut payload);
+            Event::SeqRendezvous {
+                seq,
+                record: rec.clone(),
+            }
+            .encode(&mut payload);
+            st.events
+                .push_back((seq, StreamItem::Rendezvous(rec.clone())));
+            if st.events.len() > EVENT_BUFFER_CAP {
+                st.events.pop_front();
+            }
+            if !st.event_resync {
+                write_to_session(&mut st, &payload);
             }
         }
     }
@@ -1230,4 +1313,9 @@ fn write_to_session<I>(st: &mut SessionState<I>, payload: &[u8]) {
 
 fn clone_of<M: Clone>(m: &M) -> M {
     m.clone()
+}
+
+/// The label-less default labeler installed at bind.
+fn no_label<M>(_: &M) -> Option<String> {
+    None
 }

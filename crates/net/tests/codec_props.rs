@@ -17,8 +17,8 @@ use std::time::Duration;
 use proptest::collection::vec;
 use proptest::prelude::*;
 
-use script_chan::{Arm, ChanError, FaultKind, FaultPlan, FaultRecord, Outcome};
-use script_net::proto::{Event, Req, Resp};
+use script_chan::{Arm, ChanError, FaultKind, FaultPlan, FaultRecord, Outcome, RendezvousRecord};
+use script_net::proto::{Event, Req, Resp, StreamItem};
 use script_net::{read_frame, write_frame, Wire, MAX_FRAME};
 
 /// A printable-ish string strategy (arbitrary bytes, lossily UTF-8).
@@ -108,20 +108,56 @@ fn any_req() -> impl Strategy<Value = Req<String, u64>> {
         })
 }
 
+fn any_rendezvous() -> impl Strategy<Value = RendezvousRecord<String>> {
+    (
+        any_string(),
+        any_string(),
+        proptest::option::of(any_string()),
+        any::<u64>(),
+    )
+        .prop_map(|(from, to, label, seq)| RendezvousRecord {
+            from,
+            to,
+            label,
+            seq,
+        })
+}
+
+fn any_stream_item() -> impl Strategy<Value = StreamItem<String>> {
+    prop_oneof![
+        any_record().prop_map(StreamItem::Fault),
+        any_rendezvous().prop_map(StreamItem::Rendezvous),
+    ]
+}
+
 /// An event push covering every tag, including the hub-shutdown notice
-/// and the batched resume-replay form.
+/// and both resume-replay batch forms.
 fn any_event() -> impl Strategy<Value = Event<String>> {
-    (0u8..4, any_record(), vec(any_record(), 0..5), any::<u64>()).prop_map(
-        |(pick, record, records, n)| match pick {
+    (
+        0u8..6,
+        any_record(),
+        vec(any_record(), 0..5),
+        any::<u64>(),
+        any_rendezvous(),
+        vec(any_stream_item(), 0..5),
+    )
+        .prop_map(|(pick, record, records, n, rendezvous, items)| match pick {
             0 => Event::Fault(record),
             1 => Event::SeqFault { seq: n, record },
             2 => Event::Closing,
-            _ => Event::SeqFaults {
+            3 => Event::SeqFaults {
                 first_seq: n,
                 records,
             },
-        },
-    )
+            4 => Event::SeqRendezvous {
+                seq: n,
+                record: rendezvous,
+            },
+            _ => Event::SeqStream {
+                first_seq: n,
+                items,
+            },
+        })
 }
 
 /// A response covering every variant, including error payloads.

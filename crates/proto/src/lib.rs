@@ -16,7 +16,14 @@
 //! * [`Session`] — a wrapper around a role's
 //!   [`RoleCtx`](script_core::RoleCtx) that checks every communication
 //!   against the local type at run time, failing fast with
-//!   [`ProtoError::Violation`] on the first out-of-protocol action.
+//!   [`ProtoError::Violation`] on the first out-of-protocol action;
+//! * [`ConformanceMonitor`] (see [`monitor`]) — the same check from the
+//!   *outside*: an engine [`Observer`](script_core::Observer) that maps
+//!   live [`ScriptEvent::Rendezvous`](script_core::ScriptEvent) telemetry
+//!   onto per-role actions and reports each performance's first
+//!   divergence as a structured [`Verdict`] — no cooperation from role
+//!   bodies required, and identical verdicts whether the performance
+//!   runs in process or on a socket hub.
 //!
 //! # Example
 //!
@@ -40,11 +47,24 @@
 mod error;
 mod global;
 mod local;
+pub mod monitor;
 mod session;
 
 pub use error::ProtoError;
 pub use global::GlobalType;
 pub use local::{Action, LocalMonitor, LocalType};
+pub use monitor::{AbortHook, ConformanceMonitor, ReactPolicy, Verdict};
 pub use session::{Labeled, Session};
 
 pub use script_core::RoleId;
+
+/// Bridges [`Labeled`] to the engine's message-labeler seam: pass
+/// `labeler::<M>` to
+/// [`Instance::set_message_labeler`](script_core::Instance::set_message_labeler)
+/// (or a hub's `set_message_labeler`) and every
+/// [`ScriptEvent::Rendezvous`](script_core::ScriptEvent::Rendezvous)
+/// telemetry event carries the message's protocol label for a
+/// [`ConformanceMonitor`] to check.
+pub fn labeler<M: Labeled>(message: &M) -> Option<String> {
+    Some(message.label().to_string())
+}

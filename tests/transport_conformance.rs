@@ -42,6 +42,9 @@ static SERVERS: Mutex<Vec<TransportServer<String, u64>>> = Mutex::new(Vec::new()
 fn socket(seed: u64) -> ConformanceTransport {
     let inner: Arc<dyn Transport<String, u64>> = Arc::new(ShardedTransport::new(false, Some(seed)));
     let server = TransportServer::bind("127.0.0.1:0", inner).expect("bind hub");
+    // Spokes forward opaque messages, so rendezvous labels are
+    // extracted where delivery happens: on the hub.
+    server.set_message_labeler(conformance::reference_label);
     let client: ConformanceTransport =
         Arc::new(SocketTransport::<String, u64>::connect(server.local_addr()).expect("resolve"));
     SERVERS.lock().unwrap().push(server);
@@ -122,6 +125,17 @@ fn event_streams_merge_identically_on_both_transports() {
 #[test]
 fn sever_and_resume_preserve_stream_parity_across_transports() {
     conformance::check_sever_stream_parity(&sharded, &socket);
+}
+
+/// The conformance-monitoring half of observability parity: for the
+/// reference monitored protocol — conforming and each misbehaving
+/// variant (wrong peer, wrong label, extra send) — both transports
+/// observe byte-identical rendezvous traces, so a protocol monitor
+/// reaches the identical verdict at the identical first-divergence
+/// position whether the performance is in-process or crosses a socket.
+#[test]
+fn protocol_monitoring_verdicts_agree_across_transports() {
+    conformance::check_monitoring_parity(&sharded, &socket);
 }
 
 /// Child half of the multi-process test. Under a normal `cargo test`
