@@ -1,0 +1,123 @@
+//! E21: epidemic gossip at scale — dissemination cost vs the fixed
+//! broadcast casts, on both transports.
+//!
+//! Arms, at n ∈ {16, 64, 256}:
+//!
+//! * `rounds_to_full` — the pure [`PeerView`] oracle: BFS rounds until
+//!   the seeded overlay reaches every member. No threads, no
+//!   rendezvous; this is the O(log n)-ish structural claim the
+//!   epidemic literature makes, checked against our actual sampler.
+//! * `gossip_sharded` — one full open-cast performance per iteration
+//!   on the in-process [`ShardedTransport`]: n members enroll into the
+//!   gathering cast, the seeder plants the rumor, pushes follow the
+//!   per-round views, duplicates are absorbed, everyone departs.
+//! * `star` / `tree` / `pipeline` — the fixed-cast E9 strategies at
+//!   the same n, as the baseline gossip's redundancy is priced
+//!   against.
+//! * `gossip_socket` — the same performance with every rendezvous
+//!   crossing a loopback TCP hub (the `script-net` reactor), one fresh
+//!   hub per performance exactly like the churn soak rig.
+//!
+//! Expected shape (recorded in EXPERIMENTS.md E21): the oracle rounds
+//! grow ~log n; wall-clock gossip sits above tree (it pays open-cast
+//! gathering plus ~fanout·n redundant pushes) but scales with the same
+//! thread-per-member envelope; the socket arm multiplies every push by
+//! a loopback round trip.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use script_chan::{Network, ShardedTransport, Transport};
+use script_core::{NetworkFactory, PerformanceNet, RoleId};
+use script_lib::broadcast::{self, Order};
+use script_lib::gossip::{self, PeerView};
+use script_net::{SocketTransport, TransportServer};
+
+const FANOUT: usize = 3;
+const SEED: u64 = 0x21;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e21_gossip_churn");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_millis(1600));
+
+    for &n in &[16usize, 64, 256] {
+        group.throughput(Throughput::Elements(n as u64));
+
+        let members: Vec<usize> = (0..n).collect();
+        let view = PeerView::new(SEED, FANOUT);
+        eprintln!(
+            "e21: n = {n}, fanout = {FANOUT}: oracle rounds to full dissemination = {}",
+            view.dissemination_rounds(0, &members)
+        );
+        group.bench_with_input(BenchmarkId::new("rounds_to_full", n), &n, |b, _| {
+            let mut round = 0u64;
+            b.iter(|| {
+                round += 1;
+                view.dissemination_rounds(round, &members)
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("gossip_sharded", n), &n, |b, &n| {
+            let g = gossip::gossip::<u64>(n, FANOUT, SEED);
+            let inst = g.script.instance();
+            b.iter(|| gossip::run_on(&inst, &g, 1).unwrap());
+        });
+
+        group.bench_with_input(BenchmarkId::new("star", n), &n, |b, &n| {
+            let bc = broadcast::star::<u64>(n, Order::Sequential);
+            let inst = bc.script.instance();
+            b.iter(|| broadcast::run_on(&inst, &bc, 1).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("tree", n), &n, |b, &n| {
+            let bc = broadcast::tree::<u64>(n);
+            let inst = bc.script.instance();
+            b.iter(|| broadcast::run_on(&inst, &bc, 1).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("pipeline", n), &n, |b, &n| {
+            let bc = broadcast::pipeline::<u64>(n);
+            let inst = bc.script.instance();
+            b.iter(|| broadcast::run_on(&inst, &bc, 1).unwrap());
+        });
+
+        group.bench_with_input(BenchmarkId::new("gossip_socket", n), &n, |b, &n| {
+            let g = gossip::gossip::<u64>(n, FANOUT, SEED);
+            let inst = g.script.instance();
+            // One fresh hub per performance (member role ids repeat
+            // across performances, so a shared hub namespace would
+            // collide); parked so each outlives its cast, retired once
+            // the next performance has begun — the churn-soak rig.
+            let servers: Arc<Mutex<VecDeque<TransportServer<RoleId, u64>>>> =
+                Arc::new(Mutex::new(VecDeque::new()));
+            let parked = Arc::clone(&servers);
+            let factory: Arc<NetworkFactory<u64>> = Arc::new(move |_ctx: &PerformanceNet| {
+                let inner: Arc<dyn Transport<RoleId, u64>> =
+                    Arc::new(ShardedTransport::new(true, None));
+                let hub =
+                    TransportServer::bind("127.0.0.1:0", Arc::clone(&inner)).expect("bind hub");
+                let spoke: Arc<dyn Transport<RoleId, u64>> = Arc::new(
+                    SocketTransport::<RoleId, u64>::connect(hub.local_addr())
+                        .expect("spoke connect"),
+                );
+                parked.lock().unwrap().push_back(hub);
+                Network::with_transport(spoke)
+            });
+            inst.set_network_factory(factory);
+            b.iter(|| {
+                gossip::run_on(&inst, &g, 1).unwrap();
+                let mut parked = servers.lock().unwrap();
+                while parked.len() > 1 {
+                    parked.pop_front();
+                }
+            });
+            servers.lock().unwrap().clear();
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -4,10 +4,13 @@
 //! ~O(n) in sequential sends from one transmitter; the tree's *critical
 //! path* is O(log n) hops (though total sends are the same); the
 //! pipeline is O(n) hops end-to-end but each hop is one cheap
-//! rendezvous.
+//! rendezvous. The epidemic `gossip` arm pays open-cast gathering plus
+//! redundant pushes, buying churn tolerance the fixed casts lack; E21
+//! scales this comparison up and adds the socket hub.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use script_lib::broadcast::{self, Order};
+use script_lib::gossip;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e9_broadcast_strategies");
@@ -36,6 +39,11 @@ fn bench(c: &mut Criterion) {
             let bc = broadcast::mailbox::<u64>(n);
             let inst = bc.script.instance();
             b.iter(|| broadcast::run_on(&inst, &bc, 1).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("gossip", n), &n, |b, &n| {
+            let g = gossip::gossip::<u64>(n, 3, 0xE9);
+            let inst = g.script.instance();
+            b.iter(|| gossip::run_on(&inst, &g, 1).unwrap());
         });
     }
     group.finish();

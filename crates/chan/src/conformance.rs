@@ -610,6 +610,142 @@ pub fn check_sever_stream_parity(one: TransportFactory<'_>, two: TransportFactor
     assert_eq!(sends_of(&a), 16, "all sixteen sends must complete");
 }
 
+/// The reference open-family churn schedule: a member that enrolls
+/// mid-performance, rendezvouses once, and departs, under sever+delay
+/// chaos. Returns the merged stream of lifecycle markers, fault
+/// records, and successful-send samples. Every logged operation runs
+/// on the calling thread, so the stream is a deterministic function of
+/// the transport's seeded chaos schedule alone.
+pub fn open_family_churn_stream(factory: TransportFactory<'_>) -> Vec<String> {
+    let log = Arc::new(std::sync::Mutex::new(Vec::new()));
+    let net = net_of(factory(83));
+    net.activate(s("seeder"));
+    net.activate(s("member0"));
+    net.declare(s("late"));
+    {
+        let log = Arc::clone(&log);
+        net.set_fault_observer(move |rec| log.lock().unwrap().push(format!("fault {rec}")));
+    }
+    {
+        let log = Arc::clone(&log);
+        net.set_latency_observer(move |sample| {
+            if sample.op == LatencyOp::Send {
+                log.lock().unwrap().push(s("send ok"));
+            }
+        });
+    }
+    net.set_fault_plan(
+        FaultPlan::new(89)
+            .with_delay(1.0, Duration::from_micros(50))
+            .with_sever(0.3),
+    );
+    let m0 = net.port(s("member0")).unwrap();
+    let rx0 = thread::spawn(move || while m0.recv_from_deadline(&s("seeder"), far()).is_ok() {});
+    let seeder = net.port(s("seeder")).unwrap();
+    // The performance is under way before the late member enrolls.
+    for k in 0..6u64 {
+        seeder
+            .send_deadline(&s("member0"), k, far())
+            .expect("dissemination proceeds across severs");
+    }
+    log.lock().unwrap().push(s("late enrolls"));
+    net.activate(s("late"));
+    let late = net.port(s("late")).unwrap();
+    let rx_late = thread::spawn(move || late.recv_from_deadline(&s("seeder"), far()));
+    assert_eq!(
+        seeder.send_deadline(&s("late"), 100, far()),
+        Ok(()),
+        "the late member rendezvouses exactly once"
+    );
+    assert_eq!(rx_late.join().unwrap(), Ok(100));
+    log.lock().unwrap().push(s("late departs"));
+    net.finish(s("late"));
+    // A push to the departed member surfaces Terminated, and the watch
+    // arm — the paper's r.terminated — fires.
+    assert_eq!(
+        seeder.send_deadline(&s("late"), 101, far()),
+        Err(ChanError::Terminated(s("late"))),
+        "a departed member must surface Terminated, not block"
+    );
+    log.lock().unwrap().push(s("push to departed: terminated"));
+    match seeder.select_deadline(vec![Arm::watch(s("late"))], far()) {
+        Ok(Outcome::Terminated { arm: 0, ref peer }) if *peer == s("late") => {
+            log.lock().unwrap().push(s("r.terminated observed"));
+        }
+        other => panic!("watch on a departed member must fire: {other:?}"),
+    }
+    // Dissemination to the remaining live cast continues unharmed.
+    for k in 6..12u64 {
+        seeder
+            .send_deadline(&s("member0"), k, far())
+            .expect("survivors keep disseminating after the departure");
+    }
+    net.finish(s("seeder"));
+    rx0.join().unwrap();
+    let stream = log.lock().unwrap().clone();
+    stream
+}
+
+/// Open-family churn parity: the reference enroll/rendezvous/depart
+/// schedule leaves identical event streams on both factories'
+/// transports — the chaos fault-record subsequence, the lifecycle
+/// markers, and the successful-send count all match. (As in
+/// [`check_sever_stream_parity`], the merged interleaving is not
+/// compared: across a sever, a resumed session may deliver the severed
+/// operation's latency sample after the next operation's fault
+/// records.)
+pub fn check_open_family_churn(one: TransportFactory<'_>, two: TransportFactory<'_>) {
+    let a = open_family_churn_stream(one);
+    let b = open_family_churn_stream(two);
+    let faults_of = |st: &[String]| -> Vec<String> {
+        st.iter()
+            .filter(|e| e.starts_with("fault"))
+            .cloned()
+            .collect()
+    };
+    let markers_of = |st: &[String]| -> Vec<String> {
+        st.iter()
+            .filter(|e| !e.starts_with("fault") && *e != "send ok")
+            .cloned()
+            .collect()
+    };
+    assert!(
+        faults_of(&a).iter().any(|e| e.contains("sever")),
+        "the reference churn schedule streams at least one sever record: {a:?}"
+    );
+    assert_eq!(
+        markers_of(&a),
+        vec![
+            s("late enrolls"),
+            s("late departs"),
+            s("push to departed: terminated"),
+            s("r.terminated observed"),
+        ],
+        "the enroll/rendezvous/depart lifecycle must run to completion"
+    );
+    assert_eq!(
+        faults_of(&a),
+        faults_of(&b),
+        "the churn schedule's fault records must stream identically on both transports"
+    );
+    assert_eq!(
+        markers_of(&a),
+        markers_of(&b),
+        "the enroll/depart lifecycle must be identical on both transports"
+    );
+    let sends_of = |st: &[String]| st.iter().filter(|e| *e == "send ok").count();
+    assert_eq!(
+        sends_of(&a),
+        sends_of(&b),
+        "every push must land exactly once on both transports"
+    );
+    assert_eq!(
+        sends_of(&a),
+        13,
+        "all twelve member0 pushes plus the late rendezvous must land exactly once"
+    );
+}
+
 /// Latency reporting: a fresh transport has no samples; successful
 /// rendezvous produce `Send` and `Select` samples; `take_latency_samples`
 /// drains; and a plan-injected delay is visible in the recorded
@@ -1042,6 +1178,7 @@ pub fn run_all(factory: TransportFactory<'_>) {
     check_sever_stream_parity(factory, factory);
     check_pipelined_calls(factory);
     check_protocol_monitoring(factory);
+    check_open_family_churn(factory, factory);
 }
 
 #[cfg(test)]

@@ -19,7 +19,10 @@
 //! * [`allgather`] — ring all-gather (everyone ends with everyone's
 //!   contribution);
 //! * [`election`] — Chang–Roberts leader election on a ring;
-//! * [`philosophers`] — dining philosophers, forks as serving roles.
+//! * [`philosophers`] — dining philosophers, forks as serving roles;
+//! * [`gossip`] — epidemic rumor-mongering over a seeded partial peer
+//!   view, as an open-ended role family with continuous enrollment and
+//!   departure (`r.terminated`).
 //!
 //! # Example
 //!
@@ -41,6 +44,7 @@ pub mod buffer;
 pub mod commit;
 pub mod election;
 pub mod gather;
+pub mod gossip;
 pub mod philosophers;
 pub mod reduce;
 pub mod ring;

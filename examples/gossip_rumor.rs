@@ -1,0 +1,66 @@
+//! Epidemic rumor-mongering as an open-ended role family.
+//!
+//! A `seeder` plants a rumor with a handful of members; every member
+//! forwards it along a seeded partial view of its peers, absorbing
+//! duplicate copies and treating departed peers (`r.terminated`) as
+//! already informed. The cast is *open*: member threads enroll while
+//! the performance is already running, and the cast freezes only once
+//! the critical set — seeder plus a full house of members — is
+//! covered.
+//!
+//! The peer-view overlay is a pure function of `(seed, round,
+//! membership)`, so the gossip topology below prints identically on
+//! every run even though the rendezvous interleavings do not.
+//!
+//! ```sh
+//! cargo run --example gossip_rumor
+//! ```
+
+use script::core::ScriptError;
+use script::lib::gossip::{self, PeerView};
+
+const N: usize = 8;
+const FANOUT: usize = 2;
+const SEED: u64 = 0x60551;
+
+fn main() -> Result<(), ScriptError> {
+    let g = gossip::gossip::<u64>(N, FANOUT, SEED);
+
+    // --- 1. The overlay is deterministic and inspectable up front. ---
+    let view: PeerView = g.view();
+    let members: Vec<usize> = (0..N).collect();
+    println!(
+        "seed targets (round 0): {:?}",
+        view.seed_targets(0, &members)
+    );
+    for m in &members {
+        println!("  member {m} pushes to {:?}", view.view(0, *m, &members));
+    }
+    let rounds = view.dissemination_rounds(0, &members);
+    println!("oracle: full dissemination in {rounds} rounds");
+
+    // --- 2. One performance: every member gets the rumor exactly once. ---
+    let got = gossip::run(&g, 42)?;
+    assert_eq!(got, vec![42; N]);
+    println!("performance 0: all {N} members delivered rumor 42");
+
+    // --- 3. Successive performances reuse the instance; the round
+    // index reshuffles the overlay, so each rumor takes a different
+    // path through the same cast. ---
+    let instance = g.script.instance();
+    for rumor in [7u64, 8, 9] {
+        let got = gossip::run_on(&instance, &g, rumor)?;
+        assert_eq!(got, vec![rumor; N]);
+    }
+    println!(
+        "performances 1-3: delivered 3 more rumors ({} casts total)",
+        instance.completed_performances()
+    );
+    for round in 1..=3u64 {
+        println!(
+            "  round {round} view of member 0: {:?}",
+            view.view(round, 0, &members)
+        );
+    }
+    Ok(())
+}

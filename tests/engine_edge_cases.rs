@@ -1,11 +1,15 @@
 //! Engine edge cases: process uniqueness, self-communication, partner
 //! termination cascades, explicit/auto index mixing, per-operation
-//! timeouts, and critical-set preference order.
+//! timeouts, critical-set preference order, and enrollment into open
+//! families around cast-freeze.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use script::core::{
-    CriticalSet, Enrollment, Guard, Initiation, RoleId, Script, ScriptError, Termination,
+    CriticalSet, Enrollment, FamilyHandle, Guard, Initiation, RoleHandle, RoleId, Script,
+    ScriptError, Termination,
 };
 
 /// "No process may enroll in more than one role in one activation":
@@ -286,6 +290,198 @@ fn try_recv_polls_without_blocking() {
         got
     });
     assert_eq!(got, 42);
+}
+
+/// A minimal gossip-shaped open script: members report to a counting
+/// seeder; the cast freezes at `seeder + at least one member`. The
+/// member's data parameter is a flag it raises the moment its body
+/// starts, so tests can sequence against admission into the gathering
+/// performance.
+type OpenScript = (
+    Script<u8>,
+    RoleHandle<u8, (), u64>,
+    FamilyHandle<u8, Arc<AtomicBool>, usize>,
+);
+
+fn open_family_script(max: usize) -> OpenScript {
+    let mut b = Script::<u8>::builder("open_edges");
+    let seeder = b.role("seeder", |ctx, ()| {
+        let mut got = 0u64;
+        loop {
+            match ctx.recv_any() {
+                Ok(_) => got += 1,
+                Err(ScriptError::AllPartnersTerminated) => return Ok(got),
+                Err(e) => return Err(e),
+            }
+        }
+    });
+    let member = b.open_family("member", Some(max), |ctx, started: Arc<AtomicBool>| {
+        started.store(true, Ordering::SeqCst);
+        ctx.send(&RoleId::new("seeder"), 1)?;
+        Ok(ctx.role().index().expect("indexed"))
+    });
+    b.initiation(Initiation::Immediate)
+        .termination(Termination::Immediate)
+        .critical_set(
+            CriticalSet::new()
+                .role("seeder")
+                .family_at_least("member", 1),
+        );
+    (b.build().unwrap(), seeder, member)
+}
+
+fn await_flag(flag: &AtomicBool) {
+    let t0 = std::time::Instant::now();
+    while !flag.load(Ordering::SeqCst) {
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "member never admitted"
+        );
+        std::thread::yield_now();
+    }
+}
+
+/// Enrolling into an open family after the previous cast froze must not
+/// error or hang: the late member gathers into the *next* performance
+/// and completes once that one fires.
+#[test]
+fn frozen_cast_late_enrollment_joins_next_performance() {
+    let (script, seeder, member) = open_family_script(8);
+    let inst = script.instance();
+    std::thread::scope(|s| {
+        for round in 0..2 {
+            let started = Arc::new(AtomicBool::new(false));
+            let h = {
+                let inst = inst.clone();
+                let member = member.clone();
+                let started = started.clone();
+                s.spawn(move || inst.enroll_auto(&member, started))
+            };
+            await_flag(&started);
+            // Freeze the cast (seeder + the one gathered member covers
+            // the critical set). In round 1 this enrollment arrives
+            // *after* round 0's cast froze and dissolved.
+            assert_eq!(inst.enroll(&seeder, ()).unwrap(), 1, "round {round}");
+            assert_eq!(h.join().unwrap().unwrap(), 0, "round {round}");
+        }
+    });
+    assert_eq!(inst.completed_performances(), 2);
+}
+
+/// An enrollment that cannot be admitted (the gathering cast is at the
+/// family's max) waits, and a deadline turns that wait into a clean
+/// `Timeout` — no panic, no watchdog window, instance still usable.
+#[test]
+fn frozen_cast_overflow_enrollment_times_out_cleanly() {
+    let (script, seeder, member) = open_family_script(1);
+    let inst = script.instance();
+    std::thread::scope(|s| {
+        let started = Arc::new(AtomicBool::new(false));
+        let h = {
+            let inst = inst.clone();
+            let member = member.clone();
+            let started = started.clone();
+            s.spawn(move || inst.enroll_auto(&member, started))
+        };
+        await_flag(&started);
+        // The gathering performance already holds its one member; this
+        // one can only wait, and the deadline expires first.
+        let t0 = std::time::Instant::now();
+        let err = inst
+            .enroll_auto_with(
+                &member,
+                Arc::new(AtomicBool::new(false)),
+                Enrollment::new().timeout(Duration::from_millis(150)),
+            )
+            .unwrap_err();
+        assert_eq!(err, ScriptError::Timeout);
+        assert!(t0.elapsed() < Duration::from_secs(5));
+        // The instance is unharmed: the gathered performance completes…
+        assert_eq!(inst.enroll(&seeder, ()).unwrap(), 1);
+        assert_eq!(h.join().unwrap().unwrap(), 0);
+        // …and the once-rejected member can enroll again into the next.
+        let started = Arc::new(AtomicBool::new(false));
+        let h = {
+            let inst = inst.clone();
+            let member = member.clone();
+            let started = started.clone();
+            s.spawn(move || inst.enroll_auto(&member, started))
+        };
+        await_flag(&started);
+        assert_eq!(inst.enroll(&seeder, ()).unwrap(), 1);
+        assert_eq!(h.join().unwrap().unwrap(), 0);
+    });
+    assert_eq!(inst.completed_performances(), 2);
+}
+
+/// `close()` gives gathered-but-unfrozen members a clean
+/// `PerformanceAborted`, and later enrollments a clean
+/// `InstanceClosed`.
+#[test]
+fn close_unblocks_gathering_member_and_rejects_late_enrollments() {
+    let (script, _seeder, member) = open_family_script(8);
+    let inst = script.instance();
+    std::thread::scope(|s| {
+        let started = Arc::new(AtomicBool::new(false));
+        let h = {
+            let inst = inst.clone();
+            let member = member.clone();
+            let started = started.clone();
+            s.spawn(move || inst.enroll_auto(&member, started))
+        };
+        await_flag(&started);
+        inst.close();
+        // The member was blocked mid-rendezvous in a performance that
+        // will never freeze; close aborts it rather than stranding it.
+        assert_eq!(
+            h.join().unwrap().unwrap_err(),
+            ScriptError::PerformanceAborted
+        );
+    });
+    assert_eq!(
+        inst.enroll_auto(&member, Arc::new(AtomicBool::new(false)))
+            .unwrap_err(),
+        ScriptError::InstanceClosed
+    );
+}
+
+/// `seal_cast()` on a gathering performance finishes the unfilled fixed
+/// roles, so a member blocked on the absent seeder surfaces a prompt
+/// `RoleUnavailable` instead of hanging out a watchdog window.
+#[test]
+fn seal_cast_surfaces_role_unavailable_to_gathering_straggler() {
+    let (script, seeder, member) = open_family_script(8);
+    let inst = script.instance();
+    std::thread::scope(|s| {
+        let started = Arc::new(AtomicBool::new(false));
+        let h = {
+            let inst = inst.clone();
+            let member = member.clone();
+            let started = started.clone();
+            s.spawn(move || inst.enroll_auto(&member, started))
+        };
+        await_flag(&started);
+        let t0 = std::time::Instant::now();
+        inst.seal_cast();
+        assert_eq!(
+            h.join().unwrap().unwrap_err(),
+            ScriptError::RoleUnavailable(RoleId::new("seeder"))
+        );
+        assert!(t0.elapsed() < Duration::from_secs(2), "straggler hung");
+    });
+    // The instance remains usable for a full follow-up performance.
+    std::thread::scope(|s| {
+        let started = Arc::new(AtomicBool::new(false));
+        let h = {
+            let inst = inst.clone();
+            let member = member.clone();
+            let started = started.clone();
+            s.spawn(move || inst.enroll_auto(&member, started))
+        };
+        await_flag(&started);
+        assert_eq!(inst.enroll(&seeder, ()).unwrap(), 1);
+        assert_eq!(h.join().unwrap().unwrap(), 0);
+    });
 }
 
 /// Chaos: many processes hammer a small script concurrently across many

@@ -127,6 +127,18 @@ fn sever_and_resume_preserve_stream_parity_across_transports() {
     conformance::check_sever_stream_parity(&sharded, &socket);
 }
 
+/// The churn half of chaos parity: the reference open-family schedule —
+/// a member that enrolls mid-performance, rendezvouses exactly once,
+/// and departs, under seeded sever+delay chaos — leaves identical
+/// event streams (lifecycle markers, the fault-record subsequence, and
+/// the successful-send count) whether the performance is in-process or
+/// crosses a socket, including the `r.terminated` observation of the
+/// departed member.
+#[test]
+fn open_family_churn_streams_agree_across_transports() {
+    conformance::check_open_family_churn(&sharded, &socket);
+}
+
 /// The conformance-monitoring half of observability parity: for the
 /// reference monitored protocol — conforming and each misbehaving
 /// variant (wrong peer, wrong label, extra send) — both transports
