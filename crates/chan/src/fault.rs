@@ -387,6 +387,61 @@ impl Hasher for FnvHasher {
     }
 }
 
+/// A fault log grouped by directed edge: each `(from, to)` pair with
+/// that edge's records in their original (edge-local) order, edges
+/// sorted.
+pub type EdgeLog<I> = Vec<((I, I), Vec<FaultRecord<I>>)>;
+
+/// Groups an ordered fault log by directed communication edge,
+/// preserving each edge's own record order.
+///
+/// Because every [`FaultPlan`] decision is a pure function of
+/// `(kind, from, to, seq)`, the per-edge sub-logs are the
+/// interleaving-free view of a chaos run: two runs of the same
+/// protocol under the same plan — even on different transports, or
+/// with performances spread across federated data-plane nodes — must
+/// produce identical groupings even when the *global* log order
+/// differs. Edges are returned in sorted order so the result is
+/// directly comparable across runs.
+pub fn per_edge_log<I>(log: &[FaultRecord<I>]) -> EdgeLog<I>
+where
+    I: Clone + Ord,
+{
+    let mut edges: std::collections::BTreeMap<(I, I), Vec<FaultRecord<I>>> =
+        std::collections::BTreeMap::new();
+    for rec in log {
+        edges
+            .entry((rec.from.clone(), rec.to.clone()))
+            .or_default()
+            .push(rec.clone());
+    }
+    edges.into_iter().collect()
+}
+
+/// Renders a fault log as one stable fingerprint string per edge:
+/// `"from->to: kind#seq kind#seq …"`, edges sorted, records in their
+/// edge-local order.
+///
+/// Useful for asserting bit-identical fault schedules across
+/// transports (the conformance and soak harnesses compare these
+/// line-for-line between in-process, socket, and federated runs).
+pub fn per_edge_fingerprints<I>(log: &[FaultRecord<I>]) -> Vec<String>
+where
+    I: Clone + Ord + std::fmt::Debug,
+{
+    per_edge_log(log)
+        .into_iter()
+        .map(|((from, to), recs)| {
+            let mut line = format!("{from:?}->{to:?}:");
+            for r in &recs {
+                use std::fmt::Write as _;
+                let _ = write!(line, " {}#{}", r.kind, r.seq);
+            }
+            line
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -491,6 +546,61 @@ mod tests {
     #[should_panic(expected = "probability")]
     fn bad_sever_probability_rejected() {
         let _ = FaultPlan::new(0).with_sever(-0.1);
+    }
+
+    #[test]
+    fn per_edge_grouping_is_order_insensitive_across_edges() {
+        let rec = |kind, from: &str, to: &str, seq| FaultRecord {
+            kind,
+            from: from.to_string(),
+            to: to.to_string(),
+            seq,
+        };
+        // Two logs with the same per-edge contents but different global
+        // interleavings (as two transports would produce).
+        let run_a = vec![
+            rec(FaultKind::Drop, "a", "b", 0),
+            rec(FaultKind::Sever, "b", "c", 1),
+            rec(FaultKind::Drop, "a", "b", 4),
+            rec(FaultKind::Delay, "b", "c", 2),
+        ];
+        let run_b = vec![
+            rec(FaultKind::Sever, "b", "c", 1),
+            rec(FaultKind::Delay, "b", "c", 2),
+            rec(FaultKind::Drop, "a", "b", 0),
+            rec(FaultKind::Drop, "a", "b", 4),
+        ];
+        assert_eq!(per_edge_log(&run_a), per_edge_log(&run_b));
+        assert_eq!(per_edge_fingerprints(&run_a), per_edge_fingerprints(&run_b));
+        assert_eq!(
+            per_edge_fingerprints(&run_a),
+            vec![
+                "\"a\"->\"b\": drop#0 drop#4".to_string(),
+                "\"b\"->\"c\": sever#1 delay#2".to_string(),
+            ]
+        );
+    }
+
+    #[test]
+    fn per_edge_grouping_preserves_edge_local_order() {
+        let rec = |seq| FaultRecord {
+            kind: FaultKind::Drop,
+            from: "a",
+            to: "b",
+            seq,
+        };
+        // Edge-local order is the log order, not sorted by seq.
+        let log = vec![rec(9), rec(2), rec(5)];
+        let grouped = per_edge_log(&log);
+        assert_eq!(grouped.len(), 1);
+        assert_eq!(
+            grouped[0].1.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![9, 2, 5]
+        );
+        assert_eq!(
+            per_edge_fingerprints(&log),
+            vec!["\"a\"->\"b\": drop#9 drop#2 drop#5".to_string()]
+        );
     }
 
     #[test]

@@ -55,7 +55,7 @@ mod select;
 pub mod transport;
 
 pub use error::ChanError;
-pub use fault::{FaultKind, FaultPlan, FaultRecord};
+pub use fault::{per_edge_fingerprints, per_edge_log, EdgeLog, FaultKind, FaultPlan, FaultRecord};
 pub use network::{Network, PeerState, Port};
 pub use select::{Arm, Outcome, Source};
 pub use transport::{

@@ -39,7 +39,9 @@
 //! one mechanism. A subscribed client resumes the sequenced event
 //! stream gaplessly from the last delivered sequence number
 //! ([`Req::SubscribeFrom`]); the missed tail arrives as one batched
-//! [`Event::SeqFaults`] frame, with exactly-once dispatch enforced
+//! [`Event::SeqStream`] frame (the superseded [`Event::SeqFaults`]
+//! batch form is still *decoded* for compatibility with older hubs,
+//! but no longer emitted), with exactly-once dispatch enforced
 //! client-side by a monotonic high-water mark. Heartbeats flow both
 //! ways: the driver pings ([`Req::Heartbeat`]) every quarter-lease —
 //! which also prunes the hub's replay cache — and every hub answer
@@ -86,6 +88,53 @@ use script_core::RetryPolicy;
 use crate::frame::{read_frame, FrameDecoder, ReadStatus, WriteBuf};
 use crate::proto::{timeout_ms_of, Event, Req, Resp, StreamItem, EVENT_REQ_ID};
 use crate::wire::{Reader, Wire};
+
+/// How a spoke reaches its hub: a direct address plus an optional
+/// relay fallback through a control-fleet shard.
+///
+/// Federation hands each participant a
+/// [`PerfDescriptor`](crate::PerfDescriptor) naming the performance's
+/// home node; the spoke dials that address **directly** and, when the
+/// direct dial fails (NAT, firewall, injected fault), falls back to a
+/// byte-splicing relay through the fleet ([`crate::fleet::relay_connect`]).
+/// The plan applies to *every* dial, including session-resume redials,
+/// so a spoke can heal onto the relay path mid-performance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DialPlan {
+    /// The hub (home node) to reach.
+    pub direct: SocketAddr,
+    /// A fleet shard to relay through when the direct dial fails.
+    pub relay_via: Option<SocketAddr>,
+    /// Skip the direct dial entirely and go straight to the relay —
+    /// the NAT-less test environment's stand-in for an unreachable
+    /// peer (fault injection).
+    pub force_relay: bool,
+}
+
+impl DialPlan {
+    /// A plan that only dials `direct` (the classic hub/spoke path).
+    pub fn direct(direct: SocketAddr) -> Self {
+        Self {
+            direct,
+            relay_via: None,
+            force_relay: false,
+        }
+    }
+
+    /// Adds a relay fallback through the fleet shard at `via`.
+    #[must_use]
+    pub fn with_relay(mut self, via: SocketAddr) -> Self {
+        self.relay_via = Some(via);
+        self
+    }
+
+    /// Forces every dial through the relay (fault injection).
+    #[must_use]
+    pub fn with_forced_relay(mut self) -> Self {
+        self.force_relay = true;
+        self
+    }
+}
 
 /// Response slot for one in-flight request.
 struct Slot<I, M> {
@@ -153,6 +202,10 @@ struct ConnTx {
     /// `buf` so producers can keep queueing while a flush is on the
     /// wire.
     flush: Mutex<()>,
+    /// The transport's outbound byte counter (frame bytes including
+    /// the length prefix) — the data-plane evidence federation tests
+    /// audit.
+    bytes_out: Arc<AtomicU64>,
 }
 
 impl ConnTx {
@@ -163,6 +216,8 @@ impl ConnTx {
         if self.buf.lock().push_frame(payload).is_err() {
             return false;
         }
+        self.bytes_out
+            .fetch_add(payload.len() as u64 + 4, Ordering::Relaxed);
         let _g = self.flush.lock();
         loop {
             let mut local = {
@@ -208,8 +263,14 @@ enum FastReply<I, M> {
 
 /// State shared between the transport facade and its driver thread.
 struct Shared<I, M> {
-    addr: SocketAddr,
+    plan: DialPlan,
     retry: RetryPolicy,
+    /// Frame bytes written to the hub (including length prefixes).
+    bytes_out: Arc<AtomicU64>,
+    /// Frame bytes read from the hub (including length prefixes).
+    bytes_in: AtomicU64,
+    /// Connections that had to fall back to the relay path.
+    relay_dials: AtomicU64,
     state: Mutex<Option<Arc<ConnShared>>>,
     /// Mirror of `dead` for the cheap public `is_lost` probe.
     lost: AtomicBool,
@@ -414,6 +475,8 @@ where
     fn write_req(&self, w: &mut TcpStream, req: &Req<I, M>) -> Option<u64> {
         let (req_id, payload) = self.encode_req(req);
         crate::frame::write_frame(w, &payload).ok()?;
+        self.bytes_out
+            .fetch_add(payload.len() as u64 + 4, Ordering::Relaxed);
         Some(req_id)
     }
 
@@ -424,6 +487,8 @@ where
     fn await_resp(&self, rd: &mut TcpStream, want: u64) -> Option<Resp<I, M>> {
         loop {
             let frame = read_frame(rd).ok()??;
+            self.bytes_in
+                .fetch_add(frame.len() as u64 + 4, Ordering::Relaxed);
             let mut r = Reader::new(&frame);
             let req_id = u64::decode(&mut r).ok()?;
             if req_id == EVENT_REQ_ID {
@@ -569,6 +634,31 @@ where
         }
     }
 
+    /// One dial attempt under the [`DialPlan`]: direct first, then —
+    /// when a relay hub is configured — the relay fallback. A forced
+    /// plan skips the direct attempt entirely.
+    fn dial_once(&self) -> io::Result<TcpStream> {
+        if !self.plan.force_relay {
+            match TcpStream::connect(self.plan.direct) {
+                Ok(s) => return Ok(s),
+                Err(e) => {
+                    if self.plan.relay_via.is_none() {
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        let Some(via) = self.plan.relay_via else {
+            return Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "forced relay without a relay hub in the dial plan",
+            ));
+        };
+        let stream = crate::fleet::relay_connect(&via.to_string(), &self.plan.direct.to_string())?;
+        self.relay_dials.fetch_add(1, Ordering::Relaxed);
+        Ok(stream)
+    }
+
     /// Dials under the retry policy and completes the session
     /// handshake, standing off and retrying while the hub reports a
     /// partition embargo. Called with the `state` lock held — fast
@@ -583,7 +673,7 @@ where
             }
             let stream = self
                 .retry
-                .run_if(|_: &io::Error| true, |_| TcpStream::connect(self.addr))
+                .run_if(|_: &io::Error| true, |_| self.dial_once())
                 .ok()?;
             let _ = stream.set_nodelay(true);
             match self.handshake(stream) {
@@ -687,12 +777,15 @@ where
             if crate::frame::write_frame(&mut w, payload).is_err() {
                 return Handshake::Failed;
             }
+            self.bytes_out
+                .fetch_add(payload.len() as u64 + 4, Ordering::Relaxed);
         }
         let conn = Arc::new(ConnShared {
             tx: ConnTx {
                 stream: w,
                 buf: Mutex::new(WriteBuf::new()),
                 flush: Mutex::new(()),
+                bytes_out: Arc::clone(&self.bytes_out),
             },
             stream,
             alive: AtomicBool::new(true),
@@ -838,6 +931,8 @@ where
     /// Returns `false` on protocol corruption (the connection is torn
     /// down).
     fn on_frame(&self, frame: &[u8]) -> bool {
+        self.bytes_in
+            .fetch_add(frame.len() as u64 + 4, Ordering::Relaxed);
         let mut r = Reader::new(frame);
         let Ok(req_id) = u64::decode(&mut r) else {
             return false;
@@ -882,7 +977,7 @@ pub struct SocketTransport<I, M> {
 impl<I, M> fmt::Debug for SocketTransport<I, M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SocketTransport")
-            .field("addr", &self.shared.addr)
+            .field("addr", &self.shared.plan.direct)
             .field("session", &self.shared.session.load(Ordering::Relaxed))
             .field("lost", &self.shared.lost.load(Ordering::Relaxed))
             .finish()
@@ -897,10 +992,20 @@ where
     /// A client for the hub at `addr`. No I/O happens here: the first
     /// operation dials, retrying under `retry`.
     pub fn new(addr: SocketAddr, retry: RetryPolicy) -> Self {
+        Self::with_plan(DialPlan::direct(addr), retry)
+    }
+
+    /// A client dialing under `plan` — the federated entry point: the
+    /// plan's direct address is a descriptor's home node, its relay a
+    /// fleet shard. No I/O happens here.
+    pub fn with_plan(plan: DialPlan, retry: RetryPolicy) -> Self {
         Self {
             shared: Arc::new(Shared {
-                addr,
+                plan,
                 retry,
+                bytes_out: Arc::new(AtomicU64::new(0)),
+                bytes_in: AtomicU64::new(0),
+                relay_dials: AtomicU64::new(0),
                 state: Mutex::new(None),
                 lost: AtomicBool::new(false),
                 dead: AtomicBool::new(false),
@@ -948,7 +1053,32 @@ where
 
     /// The hub address this client dials.
     pub fn peer_addr(&self) -> SocketAddr {
-        self.shared.addr
+        self.shared.plan.direct
+    }
+
+    /// The dial plan this client follows.
+    pub fn dial_plan(&self) -> DialPlan {
+        self.shared.plan
+    }
+
+    /// Frame bytes written to the hub so far (length prefixes
+    /// included). With a direct [`DialPlan`] these bytes never touch
+    /// the control fleet — the per-process evidence the federation
+    /// example audits.
+    pub fn bytes_sent(&self) -> u64 {
+        self.shared.bytes_out.load(Ordering::Relaxed)
+    }
+
+    /// Frame bytes read from the hub so far (length prefixes
+    /// included).
+    pub fn bytes_received(&self) -> u64 {
+        self.shared.bytes_in.load(Ordering::Relaxed)
+    }
+
+    /// How many connections fell back to (or were forced through) the
+    /// relay path.
+    pub fn relay_dials(&self) -> u64 {
+        self.shared.relay_dials.load(Ordering::Relaxed)
     }
 
     /// Whether the session is dead (expired, redial budget exhausted,

@@ -42,6 +42,23 @@
 //! [`RetryPolicy`](script_core::RetryPolicy); a spoke whose retry
 //! budget is exhausted degrades the same way (sends report the target
 //! terminated, `activity()` freezes so watchdogs fire).
+//!
+//! # Federation: control plane and data plane
+//!
+//! A single hub caps total throughput, so the transport also federates
+//! into two planes. The **control plane** is a [`HubFleet`] of matcher
+//! hubs sharded by role-family hash: spokes dial any shard and are
+//! redirected to the owning one, which registers data nodes, places
+//! each performance on a *home node*, and mints a signed
+//! [`PerfDescriptor`] (performance id, epoch, chaos seed, home-node
+//! address, per-role peer table). The **data plane** is the ordinary
+//! hub/spoke machinery above, hosted on the home node: participants
+//! dial the descriptor's address directly — peer-to-peer with respect
+//! to the matcher — under a [`client::DialPlan`] that falls back to a
+//! byte-splicing relay through a fleet shard ([`fleet::relay_connect`])
+//! when the direct dial fails. Because each performance's semantics
+//! still live in exactly one inner transport, every conformance
+//! invariant and chaos-replay guarantee carries over unchanged.
 
 // `deny`, not `forbid`: the reactor's `sys` module carries the one
 // scoped `#[allow(unsafe_code)]` in the crate — the hand-written FFI
@@ -50,13 +67,17 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod client;
+pub mod descriptor;
+pub mod fleet;
 pub mod frame;
 pub mod proto;
 pub mod reactor;
 pub mod server;
 pub mod wire;
 
-pub use client::SocketTransport;
+pub use client::{DialPlan, SocketTransport};
+pub use descriptor::PerfDescriptor;
+pub use fleet::{FleetClient, HubFleet};
 pub use frame::{read_frame, write_frame, FrameDecoder, WriteBuf};
 pub use proto::EVENT_REQ_ID;
 pub use server::TransportServer;

@@ -203,9 +203,11 @@ pub enum Event<I> {
     /// would only burn the retry budget against a dead address.
     Closing,
     /// A batch of consecutive sequenced fault pushes (tag 3): record
-    /// `i` carries stream sequence `first_seq + i`. Emitted on resume
-    /// ([`Req::SubscribeFrom`]) to replay the missed tail as a single
-    /// frame instead of one frame per event.
+    /// `i` carries stream sequence `first_seq + i`. **Decode-only
+    /// legacy**: resume replay emits [`Event::SeqStream`] (tag 5, which
+    /// also carries rendezvous records) since the stream unified; this
+    /// form is retained so frames from older hubs still parse — never
+    /// emitted, never removed (append-only tag space).
     SeqFaults {
         /// Stream sequence of `records[0]`.
         first_seq: u64,
@@ -909,6 +911,53 @@ mod tests {
         // client skips the frame), never panic.
         assert!(Event::<String>::from_bytes(&[9]).is_err());
         assert!(StreamItem::<String>::from_bytes(&[7]).is_err());
+    }
+
+    #[test]
+    fn legacy_seq_faults_frames_still_parse() {
+        // `Event::SeqFaults` (tag 3) is retired from every emit path —
+        // resume replay rides `Event::SeqStream` — but frames recorded
+        // by older hubs must keep decoding. The bytes here are written
+        // out by hand against the frozen layout (tag, first_seq, record
+        // count, then each record as kind/from/to/seq) so a codec
+        // regression cannot hide behind a matching encoder change.
+        let mut frame = vec![3u8]; // tag 3: SeqFaults
+        frame.extend_from_slice(&41u64.to_be_bytes()); // first_seq
+        frame.extend_from_slice(&2u64.to_be_bytes()); // record count
+        for (kind, seq) in [(0u8, 7u64), (4u8, 8u64)] {
+            frame.push(kind); // FaultKind tag: Drop, then Sever
+            frame.extend_from_slice(&1u64.to_be_bytes()); // from: len 1
+            frame.push(b'a');
+            frame.extend_from_slice(&1u64.to_be_bytes()); // to: len 1
+            frame.push(b'b');
+            frame.extend_from_slice(&seq.to_be_bytes());
+        }
+        let decoded = Event::<String>::from_bytes(&frame).unwrap();
+        assert_eq!(
+            decoded,
+            Event::SeqFaults {
+                first_seq: 41,
+                records: vec![
+                    FaultRecord {
+                        kind: FaultKind::Drop,
+                        from: String::from("a"),
+                        to: String::from("b"),
+                        seq: 7,
+                    },
+                    FaultRecord {
+                        kind: FaultKind::Sever,
+                        from: String::from("a"),
+                        to: String::from("b"),
+                        seq: 8,
+                    },
+                ],
+            }
+        );
+        // Truncating anywhere inside the batch is corruption, not a
+        // panic.
+        for cut in 1..frame.len() {
+            assert!(Event::<String>::from_bytes(&frame[..cut]).is_err());
+        }
     }
 
     #[test]

@@ -42,7 +42,9 @@
 //! is **never** applied twice; its recorded answer is rewritten
 //! verbatim), and resumes the sequenced event stream from wherever the
 //! spoke left off — the missed tail travels as one batched
-//! [`Event::SeqFaults`] frame. [`Req::Heartbeat`] renews the lease and
+//! [`Event::SeqStream`] frame (the older [`Event::SeqFaults`] batch is
+//! decode-only legacy; no hub emits it since rendezvous records joined
+//! the stream). [`Req::Heartbeat`] renews the lease and
 //! prunes the cache; only lease expiry degrades to crashed-peer
 //! semantics: the reactor's sweep timer finishes every bound id, so
 //! remaining participants observe the standard
@@ -392,6 +394,11 @@ struct Conn<I> {
     /// Close once the output buffer drains (rejected handshakes answer
     /// before the socket goes).
     closing: bool,
+    /// This connection's slot in the persistent poll set.
+    tok: usize,
+    /// The write-interest bit currently registered for `tok`; the loop
+    /// patches the poller only when the desired bit differs.
+    want_write: bool,
 }
 
 /// The hub's event loop (see the module docs).
@@ -400,6 +407,10 @@ struct Reactor<I, M> {
     listener: TcpListener,
     conns: HashMap<u64, Conn<I>>,
     poller: Poller,
+    /// The listener's permanent slot in the poll set.
+    listener_tok: usize,
+    /// The waker's permanent slot in the poll set.
+    waker_tok: usize,
     next_sweep: Instant,
     sweep_tick: Duration,
 }
@@ -412,11 +423,19 @@ where
     fn new(shared: Arc<ServerShared<I, M>>, listener: TcpListener) -> Self {
         let sweep_tick =
             (shared.lease / 4).clamp(Duration::from_millis(5), Duration::from_millis(250));
+        // The poll set is persistent: the listener and waker register
+        // once here, connections register on accept and tombstone on
+        // teardown — no per-wake rebuild.
+        let mut poller = Poller::new();
+        let listener_tok = poller.register(fd_of(&listener), true, false);
+        let waker_tok = poller.register(shared.waker.read_fd(), true, false);
         Self {
             shared,
             listener,
             conns: HashMap::new(),
-            poller: Poller::new(),
+            poller,
+            listener_tok,
+            waker_tok,
             next_sweep: Instant::now() + sweep_tick,
             sweep_tick,
         }
@@ -428,36 +447,39 @@ where
                 self.drain_and_close();
                 return;
             }
-            // Interest set: listener + waker always readable; each
-            // connection readable, plus writable while output waits.
-            self.poller.clear();
-            let listener_idx = self.poller.push(fd_of(&self.listener), true, false);
-            let waker_idx = self.poller.push(self.shared.waker.read_fd(), true, false);
-            let mut slots: Vec<(u64, usize)> = Vec::with_capacity(self.conns.len());
-            for (id, conn) in &self.conns {
+            // Patch each connection's write interest in place, only
+            // when it changed since the last wake (read interest is
+            // constant for a connection's whole life).
+            for conn in self.conns.values_mut() {
                 let want_write = !conn.tx.buf.lock().is_empty();
-                let idx = self.poller.push(fd_of(&conn.stream), true, want_write);
-                slots.push((*id, idx));
+                if want_write != conn.want_write {
+                    self.poller.set_interest(conn.tok, true, want_write);
+                    conn.want_write = want_write;
+                }
             }
             let timeout = self.next_sweep.saturating_duration_since(Instant::now());
             if self.poller.wait(Some(timeout)).is_err() {
-                // A torn-down fd raced into the set; rebuild next turn.
+                // A torn-down fd raced into the set; retry next turn
+                // (poll reports it as POLLNVAL readiness, not an error,
+                // on every supported platform).
                 thread::yield_now();
             }
-            self.shared.waker.drain();
-            let _ = waker_idx;
+            if self.poller.readiness(self.waker_tok).readable {
+                self.shared.waker.drain();
+            }
             if Instant::now() >= self.next_sweep {
                 self.shared.sweep_expired();
                 self.next_sweep = Instant::now() + self.sweep_tick;
             }
-            if self.poller.readiness(listener_idx).readable {
+            if self.poller.readiness(self.listener_tok).readable {
                 self.accept_ready();
             }
             // Reads: drain every readable connection and route its
             // complete frames.
+            let slots: Vec<(u64, usize)> = self.conns.iter().map(|(id, c)| (*id, c.tok)).collect();
             let mut dead: Vec<u64> = Vec::new();
-            for &(id, idx) in &slots {
-                let r = self.poller.readiness(idx);
+            for &(id, tok) in &slots {
+                let r = self.poller.readiness(tok);
                 if !(r.readable || r.hangup) {
                     continue;
                 }
@@ -500,6 +522,7 @@ where
                         tx: Arc::clone(&tx),
                         subscribed: Arc::clone(&subscribed),
                     });
+                    let tok = self.poller.register(fd_of(&stream), true, false);
                     self.conns.insert(
                         id,
                         Conn {
@@ -509,6 +532,8 @@ where
                             subscribed,
                             mode: ConnMode::Fresh,
                             closing: false,
+                            tok,
+                            want_write: false,
                         },
                     );
                 }
@@ -991,6 +1016,7 @@ where
         let Some(conn) = self.conns.remove(&id) else {
             return;
         };
+        self.poller.deregister(conn.tok);
         self.shared.conns.lock().retain(|c| c.id != id);
         let _ = conn.stream.shutdown(Shutdown::Both);
         match conn.mode {

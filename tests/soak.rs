@@ -11,15 +11,15 @@ use std::time::{Duration, Instant};
 
 use script::chan::{Arm, FaultPlan, FaultRecord, Network, Outcome, ShardedTransport, Transport};
 use script::core::{
-    Initiation, NetworkFactory, Observer, PerformanceNet, RoleId, Script, ScriptError, ScriptEvent,
-    TelemetryEvent, TelemetryPayload, Termination, WatchdogPolicy,
+    Initiation, NetworkFactory, Observer, PerformanceNet, RetryPolicy, RoleId, Script, ScriptError,
+    ScriptEvent, TelemetryEvent, TelemetryPayload, Termination, WatchdogPolicy,
 };
 use script::lib::broadcast::{self, Order};
 use script::lib::gossip::{self, Delivery};
 use script::lockmgr::script::Cluster;
 use script::lockmgr::strategy::Strategy;
 use script::lockmgr::workload::{self, WorkloadSpec};
-use script::net::{SocketTransport, TransportServer};
+use script::net::{DialPlan, FleetClient, HubFleet, SocketTransport, TransportServer};
 
 #[test]
 #[ignore = "soak test: run explicitly"]
@@ -259,6 +259,19 @@ fn reconnect_storm_soak() {
     reconnect_storm(100);
 }
 
+/// Which transport a churn run places its performances on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ChurnMode {
+    /// The in-process reference transport.
+    Sharded,
+    /// Every rendezvous crosses a loopback TCP hub.
+    Socket,
+    /// The federated stack: a matcher fleet places each performance,
+    /// mints a signed descriptor, and the spoke dials the descriptor's
+    /// home node directly (relay fallback armed but unused).
+    Federated,
+}
+
 /// The membership-churn harness: `performances` sequential epidemic
 /// gossip performances on one instance, with the member pool churning
 /// continuously — after every performance one node retires and a fresh
@@ -274,9 +287,9 @@ fn reconnect_storm_soak() {
 ///   delivery audit, the full seeded `PeerView` overlay schedule, and
 ///   the chaos decision schedule (pure functions of `(seed, edge,
 ///   sequence)`); two runs with one seed must return identical
-///   fingerprints, on either transport. CSP selection order is free to
+///   fingerprints, on any transport. CSP selection order is free to
 ///   vary between runs; everything the seed promises is pinned here.
-fn membership_churn(performances: u64, socket: bool, seed: u64) -> Vec<String> {
+fn membership_churn(performances: u64, mode: ChurnMode, seed: u64) -> Vec<String> {
     const N: usize = 5;
     const FANOUT: usize = 2;
     let g = Arc::new(gossip::gossip::<u64>(N, FANOUT, seed));
@@ -294,32 +307,82 @@ fn membership_churn(performances: u64, socket: bool, seed: u64) -> Vec<String> {
     // performance, so a shared hub namespace would collide.
     let servers: Arc<Mutex<VecDeque<TransportServer<RoleId, u64>>>> =
         Arc::new(Mutex::new(VecDeque::new()));
-    if socket {
-        let plan = plan.clone();
-        let servers = Arc::clone(&servers);
-        let factory: Arc<NetworkFactory<u64>> = Arc::new(move |ctx: &PerformanceNet| {
-            // Open inner transport: gossip casts reference members that
-            // have not enrolled yet, exactly like the engine's default
-            // open-family network.
-            let inner: Arc<dyn Transport<RoleId, u64>> =
-                Arc::new(ShardedTransport::new(true, None));
-            inner.set_fault_plan(plan.reseeded(plan.seed() ^ ctx.performance.0), |m| *m);
-            let hub = TransportServer::bind("127.0.0.1:0", Arc::clone(&inner)).expect("bind hub");
-            let spoke: Arc<dyn Transport<RoleId, u64>> = Arc::new(
-                SocketTransport::<RoleId, u64>::connect(hub.local_addr()).expect("spoke connect"),
-            );
-            servers.lock().unwrap().push_back(hub);
-            Network::with_transport(spoke)
-        });
-        inst.set_network_factory(factory);
-    } else {
-        let plan = plan.clone();
-        let factory: Arc<NetworkFactory<u64>> = Arc::new(move |ctx: &PerformanceNet| {
-            let net = Network::new_open();
-            net.set_fault_plan(plan.reseeded(plan.seed() ^ ctx.performance.0));
-            net
-        });
-        inst.set_network_factory(factory);
+    // Matcher fleets of the federated arm, parked for the same reason
+    // (dropping a HubFleet shuts its shards down while a spoke may
+    // still hold them as relay fallback).
+    let fleets: Arc<Mutex<VecDeque<HubFleet>>> = Arc::new(Mutex::new(VecDeque::new()));
+    match mode {
+        ChurnMode::Socket => {
+            let plan = plan.clone();
+            let servers = Arc::clone(&servers);
+            let factory: Arc<NetworkFactory<u64>> = Arc::new(move |ctx: &PerformanceNet| {
+                // Open inner transport: gossip casts reference members
+                // that have not enrolled yet, exactly like the engine's
+                // default open-family network.
+                let inner: Arc<dyn Transport<RoleId, u64>> =
+                    Arc::new(ShardedTransport::new(true, None));
+                inner.set_fault_plan(plan.reseeded(plan.seed() ^ ctx.performance.0), |m| *m);
+                let hub =
+                    TransportServer::bind("127.0.0.1:0", Arc::clone(&inner)).expect("bind hub");
+                let spoke: Arc<dyn Transport<RoleId, u64>> = Arc::new(
+                    SocketTransport::<RoleId, u64>::connect(hub.local_addr())
+                        .expect("spoke connect"),
+                );
+                servers.lock().unwrap().push_back(hub);
+                Network::with_transport(spoke)
+            });
+            inst.set_network_factory(factory);
+        }
+        ChurnMode::Federated => {
+            const SECRET: u64 = 0xC0DE;
+            let plan = plan.clone();
+            let servers = Arc::clone(&servers);
+            let fleets = Arc::clone(&fleets);
+            inst.set_placement_hint("churn");
+            let factory: Arc<NetworkFactory<u64>> = Arc::new(move |ctx: &PerformanceNet| {
+                // One matcher shard + one home node per performance
+                // (role ids repeat across performances, so homes cannot
+                // be shared). The control plane places; the spoke dials
+                // the signed descriptor's home directly.
+                let fleet = HubFleet::launch(1, SECRET).expect("launch fleet");
+                let inner: Arc<dyn Transport<RoleId, u64>> =
+                    Arc::new(ShardedTransport::new(true, None));
+                inner.set_fault_plan(plan.reseeded(plan.seed() ^ ctx.performance.0), |m| *m);
+                let hub =
+                    TransportServer::bind("127.0.0.1:0", Arc::clone(&inner)).expect("bind hub");
+                let ctl = FleetClient::connect(&fleet.any_addr().to_string(), SECRET)
+                    .expect("fleet connect");
+                ctl.register_node(&hub.local_addr().to_string())
+                    .expect("register home");
+                let family = ctx.placement.as_deref().unwrap_or("churn");
+                let desc = ctl
+                    .place(family, ctx.performance.0, &[], ctx.seed)
+                    .expect("place performance");
+                assert!(desc.verify(SECRET), "descriptor must verify");
+                assert_eq!(desc.chaos_seed, ctx.seed, "descriptor carries the seed");
+                let home = desc.home.parse().expect("home address");
+                let spoke: Arc<dyn Transport<RoleId, u64>> =
+                    Arc::new(SocketTransport::<RoleId, u64>::with_plan(
+                        DialPlan::direct(home).with_relay(fleet.any_addr()),
+                        RetryPolicy::new(6)
+                            .with_base(Duration::from_millis(25))
+                            .with_cap(Duration::from_millis(500)),
+                    ));
+                servers.lock().unwrap().push_back(hub);
+                fleets.lock().unwrap().push_back(fleet);
+                Network::with_transport(spoke)
+            });
+            inst.set_network_factory(factory);
+        }
+        ChurnMode::Sharded => {
+            let plan = plan.clone();
+            let factory: Arc<NetworkFactory<u64>> = Arc::new(move |ctx: &PerformanceNet| {
+                let net = Network::new_open();
+                net.set_fault_plan(plan.reseeded(plan.seed() ^ ctx.performance.0));
+                net
+            });
+            inst.set_network_factory(factory);
+        }
     }
 
     let receipts: Arc<Mutex<Vec<Delivery<u64>>>> = Arc::new(Mutex::new(Vec::new()));
@@ -371,6 +434,10 @@ fn membership_churn(performances: u64, socket: bool, seed: u64) -> Vec<String> {
             // the next performance); retire the rest.
             {
                 let mut parked = servers.lock().unwrap();
+                while parked.len() > 1 {
+                    parked.pop_front();
+                }
+                let mut parked = fleets.lock().unwrap();
                 while parked.len() > 1 {
                     parked.pop_front();
                 }
@@ -476,6 +543,7 @@ fn membership_churn(performances: u64, socket: bool, seed: u64) -> Vec<String> {
         }
     }
     servers.lock().unwrap().clear();
+    fleets.lock().unwrap().clear();
     fingerprint
 }
 
@@ -486,21 +554,31 @@ fn membership_churn(performances: u64, socket: bool, seed: u64) -> Vec<String> {
 #[test]
 fn membership_churn_smoke() {
     const SEED: u64 = 0x6055;
-    let sharded_run = membership_churn(8, false, SEED);
+    let sharded_run = membership_churn(8, ChurnMode::Sharded, SEED);
     assert_eq!(
         sharded_run,
-        membership_churn(8, false, SEED),
+        membership_churn(8, ChurnMode::Sharded, SEED),
         "sharded replay is not bit-identical"
     );
-    let socket_run = membership_churn(8, true, SEED);
+    let socket_run = membership_churn(8, ChurnMode::Socket, SEED);
     assert_eq!(
         socket_run,
-        membership_churn(8, true, SEED),
+        membership_churn(8, ChurnMode::Socket, SEED),
         "socket replay is not bit-identical"
     );
     assert_eq!(
         sharded_run, socket_run,
         "transports disagree on the seeded schedules or the delivery audit"
+    );
+    let federated_run = membership_churn(8, ChurnMode::Federated, SEED);
+    assert_eq!(
+        federated_run,
+        membership_churn(8, ChurnMode::Federated, SEED),
+        "federated replay is not bit-identical"
+    );
+    assert_eq!(
+        sharded_run, federated_run,
+        "the federated transport disagrees on the seeded schedules or the delivery audit"
     );
 }
 
@@ -510,8 +588,9 @@ fn membership_churn_smoke() {
 #[test]
 #[ignore = "soak test: run explicitly"]
 fn membership_churn_soak() {
-    membership_churn(2_000, false, 0x6055);
-    membership_churn(500, true, 0x6055);
+    membership_churn(2_000, ChurnMode::Sharded, 0x6055);
+    membership_churn(500, ChurnMode::Socket, 0x6055);
+    membership_churn(500, ChurnMode::Federated, 0x6055);
 }
 
 /// Live threads in this process (0 when procfs is unavailable, in

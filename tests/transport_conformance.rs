@@ -2,15 +2,20 @@
 //! workspace ships:
 //!
 //! * the in-process [`ShardedTransport`] (the reference
-//!   implementation), and
+//!   implementation),
 //! * the socket-backed [`SocketTransport`] speaking framed RPC to a
-//!   [`TransportServer`] hub over real TCP.
+//!   [`TransportServer`] hub over real TCP, and
+//! * the **federated** transport: a sharded [`HubFleet`] control plane
+//!   places the performance, mints a signed [`PerfDescriptor`], and
+//!   the spoke dials the descriptor's home data node directly — the
+//!   matcher fleet never carries data-plane traffic.
 //!
-//! Both must satisfy the identical contract (ordering, fairness,
+//! All must satisfy the identical contract (ordering, fairness,
 //! deadlines, termination, chaos determinism) — and a chaos seed must
-//! produce the *identical* fault log on both, because fault decisions
-//! are pure functions of `(seed, edge, sequence)` evaluated at the
-//! hub's sending edge regardless of where the participants live.
+//! produce the *identical* fault log on all three, because fault
+//! decisions are pure functions of `(seed, edge, sequence)` evaluated
+//! at the home node's sending edge regardless of where the
+//! participants live or how they were placed.
 //!
 //! One test is genuinely multi-process: the parent re-executes this
 //! test binary as a child process that joins the performance over TCP.
@@ -20,8 +25,14 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use script::chan::conformance::{self, ConformanceTransport};
-use script::chan::{Arm, ChanError, Outcome, PeerState, SessionEvent, ShardedTransport, Transport};
-use script::net::{SocketTransport, TransportServer};
+use script::chan::{
+    per_edge_fingerprints, Arm, ChanError, FaultPlan, Network, Outcome, PeerState, SessionEvent,
+    ShardedTransport, Transport,
+};
+use script::core::RetryPolicy;
+use script::net::{
+    DialPlan, FleetClient, HubFleet, PerfDescriptor, SocketTransport, TransportServer,
+};
 
 /// Environment variable carrying the hub address to the child process.
 const CHILD_ADDR_ENV: &str = "SCRIPT_NET_CHILD_ADDR";
@@ -51,6 +62,48 @@ fn socket(seed: u64) -> ConformanceTransport {
     client
 }
 
+/// Matcher fleets likewise outlive their spokes (dropping a
+/// [`HubFleet`] shuts its shards down).
+static FLEETS: Mutex<Vec<HubFleet>> = Mutex::new(Vec::new());
+
+/// Shared secret for the conformance fleet's descriptor signatures.
+const FLEET_SECRET: u64 = 0xC0DE;
+
+/// The federated factory: control plane and data plane are separate
+/// machinery. A three-shard matcher fleet owns placement; the
+/// performance's rendezvous state lives on a home data node (an
+/// ordinary hub); the spoke learns the home address from the fleet's
+/// *signed* descriptor and dials it directly, keeping the fleet as
+/// relay fallback in its [`DialPlan`].
+fn federated(seed: u64) -> ConformanceTransport {
+    let fleet = HubFleet::launch(3, FLEET_SECRET).expect("launch fleet");
+    let inner: Arc<dyn Transport<String, u64>> = Arc::new(ShardedTransport::new(false, Some(seed)));
+    let server = TransportServer::bind("127.0.0.1:0", inner).expect("bind home node");
+    server.set_message_labeler(conformance::reference_label);
+
+    let ctl =
+        FleetClient::connect(&fleet.any_addr().to_string(), FLEET_SECRET).expect("fleet connect");
+    ctl.register_node(&server.local_addr().to_string())
+        .expect("register home node");
+    let desc: PerfDescriptor = ctl
+        .place("conformance", seed, &[], Some(seed))
+        .expect("place performance");
+    assert!(desc.verify(FLEET_SECRET), "descriptor must verify");
+    assert_eq!(desc.chaos_seed, Some(seed), "descriptor carries the seed");
+
+    let home = desc.home.parse().expect("home address");
+    let plan = DialPlan::direct(home).with_relay(fleet.any_addr());
+    let client: ConformanceTransport = Arc::new(SocketTransport::<String, u64>::with_plan(
+        plan,
+        RetryPolicy::new(6)
+            .with_base(Duration::from_millis(25))
+            .with_cap(Duration::from_millis(500)),
+    ));
+    SERVERS.lock().unwrap().push(server);
+    FLEETS.lock().unwrap().push(fleet);
+    client
+}
+
 #[test]
 fn sharded_transport_conforms() {
     conformance::run_all(&sharded);
@@ -59,6 +112,13 @@ fn sharded_transport_conforms() {
 #[test]
 fn socket_transport_conforms() {
     conformance::run_all(&socket);
+}
+
+/// The tentpole acceptance gate: the full conformance suite — every
+/// check, zero check-body changes — against the federated transport.
+#[test]
+fn federated_transport_conforms() {
+    conformance::run_all(&federated);
 }
 
 /// The acceptance criterion for chaos parity: one seed, one schedule,
@@ -75,6 +135,127 @@ fn chaos_seed_produces_identical_fault_log_on_both_transports() {
     assert_eq!(
         in_process, over_socket,
         "fault logs diverged between in-process and socket transports"
+    );
+}
+
+/// The federated extension of chaos parity: one seed, one schedule,
+/// bit-identical fault logs across all three transports — in-process,
+/// single-hub socket, and fleet-placed federated.
+#[test]
+fn chaos_seed_replays_identically_across_all_three_transports() {
+    let in_process = conformance::chaos_schedule_log(&sharded);
+    let single_hub = conformance::chaos_schedule_log(&socket);
+    let fleet_placed = conformance::chaos_schedule_log(&federated);
+    assert!(
+        !in_process.is_empty(),
+        "the chaos schedule should inject at least one fault"
+    );
+    assert_eq!(
+        in_process, single_hub,
+        "fault logs diverged between in-process and single-hub transports"
+    );
+    assert_eq!(
+        in_process, fleet_placed,
+        "fault logs diverged between in-process and federated transports"
+    );
+}
+
+/// Per-edge decision sequences: a seeded multi-edge chaos run grouped
+/// by directed edge must fingerprint identically on all three
+/// transports — the interleaving-free form of chaos parity that holds
+/// even where global log order could legally differ.
+#[test]
+fn per_edge_decision_sequences_agree_across_all_three_transports() {
+    fn edge_fingerprints(factory: &dyn Fn(u64) -> ConformanceTransport) -> Vec<String> {
+        let far = || Some(Instant::now() + Duration::from_secs(30));
+        let net = Network::with_transport(factory(71));
+        for id in ["a", "b", "c"] {
+            net.activate(id.to_string());
+        }
+        net.set_fault_plan(
+            FaultPlan::new(73)
+                .with_drop(0.3)
+                .with_duplicate(0.2)
+                .with_sever(0.15),
+        );
+        let drain = |id: &str| {
+            let port = net.port(id.to_string()).unwrap();
+            std::thread::spawn(
+                move || while port.recv_from_deadline(&"a".to_string(), far()).is_ok() {},
+            )
+        };
+        let rx_b = drain("b");
+        let rx_c = drain("c");
+        let a = net.port("a".to_string()).unwrap();
+        for k in 0..24u64 {
+            let to = if k % 2 == 0 { "b" } else { "c" };
+            a.send_deadline(&to.to_string(), k, far())
+                .expect("receivers drain continuously");
+        }
+        net.finish("a".to_string());
+        rx_b.join().unwrap();
+        rx_c.join().unwrap();
+        per_edge_fingerprints(&net.fault_log())
+    }
+    let in_process = edge_fingerprints(&sharded);
+    let single_hub = edge_fingerprints(&socket);
+    let fleet_placed = edge_fingerprints(&federated);
+    assert!(
+        in_process.len() >= 2,
+        "the multi-edge schedule should fault on at least two edges: {in_process:?}"
+    );
+    assert_eq!(
+        in_process, single_hub,
+        "per-edge sequences diverged between in-process and single-hub transports"
+    );
+    assert_eq!(
+        in_process, fleet_placed,
+        "per-edge sequences diverged between in-process and federated transports"
+    );
+}
+
+/// Relay fallback: with the dial plan forced through the matcher fleet
+/// (the NAT-less stand-in for an undialable home node), the same chaos
+/// seed still replays bit-for-bit — the relay is a transparent byte
+/// splice — and the fleet's relay counter proves the data actually
+/// flowed through it.
+#[test]
+fn relay_fallback_replays_the_same_chaos_schedule() {
+    let fleet = HubFleet::launch(2, FLEET_SECRET).expect("launch fleet");
+    let relayed = |seed: u64| -> ConformanceTransport {
+        let inner: Arc<dyn Transport<String, u64>> =
+            Arc::new(ShardedTransport::new(false, Some(seed)));
+        let server = TransportServer::bind("127.0.0.1:0", inner).expect("bind home node");
+        server.set_message_labeler(conformance::reference_label);
+        let ctl = FleetClient::connect(&fleet.any_addr().to_string(), FLEET_SECRET)
+            .expect("fleet connect");
+        ctl.register_node(&server.local_addr().to_string())
+            .expect("register home node");
+        let desc = ctl
+            .place("relay-fallback", seed, &[], Some(seed))
+            .expect("place performance");
+        let home = desc.home.parse().expect("home address");
+        let plan = DialPlan::direct(home)
+            .with_relay(fleet.any_addr())
+            .with_forced_relay();
+        let client: ConformanceTransport = Arc::new(SocketTransport::<String, u64>::with_plan(
+            plan,
+            RetryPolicy::new(6)
+                .with_base(Duration::from_millis(25))
+                .with_cap(Duration::from_millis(500)),
+        ));
+        SERVERS.lock().unwrap().push(server);
+        client
+    };
+    let through_relay = conformance::chaos_schedule_log(&relayed);
+    assert_eq!(
+        through_relay,
+        conformance::chaos_schedule_log(&sharded),
+        "fault logs diverged between relayed and in-process transports"
+    );
+    assert!(
+        fleet.relayed_bytes() > 0,
+        "a forced-relay plan must route data-plane bytes through the fleet"
     );
 }
 
